@@ -1,0 +1,77 @@
+// Command snnc is the "SNN compiler" of the toolchain: it trains the
+// source DNN for a dataset (or loads cached weights), converts it to a
+// spiking network, optionally runs the gradient-based kernel
+// optimization, and writes a self-contained .t2f model file that
+// cmd/snninfer executes.
+//
+// Usage:
+//
+//	snnc -dataset cifar10 -scale small -go -o cifar10.t2f
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	dataset := flag.String("dataset", "mnist", "dataset: mnist|cifar10|cifar100")
+	scaleFlag := flag.String("scale", "small", "scale: tiny|small|full")
+	cacheDir := flag.String("cache", "models", "DNN weight cache directory")
+	useGO := flag.Bool("go", true, "apply gradient-based kernel optimization")
+	out := flag.String("o", "", "output model path (default <dataset>.t2f)")
+	quiet := flag.Bool("quiet", false, "suppress progress logging")
+	flag.Parse()
+
+	scale, err := experiments.ParseScale(*scaleFlag)
+	if err != nil {
+		fatal(err)
+	}
+	p, err := experiments.ParamsFor(*dataset, scale)
+	if err != nil {
+		fatal(err)
+	}
+	var log io.Writer = os.Stderr
+	if *quiet {
+		log = nil
+	}
+	s, err := experiments.Prepare(p, *cacheDir, log)
+	if err != nil {
+		fatal(err)
+	}
+	base, optimized, _, err := experiments.BuildModels(s)
+	if err != nil {
+		fatal(err)
+	}
+	model := base
+	if *useGO {
+		model = optimized
+	}
+
+	path := *out
+	if path == "" {
+		path = *dataset + ".t2f"
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		fatal(err)
+	}
+	if err := model.Save(f); err != nil {
+		f.Close()
+		fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("wrote %s: %s, %d stages, %d neurons, T=%d, GO=%v (DNN test acc %.1f%%)\n",
+		path, model.Net.Name, len(model.Net.Stages), model.Net.NumNeurons(), model.T, *useGO, 100*s.DNNAcc)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "snnc:", err)
+	os.Exit(1)
+}

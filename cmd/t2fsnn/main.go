@@ -1,0 +1,186 @@
+// Command t2fsnn reproduces the paper's experiments from the terminal.
+//
+// Usage:
+//
+//	t2fsnn [-scale tiny|small|full] [-cache DIR] [-quiet] <command>
+//
+// Commands:
+//
+//	train     train and cache the DNNs for every dataset
+//	table1    ablation study (GO / EF)                      — paper Table I
+//	table2    coding-scheme comparison with energy          — paper Table II
+//	table3    computational cost analysis                   — paper Table III
+//	fig4      kernel-optimization loss trajectories         — paper Fig. 4
+//	fig5      per-layer spike-time distributions            — paper Fig. 5
+//	fig6      accuracy-versus-time inference curves         — paper Fig. 6
+//	all       everything above, in order
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	scaleFlag := flag.String("scale", "small", "experiment scale: tiny|small|full")
+	cacheFlag := flag.String("cache", "models", "weight cache directory (empty to disable)")
+	quietFlag := flag.Bool("quiet", false, "suppress progress logging")
+	outFlag := flag.String("out", "", "also write each report to <out>/<experiment>.txt")
+	flag.Usage = usage
+	flag.Parse()
+
+	if flag.NArg() != 1 {
+		usage()
+		os.Exit(2)
+	}
+	scale, err := experiments.ParseScale(*scaleFlag)
+	if err != nil {
+		fatal(err)
+	}
+	var log io.Writer = os.Stderr
+	if *quietFlag {
+		log = nil
+	}
+
+	cmd := flag.Arg(0)
+	run := func(name string) error {
+		out, err := runOne(name, scale, *cacheFlag, log)
+		if err != nil {
+			return fmt.Errorf("%s: %w", name, err)
+		}
+		fmt.Println(out)
+		if *outFlag != "" {
+			if err := os.MkdirAll(*outFlag, 0o755); err != nil {
+				return fmt.Errorf("%s: creating output dir: %w", name, err)
+			}
+			path := filepath.Join(*outFlag, name+".txt")
+			if err := os.WriteFile(path, []byte(out), 0o644); err != nil {
+				return fmt.Errorf("%s: writing report: %w", name, err)
+			}
+			if log != nil {
+				fmt.Fprintf(log, "wrote %s\n", path)
+			}
+		}
+		return nil
+	}
+
+	switch cmd {
+	case "train":
+		for _, ds := range []string{"mnist", "cifar10", "cifar100"} {
+			p, err := experiments.ParamsFor(ds, scale)
+			if err != nil {
+				fatal(err)
+			}
+			s, err := experiments.Prepare(p, *cacheFlag, log)
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Printf("%s: DNN test accuracy %.2f%% (%d params)\n", ds, 100*s.DNNAcc, s.DNN.NumParams())
+		}
+	case "table1", "table2", "table3", "fig3", "fig4", "fig5", "fig6", "ablation", "deploy":
+		if err := run(cmd); err != nil {
+			fatal(err)
+		}
+	case "all":
+		for _, name := range []string{"table1", "table2", "table3", "fig3", "fig4", "fig5", "fig6", "ablation", "deploy"} {
+			if err := run(name); err != nil {
+				fatal(err)
+			}
+		}
+	default:
+		usage()
+		os.Exit(2)
+	}
+}
+
+// runOne dispatches a single experiment and returns its report.
+func runOne(name string, scale experiments.Scale, cache string, log io.Writer) (string, error) {
+	switch name {
+	case "table1":
+		r, err := experiments.Table1(scale, cache, log)
+		if err != nil {
+			return "", err
+		}
+		return r.Report, nil
+	case "table2":
+		r, err := experiments.Table2(scale, cache, log)
+		if err != nil {
+			return "", err
+		}
+		return r.Report, nil
+	case "table3":
+		r, err := experiments.Table3(scale, cache, log)
+		if err != nil {
+			return "", err
+		}
+		return r.Report, nil
+	case "fig3":
+		r, err := experiments.Fig3(scale, cache, log)
+		if err != nil {
+			return "", err
+		}
+		return r.Report, nil
+	case "fig4":
+		r, err := experiments.Fig4(scale, cache, log)
+		if err != nil {
+			return "", err
+		}
+		return r.Report, nil
+	case "fig5":
+		r, err := experiments.Fig5(scale, cache, log)
+		if err != nil {
+			return "", err
+		}
+		return r.Report, nil
+	case "fig6":
+		r, err := experiments.Fig6(scale, cache, log)
+		if err != nil {
+			return "", err
+		}
+		return r.Report, nil
+	case "ablation":
+		r, err := experiments.Ablation(scale, cache, log)
+		if err != nil {
+			return "", err
+		}
+		return r.Report, nil
+	case "deploy":
+		r, err := experiments.Deploy(scale, cache, log)
+		if err != nil {
+			return "", err
+		}
+		return r.Report, nil
+	}
+	return "", fmt.Errorf("unknown experiment %q", name)
+}
+
+func usage() {
+	fmt.Fprintf(os.Stderr, `t2fsnn — reproduce "T2FSNN: Deep Spiking Neural Networks with
+Time-to-first-spike Coding" (Park et al., DAC 2020)
+
+usage: t2fsnn [-scale tiny|small|full] [-cache DIR] [-quiet] <command>
+
+commands:
+  train    train + cache the source DNNs
+  table1   ablation study (GO / EF)
+  table2   coding comparison with TrueNorth/SpiNNaker energy
+  table3   computational cost analysis
+  fig3     pipeline timing diagrams (baseline vs early firing)
+  fig4     kernel-optimization loss trajectories
+  fig5     spike-time distributions per layer
+  fig6     inference curves for all coding schemes
+  ablation design-choice sweeps (EF start, percentile, tau)
+  deploy   fixed-point + core-mapping deployment study
+  all      run everything
+`)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "t2fsnn:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,15 @@
+// Package repro is a from-scratch Go reproduction of "T2FSNN: Deep
+// Spiking Neural Networks with Time-to-first-spike Coding" (Park, Kim,
+// Na, Yoon — DAC 2020, arXiv:2003.11741).
+//
+// The implementation lives under internal/: a tensor/linear-algebra
+// substrate, a trainable DNN stack, synthetic datasets, the DNN-to-SNN
+// conversion pipeline, the TTFS kernels with gradient-based
+// optimization, the T2FSNN pipelined model with early firing, the three
+// baseline coding schemes (rate, phase, burst), energy and op-count
+// models, and an experiment harness that regenerates every table and
+// figure of the paper. See README.md, DESIGN.md and EXPERIMENTS.md.
+//
+// The benchmarks in bench_test.go regenerate each experiment at reduced
+// scale: go test -bench=. -benchmem .
+package repro

@@ -1,0 +1,73 @@
+// coding_compare: run the same converted network under rate, phase,
+// burst, and TTFS (T2FSNN) coding and compare accuracy, spikes and
+// estimated energy — a miniature of the paper's Table II on the
+// CIFAR-10-like task.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/coding"
+	"repro/internal/core"
+	"repro/internal/energy"
+	"repro/internal/experiments"
+)
+
+func main() {
+	p, err := experiments.ParamsFor("cifar10", experiments.Tiny)
+	if err != nil {
+		log.Fatal(err)
+	}
+	s, err := experiments.Prepare(p, "", os.Stderr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("DNN test accuracy: %.1f%%  (converted VGG, %d spiking stages)\n\n",
+		100*s.DNNAcc, len(s.Conv.Net.Stages))
+
+	type row struct {
+		name    string
+		acc     float64
+		latency int
+		spikes  float64
+	}
+	var rows []row
+
+	for _, b := range []struct {
+		scheme coding.Scheme
+		steps  int
+	}{
+		{coding.Rate{}, p.RateSteps},
+		{coding.Phase{}, p.PhaseSteps},
+		{coding.Burst{}, p.BurstSteps},
+	} {
+		ev, err := coding.Evaluate(b.scheme, s.Conv.Net, s.EvalX, s.EvalY, b.steps, p.CurveStride)
+		if err != nil {
+			log.Fatal(err)
+		}
+		rows = append(rows, row{b.scheme.Name(), ev.Accuracy, b.steps, ev.AvgSpikes})
+	}
+
+	vars, err := experiments.Variants(s)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ev, err := experiments.EvalVariant(s, vars[3], core.EvalOptions{}) // GO+EF
+	if err != nil {
+		log.Fatal(err)
+	}
+	rows = append(rows, row{"T2FSNN+GO+EF", ev.Accuracy, ev.Latency, ev.AvgSpikes})
+
+	base := rows[0]
+	fmt.Printf("%-14s %9s %8s %12s %10s %10s\n",
+		"coding", "accuracy", "latency", "spikes", "energy TN", "energy SN")
+	for _, r := range rows {
+		tn, _ := energy.TrueNorth.Normalized(r.spikes, float64(r.latency), base.spikes, float64(base.latency))
+		sn, _ := energy.SpiNNaker.Normalized(r.spikes, float64(r.latency), base.spikes, float64(base.latency))
+		fmt.Printf("%-14s %8.1f%% %8d %12.0f %10.3f %10.3f\n",
+			r.name, 100*r.acc, r.latency, r.spikes, tn, sn)
+	}
+	fmt.Println("\n(energy normalized to rate coding; TTFS emits at most one spike per neuron)")
+}

@@ -1,0 +1,85 @@
+// hw_deploy: the deployment-engineering view of a T2FSNN — quantize the
+// converted network to hardware-friendly fixed point, map it onto
+// TrueNorth- and SpiNNaker-style fabrics, and estimate core counts and
+// network-on-chip spike traffic for a measured workload.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/hw"
+	"repro/internal/quant"
+	"repro/internal/tensor"
+)
+
+func main() {
+	p, err := experiments.ParamsFor("mnist", experiments.Tiny)
+	if err != nil {
+		log.Fatal(err)
+	}
+	s, err := experiments.Prepare(p, "", os.Stderr)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 1. Fixed-point sweep: accuracy vs weight bit width.
+	fmt.Println("weight quantization sweep (dynamic fixed point, per-stage formats):")
+	fmt.Printf("%6s %12s %12s\n", "bits", "RMS error", "accuracy")
+	evalN := 50
+	x := tensor.FromSlice(s.EvalX.Data[:evalN*s.Conv.Net.InLen], evalN, s.Conv.Net.InLen)
+	for _, bits := range []int{0, 12, 8, 6, 4} {
+		net := s.Conv.Net
+		rms := 0.0
+		if bits > 0 {
+			qnet, _, err := quant.QuantizeNet(s.Conv.Net, bits)
+			if err != nil {
+				log.Fatal(err)
+			}
+			rms = quant.RMSError(s.Conv.Net, qnet)
+			net = qnet
+		}
+		m, err := core.NewModel(net, p.T, p.TauInit, p.TdInit)
+		if err != nil {
+			log.Fatal(err)
+		}
+		ev, err := core.Evaluate(m, x, s.EvalY[:evalN], core.EvalOptions{
+			Run: core.RunConfig{EarlyFire: true}})
+		if err != nil {
+			log.Fatal(err)
+		}
+		label := "float64"
+		if bits > 0 {
+			label = fmt.Sprintf("%d", bits)
+		}
+		fmt.Printf("%6s %12.5f %11.1f%%\n", label, rms, 100*ev.Accuracy)
+	}
+
+	// 2. Core mapping + traffic on both fabrics.
+	m, err := core.NewModel(s.Conv.Net, p.T, p.TauInit, p.TdInit)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ev, err := core.Evaluate(m, x, s.EvalY[:evalN], core.EvalOptions{
+		Run: core.RunConfig{EarlyFire: true}})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println()
+	for _, fabric := range []hw.Fabric{hw.TrueNorth, hw.SpiNNaker} {
+		mapping, err := hw.Map(s.Conv.Net, fabric)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Print(mapping.Report())
+		traffic, err := mapping.Traffic(ev.SpikesPerStage)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("NoC traffic: %.0f spike deliveries per inference (%.0f raw spikes)\n\n",
+			traffic, ev.AvgSpikes)
+	}
+}

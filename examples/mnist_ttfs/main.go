@@ -1,0 +1,53 @@
+// mnist_ttfs: the full pipeline the paper's MNIST column of Table II
+// exercises — train a LeNet on the synthetic MNIST-like set, convert it,
+// apply the gradient-based kernel optimization, and compare the four
+// T2FSNN variants on latency, accuracy and spike count.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/experiments"
+)
+
+func main() {
+	p, err := experiments.ParamsFor("mnist", experiments.Tiny)
+	if err != nil {
+		log.Fatal(err)
+	}
+	s, err := experiments.Prepare(p, "", os.Stderr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("DNN test accuracy: %.1f%%\n", 100*s.DNNAcc)
+
+	vars, err := experiments.Variants(s)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%-14s %8s %10s %10s\n", "variant", "latency", "accuracy", "spikes")
+	for _, v := range vars {
+		ev, err := experiments.EvalVariant(s, v, core.EvalOptions{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-14s %8d %9.1f%% %10.0f\n",
+			v.Name, ev.Latency, 100*ev.Accuracy, ev.AvgSpikes)
+	}
+
+	// Per-layer spike statistics of the optimized early-firing variant:
+	// TTFS guarantees at most one spike per neuron, so per-boundary
+	// counts are bounded by the layer sizes.
+	ev, err := experiments.EvalVariant(s, vars[3], core.EvalOptions{CollectStats: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nper-boundary average spikes (T2FSNN+GO+EF):")
+	for i, st := range ev.StageStats {
+		fmt.Printf("  %-10s avg %.0f spikes, first spike at step %d\n",
+			st.Name, ev.SpikesPerStage[i], st.FirstSpike)
+	}
+}

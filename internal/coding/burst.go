@@ -1,0 +1,112 @@
+package coding
+
+import "repro/internal/snn"
+
+// Burst is burst coding (Park et al., DAC 2019): a neuron that keeps
+// firing on consecutive steps emits burst spikes whose weight grows
+// geometrically (g, g², …), letting large activations transmit in a few
+// steps. The weight resets once the neuron falls silent. Burst coding
+// needs fewer steps than phase coding and far fewer spikes than rate
+// coding — the strongest baseline in the paper's Table II.
+type Burst struct {
+	// Growth is the burst weight growth factor g (default 2).
+	Growth float64
+	// MaxLen caps the burst length (default 5, i.e. max weight g⁴).
+	MaxLen int
+}
+
+// Name implements Scheme.
+func (Burst) Name() string { return "Burst" }
+
+func (b Burst) params() (float64, int) {
+	g, m := b.Growth, b.MaxLen
+	if g <= 1 {
+		g = 2
+	}
+	if m <= 0 {
+		m = 5
+	}
+	return g, m
+}
+
+// Run implements Scheme.
+func (b Burst) Run(net *snn.Net, input []float64, steps int, collectTimeline bool) snn.SimResult {
+	res := newSimResult(net, steps)
+	g, maxLen := b.params()
+	nStages := len(net.Stages)
+
+	inputAcc := make([]float64, net.InLen)
+	inputBurst := make([]int, net.InLen)
+	pot := make([][]float64, nStages)
+	burst := make([][]int, nStages)
+	for si := range net.Stages {
+		pot[si] = make([]float64, net.Stages[si].OutLen)
+		burst[si] = make([]int, net.Stages[si].OutLen)
+	}
+	type wspike struct {
+		idx int
+		w   float64
+	}
+	spikeBuf := make([][]wspike, nStages+1)
+
+	pow := make([]float64, maxLen)
+	pow[0] = 1
+	for i := 1; i < maxLen; i++ {
+		pow[i] = pow[i-1] * g
+	}
+
+	for t := 0; t < steps; t++ {
+		spikeBuf[0] = spikeBuf[0][:0]
+		for i, u := range input {
+			if u <= 0 {
+				continue
+			}
+			inputAcc[i] += u
+			w := pow[inputBurst[i]]
+			if inputAcc[i] >= w {
+				inputAcc[i] -= w
+				spikeBuf[0] = append(spikeBuf[0], wspike{i, w})
+				if inputBurst[i] < maxLen-1 {
+					inputBurst[i]++
+				}
+			} else {
+				inputBurst[i] = 0
+			}
+		}
+		res.SpikesPerStage[0] += len(spikeBuf[0])
+
+		for si := range net.Stages {
+			st := &net.Stages[si]
+			st.AddBias(pot[si])
+			for _, s := range spikeBuf[si] {
+				st.Scatter(s.idx, s.w, pot[si])
+			}
+			if st.Output {
+				break
+			}
+			spikeBuf[si+1] = spikeBuf[si+1][:0]
+			pp := pot[si]
+			bb := burst[si]
+			for j := range pp {
+				w := pow[bb[j]]
+				if pp[j] >= w {
+					pp[j] -= w
+					spikeBuf[si+1] = append(spikeBuf[si+1], wspike{j, w})
+					if bb[j] < maxLen-1 {
+						bb[j]++
+					}
+				} else {
+					bb[j] = 0
+				}
+			}
+			res.SpikesPerStage[si+1] += len(spikeBuf[si+1])
+		}
+		if collectTimeline {
+			res.RecordPred(t, pot[nStages-1])
+		}
+	}
+	res.Pred = snn.ArgMax(pot[nStages-1])
+	res.Potentials = pot[nStages-1]
+	res.CountSpikes()
+	return res
+}

@@ -1,0 +1,127 @@
+// Package coding implements the three baseline neural coding schemes the
+// paper compares T2FSNN against: rate coding (Diehl 2015 / Rueckauer
+// 2017), phase coding with weighted spikes (Kim 2018), and burst coding
+// (Park, DAC 2019). All three run the same converted network
+// (internal/convert) under a clock-driven integrate-and-fire simulation
+// and report spikes, decision timelines and accuracy-versus-time curves
+// for Fig. 6 and Tables II–III.
+package coding
+
+import (
+	"fmt"
+
+	"repro/internal/snn"
+	"repro/internal/tensor"
+)
+
+// Scheme simulates one input (flattened [C,H,W], values in [0,1])
+// through net for the given number of steps.
+type Scheme interface {
+	Name() string
+	Run(net *snn.Net, input []float64, steps int, collectTimeline bool) snn.SimResult
+}
+
+// CurvePoint is one accuracy sample of an inference curve.
+type CurvePoint struct {
+	Step     int
+	Accuracy float64
+}
+
+// EvalResult aggregates a scheme over a labelled evaluation set.
+type EvalResult struct {
+	SchemeName string
+	Accuracy   float64
+	AvgSpikes  float64
+	Steps      int
+	Curve      []CurvePoint
+	// ConvergenceStep is the first curve step whose accuracy is within
+	// Tolerance of the final accuracy — the "latency" the paper reports
+	// for rate/phase/burst coding.
+	ConvergenceStep int
+	N               int
+}
+
+// Tolerance is the absolute accuracy slack used to declare convergence.
+const Tolerance = 0.005
+
+// Evaluate runs scheme over a batch X [N, ...] with labels for the given
+// number of steps, sampling the accuracy curve every stride steps.
+func Evaluate(s Scheme, net *snn.Net, x *tensor.Tensor, labels []int, steps, stride int) (EvalResult, error) {
+	n := x.Shape[0]
+	if n == 0 || n != len(labels) {
+		return EvalResult{}, fmt.Errorf("coding: %d samples with %d labels", n, len(labels))
+	}
+	sampleLen := x.Len() / n
+	if sampleLen != net.InLen {
+		return EvalResult{}, fmt.Errorf("coding: sample length %d, network expects %d", sampleLen, net.InLen)
+	}
+	if stride <= 0 {
+		stride = steps / 50
+		if stride == 0 {
+			stride = 1
+		}
+	}
+	res := EvalResult{SchemeName: s.Name(), Steps: steps, N: n}
+	correct := 0
+	totalSpikes := 0.0
+	timelines := make([][]snn.TimedPred, n)
+	for i := 0; i < n; i++ {
+		in := x.Data[i*sampleLen : (i+1)*sampleLen]
+		r := s.Run(net, in, steps, true)
+		if r.Pred == labels[i] {
+			correct++
+		}
+		totalSpikes += float64(r.TotalSpikes)
+		timelines[i] = r.Timeline
+	}
+	res.Accuracy = float64(correct) / float64(n)
+	res.AvgSpikes = totalSpikes / float64(n)
+	for step := 0; step <= steps; step += stride {
+		hit := 0
+		for i, tl := range timelines {
+			if predAt(tl, step) == labels[i] {
+				hit++
+			}
+		}
+		res.Curve = append(res.Curve, CurvePoint{Step: step, Accuracy: float64(hit) / float64(n)})
+	}
+	res.ConvergenceStep = ConvergenceStep(res.Curve, res.Accuracy)
+	return res, nil
+}
+
+// ConvergenceStep returns the first curve step whose accuracy is within
+// Tolerance of final; if the curve is empty it returns 0.
+func ConvergenceStep(curve []CurvePoint, final float64) int {
+	for _, p := range curve {
+		if p.Accuracy >= final-Tolerance {
+			return p.Step
+		}
+	}
+	if len(curve) > 0 {
+		return curve[len(curve)-1].Step
+	}
+	return 0
+}
+
+func predAt(tl []snn.TimedPred, step int) int {
+	pred := -1
+	for _, tp := range tl {
+		if tp.Step > step {
+			break
+		}
+		pred = tp.Pred
+	}
+	return pred
+}
+
+// newSimResult allocates the result for a network with the standard
+// stage-boundary spike accounting.
+func newSimResult(net *snn.Net, steps int) snn.SimResult {
+	// Boundary 0 is the input encoding; boundary i is stage i-1's fire
+	// output. The final (Output) stage never fires, so there are exactly
+	// len(Stages) boundaries — the same accounting internal/core uses.
+	return snn.SimResult{
+		Steps:          steps,
+		SpikesPerStage: make([]int, len(net.Stages)),
+	}
+}

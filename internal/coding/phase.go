@@ -1,0 +1,113 @@
+package coding
+
+import (
+	"math"
+
+	"repro/internal/snn"
+)
+
+// Phase is phase coding with weighted spikes (Kim et al. 2018): a global
+// oscillator of period K assigns spike weight 2^−(1+t mod K) to every
+// spike, so one period transmits a K-bit binary expansion of each
+// activation. It needs far fewer spikes than rate coding but, as the
+// paper notes, its efficiency degrades when hidden activations do not
+// match the fixed phase pattern.
+type Phase struct {
+	// Period is the oscillator period K (default 8).
+	Period int
+}
+
+// Name implements Scheme.
+func (Phase) Name() string { return "Phase" }
+
+func (p Phase) period() int {
+	if p.Period <= 0 {
+		return 8
+	}
+	return p.Period
+}
+
+// Run implements Scheme.
+func (p Phase) Run(net *snn.Net, input []float64, steps int, collectTimeline bool) snn.SimResult {
+	res := newSimResult(net, steps)
+	k := p.period()
+	nStages := len(net.Stages)
+
+	// Quantize inputs once: bit b of round(u·2^K) selects a spike at
+	// phase b carrying weight 2^-(1+b).
+	bits := make([]uint32, net.InLen)
+	for i, u := range input {
+		q := uint32(math.Round(snnClamp(u, 0, 1) * float64(uint32(1)<<k)))
+		if q >= 1<<k {
+			q = 1<<k - 1
+		}
+		bits[i] = q
+	}
+
+	pot := make([][]float64, nStages)
+	for si := range net.Stages {
+		pot[si] = make([]float64, net.Stages[si].OutLen)
+	}
+	type wspike struct {
+		idx int
+		w   float64
+	}
+	spikeBuf := make([][]wspike, nStages+1)
+
+	for t := 0; t < steps; t++ {
+		phase := t % k
+		weight := math.Exp2(-float64(1 + phase))
+
+		// input: emit the bit for this phase, every period
+		spikeBuf[0] = spikeBuf[0][:0]
+		bit := uint32(1) << (k - 1 - phase)
+		for i, q := range bits {
+			if q&bit != 0 {
+				spikeBuf[0] = append(spikeBuf[0], wspike{i, weight})
+			}
+		}
+		res.SpikesPerStage[0] += len(spikeBuf[0])
+
+		for si := range net.Stages {
+			st := &net.Stages[si]
+			if phase == 0 {
+				// biases inject their value once per period
+				st.AddBias(pot[si])
+			}
+			for _, s := range spikeBuf[si] {
+				st.Scatter(s.idx, s.w, pot[si])
+			}
+			if st.Output {
+				break
+			}
+			spikeBuf[si+1] = spikeBuf[si+1][:0]
+			pp := pot[si]
+			for j := range pp {
+				// fire a weighted spike when the membrane covers the
+				// current phase weight (phase-modulated threshold)
+				if pp[j] >= weight {
+					pp[j] -= weight
+					spikeBuf[si+1] = append(spikeBuf[si+1], wspike{j, weight})
+				}
+			}
+			res.SpikesPerStage[si+1] += len(spikeBuf[si+1])
+		}
+		if collectTimeline {
+			res.RecordPred(t, pot[nStages-1])
+		}
+	}
+	res.Pred = snn.ArgMax(pot[nStages-1])
+	res.Potentials = pot[nStages-1]
+	res.CountSpikes()
+	return res
+}
+
+func snnClamp(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}

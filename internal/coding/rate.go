@@ -1,0 +1,98 @@
+package coding
+
+import (
+	"repro/internal/snn"
+	"repro/internal/tensor"
+)
+
+// Rate is classic rate coding: information is carried by firing rates.
+// Input pixels drive integrate-and-fire encoders with constant current
+// (deterministic, uniform inter-spike intervals) or, with Poisson set,
+// Bernoulli spike draws with probability equal to the pixel value — the
+// stochastic encoder of Diehl 2015. Hidden IF neurons use threshold 1
+// with soft reset (subtract); biases inject constant current every
+// step. Accuracy converges slowly as rates are averaged over time, at
+// the cost of many spikes — the baseline the paper's Table II
+// normalizes energy against.
+type Rate struct {
+	// Poisson selects stochastic Bernoulli input encoding; Seed makes
+	// it reproducible.
+	Poisson bool
+	Seed    uint64
+}
+
+// Name implements Scheme.
+func (r Rate) Name() string {
+	if r.Poisson {
+		return "Rate(poisson)"
+	}
+	return "Rate"
+}
+
+// Run implements Scheme.
+func (r Rate) Run(net *snn.Net, input []float64, steps int, collectTimeline bool) snn.SimResult {
+	res := newSimResult(net, steps)
+	nStages := len(net.Stages)
+	var rng *tensor.RNG
+	if r.Poisson {
+		rng = tensor.NewRNG(r.Seed ^ 0x706f6973)
+	}
+
+	inputAcc := make([]float64, net.InLen)
+	pot := make([][]float64, nStages)
+	for si := range net.Stages {
+		pot[si] = make([]float64, net.Stages[si].OutLen)
+	}
+	spikeBuf := make([][]int, nStages+1) // reused spike index lists per boundary
+
+	for t := 0; t < steps; t++ {
+		// input encoding: constant-current IF (deterministic) or
+		// Bernoulli draws with p = pixel value (Poisson mode)
+		spikeBuf[0] = spikeBuf[0][:0]
+		for i, u := range input {
+			if u <= 0 {
+				continue
+			}
+			if rng != nil {
+				if rng.Float64() < u {
+					spikeBuf[0] = append(spikeBuf[0], i)
+				}
+				continue
+			}
+			inputAcc[i] += u
+			if inputAcc[i] >= 1 {
+				inputAcc[i]--
+				spikeBuf[0] = append(spikeBuf[0], i)
+			}
+		}
+		res.SpikesPerStage[0] += len(spikeBuf[0])
+
+		// synchronous sweep: spikes cascade through the stack this step
+		for si := range net.Stages {
+			st := &net.Stages[si]
+			st.AddBias(pot[si]) // constant bias current per step
+			for _, idx := range spikeBuf[si] {
+				st.Scatter(idx, 1, pot[si])
+			}
+			if st.Output {
+				break
+			}
+			spikeBuf[si+1] = spikeBuf[si+1][:0]
+			p := pot[si]
+			for j := range p {
+				if p[j] >= 1 {
+					p[j]--
+					spikeBuf[si+1] = append(spikeBuf[si+1], j)
+				}
+			}
+			res.SpikesPerStage[si+1] += len(spikeBuf[si+1])
+		}
+		if collectTimeline {
+			res.RecordPred(t, pot[nStages-1])
+		}
+	}
+	res.Pred = snn.ArgMax(pot[nStages-1])
+	res.Potentials = pot[nStages-1]
+	res.CountSpikes()
+	return res
+}

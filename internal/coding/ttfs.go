@@ -1,0 +1,45 @@
+package coding
+
+import (
+	"repro/internal/core"
+	"repro/internal/snn"
+)
+
+// TTFS adapts a T2FSNN model (internal/core) to the Scheme interface so
+// it can be driven by the same evaluation harness as the baselines. The
+// steps argument of Run is a horizon: the pipeline's own latency is used
+// when it is shorter, and the timeline is truncated when it is longer.
+type TTFS struct {
+	Model *core.Model
+	Run_  core.RunConfig
+	Label string
+}
+
+// Name implements Scheme.
+func (t TTFS) Name() string {
+	if t.Label != "" {
+		return t.Label
+	}
+	return "T2FSNN"
+}
+
+// Run implements Scheme.
+func (t TTFS) Run(net *snn.Net, input []float64, steps int, collectTimeline bool) snn.SimResult {
+	cfg := t.Run_
+	cfg.CollectTimeline = collectTimeline
+	r := t.Model.Infer(input, cfg)
+	out := snn.SimResult{
+		Pred:           r.Pred,
+		Steps:          r.Latency,
+		TotalSpikes:    r.TotalSpikes,
+		SpikesPerStage: r.Spikes,
+		Potentials:     r.Potentials,
+	}
+	for _, tp := range r.Timeline {
+		if steps > 0 && tp.Step > steps {
+			break
+		}
+		out.Timeline = append(out.Timeline, snn.TimedPred{Step: tp.Step, Pred: tp.Pred})
+	}
+	return out
+}

@@ -1,0 +1,327 @@
+// Package convert implements the DNN-to-SNN conversion pipeline the
+// paper builds on (Diehl 2015, Rueckauer 2017): BatchNorm folding into
+// the preceding weighted layer, data-based activation normalization with
+// a robust percentile, and emission of the converted spiking network
+// representation consumed by every coding scheme.
+package convert
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/dnn"
+	"repro/internal/snn"
+	"repro/internal/tensor"
+)
+
+// Options controls the conversion.
+type Options struct {
+	// Percentile is the activation percentile used as the robust
+	// per-layer maximum λ (the paper's references use 99.9).
+	Percentile float64
+	// Calibration is a [N, ...] batch of training inputs used to record
+	// activation statistics.
+	Calibration *tensor.Tensor
+}
+
+// Result carries the converted network together with the per-stage
+// normalization scales and recorded activations, which the kernel
+// optimizer (internal/kernel) reuses as ground truth z̄.
+type Result struct {
+	Net *snn.Net
+	// Lambda[i] is the activation scale λ of stage i's output.
+	Lambda []float64
+	// Activations[i] holds the normalized post-ReLU activation samples
+	// of stage i (values in [0,1]) recorded from the calibration batch;
+	// the output stage records normalized logits instead.
+	Activations [][]float64
+}
+
+// folded is an intermediate weighted layer with BN already folded in.
+type folded struct {
+	name    string
+	kind    snn.StageKind
+	geom    tensor.ConvGeom
+	outC    int
+	w, b    *tensor.Tensor
+	prePool *snn.PoolSpec
+	inLen   int
+	outLen  int
+	// index of the layer in the source network whose output is this
+	// stage's post-ReLU activation (ReLU for hidden, the layer itself
+	// for the output stage).
+	actLayer int
+}
+
+// Convert folds, normalizes, and emits the spiking network for a trained
+// DNN. The network must be built from Conv2D/Dense/BatchNorm/ReLU/
+// AvgPool/Flatten layers (the SNN-compatible subset); MaxPool is
+// rejected.
+func Convert(netw *dnn.Network, opts Options) (*Result, error) {
+	if opts.Percentile <= 0 {
+		opts.Percentile = 99.9
+	}
+	if opts.Calibration == nil {
+		return nil, fmt.Errorf("convert: calibration batch is required for data-based normalization")
+	}
+	stages, err := foldNetwork(netw)
+	if err != nil {
+		return nil, err
+	}
+
+	// Record activation statistics per stage from the calibration batch.
+	// actSamples[si] collects the raw (pre-normalization) activations.
+	actSamples := make([][]float64, len(stages))
+	actIndex := map[int]int{} // source layer index -> stage index
+	for si, st := range stages {
+		actIndex[st.actLayer] = si
+	}
+	netw.ForwardCollect(opts.Calibration, func(li int, l dnn.Layer, out *tensor.Tensor) {
+		if si, ok := actIndex[li]; ok {
+			actSamples[si] = append(actSamples[si], out.Data...)
+		}
+	})
+
+	// λ per stage: robust percentile of post-ReLU activations. The
+	// output stage has no ReLU; argmax classification is scale
+	// invariant, so it keeps λ = 1 (potentials are read directly).
+	lambda := make([]float64, len(stages))
+	for si := range stages {
+		if si == len(stages)-1 {
+			lambda[si] = 1
+			continue
+		}
+		lam := tensor.Percentile(actSamples[si], opts.Percentile)
+		if lam <= 1e-9 {
+			return nil, fmt.Errorf("convert: stage %s has near-zero activations (λ=%g); network untrained?", stages[si].name, lam)
+		}
+		lambda[si] = lam
+	}
+
+	// Scale weights: W'_l = W_l·λ_{l-1}/λ_l, b'_l = b_l/λ_l, with
+	// λ_0 = 1 because pixel inputs are already in [0,1].
+	out := &snn.Net{Name: netw.Name, InShape: append([]int(nil), netw.InShape...)}
+	out.InLen = 1
+	for _, d := range netw.InShape {
+		out.InLen *= d
+	}
+	prevLambda := 1.0
+	for si, st := range stages {
+		w := st.w.Clone()
+		b := st.b.Clone()
+		w.Scale(prevLambda / lambda[si])
+		b.Scale(1 / lambda[si])
+		out.Stages = append(out.Stages, snn.Stage{
+			Name:    st.name,
+			Kind:    st.kind,
+			PrePool: st.prePool,
+			Geom:    st.geom,
+			OutC:    st.outC,
+			W:       w,
+			B:       b,
+			InLen:   st.inLen,
+			OutLen:  st.outLen,
+			Output:  si == len(stages)-1,
+		})
+		prevLambda = lambda[si]
+	}
+	if err := out.Validate(); err != nil {
+		return nil, fmt.Errorf("convert: emitted network invalid: %w", err)
+	}
+
+	// Normalize the recorded activations so downstream consumers (the
+	// kernel optimizer) see the values the SNN actually transmits.
+	normAct := make([][]float64, len(stages))
+	for si, samples := range actSamples {
+		n := make([]float64, len(samples))
+		inv := 1 / lambda[si]
+		for i, v := range samples {
+			n[i] = v * inv
+		}
+		normAct[si] = n
+	}
+	return &Result{Net: out, Lambda: lambda, Activations: normAct}, nil
+}
+
+// foldNetwork walks the DNN layer list, folds BatchNorm layers into
+// their preceding weighted layer, attaches average pools to the
+// following weighted stage, and validates the layer vocabulary.
+func foldNetwork(netw *dnn.Network) ([]folded, error) {
+	var stages []folded
+	var pending *snn.PoolSpec
+	var pendingPoolLen int
+
+	// current per-sample input length flowing into the next stage
+	curShape := append([]int(nil), netw.InShape...)
+	curLen := 1
+	for _, d := range curShape {
+		curLen *= d
+	}
+
+	for li := 0; li < len(netw.Layers); li++ {
+		switch l := netw.Layers[li].(type) {
+		case *dnn.Conv2D:
+			w, b := l.Weight.W.Clone(), l.Bias.W.Clone()
+			geom := l.Geom
+			next := li
+			if bn, ok := nextBatchNorm(netw, li); ok {
+				foldConvBN(w, b, bn)
+				next++
+			}
+			act, ok := nextReLU(netw, next)
+			if !ok {
+				return nil, fmt.Errorf("convert: conv layer %s lacks a following ReLU", l.Name())
+			}
+			st := folded{
+				name: l.Name(), kind: snn.ConvStage, geom: geom, outC: l.OutC,
+				w: w, b: b, inLen: curLen, outLen: l.OutC * geom.OutH() * geom.OutW(),
+				actLayer: act,
+			}
+			if pending != nil {
+				st.prePool = pending
+				st.inLen = pendingPoolLen
+				pending = nil
+			}
+			stages = append(stages, st)
+			curLen = st.outLen
+			li = act
+
+		case *dnn.Dense:
+			w, b := l.Weight.W.Clone(), l.Bias.W.Clone()
+			next := li
+			if bn, ok := nextBatchNorm(netw, li); ok {
+				foldDenseBN(w, b, bn)
+				next++
+			}
+			st := folded{
+				name: l.Name(), kind: snn.DenseStage,
+				w: w, b: b, inLen: curLen, outLen: l.Out,
+			}
+			if pending != nil {
+				st.prePool = pending
+				st.inLen = pendingPoolLen
+				pending = nil
+			}
+			if act, ok := nextReLU(netw, next); ok {
+				st.actLayer = act
+				li = act
+			} else {
+				// output layer: activation is the layer itself (or its BN)
+				st.actLayer = next
+				li = next
+			}
+			stages = append(stages, st)
+			curLen = st.outLen
+
+		case *dnn.Pool2D:
+			if l.Kind != dnn.AvgPool {
+				return nil, fmt.Errorf("convert: %s: max pooling is not SNN-convertible; train with average pooling", l.Name())
+			}
+			if pending != nil {
+				return nil, fmt.Errorf("convert: consecutive pools before %s are unsupported", l.Name())
+			}
+			g := l.Geom
+			pending = &snn.PoolSpec{C: g.InC, InH: g.InH, InW: g.InW, K: g.KH}
+			pendingPoolLen = curLen
+			curLen = g.InC * g.OutH() * g.OutW()
+
+		case *dnn.Flatten:
+			// CHW layout is already flat; nothing to do.
+
+		case *dnn.Dropout:
+			// inverted dropout is the identity at inference
+
+		case *dnn.Identity:
+			// explicit no-op
+
+		case *dnn.BatchNorm:
+			return nil, fmt.Errorf("convert: BatchNorm %s is not preceded by a weighted layer", l.Name())
+
+		case *dnn.ReLU:
+			return nil, fmt.Errorf("convert: ReLU %s is not preceded by a weighted layer", l.Name())
+
+		default:
+			return nil, fmt.Errorf("convert: unsupported layer type %T (%s)", l, l.Name())
+		}
+	}
+	if pending != nil {
+		return nil, fmt.Errorf("convert: trailing pool with no following weighted layer")
+	}
+	if len(stages) == 0 {
+		return nil, fmt.Errorf("convert: network has no weighted layers")
+	}
+	return stages, nil
+}
+
+// nextBatchNorm returns the BatchNorm immediately following layer li.
+func nextBatchNorm(netw *dnn.Network, li int) (*dnn.BatchNorm, bool) {
+	if li+1 < len(netw.Layers) {
+		if bn, ok := netw.Layers[li+1].(*dnn.BatchNorm); ok {
+			return bn, true
+		}
+	}
+	return nil, false
+}
+
+// nextReLU returns the index of the ReLU at position li+1 (if any).
+func nextReLU(netw *dnn.Network, li int) (int, bool) {
+	if li+1 < len(netw.Layers) {
+		if _, ok := netw.Layers[li+1].(*dnn.ReLU); ok {
+			return li + 1, true
+		}
+	}
+	return 0, false
+}
+
+// foldConvBN folds y = gamma·(conv(x)−mean)/sqrt(var+eps)+beta into the
+// convolution weights: per output channel, W *= s and b = (b−mean)·s+beta
+// with s = gamma/sqrt(var+eps).
+func foldConvBN(w, b *tensor.Tensor, bn *dnn.BatchNorm) {
+	outC := w.Shape[0]
+	per := w.Len() / outC
+	for c := 0; c < outC; c++ {
+		s := bn.Gamma.W.Data[c] / math.Sqrt(bn.RunVar.Data[c]+bn.Eps)
+		row := w.Data[c*per : (c+1)*per]
+		for i := range row {
+			row[i] *= s
+		}
+		b.Data[c] = (b.Data[c]-bn.RunMean.Data[c])*s + bn.Beta.W.Data[c]
+	}
+}
+
+// foldDenseBN is foldConvBN for dense weights of shape [In, Out]
+// (scaling acts on columns).
+func foldDenseBN(w, b *tensor.Tensor, bn *dnn.BatchNorm) {
+	in, out := w.Shape[0], w.Shape[1]
+	for j := 0; j < out; j++ {
+		s := bn.Gamma.W.Data[j] / math.Sqrt(bn.RunVar.Data[j]+bn.Eps)
+		for i := 0; i < in; i++ {
+			w.Data[i*out+j] *= s
+		}
+		b.Data[j] = (b.Data[j]-bn.RunMean.Data[j])*s + bn.Beta.W.Data[j]
+	}
+}
+
+// ReferenceForward runs the converted network as a plain ANN on a single
+// input sample (flattened [C,H,W]), applying ReLU between stages exactly
+// as the spiking semantics do (negative potentials never fire). It is
+// the numerical ground truth the spiking simulators are tested against:
+// clipped at 1 because normalized activations above λ saturate the
+// coding range.
+func ReferenceForward(n *snn.Net, input []float64, clip bool) []float64 {
+	x := input
+	for i := range n.Stages {
+		st := &n.Stages[i]
+		x = st.Forward(x)
+		if !st.Output {
+			for j, v := range x {
+				if v < 0 {
+					x[j] = 0
+				} else if clip && v > 1 {
+					x[j] = 1
+				}
+			}
+		}
+	}
+	return x
+}

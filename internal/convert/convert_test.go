@@ -1,0 +1,248 @@
+package convert
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/dnn"
+	"repro/internal/snn"
+	"repro/internal/tensor"
+)
+
+// trainedLeNet returns a small trained network on MNIST-like data plus a
+// calibration batch and a test set, shared by conversion tests.
+func trainedLeNet(t *testing.T) (*dnn.Network, *tensor.Tensor, *tensor.Tensor, []int) {
+	t.Helper()
+	rng := tensor.NewRNG(1)
+	cfg := dnn.ArchConfig{InC: 1, InH: 16, InW: 16, Classes: 10, FCWidth: 32, BatchNorm: true, Pool: dnn.AvgPool}
+	net := dnn.BuildLeNet(cfg, rng)
+
+	// compact synthetic task: blobs per class rendered directly here to
+	// keep this package independent of internal/dataset
+	n := 300
+	x := tensor.New(n, 1, 16, 16)
+	labels := make([]int, n)
+	r := tensor.NewRNG(2)
+	for i := 0; i < n; i++ {
+		cls := i % 10
+		labels[i] = cls
+		cx, cy := 2+(cls%5)*3, 2+(cls/5)*8
+		for dy := 0; dy < 4; dy++ {
+			for dx := 0; dx < 4; dx++ {
+				x.Data[i*256+(cy+dy)*16+cx+dx] = tensor.Clamp(0.8+0.2*r.Norm(), 0, 1)
+			}
+		}
+		for j := 0; j < 256; j++ {
+			x.Data[i*256+j] = tensor.Clamp(x.Data[i*256+j]+0.05*r.Norm(), 0, 1)
+		}
+	}
+	dnn.Train(net, x, labels, dnn.TrainConfig{
+		Epochs: 3, BatchSize: 25, Optimizer: dnn.NewAdam(2e-3, 0), RNG: tensor.NewRNG(3)})
+	return net, x.Reshape(n, 1, 16, 16), x, labels
+}
+
+func TestFoldConvBNMatchesComposition(t *testing.T) {
+	rng := tensor.NewRNG(4)
+	g := tensor.ConvGeom{InC: 2, InH: 6, InW: 6, KH: 3, KW: 3, Stride: 1, Pad: 1}
+	conv := dnn.NewConv2D("c", 3, g, rng)
+	bn := dnn.NewBatchNorm("c.bn", 3, true)
+	// non-trivial BN state
+	rng.FillUniform(bn.Gamma.W, 0.5, 1.5)
+	rng.FillUniform(bn.Beta.W, -0.3, 0.3)
+	rng.FillUniform(bn.RunMean, -0.2, 0.2)
+	rng.FillUniform(bn.RunVar, 0.5, 2)
+
+	x := tensor.New(2, 2, 6, 6)
+	rng.FillNormal(x, 0, 1)
+	want := bn.Forward(conv.Forward(x, false), false)
+
+	w, b := conv.Weight.W.Clone(), conv.Bias.W.Clone()
+	foldConvBN(w, b, bn)
+	foldedConv := dnn.NewConv2D("folded", 3, g, rng)
+	copy(foldedConv.Weight.W.Data, w.Data)
+	copy(foldedConv.Bias.W.Data, b.Data)
+	got := foldedConv.Forward(x, false)
+	if !got.AllClose(want, 1e-9) {
+		t.Fatal("folded conv+BN disagrees with composition")
+	}
+}
+
+func TestFoldDenseBNMatchesComposition(t *testing.T) {
+	rng := tensor.NewRNG(5)
+	d := dnn.NewDense("fc", 6, 4, rng)
+	bn := dnn.NewBatchNorm("fc.bn", 4, false)
+	rng.FillUniform(bn.Gamma.W, 0.5, 1.5)
+	rng.FillUniform(bn.Beta.W, -0.3, 0.3)
+	rng.FillUniform(bn.RunMean, -0.2, 0.2)
+	rng.FillUniform(bn.RunVar, 0.5, 2)
+
+	x := tensor.New(3, 6)
+	rng.FillNormal(x, 0, 1)
+	want := bn.Forward(d.Forward(x, false), false)
+
+	w, b := d.Weight.W.Clone(), d.Bias.W.Clone()
+	foldDenseBN(w, b, bn)
+	folded := dnn.NewDense("folded", 6, 4, rng)
+	copy(folded.Weight.W.Data, w.Data)
+	copy(folded.Bias.W.Data, b.Data)
+	if !folded.Forward(x, false).AllClose(want, 1e-9) {
+		t.Fatal("folded dense+BN disagrees with composition")
+	}
+}
+
+func TestConvertEmitsValidNet(t *testing.T) {
+	net, calib, _, _ := trainedLeNet(t)
+	res, err := Convert(net, Options{Calibration: calib.Reshape(300, 1, 16, 16), Percentile: 99.9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Net.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// LeNet: Conv1, Conv2, FC3, FC4 -> 4 stages, last Output
+	if len(res.Net.Stages) != 4 {
+		t.Fatalf("stage count = %d, want 4", len(res.Net.Stages))
+	}
+	if !res.Net.Stages[3].Output {
+		t.Fatal("last stage must be Output")
+	}
+	// Conv2 and FC3 carry the pools
+	if res.Net.Stages[1].PrePool == nil || res.Net.Stages[2].PrePool == nil {
+		t.Fatal("pools not attached to following stages")
+	}
+	if res.Net.Stages[0].PrePool != nil {
+		t.Fatal("first conv must not have a pool")
+	}
+}
+
+func TestNormalizedActivationsBounded(t *testing.T) {
+	net, calib, _, _ := trainedLeNet(t)
+	res, err := Convert(net, Options{Calibration: calib.Reshape(300, 1, 16, 16), Percentile: 99.9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for si, act := range res.Activations {
+		if si == len(res.Activations)-1 {
+			continue // logits are unbounded
+		}
+		over := 0
+		for _, v := range act {
+			if v < 0 {
+				t.Fatalf("stage %d has negative post-ReLU activation %v", si, v)
+			}
+			if v > 1 {
+				over++
+			}
+		}
+		// only the tail above the 99.9th percentile may exceed 1
+		if frac := float64(over) / float64(len(act)); frac > 0.005 {
+			t.Fatalf("stage %d has %.3f%% activations above 1", si, 100*frac)
+		}
+	}
+}
+
+func TestConversionPreservesPredictions(t *testing.T) {
+	net, calib, x, labels := trainedLeNet(t)
+	res, err := Convert(net, Options{Calibration: calib.Reshape(300, 1, 16, 16), Percentile: 99.9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sampleLen := 256
+	agree := 0
+	n := 100
+	for i := 0; i < n; i++ {
+		in := x.Data[i*sampleLen : (i+1)*sampleLen]
+		ref := ReferenceForward(res.Net, in, true)
+		refT := tensor.FromSlice(ref, 1, len(ref))
+		dnnPred := net.Predict(tensor.FromSlice(in, 1, 1, 16, 16))[0]
+		if dnn.ArgMaxRows(refT)[0] == dnnPred {
+			agree++
+		}
+	}
+	if frac := float64(agree) / float64(n); frac < 0.9 {
+		t.Fatalf("converted network agrees with DNN on only %.0f%% of samples", 100*frac)
+	}
+	_ = labels
+}
+
+func TestConvertRejectsMaxPool(t *testing.T) {
+	rng := tensor.NewRNG(6)
+	cfg := dnn.ArchConfig{InC: 1, InH: 8, InW: 8, Classes: 4, FCWidth: 8, Pool: dnn.MaxPool}
+	net := dnn.BuildLeNet(cfg, rng)
+	calib := tensor.New(2, 1, 8, 8)
+	if _, err := Convert(net, Options{Calibration: calib}); err == nil {
+		t.Fatal("Convert must reject max pooling")
+	}
+}
+
+func TestConvertRejectsMissingCalibration(t *testing.T) {
+	rng := tensor.NewRNG(7)
+	net := dnn.NewNetwork("x", 4).Add(dnn.NewDense("fc", 4, 2, rng))
+	if _, err := Convert(net, Options{}); err == nil {
+		t.Fatal("Convert must require calibration data")
+	}
+}
+
+func TestConvertRejectsConvWithoutReLU(t *testing.T) {
+	rng := tensor.NewRNG(8)
+	g := tensor.ConvGeom{InC: 1, InH: 4, InW: 4, KH: 3, KW: 3, Stride: 1, Pad: 1}
+	net := dnn.NewNetwork("x", 1, 4, 4).Add(
+		dnn.NewConv2D("c", 2, g, rng),
+		dnn.NewFlatten("f"),
+		dnn.NewDense("fc", 32, 2, rng),
+	)
+	calib := tensor.New(2, 1, 4, 4)
+	if _, err := Convert(net, Options{Calibration: calib}); err == nil {
+		t.Fatal("Convert must reject conv without ReLU")
+	}
+}
+
+func TestUntrainedNetworkFailsNormalization(t *testing.T) {
+	rng := tensor.NewRNG(9)
+	g := tensor.ConvGeom{InC: 1, InH: 4, InW: 4, KH: 3, KW: 3, Stride: 1, Pad: 1}
+	conv := dnn.NewConv2D("c", 2, g, rng)
+	conv.Weight.W.Zero() // dead layer -> zero activations
+	net := dnn.NewNetwork("x", 1, 4, 4).Add(
+		conv, dnn.NewReLU("c.relu"), dnn.NewFlatten("f"), dnn.NewDense("fc", 32, 2, rng))
+	calib := tensor.New(2, 1, 4, 4)
+	if _, err := Convert(net, Options{Calibration: calib}); err == nil {
+		t.Fatal("Convert must fail on dead activations")
+	}
+}
+
+func TestStageScatterMatchesForward(t *testing.T) {
+	// Event-driven Scatter summed over all inputs must equal Forward
+	// minus bias, for conv with pooling and for dense.
+	net, calib, x, _ := trainedLeNet(t)
+	res, err := Convert(net, Options{Calibration: calib.Reshape(300, 1, 16, 16)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := x.Data[0:256]
+	cur := in
+	for si := range res.Net.Stages {
+		st := &res.Net.Stages[si]
+		want := st.Forward(cur)
+		got := make([]float64, st.OutLen)
+		st.AddBias(got)
+		for i, v := range cur {
+			if v != 0 {
+				st.Scatter(i, v, got)
+			}
+		}
+		for j := range want {
+			if math.Abs(want[j]-got[j]) > 1e-9 {
+				t.Fatalf("stage %s: Scatter sum %v != Forward %v at %d", st.Name, got[j], want[j], j)
+			}
+		}
+		// propagate through ReLU for next stage input
+		next := make([]float64, len(want))
+		for j, v := range want {
+			if v > 0 {
+				next[j] = v
+			}
+		}
+		cur = next
+	}
+	_ = snn.ConvStage
+}

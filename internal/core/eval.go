@@ -1,0 +1,200 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"sync"
+
+	"repro/internal/metrics"
+	"repro/internal/tensor"
+)
+
+// CurvePoint is one point of an accuracy-versus-time-step inference
+// curve (paper Fig. 6).
+type CurvePoint struct {
+	Step     int
+	Accuracy float64
+}
+
+// StageSpikeStats aggregates the spike timing of one fire boundary
+// across an evaluation set (paper Fig. 5).
+type StageSpikeStats struct {
+	Name       string
+	Times      []int // global spike times of every spike observed
+	FirstSpike int   // earliest global spike time (-1 if silent)
+	Count      int
+}
+
+// Histogram bins the stage's spike times into nbins bins over
+// [lo, hi] and returns counts and edges.
+func (s *StageSpikeStats) Histogram(lo, hi, nbins int) (counts []int, edges []float64) {
+	vals := make([]float64, len(s.Times))
+	for i, t := range s.Times {
+		vals[i] = float64(t)
+	}
+	if len(vals) == 0 {
+		return make([]int, nbins), nil
+	}
+	return tensor.Histogram(vals, float64(lo), float64(hi), nbins)
+}
+
+// EvalResult aggregates an evaluation run over a labelled set.
+type EvalResult struct {
+	Accuracy       float64
+	Latency        int
+	AvgSpikes      float64 // mean spikes per sample, all boundaries
+	SpikesPerStage []float64
+	Curve          []CurvePoint
+	StageStats     []StageSpikeStats
+	// Confusion breaks the accuracy down per class.
+	Confusion *metrics.Confusion
+	N         int
+}
+
+// EvalOptions controls Evaluate.
+type EvalOptions struct {
+	Run RunConfig
+	// CurveStride samples the accuracy curve every CurveStride global
+	// steps (0 disables the curve).
+	CurveStride int
+	// CollectStats enables the per-stage spike-time statistics.
+	CollectStats bool
+	// Workers runs samples concurrently (Infer only reads the model,
+	// so a Model is safe to share). 0 or 1 = sequential.
+	Workers int
+}
+
+// Evaluate runs the model over a batch X of shape [N, ...] with labels,
+// aggregating accuracy, spikes, latency, the inference curve, and
+// per-stage spike statistics.
+func Evaluate(m *Model, x *tensor.Tensor, labels []int, opts EvalOptions) (EvalResult, error) {
+	n := x.Shape[0]
+	if n != len(labels) {
+		return EvalResult{}, fmt.Errorf("core: %d samples with %d labels", n, len(labels))
+	}
+	sampleLen := x.Len() / n
+	if sampleLen != m.Net.InLen {
+		return EvalResult{}, fmt.Errorf("core: sample length %d, model expects %d", sampleLen, m.Net.InLen)
+	}
+	run := opts.Run
+	run.CollectTimeline = run.CollectTimeline || opts.CurveStride > 0
+	run.CollectSpikeTimes = run.CollectSpikeTimes || opts.CollectStats
+
+	nB := len(m.Net.Stages) // fire boundaries
+	res := EvalResult{N: n, SpikesPerStage: make([]float64, nB)}
+	if opts.CollectStats {
+		res.StageStats = make([]StageSpikeStats, nB)
+		for i := range res.StageStats {
+			res.StageStats[i].FirstSpike = -1
+			if i == 0 {
+				res.StageStats[i].Name = "Input"
+			} else {
+				res.StageStats[i].Name = m.Net.Stages[i-1].Name
+			}
+		}
+	}
+
+	classes := m.Net.Stages[len(m.Net.Stages)-1].OutLen
+	res.Confusion = metrics.NewConfusion(classes)
+
+	// run all inferences (optionally across workers; Infer only reads
+	// the shared model), then aggregate deterministically in order
+	results := make([]Result, n)
+	if opts.Workers > 1 {
+		var wg sync.WaitGroup
+		next := make(chan int, n)
+		for i := 0; i < n; i++ {
+			next <- i
+		}
+		close(next)
+		for w := 0; w < opts.Workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range next {
+					results[i] = m.Infer(x.Data[i*sampleLen:(i+1)*sampleLen], run)
+				}
+			}()
+		}
+		wg.Wait()
+	} else {
+		for i := 0; i < n; i++ {
+			results[i] = m.Infer(x.Data[i*sampleLen:(i+1)*sampleLen], run)
+		}
+	}
+
+	correct := 0
+	totalSpikes := 0.0
+	var timelines [][]TimedPred
+	for i := 0; i < n; i++ {
+		r := results[i]
+		res.Latency = r.Latency
+		res.Confusion.Add(labels[i], r.Pred)
+		if r.Pred == labels[i] {
+			correct++
+		}
+		totalSpikes += float64(r.TotalSpikes)
+		for b, s := range r.Spikes {
+			res.SpikesPerStage[b] += float64(s)
+		}
+		if opts.CollectStats {
+			for b, ts := range r.SpikeTimes {
+				st := &res.StageStats[b]
+				st.Times = append(st.Times, ts...)
+				st.Count += len(ts)
+				for _, t := range ts {
+					if st.FirstSpike < 0 || t < st.FirstSpike {
+						st.FirstSpike = t
+					}
+				}
+			}
+		}
+		if opts.CurveStride > 0 {
+			timelines = append(timelines, r.Timeline)
+		}
+	}
+	res.Accuracy = float64(correct) / float64(n)
+	res.AvgSpikes = totalSpikes / float64(n)
+	for b := range res.SpikesPerStage {
+		res.SpikesPerStage[b] /= float64(n)
+	}
+
+	if opts.CurveStride > 0 {
+		for step := 0; step <= res.Latency; step += opts.CurveStride {
+			hit := 0
+			for i, tl := range timelines {
+				if predAt(tl, step) == labels[i] {
+					hit++
+				}
+			}
+			res.Curve = append(res.Curve, CurvePoint{Step: step, Accuracy: float64(hit) / float64(n)})
+		}
+	}
+	return res, nil
+}
+
+func predAt(tl []TimedPred, step int) int {
+	pred := -1
+	for _, tp := range tl {
+		if tp.Step > step {
+			break
+		}
+		pred = tp.Pred
+	}
+	return pred
+}
+
+// MeanAbsDiff is a helper reporting the mean absolute difference between
+// the model's final output potentials and a reference logit vector; the
+// equivalence tests use it to bound TTFS transmission error.
+func MeanAbsDiff(a, b []float64) float64 {
+	if len(a) != len(b) {
+		panic("core: MeanAbsDiff length mismatch")
+	}
+	s := 0.0
+	for i := range a {
+		s += math.Abs(a[i] - b[i])
+	}
+	return s / float64(len(a))
+}

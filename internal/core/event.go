@@ -1,0 +1,222 @@
+package core
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+
+	"repro/internal/kernel"
+	"repro/internal/snn"
+)
+
+// InferEvent runs the same pipeline as Infer with an event-driven
+// engine: instead of sweeping every neuron against the threshold at
+// every time step (O(T·N) per layer), it keeps a priority queue of
+// analytically computed candidate fire times that is re-validated only
+// for neurons an arrival actually touched. Semantics are identical to
+// the clocked engine — including arrival-before-threshold ordering
+// within a step and non-guaranteed integration under early firing — and
+// the equivalence is enforced by property tests and VerifyEnginesEvent.
+//
+// The event engine wins when spikes are sparse relative to T·N (the
+// regime TTFS coding creates by construction); the clocked engine wins
+// on dense traffic. BenchmarkEngineEvent quantifies the trade.
+func (m *Model) InferEvent(input []float64, cfg RunConfig) Result {
+	if len(input) != m.Net.InLen {
+		panic(fmt.Sprintf("core: input length %d, want %d", len(input), m.Net.InLen))
+	}
+	adv := cfg.advance(m.T)
+	nStages := len(m.Net.Stages)
+	res := Result{
+		Spikes:  make([]int, nStages),
+		Latency: (nStages-1)*adv + m.T,
+	}
+	if cfg.CollectSpikeTimes {
+		res.SpikeTimes = make([][]int, nStages)
+	}
+
+	times := make([]int, m.Net.InLen)
+	fired := 0
+	for i, u := range input {
+		if t, ok := m.K[0].Encode(u); ok {
+			times[i] = t
+			fired++
+		} else {
+			times[i] = -1
+		}
+	}
+	res.Spikes[0] = fired
+	if cfg.CollectSpikeTimes {
+		res.SpikeTimes[0] = collectGlobal(times, 0)
+	}
+
+	for si := range m.Net.Stages {
+		st := &m.Net.Stages[si]
+		inK := m.K[si]
+		if st.Output {
+			m.runOutputStage(st, inK, times, si*adv, adv, cfg, &res)
+			return res
+		}
+		outK := m.K[si+1]
+		times = m.runHiddenStageEvent(st, inK, outK, times, adv, &res, si, cfg)
+	}
+	return res
+}
+
+// fireEvent is a heap entry: neuron j predicted to fire at step.
+type fireEvent struct {
+	step    int
+	neuron  int
+	version uint32
+}
+
+type fireHeap []fireEvent
+
+func (h fireHeap) Len() int            { return len(h) }
+func (h fireHeap) Less(i, j int) bool  { return h[i].step < h[j].step }
+func (h fireHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *fireHeap) Push(x interface{}) { *h = append(*h, x.(fireEvent)) }
+func (h *fireHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// candidate returns the earliest fire step ≥ from at which potential u
+// crosses the falling threshold, or T (= never) when it cannot within
+// the window. It is the analytic inverse of θ(f) = θ₀·ε(f).
+func candidate(k kernel.Kernel, u float64, from, t int) int {
+	if u <= 0 {
+		return t
+	}
+	raw := math.Ceil(-k.Tau*math.Log(u/Theta0E) + k.Td)
+	c := from
+	if raw > float64(from) {
+		if raw >= float64(t) {
+			return t
+		}
+		c = int(raw)
+	}
+	return c
+}
+
+// Theta0E mirrors kernel.Theta0 for the candidate computation.
+const Theta0E = kernel.Theta0
+
+// runHiddenStageEvent is the event-driven counterpart of runHiddenStage.
+func (m *Model) runHiddenStageEvent(st *snn.Stage, inK, outK kernel.Kernel, inTimes []int, adv int, res *Result, si int, cfg RunConfig) []int {
+	pot := make([]float64, st.OutLen)
+	st.AddBias(pot)
+	buckets := bucketize(inTimes, m.T)
+	dec := decodeTable(inK, m.T)
+
+	// guaranteed integration
+	for off := 0; off < adv && off < m.T; off++ {
+		for _, idx := range buckets[off] {
+			st.Scatter(idx, dec[off], pot)
+		}
+	}
+
+	outTimes := make([]int, st.OutLen)
+	version := make([]uint32, st.OutLen)
+	for i := range outTimes {
+		outTimes[i] = -1
+	}
+	firedCount := 0
+
+	// seed candidates from the guaranteed-phase potentials
+	h := make(fireHeap, 0, st.OutLen)
+	for j, u := range pot {
+		if c := candidate(outK, u, 0, m.T); c < m.T {
+			h = append(h, fireEvent{step: c, neuron: j})
+		}
+	}
+	heap.Init(&h)
+
+	fireUpTo := func(limit int) {
+		// pop and commit every valid candidate strictly before limit
+		for len(h) > 0 && h[0].step < limit {
+			ev := heap.Pop(&h).(fireEvent)
+			j := ev.neuron
+			if outTimes[j] >= 0 || ev.version != version[j] {
+				continue // already fired or stale
+			}
+			outTimes[j] = ev.step
+			firedCount++
+		}
+	}
+
+	// arrivals during the fire phase land at local steps 0..T-1-adv
+	lastArrival := m.T - adv
+	for f := 0; f < lastArrival; f++ {
+		inOff := adv + f
+		if len(buckets[inOff]) == 0 {
+			continue
+		}
+		// all fires strictly before this step are settled
+		fireUpTo(f)
+		touched := map[int]struct{}{}
+		for _, idx := range buckets[inOff] {
+			st.ScatterVisit(idx, dec[inOff], func(j int, contrib float64) {
+				pot[j] += contrib
+				touched[j] = struct{}{}
+			})
+		}
+		// arrivals precede the threshold check at step f: recompute
+		// candidates (from f) for every touched, unfired neuron
+		for j := range touched {
+			if outTimes[j] >= 0 {
+				continue
+			}
+			version[j]++
+			if c := candidate(outK, pot[j], f, m.T); c < m.T {
+				heap.Push(&h, fireEvent{step: c, neuron: j, version: version[j]})
+			}
+		}
+	}
+	fireUpTo(m.T)
+
+	res.Spikes[si+1] = firedCount
+	res.TotalSpikes = 0
+	for _, s := range res.Spikes {
+		res.TotalSpikes += s
+	}
+	if cfg.CollectSpikeTimes {
+		res.SpikeTimes[si+1] = collectGlobal(outTimes, (si+1)*adv)
+	}
+	return outTimes
+}
+
+// VerifyEnginesEvent checks the clocked and event-driven engines agree
+// on one input under the given pipeline configuration.
+func (m *Model) VerifyEnginesEvent(input []float64, cfg RunConfig) error {
+	cfg.CollectSpikeTimes = true
+	clocked := m.Infer(input, cfg)
+	event := m.InferEvent(input, cfg)
+	if clocked.Pred != event.Pred {
+		return fmt.Errorf("core: engines disagree on prediction: clocked %d, event %d", clocked.Pred, event.Pred)
+	}
+	if clocked.TotalSpikes != event.TotalSpikes {
+		return fmt.Errorf("core: engines disagree on spikes: clocked %d, event %d", clocked.TotalSpikes, event.TotalSpikes)
+	}
+	for b := range clocked.SpikeTimes {
+		a, e := clocked.SpikeTimes[b], event.SpikeTimes[b]
+		if len(a) != len(e) {
+			return fmt.Errorf("core: boundary %d spike counts differ: %d vs %d", b, len(a), len(e))
+		}
+		for i := range a {
+			if a[i] != e[i] {
+				return fmt.Errorf("core: boundary %d spike %d differs: %d vs %d", b, i, a[i], e[i])
+			}
+		}
+	}
+	for j := range clocked.Potentials {
+		d := clocked.Potentials[j] - event.Potentials[j]
+		if d > 1e-9 || d < -1e-9 {
+			return fmt.Errorf("core: output potential %d differs: %v vs %v", j, clocked.Potentials[j], event.Potentials[j])
+		}
+	}
+	return nil
+}

@@ -1,0 +1,92 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+)
+
+// PhaseWindow is one layer's integration or fire phase in global time.
+type PhaseWindow struct {
+	Layer      int // 1-based layer index (weight stages)
+	Start, End int // [Start, End) in global steps
+}
+
+// Schedule is the pipeline timing of Fig. 3: per layer, when it
+// integrates and when it fires, for the baseline (advance = T) or
+// early-firing (advance = EFStart) pipeline.
+type Schedule struct {
+	Layers      int
+	T           int
+	Advance     int
+	Integration []PhaseWindow
+	Fire        []PhaseWindow
+	Latency     int
+}
+
+// BuildSchedule computes the paper's Fig. 3 timing for a model under a
+// pipeline configuration. Layer k's integration window opens when its
+// input starts firing (global step (k−1)·advance) and spans T steps;
+// its own fire window opens advance steps later. The output layer
+// integrates but never fires.
+func (m *Model) BuildSchedule(cfg RunConfig) Schedule {
+	adv := cfg.advance(m.T)
+	L := len(m.Net.Stages)
+	s := Schedule{Layers: L, T: m.T, Advance: adv, Latency: (L-1)*adv + m.T}
+	for k := 1; k <= L; k++ {
+		intStart := (k - 1) * adv
+		s.Integration = append(s.Integration, PhaseWindow{Layer: k, Start: intStart, End: intStart + m.T})
+		if k < L {
+			s.Fire = append(s.Fire, PhaseWindow{Layer: k, Start: intStart + adv, End: intStart + adv + m.T})
+		}
+	}
+	return s
+}
+
+// Overlap reports how many steps of layer k's fire phase overlap its
+// own integration phase (0 in the baseline pipeline; T−advance with
+// early firing — the non-guaranteed integration region of §III-C).
+func (s Schedule) Overlap() int {
+	o := s.T - s.Advance
+	if o < 0 {
+		return 0
+	}
+	return o
+}
+
+// Render draws the schedule as a text Gantt chart in the style of the
+// paper's Fig. 3, one row per layer ('i' integration, 'f' fire, 'x'
+// overlapped integration+fire).
+func (s Schedule) Render(colsPerStep float64) string {
+	if colsPerStep <= 0 {
+		colsPerStep = 0.5
+	}
+	width := int(float64(s.Latency)*colsPerStep) + 1
+	var b strings.Builder
+	fmt.Fprintf(&b, "pipeline: %d layers, T=%d, advance=%d, latency=%d (overlap %d)\n",
+		s.Layers, s.T, s.Advance, s.Latency, s.Overlap())
+	for k := 1; k <= s.Layers; k++ {
+		row := make([]byte, width)
+		for i := range row {
+			row[i] = '.'
+		}
+		mark := func(w PhaseWindow, ch byte) {
+			for t := w.Start; t < w.End; t++ {
+				c := int(float64(t) * colsPerStep)
+				if c >= width {
+					break
+				}
+				if row[c] != '.' && row[c] != ch {
+					row[c] = 'x'
+				} else {
+					row[c] = ch
+				}
+			}
+		}
+		mark(s.Integration[k-1], 'i')
+		if k < s.Layers {
+			mark(s.Fire[k-1], 'f')
+		}
+		fmt.Fprintf(&b, "L%-3d %s\n", k, row)
+	}
+	return b.String()
+}

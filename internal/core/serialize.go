@@ -1,0 +1,115 @@
+package core
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+
+	"repro/internal/kernel"
+	"repro/internal/snn"
+	"repro/internal/tensor"
+)
+
+// The wire format is a flat gob structure independent of the in-memory
+// types, so the on-disk representation stays stable if internals move.
+
+type wireStage struct {
+	Name    string
+	Kind    int
+	HasPool bool
+	PoolC   int
+	PoolH   int
+	PoolW   int
+	PoolK   int
+	Geom    tensor.ConvGeom
+	OutC    int
+	WShape  []int
+	W       []float64
+	B       []float64
+	InLen   int
+	OutLen  int
+	Output  bool
+}
+
+type wireModel struct {
+	Version int
+	Name    string
+	InShape []int
+	InLen   int
+	T       int
+	Tau     []float64
+	Td      []float64
+	Stages  []wireStage
+}
+
+// wireVersion guards against loading incompatible files.
+const wireVersion = 1
+
+// Save serializes the converted network and its kernels. The format is
+// self-contained: a loaded model runs inference without the original
+// DNN, datasets, or conversion statistics.
+func (m *Model) Save(w io.Writer) error {
+	wm := wireModel{
+		Version: wireVersion,
+		Name:    m.Net.Name,
+		InShape: m.Net.InShape,
+		InLen:   m.Net.InLen,
+		T:       m.T,
+	}
+	for _, k := range m.K {
+		wm.Tau = append(wm.Tau, k.Tau)
+		wm.Td = append(wm.Td, k.Td)
+	}
+	for i := range m.Net.Stages {
+		st := &m.Net.Stages[i]
+		ws := wireStage{
+			Name: st.Name, Kind: int(st.Kind), Geom: st.Geom, OutC: st.OutC,
+			WShape: st.W.Shape, W: st.W.Data, B: st.B.Data,
+			InLen: st.InLen, OutLen: st.OutLen, Output: st.Output,
+		}
+		if st.PrePool != nil {
+			ws.HasPool = true
+			ws.PoolC, ws.PoolH, ws.PoolW, ws.PoolK = st.PrePool.C, st.PrePool.InH, st.PrePool.InW, st.PrePool.K
+		}
+		wm.Stages = append(wm.Stages, ws)
+	}
+	return gob.NewEncoder(w).Encode(wm)
+}
+
+// LoadModel deserializes a model written by Save and validates it.
+func LoadModel(r io.Reader) (*Model, error) {
+	var wm wireModel
+	if err := gob.NewDecoder(r).Decode(&wm); err != nil {
+		return nil, fmt.Errorf("core: decoding model: %w", err)
+	}
+	if wm.Version != wireVersion {
+		return nil, fmt.Errorf("core: model file version %d, this build reads %d", wm.Version, wireVersion)
+	}
+	if len(wm.Tau) != len(wm.Stages) || len(wm.Td) != len(wm.Stages) {
+		return nil, fmt.Errorf("core: %d kernels for %d stages in model file", len(wm.Tau), len(wm.Stages))
+	}
+	net := &snn.Net{Name: wm.Name, InShape: wm.InShape, InLen: wm.InLen}
+	for _, ws := range wm.Stages {
+		st := snn.Stage{
+			Name: ws.Name, Kind: snn.StageKind(ws.Kind), Geom: ws.Geom, OutC: ws.OutC,
+			W: tensor.FromSlice(ws.W, ws.WShape...), B: tensor.FromSlice(ws.B, len(ws.B)),
+			InLen: ws.InLen, OutLen: ws.OutLen, Output: ws.Output,
+		}
+		if ws.HasPool {
+			st.PrePool = &snn.PoolSpec{C: ws.PoolC, InH: ws.PoolH, InW: ws.PoolW, K: ws.PoolK}
+		}
+		net.Stages = append(net.Stages, st)
+	}
+	m := &Model{Net: net, T: wm.T}
+	for i := range wm.Tau {
+		k, err := kernel.New(wm.Tau[i], wm.Td[i], wm.T)
+		if err != nil {
+			return nil, fmt.Errorf("core: kernel %d in model file: %w", i, err)
+		}
+		m.K = append(m.K, k)
+	}
+	if err := m.Validate(); err != nil {
+		return nil, fmt.Errorf("core: loaded model invalid: %w", err)
+	}
+	return m, nil
+}

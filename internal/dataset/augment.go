@@ -1,0 +1,64 @@
+package dataset
+
+import "repro/internal/tensor"
+
+// Augmenter mutates one flattened CHW sample in place; the trainer
+// applies it to each sample after copying it into the batch, so the
+// stored dataset stays pristine.
+type Augmenter func(sample []float64, rng *tensor.RNG)
+
+// FlipShift returns the standard light image augmentation for CIFAR-
+// style training: random horizontal flip plus a uniform shift of up to
+// maxShift pixels in each direction (zero padding).
+func FlipShift(c, h, w, maxShift int) Augmenter {
+	return func(sample []float64, rng *tensor.RNG) {
+		if len(sample) != c*h*w {
+			panic("dataset: augmenter sample length mismatch")
+		}
+		if rng.Intn(2) == 0 {
+			flipH(sample, c, h, w)
+		}
+		if maxShift > 0 {
+			dx := rng.Intn(2*maxShift+1) - maxShift
+			dy := rng.Intn(2*maxShift+1) - maxShift
+			if dx != 0 || dy != 0 {
+				shift(sample, c, h, w, dx, dy)
+			}
+		}
+	}
+}
+
+// flipH mirrors every channel horizontally in place.
+func flipH(s []float64, c, h, w int) {
+	for ch := 0; ch < c; ch++ {
+		for y := 0; y < h; y++ {
+			row := s[(ch*h+y)*w : (ch*h+y+1)*w]
+			for x := 0; x < w/2; x++ {
+				row[x], row[w-1-x] = row[w-1-x], row[x]
+			}
+		}
+	}
+}
+
+// shift translates every channel by (dx, dy) with zero fill.
+func shift(s []float64, c, h, w, dx, dy int) {
+	src := append([]float64(nil), s...)
+	for i := range s {
+		s[i] = 0
+	}
+	for ch := 0; ch < c; ch++ {
+		for y := 0; y < h; y++ {
+			sy := y - dy
+			if sy < 0 || sy >= h {
+				continue
+			}
+			for x := 0; x < w; x++ {
+				sx := x - dx
+				if sx < 0 || sx >= w {
+					continue
+				}
+				s[(ch*h+y)*w+x] = src[(ch*h+sy)*w+sx]
+			}
+		}
+	}
+}

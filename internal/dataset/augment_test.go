@@ -1,0 +1,158 @@
+package dataset
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/tensor"
+)
+
+func TestFlipHExact(t *testing.T) {
+	s := []float64{
+		1, 2, 3,
+		4, 5, 6,
+	}
+	flipH(s, 1, 2, 3)
+	want := []float64{3, 2, 1, 6, 5, 4}
+	for i := range want {
+		if s[i] != want[i] {
+			t.Fatalf("flip[%d] = %v, want %v", i, s[i], want[i])
+		}
+	}
+}
+
+func TestShiftExact(t *testing.T) {
+	s := []float64{
+		1, 2,
+		3, 4,
+	}
+	shift(s, 1, 2, 2, 1, 0) // one pixel right
+	want := []float64{0, 1, 0, 3}
+	for i := range want {
+		if s[i] != want[i] {
+			t.Fatalf("shift[%d] = %v, want %v", i, s[i], want[i])
+		}
+	}
+}
+
+func TestShiftMultiChannelIndependent(t *testing.T) {
+	s := []float64{
+		1, 0, 0, 0, // channel 0
+		0, 0, 0, 2, // channel 1
+	}
+	shift(s, 2, 2, 2, 0, 1) // one pixel down
+	if s[2] != 1 {          // channel 0 (0,0) -> (1,0)
+		t.Fatalf("channel 0 shift wrong: %v", s[:4])
+	}
+	// channel 1 held its only value at (1,1), which falls off the bottom
+	// edge under a downward shift: the channel must now be empty
+	for i, v := range s[4:] {
+		if v != 0 {
+			t.Fatalf("channel 1 pixel %d = %v after edge shift, want 0", i, v)
+		}
+	}
+}
+
+func TestFlipShiftPreservesMass(t *testing.T) {
+	// flip alone permutes pixels: mass must be identical
+	rng := tensor.NewRNG(1)
+	aug := FlipShift(3, 8, 8, 0)
+	s := make([]float64, 3*8*8)
+	for i := range s {
+		s[i] = rng.Float64()
+	}
+	sum := 0.0
+	for _, v := range s {
+		sum += v
+	}
+	aug(s, rng)
+	got := 0.0
+	for _, v := range s {
+		got += v
+	}
+	if diff := sum - got; diff > 1e-9 || diff < -1e-9 {
+		t.Fatalf("flip-only augmentation changed mass: %v -> %v", sum, got)
+	}
+}
+
+func TestFlipShiftPanicsOnBadLength(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	FlipShift(1, 4, 4, 1)(make([]float64, 5), tensor.NewRNG(1))
+}
+
+func TestAugmentedTrainingStillLearns(t *testing.T) {
+	// augmentation must not destroy class structure: classes here are
+	// horizontal-position invariant brightness levels
+	train, _ := MNISTLike(Config{Train: 100, Test: 10, Seed: 11})
+	aug := FlipShift(1, 28, 28, 2)
+	rng := tensor.NewRNG(12)
+	before := train.X.Clone()
+	// apply to a copy of each sample; original must be untouched by the
+	// trainer contract (augmentation happens on the batch copy)
+	s := make([]float64, 28*28)
+	copy(s, train.X.Data[:28*28])
+	aug(s, rng)
+	if !train.X.Equal(before) {
+		t.Fatal("augmenting a copy mutated the dataset")
+	}
+}
+
+func TestWritePGM(t *testing.T) {
+	var buf bytes.Buffer
+	img := tensor.New(1, 2, 3)
+	img.Data[0] = 1.0
+	if err := WritePGM(&buf, img); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.Bytes()
+	if !bytes.HasPrefix(out, []byte("P5\n3 2\n255\n")) {
+		t.Fatalf("bad PGM header: %q", out[:12])
+	}
+	if out[len(out)-6] != 255 {
+		t.Fatalf("first pixel should be 255, got %d", out[len(out)-6])
+	}
+	if err := WritePGM(&buf, tensor.New(3, 2, 2)); err == nil {
+		t.Fatal("3-channel PGM accepted")
+	}
+}
+
+func TestWritePPM(t *testing.T) {
+	var buf bytes.Buffer
+	img := tensor.New(3, 2, 2)
+	img.Set(1, 0, 0, 0) // red at (0,0)
+	if err := WritePPM(&buf, img); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.Bytes()
+	if !bytes.HasPrefix(out, []byte("P6\n2 2\n255\n")) {
+		t.Fatalf("bad PPM header: %q", out[:12])
+	}
+	px := out[len(out)-12:] // 4 pixels × 3 bytes
+	if px[0] != 255 || px[1] != 0 || px[2] != 0 {
+		t.Fatalf("pixel (0,0) = %v, want pure red", px[:3])
+	}
+	if err := WritePPM(&buf, tensor.New(1, 2, 2)); err == nil {
+		t.Fatal("1-channel PPM accepted")
+	}
+}
+
+func TestASCIIRendering(t *testing.T) {
+	img := tensor.New(1, 2, 2)
+	img.Data[0] = 1
+	art := ASCII(img)
+	lines := strings.Split(strings.TrimRight(art, "\n"), "\n")
+	if len(lines) != 2 || len([]rune(lines[0])) != 2 {
+		t.Fatalf("ASCII shape wrong:\n%s", art)
+	}
+	if lines[0][0] == ' ' {
+		t.Fatal("bright pixel rendered as blank")
+	}
+	if lines[1][1] != ' ' {
+		t.Fatal("dark pixel should render blank")
+	}
+}

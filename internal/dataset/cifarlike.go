@@ -1,0 +1,164 @@
+package dataset
+
+import (
+	"math"
+
+	"repro/internal/tensor"
+)
+
+// CIFAR10Like generates a 32×32 RGB 10-class dataset: each class is a
+// distinct texture/shape family rendered in a class-specific colour with
+// per-sample jitter in frequency, phase, position, hue and noise.
+func CIFAR10Like(cfg Config) (train, test *Dataset) {
+	rng := tensor.NewRNG(cfg.Seed ^ 0x63696610)
+	total := cfg.Train + cfg.Test
+	all := assemble("cifar10-like", 10, 3, 32, 32, total, func(cls int, r *tensor.RNG) *image {
+		return drawCIFAR(cls%len(patternFns), cls%len(palettes), r)
+	}, rng)
+	return all.Split(cfg.Train)
+}
+
+// CIFAR100Like generates a 32×32 RGB 100-class dataset as the cross
+// product of the 10 pattern families and 10 colour palettes, mirroring
+// CIFAR-100's "same image statistics, ten times the classes" relation to
+// CIFAR-10.
+func CIFAR100Like(cfg Config) (train, test *Dataset) {
+	rng := tensor.NewRNG(cfg.Seed ^ 0x636966100)
+	total := cfg.Train + cfg.Test
+	all := assemble("cifar100-like", 100, 3, 32, 32, total, func(cls int, r *tensor.RNG) *image {
+		return drawCIFAR(cls/10, cls%10, r)
+	}, rng)
+	return all.Split(cfg.Train)
+}
+
+// palettes are base RGB colours; per-sample jitter perturbs each channel.
+var palettes = [10][3]float64{
+	{0.9, 0.2, 0.2}, {0.2, 0.9, 0.2}, {0.25, 0.35, 0.95}, {0.9, 0.85, 0.2},
+	{0.85, 0.25, 0.85}, {0.2, 0.85, 0.85}, {0.95, 0.55, 0.15}, {0.6, 0.3, 0.85},
+	{0.9, 0.9, 0.9}, {0.45, 0.7, 0.35},
+}
+
+// patternFns render the ten texture/shape families into a 3-channel
+// image given a jitter RNG; colour is applied afterwards.
+var patternFns = []func(im *image, r *tensor.RNG){
+	patternHStripes, patternVStripes, patternDiag, patternChecker, patternDisk,
+	patternRing, patternBox, patternRadial, patternBlobs, patternCross,
+}
+
+// drawCIFAR renders one sample of pattern p in palette c.
+func drawCIFAR(p, c int, rng *tensor.RNG) *image {
+	im := newImage(3, 32, 32)
+	// render pattern into a luminance buffer (channel 0)
+	patternFns[p](im, rng)
+	// colourize: spread channel-0 luminance into RGB by the palette
+	base := palettes[c]
+	jr, jg, jb := rng.Range(0.85, 1.15), rng.Range(0.85, 1.15), rng.Range(0.85, 1.15)
+	bg := rng.Range(0.05, 0.15)
+	for y := 0; y < 32; y++ {
+		for x := 0; x < 32; x++ {
+			l := im.get(0, x, y)
+			im.set(0, x, y, tensor.Clamp(bg+l*base[0]*jr, 0, 1))
+			im.set(1, x, y, tensor.Clamp(bg+l*base[1]*jg, 0, 1))
+			im.set(2, x, y, tensor.Clamp(bg+l*base[2]*jb, 0, 1))
+		}
+	}
+	im.addNoise(rng, 0.05)
+	return im
+}
+
+func patternHStripes(im *image, r *tensor.RNG) {
+	freq := r.Range(2.5, 4.5)
+	phase := r.Range(0, 2*math.Pi)
+	for y := 0; y < im.h; y++ {
+		v := 0.5 + 0.5*math.Sin(2*math.Pi*freq*float64(y)/float64(im.h)+phase)
+		for x := 0; x < im.w; x++ {
+			im.set(0, x, y, v)
+		}
+	}
+}
+
+func patternVStripes(im *image, r *tensor.RNG) {
+	freq := r.Range(2.5, 4.5)
+	phase := r.Range(0, 2*math.Pi)
+	for x := 0; x < im.w; x++ {
+		v := 0.5 + 0.5*math.Sin(2*math.Pi*freq*float64(x)/float64(im.w)+phase)
+		for y := 0; y < im.h; y++ {
+			im.set(0, x, y, v)
+		}
+	}
+}
+
+func patternDiag(im *image, r *tensor.RNG) {
+	freq := r.Range(2.5, 4.5)
+	phase := r.Range(0, 2*math.Pi)
+	for y := 0; y < im.h; y++ {
+		for x := 0; x < im.w; x++ {
+			u := float64(x+y) / float64(im.w+im.h)
+			im.set(0, x, y, 0.5+0.5*math.Sin(2*math.Pi*freq*2*u+phase))
+		}
+	}
+}
+
+func patternChecker(im *image, r *tensor.RNG) {
+	cell := 3 + r.Intn(4)
+	ox, oy := r.Intn(cell), r.Intn(cell)
+	for y := 0; y < im.h; y++ {
+		for x := 0; x < im.w; x++ {
+			if ((x+ox)/cell+(y+oy)/cell)%2 == 0 {
+				im.set(0, x, y, 0.95)
+			} else {
+				im.set(0, x, y, 0.1)
+			}
+		}
+	}
+}
+
+func patternDisk(im *image, r *tensor.RNG) {
+	cx, cy := r.Range(0.35, 0.65), r.Range(0.35, 0.65)
+	rad := r.Range(0.2, 0.32)
+	im.stampDisc(0, cx, cy, rad, 1)
+}
+
+func patternRing(im *image, r *tensor.RNG) {
+	cx, cy := r.Range(0.4, 0.6), r.Range(0.4, 0.6)
+	rad := r.Range(0.22, 0.3)
+	im.strokeArc(0, cx, cy, rad, rad, 0, 2*math.Pi, 0.05, 1)
+}
+
+func patternBox(im *image, r *tensor.RNG) {
+	x0, y0 := r.Range(0.15, 0.3), r.Range(0.15, 0.3)
+	x1, y1 := r.Range(0.7, 0.85), r.Range(0.7, 0.85)
+	th := r.Range(0.03, 0.05)
+	im.strokeLine(0, x0, y0, x1, y0, th, 1)
+	im.strokeLine(0, x1, y0, x1, y1, th, 1)
+	im.strokeLine(0, x1, y1, x0, y1, th, 1)
+	im.strokeLine(0, x0, y1, x0, y0, th, 1)
+}
+
+func patternRadial(im *image, r *tensor.RNG) {
+	cx, cy := r.Range(0.4, 0.6), r.Range(0.4, 0.6)
+	scale := r.Range(0.9, 1.4)
+	for y := 0; y < im.h; y++ {
+		for x := 0; x < im.w; x++ {
+			dx := float64(x)/float64(im.w) - cx
+			dy := float64(y)/float64(im.h) - cy
+			d := math.Sqrt(dx*dx+dy*dy) * scale
+			im.set(0, x, y, tensor.Clamp(1-1.6*d, 0, 1))
+		}
+	}
+}
+
+func patternBlobs(im *image, r *tensor.RNG) {
+	n := 4 + r.Intn(3)
+	for i := 0; i < n; i++ {
+		im.stampDisc(0, r.Range(0.1, 0.9), r.Range(0.1, 0.9), r.Range(0.06, 0.12), 1)
+	}
+}
+
+func patternCross(im *image, r *tensor.RNG) {
+	cx, cy := r.Range(0.4, 0.6), r.Range(0.4, 0.6)
+	arm := r.Range(0.25, 0.35)
+	th := r.Range(0.05, 0.08)
+	im.strokeLine(0, cx-arm, cy, cx+arm, cy, th, 1)
+	im.strokeLine(0, cx, cy-arm, cx, cy+arm, th, 1)
+}

@@ -1,0 +1,131 @@
+// Package dataset provides the synthetic image classification datasets
+// used by the experiments. The paper evaluates on MNIST, CIFAR-10, and
+// CIFAR-100; this environment has no dataset files or network access, so
+// deterministic procedural generators produce learnable stand-ins with
+// identical tensor shapes and class counts (see DESIGN.md, Substitutions).
+package dataset
+
+import (
+	"fmt"
+
+	"repro/internal/tensor"
+)
+
+// Dataset is a labelled image set. X has shape [N, C, H, W] with pixel
+// values in [0, 1]; Labels holds N class indices in [0, Classes).
+type Dataset struct {
+	Name    string
+	X       *tensor.Tensor
+	Labels  []int
+	Classes int
+}
+
+// N returns the number of samples.
+func (d *Dataset) N() int { return len(d.Labels) }
+
+// SampleShape returns the per-sample shape [C, H, W].
+func (d *Dataset) SampleShape() []int { return d.X.Shape[1:] }
+
+// Sample returns a view of sample i with shape [C, H, W].
+func (d *Dataset) Sample(i int) *tensor.Tensor {
+	if i < 0 || i >= d.N() {
+		panic(fmt.Sprintf("dataset: sample index %d out of range [0,%d)", i, d.N()))
+	}
+	shape := d.SampleShape()
+	sz := 1
+	for _, s := range shape {
+		sz *= s
+	}
+	return tensor.FromSlice(d.X.Data[i*sz:(i+1)*sz], shape...)
+}
+
+// Subset returns a dataset holding samples [lo, hi) of d, sharing data.
+func (d *Dataset) Subset(lo, hi int) *Dataset {
+	if lo < 0 || hi > d.N() || lo > hi {
+		panic(fmt.Sprintf("dataset: bad subset [%d,%d) of %d", lo, hi, d.N()))
+	}
+	shape := d.SampleShape()
+	sz := 1
+	for _, s := range shape {
+		sz *= s
+	}
+	return &Dataset{
+		Name:    d.Name,
+		X:       tensor.FromSlice(d.X.Data[lo*sz:hi*sz], append([]int{hi - lo}, shape...)...),
+		Labels:  d.Labels[lo:hi],
+		Classes: d.Classes,
+	}
+}
+
+// Split partitions d into train and test sets, putting the first
+// nTrain samples in train and the rest in test. Generators already
+// interleave classes, so a prefix split is class balanced.
+func (d *Dataset) Split(nTrain int) (train, test *Dataset) {
+	return d.Subset(0, nTrain), d.Subset(nTrain, d.N())
+}
+
+// Config sizes a generated dataset.
+type Config struct {
+	// Train and Test are the number of samples in each split.
+	Train, Test int
+	// Seed drives all procedural randomness.
+	Seed uint64
+}
+
+// image is a mutable CHW pixel buffer the generators draw into.
+type image struct {
+	c, h, w int
+	px      []float64
+}
+
+func newImage(c, h, w int) *image {
+	return &image{c: c, h: h, w: w, px: make([]float64, c*h*w)}
+}
+
+// set writes value v to channel ch at (x, y), clamped into [0,1] and
+// ignored when out of bounds.
+func (im *image) set(ch, x, y int, v float64) {
+	if x < 0 || x >= im.w || y < 0 || y >= im.h || ch < 0 || ch >= im.c {
+		return
+	}
+	im.px[(ch*im.h+y)*im.w+x] = tensor.Clamp(v, 0, 1)
+}
+
+// add accumulates v into channel ch at (x, y) with clamping.
+func (im *image) add(ch, x, y int, v float64) {
+	if x < 0 || x >= im.w || y < 0 || y >= im.h || ch < 0 || ch >= im.c {
+		return
+	}
+	i := (ch*im.h+y)*im.w + x
+	im.px[i] = tensor.Clamp(im.px[i]+v, 0, 1)
+}
+
+// get reads channel ch at (x, y); out of bounds reads return 0.
+func (im *image) get(ch, x, y int) float64 {
+	if x < 0 || x >= im.w || y < 0 || y >= im.h || ch < 0 || ch >= im.c {
+		return 0
+	}
+	return im.px[(ch*im.h+y)*im.w+x]
+}
+
+// addNoise perturbs every pixel with clamped Gaussian noise.
+func (im *image) addNoise(rng *tensor.RNG, std float64) {
+	for i, v := range im.px {
+		im.px[i] = tensor.Clamp(v+std*rng.Norm(), 0, 1)
+	}
+}
+
+// assemble packs per-sample images into a Dataset, interleaving classes
+// so prefix splits stay balanced.
+func assemble(name string, classes, c, h, w, n int, gen func(cls int, rng *tensor.RNG) *image, rng *tensor.RNG) *Dataset {
+	x := tensor.New(n, c, h, w)
+	labels := make([]int, n)
+	sz := c * h * w
+	for i := 0; i < n; i++ {
+		cls := i % classes
+		im := gen(cls, rng)
+		copy(x.Data[i*sz:(i+1)*sz], im.px)
+		labels[i] = cls
+	}
+	return &Dataset{Name: name, X: x, Labels: labels, Classes: classes}
+}

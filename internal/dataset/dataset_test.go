@@ -1,0 +1,176 @@
+package dataset
+
+import (
+	"testing"
+
+	"repro/internal/dnn"
+	"repro/internal/tensor"
+)
+
+func TestMNISTLikeShapes(t *testing.T) {
+	train, test := MNISTLike(Config{Train: 50, Test: 20, Seed: 1})
+	if train.N() != 50 || test.N() != 20 {
+		t.Fatalf("split sizes = %d/%d", train.N(), test.N())
+	}
+	s := train.SampleShape()
+	if s[0] != 1 || s[1] != 28 || s[2] != 28 {
+		t.Fatalf("sample shape = %v", s)
+	}
+	if train.Classes != 10 {
+		t.Fatalf("classes = %d", train.Classes)
+	}
+}
+
+func TestPixelRange(t *testing.T) {
+	for name, gen := range map[string]func(Config) (*Dataset, *Dataset){
+		"mnist": MNISTLike, "cifar10": CIFAR10Like, "cifar100": CIFAR100Like,
+	} {
+		train, _ := gen(Config{Train: 30, Test: 5, Seed: 2})
+		if train.X.Min() < 0 || train.X.Max() > 1 {
+			t.Fatalf("%s pixels out of [0,1]: [%v,%v]", name, train.X.Min(), train.X.Max())
+		}
+		if train.X.Max() == 0 {
+			t.Fatalf("%s produced all-black images", name)
+		}
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	a, _ := CIFAR10Like(Config{Train: 20, Test: 5, Seed: 7})
+	b, _ := CIFAR10Like(Config{Train: 20, Test: 5, Seed: 7})
+	if !a.X.Equal(b.X) {
+		t.Fatal("same seed produced different data")
+	}
+	c, _ := CIFAR10Like(Config{Train: 20, Test: 5, Seed: 8})
+	if a.X.Equal(c.X) {
+		t.Fatal("different seeds produced identical data")
+	}
+}
+
+func TestClassBalance(t *testing.T) {
+	train, _ := MNISTLike(Config{Train: 100, Test: 10, Seed: 3})
+	counts := map[int]int{}
+	for _, l := range train.Labels {
+		counts[l]++
+	}
+	for cls := 0; cls < 10; cls++ {
+		if counts[cls] != 10 {
+			t.Fatalf("class %d has %d samples, want 10", cls, counts[cls])
+		}
+	}
+}
+
+func TestCIFAR100ClassCount(t *testing.T) {
+	train, _ := CIFAR100Like(Config{Train: 200, Test: 100, Seed: 4})
+	if train.Classes != 100 {
+		t.Fatalf("classes = %d", train.Classes)
+	}
+	seen := map[int]bool{}
+	for _, l := range train.Labels {
+		if l < 0 || l >= 100 {
+			t.Fatalf("label %d out of range", l)
+		}
+		seen[l] = true
+	}
+	if len(seen) != 100 {
+		t.Fatalf("only %d distinct labels in 200 samples", len(seen))
+	}
+}
+
+func TestSampleView(t *testing.T) {
+	train, _ := MNISTLike(Config{Train: 10, Test: 2, Seed: 5})
+	s := train.Sample(3)
+	if s.Rank() != 3 || s.Shape[0] != 1 {
+		t.Fatalf("Sample shape = %v", s.Shape)
+	}
+	// view shares data
+	s.Data[0] = 0.42
+	if train.X.Data[3*28*28] != 0.42 {
+		t.Fatal("Sample must be a view, not a copy")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for out-of-range sample")
+		}
+	}()
+	train.Sample(10)
+}
+
+func TestSubsetBounds(t *testing.T) {
+	train, _ := MNISTLike(Config{Train: 10, Test: 2, Seed: 6})
+	sub := train.Subset(2, 5)
+	if sub.N() != 3 {
+		t.Fatalf("Subset size = %d", sub.N())
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for bad bounds")
+		}
+	}()
+	train.Subset(5, 2)
+}
+
+func TestClassesAreDistinguishable(t *testing.T) {
+	// Nearest-centroid classification on raw pixels should beat chance
+	// by a wide margin if the classes are visually distinct.
+	train, test := CIFAR10Like(Config{Train: 300, Test: 100, Seed: 9})
+	d := 3 * 32 * 32
+	centroids := make([][]float64, 10)
+	counts := make([]int, 10)
+	for i := range centroids {
+		centroids[i] = make([]float64, d)
+	}
+	for i := 0; i < train.N(); i++ {
+		c := train.Labels[i]
+		counts[c]++
+		for j := 0; j < d; j++ {
+			centroids[c][j] += train.X.Data[i*d+j]
+		}
+	}
+	for c := range centroids {
+		for j := range centroids[c] {
+			centroids[c][j] /= float64(counts[c])
+		}
+	}
+	hit := 0
+	for i := 0; i < test.N(); i++ {
+		best, bi := -1.0, -1
+		for c := range centroids {
+			s := 0.0
+			for j := 0; j < d; j++ {
+				diff := test.X.Data[i*d+j] - centroids[c][j]
+				s -= diff * diff
+			}
+			if bi < 0 || s > best {
+				best, bi = s, c
+			}
+		}
+		if bi == test.Labels[i] {
+			hit++
+		}
+	}
+	acc := float64(hit) / float64(test.N())
+	if acc < 0.5 {
+		t.Fatalf("nearest-centroid accuracy %.2f < 0.5; classes not distinguishable", acc)
+	}
+}
+
+func TestMNISTLearnable(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training test skipped in -short")
+	}
+	train, test := MNISTLike(Config{Train: 400, Test: 100, Seed: 10})
+	rng := tensor.NewRNG(11)
+	net := dnn.NewNetwork("probe", 1, 28, 28).Add(
+		dnn.NewFlatten("f"),
+		dnn.NewDense("fc1", 28*28, 32, rng),
+		dnn.NewReLU("r1"),
+		dnn.NewDense("fc2", 32, 10, rng),
+	)
+	dnn.Train(net, train.X, train.Labels, dnn.TrainConfig{
+		Epochs: 4, BatchSize: 32, Optimizer: dnn.NewAdam(2e-3, 0), RNG: tensor.NewRNG(12)})
+	acc := dnn.Evaluate(net, test.X, test.Labels, 50)
+	if acc < 0.6 {
+		t.Fatalf("MNIST-like not learnable: linear-ish probe acc %.2f", acc)
+	}
+}

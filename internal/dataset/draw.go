@@ -1,0 +1,78 @@
+package dataset
+
+import "math"
+
+// Drawing primitives used by the procedural generators. Coordinates are
+// normalized to [0, 1] within the image; stroke rendering stamps a soft
+// disc at points sampled densely along the path so glyphs stay connected
+// at any resolution.
+
+// stampDisc deposits intensity into channel ch around (cx, cy) in
+// normalized coordinates, with radius r (normalized) and peak intensity v.
+func (im *image) stampDisc(ch int, cx, cy, r, v float64) {
+	px, py := cx*float64(im.w), cy*float64(im.h)
+	pr := r * float64(im.w)
+	if pr < 0.5 {
+		pr = 0.5
+	}
+	x0, x1 := int(px-pr-1), int(px+pr+1)
+	y0, y1 := int(py-pr-1), int(py+pr+1)
+	for y := y0; y <= y1; y++ {
+		for x := x0; x <= x1; x++ {
+			dx, dy := float64(x)+0.5-px, float64(y)+0.5-py
+			d := math.Sqrt(dx*dx+dy*dy) / pr
+			if d < 1 {
+				im.add(ch, x, y, v*(1-d*d)) // smooth falloff
+			}
+		}
+	}
+}
+
+// strokeLine draws a straight stroke from (x0,y0) to (x1,y1) in
+// normalized coordinates with the given thickness and intensity.
+func (im *image) strokeLine(ch int, x0, y0, x1, y1, thick, v float64) {
+	steps := int(math.Hypot((x1-x0)*float64(im.w), (y1-y0)*float64(im.h))*2) + 2
+	for i := 0; i <= steps; i++ {
+		t := float64(i) / float64(steps)
+		im.stampDisc(ch, x0+(x1-x0)*t, y0+(y1-y0)*t, thick, v)
+	}
+}
+
+// strokeArc draws an elliptical arc centred at (cx,cy) with radii
+// (rx,ry), from angle a0 to a1 (radians), in normalized coordinates.
+func (im *image) strokeArc(ch int, cx, cy, rx, ry, a0, a1, thick, v float64) {
+	arcLen := math.Abs(a1-a0) * math.Max(rx, ry) * float64(im.w)
+	steps := int(arcLen*2) + 4
+	for i := 0; i <= steps; i++ {
+		t := float64(i) / float64(steps)
+		a := a0 + (a1-a0)*t
+		im.stampDisc(ch, cx+rx*math.Cos(a), cy+ry*math.Sin(a), thick, v)
+	}
+}
+
+// fillRect fills an axis-aligned rectangle given in normalized
+// coordinates with intensity v on channel ch.
+func (im *image) fillRect(ch int, x0, y0, x1, y1, v float64) {
+	ix0, ix1 := int(x0*float64(im.w)), int(x1*float64(im.w))
+	iy0, iy1 := int(y0*float64(im.h)), int(y1*float64(im.h))
+	for y := iy0; y < iy1; y++ {
+		for x := ix0; x < ix1; x++ {
+			im.set(ch, x, y, v)
+		}
+	}
+}
+
+// affine describes the per-sample jitter applied to glyph control
+// points: scale about the centre, rotation, then translation.
+type affine struct {
+	scale, rot, dx, dy float64
+}
+
+// apply transforms a normalized point.
+func (a affine) apply(x, y float64) (float64, float64) {
+	x, y = x-0.5, y-0.5
+	c, s := math.Cos(a.rot), math.Sin(a.rot)
+	xr := a.scale * (c*x - s*y)
+	yr := a.scale * (s*x + c*y)
+	return xr + 0.5 + a.dx, yr + 0.5 + a.dy
+}

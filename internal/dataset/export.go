@@ -1,0 +1,87 @@
+package dataset
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/tensor"
+)
+
+// Inspection/export helpers: the synthetic generators are easiest to
+// debug by looking at the images. WritePGM/WritePPM emit standard
+// netpbm files any viewer opens; ASCII renders a sample in a terminal.
+
+// WritePGM writes a single-channel [1, H, W] (or [H, W]) sample as a
+// binary PGM image with 8-bit depth.
+func WritePGM(w io.Writer, sample *tensor.Tensor) error {
+	var h, wd int
+	switch sample.Rank() {
+	case 2:
+		h, wd = sample.Shape[0], sample.Shape[1]
+	case 3:
+		if sample.Shape[0] != 1 {
+			return fmt.Errorf("dataset: WritePGM needs 1 channel, got %d", sample.Shape[0])
+		}
+		h, wd = sample.Shape[1], sample.Shape[2]
+	default:
+		return fmt.Errorf("dataset: WritePGM needs rank 2 or 3, got %v", sample.Shape)
+	}
+	if _, err := fmt.Fprintf(w, "P5\n%d %d\n255\n", wd, h); err != nil {
+		return err
+	}
+	buf := make([]byte, h*wd)
+	for i, v := range sample.Data {
+		buf[i] = byte(tensor.Clamp(v, 0, 1) * 255)
+	}
+	_, err := w.Write(buf)
+	return err
+}
+
+// WritePPM writes a [3, H, W] sample as a binary PPM image.
+func WritePPM(w io.Writer, sample *tensor.Tensor) error {
+	if sample.Rank() != 3 || sample.Shape[0] != 3 {
+		return fmt.Errorf("dataset: WritePPM needs [3,H,W], got %v", sample.Shape)
+	}
+	h, wd := sample.Shape[1], sample.Shape[2]
+	if _, err := fmt.Fprintf(w, "P6\n%d %d\n255\n", wd, h); err != nil {
+		return err
+	}
+	buf := make([]byte, h*wd*3)
+	plane := h * wd
+	for y := 0; y < h; y++ {
+		for x := 0; x < wd; x++ {
+			p := y*wd + x
+			for c := 0; c < 3; c++ {
+				buf[p*3+c] = byte(tensor.Clamp(sample.Data[c*plane+p], 0, 1) * 255)
+			}
+		}
+	}
+	_, err := w.Write(buf)
+	return err
+}
+
+// ASCII renders a sample as terminal art (channels averaged), one rune
+// per pixel from dark to bright.
+func ASCII(sample *tensor.Tensor) string {
+	if sample.Rank() != 3 {
+		return fmt.Sprintf("<%v>", sample.Shape)
+	}
+	c, h, w := sample.Shape[0], sample.Shape[1], sample.Shape[2]
+	glyphs := []rune(" .:-=+*#%@")
+	var b strings.Builder
+	plane := h * w
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			v := 0.0
+			for ch := 0; ch < c; ch++ {
+				v += sample.Data[ch*plane+y*w+x]
+			}
+			v /= float64(c)
+			idx := int(tensor.Clamp(v, 0, 0.999) * float64(len(glyphs)))
+			b.WriteRune(glyphs[idx])
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}

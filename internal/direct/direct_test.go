@@ -1,0 +1,137 @@
+package direct
+
+import (
+	"testing"
+
+	"repro/internal/dnn"
+	"repro/internal/tensor"
+)
+
+// blobs returns a small two-class problem: bright left half vs bright
+// right half over a 16-dim input.
+func blobs(n int, seed uint64) (*tensor.Tensor, []int) {
+	rng := tensor.NewRNG(seed)
+	x := tensor.New(n, 16)
+	labels := make([]int, n)
+	for i := 0; i < n; i++ {
+		cls := i % 2
+		labels[i] = cls
+		for j := 0; j < 8; j++ {
+			x.Data[i*16+cls*8+j] = tensor.Clamp(0.8+0.2*rng.Norm(), 0, 1)
+		}
+		for j := 0; j < 16; j++ {
+			x.Data[i*16+j] = tensor.Clamp(x.Data[i*16+j]+0.05*rng.Norm(), 0, 1)
+		}
+	}
+	return x, labels
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(Config{In: 0, Hidden: 4, Classes: 2, T: 10}); err == nil {
+		t.Fatal("zero input size accepted")
+	}
+	if _, err := New(Config{In: 4, Hidden: 4, Classes: 2, T: 0}); err == nil {
+		t.Fatal("zero window accepted")
+	}
+	n, err := New(Config{In: 4, Hidden: 8, Classes: 2, T: 10, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.Cfg.Theta != 1 || n.Cfg.SurrogateWidth != 0.5 {
+		t.Fatalf("defaults not applied: %+v", n.Cfg)
+	}
+	if len(n.Params()) != 4 {
+		t.Fatalf("param count %d", len(n.Params()))
+	}
+}
+
+func TestSurrogateShape(t *testing.T) {
+	n, _ := New(Config{In: 1, Hidden: 1, Classes: 2, T: 5, Seed: 1})
+	// peak at the threshold, zero outside the width
+	if n.surrogate(1) <= n.surrogate(1.4) {
+		t.Fatal("surrogate must peak at threshold")
+	}
+	if n.surrogate(2.0) != 0 || n.surrogate(0.0) != 0 {
+		t.Fatal("surrogate must vanish outside its width")
+	}
+	if n.surrogate(0.8) != n.surrogate(1.2) {
+		t.Fatal("surrogate must be symmetric")
+	}
+}
+
+func TestForwardSpikeRate(t *testing.T) {
+	// a single hidden neuron with weight 1 and drive 0.5 fires every
+	// other step (soft reset), so its rate over T=20 is 0.5
+	n, _ := New(Config{In: 1, Hidden: 1, Classes: 1, T: 20, Seed: 1})
+	n.W1.W.Data[0] = 1
+	n.B1.W.Data[0] = 0
+	st := n.forward([]float64{0.5})
+	if st.meanS1[0] != 0.5 {
+		t.Fatalf("hidden rate = %v, want 0.5", st.meanS1[0])
+	}
+	if st.spikes != 10 {
+		t.Fatalf("spikes = %d, want 10", st.spikes)
+	}
+}
+
+func TestInferDeterministic(t *testing.T) {
+	n, _ := New(Config{In: 16, Hidden: 8, Classes: 2, T: 10, Seed: 2})
+	x, _ := blobs(4, 3)
+	p1, s1 := n.Infer(x.Data[:16])
+	p2, s2 := n.Infer(x.Data[:16])
+	if p1 != p2 || s1 != s2 {
+		t.Fatal("inference must be deterministic")
+	}
+}
+
+func TestDirectTrainingLearns(t *testing.T) {
+	x, labels := blobs(200, 4)
+	n, err := New(Config{In: 16, Hidden: 24, Classes: 2, T: 10, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats := Train(n, x, labels, TrainConfig{
+		Epochs: 8, BatchSize: 20,
+		Optimizer: dnn.NewAdam(5e-3, 0), RNG: tensor.NewRNG(6)})
+	if len(stats) != 8 {
+		t.Fatalf("stats length %d", len(stats))
+	}
+	acc, spikes := Evaluate(n, x, labels)
+	if acc < 0.9 {
+		t.Fatalf("direct training failed on separable data: acc %.2f", acc)
+	}
+	if spikes <= 0 || spikes > float64(24*10) {
+		t.Fatalf("implausible spike count %v", spikes)
+	}
+	if stats[len(stats)-1].Loss >= stats[0].Loss {
+		t.Fatalf("loss did not decrease: %v -> %v", stats[0].Loss, stats[len(stats)-1].Loss)
+	}
+}
+
+func TestTrainingReducesLossWithSGD(t *testing.T) {
+	// the surrogate gradient must descend with plain SGD too
+	x, labels := blobs(100, 7)
+	n, _ := New(Config{In: 16, Hidden: 16, Classes: 2, T: 8, Seed: 8})
+	stats := Train(n, x, labels, TrainConfig{
+		Epochs: 6, BatchSize: 10,
+		Optimizer: dnn.NewSGD(0.5, 0.9, 0), RNG: tensor.NewRNG(9)})
+	if stats[5].Loss >= stats[0].Loss {
+		t.Fatalf("SGD loss did not decrease: %v -> %v", stats[0].Loss, stats[5].Loss)
+	}
+}
+
+func TestGradientsAccumulateSomewhere(t *testing.T) {
+	// one backward pass must touch every parameter group when the
+	// sample drives hidden units near threshold
+	n, _ := New(Config{In: 16, Hidden: 16, Classes: 2, T: 10, Seed: 10})
+	x, labels := blobs(2, 11)
+	st := n.forward(x.Data[:16])
+	logits := tensor.FromSlice(st.logits, 1, 2)
+	_, grad := dnn.SoftmaxCrossEntropy(logits, labels[:1])
+	n.backward(x.Data[:16], st, grad.Data)
+	for _, p := range []*dnn.Param{n.W2, n.B2} {
+		if p.Grad.Norm2() == 0 {
+			t.Fatalf("%s received no gradient", p.Name)
+		}
+	}
+}

@@ -1,0 +1,121 @@
+package dnn
+
+import (
+	"repro/internal/tensor"
+)
+
+// ReLU is the rectified linear activation max(0, x). The T2FSNN
+// conversion relies on ReLU networks: post-ReLU activations are
+// non-negative, so after data-based normalization they live in [0, 1]
+// and map directly onto TTFS spike times.
+type ReLU struct {
+	name string
+	mask []bool
+}
+
+// NewReLU constructs a ReLU activation layer.
+func NewReLU(name string) *ReLU { return &ReLU{name: name} }
+
+// Name implements Layer.
+func (r *ReLU) Name() string { return r.name }
+
+// Params implements Layer.
+func (r *ReLU) Params() []*Param { return nil }
+
+// OutShape implements Layer.
+func (r *ReLU) OutShape(in []int) []int { return append([]int(nil), in...) }
+
+// Forward implements Layer.
+func (r *ReLU) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	out := x.Clone()
+	if train {
+		r.mask = make([]bool, len(out.Data))
+	}
+	for i, v := range out.Data {
+		if v > 0 {
+			if train {
+				r.mask[i] = true
+			}
+		} else {
+			out.Data[i] = 0
+		}
+	}
+	return out
+}
+
+// Backward implements Layer.
+func (r *ReLU) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	if r.mask == nil {
+		panic("dnn: ReLU.Backward before Forward(train=true)")
+	}
+	dx := grad.Clone()
+	for i := range dx.Data {
+		if !r.mask[i] {
+			dx.Data[i] = 0
+		}
+	}
+	return dx
+}
+
+// Identity passes its input through unchanged; useful as a placeholder
+// when ablating a layer out of an architecture without renumbering.
+type Identity struct{ name string }
+
+// NewIdentity constructs an identity layer.
+func NewIdentity(name string) *Identity { return &Identity{name: name} }
+
+// Name implements Layer.
+func (l *Identity) Name() string { return l.name }
+
+// Params implements Layer.
+func (l *Identity) Params() []*Param { return nil }
+
+// OutShape implements Layer.
+func (l *Identity) OutShape(in []int) []int { return append([]int(nil), in...) }
+
+// Forward implements Layer.
+func (l *Identity) Forward(x *tensor.Tensor, train bool) *tensor.Tensor { return x }
+
+// Backward implements Layer.
+func (l *Identity) Backward(grad *tensor.Tensor) *tensor.Tensor { return grad }
+
+// Flatten reshapes [N, ...] feature maps to [N, D] dense activations.
+type Flatten struct {
+	name      string
+	lastShape []int
+}
+
+// NewFlatten constructs a flatten layer.
+func NewFlatten(name string) *Flatten { return &Flatten{name: name} }
+
+// Name implements Layer.
+func (f *Flatten) Name() string { return f.name }
+
+// Params implements Layer.
+func (f *Flatten) Params() []*Param { return nil }
+
+// OutShape implements Layer.
+func (f *Flatten) OutShape(in []int) []int {
+	d := 1
+	for _, v := range in {
+		d *= v
+	}
+	return []int{d}
+}
+
+// Forward implements Layer.
+func (f *Flatten) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	if train {
+		f.lastShape = append([]int(nil), x.Shape...)
+	}
+	n := x.Shape[0]
+	return x.Reshape(n, -1)
+}
+
+// Backward implements Layer.
+func (f *Flatten) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	if f.lastShape == nil {
+		panic("dnn: Flatten.Backward before Forward(train=true)")
+	}
+	return grad.Reshape(f.lastShape...)
+}

@@ -1,0 +1,157 @@
+package dnn
+
+import (
+	"fmt"
+
+	"repro/internal/tensor"
+)
+
+// ArchConfig parameterizes the architecture builders. The paper trains
+// full-width VGG-16 on GPU; the builders accept a width divisor so the
+// same 16-layer topology trains in reasonable time on a single CPU core
+// (see DESIGN.md substitutions).
+type ArchConfig struct {
+	// InC, InH, InW describe the input image.
+	InC, InH, InW int
+	// Classes is the number of output classes.
+	Classes int
+	// WidthDiv divides every VGG channel count (1 = paper widths).
+	WidthDiv int
+	// FCWidth is the width of the two hidden fully connected layers
+	// (paper: 4096; scaled builds use far less).
+	FCWidth int
+	// BatchNorm inserts a BatchNorm after every conv/dense hidden layer.
+	BatchNorm bool
+	// Pool selects the pooling operator (AvgPool is SNN-friendly).
+	Pool PoolKind
+	// Dropout, when positive, adds dropout with this probability after
+	// each hidden fully connected block (the classic VGG regularizer;
+	// it vanishes at inference and is transparent to conversion).
+	Dropout float64
+	// DropoutRNG drives dropout masks (required when Dropout > 0).
+	DropoutRNG *tensor.RNG
+}
+
+// vgg16Channels is the canonical VGG-16 convolutional configuration;
+// "M" entries are pooling stages.
+var vgg16Channels = []interface{}{
+	64, 64, "M", 128, 128, "M", 256, 256, 256, "M", 512, 512, 512, "M", 512, 512, 512, "M",
+}
+
+// vgg9Channels is a lighter configuration used by fast tests.
+var vgg9Channels = []interface{}{
+	64, "M", 128, "M", 256, 256, "M", 512, "M",
+}
+
+// BuildVGG16 constructs the paper's VGG-16 topology (13 conv + 3 FC
+// weight layers, 5 pools) with block-style layer names (Conv2-1, …)
+// matching Fig. 5 of the paper.
+func BuildVGG16(cfg ArchConfig, rng *tensor.RNG) *Network {
+	return buildVGG("vgg16", vgg16Channels, cfg, rng)
+}
+
+// BuildVGG9 constructs a 9-weight-layer VGG variant for fast tests.
+func BuildVGG9(cfg ArchConfig, rng *tensor.RNG) *Network {
+	return buildVGG("vgg9", vgg9Channels, cfg, rng)
+}
+
+func buildVGG(name string, channels []interface{}, cfg ArchConfig, rng *tensor.RNG) *Network {
+	if cfg.WidthDiv <= 0 {
+		cfg.WidthDiv = 1
+	}
+	if cfg.FCWidth <= 0 {
+		cfg.FCWidth = 4096 / max(cfg.WidthDiv, 1)
+	}
+	n := NewNetwork(name, cfg.InC, cfg.InH, cfg.InW)
+	c, h, w := cfg.InC, cfg.InH, cfg.InW
+	block, idx := 1, 1
+	for _, item := range channels {
+		switch v := item.(type) {
+		case int:
+			outC := v / cfg.WidthDiv
+			if outC < 2 {
+				outC = 2
+			}
+			lname := fmt.Sprintf("Conv%d-%d", block, idx)
+			g := tensor.ConvGeom{InC: c, InH: h, InW: w, KH: 3, KW: 3, Stride: 1, Pad: 1}
+			n.Add(NewConv2D(lname, outC, g, rng))
+			if cfg.BatchNorm {
+				n.Add(NewBatchNorm(lname+".bn", outC, true))
+			}
+			n.Add(NewReLU(lname + ".relu"))
+			c = outC
+			idx++
+		case string:
+			n.Add(NewPool2D(fmt.Sprintf("Pool%d", block), cfg.Pool, c, h, w, 2))
+			h, w = h/2, w/2
+			block++
+			idx = 1
+		default:
+			panic(fmt.Sprintf("dnn: bad channel spec entry %v", item))
+		}
+	}
+	n.Add(NewFlatten("Flatten"))
+	d := c * h * w
+	// After the last pool, block has advanced past the conv stages; the
+	// canonical VGG FC names continue the numbering (FC6, FC7, FC8).
+	fcIdx := block
+	for i := 0; i < 2; i++ {
+		lname := fmt.Sprintf("FC%d", fcIdx+i)
+		n.Add(NewDense(lname, d, cfg.FCWidth, rng))
+		if cfg.BatchNorm {
+			n.Add(NewBatchNorm(lname+".bn", cfg.FCWidth, false))
+		}
+		n.Add(NewReLU(lname + ".relu"))
+		if cfg.Dropout > 0 {
+			dr := cfg.DropoutRNG
+			if dr == nil {
+				dr = rng
+			}
+			n.Add(NewDropout(lname+".drop", cfg.Dropout, dr))
+		}
+		d = cfg.FCWidth
+	}
+	n.Add(NewDense(fmt.Sprintf("FC%d", fcIdx+2), d, cfg.Classes, rng))
+	return n
+}
+
+// BuildLeNet constructs a small LeNet-style CNN (2 conv + 2 FC weight
+// layers) used for the MNIST-like experiments.
+func BuildLeNet(cfg ArchConfig, rng *tensor.RNG) *Network {
+	if cfg.FCWidth <= 0 {
+		cfg.FCWidth = 128
+	}
+	n := NewNetwork("lenet", cfg.InC, cfg.InH, cfg.InW)
+	g1 := tensor.ConvGeom{InC: cfg.InC, InH: cfg.InH, InW: cfg.InW, KH: 3, KW: 3, Stride: 1, Pad: 1}
+	c1 := 8
+	n.Add(NewConv2D("Conv1", c1, g1, rng))
+	if cfg.BatchNorm {
+		n.Add(NewBatchNorm("Conv1.bn", c1, true))
+	}
+	n.Add(NewReLU("Conv1.relu"))
+	n.Add(NewPool2D("Pool1", cfg.Pool, c1, cfg.InH, cfg.InW, 2))
+	h, w := cfg.InH/2, cfg.InW/2
+
+	g2 := tensor.ConvGeom{InC: c1, InH: h, InW: w, KH: 3, KW: 3, Stride: 1, Pad: 1}
+	c2 := 16
+	n.Add(NewConv2D("Conv2", c2, g2, rng))
+	if cfg.BatchNorm {
+		n.Add(NewBatchNorm("Conv2.bn", c2, true))
+	}
+	n.Add(NewReLU("Conv2.relu"))
+	n.Add(NewPool2D("Pool2", cfg.Pool, c2, h, w, 2))
+	h, w = h/2, w/2
+
+	n.Add(NewFlatten("Flatten"))
+	n.Add(NewDense("FC3", c2*h*w, cfg.FCWidth, rng))
+	n.Add(NewReLU("FC3.relu"))
+	n.Add(NewDense("FC4", cfg.FCWidth, cfg.Classes, rng))
+	return n
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

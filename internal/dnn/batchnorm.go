@@ -1,0 +1,166 @@
+package dnn
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/tensor"
+)
+
+// BatchNorm is spatial batch normalization over [N, C, H, W] inputs
+// (or per-feature over [N, D] when Spatial is false). It keeps running
+// mean/variance for inference; at conversion time it is folded into the
+// preceding convolution/dense weights (see internal/convert).
+type BatchNorm struct {
+	name     string
+	C        int  // channels (or features)
+	Spatial  bool // true: normalize per channel over N×H×W
+	Momentum float64
+	Eps      float64
+
+	Gamma *Param
+	Beta  *Param
+
+	// running statistics used at inference and exported for folding
+	RunMean *tensor.Tensor
+	RunVar  *tensor.Tensor
+
+	// caches from the last training forward pass
+	lastXHat  *tensor.Tensor
+	lastStd   []float64 // per-channel sqrt(var+eps) of the batch
+	lastShape []int
+}
+
+// NewBatchNorm constructs a batch normalization layer over c channels.
+func NewBatchNorm(name string, c int, spatial bool) *BatchNorm {
+	rv := tensor.Ones(c)
+	return &BatchNorm{
+		name:     name,
+		C:        c,
+		Spatial:  spatial,
+		Momentum: 0.9,
+		Eps:      1e-5,
+		Gamma:    newParam(name+".gamma", tensor.Ones(c)),
+		Beta:     newParam(name+".beta", tensor.New(c)),
+		RunMean:  tensor.New(c),
+		RunVar:   rv,
+	}
+}
+
+// Name implements Layer.
+func (b *BatchNorm) Name() string { return b.name }
+
+// Params implements Layer.
+func (b *BatchNorm) Params() []*Param { return []*Param{b.Gamma, b.Beta} }
+
+// OutShape implements Layer.
+func (b *BatchNorm) OutShape(in []int) []int { return append([]int(nil), in...) }
+
+// channelGeom returns per-channel iteration sizes for x: the number of
+// (sample, position) pairs per channel and the spatial extent.
+func (b *BatchNorm) channelGeom(x *tensor.Tensor) (n, spatial int) {
+	if b.Spatial {
+		if x.Rank() != 4 || x.Shape[1] != b.C {
+			panic(fmt.Sprintf("dnn: %s expected [N,%d,H,W], got %v", b.name, b.C, x.Shape))
+		}
+		return x.Shape[0], x.Shape[2] * x.Shape[3]
+	}
+	if x.Rank() != 2 || x.Shape[1] != b.C {
+		panic(fmt.Sprintf("dnn: %s expected [N,%d], got %v", b.name, b.C, x.Shape))
+	}
+	return x.Shape[0], 1
+}
+
+// Forward implements Layer.
+func (b *BatchNorm) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	n, spatial := b.channelGeom(x)
+	out := x.Clone()
+	if !train {
+		for c := 0; c < b.C; c++ {
+			inv := 1 / math.Sqrt(b.RunVar.Data[c]+b.Eps)
+			scale := b.Gamma.W.Data[c] * inv
+			shift := b.Beta.W.Data[c] - b.RunMean.Data[c]*scale
+			b.forEach(out, n, spatial, c, func(d []float64, i int) {
+				d[i] = d[i]*scale + shift
+			})
+		}
+		return out
+	}
+
+	cnt := float64(n * spatial)
+	b.lastStd = make([]float64, b.C)
+	b.lastShape = append([]int(nil), x.Shape...)
+	xhat := x.Clone()
+	for c := 0; c < b.C; c++ {
+		mean, sq := 0.0, 0.0
+		b.forEach(x, n, spatial, c, func(d []float64, i int) {
+			mean += d[i]
+			sq += d[i] * d[i]
+		})
+		mean /= cnt
+		variance := sq/cnt - mean*mean
+		if variance < 0 {
+			variance = 0
+		}
+		std := math.Sqrt(variance + b.Eps)
+		b.lastStd[c] = std
+		gamma, beta := b.Gamma.W.Data[c], b.Beta.W.Data[c]
+		b.forEach(xhat, n, spatial, c, func(d []float64, i int) {
+			d[i] = (d[i] - mean) / std
+		})
+		b.forEachPair(out, xhat, n, spatial, c, func(o, h []float64, i int) {
+			o[i] = gamma*h[i] + beta
+		})
+		b.RunMean.Data[c] = b.Momentum*b.RunMean.Data[c] + (1-b.Momentum)*mean
+		b.RunVar.Data[c] = b.Momentum*b.RunVar.Data[c] + (1-b.Momentum)*variance
+	}
+	b.lastXHat = xhat
+	return out
+}
+
+// Backward implements Layer.
+func (b *BatchNorm) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	if b.lastXHat == nil {
+		panic("dnn: BatchNorm.Backward before Forward(train=true)")
+	}
+	n, spatial := b.channelGeom(grad)
+	cnt := float64(n * spatial)
+	dx := grad.Clone()
+	for c := 0; c < b.C; c++ {
+		sumDy, sumDyXhat := 0.0, 0.0
+		b.forEachPair(grad, b.lastXHat, n, spatial, c, func(g, h []float64, i int) {
+			sumDy += g[i]
+			sumDyXhat += g[i] * h[i]
+		})
+		b.Gamma.Grad.Data[c] += sumDyXhat
+		b.Beta.Grad.Data[c] += sumDy
+		gamma := b.Gamma.W.Data[c]
+		std := b.lastStd[c]
+		// dx = gamma/std * (dy - mean(dy) - xhat*mean(dy*xhat))
+		b.forEachPair(dx, b.lastXHat, n, spatial, c, func(d, h []float64, i int) {
+			g := d[i]
+			d[i] = gamma / std * (g - sumDy/cnt - h[i]*sumDyXhat/cnt)
+		})
+	}
+	return dx
+}
+
+// forEach visits every element of channel c in x.
+func (b *BatchNorm) forEach(x *tensor.Tensor, n, spatial, c int, f func(d []float64, i int)) {
+	for s := 0; s < n; s++ {
+		base := (s*b.C + c) * spatial
+		for p := 0; p < spatial; p++ {
+			f(x.Data, base+p)
+		}
+	}
+}
+
+// forEachPair visits matching elements of channel c in a and b2.
+func (b *BatchNorm) forEachPair(a, b2 *tensor.Tensor, n, spatial, c int, f func(da, db []float64, i int)) {
+	for s := 0; s < n; s++ {
+		base := (s*b.C + c) * spatial
+		for p := 0; p < spatial; p++ {
+			f(a.Data, b2.Data, base+p)
+		}
+	}
+}

@@ -1,0 +1,128 @@
+package dnn
+
+import (
+	"repro/internal/tensor"
+)
+
+// Conv2D is a 2-D convolution over [N, C, H, W] inputs implemented by
+// im2col lowering. Weights have shape [OutC, InC, KH, KW].
+type Conv2D struct {
+	name   string
+	Geom   tensor.ConvGeom
+	OutC   int
+	Weight *Param
+	Bias   *Param
+
+	// caches from the last training forward pass
+	lastCols []*tensor.Tensor // per-sample im2col matrices
+	colBuf   *tensor.Tensor   // inference-path scratch
+}
+
+// NewConv2D constructs a convolution layer with He-normal weights.
+func NewConv2D(name string, outC int, g tensor.ConvGeom, rng *tensor.RNG) *Conv2D {
+	if err := g.Validate(); err != nil {
+		panic(err)
+	}
+	w := tensor.New(outC, g.InC, g.KH, g.KW)
+	rng.HeInit(w, g.InC*g.KH*g.KW)
+	return &Conv2D{
+		name:   name,
+		Geom:   g,
+		OutC:   outC,
+		Weight: newParam(name+".W", w),
+		Bias:   newParam(name+".b", tensor.New(outC)),
+	}
+}
+
+// Name implements Layer.
+func (c *Conv2D) Name() string { return c.name }
+
+// Params implements Layer.
+func (c *Conv2D) Params() []*Param { return []*Param{c.Weight, c.Bias} }
+
+// OutShape implements Layer.
+func (c *Conv2D) OutShape(in []int) []int {
+	return []int{c.OutC, c.Geom.OutH(), c.Geom.OutW()}
+}
+
+// Forward implements Layer.
+func (c *Conv2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	g := c.Geom
+	checkBatchShape(c.name, x, g.InC, g.InH, g.InW)
+	n := x.Shape[0]
+	oh, ow := g.OutH(), g.OutW()
+	rows := g.InC * g.KH * g.KW
+	sampleIn := g.InC * g.InH * g.InW
+	sampleOut := c.OutC * oh * ow
+
+	out := tensor.New(n, c.OutC, oh, ow)
+	w2 := c.Weight.W.Reshape(c.OutC, rows)
+	if train {
+		c.lastCols = make([]*tensor.Tensor, n)
+	} else if c.colBuf == nil || c.colBuf.Shape[0] != rows || c.colBuf.Shape[1] != oh*ow {
+		c.colBuf = tensor.New(rows, oh*ow)
+	}
+	prod := tensor.New(c.OutC, oh*ow)
+	for i := 0; i < n; i++ {
+		in := tensor.FromSlice(x.Data[i*sampleIn:(i+1)*sampleIn], g.InC, g.InH, g.InW)
+		var cols *tensor.Tensor
+		if train {
+			cols = tensor.Im2Col(in, g, nil)
+			c.lastCols[i] = cols
+		} else {
+			cols = tensor.Im2Col(in, g, c.colBuf)
+		}
+		tensor.MatMulInto(w2, cols, prod)
+		dst := out.Data[i*sampleOut : (i+1)*sampleOut]
+		copy(dst, prod.Data)
+		for oc := 0; oc < c.OutC; oc++ {
+			b := c.Bias.W.Data[oc]
+			row := dst[oc*oh*ow : (oc+1)*oh*ow]
+			for j := range row {
+				row[j] += b
+			}
+		}
+	}
+	return out
+}
+
+// Backward implements Layer.
+func (c *Conv2D) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	if c.lastCols == nil {
+		panic("dnn: Conv2D.Backward before Forward(train=true)")
+	}
+	g := c.Geom
+	n := grad.Shape[0]
+	oh, ow := g.OutH(), g.OutW()
+	rows := g.InC * g.KH * g.KW
+	sampleIn := g.InC * g.InH * g.InW
+	sampleOut := c.OutC * oh * ow
+
+	dx := tensor.New(n, g.InC, g.InH, g.InW)
+	w2 := c.Weight.W.Reshape(c.OutC, rows)
+	w2t := tensor.Transpose2D(w2)
+	dwAcc := c.Weight.Grad.Reshape(c.OutC, rows)
+	dcols := tensor.New(rows, oh*ow)
+	dwPart := tensor.New(c.OutC, rows)
+	for i := 0; i < n; i++ {
+		gOut := tensor.FromSlice(grad.Data[i*sampleOut:(i+1)*sampleOut], c.OutC, oh*ow)
+		// bias grad: sum over spatial positions
+		for oc := 0; oc < c.OutC; oc++ {
+			s := 0.0
+			row := gOut.Data[oc*oh*ow : (oc+1)*oh*ow]
+			for _, v := range row {
+				s += v
+			}
+			c.Bias.Grad.Data[oc] += s
+		}
+		// dW += gOut × colsᵀ
+		colsT := tensor.Transpose2D(c.lastCols[i])
+		tensor.MatMulInto(gOut, colsT, dwPart)
+		tensor.AddInPlace(dwAcc, dwPart)
+		// dx via col2im(Wᵀ × gOut)
+		tensor.MatMulInto(w2t, gOut, dcols)
+		dxi := tensor.FromSlice(dx.Data[i*sampleIn:(i+1)*sampleIn], g.InC, g.InH, g.InW)
+		tensor.Col2Im(dcols, g, dxi)
+	}
+	return dx
+}

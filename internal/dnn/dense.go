@@ -1,0 +1,77 @@
+package dnn
+
+import (
+	"repro/internal/tensor"
+)
+
+// Dense is a fully connected layer: y = x·W + b with x of shape [N, In],
+// W of shape [In, Out] and b of shape [Out].
+type Dense struct {
+	name    string
+	In, Out int
+	Weight  *Param
+	Bias    *Param
+
+	// cached input from the last training forward pass
+	lastX *tensor.Tensor
+}
+
+// NewDense constructs a dense layer with He-normal weights drawn from rng.
+func NewDense(name string, in, out int, rng *tensor.RNG) *Dense {
+	w := tensor.New(in, out)
+	rng.HeInit(w, in)
+	return &Dense{
+		name:   name,
+		In:     in,
+		Out:    out,
+		Weight: newParam(name+".W", w),
+		Bias:   newParam(name+".b", tensor.New(out)),
+	}
+}
+
+// Name implements Layer.
+func (d *Dense) Name() string { return d.name }
+
+// Params implements Layer.
+func (d *Dense) Params() []*Param { return []*Param{d.Weight, d.Bias} }
+
+// OutShape implements Layer.
+func (d *Dense) OutShape(in []int) []int { return []int{d.Out} }
+
+// Forward implements Layer.
+func (d *Dense) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	checkBatchShape(d.name, x, d.In)
+	if train {
+		d.lastX = x
+	}
+	n := x.Shape[0]
+	out := tensor.MatMul(x, d.Weight.W) // [N, Out]
+	for i := 0; i < n; i++ {
+		row := out.Data[i*d.Out : (i+1)*d.Out]
+		for j := range row {
+			row[j] += d.Bias.W.Data[j]
+		}
+	}
+	return out
+}
+
+// Backward implements Layer.
+func (d *Dense) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	x := d.lastX
+	if x == nil {
+		panic("dnn: Dense.Backward before Forward(train=true)")
+	}
+	// dW += xᵀ·grad ; db += column sums ; dx = grad·Wᵀ
+	xt := tensor.Transpose2D(x)
+	dw := tensor.MatMul(xt, grad)
+	tensor.AddInPlace(d.Weight.Grad, dw)
+	n := grad.Shape[0]
+	for i := 0; i < n; i++ {
+		row := grad.Data[i*d.Out : (i+1)*d.Out]
+		for j, g := range row {
+			d.Bias.Grad.Data[j] += g
+		}
+	}
+	wt := tensor.Transpose2D(d.Weight.W)
+	return tensor.MatMul(grad, wt)
+}

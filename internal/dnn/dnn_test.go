@@ -1,0 +1,355 @@
+package dnn
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"repro/internal/tensor"
+)
+
+func TestDenseForwardKnown(t *testing.T) {
+	rng := tensor.NewRNG(1)
+	d := NewDense("fc", 2, 2, rng)
+	copy(d.Weight.W.Data, []float64{1, 2, 3, 4}) // W[in][out]
+	copy(d.Bias.W.Data, []float64{10, 20})
+	x := tensor.FromSlice([]float64{1, 1}, 1, 2)
+	out := d.Forward(x, false)
+	want := tensor.FromSlice([]float64{14, 26}, 1, 2)
+	if !out.AllClose(want, 1e-12) {
+		t.Fatalf("Dense forward = %v, want %v", out, want)
+	}
+}
+
+func TestDenseRejectsBadInput(t *testing.T) {
+	rng := tensor.NewRNG(1)
+	d := NewDense("fc", 3, 2, rng)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for wrong input width")
+		}
+	}()
+	d.Forward(tensor.New(1, 4), false)
+}
+
+func TestReLUForward(t *testing.T) {
+	r := NewReLU("relu")
+	x := tensor.FromSlice([]float64{-1, 0, 2}, 1, 3)
+	out := r.Forward(x, false)
+	want := tensor.FromSlice([]float64{0, 0, 2}, 1, 3)
+	if !out.Equal(want) {
+		t.Fatalf("ReLU = %v", out)
+	}
+	if x.Data[0] != -1 {
+		t.Fatal("ReLU must not mutate its input")
+	}
+}
+
+func TestAvgPoolForwardKnown(t *testing.T) {
+	p := NewPool2D("pool", AvgPool, 1, 2, 2, 2)
+	x := tensor.FromSlice([]float64{1, 2, 3, 4}, 1, 1, 2, 2)
+	out := p.Forward(x, false)
+	if out.Len() != 1 || out.Data[0] != 2.5 {
+		t.Fatalf("AvgPool = %v, want [2.5]", out)
+	}
+}
+
+func TestMaxPoolForwardKnown(t *testing.T) {
+	p := NewPool2D("pool", MaxPool, 1, 2, 2, 2)
+	x := tensor.FromSlice([]float64{1, 7, 3, 4}, 1, 1, 2, 2)
+	out := p.Forward(x, false)
+	if out.Data[0] != 7 {
+		t.Fatalf("MaxPool = %v, want 7", out.Data[0])
+	}
+}
+
+func TestPoolRejectsNonTiling(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for non-tiling pool")
+		}
+	}()
+	NewPool2D("pool", AvgPool, 1, 5, 5, 2)
+}
+
+func TestFlattenRoundTrip(t *testing.T) {
+	f := NewFlatten("flat")
+	x := tensor.New(2, 3, 4, 4)
+	out := f.Forward(x, true)
+	if out.Shape[0] != 2 || out.Shape[1] != 48 {
+		t.Fatalf("Flatten shape = %v", out.Shape)
+	}
+	back := f.Backward(out)
+	if !back.SameShape(x) {
+		t.Fatalf("Flatten backward shape = %v", back.Shape)
+	}
+}
+
+func TestBatchNormNormalizesTraining(t *testing.T) {
+	bn := NewBatchNorm("bn", 2, true)
+	rng := tensor.NewRNG(3)
+	x := tensor.New(8, 2, 4, 4)
+	rng.FillNormal(x, 5, 3) // far from standardized
+	out := bn.Forward(x, true)
+	// With gamma=1, beta=0 the per-channel output should be ~N(0,1).
+	for c := 0; c < 2; c++ {
+		sum, sq, cnt := 0.0, 0.0, 0
+		for s := 0; s < 8; s++ {
+			base := (s*2 + c) * 16
+			for i := 0; i < 16; i++ {
+				v := out.Data[base+i]
+				sum += v
+				sq += v * v
+				cnt++
+			}
+		}
+		mean := sum / float64(cnt)
+		variance := sq/float64(cnt) - mean*mean
+		if math.Abs(mean) > 1e-9 || math.Abs(variance-1) > 1e-3 {
+			t.Fatalf("channel %d not normalized: mean=%v var=%v", c, mean, variance)
+		}
+	}
+}
+
+func TestBatchNormInferenceUsesRunningStats(t *testing.T) {
+	bn := NewBatchNorm("bn", 1, false)
+	// Prime running stats directly.
+	bn.RunMean.Data[0] = 2
+	bn.RunVar.Data[0] = 4
+	x := tensor.FromSlice([]float64{4}, 1, 1)
+	out := bn.Forward(x, false)
+	want := (4.0 - 2.0) / math.Sqrt(4+bn.Eps)
+	if math.Abs(out.Data[0]-want) > 1e-9 {
+		t.Fatalf("BN inference = %v, want %v", out.Data[0], want)
+	}
+}
+
+func TestSoftmaxRowsSumToOne(t *testing.T) {
+	rng := tensor.NewRNG(4)
+	logits := tensor.New(5, 7)
+	rng.FillNormal(logits, 0, 3)
+	sm := Softmax(logits)
+	for i := 0; i < 5; i++ {
+		s := 0.0
+		for j := 0; j < 7; j++ {
+			v := sm.At(i, j)
+			if v < 0 || v > 1 {
+				t.Fatalf("softmax out of [0,1]: %v", v)
+			}
+			s += v
+		}
+		if math.Abs(s-1) > 1e-9 {
+			t.Fatalf("softmax row %d sums to %v", i, s)
+		}
+	}
+}
+
+func TestSoftmaxCrossEntropyUniform(t *testing.T) {
+	// Zero logits -> loss = ln(C)
+	logits := tensor.New(2, 4)
+	loss, _ := SoftmaxCrossEntropy(logits, []int{0, 3})
+	if math.Abs(loss-math.Log(4)) > 1e-9 {
+		t.Fatalf("uniform CE loss = %v, want ln4", loss)
+	}
+}
+
+func TestAccuracy(t *testing.T) {
+	if Accuracy([]int{1, 2, 3}, []int{1, 0, 3}) != 2.0/3.0 {
+		t.Fatal("Accuracy wrong")
+	}
+	if Accuracy(nil, nil) != 0 {
+		t.Fatal("empty accuracy should be 0")
+	}
+}
+
+func TestSGDMomentumStep(t *testing.T) {
+	p := newParam("w", tensor.FromSlice([]float64{1}, 1))
+	p.Grad.Data[0] = 1
+	opt := NewSGD(0.1, 0.9, 0)
+	opt.Step([]*Param{p})
+	if math.Abs(p.W.Data[0]-0.9) > 1e-12 {
+		t.Fatalf("after step 1: %v, want 0.9", p.W.Data[0])
+	}
+	// second step with same grad: v = 0.9*(-0.1) - 0.1 = -0.19
+	opt.Step([]*Param{p})
+	if math.Abs(p.W.Data[0]-0.71) > 1e-12 {
+		t.Fatalf("after step 2: %v, want 0.71", p.W.Data[0])
+	}
+}
+
+func TestAdamReducesQuadratic(t *testing.T) {
+	// minimize f(w) = w² from w=5
+	p := newParam("w", tensor.FromSlice([]float64{5}, 1))
+	opt := NewAdam(0.1, 0)
+	for i := 0; i < 500; i++ {
+		p.ZeroGrad()
+		p.Grad.Data[0] = 2 * p.W.Data[0]
+		opt.Step([]*Param{p})
+	}
+	if math.Abs(p.W.Data[0]) > 0.01 {
+		t.Fatalf("Adam failed to minimize quadratic: w=%v", p.W.Data[0])
+	}
+}
+
+func TestWeightDecayShrinksWeights(t *testing.T) {
+	p := newParam("w", tensor.FromSlice([]float64{1}, 1))
+	opt := NewSGD(0.1, 0, 0.5)
+	opt.Step([]*Param{p}) // grad 0, decay pulls toward 0
+	if p.W.Data[0] >= 1 {
+		t.Fatalf("weight decay had no effect: %v", p.W.Data[0])
+	}
+}
+
+func TestNetworkSaveLoadRoundTrip(t *testing.T) {
+	rng := tensor.NewRNG(5)
+	build := func(r *tensor.RNG) *Network {
+		n := NewNetwork("t", 1, 4, 4)
+		g := tensor.ConvGeom{InC: 1, InH: 4, InW: 4, KH: 3, KW: 3, Stride: 1, Pad: 1}
+		n.Add(NewConv2D("c1", 2, g, r), NewBatchNorm("c1.bn", 2, true), NewReLU("r1"),
+			NewFlatten("f"), NewDense("fc", 32, 3, r))
+		return n
+	}
+	src := build(rng)
+	src.Layers[1].(*BatchNorm).RunMean.Data[0] = 0.7
+	var buf bytes.Buffer
+	if err := src.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	dst := build(tensor.NewRNG(999)) // different init, must be overwritten
+	if err := dst.Load(&buf); err != nil {
+		t.Fatal(err)
+	}
+	x := tensor.New(2, 1, 4, 4)
+	tensor.NewRNG(6).FillNormal(x, 0, 1)
+	if !src.Forward(x, false).AllClose(dst.Forward(x, false), 1e-12) {
+		t.Fatal("loaded network disagrees with saved network")
+	}
+	if dst.Layers[1].(*BatchNorm).RunMean.Data[0] != 0.7 {
+		t.Fatal("running stats not restored")
+	}
+}
+
+func TestNetworkLoadMissingParam(t *testing.T) {
+	rng := tensor.NewRNG(7)
+	small := NewNetwork("s", 4).Add(NewDense("a", 4, 2, rng))
+	var buf bytes.Buffer
+	if err := small.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	big := NewNetwork("b", 4).Add(NewDense("a", 4, 2, rng), NewDense("zzz", 2, 2, rng))
+	if err := big.Load(&buf); err == nil {
+		t.Fatal("Load should fail on missing parameter")
+	}
+}
+
+func TestNetworkOutShape(t *testing.T) {
+	rng := tensor.NewRNG(8)
+	cfg := ArchConfig{InC: 3, InH: 32, InW: 32, Classes: 10, WidthDiv: 8, FCWidth: 32, BatchNorm: true, Pool: AvgPool}
+	net := BuildVGG16(cfg, rng)
+	out := net.OutShape()
+	if len(out) != 1 || out[0] != 10 {
+		t.Fatalf("VGG16 OutShape = %v", out)
+	}
+}
+
+func TestBuildVGG16LayerNames(t *testing.T) {
+	rng := tensor.NewRNG(9)
+	cfg := ArchConfig{InC: 3, InH: 32, InW: 32, Classes: 10, WidthDiv: 8, FCWidth: 32, Pool: AvgPool}
+	net := BuildVGG16(cfg, rng)
+	convs, fcs := 0, 0
+	names := map[string]bool{}
+	for _, l := range net.Layers {
+		names[l.Name()] = true
+		switch l.(type) {
+		case *Conv2D:
+			convs++
+		case *Dense:
+			fcs++
+		}
+	}
+	if convs != 13 || fcs != 3 {
+		t.Fatalf("VGG-16 has %d convs and %d FCs, want 13/3", convs, fcs)
+	}
+	for _, want := range []string{"Conv1-1", "Conv2-1", "Conv3-3", "Conv5-3", "FC6", "FC8"} {
+		if !names[want] {
+			t.Fatalf("missing expected layer name %s (have %v)", want, names)
+		}
+	}
+}
+
+func TestBuildLeNetShapes(t *testing.T) {
+	rng := tensor.NewRNG(10)
+	cfg := ArchConfig{InC: 1, InH: 28, InW: 28, Classes: 10, FCWidth: 64, BatchNorm: true, Pool: AvgPool}
+	net := BuildLeNet(cfg, rng)
+	x := tensor.New(2, 1, 28, 28)
+	out := net.Forward(x, false)
+	if out.Shape[0] != 2 || out.Shape[1] != 10 {
+		t.Fatalf("LeNet out shape = %v", out.Shape)
+	}
+}
+
+func TestForwardCollectVisitsAllLayers(t *testing.T) {
+	rng := tensor.NewRNG(11)
+	cfg := ArchConfig{InC: 1, InH: 8, InW: 8, Classes: 4, FCWidth: 8, Pool: AvgPool}
+	net := BuildLeNet(cfg, rng)
+	x := tensor.New(1, 1, 8, 8)
+	visited := 0
+	net.ForwardCollect(x, func(i int, l Layer, out *tensor.Tensor) { visited++ })
+	if visited != len(net.Layers) {
+		t.Fatalf("visited %d layers, want %d", visited, len(net.Layers))
+	}
+}
+
+func TestTrainLearnsSeparableProblem(t *testing.T) {
+	// Two well-separated Gaussian blobs in 8-D must be learnable to
+	// near-100% by a small dense net within a few epochs.
+	rng := tensor.NewRNG(12)
+	n := 200
+	x := tensor.New(n, 8)
+	labels := make([]int, n)
+	for i := 0; i < n; i++ {
+		cls := i % 2
+		labels[i] = cls
+		for j := 0; j < 8; j++ {
+			center := -1.0
+			if cls == 1 {
+				center = 1.0
+			}
+			x.Data[i*8+j] = center + 0.3*rng.Norm()
+		}
+	}
+	net := NewNetwork("mlp", 8).Add(
+		NewDense("fc1", 8, 16, rng), NewReLU("r1"), NewDense("fc2", 16, 2, rng))
+	stats := Train(net, x, labels, TrainConfig{
+		Epochs: 5, BatchSize: 16, Optimizer: NewAdam(0.01, 0), RNG: tensor.NewRNG(13)})
+	if len(stats) != 5 {
+		t.Fatalf("expected 5 epoch stats, got %d", len(stats))
+	}
+	if acc := Evaluate(net, x, labels, 32); acc < 0.95 {
+		t.Fatalf("training failed to fit separable data: acc=%.2f", acc)
+	}
+	if stats[4].Loss >= stats[0].Loss {
+		t.Fatalf("loss did not decrease: %v -> %v", stats[0].Loss, stats[4].Loss)
+	}
+}
+
+func TestTrainMaxBatchesCap(t *testing.T) {
+	rng := tensor.NewRNG(14)
+	x := tensor.New(100, 4)
+	rng.FillNormal(x, 0, 1)
+	labels := make([]int, 100)
+	net := NewNetwork("mlp", 4).Add(NewDense("fc", 4, 2, rng))
+	stats := Train(net, x, labels, TrainConfig{Epochs: 1, BatchSize: 10, MaxBatchesPerEpoch: 2, RNG: tensor.NewRNG(1)})
+	// only 20 samples seen; accuracy/loss must still be well-defined
+	if math.IsNaN(stats[0].Loss) {
+		t.Fatal("loss is NaN with capped batches")
+	}
+}
+
+func TestNumParams(t *testing.T) {
+	rng := tensor.NewRNG(15)
+	net := NewNetwork("p", 4).Add(NewDense("fc", 4, 3, rng))
+	if got := net.NumParams(); got != 4*3+3 {
+		t.Fatalf("NumParams = %d, want 15", got)
+	}
+}

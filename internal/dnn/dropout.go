@@ -1,0 +1,71 @@
+package dnn
+
+import (
+	"repro/internal/tensor"
+)
+
+// Dropout randomly zeroes activations during training with probability
+// P, scaling survivors by 1/(1−P) (inverted dropout) so inference is a
+// no-op. VGG-style training uses it between the fully connected layers;
+// it is transparent to DNN-to-SNN conversion because it vanishes at
+// inference.
+type Dropout struct {
+	name string
+	P    float64
+	rng  *tensor.RNG
+	mask []bool
+}
+
+// NewDropout constructs a dropout layer with drop probability p.
+func NewDropout(name string, p float64, rng *tensor.RNG) *Dropout {
+	if p < 0 || p >= 1 {
+		panic("dnn: dropout probability must be in [0,1)")
+	}
+	return &Dropout{name: name, P: p, rng: rng}
+}
+
+// Name implements Layer.
+func (d *Dropout) Name() string { return d.name }
+
+// Params implements Layer.
+func (d *Dropout) Params() []*Param { return nil }
+
+// OutShape implements Layer.
+func (d *Dropout) OutShape(in []int) []int { return append([]int(nil), in...) }
+
+// Forward implements Layer.
+func (d *Dropout) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	if !train || d.P == 0 {
+		return x
+	}
+	out := x.Clone()
+	d.mask = make([]bool, len(out.Data))
+	scale := 1 / (1 - d.P)
+	for i := range out.Data {
+		if d.rng.Float64() < d.P {
+			out.Data[i] = 0
+		} else {
+			d.mask[i] = true
+			out.Data[i] *= scale
+		}
+	}
+	return out
+}
+
+// Backward implements Layer.
+func (d *Dropout) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	if d.mask == nil {
+		// dropout was inactive (P == 0 or inference forward)
+		return grad
+	}
+	dx := grad.Clone()
+	scale := 1 / (1 - d.P)
+	for i := range dx.Data {
+		if d.mask[i] {
+			dx.Data[i] *= scale
+		} else {
+			dx.Data[i] = 0
+		}
+	}
+	return dx
+}

@@ -1,0 +1,194 @@
+package dnn
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/tensor"
+)
+
+// numericalGrad computes dLoss/dTheta for every element of theta by
+// central differences, where loss() re-runs the full forward pass.
+func numericalGrad(theta *tensor.Tensor, loss func() float64) *tensor.Tensor {
+	const h = 1e-5
+	g := tensor.New(theta.Shape...)
+	for i := range theta.Data {
+		orig := theta.Data[i]
+		theta.Data[i] = orig + h
+		lp := loss()
+		theta.Data[i] = orig - h
+		lm := loss()
+		theta.Data[i] = orig
+		g.Data[i] = (lp - lm) / (2 * h)
+	}
+	return g
+}
+
+// relErr returns a scale-aware difference between analytic and numeric
+// gradients.
+func relErr(a, b *tensor.Tensor) float64 {
+	worst := 0.0
+	for i := range a.Data {
+		diff := math.Abs(a.Data[i] - b.Data[i])
+		scale := math.Max(1, math.Max(math.Abs(a.Data[i]), math.Abs(b.Data[i])))
+		if e := diff / scale; e > worst {
+			worst = e
+		}
+	}
+	return worst
+}
+
+// checkLayerGradients verifies analytic parameter and input gradients of
+// a single layer against numerical differentiation, using a quadratic
+// pseudo-loss L = 0.5*||out||² whose dL/dout = out.
+func checkLayerGradients(t *testing.T, l Layer, x *tensor.Tensor) {
+	t.Helper()
+	loss := func() float64 {
+		out := l.Forward(x, true)
+		s := 0.0
+		for _, v := range out.Data {
+			s += 0.5 * v * v
+		}
+		return s
+	}
+	// analytic pass
+	for _, p := range l.Params() {
+		p.ZeroGrad()
+	}
+	out := l.Forward(x, true)
+	dx := l.Backward(out.Clone())
+
+	for _, p := range l.Params() {
+		num := numericalGrad(p.W, loss)
+		if e := relErr(p.Grad, num); e > 1e-4 {
+			t.Fatalf("%s: parameter %s gradient error %.2e", l.Name(), p.Name, e)
+		}
+	}
+	numX := numericalGrad(x, loss)
+	if e := relErr(dx, numX); e > 1e-4 {
+		t.Fatalf("%s: input gradient error %.2e", l.Name(), e)
+	}
+}
+
+func TestDenseGradients(t *testing.T) {
+	rng := tensor.NewRNG(1)
+	l := NewDense("fc", 5, 4, rng)
+	x := tensor.New(3, 5)
+	rng.FillNormal(x, 0, 1)
+	checkLayerGradients(t, l, x)
+}
+
+func TestConv2DGradients(t *testing.T) {
+	rng := tensor.NewRNG(2)
+	g := tensor.ConvGeom{InC: 2, InH: 5, InW: 5, KH: 3, KW: 3, Stride: 1, Pad: 1}
+	l := NewConv2D("conv", 3, g, rng)
+	x := tensor.New(2, 2, 5, 5)
+	rng.FillNormal(x, 0, 1)
+	checkLayerGradients(t, l, x)
+}
+
+func TestConv2DStridedGradients(t *testing.T) {
+	rng := tensor.NewRNG(3)
+	g := tensor.ConvGeom{InC: 1, InH: 6, InW: 6, KH: 3, KW: 3, Stride: 2, Pad: 0}
+	l := NewConv2D("conv-s2", 2, g, rng)
+	x := tensor.New(1, 1, 6, 6)
+	rng.FillNormal(x, 0, 1)
+	checkLayerGradients(t, l, x)
+}
+
+func TestAvgPoolGradients(t *testing.T) {
+	rng := tensor.NewRNG(4)
+	l := NewPool2D("avgpool", AvgPool, 2, 4, 4, 2)
+	x := tensor.New(2, 2, 4, 4)
+	rng.FillNormal(x, 0, 1)
+	checkLayerGradients(t, l, x)
+}
+
+func TestMaxPoolGradients(t *testing.T) {
+	rng := tensor.NewRNG(5)
+	l := NewPool2D("maxpool", MaxPool, 1, 4, 4, 2)
+	x := tensor.New(2, 1, 4, 4)
+	// keep values well separated so the argmax does not flip under h
+	rng.FillUniform(x, 0, 10)
+	checkLayerGradients(t, l, x)
+}
+
+func TestReLUGradients(t *testing.T) {
+	rng := tensor.NewRNG(6)
+	l := NewReLU("relu")
+	x := tensor.New(3, 7)
+	rng.FillNormal(x, 0, 1)
+	// keep away from the kink at 0
+	for i, v := range x.Data {
+		if math.Abs(v) < 0.05 {
+			x.Data[i] = 0.1
+		}
+	}
+	checkLayerGradients(t, l, x)
+}
+
+func TestBatchNormSpatialGradients(t *testing.T) {
+	rng := tensor.NewRNG(7)
+	l := NewBatchNorm("bn", 3, true)
+	// non-trivial gamma/beta
+	rng.FillUniform(l.Gamma.W, 0.5, 1.5)
+	rng.FillUniform(l.Beta.W, -0.5, 0.5)
+	x := tensor.New(4, 3, 3, 3)
+	rng.FillNormal(x, 0.3, 1.2)
+	checkLayerGradients(t, l, x)
+}
+
+func TestBatchNormDenseGradients(t *testing.T) {
+	rng := tensor.NewRNG(8)
+	l := NewBatchNorm("bn1d", 5, false)
+	rng.FillUniform(l.Gamma.W, 0.5, 1.5)
+	x := tensor.New(6, 5)
+	rng.FillNormal(x, -0.2, 0.8)
+	checkLayerGradients(t, l, x)
+}
+
+func TestSoftmaxCrossEntropyGradient(t *testing.T) {
+	rng := tensor.NewRNG(9)
+	logits := tensor.New(4, 5)
+	rng.FillNormal(logits, 0, 2)
+	labels := []int{1, 0, 4, 2}
+	_, grad := SoftmaxCrossEntropy(logits, labels)
+	num := numericalGrad(logits, func() float64 {
+		l, _ := SoftmaxCrossEntropy(logits, labels)
+		return l
+	})
+	if e := relErr(grad, num); e > 1e-6 {
+		t.Fatalf("softmax CE gradient error %.2e", e)
+	}
+}
+
+func TestEndToEndNetworkGradient(t *testing.T) {
+	rng := tensor.NewRNG(10)
+	net := NewNetwork("tiny", 1, 4, 4)
+	g := tensor.ConvGeom{InC: 1, InH: 4, InW: 4, KH: 3, KW: 3, Stride: 1, Pad: 1}
+	net.Add(
+		NewConv2D("c1", 2, g, rng),
+		NewReLU("r1"),
+		NewPool2D("p1", AvgPool, 2, 4, 4, 2),
+		NewFlatten("f"),
+		NewDense("fc", 8, 3, rng),
+	)
+	x := tensor.New(2, 1, 4, 4)
+	rng.FillNormal(x, 0, 1)
+	labels := []int{0, 2}
+
+	loss := func() float64 {
+		l, _ := SoftmaxCrossEntropy(net.Forward(x, true), labels)
+		return l
+	}
+	net.ZeroGrads()
+	logits := net.Forward(x, true)
+	_, grad := SoftmaxCrossEntropy(logits, labels)
+	net.Backward(grad)
+	for _, p := range net.Params() {
+		num := numericalGrad(p.W, loss)
+		if e := relErr(p.Grad, num); e > 1e-4 {
+			t.Fatalf("end-to-end gradient error %.2e on %s", e, p.Name)
+		}
+	}
+}

@@ -1,0 +1,64 @@
+// Package dnn implements the trainable deep neural network substrate the
+// T2FSNN paper converts from: convolution, pooling, dense, batch-norm and
+// ReLU layers with full backpropagation, SGD/momentum and Adam optimizers,
+// a sequential network container with gob serialization, and builders for
+// the LeNet- and VGG-16-style architectures used in the experiments.
+//
+// All layer tensors carry a leading batch dimension: feature maps are
+// [N, C, H, W] and dense activations are [N, D].
+package dnn
+
+import (
+	"fmt"
+
+	"repro/internal/tensor"
+)
+
+// Param is a trainable parameter with its gradient accumulator.
+type Param struct {
+	Name string
+	W    *tensor.Tensor
+	Grad *tensor.Tensor
+}
+
+// newParam allocates a parameter and a zeroed gradient of the same shape.
+func newParam(name string, w *tensor.Tensor) *Param {
+	return &Param{Name: name, W: w, Grad: tensor.New(w.Shape...)}
+}
+
+// ZeroGrad clears the accumulated gradient.
+func (p *Param) ZeroGrad() { p.Grad.Zero() }
+
+// Layer is one differentiable stage of a network. Forward caches whatever
+// Backward needs, so a Layer instance must not be shared across concurrent
+// forward passes.
+type Layer interface {
+	// Name identifies the layer for serialization, conversion, and the
+	// per-layer reporting in the paper's figures (e.g. "Conv2-1").
+	Name() string
+	// Forward computes the layer output for a batch. train selects
+	// training behaviour (batch statistics, caching for backward).
+	Forward(x *tensor.Tensor, train bool) *tensor.Tensor
+	// Backward receives dL/d(output) and returns dL/d(input),
+	// accumulating parameter gradients along the way. It must be called
+	// after a Forward with train=true.
+	Backward(grad *tensor.Tensor) *tensor.Tensor
+	// Params returns the trainable parameters (possibly empty).
+	Params() []*Param
+	// OutShape maps an input sample shape (without batch dimension) to
+	// the output sample shape.
+	OutShape(in []int) []int
+}
+
+// checkBatchShape panics with a descriptive message if x does not have
+// the expected per-sample shape (ignoring the batch dimension).
+func checkBatchShape(layer string, x *tensor.Tensor, sample ...int) {
+	if x.Rank() != len(sample)+1 {
+		panic(fmt.Sprintf("dnn: %s expected rank %d input, got %v", layer, len(sample)+1, x.Shape))
+	}
+	for i, d := range sample {
+		if x.Shape[i+1] != d {
+			panic(fmt.Sprintf("dnn: %s expected sample shape %v, got %v", layer, sample, x.Shape))
+		}
+	}
+}

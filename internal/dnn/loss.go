@@ -1,0 +1,88 @@
+package dnn
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/tensor"
+)
+
+// SoftmaxCrossEntropy computes the mean softmax cross-entropy loss of a
+// [N, C] logits batch against integer labels, and the gradient of the
+// loss with respect to the logits. The softmax and loss are fused for
+// numerical stability (log-sum-exp with max subtraction).
+func SoftmaxCrossEntropy(logits *tensor.Tensor, labels []int) (loss float64, grad *tensor.Tensor) {
+	n, c := logits.Shape[0], logits.Shape[1]
+	if len(labels) != n {
+		panic(fmt.Sprintf("dnn: %d labels for %d samples", len(labels), n))
+	}
+	grad = tensor.New(n, c)
+	invN := 1.0 / float64(n)
+	for i := 0; i < n; i++ {
+		row := logits.Data[i*c : (i+1)*c]
+		y := labels[i]
+		if y < 0 || y >= c {
+			panic(fmt.Sprintf("dnn: label %d out of range [0,%d)", y, c))
+		}
+		maxv := row[0]
+		for _, v := range row[1:] {
+			if v > maxv {
+				maxv = v
+			}
+		}
+		sum := 0.0
+		for _, v := range row {
+			sum += math.Exp(v - maxv)
+		}
+		logSum := math.Log(sum) + maxv
+		loss += (logSum - row[y]) * invN
+		g := grad.Data[i*c : (i+1)*c]
+		for j, v := range row {
+			g[j] = math.Exp(v-logSum) * invN
+		}
+		g[y] -= invN
+	}
+	return loss, grad
+}
+
+// Softmax returns the row-wise softmax of a [N, C] tensor.
+func Softmax(logits *tensor.Tensor) *tensor.Tensor {
+	n, c := logits.Shape[0], logits.Shape[1]
+	out := tensor.New(n, c)
+	for i := 0; i < n; i++ {
+		row := logits.Data[i*c : (i+1)*c]
+		o := out.Data[i*c : (i+1)*c]
+		maxv := row[0]
+		for _, v := range row[1:] {
+			if v > maxv {
+				maxv = v
+			}
+		}
+		sum := 0.0
+		for j, v := range row {
+			o[j] = math.Exp(v - maxv)
+			sum += o[j]
+		}
+		for j := range o {
+			o[j] /= sum
+		}
+	}
+	return out
+}
+
+// Accuracy returns the fraction of predictions matching labels.
+func Accuracy(pred, labels []int) float64 {
+	if len(pred) != len(labels) {
+		panic(fmt.Sprintf("dnn: %d predictions for %d labels", len(pred), len(labels)))
+	}
+	if len(pred) == 0 {
+		return 0
+	}
+	hit := 0
+	for i, p := range pred {
+		if p == labels[i] {
+			hit++
+		}
+	}
+	return float64(hit) / float64(len(pred))
+}

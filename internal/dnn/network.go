@@ -1,0 +1,178 @@
+package dnn
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+
+	"repro/internal/tensor"
+)
+
+// Network is an ordered sequence of layers trained with backpropagation.
+type Network struct {
+	Name    string
+	InShape []int // per-sample input shape, e.g. [3, 32, 32]
+	Layers  []Layer
+}
+
+// NewNetwork constructs an empty network for the given per-sample input
+// shape.
+func NewNetwork(name string, inShape ...int) *Network {
+	return &Network{Name: name, InShape: append([]int(nil), inShape...)}
+}
+
+// Add appends layers to the network and returns it for chaining.
+func (n *Network) Add(layers ...Layer) *Network {
+	n.Layers = append(n.Layers, layers...)
+	return n
+}
+
+// OutShape returns the per-sample output shape of the whole network.
+func (n *Network) OutShape() []int {
+	s := n.InShape
+	for _, l := range n.Layers {
+		s = l.OutShape(s)
+	}
+	return s
+}
+
+// Forward runs a batch through every layer.
+func (n *Network) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	for _, l := range n.Layers {
+		x = l.Forward(x, train)
+	}
+	return x
+}
+
+// ForwardCollect runs a batch in inference mode and invokes visit with
+// each layer's output. Conversion uses this to record activation
+// statistics; kernel optimization uses it to record the ground-truth
+// values z̄ of Eq. 9.
+func (n *Network) ForwardCollect(x *tensor.Tensor, visit func(layerIdx int, layer Layer, out *tensor.Tensor)) *tensor.Tensor {
+	for i, l := range n.Layers {
+		x = l.Forward(x, false)
+		if visit != nil {
+			visit(i, l, x)
+		}
+	}
+	return x
+}
+
+// Backward propagates the loss gradient through every layer in reverse,
+// accumulating parameter gradients.
+func (n *Network) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	for i := len(n.Layers) - 1; i >= 0; i-- {
+		grad = n.Layers[i].Backward(grad)
+	}
+	return grad
+}
+
+// Params returns all trainable parameters in layer order.
+func (n *Network) Params() []*Param {
+	var ps []*Param
+	for _, l := range n.Layers {
+		ps = append(ps, l.Params()...)
+	}
+	return ps
+}
+
+// ZeroGrads clears every parameter gradient.
+func (n *Network) ZeroGrads() {
+	for _, p := range n.Params() {
+		p.ZeroGrad()
+	}
+}
+
+// NumParams returns the total number of trainable scalar parameters.
+func (n *Network) NumParams() int {
+	total := 0
+	for _, p := range n.Params() {
+		total += p.W.Len()
+	}
+	return total
+}
+
+// Predict returns the argmax class for each sample of a logits batch
+// produced by Forward.
+func (n *Network) Predict(x *tensor.Tensor) []int {
+	logits := n.Forward(x, false)
+	return ArgMaxRows(logits)
+}
+
+// ArgMaxRows returns the per-row argmax of a [N, D] tensor.
+func ArgMaxRows(logits *tensor.Tensor) []int {
+	nSamples, d := logits.Shape[0], logits.Shape[1]
+	out := make([]int, nSamples)
+	for i := 0; i < nSamples; i++ {
+		row := logits.Data[i*d : (i+1)*d]
+		best, bi := row[0], 0
+		for j, v := range row {
+			if v > best {
+				best, bi = v, j
+			}
+		}
+		out[i] = bi
+	}
+	return out
+}
+
+// netState is the gob wire form of a network's trainable state.
+type netState struct {
+	Name    string
+	Params  map[string][]float64
+	RunMean map[string][]float64
+	RunVar  map[string][]float64
+}
+
+// Save serializes all parameters and batch-norm running statistics.
+func (n *Network) Save(w io.Writer) error {
+	st := netState{
+		Name:    n.Name,
+		Params:  map[string][]float64{},
+		RunMean: map[string][]float64{},
+		RunVar:  map[string][]float64{},
+	}
+	for _, p := range n.Params() {
+		if _, dup := st.Params[p.Name]; dup {
+			return fmt.Errorf("dnn: duplicate parameter name %q", p.Name)
+		}
+		st.Params[p.Name] = p.W.Data
+	}
+	for _, l := range n.Layers {
+		if bn, ok := l.(*BatchNorm); ok {
+			st.RunMean[bn.Name()] = bn.RunMean.Data
+			st.RunVar[bn.Name()] = bn.RunVar.Data
+		}
+	}
+	return gob.NewEncoder(w).Encode(st)
+}
+
+// Load restores parameters saved by Save into an identically constructed
+// network. It fails if any parameter is missing or has the wrong size.
+func (n *Network) Load(r io.Reader) error {
+	var st netState
+	if err := gob.NewDecoder(r).Decode(&st); err != nil {
+		return fmt.Errorf("dnn: decoding network state: %w", err)
+	}
+	for _, p := range n.Params() {
+		data, ok := st.Params[p.Name]
+		if !ok {
+			return fmt.Errorf("dnn: saved state missing parameter %q", p.Name)
+		}
+		if len(data) != p.W.Len() {
+			return fmt.Errorf("dnn: parameter %q has %d values, want %d", p.Name, len(data), p.W.Len())
+		}
+		copy(p.W.Data, data)
+	}
+	for _, l := range n.Layers {
+		if bn, ok := l.(*BatchNorm); ok {
+			if m, ok := st.RunMean[bn.Name()]; ok && len(m) == bn.RunMean.Len() {
+				copy(bn.RunMean.Data, m)
+			}
+			if v, ok := st.RunVar[bn.Name()]; ok && len(v) == bn.RunVar.Len() {
+				copy(bn.RunVar.Data, v)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,148 @@
+package dnn
+
+import (
+	"fmt"
+
+	"repro/internal/tensor"
+)
+
+// PoolKind selects the pooling operator.
+type PoolKind int
+
+// Pooling operators. DNN-to-SNN conversions use average pooling because
+// it maps onto spike accumulation; max pooling is provided for parity
+// with conventional DNN baselines.
+const (
+	AvgPool PoolKind = iota
+	MaxPool
+)
+
+func (k PoolKind) String() string {
+	if k == MaxPool {
+		return "max"
+	}
+	return "avg"
+}
+
+// Pool2D is a 2-D pooling layer over [N, C, H, W] inputs with a square
+// window of size K and stride K (the non-overlapping pooling used by the
+// paper's VGG-16).
+type Pool2D struct {
+	name string
+	Kind PoolKind
+	Geom tensor.ConvGeom // KH=KW=Stride=K, Pad=0, InC = channels
+
+	lastArg []int // max-pool winner indices from the last training pass
+	lastN   int
+}
+
+// NewPool2D constructs a pooling layer with window k and stride k.
+func NewPool2D(name string, kind PoolKind, channels, inH, inW, k int) *Pool2D {
+	g := tensor.ConvGeom{InC: channels, InH: inH, InW: inW, KH: k, KW: k, Stride: k, Pad: 0}
+	if err := g.Validate(); err != nil {
+		panic(err)
+	}
+	if inH%k != 0 || inW%k != 0 {
+		panic(fmt.Sprintf("dnn: %s pooling %dx%d does not tile %dx%d input", name, k, k, inH, inW))
+	}
+	return &Pool2D{name: name, Kind: kind, Geom: g}
+}
+
+// Name implements Layer.
+func (p *Pool2D) Name() string { return p.name }
+
+// Params implements Layer.
+func (p *Pool2D) Params() []*Param { return nil }
+
+// OutShape implements Layer.
+func (p *Pool2D) OutShape(in []int) []int {
+	return []int{p.Geom.InC, p.Geom.OutH(), p.Geom.OutW()}
+}
+
+// Forward implements Layer.
+func (p *Pool2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	g := p.Geom
+	checkBatchShape(p.name, x, g.InC, g.InH, g.InW)
+	n := x.Shape[0]
+	oh, ow := g.OutH(), g.OutW()
+	out := tensor.New(n, g.InC, oh, ow)
+	if train && p.Kind == MaxPool {
+		p.lastArg = make([]int, n*g.InC*oh*ow)
+	}
+	p.lastN = n
+	inv := 1.0 / float64(g.KH*g.KW)
+	for i := 0; i < n; i++ {
+		for c := 0; c < g.InC; c++ {
+			base := (i*g.InC + c) * g.InH * g.InW
+			obase := (i*g.InC + c) * oh * ow
+			for oy := 0; oy < oh; oy++ {
+				for ox := 0; ox < ow; ox++ {
+					switch p.Kind {
+					case AvgPool:
+						s := 0.0
+						for ky := 0; ky < g.KH; ky++ {
+							row := base + (oy*g.Stride+ky)*g.InW + ox*g.Stride
+							for kx := 0; kx < g.KW; kx++ {
+								s += x.Data[row+kx]
+							}
+						}
+						out.Data[obase+oy*ow+ox] = s * inv
+					case MaxPool:
+						best := x.Data[base+(oy*g.Stride)*g.InW+ox*g.Stride]
+						bestIdx := base + (oy*g.Stride)*g.InW + ox*g.Stride
+						for ky := 0; ky < g.KH; ky++ {
+							row := base + (oy*g.Stride+ky)*g.InW + ox*g.Stride
+							for kx := 0; kx < g.KW; kx++ {
+								if v := x.Data[row+kx]; v > best {
+									best, bestIdx = v, row+kx
+								}
+							}
+						}
+						out.Data[obase+oy*ow+ox] = best
+						if train {
+							p.lastArg[obase+oy*ow+ox] = bestIdx
+						}
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Backward implements Layer.
+func (p *Pool2D) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	g := p.Geom
+	n := p.lastN
+	oh, ow := g.OutH(), g.OutW()
+	dx := tensor.New(n, g.InC, g.InH, g.InW)
+	switch p.Kind {
+	case AvgPool:
+		inv := 1.0 / float64(g.KH*g.KW)
+		for i := 0; i < n; i++ {
+			for c := 0; c < g.InC; c++ {
+				base := (i*g.InC + c) * g.InH * g.InW
+				obase := (i*g.InC + c) * oh * ow
+				for oy := 0; oy < oh; oy++ {
+					for ox := 0; ox < ow; ox++ {
+						gv := grad.Data[obase+oy*ow+ox] * inv
+						for ky := 0; ky < g.KH; ky++ {
+							row := base + (oy*g.Stride+ky)*g.InW + ox*g.Stride
+							for kx := 0; kx < g.KW; kx++ {
+								dx.Data[row+kx] += gv
+							}
+						}
+					}
+				}
+			}
+		}
+	case MaxPool:
+		if p.lastArg == nil {
+			panic("dnn: MaxPool.Backward before Forward(train=true)")
+		}
+		for o, src := range p.lastArg {
+			dx.Data[src] += grad.Data[o]
+		}
+	}
+	return dx
+}

@@ -1,0 +1,95 @@
+package dnn
+
+import "math"
+
+// LRSchedule maps an epoch index (0-based) to a learning-rate
+// multiplier applied to the optimizer's base rate.
+type LRSchedule interface {
+	Multiplier(epoch int) float64
+}
+
+// ConstantLR keeps the base rate.
+type ConstantLR struct{}
+
+// Multiplier implements LRSchedule.
+func (ConstantLR) Multiplier(int) float64 { return 1 }
+
+// StepLR multiplies the rate by Gamma every StepSize epochs, the
+// classic VGG training schedule.
+type StepLR struct {
+	StepSize int
+	Gamma    float64
+}
+
+// Multiplier implements LRSchedule.
+func (s StepLR) Multiplier(epoch int) float64 {
+	if s.StepSize <= 0 {
+		return 1
+	}
+	return math.Pow(s.Gamma, float64(epoch/s.StepSize))
+}
+
+// CosineLR anneals the rate to MinFactor over Epochs.
+type CosineLR struct {
+	Epochs    int
+	MinFactor float64
+}
+
+// Multiplier implements LRSchedule.
+func (c CosineLR) Multiplier(epoch int) float64 {
+	if c.Epochs <= 1 {
+		return 1
+	}
+	t := float64(epoch) / float64(c.Epochs-1)
+	if t > 1 {
+		t = 1
+	}
+	return c.MinFactor + (1-c.MinFactor)*0.5*(1+math.Cos(math.Pi*t))
+}
+
+// scaledOptimizer wraps an optimizer with a learning-rate multiplier.
+// Both built-in optimizers expose their base rate; the trainer adjusts
+// it per epoch through this interface.
+type lrScalable interface {
+	Optimizer
+	setLRScale(mult float64)
+}
+
+// baseLR memoizes the optimizer's base rate so repeated scaling does
+// not compound.
+func (s *SGD) setLRScale(mult float64) {
+	if s.baseLR == 0 {
+		s.baseLR = s.LR
+	}
+	s.LR = s.baseLR * mult
+}
+
+func (a *Adam) setLRScale(mult float64) {
+	if a.baseLR == 0 {
+		a.baseLR = a.LR
+	}
+	a.LR = a.baseLR * mult
+}
+
+// ClipGradients rescales all gradients so their global L2 norm does not
+// exceed maxNorm; it returns the pre-clip norm. maxNorm <= 0 disables
+// clipping.
+func ClipGradients(params []*Param, maxNorm float64) float64 {
+	total := 0.0
+	for _, p := range params {
+		for _, g := range p.Grad.Data {
+			total += g * g
+		}
+	}
+	norm := math.Sqrt(total)
+	if maxNorm <= 0 || norm <= maxNorm || norm == 0 {
+		return norm
+	}
+	scale := maxNorm / norm
+	for _, p := range params {
+		for i := range p.Grad.Data {
+			p.Grad.Data[i] *= scale
+		}
+	}
+	return norm
+}

@@ -1,0 +1,208 @@
+package dnn
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/tensor"
+)
+
+func TestConstantLR(t *testing.T) {
+	if (ConstantLR{}).Multiplier(0) != 1 || (ConstantLR{}).Multiplier(99) != 1 {
+		t.Fatal("constant schedule must be 1")
+	}
+}
+
+func TestStepLR(t *testing.T) {
+	s := StepLR{StepSize: 2, Gamma: 0.1}
+	for epoch, want := range []float64{1, 1, 0.1, 0.1, 0.01} {
+		if got := s.Multiplier(epoch); math.Abs(got-want) > 1e-12 {
+			t.Fatalf("epoch %d: %v, want %v", epoch, got, want)
+		}
+	}
+	if (StepLR{}).Multiplier(5) != 1 {
+		t.Fatal("zero step size should be constant")
+	}
+}
+
+func TestCosineLR(t *testing.T) {
+	c := CosineLR{Epochs: 11, MinFactor: 0.1}
+	if got := c.Multiplier(0); math.Abs(got-1) > 1e-12 {
+		t.Fatalf("cosine start = %v, want 1", got)
+	}
+	if got := c.Multiplier(10); math.Abs(got-0.1) > 1e-12 {
+		t.Fatalf("cosine end = %v, want 0.1", got)
+	}
+	if got := c.Multiplier(20); math.Abs(got-0.1) > 1e-12 {
+		t.Fatalf("cosine past end = %v, want clamped 0.1", got)
+	}
+	// monotone decreasing
+	prev := 2.0
+	for e := 0; e < 11; e++ {
+		v := c.Multiplier(e)
+		if v > prev {
+			t.Fatalf("cosine not decreasing at epoch %d", e)
+		}
+		prev = v
+	}
+}
+
+func TestSetLRScaleDoesNotCompound(t *testing.T) {
+	s := NewSGD(0.1, 0, 0)
+	s.setLRScale(0.5)
+	s.setLRScale(0.5)
+	if math.Abs(s.LR-0.05) > 1e-15 {
+		t.Fatalf("SGD LR = %v, want 0.05 (no compounding)", s.LR)
+	}
+	a := NewAdam(0.01, 0)
+	a.setLRScale(0.1)
+	a.setLRScale(1)
+	if math.Abs(a.LR-0.01) > 1e-15 {
+		t.Fatalf("Adam LR = %v, want restored 0.01", a.LR)
+	}
+}
+
+func TestClipGradients(t *testing.T) {
+	p := newParam("w", tensor.New(2))
+	p.Grad.Data[0], p.Grad.Data[1] = 3, 4 // norm 5
+	norm := ClipGradients([]*Param{p}, 1)
+	if math.Abs(norm-5) > 1e-12 {
+		t.Fatalf("reported norm = %v, want 5", norm)
+	}
+	got := math.Hypot(p.Grad.Data[0], p.Grad.Data[1])
+	if math.Abs(got-1) > 1e-12 {
+		t.Fatalf("post-clip norm = %v, want 1", got)
+	}
+	// below the cap: untouched
+	p.Grad.Data[0], p.Grad.Data[1] = 0.3, 0.4
+	ClipGradients([]*Param{p}, 1)
+	if p.Grad.Data[0] != 0.3 {
+		t.Fatal("clip modified in-range gradients")
+	}
+	// disabled
+	p.Grad.Data[0], p.Grad.Data[1] = 30, 40
+	ClipGradients([]*Param{p}, 0)
+	if p.Grad.Data[0] != 30 {
+		t.Fatal("maxNorm<=0 must disable clipping")
+	}
+}
+
+func TestTrainWithScheduleAndClip(t *testing.T) {
+	rng := tensor.NewRNG(31)
+	x := tensor.New(60, 4)
+	rng.FillNormal(x, 0, 1)
+	labels := make([]int, 60)
+	for i := range labels {
+		if x.Data[i*4] > 0 {
+			labels[i] = 1
+		}
+	}
+	net := NewNetwork("sched", 4).Add(NewDense("fc", 4, 2, rng))
+	opt := NewAdam(0.01, 0)
+	stats := Train(net, x, labels, TrainConfig{
+		Epochs: 4, BatchSize: 10, Optimizer: opt, RNG: tensor.NewRNG(32),
+		Schedule: StepLR{StepSize: 1, Gamma: 0.5}, ClipNorm: 1,
+	})
+	if len(stats) != 4 {
+		t.Fatalf("stats length %d", len(stats))
+	}
+	// after 4 epochs the schedule has scaled LR to 0.01 * 0.5^3
+	if math.Abs(opt.LR-0.00125) > 1e-12 {
+		t.Fatalf("scheduled LR = %v, want 0.00125", opt.LR)
+	}
+}
+
+func TestDropoutInferencePassThrough(t *testing.T) {
+	rng := tensor.NewRNG(33)
+	d := NewDropout("drop", 0.5, rng)
+	x := tensor.New(2, 10)
+	rng.FillNormal(x, 0, 1)
+	out := d.Forward(x, false)
+	if !out.Equal(x) {
+		t.Fatal("inference dropout must be identity")
+	}
+}
+
+func TestDropoutTrainStatistics(t *testing.T) {
+	rng := tensor.NewRNG(34)
+	d := NewDropout("drop", 0.3, rng)
+	x := tensor.Ones(1, 10000)
+	out := d.Forward(x, true)
+	zeros := 0
+	for _, v := range out.Data {
+		switch v {
+		case 0:
+			zeros++
+		default:
+			if math.Abs(v-1/0.7) > 1e-12 {
+				t.Fatalf("survivor not scaled: %v", v)
+			}
+		}
+	}
+	frac := float64(zeros) / 10000
+	if frac < 0.25 || frac > 0.35 {
+		t.Fatalf("dropped fraction %.3f, want ≈0.3", frac)
+	}
+	// expectation preserved: mean ≈ 1
+	if m := out.Mean(); math.Abs(m-1) > 0.05 {
+		t.Fatalf("inverted dropout mean = %v, want ≈1", m)
+	}
+}
+
+func TestDropoutBackwardMasksGradient(t *testing.T) {
+	rng := tensor.NewRNG(35)
+	d := NewDropout("drop", 0.5, rng)
+	x := tensor.Ones(1, 100)
+	out := d.Forward(x, true)
+	grad := tensor.Ones(1, 100)
+	dx := d.Backward(grad)
+	for i := range out.Data {
+		if out.Data[i] == 0 && dx.Data[i] != 0 {
+			t.Fatal("gradient leaked through dropped unit")
+		}
+		if out.Data[i] != 0 && math.Abs(dx.Data[i]-2) > 1e-12 {
+			t.Fatalf("survivor gradient = %v, want 2", dx.Data[i])
+		}
+	}
+}
+
+func TestDropoutRejectsBadP(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("p=1 accepted")
+		}
+	}()
+	NewDropout("d", 1, tensor.NewRNG(1))
+}
+
+func TestIdentityLayer(t *testing.T) {
+	id := NewIdentity("id")
+	x := tensor.FromSlice([]float64{1, 2}, 1, 2)
+	if id.Forward(x, true) != x || id.Backward(x) != x {
+		t.Fatal("identity must pass tensors through")
+	}
+	if len(id.Params()) != 0 || id.OutShape([]int{3})[0] != 3 {
+		t.Fatal("identity metadata wrong")
+	}
+}
+
+func TestVGGWithDropoutBuildsAndConverts(t *testing.T) {
+	rng := tensor.NewRNG(36)
+	cfg := ArchConfig{InC: 3, InH: 32, InW: 32, Classes: 10, WidthDiv: 16,
+		FCWidth: 16, BatchNorm: true, Pool: AvgPool, Dropout: 0.5, DropoutRNG: tensor.NewRNG(37)}
+	net := BuildVGG9(cfg, rng)
+	drops := 0
+	for _, l := range net.Layers {
+		if _, ok := l.(*Dropout); ok {
+			drops++
+		}
+	}
+	if drops != 2 {
+		t.Fatalf("VGG should carry 2 dropout layers, has %d", drops)
+	}
+	x := tensor.New(2, 3, 32, 32)
+	out := net.Forward(x, false)
+	if out.Shape[1] != 10 {
+		t.Fatalf("out shape %v", out.Shape)
+	}
+}

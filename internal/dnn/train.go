@@ -1,0 +1,134 @@
+package dnn
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/tensor"
+)
+
+// TrainConfig controls a training run.
+type TrainConfig struct {
+	Epochs    int
+	BatchSize int
+	Optimizer Optimizer
+	RNG       *tensor.RNG // batch shuffling
+	Log       io.Writer   // optional per-epoch progress output
+	// MaxBatchesPerEpoch optionally caps work per epoch (0 = no cap);
+	// used by fast test and benchmark configurations.
+	MaxBatchesPerEpoch int
+	// Schedule optionally scales the optimizer's learning rate per
+	// epoch (nil = constant).
+	Schedule LRSchedule
+	// ClipNorm caps the global gradient L2 norm per batch (0 = off).
+	ClipNorm float64
+	// Augment, when non-nil, mutates each sample (already copied into
+	// the batch) before the forward pass — data augmentation.
+	Augment func(sample []float64, rng *tensor.RNG)
+}
+
+// EpochStats summarizes one epoch of training.
+type EpochStats struct {
+	Epoch    int
+	Loss     float64
+	Accuracy float64
+}
+
+// Train fits the network to (x, labels) where x is [N, ...sample shape]
+// and labels holds N class indices. It returns per-epoch statistics.
+func Train(n *Network, x *tensor.Tensor, labels []int, cfg TrainConfig) []EpochStats {
+	if cfg.BatchSize <= 0 {
+		cfg.BatchSize = 32
+	}
+	if cfg.Optimizer == nil {
+		cfg.Optimizer = NewAdam(1e-3, 0)
+	}
+	if cfg.RNG == nil {
+		cfg.RNG = tensor.NewRNG(0)
+	}
+	nSamples := x.Shape[0]
+	sampleLen := x.Len() / nSamples
+	sampleShape := x.Shape[1:]
+
+	var stats []EpochStats
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		if cfg.Schedule != nil {
+			if sc, ok := cfg.Optimizer.(lrScalable); ok {
+				sc.setLRScale(cfg.Schedule.Multiplier(epoch))
+			}
+		}
+		perm := cfg.RNG.Perm(nSamples)
+		totalLoss, correct, seen := 0.0, 0, 0
+		batches := 0
+		for start := 0; start < nSamples; start += cfg.BatchSize {
+			if cfg.MaxBatchesPerEpoch > 0 && batches >= cfg.MaxBatchesPerEpoch {
+				break
+			}
+			end := start + cfg.BatchSize
+			if end > nSamples {
+				end = nSamples
+			}
+			bs := end - start
+			bx := tensor.New(append([]int{bs}, sampleShape...)...)
+			by := make([]int, bs)
+			for i := 0; i < bs; i++ {
+				src := perm[start+i]
+				sample := bx.Data[i*sampleLen : (i+1)*sampleLen]
+				copy(sample, x.Data[src*sampleLen:(src+1)*sampleLen])
+				if cfg.Augment != nil {
+					cfg.Augment(sample, cfg.RNG)
+				}
+				by[i] = labels[src]
+			}
+			n.ZeroGrads()
+			logits := n.Forward(bx, true)
+			loss, grad := SoftmaxCrossEntropy(logits, by)
+			n.Backward(grad)
+			if cfg.ClipNorm > 0 {
+				ClipGradients(n.Params(), cfg.ClipNorm)
+			}
+			cfg.Optimizer.Step(n.Params())
+
+			totalLoss += loss * float64(bs)
+			for i, p := range ArgMaxRows(logits) {
+				if p == by[i] {
+					correct++
+				}
+			}
+			seen += bs
+			batches++
+		}
+		st := EpochStats{Epoch: epoch + 1, Loss: totalLoss / float64(seen), Accuracy: float64(correct) / float64(seen)}
+		stats = append(stats, st)
+		if cfg.Log != nil {
+			fmt.Fprintf(cfg.Log, "epoch %d/%d: loss=%.4f acc=%.2f%%\n", st.Epoch, cfg.Epochs, st.Loss, 100*st.Accuracy)
+		}
+	}
+	return stats
+}
+
+// Evaluate returns the accuracy of the network on (x, labels), running
+// inference in batches to bound memory.
+func Evaluate(n *Network, x *tensor.Tensor, labels []int, batchSize int) float64 {
+	if batchSize <= 0 {
+		batchSize = 64
+	}
+	nSamples := x.Shape[0]
+	sampleLen := x.Len() / nSamples
+	sampleShape := x.Shape[1:]
+	correct := 0
+	for start := 0; start < nSamples; start += batchSize {
+		end := start + batchSize
+		if end > nSamples {
+			end = nSamples
+		}
+		bs := end - start
+		bx := tensor.FromSlice(x.Data[start*sampleLen:end*sampleLen], append([]int{bs}, sampleShape...)...)
+		for i, p := range n.Predict(bx) {
+			if p == labels[start+i] {
+				correct++
+			}
+		}
+	}
+	return float64(correct) / float64(nSamples)
+}

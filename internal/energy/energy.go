@@ -1,0 +1,40 @@
+// Package energy implements the paper's neuromorphic energy estimation
+// (Table II): estimated energy = spikes·E_dyn + latency·E_sta, with the
+// dynamic/static energy parameters of TrueNorth and SpiNNaker taken from
+// the paper, reported normalized to the rate-coding baseline.
+package energy
+
+import "fmt"
+
+// Arch is a neuromorphic architecture energy model.
+type Arch struct {
+	Name string
+	Edyn float64 // dynamic energy weight per spike
+	Esta float64 // static energy weight per time step
+}
+
+// The two architectures the paper estimates against (§IV-B): parameter
+// pairs (E_dyn, E_sta) are (0.4, 0.6) for TrueNorth and (0.64, 0.36)
+// for SpiNNaker.
+var (
+	TrueNorth = Arch{Name: "TrueNorth", Edyn: 0.4, Esta: 0.6}
+	SpiNNaker = Arch{Name: "SpiNNaker", Edyn: 0.64, Esta: 0.36}
+)
+
+// Estimate returns the architecture's estimated energy for an inference
+// with the given spike count and latency (in time steps).
+func (a Arch) Estimate(spikes, latency float64) float64 {
+	return spikes*a.Edyn + latency*a.Esta
+}
+
+// Normalized returns the energy of (spikes, latency) relative to a
+// baseline (spikesBase, latencyBase) — the paper normalizes every scheme
+// to rate coding. The spike and latency terms are normalized
+// independently before weighting, matching the dimensionless parameter
+// pairs above.
+func (a Arch) Normalized(spikes, latency, spikesBase, latencyBase float64) (float64, error) {
+	if spikesBase <= 0 || latencyBase <= 0 {
+		return 0, fmt.Errorf("energy: non-positive baseline (spikes=%v latency=%v)", spikesBase, latencyBase)
+	}
+	return a.Estimate(spikes/spikesBase, latency/latencyBase), nil
+}

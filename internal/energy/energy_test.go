@@ -1,0 +1,84 @@
+package energy
+
+import (
+	"math"
+	"testing"
+)
+
+func TestPaperParameters(t *testing.T) {
+	if TrueNorth.Edyn != 0.4 || TrueNorth.Esta != 0.6 {
+		t.Fatalf("TrueNorth params = (%v,%v)", TrueNorth.Edyn, TrueNorth.Esta)
+	}
+	if SpiNNaker.Edyn != 0.64 || SpiNNaker.Esta != 0.36 {
+		t.Fatalf("SpiNNaker params = (%v,%v)", SpiNNaker.Edyn, SpiNNaker.Esta)
+	}
+	// both parameter pairs are convex weights
+	if TrueNorth.Edyn+TrueNorth.Esta != 1 || SpiNNaker.Edyn+SpiNNaker.Esta != 1 {
+		t.Fatal("energy weights must sum to 1")
+	}
+}
+
+func TestEstimateLinear(t *testing.T) {
+	got := TrueNorth.Estimate(10, 100)
+	want := 10*0.4 + 100*0.6
+	if math.Abs(got-want) > 1e-12 {
+		t.Fatalf("Estimate = %v, want %v", got, want)
+	}
+}
+
+func TestNormalizedBaselineIsOne(t *testing.T) {
+	// The baseline scheme normalized against itself must cost exactly 1,
+	// matching the "Rate = 1.000" rows of Table II.
+	for _, a := range []Arch{TrueNorth, SpiNNaker} {
+		got, err := a.Normalized(123456, 10000, 123456, 10000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(got-1) > 1e-12 {
+			t.Fatalf("%s self-normalized = %v, want 1", a.Name, got)
+		}
+	}
+}
+
+func TestNormalizedFewerSpikesCheaper(t *testing.T) {
+	base, err := TrueNorth.Normalized(100, 100, 1000, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 10x fewer spikes and 10x lower latency -> 10x cheaper
+	if math.Abs(base-0.1) > 1e-12 {
+		t.Fatalf("Normalized = %v, want 0.1", base)
+	}
+}
+
+func TestNormalizedErrors(t *testing.T) {
+	if _, err := TrueNorth.Normalized(1, 1, 0, 1); err == nil {
+		t.Fatal("zero spike baseline accepted")
+	}
+	if _, err := TrueNorth.Normalized(1, 1, 1, 0); err == nil {
+		t.Fatal("zero latency baseline accepted")
+	}
+}
+
+// Reproduce the paper's headline CIFAR-100 numbers: T2FSNN with ~0.1% of
+// burst's spikes and 22% of its latency lands near 0.04 (TN) relative to
+// rate coding, as in Table II's "Our Method" row.
+func TestTableIIShape(t *testing.T) {
+	// paper CIFAR-100 raw numbers (spikes in millions, latency in steps)
+	rateSpikes, rateLat := 81.525, 10000.0
+	ourSpikes, ourLat := 0.084, 680.0
+	tn, err := TrueNorth.Normalized(ourSpikes, ourLat, rateSpikes, rateLat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(tn-0.041) > 0.002 {
+		t.Fatalf("TN normalized = %v, paper reports 0.041", tn)
+	}
+	sn, err := SpiNNaker.Normalized(ourSpikes, ourLat, rateSpikes, rateLat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(sn-0.025) > 0.002 {
+		t.Fatalf("SN normalized = %v, paper reports 0.025", sn)
+	}
+}

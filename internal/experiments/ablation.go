@@ -1,0 +1,118 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/convert"
+	"repro/internal/core"
+	"repro/internal/tensor"
+)
+
+// AblationResult holds the design-choice sweeps DESIGN.md §5 calls out:
+// the early-firing start time (the paper fixes T/2 "based on the
+// experiments"), the normalization percentile λ, and the initial time
+// constant τ.
+type AblationResult struct {
+	EFStart    []AblationPoint
+	Percentile []AblationPoint
+	TauInit    []AblationPoint
+	Report     string
+}
+
+// AblationPoint is one sweep measurement.
+type AblationPoint struct {
+	Param    float64
+	Accuracy float64
+	Latency  int
+	Spikes   float64
+}
+
+// Ablation runs the three sweeps on the CIFAR-10-like setup.
+func Ablation(scale Scale, cacheDir string, log io.Writer) (*AblationResult, error) {
+	p, err := ParamsFor("cifar10", scale)
+	if err != nil {
+		return nil, err
+	}
+	s, err := Prepare(p, cacheDir, log)
+	if err != nil {
+		return nil, err
+	}
+	res := &AblationResult{}
+
+	// 1. EF start sweep on the baseline-kernel model.
+	base, err := core.NewModel(s.Conv.Net, p.T, p.TauInit, p.TdInit)
+	if err != nil {
+		return nil, err
+	}
+	efTable := Table{
+		Title:   "Ablation A: early-firing start time (T=" + fmt.Sprint(p.T) + ")",
+		Headers: []string{"EFStart", "Latency", "Accuracy(%)", "Spikes"},
+	}
+	for _, frac := range []int{4, 2, 1} { // T/4, T/2, T (baseline)
+		start := p.T / frac
+		ev, err := core.Evaluate(base, s.EvalX, s.EvalY, core.EvalOptions{
+			Run: core.RunConfig{EarlyFire: true, EFStart: start}})
+		if err != nil {
+			return nil, err
+		}
+		res.EFStart = append(res.EFStart, AblationPoint{
+			Param: float64(start), Accuracy: ev.Accuracy, Latency: ev.Latency, Spikes: ev.AvgSpikes})
+		efTable.AddRow(fmt.Sprint(start), fmt.Sprint(ev.Latency),
+			fmt.Sprintf("%.2f", 100*ev.Accuracy), sciNotation(ev.AvgSpikes))
+	}
+
+	// 2. Normalization percentile sweep: re-convert with each λ.
+	pctTable := Table{
+		Title:   "Ablation B: activation-normalization percentile",
+		Headers: []string{"Percentile", "Accuracy(%)", "Spikes"},
+	}
+	shape := s.TrainX.Shape
+	calibN := shape[0]
+	if calibN > 300 {
+		calibN = 300
+	}
+	sampleLen := s.TrainX.Len() / shape[0]
+	calib := tensor.FromSlice(s.TrainX.Data[:calibN*sampleLen], append([]int{calibN}, shape[1:]...)...)
+	for _, pct := range []float64{99.0, 99.9, 100.0} {
+		conv, err := convert.Convert(s.DNN, convert.Options{Calibration: calib, Percentile: pct})
+		if err != nil {
+			return nil, err
+		}
+		m, err := core.NewModel(conv.Net, p.T, p.TauInit, p.TdInit)
+		if err != nil {
+			return nil, err
+		}
+		ev, err := core.Evaluate(m, s.EvalX, s.EvalY, core.EvalOptions{})
+		if err != nil {
+			return nil, err
+		}
+		res.Percentile = append(res.Percentile, AblationPoint{
+			Param: pct, Accuracy: ev.Accuracy, Spikes: ev.AvgSpikes})
+		pctTable.AddRow(fmt.Sprintf("%.1f", pct),
+			fmt.Sprintf("%.2f", 100*ev.Accuracy), sciNotation(ev.AvgSpikes))
+	}
+
+	// 3. Initial τ sweep (the precision/coverage trade-off of §III-B).
+	tauTable := Table{
+		Title:   "Ablation C: initial time constant τ (no GO)",
+		Headers: []string{"tau", "Accuracy(%)", "Spikes"},
+	}
+	for _, tau := range []float64{float64(p.T) / 16, float64(p.T) / 8, float64(p.T) / 4, float64(p.T) / 2} {
+		m, err := core.NewModel(s.Conv.Net, p.T, tau, p.TdInit)
+		if err != nil {
+			return nil, err
+		}
+		ev, err := core.Evaluate(m, s.EvalX, s.EvalY, core.EvalOptions{})
+		if err != nil {
+			return nil, err
+		}
+		res.TauInit = append(res.TauInit, AblationPoint{
+			Param: tau, Accuracy: ev.Accuracy, Spikes: ev.AvgSpikes})
+		tauTable.AddRow(fmt.Sprintf("%.1f", tau),
+			fmt.Sprintf("%.2f", 100*ev.Accuracy), sciNotation(ev.AvgSpikes))
+	}
+
+	res.Report = efTable.String() + "\n" + pctTable.String() + "\n" + tauTable.String()
+	return res, nil
+}

@@ -1,0 +1,110 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestAblationShape(t *testing.T) {
+	res, err := Ablation(Tiny, "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.EFStart) != 3 || len(res.Percentile) != 3 || len(res.TauInit) != 4 {
+		t.Fatalf("sweep sizes: EF=%d pct=%d tau=%d", len(res.EFStart), len(res.Percentile), len(res.TauInit))
+	}
+	// earlier firing start -> lower latency, monotonically
+	for i := 1; i < len(res.EFStart); i++ {
+		if res.EFStart[i].Param > res.EFStart[i-1].Param &&
+			res.EFStart[i].Latency <= res.EFStart[i-1].Latency {
+			t.Fatalf("latency not increasing with EF start: %+v", res.EFStart)
+		}
+	}
+	// full-window EF (start=T) is the guaranteed-integration baseline;
+	// its accuracy anchors the trade-off
+	last := res.EFStart[len(res.EFStart)-1]
+	first := res.EFStart[0]
+	if first.Accuracy > last.Accuracy+0.25 {
+		t.Fatalf("aggressive EF should not dominate baseline: %+v", res.EFStart)
+	}
+	// tiny τ must lose accuracy against a reasonable τ (the coverage/
+	// precision trade-off); compare the extremes
+	tiny := res.TauInit[0]
+	best := res.TauInit[2] // T/4, the default
+	if tiny.Accuracy > best.Accuracy+0.1 {
+		t.Fatalf("τ=%v should not beat τ=%v: %+v", tiny.Param, best.Param, res.TauInit)
+	}
+	for _, want := range []string{"Ablation A", "Ablation B", "Ablation C"} {
+		if !strings.Contains(res.Report, want) {
+			t.Fatalf("report missing %q", want)
+		}
+	}
+}
+
+func TestDeployShape(t *testing.T) {
+	res, err := Deploy(Tiny, "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.QuantRows) != 6 || len(res.Mappings) != 2 {
+		t.Fatalf("rows: %d quant, %d mappings", len(res.QuantRows), len(res.Mappings))
+	}
+	// float reference first, with zero RMS error
+	if res.QuantRows[0].Bits != 0 || res.QuantRows[0].RMSError != 0 {
+		t.Fatalf("first row should be the float reference: %+v", res.QuantRows[0])
+	}
+	// RMS error grows as width shrinks
+	prev := -1.0
+	for _, r := range res.QuantRows[1:] {
+		if r.RMSError <= prev {
+			t.Fatalf("RMS error not increasing with narrower widths: %+v", res.QuantRows)
+		}
+		prev = r.RMSError
+	}
+	// 12-bit accuracy tracks float; 3-bit must not beat it
+	byBits := map[int]DeployQuantRow{}
+	for _, r := range res.QuantRows {
+		byBits[r.Bits] = r
+	}
+	if byBits[12].Accuracy < byBits[0].Accuracy-0.1 {
+		t.Fatalf("12-bit accuracy collapsed: %+v", byBits[12])
+	}
+	if byBits[3].Accuracy > byBits[12].Accuracy {
+		t.Fatalf("3-bit should not beat 12-bit: %+v vs %+v", byBits[3], byBits[12])
+	}
+	// traffic ≥ raw spikes on every fabric
+	for _, m := range res.Mappings {
+		if m.Traffic < m.RawSpikes {
+			t.Fatalf("%s traffic %v below raw spikes %v", m.Fabric, m.Traffic, m.RawSpikes)
+		}
+	}
+	// pruning sweep: dense reference first, extreme sparsity worst
+	if len(res.PruneRows) != 5 || res.PruneRows[0].Sparsity != 0 {
+		t.Fatalf("prune rows: %+v", res.PruneRows)
+	}
+	if last := res.PruneRows[4]; last.Accuracy > res.PruneRows[0].Accuracy+0.05 {
+		t.Fatalf("90%% sparsity should not beat dense: %+v", res.PruneRows)
+	}
+	if !strings.Contains(res.Report, "Deploy A") || !strings.Contains(res.Report, "TrueNorth") {
+		t.Fatal("report incomplete")
+	}
+}
+
+func TestFig3Shape(t *testing.T) {
+	res, err := Fig3(Tiny, "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Baseline.Overlap() != 0 {
+		t.Fatalf("baseline overlap %d", res.Baseline.Overlap())
+	}
+	if res.EarlyFire.Overlap() == 0 {
+		t.Fatal("EF schedule shows no overlap")
+	}
+	if res.EarlyFire.Latency >= res.Baseline.Latency {
+		t.Fatalf("EF latency %d not below baseline %d", res.EarlyFire.Latency, res.Baseline.Latency)
+	}
+	if !strings.Contains(res.Report, "Fig 3(a)") || !strings.Contains(res.Report, "x") {
+		t.Fatal("report incomplete")
+	}
+}

@@ -1,0 +1,37 @@
+package experiments
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/coding"
+)
+
+// The baseline coding simulations are the dominant cost of the
+// experiment suite and are needed by Table II, Table III and Fig. 6 with
+// identical parameters; cache them per (setup, scheme, horizon).
+var codingCache = struct {
+	sync.Mutex
+	m map[string]coding.EvalResult
+}{m: map[string]coding.EvalResult{}}
+
+// evalCoding runs (or returns the cached) baseline evaluation for a
+// setup.
+func evalCoding(s *Setup, scheme coding.Scheme, steps, stride int) (coding.EvalResult, error) {
+	key := fmt.Sprintf("%s-%d-%d-%s-%d-%d", s.Params.Dataset, s.Params.TrainN, s.Params.Seed,
+		scheme.Name(), steps, stride)
+	codingCache.Lock()
+	if r, ok := codingCache.m[key]; ok {
+		codingCache.Unlock()
+		return r, nil
+	}
+	codingCache.Unlock()
+	r, err := coding.Evaluate(scheme, s.Conv.Net, s.EvalX, s.EvalY, steps, stride)
+	if err != nil {
+		return coding.EvalResult{}, err
+	}
+	codingCache.Lock()
+	codingCache.m[key] = r
+	codingCache.Unlock()
+	return r, nil
+}

@@ -1,0 +1,157 @@
+// Package experiments reproduces every table and figure of the paper's
+// evaluation section on the synthetic substitute datasets: the ablation
+// study (Table I), the cross-coding comparison with energy estimates
+// (Table II), the computational cost analysis (Table III), the kernel
+// optimization loss curves (Fig. 4), the spike-time distributions
+// (Fig. 5), and the inference curves (Fig. 6). Each experiment trains
+// (or reuses) a DNN, converts it, runs the relevant spiking pipelines,
+// and renders the paper's rows/series as text tables.
+package experiments
+
+import "fmt"
+
+// Scale selects the experiment budget. Absolute numbers shrink with the
+// scale; the paper-shape relations (orderings, ratios) must hold at any
+// scale.
+type Scale int
+
+// Scales.
+const (
+	// Tiny is sized for unit tests and benchmarks (seconds).
+	Tiny Scale = iota
+	// Small is the CLI default (minutes on one core).
+	Small
+	// Full is the long-run configuration.
+	Full
+)
+
+func (s Scale) String() string {
+	switch s {
+	case Tiny:
+		return "tiny"
+	case Small:
+		return "small"
+	default:
+		return "full"
+	}
+}
+
+// ParseScale converts a CLI string to a Scale.
+func ParseScale(s string) (Scale, error) {
+	switch s {
+	case "tiny":
+		return Tiny, nil
+	case "small", "":
+		return Small, nil
+	case "full":
+		return Full, nil
+	}
+	return Tiny, fmt.Errorf("experiments: unknown scale %q (want tiny|small|full)", s)
+}
+
+// Params sizes one dataset's experiment at a given scale.
+type Params struct {
+	Dataset string
+	Classes int
+
+	// dataset sizes
+	TrainN, TestN int
+	// EvalN is the evaluation subset for the spiking simulations.
+	EvalN int
+
+	// architecture/training
+	UseVGG16 bool // false: LeNet (MNIST) or VGG-9 (tiny CIFAR)
+	WidthDiv int
+	FCWidth  int
+	Epochs   int
+
+	// spiking configuration
+	T       int // T2FSNN per-layer window
+	TauInit float64
+	TdInit  float64
+	// Steps are the simulation horizons for the baseline codings
+	// (paper Fig. 6 x-ranges: 1600 for CIFAR-10, 3000 for CIFAR-100).
+	RateSteps, PhaseSteps, BurstSteps int
+	CurveStride                       int
+
+	Seed uint64
+}
+
+// ParamsFor returns the canonical parameters for a dataset at a scale.
+// Dataset names: "mnist", "cifar10", "cifar100" (the -like synthetic
+// substitutes; see DESIGN.md).
+func ParamsFor(dataset string, scale Scale) (Params, error) {
+	p := Params{Dataset: dataset, Seed: 1, TauInit: 0, TdInit: 0}
+	switch dataset {
+	case "mnist":
+		p.Classes = 10
+		p.T = 20
+		switch scale {
+		case Tiny:
+			p.TrainN, p.TestN, p.EvalN, p.Epochs = 300, 60, 30, 2
+			p.FCWidth = 32
+			p.RateSteps, p.PhaseSteps, p.BurstSteps = 200, 120, 90
+		case Small:
+			p.TrainN, p.TestN, p.EvalN, p.Epochs = 1200, 200, 100, 3
+			p.FCWidth = 64
+			p.RateSteps, p.PhaseSteps, p.BurstSteps = 300, 160, 120
+		default:
+			p.TrainN, p.TestN, p.EvalN, p.Epochs = 4000, 500, 200, 5
+			p.FCWidth = 128
+			p.RateSteps, p.PhaseSteps, p.BurstSteps = 400, 200, 160
+		}
+	case "cifar10", "cifar100":
+		p.Classes = 10
+		if dataset == "cifar100" {
+			p.Classes = 100
+		}
+		p.T = 80
+		switch scale {
+		case Tiny:
+			p.TrainN, p.TestN, p.EvalN, p.Epochs = 300, 60, 20, 2
+			p.UseVGG16, p.WidthDiv, p.FCWidth = false, 16, 24
+			p.RateSteps, p.PhaseSteps, p.BurstSteps = 400, 260, 200
+			p.T = 40
+		case Small:
+			p.TrainN, p.TestN, p.EvalN, p.Epochs = 1200, 200, 50, 3
+			p.UseVGG16, p.WidthDiv, p.FCWidth = true, 16, 48
+			p.RateSteps, p.PhaseSteps, p.BurstSteps = 1600, 1000, 700
+		default:
+			p.TrainN, p.TestN, p.EvalN, p.Epochs = 4000, 500, 100, 6
+			p.UseVGG16, p.WidthDiv, p.FCWidth = true, 8, 96
+			p.RateSteps, p.PhaseSteps, p.BurstSteps = 2400, 1400, 1000
+		}
+		if dataset == "cifar100" {
+			// 100 classes need more data per class, a hidden FC wider
+			// than the class count, and (as in the paper's Fig. 6)
+			// longer baseline horizons.
+			switch scale {
+			case Tiny:
+				p.TrainN, p.TestN, p.Epochs, p.FCWidth = 1000, 100, 3, 96
+			case Small:
+				p.TrainN, p.TestN, p.FCWidth = 2500, 300, 128
+			default:
+				p.FCWidth = 192
+			}
+			if scale != Tiny {
+				p.RateSteps = p.RateSteps * 3 / 2
+				p.PhaseSteps = p.PhaseSteps * 3 / 2
+				p.BurstSteps = p.BurstSteps * 3 / 2
+			}
+		}
+	default:
+		return Params{}, fmt.Errorf("experiments: unknown dataset %q (want mnist|cifar10|cifar100)", dataset)
+	}
+	if p.TauInit == 0 {
+		p.TauInit = float64(p.T) / 4
+	}
+	p.CurveStride = p.RateSteps / 60
+	if p.CurveStride < 1 {
+		p.CurveStride = 1
+	}
+	return p, nil
+}
+
+// EFStart is the early-firing start offset: half the time window, the
+// paper's experimentally chosen value (§IV).
+func (p Params) EFStart() int { return p.T / 2 }

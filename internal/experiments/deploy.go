@@ -1,0 +1,140 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/core"
+	"repro/internal/hw"
+	"repro/internal/quant"
+)
+
+// DeployResult is the hardware-deployment study: spiking accuracy as a
+// function of fixed-point weight width, magnitude-pruning sparsity, and
+// core placement plus network-on-chip traffic on the two reference
+// fabrics.
+type DeployResult struct {
+	QuantRows []DeployQuantRow
+	PruneRows []DeployPruneRow
+	Mappings  []DeployMapping
+	Report    string
+}
+
+// DeployPruneRow is one sparsity measurement.
+type DeployPruneRow struct {
+	Sparsity float64
+	Accuracy float64
+}
+
+// DeployQuantRow is one bit-width measurement.
+type DeployQuantRow struct {
+	Bits     int // 0 = float64 reference
+	RMSError float64
+	Accuracy float64
+}
+
+// DeployMapping is one fabric placement with measured traffic.
+type DeployMapping struct {
+	Fabric     string
+	TotalCores int
+	Traffic    float64 // NoC spike deliveries per inference
+	RawSpikes  float64
+}
+
+// Deploy runs the deployment study on the MNIST-like setup (the
+// smallest network with all stage types: conv, pooled conv, dense).
+func Deploy(scale Scale, cacheDir string, log io.Writer) (*DeployResult, error) {
+	p, err := ParamsFor("mnist", scale)
+	if err != nil {
+		return nil, err
+	}
+	s, err := Prepare(p, cacheDir, log)
+	if err != nil {
+		return nil, err
+	}
+	res := &DeployResult{}
+
+	qt := Table{
+		Title:   "Deploy A: spiking accuracy vs fixed-point weight width",
+		Headers: []string{"Bits", "RMS err", "Accuracy(%)"},
+	}
+	run := core.RunConfig{EarlyFire: true}
+	var floatEv core.EvalResult
+	for _, bits := range []int{0, 12, 8, 6, 4, 3} {
+		net := s.Conv.Net
+		rms := 0.0
+		if bits > 0 {
+			qnet, _, err := quant.QuantizeNet(s.Conv.Net, bits)
+			if err != nil {
+				return nil, err
+			}
+			rms = quant.RMSError(s.Conv.Net, qnet)
+			net = qnet
+		}
+		m, err := core.NewModel(net, p.T, p.TauInit, p.TdInit)
+		if err != nil {
+			return nil, err
+		}
+		ev, err := core.Evaluate(m, s.EvalX, s.EvalY, core.EvalOptions{Run: run})
+		if err != nil {
+			return nil, err
+		}
+		if bits == 0 {
+			floatEv = ev
+		}
+		res.QuantRows = append(res.QuantRows, DeployQuantRow{Bits: bits, RMSError: rms, Accuracy: ev.Accuracy})
+		label := "float64"
+		if bits > 0 {
+			label = fmt.Sprint(bits)
+		}
+		qt.AddRow(label, fmt.Sprintf("%.5f", rms), fmt.Sprintf("%.2f", 100*ev.Accuracy))
+	}
+
+	pt := Table{
+		Title:   "Deploy B: spiking accuracy vs magnitude-pruning sparsity",
+		Headers: []string{"Sparsity(%)", "Accuracy(%)"},
+	}
+	for _, sp := range []float64{0, 0.3, 0.5, 0.7, 0.9} {
+		net := s.Conv.Net
+		if sp > 0 {
+			pnet, err := quant.PruneNet(s.Conv.Net, sp)
+			if err != nil {
+				return nil, err
+			}
+			net = pnet
+		}
+		m, err := core.NewModel(net, p.T, p.TauInit, p.TdInit)
+		if err != nil {
+			return nil, err
+		}
+		ev, err := core.Evaluate(m, s.EvalX, s.EvalY, core.EvalOptions{Run: run})
+		if err != nil {
+			return nil, err
+		}
+		res.PruneRows = append(res.PruneRows, DeployPruneRow{Sparsity: sp, Accuracy: ev.Accuracy})
+		pt.AddRow(fmt.Sprintf("%.0f", 100*sp), fmt.Sprintf("%.2f", 100*ev.Accuracy))
+	}
+
+	mt := Table{
+		Title:   "Deploy C: core mapping and NoC traffic per inference",
+		Headers: []string{"Fabric", "Cores", "Traffic", "Raw spikes"},
+	}
+	for _, fabric := range []hw.Fabric{hw.TrueNorth, hw.SpiNNaker} {
+		mapping, err := hw.Map(s.Conv.Net, fabric)
+		if err != nil {
+			return nil, err
+		}
+		traffic, err := mapping.Traffic(floatEv.SpikesPerStage)
+		if err != nil {
+			return nil, err
+		}
+		res.Mappings = append(res.Mappings, DeployMapping{
+			Fabric: fabric.Name, TotalCores: mapping.TotalCores,
+			Traffic: traffic, RawSpikes: floatEv.AvgSpikes,
+		})
+		mt.AddRow(fabric.Name, fmt.Sprint(mapping.TotalCores),
+			fmt.Sprintf("%.0f", traffic), fmt.Sprintf("%.0f", floatEv.AvgSpikes))
+	}
+	res.Report = qt.String() + "\n" + pt.String() + "\n" + mt.String()
+	return res, nil
+}

@@ -1,0 +1,120 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParamsFor(t *testing.T) {
+	for _, ds := range []string{"mnist", "cifar10", "cifar100"} {
+		for _, sc := range []Scale{Tiny, Small, Full} {
+			p, err := ParamsFor(ds, sc)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if p.TrainN <= 0 || p.T <= 0 || p.RateSteps <= 0 || p.TauInit <= 0 {
+				t.Fatalf("%s/%s: bad params %+v", ds, sc, p)
+			}
+			if p.EFStart() != p.T/2 {
+				t.Fatalf("EFStart = %d, want T/2", p.EFStart())
+			}
+		}
+	}
+	if _, err := ParamsFor("imagenet", Tiny); err == nil {
+		t.Fatal("unknown dataset accepted")
+	}
+}
+
+func TestParseScale(t *testing.T) {
+	for in, want := range map[string]Scale{"tiny": Tiny, "small": Small, "": Small, "full": Full} {
+		got, err := ParseScale(in)
+		if err != nil || got != want {
+			t.Fatalf("ParseScale(%q) = %v,%v", in, got, err)
+		}
+	}
+	if _, err := ParseScale("huge"); err == nil {
+		t.Fatal("bad scale accepted")
+	}
+}
+
+func TestPrepareCachesSetups(t *testing.T) {
+	p, _ := ParamsFor("mnist", Tiny)
+	a, err := Prepare(p, "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Prepare(p, "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatal("Prepare should return the cached setup")
+	}
+	if a.DNNAcc < 0.3 {
+		t.Fatalf("tiny MNIST DNN accuracy %.2f too low to be meaningful", a.DNNAcc)
+	}
+	if a.EvalX.Shape[0] != p.EvalN {
+		t.Fatalf("eval subset size %d, want %d", a.EvalX.Shape[0], p.EvalN)
+	}
+}
+
+func TestPrepareDiskCacheRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	p, _ := ParamsFor("mnist", Tiny)
+	p.Seed = 777 // unique key so the in-memory cache is not reused
+	if _, err := Prepare(p, dir, nil); err != nil {
+		t.Fatal(err)
+	}
+	// evict in-memory entry to force the disk path
+	setupCache.Lock()
+	setupCache.m = map[string]*Setup{}
+	setupCache.Unlock()
+	var logBuf strings.Builder
+	if _, err := Prepare(p, dir, &logBuf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(logBuf.String(), "loaded cached weights") {
+		t.Fatalf("expected cached-weight load, log:\n%s", logBuf.String())
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tbl := Table{Title: "T", Headers: []string{"a", "bb"}, Rows: nil}
+	tbl.AddRow("xxx", "1")
+	out := tbl.String()
+	for _, want := range []string{"T", "a", "bb", "xxx"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("table output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestSciNotation(t *testing.T) {
+	if got := sciNotation(68980); got != "6.898E+4" {
+		t.Fatalf("sciNotation = %q", got)
+	}
+}
+
+func TestVariantsProduceFourRows(t *testing.T) {
+	p, _ := ParamsFor("mnist", Tiny)
+	s, err := Prepare(p, "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vars, err := Variants(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vars) != 4 {
+		t.Fatalf("got %d variants", len(vars))
+	}
+	if vars[0].Model == vars[1].Model {
+		t.Fatal("GO variant must use a distinct model")
+	}
+	if vars[0].Model != vars[2].Model {
+		t.Fatal("EF variant must reuse the baseline model")
+	}
+	if !vars[3].Run.EarlyFire || vars[3].Run.EFStart != p.T/2 {
+		t.Fatalf("GO+EF run config wrong: %+v", vars[3].Run)
+	}
+}

@@ -1,0 +1,79 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/kernel"
+	"repro/internal/tensor"
+)
+
+// Fig4Result reproduces the paper's Fig. 4: the trajectories of the
+// three kernel-optimization losses under two initial time constants
+// (τ=2 and τ=18) over a T=20 window. Panel (a) holds L_prec and L_min,
+// panel (b) holds L_max, both versus the number of training samples
+// seen.
+type Fig4Result struct {
+	PanelA []Series // Lprec(τ=18), Lmin(τ=18), Lprec(τ=2), Lmin(τ=2)
+	PanelB []Series // Lmax(τ=18), Lmax(τ=2)
+	// FinalTau records where each trajectory's τ ended, demonstrating
+	// the precision/latency trade-off converging from both directions.
+	FinalTau map[string]float64
+	Report   string
+}
+
+// Fig4 runs the loss-trajectory experiment at the given scale, using the
+// first hidden layer's normalized activations of the CIFAR-10-like setup
+// as the ground-truth distribution z̄.
+func Fig4(scale Scale, cacheDir string, log io.Writer) (*Fig4Result, error) {
+	p, err := ParamsFor("cifar10", scale)
+	if err != nil {
+		return nil, err
+	}
+	s, err := Prepare(p, cacheDir, log)
+	if err != nil {
+		return nil, err
+	}
+	zbar := s.Conv.Activations[0]
+	// the paper trains over 50k samples; cap per scale
+	maxSamples := 50000
+	if scale == Tiny {
+		maxSamples = 5000
+	}
+	if len(zbar) > maxSamples {
+		zbar = zbar[:maxSamples]
+	}
+
+	res := &Fig4Result{FinalTau: map[string]float64{}}
+	const window = 20 // the paper's Fig. 4 uses T=20
+	for _, tau := range []float64{18, 2} {
+		start := kernel.Kernel{Tau: tau, Td: 0, T: window}
+		out, err := kernel.Optimize(start, zbar, kernel.OptimizeConfig{
+			LRTau: 2, LRTd: 0.2, BatchSize: 256, Epochs: 1,
+			RNG: tensor.NewRNG(41),
+		})
+		if err != nil {
+			return nil, err
+		}
+		label := fmt.Sprintf("tau=%g", tau)
+		var x, prec, min, max []float64
+		for _, h := range out.History {
+			x = append(x, float64(h.SamplesSeen))
+			prec = append(prec, h.Prec)
+			min = append(min, h.Min)
+			max = append(max, h.Max)
+		}
+		res.PanelA = append(res.PanelA,
+			Series{Name: "Lprec(" + label + ")", X: x, Y: prec},
+			Series{Name: "Lmin(" + label + ")", X: x, Y: min})
+		res.PanelB = append(res.PanelB,
+			Series{Name: "Lmax(" + label + ")", X: x, Y: max})
+		res.FinalTau[label] = out.Kernel.Tau
+	}
+
+	res.Report = RenderSeries("Fig 4(a): precision & min-representation losses (T=20)", "#data", res.PanelA) +
+		RenderSeries("Fig 4(b): max-representation loss (T=20)", "#data", res.PanelB) +
+		fmt.Sprintf("final tau: from 2 -> %.2f, from 18 -> %.2f\n",
+			res.FinalTau["tau=2"], res.FinalTau["tau=18"])
+	return res, nil
+}

@@ -1,0 +1,93 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/core"
+)
+
+// Fig5Layer is the spike-time distribution of one layer under one model
+// variant.
+type Fig5Layer struct {
+	Layer      string
+	Variant    VariantName
+	FirstSpike int // earliest global spike time (the orange bar)
+	Count      int
+	Hist       []int
+	Edges      []float64
+}
+
+// Fig5Result reproduces the paper's Fig. 5: per-layer spike-time
+// histograms of the baseline T2FSNN versus T2FSNN+GO, with the first
+// spike time of each layer marked.
+type Fig5Result struct {
+	Layers []Fig5Layer
+	Report string
+}
+
+// Fig5 runs the spike-time distribution experiment on the CIFAR-10-like
+// setup.
+func Fig5(scale Scale, cacheDir string, log io.Writer) (*Fig5Result, error) {
+	p, err := ParamsFor("cifar10", scale)
+	if err != nil {
+		return nil, err
+	}
+	s, err := Prepare(p, cacheDir, log)
+	if err != nil {
+		return nil, err
+	}
+	base, opt, _, err := BuildModels(s)
+	if err != nil {
+		return nil, err
+	}
+
+	res := &Fig5Result{}
+	var b strings.Builder
+	b.WriteString("Fig 5: spike time distributions per layer (baseline vs +GO); | marks the first spike\n")
+	for _, v := range []Variant{
+		{Name: VarBase, Model: base, Run: core.RunConfig{}},
+		{Name: VarGO, Model: opt, Run: core.RunConfig{}},
+	} {
+		ev, err := EvalVariant(s, v, core.EvalOptions{CollectStats: true})
+		if err != nil {
+			return nil, err
+		}
+		fmt.Fprintf(&b, "-- %s --\n", v.Name)
+		for bi, st := range ev.StageStats {
+			if bi == 0 || !strings.HasPrefix(st.Name, "Conv") {
+				continue // the paper plots hidden conv layers
+			}
+			lo := (bi) * p.T // fire window of boundary bi starts here (baseline pipeline)
+			hi := lo + p.T
+			counts, edges := st.Histogram(lo, hi, 10)
+			res.Layers = append(res.Layers, Fig5Layer{
+				Layer: st.Name, Variant: v.Name,
+				FirstSpike: st.FirstSpike, Count: st.Count,
+				Hist: counts, Edges: edges,
+			})
+			fmt.Fprintf(&b, "%-10s first=%4d n=%6d  %s\n",
+				st.Name, st.FirstSpike, st.Count, sparkline(counts))
+		}
+	}
+	res.Report = b.String()
+	return res, nil
+}
+
+// sparkline renders a histogram as a compact bar string.
+func sparkline(counts []int) string {
+	glyphs := []rune(" .:-=+*#%@")
+	maxC := 1
+	for _, c := range counts {
+		if c > maxC {
+			maxC = c
+		}
+	}
+	var b strings.Builder
+	for _, c := range counts {
+		idx := c * (len(glyphs) - 1) / maxC
+		b.WriteRune(glyphs[idx])
+	}
+	return b.String()
+}

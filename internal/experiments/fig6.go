@@ -1,0 +1,93 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/coding"
+	"repro/internal/core"
+)
+
+// Fig6Curves holds one dataset's inference curves for every scheme.
+type Fig6Curves struct {
+	Dataset string
+	Series  []Series
+	// FinalAccuracy per scheme name.
+	FinalAccuracy map[string]float64
+}
+
+// Fig6Result reproduces the paper's Fig. 6: accuracy versus time step
+// for rate, phase, burst, and the four T2FSNN variants on the CIFAR-10-
+// and CIFAR-100-like tasks.
+type Fig6Result struct {
+	Curves []Fig6Curves
+	Report string
+}
+
+// Fig6 runs the inference-curve experiment at the given scale.
+func Fig6(scale Scale, cacheDir string, log io.Writer) (*Fig6Result, error) {
+	res := &Fig6Result{}
+	report := ""
+	for _, ds := range []string{"cifar10", "cifar100"} {
+		p, err := ParamsFor(ds, scale)
+		if err != nil {
+			return nil, err
+		}
+		s, err := Prepare(p, cacheDir, log)
+		if err != nil {
+			return nil, err
+		}
+		fc := Fig6Curves{Dataset: ds, FinalAccuracy: map[string]float64{}}
+
+		baselines := []struct {
+			scheme coding.Scheme
+			steps  int
+		}{
+			{coding.Rate{}, p.RateSteps},
+			{coding.Phase{}, p.PhaseSteps},
+			{coding.Burst{}, p.BurstSteps},
+		}
+		for _, b := range baselines {
+			ev, err := evalCoding(s, b.scheme, b.steps, p.CurveStride)
+			if err != nil {
+				return nil, err
+			}
+			fc.Series = append(fc.Series, curveToSeries(b.scheme.Name(), nil, ev.Curve))
+			fc.FinalAccuracy[b.scheme.Name()] = ev.Accuracy
+			if log != nil {
+				fmt.Fprintf(log, "%s/%s: final acc %.3f\n", ds, b.scheme.Name(), ev.Accuracy)
+			}
+		}
+
+		vars, err := Variants(s)
+		if err != nil {
+			return nil, err
+		}
+		for _, v := range vars {
+			ev, err := EvalVariant(s, v, core.EvalOptions{CurveStride: p.CurveStride})
+			if err != nil {
+				return nil, err
+			}
+			fc.Series = append(fc.Series, curveToSeries(string(v.Name), ev.Curve, nil))
+			fc.FinalAccuracy[string(v.Name)] = ev.Accuracy
+		}
+		res.Curves = append(res.Curves, fc)
+		report += RenderSeries(fmt.Sprintf("Fig 6: inference curves on %s-like", ds), "step", fc.Series)
+	}
+	res.Report = report
+	return res, nil
+}
+
+// curveToSeries converts either curve representation into a Series.
+func curveToSeries(name string, a []core.CurvePoint, b []coding.CurvePoint) Series {
+	s := Series{Name: name}
+	for _, p := range a {
+		s.X = append(s.X, float64(p.Step))
+		s.Y = append(s.Y, p.Accuracy)
+	}
+	for _, p := range b {
+		s.X = append(s.X, float64(p.Step))
+		s.Y = append(s.Y, p.Accuracy)
+	}
+	return s
+}

@@ -1,0 +1,81 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table is a simple text table renderer used by every experiment report.
+type Table struct {
+	Title   string
+	Headers []string
+	Rows    [][]string
+}
+
+// AddRow appends a formatted row.
+func (t *Table) AddRow(cells ...string) { t.Rows = append(t.Rows, cells) }
+
+// String renders the table with aligned columns.
+func (t *Table) String() string {
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "%s\n", t.Title)
+	}
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteString("\n")
+	}
+	writeRow(t.Headers)
+	total := 0
+	for _, w := range widths {
+		total += w + 2
+	}
+	b.WriteString(strings.Repeat("-", total))
+	b.WriteString("\n")
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// Series is a named (x, y) sequence used by the figure experiments.
+type Series struct {
+	Name string
+	X    []float64
+	Y    []float64
+}
+
+// RenderSeries prints each series as a CSV-like block of (x, y) pairs —
+// series may have different x grids (e.g. per-scheme curve strides).
+func RenderSeries(title string, xLabel string, series []Series) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", title)
+	for _, s := range series {
+		fmt.Fprintf(&b, "# series: %s (%s, value)\n", s.Name, xLabel)
+		for i := range s.X {
+			fmt.Fprintf(&b, "%g,%g\n", s.X[i], s.Y[i])
+		}
+	}
+	return b.String()
+}
+
+// sciNotation formats a float in the paper's "6.898E+4" style.
+func sciNotation(v float64) string {
+	return strings.ToUpper(strings.Replace(fmt.Sprintf("%.3e", v), "e+0", "E+", 1))
+}

@@ -1,0 +1,158 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"repro/internal/convert"
+	"repro/internal/dataset"
+	"repro/internal/dnn"
+	"repro/internal/tensor"
+)
+
+// Setup is a trained and converted network ready for spiking
+// experiments on one dataset.
+type Setup struct {
+	Params Params
+	DNN    *dnn.Network
+	Conv   *convert.Result
+	TrainX *tensor.Tensor
+	TrainY []int
+	TestX  *tensor.Tensor
+	TestY  []int
+	DNNAcc float64
+	// EvalX/EvalY is the spiking-evaluation subset (EvalN samples of
+	// the test split), flattened to [EvalN, sampleLen].
+	EvalX *tensor.Tensor
+	EvalY []int
+}
+
+var setupCache = struct {
+	sync.Mutex
+	m map[string]*Setup
+}{m: map[string]*Setup{}}
+
+// Prepare builds (or returns the cached) setup for the given parameters:
+// generate the dataset, train the DNN (loading weights from cacheDir if
+// present, saving them if not), convert, and slice the evaluation
+// subset. log may be nil.
+func Prepare(p Params, cacheDir string, log io.Writer) (*Setup, error) {
+	key := fmt.Sprintf("%s-%d-%d-%d-%d", p.Dataset, p.TrainN, p.Epochs, p.WidthDiv, p.Seed)
+	setupCache.Lock()
+	if s, ok := setupCache.m[key]; ok {
+		setupCache.Unlock()
+		return s, nil
+	}
+	setupCache.Unlock()
+
+	cfg := dataset.Config{Train: p.TrainN, Test: p.TestN, Seed: p.Seed}
+	var train, test *dataset.Dataset
+	switch p.Dataset {
+	case "mnist":
+		train, test = dataset.MNISTLike(cfg)
+	case "cifar10":
+		train, test = dataset.CIFAR10Like(cfg)
+	case "cifar100":
+		train, test = dataset.CIFAR100Like(cfg)
+	default:
+		return nil, fmt.Errorf("experiments: unknown dataset %q", p.Dataset)
+	}
+
+	rng := tensor.NewRNG(p.Seed + 100)
+	shape := train.SampleShape()
+	arch := dnn.ArchConfig{
+		InC: shape[0], InH: shape[1], InW: shape[2],
+		Classes: p.Classes, WidthDiv: p.WidthDiv, FCWidth: p.FCWidth,
+		BatchNorm: true, Pool: dnn.AvgPool,
+	}
+	var net *dnn.Network
+	switch {
+	case p.Dataset == "mnist":
+		net = dnn.BuildLeNet(arch, rng)
+	case p.UseVGG16:
+		net = dnn.BuildVGG16(arch, rng)
+	default:
+		net = dnn.BuildVGG9(arch, rng)
+	}
+
+	loaded := false
+	var cachePath string
+	if cacheDir != "" {
+		cachePath = filepath.Join(cacheDir, key+".gob")
+		if f, err := os.Open(cachePath); err == nil {
+			if err := net.Load(f); err == nil {
+				loaded = true
+				if log != nil {
+					fmt.Fprintf(log, "loaded cached weights from %s\n", cachePath)
+				}
+			}
+			f.Close()
+		}
+	}
+	if !loaded {
+		if log != nil {
+			fmt.Fprintf(log, "training %s on %s (%d samples, %d epochs, %d params)\n",
+				net.Name, p.Dataset, train.N(), p.Epochs, net.NumParams())
+		}
+		dnn.Train(net, train.X, train.Labels, dnn.TrainConfig{
+			Epochs: p.Epochs, BatchSize: 32,
+			Optimizer: dnn.NewAdam(2e-3, 1e-5),
+			RNG:       tensor.NewRNG(p.Seed + 200),
+			Log:       log,
+		})
+		if cachePath != "" {
+			if err := os.MkdirAll(cacheDir, 0o755); err == nil {
+				if f, err := os.Create(cachePath); err == nil {
+					if err := net.Save(f); err != nil && log != nil {
+						fmt.Fprintf(log, "warning: saving weights: %v\n", err)
+					}
+					f.Close()
+				}
+			}
+		}
+	}
+
+	// conversion calibrates on (a subset of) the training split
+	calibN := train.N()
+	if calibN > 500 {
+		calibN = 500
+	}
+	sampleLen := shape[0] * shape[1] * shape[2]
+	calib := tensor.FromSlice(train.X.Data[:calibN*sampleLen], append([]int{calibN}, shape...)...)
+	res, err := convert.Convert(net, convert.Options{Calibration: calib, Percentile: 99.9})
+	if err != nil {
+		return nil, fmt.Errorf("experiments: converting %s: %w", p.Dataset, err)
+	}
+
+	evalN := p.EvalN
+	if evalN > test.N() {
+		evalN = test.N()
+	}
+	s := &Setup{
+		Params: p, DNN: net, Conv: res,
+		TrainX: train.X, TrainY: train.Labels,
+		TestX: test.X, TestY: test.Labels,
+		DNNAcc: dnn.Evaluate(net, test.X, test.Labels, 64),
+		EvalX:  tensor.FromSlice(test.X.Data[:evalN*sampleLen], evalN, sampleLen),
+		EvalY:  test.Labels[:evalN],
+	}
+	setupCache.Lock()
+	setupCache.m[key] = s
+	setupCache.Unlock()
+	return s, nil
+}
+
+// InputPixels returns a flat slice of training pixels used as the z̄
+// distribution for the input kernel's gradient optimization.
+func (s *Setup) InputPixels(maxSamples int) []float64 {
+	shape := s.TrainX.Shape
+	sampleLen := s.TrainX.Len() / shape[0]
+	n := shape[0]
+	if n > maxSamples {
+		n = maxSamples
+	}
+	return s.TrainX.Data[:n*sampleLen]
+}

@@ -1,0 +1,79 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/core"
+)
+
+// Table1Row is one ablation measurement on one dataset.
+type Table1Row struct {
+	Variant  VariantName
+	Dataset  string
+	Latency  int
+	Accuracy float64
+	Spikes   float64
+}
+
+// Table1Result reproduces the paper's Table I (ablation study of GO and
+// EF on CIFAR-10 and CIFAR-100).
+type Table1Result struct {
+	Rows   []Table1Row
+	Report string
+}
+
+// Table1 runs the ablation at the given scale. cacheDir may be empty;
+// log may be nil.
+func Table1(scale Scale, cacheDir string, log io.Writer) (*Table1Result, error) {
+	datasets := []string{"cifar10", "cifar100"}
+	res := &Table1Result{}
+
+	// rows keyed by variant, columns per dataset (paper layout)
+	perVariant := map[VariantName]map[string]Table1Row{}
+	var latency = map[VariantName]int{}
+	for _, ds := range datasets {
+		p, err := ParamsFor(ds, scale)
+		if err != nil {
+			return nil, err
+		}
+		s, err := Prepare(p, cacheDir, log)
+		if err != nil {
+			return nil, err
+		}
+		vars, err := Variants(s)
+		if err != nil {
+			return nil, err
+		}
+		for _, v := range vars {
+			ev, err := EvalVariant(s, v, core.EvalOptions{})
+			if err != nil {
+				return nil, err
+			}
+			row := Table1Row{
+				Variant: v.Name, Dataset: ds,
+				Latency: ev.Latency, Accuracy: ev.Accuracy, Spikes: ev.AvgSpikes,
+			}
+			res.Rows = append(res.Rows, row)
+			if perVariant[v.Name] == nil {
+				perVariant[v.Name] = map[string]Table1Row{}
+			}
+			perVariant[v.Name][ds] = row
+			latency[v.Name] = ev.Latency
+		}
+	}
+
+	t := Table{
+		Title: "Table I: Ablation study (synthetic CIFAR-10/100-like, width-reduced VGG)",
+		Headers: []string{"Methods", "Latency",
+			"CIFAR10 Acc", "CIFAR10 Spikes", "CIFAR100 Acc", "CIFAR100 Spikes"},
+	}
+	for _, v := range []VariantName{VarBase, VarGO, VarEF, VarGOEF} {
+		r10, r100 := perVariant[v]["cifar10"], perVariant[v]["cifar100"]
+		t.AddRow(string(v), fmt.Sprintf("%d", latency[v]),
+			fmt.Sprintf("%.2f", 100*r10.Accuracy), sciNotation(r10.Spikes),
+			fmt.Sprintf("%.2f", 100*r100.Accuracy), sciNotation(r100.Spikes))
+	}
+	res.Report = t.String()
+	return res, nil
+}

@@ -1,0 +1,150 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/coding"
+	"repro/internal/core"
+	"repro/internal/energy"
+	"repro/internal/reverse"
+)
+
+// Table2Row is one (dataset, coding scheme) measurement.
+type Table2Row struct {
+	Dataset  string
+	Scheme   string
+	Accuracy float64
+	Latency  int
+	Spikes   float64
+	EnergyTN float64 // normalized to rate coding
+	EnergySN float64
+}
+
+// Table2Result reproduces the paper's Table II: accuracy, latency,
+// spikes and normalized TrueNorth/SpiNNaker energy for rate, phase,
+// burst and T2FSNN+GO+EF on all three datasets.
+type Table2Result struct {
+	Rows   []Table2Row
+	Report string
+}
+
+// Table2 runs the comparison at the given scale.
+func Table2(scale Scale, cacheDir string, log io.Writer) (*Table2Result, error) {
+	datasets := []string{"mnist", "cifar10", "cifar100"}
+	res := &Table2Result{}
+	t := Table{
+		Title: "Table II: Comparison of neural coding schemes (synthetic datasets; energy normalized to rate coding)",
+		Headers: []string{"Dataset", "Coding", "Accuracy(%)", "Latency", "Spikes",
+			"Energy TN", "Energy SN"},
+	}
+
+	for _, ds := range datasets {
+		p, err := ParamsFor(ds, scale)
+		if err != nil {
+			return nil, err
+		}
+		s, err := Prepare(p, cacheDir, log)
+		if err != nil {
+			return nil, err
+		}
+
+		type measured struct {
+			name     string
+			accuracy float64
+			latency  int
+			spikes   float64
+		}
+		var rows []measured
+
+		// Baselines: following the paper's Table II accounting, the
+		// reported latency is the simulation horizon at which the
+		// reported accuracy is attained (the paper runs rate coding for
+		// 10,000 steps and reports exactly that as its latency), and
+		// the spike count is measured over that horizon.
+		baselines := []struct {
+			scheme coding.Scheme
+			steps  int
+		}{
+			{coding.Rate{}, p.RateSteps},
+			{coding.Phase{}, p.PhaseSteps},
+			{coding.Burst{}, p.BurstSteps},
+		}
+		for _, b := range baselines {
+			ev, err := evalCoding(s, b.scheme, b.steps, p.CurveStride)
+			if err != nil {
+				return nil, err
+			}
+			rows = append(rows, measured{
+				name: b.scheme.Name(), accuracy: ev.Accuracy,
+				latency: b.steps, spikes: ev.AvgSpikes,
+			})
+			if log != nil {
+				fmt.Fprintf(log, "%s/%s: acc=%.3f horizon=%d conv=%d spikes=%.0f\n",
+					ds, b.scheme.Name(), ev.Accuracy, b.steps, ev.ConvergenceStep, ev.AvgSpikes)
+			}
+		}
+
+		// TDSNN-style reverse coding: the paper reports its accuracy on
+		// MNIST only, with no spike/latency figures (Table II's "-").
+		// The row is held back and rendered between Burst and Our
+		// Method, matching the paper's layout.
+		reverseAcc := -1.0
+		if ds == "mnist" {
+			rm, err := reverse.NewModel(s.Conv.Net, p.T)
+			if err != nil {
+				return nil, err
+			}
+			acc, _, _, err := rm.Evaluate(s.EvalX.Data, s.Conv.Net.InLen, s.EvalY)
+			if err != nil {
+				return nil, err
+			}
+			reverseAcc = acc
+		}
+
+		// our method: T2FSNN+GO+EF
+		vars, err := Variants(s)
+		if err != nil {
+			return nil, err
+		}
+		for _, v := range vars {
+			if v.Name != VarGOEF {
+				continue
+			}
+			ev, err := EvalVariant(s, v, core.EvalOptions{})
+			if err != nil {
+				return nil, err
+			}
+			rows = append(rows, measured{
+				name: "Our Method", accuracy: ev.Accuracy,
+				latency: ev.Latency, spikes: ev.AvgSpikes,
+			})
+		}
+
+		base := rows[0] // rate coding is the normalization baseline
+		for _, m := range rows {
+			if m.name == "Our Method" && reverseAcc >= 0 {
+				res.Rows = append(res.Rows, Table2Row{Dataset: ds, Scheme: "Reverse", Accuracy: reverseAcc})
+				t.AddRow(ds, "Reverse", fmt.Sprintf("%.2f", 100*reverseAcc), "-", "-", "-", "-")
+			}
+			tn, err := energy.TrueNorth.Normalized(m.spikes, float64(m.latency), base.spikes, float64(base.latency))
+			if err != nil {
+				return nil, err
+			}
+			sn, err := energy.SpiNNaker.Normalized(m.spikes, float64(m.latency), base.spikes, float64(base.latency))
+			if err != nil {
+				return nil, err
+			}
+			row := Table2Row{
+				Dataset: ds, Scheme: m.name, Accuracy: m.accuracy,
+				Latency: m.latency, Spikes: m.spikes, EnergyTN: tn, EnergySN: sn,
+			}
+			res.Rows = append(res.Rows, row)
+			t.AddRow(ds, m.name, fmt.Sprintf("%.2f", 100*m.accuracy),
+				fmt.Sprintf("%d", m.latency), sciNotation(m.spikes),
+				fmt.Sprintf("%.3f", tn), fmt.Sprintf("%.3f", sn))
+		}
+	}
+	res.Report = t.String()
+	return res, nil
+}

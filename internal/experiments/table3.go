@@ -1,0 +1,130 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/coding"
+	"repro/internal/core"
+	"repro/internal/opcount"
+)
+
+// Table3Row is one computational-cost row.
+type Table3Row struct {
+	Method string
+	Mult   float64 // millions of operations
+	Add    float64
+}
+
+// Table3Result reproduces the paper's Table III: estimated multiply/add
+// counts per inference for the DNN, the three baseline codings, the
+// TDSNN reverse-coding estimate, and T2FSNN, on the CIFAR-100-like
+// network (the paper uses VGG-16 on CIFAR-100).
+type Table3Result struct {
+	Rows   []Table3Row
+	Report string
+}
+
+// Table3 runs the cost analysis at the given scale.
+func Table3(scale Scale, cacheDir string, log io.Writer) (*Table3Result, error) {
+	p, err := ParamsFor("cifar100", scale)
+	if err != nil {
+		return nil, err
+	}
+	s, err := Prepare(p, cacheDir, log)
+	if err != nil {
+		return nil, err
+	}
+	net := s.Conv.Net
+	res := &Table3Result{}
+	add := func(method string, o opcount.Ops) {
+		m := o.Millions()
+		res.Rows = append(res.Rows, Table3Row{Method: method, Mult: m.Mult, Add: m.Add})
+	}
+
+	// DNN: dense MAC cost
+	add("DNN", opcount.DNN(net))
+
+	// Baseline codings: measured spikes at each scheme's convergence
+	// horizon. Rate costs adds only; phase/burst are weighted.
+	baselines := []struct {
+		scheme   coding.Scheme
+		steps    int
+		weighted bool
+	}{
+		{coding.Rate{}, p.RateSteps, false},
+		{coding.Phase{}, p.PhaseSteps, true},
+		{coding.Burst{}, p.BurstSteps, true},
+	}
+	for _, b := range baselines {
+		// spikes measured over the scheme's full evaluation horizon,
+		// matching the Table II accounting
+		ev, err := evalCoding(s, b.scheme, b.steps, p.CurveStride)
+		if err != nil {
+			return nil, err
+		}
+		// split the aggregate across boundaries using one sample's
+		// distribution (SpikeOps only needs the total, but the split
+		// keeps the per-boundary interface honest)
+		one := b.scheme.Run(net, s.EvalX.Data[:net.InLen], b.steps, false)
+		per := make([]float64, len(net.Stages))
+		tot := 0.0
+		for i := range per {
+			per[i] = float64(one.SpikesPerStage[i])
+			tot += per[i]
+		}
+		if tot > 0 {
+			scale := ev.AvgSpikes / tot
+			for i := range per {
+				per[i] *= scale
+			}
+		}
+		ops, err := opcount.SpikeOps(net, per, b.weighted)
+		if err != nil {
+			return nil, err
+		}
+		add(b.scheme.Name(), ops)
+	}
+
+	// TDSNN estimate: reverse coding runs for roughly the same layered
+	// latency as the baseline T2FSNN pipeline.
+	tdsnnSteps := len(net.Stages) * p.T
+	add("TDSNN", opcount.TDSNN(net, opcount.TDSNNConfig{Steps: tdsnnSteps, TickFraction: 1}))
+
+	// T2FSNN: measured spikes of the GO+EF variant (kernel decode is one
+	// LUT mult + add per spike).
+	vars, err := Variants(s)
+	if err != nil {
+		return nil, err
+	}
+	for _, v := range vars {
+		if v.Name != VarGOEF {
+			continue
+		}
+		ev, err := EvalVariant(s, v, core.EvalOptions{})
+		if err != nil {
+			return nil, err
+		}
+		ops, err := opcount.SpikeOps(net, ev.SpikesPerStage, true)
+		if err != nil {
+			return nil, err
+		}
+		add("T2FSNN", ops)
+	}
+
+	t := Table{
+		Title:   "Table III: Computational cost (millions of operations; width-reduced VGG on synthetic CIFAR-100-like)",
+		Headers: []string{"Method", "Mult (M)", "Add (M)"},
+	}
+	for _, r := range res.Rows {
+		mult := fmt.Sprintf("%.4f", r.Mult)
+		if r.Method == "DNN" || r.Mult == 0 {
+			if r.Mult == 0 {
+				mult = "-"
+			}
+		}
+		t.AddRow(r.Method, mult, fmt.Sprintf("%.4f", r.Add))
+	}
+	res.Report = t.String()
+	return res, nil
+}

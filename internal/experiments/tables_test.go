@@ -1,0 +1,218 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// The table/figure tests run everything at Tiny scale and assert the
+// paper-shape relations that must hold at any scale.
+
+func TestTable1Shape(t *testing.T) {
+	res, err := Table1(Tiny, "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 8 { // 4 variants × 2 datasets
+		t.Fatalf("got %d rows, want 8", len(res.Rows))
+	}
+	byKey := map[string]Table1Row{}
+	for _, r := range res.Rows {
+		byKey[string(r.Variant)+"/"+r.Dataset] = r
+	}
+	base := byKey["T2FSNN/cifar10"]
+	ef := byKey["T2FSNN+EF/cifar10"]
+	goef := byKey["T2FSNN+GO+EF/cifar10"]
+	// EF must cut latency roughly in half (paper: 1280 -> 680 is 46.9%)
+	if ef.Latency >= base.Latency {
+		t.Fatalf("EF latency %d not below baseline %d", ef.Latency, base.Latency)
+	}
+	ratio := float64(ef.Latency) / float64(base.Latency)
+	if ratio < 0.4 || ratio > 0.7 {
+		t.Fatalf("EF latency ratio %.2f outside the near-half band", ratio)
+	}
+	if goef.Latency != ef.Latency {
+		t.Fatal("GO must not change latency")
+	}
+	// accuracy must not collapse under GO/EF (paper reports slight gains)
+	for _, v := range []string{"T2FSNN+GO", "T2FSNN+EF", "T2FSNN+GO+EF"} {
+		r := byKey[v+"/cifar10"]
+		if r.Accuracy < base.Accuracy-0.15 {
+			t.Fatalf("%s accuracy %.2f collapsed from baseline %.2f", v, r.Accuracy, base.Accuracy)
+		}
+	}
+	if !strings.Contains(res.Report, "T2FSNN+GO+EF") {
+		t.Fatal("report missing variant rows")
+	}
+}
+
+func TestTable2Shape(t *testing.T) {
+	res, err := Table2(Tiny, "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 13 { // 4 schemes × 3 datasets + reverse on mnist
+		t.Fatalf("got %d rows, want 13", len(res.Rows))
+	}
+	foundReverse := false
+	for _, r := range res.Rows {
+		if r.Scheme == "Reverse" {
+			foundReverse = true
+			if r.Dataset != "mnist" {
+				t.Fatalf("reverse row on %s, want mnist only", r.Dataset)
+			}
+			if r.Accuracy <= 0.2 {
+				t.Fatalf("reverse accuracy %.2f at chance", r.Accuracy)
+			}
+		}
+	}
+	if !foundReverse {
+		t.Fatal("missing Reverse row")
+	}
+	byKey := map[string]Table2Row{}
+	for _, r := range res.Rows {
+		byKey[r.Dataset+"/"+r.Scheme] = r
+	}
+	for _, ds := range []string{"mnist", "cifar10", "cifar100"} {
+		rate := byKey[ds+"/Rate"]
+		our := byKey[ds+"/Our Method"]
+		// rate coding self-normalizes to 1
+		if rate.EnergyTN < 0.999 || rate.EnergyTN > 1.001 {
+			t.Fatalf("%s: rate TN energy %.3f != 1", ds, rate.EnergyTN)
+		}
+		// the headline result: our method needs far fewer spikes than
+		// rate coding and less energy
+		if our.Spikes >= rate.Spikes {
+			t.Fatalf("%s: our spikes %.0f not below rate %.0f", ds, our.Spikes, rate.Spikes)
+		}
+		if our.EnergyTN >= 1 || our.EnergySN >= 1 {
+			t.Fatalf("%s: our energy (%.3f TN, %.3f SN) not below rate", ds, our.EnergyTN, our.EnergySN)
+		}
+		// and fewer spikes than burst, the strongest baseline
+		burst := byKey[ds+"/Burst"]
+		if our.Spikes >= burst.Spikes {
+			t.Fatalf("%s: our spikes %.0f not below burst %.0f", ds, our.Spikes, burst.Spikes)
+		}
+	}
+}
+
+func TestTable3Shape(t *testing.T) {
+	res, err := Table3(Tiny, "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byMethod := map[string]Table3Row{}
+	for _, r := range res.Rows {
+		byMethod[r.Method] = r
+	}
+	for _, m := range []string{"DNN", "Rate", "Phase", "Burst", "TDSNN", "T2FSNN"} {
+		if _, ok := byMethod[m]; !ok {
+			t.Fatalf("missing method %s in %v", m, res.Rows)
+		}
+	}
+	// paper shape: T2FSNN is the cheapest by far; rate has no mults;
+	// TDSNN pays heavily for auxiliary/leaky operations
+	t2f := byMethod["T2FSNN"]
+	if byMethod["Rate"].Mult != 0 {
+		t.Fatal("rate coding should need no multiplies")
+	}
+	if t2f.Add >= byMethod["Burst"].Add {
+		t.Fatalf("T2FSNN adds %.3f not below burst %.3f", t2f.Add, byMethod["Burst"].Add)
+	}
+	if t2f.Add >= byMethod["TDSNN"].Add || t2f.Mult >= byMethod["TDSNN"].Mult {
+		t.Fatalf("T2FSNN (%.3f/%.3f) not below TDSNN (%.3f/%.3f)",
+			t2f.Mult, t2f.Add, byMethod["TDSNN"].Mult, byMethod["TDSNN"].Add)
+	}
+	if t2f.Add >= byMethod["DNN"].Add {
+		t.Fatal("T2FSNN should be cheaper than the DNN")
+	}
+}
+
+func TestFig4Shape(t *testing.T) {
+	res, err := Fig4(Tiny, "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.PanelA) != 4 || len(res.PanelB) != 2 {
+		t.Fatalf("panels: %d/%d series", len(res.PanelA), len(res.PanelB))
+	}
+	// the two trajectories approach from opposite sides (paper Fig. 4):
+	// τ=2 increases, τ=18 decreases
+	if res.FinalTau["tau=2"] <= 2 {
+		t.Fatalf("τ=2 should grow, ended at %.2f", res.FinalTau["tau=2"])
+	}
+	if res.FinalTau["tau=18"] >= 18 {
+		t.Fatalf("τ=18 should shrink, ended at %.2f", res.FinalTau["tau=18"])
+	}
+	// L_max for τ=2 must decrease over training (panel b, red line)
+	for _, s := range res.PanelB {
+		if !strings.Contains(s.Name, "tau=2") {
+			continue
+		}
+		if s.Y[len(s.Y)-1] >= s.Y[0] {
+			t.Fatalf("Lmax(τ=2) did not decrease: %v -> %v", s.Y[0], s.Y[len(s.Y)-1])
+		}
+	}
+}
+
+func TestFig5Shape(t *testing.T) {
+	res, err := Fig5(Tiny, "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Layers) == 0 {
+		t.Fatal("no layers collected")
+	}
+	// layers must appear for both variants with sane first-spike times
+	seen := map[VariantName]int{}
+	for _, l := range res.Layers {
+		seen[l.Variant]++
+		if l.Count > 0 && l.FirstSpike < 0 {
+			t.Fatalf("%s/%s: spikes but no first-spike time", l.Variant, l.Layer)
+		}
+	}
+	if seen[VarBase] == 0 || seen[VarGO] == 0 {
+		t.Fatalf("missing variants in layers: %v", seen)
+	}
+	if !strings.Contains(res.Report, "Conv") {
+		t.Fatal("report missing conv layers")
+	}
+}
+
+func TestFig6Shape(t *testing.T) {
+	res, err := Fig6(Tiny, "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Curves) != 2 {
+		t.Fatalf("got %d datasets, want 2", len(res.Curves))
+	}
+	for _, fc := range res.Curves {
+		if len(fc.Series) != 7 { // rate, phase, burst + 4 T2FSNN variants
+			t.Fatalf("%s: %d series, want 7", fc.Dataset, len(fc.Series))
+		}
+		// every T2FSNN variant should clear chance by a wide margin
+		classes := 10.0
+		if fc.Dataset == "cifar100" {
+			classes = 100
+		}
+		for _, v := range []string{"T2FSNN", "T2FSNN+GO+EF"} {
+			if fc.FinalAccuracy[v] <= 2.5/classes {
+				t.Fatalf("%s/%s final accuracy %.2f at chance", fc.Dataset, v, fc.FinalAccuracy[v])
+			}
+		}
+		// the paper's speed ordering: GO+EF decides no later than baseline
+		var baseEnd, goefEnd float64
+		for _, s := range fc.Series {
+			switch s.Name {
+			case "T2FSNN":
+				baseEnd = s.X[len(s.X)-1]
+			case "T2FSNN+GO+EF":
+				goefEnd = s.X[len(s.X)-1]
+			}
+		}
+		if goefEnd >= baseEnd {
+			t.Fatalf("%s: GO+EF curve ends at %v, not before baseline %v", fc.Dataset, goefEnd, baseEnd)
+		}
+	}
+}

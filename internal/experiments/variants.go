@@ -1,0 +1,70 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/kernel"
+	"repro/internal/tensor"
+)
+
+// VariantName identifies one row of the ablation (Table I).
+type VariantName string
+
+// The four ablation variants of Table I.
+const (
+	VarBase VariantName = "T2FSNN"
+	VarGO   VariantName = "T2FSNN+GO"
+	VarEF   VariantName = "T2FSNN+EF"
+	VarGOEF VariantName = "T2FSNN+GO+EF"
+)
+
+// Variant couples a model with a pipeline configuration.
+type Variant struct {
+	Name  VariantName
+	Model *core.Model
+	Run   core.RunConfig
+}
+
+// BuildModels constructs the baseline model (empirically initialized
+// kernels) and the GO model (kernels optimized on the conversion
+// activations) for a setup.
+func BuildModels(s *Setup) (base, optimized *core.Model, traces []kernel.OptimizeResult, err error) {
+	p := s.Params
+	base, err = core.NewModel(s.Conv.Net, p.T, p.TauInit, p.TdInit)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	optimized, err = core.NewModel(s.Conv.Net, p.T, p.TauInit, p.TdInit)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	traces, err = optimized.ApplyGO(s.InputPixels(200), s.Conv.Activations, kernel.OptimizeConfig{
+		LRTau: 2, LRTd: 0.2, BatchSize: 512, Epochs: 2, RNG: tensor.NewRNG(p.Seed + 300),
+	})
+	if err != nil {
+		return nil, nil, nil, fmt.Errorf("experiments: gradient-based optimization: %w", err)
+	}
+	return base, optimized, traces, nil
+}
+
+// Variants returns the four Table I rows for a setup.
+func Variants(s *Setup) ([]Variant, error) {
+	base, opt, _, err := BuildModels(s)
+	if err != nil {
+		return nil, err
+	}
+	ef := core.RunConfig{EarlyFire: true, EFStart: s.Params.EFStart()}
+	return []Variant{
+		{Name: VarBase, Model: base, Run: core.RunConfig{}},
+		{Name: VarGO, Model: opt, Run: core.RunConfig{}},
+		{Name: VarEF, Model: base, Run: ef},
+		{Name: VarGOEF, Model: opt, Run: ef},
+	}, nil
+}
+
+// EvalVariant evaluates one variant on the setup's evaluation subset.
+func EvalVariant(s *Setup, v Variant, opts core.EvalOptions) (core.EvalResult, error) {
+	opts.Run = v.Run
+	return core.Evaluate(v.Model, s.EvalX, s.EvalY, opts)
+}

@@ -1,0 +1,129 @@
+// Package hw models deployment of a converted spiking network onto a
+// neuromorphic many-core fabric: how many cores each layer occupies
+// under neuron- and fan-in-capacity constraints, how utilized they are,
+// and how much spike traffic crosses the network-on-chip for a measured
+// workload. It extends the paper's TrueNorth/SpiNNaker energy constants
+// (internal/energy) with the placement/traffic side a hardware team
+// would ask about first.
+package hw
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/snn"
+)
+
+// Fabric describes a neuromorphic chip's per-core capacities.
+type Fabric struct {
+	Name string
+	// NeuronsPerCore is the number of neuron circuits per core
+	// (TrueNorth: 256).
+	NeuronsPerCore int
+	// FanInPerCore caps the distinct axon inputs a core accepts
+	// (TrueNorth: 256; crossbar width).
+	FanInPerCore int
+}
+
+// Reference fabrics. TrueNorth's 256×256 crossbar is published; the
+// SpiNNaker figure models a software core simulating ~1000 neurons.
+var (
+	TrueNorth = Fabric{Name: "TrueNorth", NeuronsPerCore: 256, FanInPerCore: 256}
+	SpiNNaker = Fabric{Name: "SpiNNaker", NeuronsPerCore: 1000, FanInPerCore: 4096}
+)
+
+// LayerPlacement is the mapping of one stage onto cores.
+type LayerPlacement struct {
+	Stage string
+	// Neurons is the stage's neuron count; FanIn the per-neuron
+	// synaptic inputs (kernel volume for conv, full input for dense).
+	Neurons int
+	FanIn   int
+	// Cores is the number of cores the stage occupies; Utilization the
+	// fraction of neuron circuits in use across them.
+	Cores       int
+	Utilization float64
+	// ReplicationFactor counts how many cores each input axon must be
+	// delivered to (fan-in splitting forces multicast).
+	ReplicationFactor int
+}
+
+// Mapping is a whole-network placement.
+type Mapping struct {
+	Fabric Fabric
+	Layers []LayerPlacement
+	// TotalCores across all stages.
+	TotalCores int
+}
+
+// Map places every stage of net onto the fabric. Each stage is packed
+// independently (layer-per-core-group, the standard feedforward
+// placement); a stage whose per-neuron fan-in exceeds the core's
+// crossbar width splits its dendritic trees across ⌈fanIn/cap⌉ cores,
+// multiplying both the core count and the input multicast factor.
+func Map(net *snn.Net, fabric Fabric) (*Mapping, error) {
+	if fabric.NeuronsPerCore <= 0 || fabric.FanInPerCore <= 0 {
+		return nil, fmt.Errorf("hw: fabric %q has non-positive capacities", fabric.Name)
+	}
+	m := &Mapping{Fabric: fabric}
+	for i := range net.Stages {
+		st := &net.Stages[i]
+		fanIn := stageFanIn(st)
+		split := ceilDiv(fanIn, fabric.FanInPerCore)
+		coreGroups := ceilDiv(st.OutLen, fabric.NeuronsPerCore)
+		cores := coreGroups * split
+		util := float64(st.OutLen) / float64(coreGroups*fabric.NeuronsPerCore)
+		m.Layers = append(m.Layers, LayerPlacement{
+			Stage: st.Name, Neurons: st.OutLen, FanIn: fanIn,
+			Cores: cores, Utilization: util, ReplicationFactor: split,
+		})
+		m.TotalCores += cores
+	}
+	return m, nil
+}
+
+// stageFanIn returns the per-neuron synaptic input count of a stage.
+func stageFanIn(st *snn.Stage) int {
+	fanIn := 0
+	switch st.Kind {
+	case snn.ConvStage:
+		fanIn = st.Geom.InC * st.Geom.KH * st.Geom.KW
+	default:
+		fanIn = st.W.Shape[0]
+	}
+	if st.PrePool != nil {
+		// pooled inputs multiply the distinct axons reaching a neuron
+		fanIn *= st.PrePool.K * st.PrePool.K
+	}
+	return fanIn
+}
+
+// Traffic estimates network-on-chip spike deliveries for a workload:
+// each boundary's spike count times the multicast factor of the stage
+// consuming it. spikesPerBoundary follows the simulator convention
+// (index 0 = input encoding, i = stage i−1 output).
+func (m *Mapping) Traffic(spikesPerBoundary []float64) (float64, error) {
+	if len(spikesPerBoundary) != len(m.Layers) {
+		return 0, fmt.Errorf("hw: %d boundaries for %d placed layers", len(spikesPerBoundary), len(m.Layers))
+	}
+	total := 0.0
+	for b, s := range spikesPerBoundary {
+		total += s * float64(m.Layers[b].ReplicationFactor)
+	}
+	return total, nil
+}
+
+// Report renders the mapping as a table.
+func (m *Mapping) Report() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "mapping onto %s (%d neurons/core, %d fan-in/core): %d cores\n",
+		m.Fabric.Name, m.Fabric.NeuronsPerCore, m.Fabric.FanInPerCore, m.TotalCores)
+	fmt.Fprintf(&b, "%-10s %8s %7s %6s %6s %5s\n", "stage", "neurons", "fan-in", "cores", "util", "mcast")
+	for _, l := range m.Layers {
+		fmt.Fprintf(&b, "%-10s %8d %7d %6d %5.0f%% %5d\n",
+			l.Stage, l.Neurons, l.FanIn, l.Cores, 100*l.Utilization, l.ReplicationFactor)
+	}
+	return b.String()
+}
+
+func ceilDiv(a, b int) int { return (a + b - 1) / b }

@@ -1,0 +1,127 @@
+package hw
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/snn"
+	"repro/internal/tensor"
+	"repro/internal/testutil"
+)
+
+func TestMapFixtureOntoTrueNorth(t *testing.T) {
+	fx := testutil.TrainedLeNet16()
+	m, err := Map(fx.Conv.Net, TrueNorth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Layers) != 4 {
+		t.Fatalf("placed %d layers", len(m.Layers))
+	}
+	if m.TotalCores <= 0 {
+		t.Fatal("no cores allocated")
+	}
+	// Conv1 on 16x16 with 8 channels = 2048 neurons -> ≥ 8 cores of 256
+	if m.Layers[0].Cores < 8 {
+		t.Fatalf("Conv1 cores = %d, want ≥ 8", m.Layers[0].Cores)
+	}
+	// utilization is a fraction
+	for _, l := range m.Layers {
+		if l.Utilization <= 0 || l.Utilization > 1 {
+			t.Fatalf("%s utilization %v out of (0,1]", l.Stage, l.Utilization)
+		}
+	}
+}
+
+func TestFanInSplittingForcesMulticast(t *testing.T) {
+	// dense stage with fan-in 600 on a 256-wide crossbar: 3-way split
+	w := tensor.New(600, 10)
+	net := &snn.Net{
+		Name: "wide", InShape: []int{600}, InLen: 600,
+		Stages: []snn.Stage{{
+			Name: "fc", Kind: snn.DenseStage, W: w, B: tensor.New(10),
+			InLen: 600, OutLen: 10, Output: true,
+		}},
+	}
+	m, err := Map(net, TrueNorth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := m.Layers[0]
+	if l.ReplicationFactor != 3 {
+		t.Fatalf("multicast factor = %d, want 3", l.ReplicationFactor)
+	}
+	if l.Cores != 3 { // 10 neurons fit one core group, ×3 splits
+		t.Fatalf("cores = %d, want 3", l.Cores)
+	}
+}
+
+func TestPooledStageFanIn(t *testing.T) {
+	fx := testutil.TrainedLeNet16()
+	m, err := Map(fx.Conv.Net, TrueNorth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Conv2 has a 2x2 pre-pool: its distinct-axon fan-in is 4× the
+	// kernel volume (8 ch × 3×3 taps × 4 pooled inputs = 288)
+	if got := m.Layers[1].FanIn; got != 8*9*4 {
+		t.Fatalf("pooled conv fan-in = %d, want 288", got)
+	}
+}
+
+func TestTraffic(t *testing.T) {
+	fx := testutil.TrainedLeNet16()
+	m, err := Map(fx.Conv.Net, TrueNorth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spikes := []float64{100, 50, 20, 5}
+	tr, err := m.Traffic(spikes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// traffic is at least the raw spike count (multicast ≥ 1)
+	if tr < 175 {
+		t.Fatalf("traffic %v below raw spikes", tr)
+	}
+	if _, err := m.Traffic([]float64{1}); err == nil {
+		t.Fatal("boundary mismatch accepted")
+	}
+}
+
+func TestSpiNNakerNeedsFewerCores(t *testing.T) {
+	fx := testutil.TrainedLeNet16()
+	tn, err := Map(fx.Conv.Net, TrueNorth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sn, err := Map(fx.Conv.Net, SpiNNaker)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sn.TotalCores >= tn.TotalCores {
+		t.Fatalf("SpiNNaker (%d cores) should pack denser than TrueNorth (%d)",
+			sn.TotalCores, tn.TotalCores)
+	}
+}
+
+func TestMapRejectsBadFabric(t *testing.T) {
+	fx := testutil.TrainedLeNet16()
+	if _, err := Map(fx.Conv.Net, Fabric{Name: "broken"}); err == nil {
+		t.Fatal("zero-capacity fabric accepted")
+	}
+}
+
+func TestReportRenders(t *testing.T) {
+	fx := testutil.TrainedLeNet16()
+	m, err := Map(fx.Conv.Net, TrueNorth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := m.Report()
+	for _, want := range []string{"TrueNorth", "Conv1", "mcast"} {
+		if !strings.Contains(rep, want) {
+			t.Fatalf("report missing %q:\n%s", want, rep)
+		}
+	}
+}

@@ -1,0 +1,43 @@
+package kernel_test
+
+import (
+	"fmt"
+
+	"repro/internal/kernel"
+	"repro/internal/tensor"
+)
+
+// TTFS encoding maps larger membrane potentials to earlier spike times;
+// decoding restores the value from the timing alone.
+func ExampleKernel_Encode() {
+	k, _ := kernel.New(4, 0, 20) // τ=4, t_d=0, T=20
+	for _, u := range []float64{1.0, 0.5, 0.1} {
+		t, fired := k.Encode(u)
+		fmt.Printf("u=%.1f -> spike at t=%d (decodes to %.3f, fired=%v)\n",
+			u, t, k.Decode(t), fired)
+	}
+	// Output:
+	// u=1.0 -> spike at t=0 (decodes to 1.000, fired=true)
+	// u=0.5 -> spike at t=3 (decodes to 0.472, fired=true)
+	// u=0.1 -> spike at t=10 (decodes to 0.082, fired=true)
+}
+
+// Gradient-based optimization balances the precision loss against the
+// representation losses, pulling τ toward the activation distribution's
+// sweet spot from either side (paper Fig. 4).
+func ExampleOptimize() {
+	rng := tensor.NewRNG(1)
+	zbar := make([]float64, 4000)
+	for i := range zbar {
+		v := rng.Float64()
+		zbar[i] = v * v // skewed toward small values
+	}
+	res, err := kernel.Optimize(kernel.Kernel{Tau: 2, Td: 0, T: 20}, zbar,
+		kernel.OptimizeConfig{LRTau: 2, BatchSize: 512, Epochs: 2, RNG: tensor.NewRNG(2)})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("tau grew from 2: %v\n", res.Kernel.Tau > 2)
+	// Output:
+	// tau grew from 2: true
+}

@@ -1,0 +1,44 @@
+package kernel
+
+import (
+	"math"
+	"testing"
+)
+
+// FuzzEncodeDecode drives the TTFS encode/decode pair with arbitrary
+// kernel parameters and values, asserting the structural invariants
+// that must hold for any input the type system admits: fired times lie
+// in the window, decode never overestimates, and nothing NaNs.
+func FuzzEncodeDecode(f *testing.F) {
+	f.Add(2.0, 0.0, 20, 0.5)
+	f.Add(18.0, 1.5, 80, 0.001)
+	f.Add(0.5, -3.0, 10, 1.5)
+	f.Fuzz(func(t *testing.T, tau, td float64, window int, u float64) {
+		k, err := New(tau, td, window)
+		if err != nil {
+			return // invalid parameters are rejected, not mis-handled
+		}
+		if window > 1<<20 {
+			return // keep the harness fast
+		}
+		ts, fired := k.Encode(u)
+		if !fired {
+			if u > 0 && u >= k.Threshold(float64(window-1)) && !math.IsInf(u, 0) && !math.IsNaN(u) {
+				t.Fatalf("u=%v above last threshold %v did not fire", u, k.Threshold(float64(window-1)))
+			}
+			return
+		}
+		if ts < 0 || ts >= window {
+			t.Fatalf("spike time %d outside [0,%d)", ts, window)
+		}
+		d := k.Decode(ts)
+		if math.IsNaN(d) || math.IsInf(d, 0) {
+			t.Fatalf("decode produced %v", d)
+		}
+		// ceil on the spike time means decode cannot exceed u except via
+		// the t=0 clamp for over-range values
+		if ts > 0 && u > 0 && d > u*(1+1e-9) {
+			t.Fatalf("decode %v overestimates %v at t=%d", d, u, ts)
+		}
+	})
+}

@@ -1,0 +1,133 @@
+// Package kernel implements the exponentially decaying fire/integration
+// kernels at the centre of T2FSNN (paper Eq. 5), the TTFS encoding and
+// decoding they induce (Eqs. 6–8), their representable-value bounds, the
+// lookup-table variant discussed in the paper's §V, and the
+// gradient-based optimization of the kernel parameters τ and t_d
+// (Eqs. 9–14).
+package kernel
+
+import (
+	"fmt"
+	"math"
+)
+
+// Theta0 is the threshold constant θ₀ of Eq. 6. The paper sets it to 1
+// because data-based normalization bounds activations to [0, 1].
+const Theta0 = 1.0
+
+// Kernel is one layer's exponential kernel ε(t) = exp(−(t−t_d)/τ) over a
+// fire window of T discrete time steps. The same (τ, t_d) pair serves as
+// the fire kernel of layer l and the integration kernel of layer l+1
+// (paper §III-A).
+type Kernel struct {
+	Tau float64 // time constant τ (> 0)
+	Td  float64 // time delay t_d
+	T   int     // time window length in steps
+}
+
+// New constructs a kernel, validating its parameters.
+func New(tau, td float64, t int) (Kernel, error) {
+	k := Kernel{Tau: tau, Td: td, T: t}
+	if err := k.Validate(); err != nil {
+		return Kernel{}, err
+	}
+	return k, nil
+}
+
+// Validate checks the kernel parameters.
+func (k Kernel) Validate() error {
+	switch {
+	case !(k.Tau > 0) || math.IsInf(k.Tau, 0):
+		return fmt.Errorf("kernel: time constant τ must be positive and finite, got %v", k.Tau)
+	case math.IsNaN(k.Td) || math.IsInf(k.Td, 0):
+		return fmt.Errorf("kernel: time delay t_d must be finite, got %v", k.Td)
+	case k.T <= 0:
+		return fmt.Errorf("kernel: time window T must be positive, got %d", k.T)
+	}
+	return nil
+}
+
+// Value evaluates ε(t) = exp(−(t−t_d)/τ) at (possibly fractional) t
+// measured from the start of the fire window (Eq. 5).
+func (k Kernel) Value(t float64) float64 {
+	return math.Exp(-(t - k.Td) / k.Tau)
+}
+
+// Threshold returns the dynamic threshold θ(t) = θ₀·ε(t) of Eq. 6.
+func (k Kernel) Threshold(t float64) float64 { return Theta0 * k.Value(t) }
+
+// Encode converts an integrated membrane potential u into a spike time
+// offset within the fire window (Eq. 7): t = ⌈−τ·ln(u/θ₀) + t_d⌉.
+// Potentials too small for the window (below ZMin) — or non-positive —
+// produce no spike; potentials at or above ZMax clamp to t = 0 (the
+// earliest expressible time). The returned time is in [0, T).
+func (k Kernel) Encode(u float64) (t int, fired bool) {
+	if u <= 0 {
+		return 0, false
+	}
+	raw := math.Ceil(-k.Tau*math.Log(u/Theta0) + k.Td)
+	if raw < 0 {
+		return 0, true
+	}
+	if raw >= float64(k.T) {
+		return 0, false
+	}
+	return int(raw), true
+}
+
+// Decode restores the value represented by a spike at offset t (Eq. 8's
+// per-spike PSP factor): ẑ = ε(t).
+func (k Kernel) Decode(t int) float64 { return k.Value(float64(t)) }
+
+// ZMin is the smallest value the kernel can express in the window:
+// exp(−(T−t_d)/τ) (paper §III-B).
+func (k Kernel) ZMin() float64 { return math.Exp(-(float64(k.T) - k.Td) / k.Tau) }
+
+// ZMax is the largest value the kernel can express: exp(t_d/τ),
+// the decode of a spike at t = 0.
+func (k Kernel) ZMax() float64 { return math.Exp(k.Td / k.Tau) }
+
+// PrecisionError bounds the encode→decode round-trip error for a value
+// decoded as zhat: |x − x̂| ≤ x̂·(exp(1/τ) − 1) (paper §III-B).
+func (k Kernel) PrecisionError(zhat float64) float64 {
+	return zhat * (math.Exp(1/k.Tau) - 1)
+}
+
+// RoundTrip encodes then decodes u, returning the restored value
+// (0 when no spike is produced).
+func (k Kernel) RoundTrip(u float64) float64 {
+	t, fired := k.Encode(u)
+	if !fired {
+		return 0
+	}
+	return k.Decode(t)
+}
+
+// LUT is the lookup-table form of a kernel discussed in the paper's §V:
+// ε(t) pre-evaluated at every integer offset of the window, replacing
+// the exponential with a table read in the hot decode path.
+type LUT struct {
+	k      Kernel
+	values []float64
+}
+
+// NewLUT tabulates the kernel.
+func NewLUT(k Kernel) *LUT {
+	v := make([]float64, k.T)
+	for t := 0; t < k.T; t++ {
+		v[t] = k.Decode(t)
+	}
+	return &LUT{k: k, values: v}
+}
+
+// Decode returns the tabulated ε(t); offsets outside [0, T) fall back to
+// the analytic kernel.
+func (l *LUT) Decode(t int) float64 {
+	if t >= 0 && t < len(l.values) {
+		return l.values[t]
+	}
+	return l.k.Decode(t)
+}
+
+// Kernel returns the underlying kernel parameters.
+func (l *LUT) Kernel() Kernel { return l.k }

@@ -1,0 +1,214 @@
+package kernel
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/tensor"
+)
+
+func mustKernel(t *testing.T, tau, td float64, T int) Kernel {
+	t.Helper()
+	k, err := New(tau, td, T)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return k
+}
+
+func TestNewValidation(t *testing.T) {
+	cases := []struct {
+		tau, td float64
+		T       int
+	}{
+		{0, 0, 20}, {-1, 0, 20}, {math.Inf(1), 0, 20},
+		{2, math.NaN(), 20}, {2, 0, 0}, {2, 0, -5},
+	}
+	for i, c := range cases {
+		if _, err := New(c.tau, c.td, c.T); err == nil {
+			t.Fatalf("case %d: invalid kernel accepted: %+v", i, c)
+		}
+	}
+	if _, err := New(2, 0, 20); err != nil {
+		t.Fatalf("valid kernel rejected: %v", err)
+	}
+}
+
+func TestValueEq5(t *testing.T) {
+	k := mustKernel(t, 2, 1, 20)
+	// ε(t) = exp(-(t - td)/τ)
+	if got, want := k.Value(1), 1.0; math.Abs(got-want) > 1e-12 {
+		t.Fatalf("ε(td) = %v, want 1", got)
+	}
+	if got, want := k.Value(3), math.Exp(-1); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("ε(td+τ) = %v, want 1/e", got)
+	}
+}
+
+func TestKernelMonotonicallyDecreasing(t *testing.T) {
+	k := mustKernel(t, 3, 2, 30)
+	prev := math.Inf(1)
+	for step := 0; step < 30; step++ {
+		v := k.Decode(step)
+		if v >= prev {
+			t.Fatalf("kernel not strictly decreasing at t=%d: %v >= %v", step, v, prev)
+		}
+		prev = v
+	}
+}
+
+func TestThresholdEqualsTheta0TimesKernel(t *testing.T) {
+	k := mustKernel(t, 2, 0.5, 20)
+	for _, tt := range []float64{0, 1.5, 7, 19} {
+		if got, want := k.Threshold(tt), Theta0*k.Value(tt); got != want {
+			t.Fatalf("θ(%v) = %v, want %v", tt, got, want)
+		}
+	}
+}
+
+func TestEncodeKnownValues(t *testing.T) {
+	k := mustKernel(t, 2, 0, 20)
+	// u = 1 -> t = ceil(-2·ln1) = 0
+	if tt, fired := k.Encode(1); !fired || tt != 0 {
+		t.Fatalf("Encode(1) = (%d,%v), want (0,true)", tt, fired)
+	}
+	// u = exp(-1) -> t = ceil(2) = 2
+	if tt, fired := k.Encode(math.Exp(-1)); !fired || tt != 2 {
+		t.Fatalf("Encode(e^-1) = (%d,%v), want (2,true)", tt, fired)
+	}
+}
+
+func TestEncodeNoSpikeCases(t *testing.T) {
+	k := mustKernel(t, 2, 0, 20)
+	for _, u := range []float64{0, -0.5, k.ZMin() * 0.5, 1e-300} {
+		if _, fired := k.Encode(u); fired {
+			t.Fatalf("Encode(%v) fired; should not", u)
+		}
+	}
+}
+
+func TestEncodeClampsLargeValues(t *testing.T) {
+	k := mustKernel(t, 2, 1, 20)
+	// u above ZMax encodes at the earliest time, t=0
+	if tt, fired := k.Encode(k.ZMax() * 10); !fired || tt != 0 {
+		t.Fatalf("Encode(large) = (%d,%v), want (0,true)", tt, fired)
+	}
+}
+
+func TestEncodeEarlierForLargerValues(t *testing.T) {
+	// Core TTFS property: more information -> earlier spike.
+	k := mustKernel(t, 3, 0, 40)
+	tBig, _ := k.Encode(0.9)
+	tSmall, _ := k.Encode(0.1)
+	if tBig >= tSmall {
+		t.Fatalf("larger value should fire earlier: t(0.9)=%d, t(0.1)=%d", tBig, tSmall)
+	}
+}
+
+func TestZMinZMax(t *testing.T) {
+	k := mustKernel(t, 2, 1, 20)
+	if got, want := k.ZMin(), math.Exp(-(20.0-1.0)/2.0); math.Abs(got-want) > 1e-15 {
+		t.Fatalf("ZMin = %v, want %v", got, want)
+	}
+	if got, want := k.ZMax(), math.Exp(0.5); math.Abs(got-want) > 1e-15 {
+		t.Fatalf("ZMax = %v, want %v", got, want)
+	}
+	// ZMax must equal decode of the earliest spike
+	if k.ZMax() != k.Decode(0) {
+		t.Fatal("ZMax != Decode(0)")
+	}
+}
+
+// Property: the round trip never overestimates and its relative error is
+// bounded by exp(1/τ)−1 (the paper's precision-error bound), for values
+// within the representable range.
+func TestRoundTripPrecisionBoundProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := tensor.NewRNG(seed)
+		tau := r.Range(1, 20)
+		td := r.Range(0, 5)
+		T := 20 + r.Intn(100)
+		k, err := New(tau, td, T)
+		if err != nil {
+			return true
+		}
+		// draw u within (ZMin·e^{1/τ}, min(ZMax,1)): strictly representable
+		lo := k.ZMin() * math.Exp(1/tau)
+		hi := math.Min(k.ZMax(), 1)
+		if lo >= hi {
+			return true
+		}
+		u := r.Range(lo, hi)
+		zhat := k.RoundTrip(u)
+		if zhat == 0 {
+			return false // must have spiked
+		}
+		if zhat > u+1e-12 {
+			return false // ceil on time means decode ≤ original
+		}
+		return u-zhat <= k.PrecisionError(zhat)+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: encode is monotone non-increasing in u (larger value, same
+// or earlier spike), and fired values decode within the window bounds.
+func TestEncodeMonotoneProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := tensor.NewRNG(seed)
+		k, err := New(r.Range(0.5, 20), r.Range(0, 5), 20+r.Intn(60))
+		if err != nil {
+			return true
+		}
+		u1, u2 := r.Range(0, 1), r.Range(0, 1)
+		if u1 > u2 {
+			u1, u2 = u2, u1
+		}
+		t1, f1 := k.Encode(u1)
+		t2, f2 := k.Encode(u2)
+		if f1 && !f2 {
+			return false // larger value must fire if smaller did
+		}
+		if f1 && f2 && t2 > t1 {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLUTMatchesKernel(t *testing.T) {
+	k := mustKernel(t, 2.7, 1.3, 50)
+	lut := NewLUT(k)
+	for step := -2; step < 55; step++ {
+		if got, want := lut.Decode(step), k.Decode(step); got != want {
+			t.Fatalf("LUT.Decode(%d) = %v, want %v", step, got, want)
+		}
+	}
+	if lut.Kernel() != k {
+		t.Fatal("LUT.Kernel() mismatch")
+	}
+}
+
+func BenchmarkDecodeExp(b *testing.B) {
+	k := Kernel{Tau: 3, Td: 1, T: 80}
+	s := 0.0
+	for i := 0; i < b.N; i++ {
+		s += k.Decode(i % 80)
+	}
+	_ = s
+}
+
+func BenchmarkDecodeLUT(b *testing.B) {
+	lut := NewLUT(Kernel{Tau: 3, Td: 1, T: 80})
+	s := 0.0
+	for i := 0; i < b.N; i++ {
+		s += lut.Decode(i % 80)
+	}
+	_ = s
+}

@@ -1,0 +1,174 @@
+package kernel
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/tensor"
+)
+
+// Losses are the three loss terms of the gradient-based optimization
+// (paper Eqs. 9–11) evaluated on a batch of ground-truth activations.
+type Losses struct {
+	Prec float64 // L_prec: mean squared decode error over spiking values
+	Min  float64 // L_min: (z̄_min − ẑ_min)²/2
+	Max  float64 // L_max: (z̄_max − ẑ_max)²/2
+}
+
+// Total returns the summed loss.
+func (l Losses) Total() float64 { return l.Prec + l.Min + l.Max }
+
+// Gradients holds ∂L/∂τ and ∂L/∂t_d. Following the paper, τ receives the
+// precision and minimum-representation terms (Eqs. 12, 13) and t_d the
+// maximum-representation term (Eq. 14).
+type Gradients struct {
+	DTau float64
+	DTd  float64
+}
+
+// EvalBatch computes the losses and analytic gradients of a kernel on a
+// batch of ground-truth values z̄ (normalized DNN activations).
+// zMin and zMax are the distribution bounds the representation losses
+// target; the paper uses the dataset minimum/maximum of z̄.
+func EvalBatch(k Kernel, zbar []float64, zMin, zMax float64) (Losses, Gradients) {
+	var lo Losses
+	var g Gradients
+
+	// L_prec over values that actually spike (the set F of Eq. 9).
+	nSpikes := 0
+	for _, z := range zbar {
+		t, fired := k.Encode(z)
+		if !fired {
+			continue
+		}
+		nSpikes++
+		zhat := k.Decode(t)
+		diff := z - zhat
+		lo.Prec += 0.5 * diff * diff
+		// Eq. 12: ∂L_prec/∂τ = −(t_f − t_d)/τ² · (z̄ − ẑ)·ẑ  (summed)
+		g.DTau += -(float64(t) - k.Td) / (k.Tau * k.Tau) * diff * zhat
+	}
+	if nSpikes > 0 {
+		lo.Prec /= float64(nSpikes)
+		g.DTau /= float64(nSpikes)
+	}
+
+	// L_min (Eq. 10) with ẑ_min = exp(−(T−t_d)/τ); Eq. 13 gives its τ
+	// gradient.
+	zhatMin := k.ZMin()
+	dMin := zMin - zhatMin
+	lo.Min = 0.5 * dMin * dMin
+	g.DTau += -(float64(k.T) - k.Td) / (k.Tau * k.Tau) * dMin * zhatMin
+
+	// L_max (Eq. 11) with ẑ_max = exp(t_d/τ); Eq. 14 gives its t_d
+	// gradient.
+	zhatMax := k.ZMax()
+	dMax := zMax - zhatMax
+	lo.Max = 0.5 * dMax * dMax
+	g.DTd = -(1 / k.Tau) * dMax * zhatMax
+
+	return lo, g
+}
+
+// OptimizeConfig controls the per-layer kernel optimization.
+type OptimizeConfig struct {
+	LRTau     float64 // learning rate for τ (paper uses plain SGD)
+	LRTd      float64 // learning rate for t_d
+	BatchSize int
+	Epochs    int
+	RNG       *tensor.RNG
+	// MinTau keeps τ in a numerically safe region.
+	MinTau float64
+}
+
+// HistoryPoint records the loss trajectory for the Fig. 4 reproduction.
+type HistoryPoint struct {
+	SamplesSeen    int
+	Prec, Min, Max float64
+	Tau, Td        float64
+}
+
+// OptimizeResult is the outcome of optimizing one layer's kernel.
+type OptimizeResult struct {
+	Kernel  Kernel
+	History []HistoryPoint
+}
+
+// Optimize runs the paper's mini-batch SGD over a layer's recorded
+// ground-truth activations z̄, updating τ from the precision and
+// minimum-representation gradients and t_d from the maximum-
+// representation gradient. It returns the optimized kernel and the loss
+// history (one point per batch).
+func Optimize(k Kernel, zbar []float64, cfg OptimizeConfig) (OptimizeResult, error) {
+	if err := k.Validate(); err != nil {
+		return OptimizeResult{}, err
+	}
+	if len(zbar) == 0 {
+		return OptimizeResult{}, fmt.Errorf("kernel: no activation samples to optimize on")
+	}
+	if cfg.LRTau <= 0 {
+		cfg.LRTau = 1.0
+	}
+	if cfg.LRTd <= 0 {
+		cfg.LRTd = 0.1
+	}
+	if cfg.BatchSize <= 0 {
+		cfg.BatchSize = 256
+	}
+	if cfg.Epochs <= 0 {
+		cfg.Epochs = 1
+	}
+	if cfg.RNG == nil {
+		cfg.RNG = tensor.NewRNG(0)
+	}
+	if cfg.MinTau <= 0 {
+		cfg.MinTau = 0.5
+	}
+
+	// Dataset-level bounds for the representation losses. Zero
+	// activations (dead units) carry no information and are excluded
+	// from the minimum, matching the spiking-set semantics of Eq. 9.
+	zMin, zMax := math.Inf(1), math.Inf(-1)
+	for _, z := range zbar {
+		if z > 1e-12 && z < zMin {
+			zMin = z
+		}
+		if z > zMax {
+			zMax = z
+		}
+	}
+	if math.IsInf(zMin, 1) {
+		return OptimizeResult{}, fmt.Errorf("kernel: all activation samples are zero")
+	}
+
+	res := OptimizeResult{Kernel: k}
+	seen := 0
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		perm := cfg.RNG.Perm(len(zbar))
+		for start := 0; start < len(perm); start += cfg.BatchSize {
+			end := start + cfg.BatchSize
+			if end > len(perm) {
+				end = len(perm)
+			}
+			batch := make([]float64, 0, end-start)
+			for _, idx := range perm[start:end] {
+				batch = append(batch, zbar[idx])
+			}
+			lo, g := EvalBatch(res.Kernel, batch, zMin, zMax)
+			res.Kernel.Tau -= cfg.LRTau * g.DTau
+			res.Kernel.Td -= cfg.LRTd * g.DTd
+			if res.Kernel.Tau < cfg.MinTau {
+				res.Kernel.Tau = cfg.MinTau
+			}
+			// keep t_d within the window so ẑ bounds stay meaningful
+			res.Kernel.Td = tensor.Clamp(res.Kernel.Td, -float64(k.T), float64(k.T))
+			seen += end - start
+			res.History = append(res.History, HistoryPoint{
+				SamplesSeen: seen,
+				Prec:        lo.Prec, Min: lo.Min, Max: lo.Max,
+				Tau: res.Kernel.Tau, Td: res.Kernel.Td,
+			})
+		}
+	}
+	return res, nil
+}

@@ -1,0 +1,222 @@
+package kernel
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/tensor"
+)
+
+// numGrad computes d(loss)/d(param) by central differences where eval
+// re-evaluates the batch loss with the perturbed kernel.
+func numGrad(eval func(Kernel) float64, k Kernel, wrtTau bool) float64 {
+	const h = 1e-6
+	kp, km := k, k
+	if wrtTau {
+		kp.Tau += h
+		km.Tau -= h
+	} else {
+		kp.Td += h
+		km.Td -= h
+	}
+	return (eval(kp) - eval(km)) / (2 * h)
+}
+
+// The analytic gradients of Eqs. 12–14 treat the spike times t_f as
+// constants (the encode ceil is piecewise constant, so a.e. this is the
+// exact derivative). The numeric check therefore freezes the spike
+// times from the unperturbed kernel.
+func TestPrecisionGradientEq12(t *testing.T) {
+	k := Kernel{Tau: 4, Td: 1, T: 40}
+	rng := tensor.NewRNG(1)
+	zbar := make([]float64, 200)
+	for i := range zbar {
+		zbar[i] = rng.Range(0.01, 1)
+	}
+	// freeze spike times
+	times := make([]int, 0, len(zbar))
+	vals := make([]float64, 0, len(zbar))
+	for _, z := range zbar {
+		if tt, fired := k.Encode(z); fired {
+			times = append(times, tt)
+			vals = append(vals, z)
+		}
+	}
+	eval := func(kk Kernel) float64 {
+		s := 0.0
+		for i, tt := range times {
+			zhat := kk.Decode(tt)
+			d := vals[i] - zhat
+			s += 0.5 * d * d
+		}
+		return s / float64(len(times))
+	}
+	_, g := EvalBatch(k, zbar, 0.01, 1)
+	// isolate the precision term: remove the L_min contribution to DTau
+	zhatMin := k.ZMin()
+	gPrec := g.DTau + (float64(k.T)-k.Td)/(k.Tau*k.Tau)*(0.01-zhatMin)*zhatMin
+	num := numGrad(eval, k, true)
+	if math.Abs(gPrec-num) > 1e-6*(1+math.Abs(num)) {
+		t.Fatalf("Eq.12 gradient mismatch: analytic %v, numeric %v", gPrec, num)
+	}
+}
+
+func TestMinGradientEq13(t *testing.T) {
+	k := Kernel{Tau: 6, Td: 0.5, T: 30}
+	zMin := 0.05
+	eval := func(kk Kernel) float64 {
+		d := zMin - kk.ZMin()
+		return 0.5 * d * d
+	}
+	// empty batch isolates the representation losses
+	_, g := EvalBatch(k, nil, zMin, 1)
+	num := numGrad(eval, k, true)
+	if math.Abs(g.DTau-num) > 1e-6*(1+math.Abs(num)) {
+		t.Fatalf("Eq.13 gradient mismatch: analytic %v, numeric %v", g.DTau, num)
+	}
+}
+
+func TestMaxGradientEq14(t *testing.T) {
+	k := Kernel{Tau: 6, Td: 0.5, T: 30}
+	zMax := 0.9
+	eval := func(kk Kernel) float64 {
+		d := zMax - kk.ZMax()
+		return 0.5 * d * d
+	}
+	_, g := EvalBatch(k, nil, 0.1, zMax)
+	num := numGrad(eval, k, false)
+	if math.Abs(g.DTd-num) > 1e-6*(1+math.Abs(num)) {
+		t.Fatalf("Eq.14 gradient mismatch: analytic %v, numeric %v", g.DTd, num)
+	}
+}
+
+func TestEvalBatchLossValues(t *testing.T) {
+	k := Kernel{Tau: 2, Td: 0, T: 20}
+	// single value that round-trips exactly: u = exp(-1) encodes to t=2,
+	// decodes to exp(-1)
+	u := math.Exp(-1)
+	lo, _ := EvalBatch(k, []float64{u}, u, u)
+	if lo.Prec > 1e-20 {
+		t.Fatalf("exact round trip should have zero precision loss, got %v", lo.Prec)
+	}
+	if lo.Max == 0 {
+		t.Fatal("L_max should be positive when zMax != ZMax")
+	}
+}
+
+func TestEvalBatchSkipsNonSpiking(t *testing.T) {
+	k := Kernel{Tau: 2, Td: 0, T: 20}
+	// all values below ZMin -> F empty -> zero precision loss
+	small := k.ZMin() / 10
+	lo, g := EvalBatch(k, []float64{small, small}, small, small)
+	if lo.Prec != 0 {
+		t.Fatalf("L_prec over empty spike set should be 0, got %v", lo.Prec)
+	}
+	if math.IsNaN(g.DTau) || math.IsNaN(g.DTd) {
+		t.Fatal("gradients must not be NaN on empty spike set")
+	}
+}
+
+// Paper Fig. 4 behaviour: starting from a small τ (=2, high min-
+// representation coverage but poor precision) the optimizer should
+// *increase* τ; from a large τ (=18, poor small-value coverage) it
+// should *decrease* τ. T = 20 as in the paper.
+func TestFig4TauTrajectories(t *testing.T) {
+	rng := tensor.NewRNG(7)
+	// activation distribution typical of normalized post-ReLU layers:
+	// many small values, few near 1
+	zbar := make([]float64, 5000)
+	for i := range zbar {
+		v := rng.Range(0, 1)
+		zbar[i] = v * v * v // skew toward 0
+	}
+
+	small, err := Optimize(Kernel{Tau: 2, Td: 0, T: 20}, zbar, OptimizeConfig{
+		LRTau: 2, LRTd: 0.2, BatchSize: 256, Epochs: 3, RNG: tensor.NewRNG(8)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if small.Kernel.Tau <= 2 {
+		t.Fatalf("τ=2 should increase under optimization, got %v", small.Kernel.Tau)
+	}
+
+	large, err := Optimize(Kernel{Tau: 18, Td: 0, T: 20}, zbar, OptimizeConfig{
+		LRTau: 2, LRTd: 0.2, BatchSize: 256, Epochs: 3, RNG: tensor.NewRNG(9)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if large.Kernel.Tau >= 18 {
+		t.Fatalf("τ=18 should decrease under optimization, got %v", large.Kernel.Tau)
+	}
+}
+
+func TestOptimizeReducesTotalLoss(t *testing.T) {
+	rng := tensor.NewRNG(10)
+	zbar := make([]float64, 3000)
+	for i := range zbar {
+		zbar[i] = rng.Range(0.001, 0.8)
+	}
+	start := Kernel{Tau: 2, Td: 0, T: 20}
+	res, err := Optimize(start, zbar, OptimizeConfig{
+		LRTau: 2, LRTd: 0.2, BatchSize: 256, Epochs: 4, RNG: tensor.NewRNG(11)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := res.History[0]
+	last := res.History[len(res.History)-1]
+	if last.Prec+last.Min+last.Max >= first.Prec+first.Min+first.Max {
+		t.Fatalf("total loss did not decrease: %v -> %v",
+			first.Prec+first.Min+first.Max, last.Prec+last.Min+last.Max)
+	}
+}
+
+func TestOptimizeHistoryMonotoneSamples(t *testing.T) {
+	rng := tensor.NewRNG(12)
+	zbar := make([]float64, 1000)
+	for i := range zbar {
+		zbar[i] = rng.Range(0.01, 1)
+	}
+	res, err := Optimize(Kernel{Tau: 5, Td: 0, T: 20}, zbar, OptimizeConfig{
+		BatchSize: 128, Epochs: 2, RNG: tensor.NewRNG(13)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := 0
+	for _, h := range res.History {
+		if h.SamplesSeen <= prev {
+			t.Fatalf("history samples not increasing: %d after %d", h.SamplesSeen, prev)
+		}
+		prev = h.SamplesSeen
+	}
+	if prev != 2000 {
+		t.Fatalf("total samples seen = %d, want 2000", prev)
+	}
+}
+
+func TestOptimizeErrorCases(t *testing.T) {
+	if _, err := Optimize(Kernel{Tau: -1, Td: 0, T: 20}, []float64{0.5}, OptimizeConfig{}); err == nil {
+		t.Fatal("invalid kernel accepted")
+	}
+	if _, err := Optimize(Kernel{Tau: 2, Td: 0, T: 20}, nil, OptimizeConfig{}); err == nil {
+		t.Fatal("empty sample set accepted")
+	}
+	if _, err := Optimize(Kernel{Tau: 2, Td: 0, T: 20}, []float64{0, 0}, OptimizeConfig{}); err == nil {
+		t.Fatal("all-zero samples accepted")
+	}
+}
+
+func TestTauStaysAboveFloor(t *testing.T) {
+	rng := tensor.NewRNG(14)
+	zbar := make([]float64, 500)
+	for i := range zbar {
+		zbar[i] = rng.Range(0.9, 1.0) // pushes τ down hard
+	}
+	res, err := Optimize(Kernel{Tau: 1, Td: 0, T: 20}, zbar, OptimizeConfig{
+		LRTau: 50, BatchSize: 64, Epochs: 5, RNG: tensor.NewRNG(15), MinTau: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Kernel.Tau < 0.5 {
+		t.Fatalf("τ fell below floor: %v", res.Kernel.Tau)
+	}
+}

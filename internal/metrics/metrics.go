@@ -1,0 +1,164 @@
+// Package metrics provides classification quality measures shared by
+// the DNN and SNN evaluation paths: confusion matrices, per-class
+// accuracy/precision/recall, and top-k accuracy. The experiment reports
+// use it to break down where conversion and TTFS transmission lose
+// accuracy.
+package metrics
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Confusion is a square confusion matrix: Counts[true][pred].
+type Confusion struct {
+	Classes int
+	Counts  [][]int
+	Total   int
+}
+
+// NewConfusion allocates a matrix for the given class count.
+func NewConfusion(classes int) *Confusion {
+	if classes <= 0 {
+		panic(fmt.Sprintf("metrics: non-positive class count %d", classes))
+	}
+	c := &Confusion{Classes: classes, Counts: make([][]int, classes)}
+	for i := range c.Counts {
+		c.Counts[i] = make([]int, classes)
+	}
+	return c
+}
+
+// Add records one (true label, prediction) pair. Out-of-range
+// predictions (e.g. -1 for "no decision yet") count as errors against
+// no predicted class.
+func (c *Confusion) Add(label, pred int) {
+	if label < 0 || label >= c.Classes {
+		panic(fmt.Sprintf("metrics: label %d out of range [0,%d)", label, c.Classes))
+	}
+	c.Total++
+	if pred >= 0 && pred < c.Classes {
+		c.Counts[label][pred]++
+	}
+}
+
+// AddAll records aligned label/prediction slices.
+func (c *Confusion) AddAll(labels, preds []int) {
+	if len(labels) != len(preds) {
+		panic(fmt.Sprintf("metrics: %d labels vs %d predictions", len(labels), len(preds)))
+	}
+	for i := range labels {
+		c.Add(labels[i], preds[i])
+	}
+}
+
+// Accuracy returns the overall fraction correct.
+func (c *Confusion) Accuracy() float64 {
+	if c.Total == 0 {
+		return 0
+	}
+	hit := 0
+	for i := 0; i < c.Classes; i++ {
+		hit += c.Counts[i][i]
+	}
+	return float64(hit) / float64(c.Total)
+}
+
+// Recall returns the per-class recall (diagonal over row sum); classes
+// with no examples report 0.
+func (c *Confusion) Recall(class int) float64 {
+	row := c.Counts[class]
+	total := 0
+	for _, v := range row {
+		total += v
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(row[class]) / float64(total)
+}
+
+// Precision returns the per-class precision (diagonal over column sum);
+// classes never predicted report 0.
+func (c *Confusion) Precision(class int) float64 {
+	total := 0
+	for i := 0; i < c.Classes; i++ {
+		total += c.Counts[i][class]
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(c.Counts[class][class]) / float64(total)
+}
+
+// MostConfused returns the off-diagonal cell with the highest count, as
+// (true, predicted, count); ties resolve to the first encountered.
+func (c *Confusion) MostConfused() (trueClass, predClass, count int) {
+	trueClass, predClass = -1, -1
+	for i := 0; i < c.Classes; i++ {
+		for j := 0; j < c.Classes; j++ {
+			if i != j && c.Counts[i][j] > count {
+				trueClass, predClass, count = i, j, c.Counts[i][j]
+			}
+		}
+	}
+	return trueClass, predClass, count
+}
+
+// String renders the matrix with row/column headers (capped at 20
+// classes to stay terminal-friendly; larger matrices render a summary).
+func (c *Confusion) String() string {
+	var b strings.Builder
+	if c.Classes > 20 {
+		ti, pj, n := c.MostConfused()
+		fmt.Fprintf(&b, "confusion %dx%d: accuracy %.2f%%, worst confusion %d->%d (%d times)\n",
+			c.Classes, c.Classes, 100*c.Accuracy(), ti, pj, n)
+		return b.String()
+	}
+	b.WriteString("true\\pred")
+	for j := 0; j < c.Classes; j++ {
+		fmt.Fprintf(&b, "%5d", j)
+	}
+	b.WriteString("\n")
+	for i := 0; i < c.Classes; i++ {
+		fmt.Fprintf(&b, "%9d", i)
+		for j := 0; j < c.Classes; j++ {
+			fmt.Fprintf(&b, "%5d", c.Counts[i][j])
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// TopK returns the fraction of rows whose label appears in the k
+// largest entries of the corresponding score row (ties broken by lower
+// index first, matching ArgMax semantics).
+func TopK(scores [][]float64, labels []int, k int) float64 {
+	if len(scores) != len(labels) {
+		panic(fmt.Sprintf("metrics: %d score rows vs %d labels", len(scores), len(labels)))
+	}
+	if len(scores) == 0 {
+		return 0
+	}
+	hit := 0
+	for r, row := range scores {
+		if k >= len(row) {
+			hit++
+			continue
+		}
+		label := labels[r]
+		// count entries strictly greater than the label's score, and
+		// ties at lower indices
+		ls := row[label]
+		rank := 0
+		for j, v := range row {
+			if v > ls || (v == ls && j < label) {
+				rank++
+			}
+		}
+		if rank < k {
+			hit++
+		}
+	}
+	return float64(hit) / float64(len(scores))
+}

@@ -1,0 +1,117 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestConfusionAccuracy(t *testing.T) {
+	c := NewConfusion(3)
+	c.AddAll([]int{0, 1, 2, 0}, []int{0, 1, 1, 0})
+	if got := c.Accuracy(); got != 0.75 {
+		t.Fatalf("Accuracy = %v, want 0.75", got)
+	}
+	if c.Total != 4 {
+		t.Fatalf("Total = %d", c.Total)
+	}
+}
+
+func TestConfusionNoDecisionCountsAsError(t *testing.T) {
+	c := NewConfusion(2)
+	c.Add(1, -1) // no decision
+	if c.Accuracy() != 0 {
+		t.Fatal("no-decision must not count as correct")
+	}
+	if c.Total != 1 {
+		t.Fatal("no-decision must count toward the total")
+	}
+}
+
+func TestConfusionRecallPrecision(t *testing.T) {
+	c := NewConfusion(2)
+	// class 0: 3 examples, 2 recalled; class 1: 1 example, predicted 0
+	c.AddAll([]int{0, 0, 0, 1}, []int{0, 0, 1, 0})
+	if got := c.Recall(0); got != 2.0/3.0 {
+		t.Fatalf("Recall(0) = %v", got)
+	}
+	if got := c.Precision(0); got != 2.0/3.0 {
+		t.Fatalf("Precision(0) = %v", got)
+	}
+	if got := c.Recall(1); got != 0 {
+		t.Fatalf("Recall(1) = %v", got)
+	}
+	// empty class behaviour
+	e := NewConfusion(3)
+	if e.Recall(2) != 0 || e.Precision(2) != 0 || e.Accuracy() != 0 {
+		t.Fatal("empty confusion should report zeros")
+	}
+}
+
+func TestMostConfused(t *testing.T) {
+	c := NewConfusion(3)
+	for i := 0; i < 5; i++ {
+		c.Add(2, 0)
+	}
+	c.Add(1, 2)
+	ti, pj, n := c.MostConfused()
+	if ti != 2 || pj != 0 || n != 5 {
+		t.Fatalf("MostConfused = (%d,%d,%d)", ti, pj, n)
+	}
+}
+
+func TestConfusionStringSmallAndLarge(t *testing.T) {
+	small := NewConfusion(2)
+	small.Add(0, 0)
+	if !strings.Contains(small.String(), "true\\pred") {
+		t.Fatal("small matrix should render full grid")
+	}
+	big := NewConfusion(100)
+	big.Add(3, 7)
+	if !strings.Contains(big.String(), "worst confusion 3->7") {
+		t.Fatalf("large matrix summary wrong: %s", big.String())
+	}
+}
+
+func TestConfusionPanics(t *testing.T) {
+	func() {
+		defer expectPanic(t)
+		NewConfusion(0)
+	}()
+	func() {
+		defer expectPanic(t)
+		NewConfusion(2).Add(5, 0)
+	}()
+	func() {
+		defer expectPanic(t)
+		NewConfusion(2).AddAll([]int{0}, []int{0, 1})
+	}()
+}
+
+func TestTopK(t *testing.T) {
+	scores := [][]float64{
+		{0.1, 0.9, 0.0}, // label 1: rank 0
+		{0.5, 0.4, 0.3}, // label 2: rank 2
+	}
+	labels := []int{1, 2}
+	if got := TopK(scores, labels, 1); got != 0.5 {
+		t.Fatalf("Top1 = %v", got)
+	}
+	if got := TopK(scores, labels, 3); got != 1 {
+		t.Fatalf("Top3 = %v", got)
+	}
+	// tie at a lower index outranks the label
+	tie := [][]float64{{0.5, 0.5}}
+	if got := TopK(tie, []int{1}, 1); got != 0 {
+		t.Fatalf("tie-break Top1 = %v, want 0 (lower index wins)", got)
+	}
+	if TopK(nil, nil, 1) != 0 {
+		t.Fatal("empty TopK should be 0")
+	}
+}
+
+func expectPanic(t *testing.T) {
+	t.Helper()
+	if recover() == nil {
+		t.Fatal("expected panic")
+	}
+}

@@ -1,0 +1,146 @@
+package opcount
+
+import (
+	"testing"
+
+	"repro/internal/snn"
+	"repro/internal/tensor"
+	"repro/internal/testutil"
+)
+
+func denseOnlyNet() *snn.Net {
+	w1 := tensor.New(4, 6)
+	w2 := tensor.New(6, 2)
+	return &snn.Net{
+		Name: "d", InShape: []int{4}, InLen: 4,
+		Stages: []snn.Stage{
+			{Name: "h", Kind: snn.DenseStage, W: w1, B: tensor.New(6), InLen: 4, OutLen: 6},
+			{Name: "o", Kind: snn.DenseStage, W: w2, B: tensor.New(2), InLen: 6, OutLen: 2, Output: true},
+		},
+	}
+}
+
+func TestDNNMACsDense(t *testing.T) {
+	net := denseOnlyNet()
+	ops := DNN(net)
+	want := float64(4*6 + 6*2)
+	if ops.Mult != want || ops.Add != want {
+		t.Fatalf("DNN ops = %+v, want %v MACs", ops, want)
+	}
+}
+
+func TestStageMACsConv(t *testing.T) {
+	g := tensor.ConvGeom{InC: 3, InH: 8, InW: 8, KH: 3, KW: 3, Stride: 1, Pad: 1}
+	st := snn.Stage{Kind: snn.ConvStage, Geom: g, OutC: 16,
+		W: tensor.New(16, 3, 3, 3), B: tensor.New(16)}
+	want := float64(8 * 8 * 16 * 3 * 3 * 3)
+	if got := StageMACs(&st); got != want {
+		t.Fatalf("conv MACs = %v, want %v", got, want)
+	}
+}
+
+func TestAvgFanOutDense(t *testing.T) {
+	net := denseOnlyNet()
+	if got := AvgFanOut(net, 0); got != 6 {
+		t.Fatalf("fan-out boundary 0 = %v, want 6", got)
+	}
+	if got := AvgFanOut(net, 1); got != 2 {
+		t.Fatalf("fan-out boundary 1 = %v, want 2", got)
+	}
+	if AvgFanOut(net, -1) != 0 || AvgFanOut(net, 5) != 0 {
+		t.Fatal("out-of-range boundary should cost 0")
+	}
+}
+
+func TestSpikeOpsRateVsWeighted(t *testing.T) {
+	net := denseOnlyNet()
+	spikes := []float64{10, 3}
+	rate, err := SpikeOps(net, spikes, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// per-spike model: one add per spike
+	if rate.Add != 13 || rate.Mult != 0 {
+		t.Fatalf("rate ops = %+v, want 13 adds, no mults", rate)
+	}
+	weighted, err := SpikeOps(net, spikes, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if weighted.Mult != 13 || weighted.Add != 13 {
+		t.Fatalf("weighted ops = %+v, want mult=add=13", weighted)
+	}
+	// per-synapse model: spikes × fan-out
+	syn, err := SynapticOps(net, spikes, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantAdds := 10*6.0 + 3*2.0
+	if syn.Add != wantAdds {
+		t.Fatalf("synaptic ops = %+v, want adds %v", syn, wantAdds)
+	}
+}
+
+func TestSpikeOpsLengthMismatch(t *testing.T) {
+	net := denseOnlyNet()
+	if _, err := SpikeOps(net, []float64{1}, false); err == nil {
+		t.Fatal("boundary count mismatch accepted")
+	}
+}
+
+func TestTDSNNDominatedByTicking(t *testing.T) {
+	fx := testutil.TrainedLeNet16()
+	net := fx.Conv.Net
+	ops := TDSNN(net, TDSNNConfig{Steps: 200, TickFraction: 1})
+	neurons := float64(net.NumNeurons())
+	if ops.Mult < neurons*200 {
+		t.Fatalf("TDSNN mults %v below LIF floor %v", ops.Mult, neurons*200)
+	}
+	if ops.Add <= ops.Mult*0.99 {
+		t.Fatalf("TDSNN adds (%v) should include ticking + spikes beyond mults (%v)", ops.Add, ops.Mult)
+	}
+}
+
+func TestTDSNNDefaults(t *testing.T) {
+	fx := testutil.TrainedLeNet16()
+	a := TDSNN(fx.Conv.Net, TDSNNConfig{})
+	b := TDSNN(fx.Conv.Net, TDSNNConfig{Steps: 100, TickFraction: 1})
+	if a != b {
+		t.Fatalf("defaults not applied: %+v vs %+v", a, b)
+	}
+}
+
+// Table III shape: T2FSNN (one spike per neuron, weighted kernel decode)
+// must cost orders of magnitude less than the DNN and less than TDSNN.
+func TestTableIIIShape(t *testing.T) {
+	fx := testutil.TrainedLeNet16()
+	net := fx.Conv.Net
+	dnnOps := DNN(net)
+
+	// T2FSNN upper bound: every neuron fires exactly once
+	perBoundary := make([]float64, len(net.Stages))
+	perBoundary[0] = float64(net.InLen)
+	for i := 0; i < len(net.Stages)-1; i++ {
+		perBoundary[i+1] = float64(net.Stages[i].OutLen)
+	}
+	t2f, err := SpikeOps(net, perBoundary, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tdsnn := TDSNN(net, TDSNNConfig{Steps: 200})
+
+	if t2f.Add > dnnOps.Add {
+		t.Fatalf("one-spike-per-neuron T2FSNN (%v adds) must not exceed the DNN (%v)", t2f.Add, dnnOps.Add)
+	}
+	if t2f.Mult >= tdsnn.Mult {
+		t.Fatalf("T2FSNN mults (%v) should be far below TDSNN (%v)", t2f.Mult, tdsnn.Mult)
+	}
+}
+
+func TestMillions(t *testing.T) {
+	o := Ops{Mult: 2e6, Add: 4e6}
+	m := o.Millions()
+	if m.Mult != 2 || m.Add != 4 {
+		t.Fatalf("Millions = %+v", m)
+	}
+}

@@ -1,0 +1,20 @@
+package quant_test
+
+import (
+	"fmt"
+
+	"repro/internal/quant"
+)
+
+// Dynamic fixed point spends its non-sign bits covering the value
+// range; narrower formats quantize coarser and saturate outliers.
+func ExampleFormatFor() {
+	for _, bits := range []int{8, 4} {
+		f, _ := quant.FormatFor(3.2, bits)
+		fmt.Printf("%d bits -> Q%d.%d, max %.4f, 0.3 -> %.4f\n",
+			bits, f.IntBits, f.FracBits, f.Max(), f.Quantize(0.3))
+	}
+	// Output:
+	// 8 bits -> Q2.5, max 3.9688, 0.3 -> 0.3125
+	// 4 bits -> Q2.1, max 3.5000, 0.3 -> 0.5000
+}

@@ -1,0 +1,79 @@
+package quant
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/snn"
+)
+
+// PruneNet returns a deep copy of net with the smallest-magnitude
+// fraction of each stage's weights set to zero (per-stage magnitude
+// pruning, Han 2015 — the compression technique the paper's
+// introduction motivates SNNs against). Zero weights cost nothing in an
+// event-driven fabric: the Scatter path skips them only in storage, but
+// the op-count and traffic models can discount them.
+func PruneNet(net *snn.Net, sparsity float64) (*snn.Net, error) {
+	if sparsity < 0 || sparsity >= 1 {
+		return nil, fmt.Errorf("quant: sparsity %v out of [0,1)", sparsity)
+	}
+	out := &snn.Net{
+		Name:    fmt.Sprintf("%s-p%02.0f", net.Name, sparsity*100),
+		InShape: net.InShape, InLen: net.InLen,
+	}
+	for i := range net.Stages {
+		src := &net.Stages[i]
+		st := *src
+		st.W = src.W.Clone()
+		st.B = src.B.Clone()
+		if sparsity > 0 {
+			threshold := magnitudeThreshold(st.W.Data, sparsity)
+			for j, v := range st.W.Data {
+				if math.Abs(v) <= threshold {
+					st.W.Data[j] = 0
+				}
+			}
+		}
+		out.Stages = append(out.Stages, st)
+	}
+	if err := out.Validate(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Sparsity reports the fraction of exactly-zero weights across the net.
+func Sparsity(net *snn.Net) float64 {
+	zeros, total := 0, 0
+	for i := range net.Stages {
+		for _, v := range net.Stages[i].W.Data {
+			if v == 0 {
+				zeros++
+			}
+			total++
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(zeros) / float64(total)
+}
+
+// magnitudeThreshold returns the magnitude below (or at) which the
+// requested fraction of values falls.
+func magnitudeThreshold(weights []float64, sparsity float64) float64 {
+	mags := make([]float64, len(weights))
+	for i, v := range weights {
+		mags[i] = math.Abs(v)
+	}
+	sort.Float64s(mags)
+	k := int(sparsity * float64(len(mags)))
+	if k <= 0 {
+		return -1 // prune nothing
+	}
+	if k >= len(mags) {
+		k = len(mags) - 1
+	}
+	return mags[k-1]
+}

@@ -1,0 +1,112 @@
+package quant
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/tensor"
+	"repro/internal/testutil"
+)
+
+func TestPruneNetSparsityLevels(t *testing.T) {
+	fx := testutil.TrainedLeNet16()
+	for _, target := range []float64{0, 0.3, 0.7} {
+		p, err := PruneNet(fx.Conv.Net, target)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := Sparsity(p)
+		if got < target-0.05 || got > target+0.1 {
+			t.Fatalf("target sparsity %v, achieved %v", target, got)
+		}
+		if err := p.Validate(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestPruneNetDoesNotTouchOriginal(t *testing.T) {
+	fx := testutil.TrainedLeNet16()
+	before := Sparsity(fx.Conv.Net)
+	if _, err := PruneNet(fx.Conv.Net, 0.5); err != nil {
+		t.Fatal(err)
+	}
+	if Sparsity(fx.Conv.Net) != before {
+		t.Fatal("pruning mutated the source network")
+	}
+}
+
+func TestPruneKeepsLargestWeights(t *testing.T) {
+	fx := testutil.TrainedLeNet16()
+	p, err := PruneNet(fx.Conv.Net, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// surviving weights must all be at least as large as pruned ones
+	for i := range p.Stages {
+		minKept, maxPruned := 1e18, 0.0
+		for j, v := range p.Stages[i].W.Data {
+			orig := fx.Conv.Net.Stages[i].W.Data[j]
+			mag := orig
+			if mag < 0 {
+				mag = -mag
+			}
+			if v == 0 && orig != 0 {
+				if mag > maxPruned {
+					maxPruned = mag
+				}
+			} else if v != 0 {
+				if mag < minKept {
+					minKept = mag
+				}
+			}
+		}
+		if maxPruned > minKept {
+			t.Fatalf("stage %d: pruned weight %v larger than kept %v", i, maxPruned, minKept)
+		}
+	}
+}
+
+func TestPruneRejectsBadSparsity(t *testing.T) {
+	fx := testutil.TrainedLeNet16()
+	for _, s := range []float64{-0.1, 1.0, 2} {
+		if _, err := PruneNet(fx.Conv.Net, s); err == nil {
+			t.Fatalf("sparsity %v accepted", s)
+		}
+	}
+}
+
+// Moderate pruning must roughly preserve spiking accuracy; extreme
+// pruning must degrade it — the classic compression trade-off curve.
+func TestPruneAccuracyTradeOff(t *testing.T) {
+	fx := testutil.TrainedLeNet16()
+	x := tensor.FromSlice(fx.X.Data[:80*256], 80, 256)
+	acc := func(sparsity float64) float64 {
+		net := fx.Conv.Net
+		if sparsity > 0 {
+			var err error
+			net, err = PruneNet(fx.Conv.Net, sparsity)
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+		m, err := core.NewModel(net, 40, 10, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ev, err := core.Evaluate(m, x, fx.Labels[:80], core.EvalOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return ev.Accuracy
+	}
+	full := acc(0)
+	mild := acc(0.3)
+	extreme := acc(0.95)
+	if mild < full-0.15 {
+		t.Fatalf("30%% pruning collapsed accuracy: %.2f -> %.2f", full, mild)
+	}
+	if extreme > mild {
+		t.Fatalf("95%% pruning (%.2f) should not beat 30%% (%.2f)", extreme, mild)
+	}
+}

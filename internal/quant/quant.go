@@ -1,0 +1,140 @@
+// Package quant models fixed-point deployment of a converted spiking
+// network: neuromorphic fabrics store synaptic weights and kernel
+// lookup tables in narrow fixed-point formats, not float64. The
+// quantizers here use per-stage dynamic fixed point (integer bits
+// chosen to cover each stage's weight range, remaining bits fractional)
+// and back the bit-width ablation bench: accuracy versus weight bits.
+package quant
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/snn"
+	"repro/internal/tensor"
+)
+
+// Format is a signed fixed-point format with IntBits integer bits and
+// FracBits fractional bits (plus the sign bit).
+type Format struct {
+	IntBits  int
+	FracBits int
+}
+
+// Bits returns the total width including sign.
+func (f Format) Bits() int { return 1 + f.IntBits + f.FracBits }
+
+// Max returns the largest representable magnitude.
+func (f Format) Max() float64 {
+	return math.Exp2(float64(f.IntBits)) - math.Exp2(-float64(f.FracBits))
+}
+
+// Quantize rounds v to the format's grid, saturating at the range
+// limits.
+func (f Format) Quantize(v float64) float64 {
+	step := math.Exp2(-float64(f.FracBits))
+	q := math.Round(v/step) * step
+	limit := f.Max()
+	if q > limit {
+		return limit
+	}
+	if q < -limit {
+		return -limit
+	}
+	return q
+}
+
+// FormatFor picks the per-stage dynamic fixed-point format: enough
+// integer bits to cover maxAbs, the rest of totalBits fractional. When
+// the width cannot cover the range, all non-sign bits go to the integer
+// part and outliers saturate — exactly what a hardware register does.
+func FormatFor(maxAbs float64, totalBits int) (Format, error) {
+	if totalBits < 2 {
+		return Format{}, fmt.Errorf("quant: need at least 2 bits (sign + 1), got %d", totalBits)
+	}
+	intBits := 0
+	if maxAbs > 0 {
+		intBits = int(math.Ceil(math.Log2(maxAbs + 1e-12)))
+		if intBits < 0 {
+			intBits = 0
+		}
+	}
+	fracBits := totalBits - 1 - intBits
+	if fracBits < 0 {
+		return Format{IntBits: totalBits - 1, FracBits: 0}, nil
+	}
+	return Format{IntBits: intBits, FracBits: fracBits}, nil
+}
+
+// StageFormats reports the chosen format per stage.
+type StageFormats struct {
+	Stage  string
+	Weight Format
+	Bias   Format
+}
+
+// QuantizeNet returns a deep copy of net with every stage's weights and
+// biases rounded to per-stage dynamic fixed point of the given total
+// bit width, along with the chosen formats.
+func QuantizeNet(net *snn.Net, totalBits int) (*snn.Net, []StageFormats, error) {
+	out := &snn.Net{Name: net.Name + fmt.Sprintf("-q%d", totalBits), InShape: net.InShape, InLen: net.InLen}
+	var formats []StageFormats
+	for i := range net.Stages {
+		src := &net.Stages[i]
+		st := *src // shallow copy; replace tensors below
+		wf, err := FormatFor(maxAbs(src.W.Data), totalBits)
+		if err != nil {
+			return nil, nil, fmt.Errorf("quant: stage %s weights: %w", src.Name, err)
+		}
+		bf, err := FormatFor(maxAbs(src.B.Data), totalBits)
+		if err != nil {
+			return nil, nil, fmt.Errorf("quant: stage %s biases: %w", src.Name, err)
+		}
+		st.W = quantizeTensor(src.W, wf)
+		st.B = quantizeTensor(src.B, bf)
+		out.Stages = append(out.Stages, st)
+		formats = append(formats, StageFormats{Stage: src.Name, Weight: wf, Bias: bf})
+	}
+	if err := out.Validate(); err != nil {
+		return nil, nil, err
+	}
+	return out, formats, nil
+}
+
+// RMSError returns the root-mean-square quantization error between the
+// original and quantized nets' weights.
+func RMSError(a, b *snn.Net) float64 {
+	sum, n := 0.0, 0
+	for i := range a.Stages {
+		for j, v := range a.Stages[i].W.Data {
+			d := v - b.Stages[i].W.Data[j]
+			sum += d * d
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return math.Sqrt(sum / float64(n))
+}
+
+func quantizeTensor(t *tensor.Tensor, f Format) *tensor.Tensor {
+	out := t.Clone()
+	for i, v := range out.Data {
+		out.Data[i] = f.Quantize(v)
+	}
+	return out
+}
+
+func maxAbs(data []float64) float64 {
+	m := 0.0
+	for _, v := range data {
+		if v < 0 {
+			v = -v
+		}
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}

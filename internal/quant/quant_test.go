@@ -1,0 +1,151 @@
+package quant
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/core"
+	"repro/internal/tensor"
+	"repro/internal/testutil"
+)
+
+func TestFormatBasics(t *testing.T) {
+	f := Format{IntBits: 1, FracBits: 2}
+	if f.Bits() != 4 {
+		t.Fatalf("Bits = %d", f.Bits())
+	}
+	if got, want := f.Max(), 2-0.25; got != want {
+		t.Fatalf("Max = %v, want %v", got, want)
+	}
+}
+
+func TestQuantizeGridAndSaturation(t *testing.T) {
+	f := Format{IntBits: 0, FracBits: 2} // grid 0.25, max 0.75
+	cases := map[float64]float64{
+		0.3: 0.25, 0.38: 0.5, -0.3: -0.25,
+		5: 0.75, -5: -0.75, 0: 0,
+	}
+	for in, want := range cases {
+		if got := f.Quantize(in); got != want {
+			t.Fatalf("Quantize(%v) = %v, want %v", in, got, want)
+		}
+	}
+}
+
+func TestFormatFor(t *testing.T) {
+	f, err := FormatFor(3.5, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.IntBits != 2 || f.FracBits != 5 {
+		t.Fatalf("format = %+v", f)
+	}
+	if f.Max() < 3.5 {
+		t.Fatalf("format cannot hold its own range: max %v", f.Max())
+	}
+	// a width that cannot cover the range saturates: all value bits
+	// become integer bits
+	sat, err := FormatFor(100, 2)
+	if err != nil || sat.IntBits != 1 || sat.FracBits != 0 {
+		t.Fatalf("saturating format = %+v (%v)", sat, err)
+	}
+	if _, err := FormatFor(1, 1); err == nil {
+		t.Fatal("1-bit format accepted")
+	}
+	// zero magnitude: everything fractional
+	z, err := FormatFor(0, 8)
+	if err != nil || z.IntBits != 0 || z.FracBits != 7 {
+		t.Fatalf("zero-range format = %+v (%v)", z, err)
+	}
+}
+
+// Property: quantization error is bounded by half a step, within range.
+func TestQuantizeErrorBoundProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := tensor.NewRNG(seed)
+		fmtq := Format{IntBits: r.Intn(3), FracBits: 1 + r.Intn(10)}
+		v := r.Range(-fmtq.Max(), fmtq.Max())
+		q := fmtq.Quantize(v)
+		step := math.Exp2(-float64(fmtq.FracBits))
+		return math.Abs(q-v) <= step/2+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuantizeNetPreservesStructure(t *testing.T) {
+	fx := testutil.TrainedLeNet16()
+	qnet, formats, err := QuantizeNet(fx.Conv.Net, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(formats) != len(fx.Conv.Net.Stages) {
+		t.Fatalf("formats = %d", len(formats))
+	}
+	if err := qnet.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// original must be untouched
+	if RMSError(fx.Conv.Net, qnet) == 0 {
+		t.Fatal("quantization had no effect at 8 bits (suspicious)")
+	}
+	for i := range fx.Conv.Net.Stages {
+		if &fx.Conv.Net.Stages[i].W.Data[0] == &qnet.Stages[i].W.Data[0] {
+			t.Fatal("quantized net shares weight storage with original")
+		}
+	}
+}
+
+func TestRMSErrorDecreasesWithBits(t *testing.T) {
+	fx := testutil.TrainedLeNet16()
+	prev := math.Inf(1)
+	for _, bits := range []int{4, 6, 8, 12} {
+		qnet, _, err := QuantizeNet(fx.Conv.Net, bits)
+		if err != nil {
+			t.Fatal(err)
+		}
+		e := RMSError(fx.Conv.Net, qnet)
+		if e >= prev {
+			t.Fatalf("RMS error not decreasing: %v bits -> %v (prev %v)", bits, e, prev)
+		}
+		prev = e
+	}
+}
+
+// The deployment question: accuracy as a function of weight bit width.
+// 8-bit dynamic fixed point must track the float model closely; very
+// narrow formats must degrade.
+func TestAccuracyVsBits(t *testing.T) {
+	fx := testutil.TrainedLeNet16()
+	run := func(bits int) float64 {
+		qnet := fx.Conv.Net
+		if bits > 0 {
+			var err error
+			qnet, _, err = QuantizeNet(fx.Conv.Net, bits)
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+		m, err := core.NewModel(qnet, 40, 10, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		x := tensor.FromSlice(fx.X.Data[:80*256], 80, 256)
+		ev, err := core.Evaluate(m, x, fx.Labels[:80], core.EvalOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return ev.Accuracy
+	}
+	full := run(0)
+	q8 := run(8)
+	q3 := run(3)
+	if q8 < full-0.1 {
+		t.Fatalf("8-bit accuracy %.2f collapsed from float %.2f", q8, full)
+	}
+	if q3 > q8 {
+		t.Fatalf("3-bit (%.2f) should not beat 8-bit (%.2f)", q3, q8)
+	}
+}

@@ -1,0 +1,119 @@
+package reverse
+
+import (
+	"testing"
+
+	"repro/internal/testutil"
+)
+
+func model(t *testing.T, window int) (*Model, *testutil.Fixture) {
+	t.Helper()
+	fx := testutil.TrainedLeNet16()
+	m, err := NewModel(fx.Conv.Net, window)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m, fx
+}
+
+func TestNewModelValidation(t *testing.T) {
+	fx := testutil.TrainedLeNet16()
+	if _, err := NewModel(fx.Conv.Net, 1); err == nil {
+		t.Fatal("window of 1 accepted")
+	}
+	if _, err := NewModel(fx.Conv.Net, 64); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEncodeReverseOrder(t *testing.T) {
+	m, _ := model(t, 64)
+	tSmall, ok1 := m.encode(0.1)
+	tBig, ok2 := m.encode(0.9)
+	if !ok1 || !ok2 {
+		t.Fatal("both values should fire")
+	}
+	// reverse coding: larger value fires LATER
+	if tBig <= tSmall {
+		t.Fatalf("reverse order violated: t(0.9)=%d <= t(0.1)=%d", tBig, tSmall)
+	}
+	if _, ok := m.encode(0); ok {
+		t.Fatal("zero must not fire")
+	}
+	if tt, _ := m.encode(2.0); tt != m.T-1 {
+		t.Fatalf("overflow should clamp to last step, got %d", tt)
+	}
+}
+
+func TestDecodeRoundTrip(t *testing.T) {
+	m, _ := model(t, 64)
+	for _, v := range []float64{0.05, 0.3, 0.77, 1.0} {
+		tt, ok := m.encode(v)
+		if !ok {
+			t.Fatalf("%v did not fire", v)
+		}
+		got := m.decode(tt)
+		if diff := v - got; diff < -1.0/63 || diff > 1.0/63 {
+			t.Fatalf("round trip %v -> %v exceeds quantization", v, got)
+		}
+	}
+}
+
+func TestAccuracyNearDNN(t *testing.T) {
+	m, fx := model(t, 64)
+	acc, spikes, ticks, err := m.Evaluate(fx.X.Data[:100*256], 256, fx.Labels[:100])
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 64-level quantization should track the DNN closely (the paper's
+	// TDSNN reports DNN-competitive accuracy)
+	if acc < fx.DNNAccuracy-0.1 {
+		t.Fatalf("reverse accuracy %.2f far below DNN %.2f", acc, fx.DNNAccuracy)
+	}
+	if spikes <= 0 {
+		t.Fatal("no spikes")
+	}
+	// the ticking overhead must dwarf the genuine spikes — the paper's
+	// core criticism of TDSNN
+	if ticks <= spikes {
+		t.Fatalf("ticking ops %.0f not above spikes %.0f", ticks, spikes)
+	}
+}
+
+func TestOneSpikePerNeuronBound(t *testing.T) {
+	m, fx := model(t, 32)
+	r := m.Infer(fx.X.Data[:256])
+	bound := m.Net.InLen + m.Net.NumNeurons()
+	if r.Spikes > bound {
+		t.Fatalf("spikes %d exceed one-per-neuron bound %d", r.Spikes, bound)
+	}
+	if r.Latency != len(m.Net.Stages)*32 {
+		t.Fatalf("latency %d, want %d", r.Latency, len(m.Net.Stages)*32)
+	}
+}
+
+func TestCoarseWindowDegradesAccuracy(t *testing.T) {
+	fine, fx := model(t, 128)
+	coarse, _ := model(t, 3)
+	accF, _, _, err := fine.Evaluate(fx.X.Data[:80*256], 256, fx.Labels[:80])
+	if err != nil {
+		t.Fatal(err)
+	}
+	accC, _, _, err := coarse.Evaluate(fx.X.Data[:80*256], 256, fx.Labels[:80])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if accC > accF {
+		t.Fatalf("3-level quantization (%.2f) should not beat 128-level (%.2f)", accC, accF)
+	}
+}
+
+func TestEvaluateErrors(t *testing.T) {
+	m, fx := model(t, 64)
+	if _, _, _, err := m.Evaluate(fx.X.Data[:100], 256, fx.Labels[:2]); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+	if _, _, _, err := m.Evaluate(nil, 256, nil); err == nil {
+		t.Fatal("empty batch accepted")
+	}
+}

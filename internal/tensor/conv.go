@@ -1,0 +1,139 @@
+package tensor
+
+import "fmt"
+
+// ConvGeom describes the geometry of a 2-D convolution or pooling
+// operation over CHW-ordered feature maps.
+type ConvGeom struct {
+	InC, InH, InW int // input channels, height, width
+	KH, KW        int // kernel height, width
+	Stride        int
+	Pad           int
+}
+
+// OutH returns the output height of the operation.
+func (g ConvGeom) OutH() int { return (g.InH+2*g.Pad-g.KH)/g.Stride + 1 }
+
+// OutW returns the output width of the operation.
+func (g ConvGeom) OutW() int { return (g.InW+2*g.Pad-g.KW)/g.Stride + 1 }
+
+// Validate checks that the geometry is internally consistent.
+func (g ConvGeom) Validate() error {
+	switch {
+	case g.InC <= 0 || g.InH <= 0 || g.InW <= 0:
+		return fmt.Errorf("tensor: conv geometry has non-positive input dims %+v", g)
+	case g.KH <= 0 || g.KW <= 0:
+		return fmt.Errorf("tensor: conv geometry has non-positive kernel dims %+v", g)
+	case g.Stride <= 0:
+		return fmt.Errorf("tensor: conv geometry has non-positive stride %+v", g)
+	case g.Pad < 0:
+		return fmt.Errorf("tensor: conv geometry has negative padding %+v", g)
+	case g.OutH() <= 0 || g.OutW() <= 0:
+		return fmt.Errorf("tensor: conv geometry yields empty output %+v", g)
+	}
+	return nil
+}
+
+// Im2Col lowers a CHW input into a matrix of shape
+// [InC*KH*KW, OutH*OutW] so convolution becomes a matrix product with a
+// [OutC, InC*KH*KW] weight matrix. Out must be preallocated with that
+// shape (or nil, in which case it is allocated).
+func Im2Col(in *Tensor, g ConvGeom, out *Tensor) *Tensor {
+	oh, ow := g.OutH(), g.OutW()
+	rows := g.InC * g.KH * g.KW
+	cols := oh * ow
+	if out == nil {
+		out = New(rows, cols)
+	} else {
+		if out.Shape[0] != rows || out.Shape[1] != cols {
+			panic(fmt.Sprintf("tensor: Im2Col out shape %v, want [%d %d]", out.Shape, rows, cols))
+		}
+		out.Zero()
+	}
+	for c := 0; c < g.InC; c++ {
+		chanOff := c * g.InH * g.InW
+		for kh := 0; kh < g.KH; kh++ {
+			for kw := 0; kw < g.KW; kw++ {
+				row := (c*g.KH+kh)*g.KW + kw
+				dst := out.Data[row*cols : (row+1)*cols]
+				for oy := 0; oy < oh; oy++ {
+					iy := oy*g.Stride + kh - g.Pad
+					if iy < 0 || iy >= g.InH {
+						continue
+					}
+					srcRow := chanOff + iy*g.InW
+					dstRow := oy * ow
+					for ox := 0; ox < ow; ox++ {
+						ix := ox*g.Stride + kw - g.Pad
+						if ix < 0 || ix >= g.InW {
+							continue
+						}
+						dst[dstRow+ox] = in.Data[srcRow+ix]
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Col2Im is the adjoint of Im2Col: it scatters a [InC*KH*KW, OutH*OutW]
+// column matrix back into a CHW tensor, accumulating where patches
+// overlap. It is the gradient path of convolution with respect to the
+// input. out must have length InC*InH*InW (or be nil to allocate).
+func Col2Im(cols *Tensor, g ConvGeom, out *Tensor) *Tensor {
+	oh, ow := g.OutH(), g.OutW()
+	nCols := oh * ow
+	if out == nil {
+		out = New(g.InC, g.InH, g.InW)
+	} else {
+		out.Zero()
+	}
+	for c := 0; c < g.InC; c++ {
+		chanOff := c * g.InH * g.InW
+		for kh := 0; kh < g.KH; kh++ {
+			for kw := 0; kw < g.KW; kw++ {
+				row := (c*g.KH+kh)*g.KW + kw
+				src := cols.Data[row*nCols : (row+1)*nCols]
+				for oy := 0; oy < oh; oy++ {
+					iy := oy*g.Stride + kh - g.Pad
+					if iy < 0 || iy >= g.InH {
+						continue
+					}
+					dstRow := chanOff + iy*g.InW
+					srcRow := oy * ow
+					for ox := 0; ox < ow; ox++ {
+						ix := ox*g.Stride + kw - g.Pad
+						if ix < 0 || ix >= g.InW {
+							continue
+						}
+						out.Data[dstRow+ix] += src[srcRow+ox]
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Conv2D performs a direct 2-D convolution of a CHW input with weights
+// of shape [OutC, InC, KH, KW] and a bias of length OutC, returning a
+// CHW output. It lowers via Im2Col internally; it exists for callers
+// (conversion checks, SNN reference paths) that want a one-shot API.
+func Conv2D(in, weight, bias *Tensor, g ConvGeom) *Tensor {
+	outC := weight.Shape[0]
+	cols := Im2Col(in, g, nil)
+	w2 := weight.Reshape(outC, g.InC*g.KH*g.KW)
+	prod := MatMul(w2, cols) // [OutC, OutH*OutW]
+	oh, ow := g.OutH(), g.OutW()
+	if bias != nil {
+		for c := 0; c < outC; c++ {
+			b := bias.Data[c]
+			row := prod.Data[c*oh*ow : (c+1)*oh*ow]
+			for i := range row {
+				row[i] += b
+			}
+		}
+	}
+	return prod.Reshape(outC, oh, ow)
+}

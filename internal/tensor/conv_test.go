@@ -1,0 +1,190 @@
+package tensor
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestConvGeomOutDims(t *testing.T) {
+	g := ConvGeom{InC: 3, InH: 32, InW: 32, KH: 3, KW: 3, Stride: 1, Pad: 1}
+	if g.OutH() != 32 || g.OutW() != 32 {
+		t.Fatalf("same-pad 3x3 should preserve dims, got %dx%d", g.OutH(), g.OutW())
+	}
+	g2 := ConvGeom{InC: 1, InH: 4, InW: 4, KH: 2, KW: 2, Stride: 2, Pad: 0}
+	if g2.OutH() != 2 || g2.OutW() != 2 {
+		t.Fatalf("2x2/s2 pool dims = %dx%d, want 2x2", g2.OutH(), g2.OutW())
+	}
+}
+
+func TestConvGeomValidate(t *testing.T) {
+	good := ConvGeom{InC: 1, InH: 4, InW: 4, KH: 3, KW: 3, Stride: 1, Pad: 1}
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid geometry rejected: %v", err)
+	}
+	bad := []ConvGeom{
+		{InC: 0, InH: 4, InW: 4, KH: 3, KW: 3, Stride: 1},
+		{InC: 1, InH: 4, InW: 4, KH: 0, KW: 3, Stride: 1},
+		{InC: 1, InH: 4, InW: 4, KH: 3, KW: 3, Stride: 0},
+		{InC: 1, InH: 4, InW: 4, KH: 3, KW: 3, Stride: 1, Pad: -1},
+		{InC: 1, InH: 2, InW: 2, KH: 5, KW: 5, Stride: 1, Pad: 0},
+	}
+	for i, g := range bad {
+		if err := g.Validate(); err == nil {
+			t.Fatalf("bad geometry %d accepted: %+v", i, g)
+		}
+	}
+}
+
+func TestIm2ColIdentityKernel(t *testing.T) {
+	// 1x1 kernel, stride 1, no pad: im2col is the identity layout.
+	in := FromSlice([]float64{1, 2, 3, 4}, 1, 2, 2)
+	g := ConvGeom{InC: 1, InH: 2, InW: 2, KH: 1, KW: 1, Stride: 1, Pad: 0}
+	cols := Im2Col(in, g, nil)
+	if cols.Shape[0] != 1 || cols.Shape[1] != 4 {
+		t.Fatalf("cols shape = %v", cols.Shape)
+	}
+	if !cols.Reshape(1, 2, 2).AllClose(in, 0) {
+		t.Fatalf("1x1 im2col should be identity, got %v", cols)
+	}
+}
+
+func TestIm2ColKnownPatch(t *testing.T) {
+	// 3x3 input, 2x2 kernel, stride 1 -> 4 patches.
+	in := FromSlice([]float64{
+		1, 2, 3,
+		4, 5, 6,
+		7, 8, 9,
+	}, 1, 3, 3)
+	g := ConvGeom{InC: 1, InH: 3, InW: 3, KH: 2, KW: 2, Stride: 1, Pad: 0}
+	cols := Im2Col(in, g, nil)
+	// Row 0 is kernel position (0,0): values at top-left of each patch.
+	want0 := []float64{1, 2, 4, 5}
+	for i, w := range want0 {
+		if cols.Data[i] != w {
+			t.Fatalf("row0[%d] = %v, want %v", i, cols.Data[i], w)
+		}
+	}
+	// Row 3 is kernel position (1,1): bottom-right of each patch.
+	want3 := []float64{5, 6, 8, 9}
+	for i, w := range want3 {
+		if cols.Data[3*4+i] != w {
+			t.Fatalf("row3[%d] = %v, want %v", i, cols.Data[3*4+i], w)
+		}
+	}
+}
+
+func TestIm2ColPaddingZeros(t *testing.T) {
+	in := Ones(1, 2, 2)
+	g := ConvGeom{InC: 1, InH: 2, InW: 2, KH: 3, KW: 3, Stride: 1, Pad: 1}
+	cols := Im2Col(in, g, nil)
+	// Center kernel tap (1,1) always lands inside: row 4 all ones.
+	for i := 0; i < 4; i++ {
+		if cols.Data[4*4+i] != 1 {
+			t.Fatalf("center tap should be 1, got %v", cols.Data[4*4+i])
+		}
+	}
+	// Corner tap (0,0) at output (0,0) is padding: zero.
+	if cols.Data[0] != 0 {
+		t.Fatalf("padded tap should be 0, got %v", cols.Data[0])
+	}
+}
+
+func TestIm2ColReuseBuffer(t *testing.T) {
+	in := Ones(1, 3, 3)
+	g := ConvGeom{InC: 1, InH: 3, InW: 3, KH: 2, KW: 2, Stride: 1, Pad: 0}
+	buf := New(4, 4)
+	buf.Fill(7) // stale garbage must be cleared
+	cols := Im2Col(in, g, buf)
+	if cols != buf {
+		t.Fatal("Im2Col should reuse provided buffer")
+	}
+	for i, v := range cols.Data {
+		if v != 1 {
+			t.Fatalf("buffer not fully rewritten at %d: %v", i, v)
+		}
+	}
+}
+
+func TestConv2DMatchesManual(t *testing.T) {
+	// Single 2x2 kernel summing a 2x2 region (all-ones kernel).
+	in := FromSlice([]float64{
+		1, 2, 3,
+		4, 5, 6,
+		7, 8, 9,
+	}, 1, 3, 3)
+	w := Ones(1, 1, 2, 2)
+	b := FromSlice([]float64{0.5}, 1)
+	g := ConvGeom{InC: 1, InH: 3, InW: 3, KH: 2, KW: 2, Stride: 1, Pad: 0}
+	out := Conv2D(in, w, b, g)
+	want := FromSlice([]float64{12.5, 16.5, 24.5, 28.5}, 1, 2, 2)
+	if !out.AllClose(want, 1e-12) {
+		t.Fatalf("Conv2D = %v, want %v", out, want)
+	}
+}
+
+func TestConv2DMultiChannel(t *testing.T) {
+	// Two input channels; kernel picks channel 1 only via weights.
+	in := New(2, 2, 2)
+	for i := 0; i < 4; i++ {
+		in.Data[i] = 1    // channel 0
+		in.Data[4+i] = 10 // channel 1
+	}
+	w := New(1, 2, 1, 1)
+	w.Data[1] = 1 // weight on channel 1 only
+	g := ConvGeom{InC: 2, InH: 2, InW: 2, KH: 1, KW: 1, Stride: 1, Pad: 0}
+	out := Conv2D(in, w, nil, g)
+	for i, v := range out.Data {
+		if v != 10 {
+			t.Fatalf("out[%d] = %v, want 10", i, v)
+		}
+	}
+}
+
+// Property: Col2Im is the adjoint of Im2Col, i.e. for random x, y:
+// <Im2Col(x), y> == <x, Col2Im(y)>. This is exactly the property
+// backprop through convolution relies on.
+func TestCol2ImAdjointProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := NewRNG(seed)
+		g := ConvGeom{
+			InC: 1 + r.Intn(3), InH: 3 + r.Intn(4), InW: 3 + r.Intn(4),
+			KH: 1 + r.Intn(3), KW: 1 + r.Intn(3), Stride: 1 + r.Intn(2), Pad: r.Intn(2),
+		}
+		if g.Validate() != nil {
+			return true // skip degenerate geometry
+		}
+		x := New(g.InC, g.InH, g.InW)
+		r.FillNormal(x, 0, 1)
+		rows, cols := g.InC*g.KH*g.KW, g.OutH()*g.OutW()
+		y := New(rows, cols)
+		r.FillNormal(y, 0, 1)
+		lhs := Dot(Im2Col(x, g, nil), y)
+		rhs := Dot(x, Col2Im(y, g, nil))
+		return almostEqual(lhs, rhs, 1e-9*(1+lhs*lhs))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkIm2Col32x32(b *testing.B) {
+	in := Ones(16, 32, 32)
+	g := ConvGeom{InC: 16, InH: 32, InW: 32, KH: 3, KW: 3, Stride: 1, Pad: 1}
+	buf := New(16*9, 32*32)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Im2Col(in, g, buf)
+	}
+}
+
+func BenchmarkMatMul64(b *testing.B) {
+	rng := NewRNG(1)
+	x, y := New(64, 64), New(64, 64)
+	rng.FillNormal(x, 0, 1)
+	rng.FillNormal(y, 0, 1)
+	out := New(64, 64)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		MatMulInto(x, y, out)
+	}
+}

@@ -1,0 +1,256 @@
+package tensor
+
+import (
+	"fmt"
+	"math"
+)
+
+// Add returns a new tensor t + o (element-wise). Shapes must match.
+func Add(t, o *Tensor) *Tensor {
+	mustSameShape("Add", t, o)
+	r := t.Clone()
+	for i, v := range o.Data {
+		r.Data[i] += v
+	}
+	return r
+}
+
+// Sub returns a new tensor t - o (element-wise). Shapes must match.
+func Sub(t, o *Tensor) *Tensor {
+	mustSameShape("Sub", t, o)
+	r := t.Clone()
+	for i, v := range o.Data {
+		r.Data[i] -= v
+	}
+	return r
+}
+
+// Mul returns a new tensor t * o (element-wise, Hadamard). Shapes must match.
+func Mul(t, o *Tensor) *Tensor {
+	mustSameShape("Mul", t, o)
+	r := t.Clone()
+	for i, v := range o.Data {
+		r.Data[i] *= v
+	}
+	return r
+}
+
+// AddInPlace accumulates o into t element-wise.
+func AddInPlace(t, o *Tensor) {
+	mustSameShape("AddInPlace", t, o)
+	for i, v := range o.Data {
+		t.Data[i] += v
+	}
+}
+
+// AXPY computes t += alpha*o in place.
+func AXPY(alpha float64, o, t *Tensor) {
+	mustSameShape("AXPY", t, o)
+	for i, v := range o.Data {
+		t.Data[i] += alpha * v
+	}
+}
+
+// Scale multiplies every element of t by a, in place, and returns t.
+func (t *Tensor) Scale(a float64) *Tensor {
+	for i := range t.Data {
+		t.Data[i] *= a
+	}
+	return t
+}
+
+// AddScalar adds a to every element of t, in place, and returns t.
+func (t *Tensor) AddScalar(a float64) *Tensor {
+	for i := range t.Data {
+		t.Data[i] += a
+	}
+	return t
+}
+
+// Apply replaces every element x of t with f(x), in place, and returns t.
+func (t *Tensor) Apply(f func(float64) float64) *Tensor {
+	for i, v := range t.Data {
+		t.Data[i] = f(v)
+	}
+	return t
+}
+
+// Sum returns the sum of all elements.
+func (t *Tensor) Sum() float64 {
+	s := 0.0
+	for _, v := range t.Data {
+		s += v
+	}
+	return s
+}
+
+// Mean returns the arithmetic mean of all elements (0 for empty tensors).
+func (t *Tensor) Mean() float64 {
+	if len(t.Data) == 0 {
+		return 0
+	}
+	return t.Sum() / float64(len(t.Data))
+}
+
+// Max returns the maximum element; it panics on an empty tensor.
+func (t *Tensor) Max() float64 {
+	if len(t.Data) == 0 {
+		panic("tensor: Max of empty tensor")
+	}
+	m := t.Data[0]
+	for _, v := range t.Data[1:] {
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+// Min returns the minimum element; it panics on an empty tensor.
+func (t *Tensor) Min() float64 {
+	if len(t.Data) == 0 {
+		panic("tensor: Min of empty tensor")
+	}
+	m := t.Data[0]
+	for _, v := range t.Data[1:] {
+		if v < m {
+			m = v
+		}
+	}
+	return m
+}
+
+// ArgMax returns the flat index of the maximum element (first occurrence);
+// it panics on an empty tensor.
+func (t *Tensor) ArgMax() int {
+	if len(t.Data) == 0 {
+		panic("tensor: ArgMax of empty tensor")
+	}
+	best, bi := t.Data[0], 0
+	for i, v := range t.Data {
+		if v > best {
+			best, bi = v, i
+		}
+	}
+	return bi
+}
+
+// Dot returns the inner product of two tensors viewed as flat vectors.
+func Dot(a, b *Tensor) float64 {
+	if len(a.Data) != len(b.Data) {
+		panic(fmt.Sprintf("tensor: Dot length mismatch %d vs %d", len(a.Data), len(b.Data)))
+	}
+	s := 0.0
+	for i, v := range a.Data {
+		s += v * b.Data[i]
+	}
+	return s
+}
+
+// Norm2 returns the Euclidean norm of t viewed as a flat vector.
+func (t *Tensor) Norm2() float64 {
+	s := 0.0
+	for _, v := range t.Data {
+		s += v * v
+	}
+	return math.Sqrt(s)
+}
+
+// MatMul returns the matrix product a×b for rank-2 tensors
+// a[M,K] and b[K,N]. The inner loops are ordered i-k-j so the innermost
+// loop walks both b and the output row contiguously, which matters on
+// the single-core hosts this library targets.
+func MatMul(a, b *Tensor) *Tensor {
+	if a.Rank() != 2 || b.Rank() != 2 {
+		panic(fmt.Sprintf("tensor: MatMul requires rank-2 operands, got %v × %v", a.Shape, b.Shape))
+	}
+	m, k := a.Shape[0], a.Shape[1]
+	k2, n := b.Shape[0], b.Shape[1]
+	if k != k2 {
+		panic(fmt.Sprintf("tensor: MatMul inner dimension mismatch %v × %v", a.Shape, b.Shape))
+	}
+	out := New(m, n)
+	for i := 0; i < m; i++ {
+		arow := a.Data[i*k : (i+1)*k]
+		orow := out.Data[i*n : (i+1)*n]
+		for p := 0; p < k; p++ {
+			av := arow[p]
+			if av == 0 {
+				continue
+			}
+			brow := b.Data[p*n : (p+1)*n]
+			for j, bv := range brow {
+				orow[j] += av * bv
+			}
+		}
+	}
+	return out
+}
+
+// MatMulInto is MatMul writing into a preallocated out tensor of shape
+// [M,N]; out is zeroed first. It avoids per-call allocation in training
+// loops.
+func MatMulInto(a, b, out *Tensor) {
+	m, k := a.Shape[0], a.Shape[1]
+	n := b.Shape[1]
+	if b.Shape[0] != k || out.Shape[0] != m || out.Shape[1] != n {
+		panic(fmt.Sprintf("tensor: MatMulInto shape mismatch %v × %v -> %v", a.Shape, b.Shape, out.Shape))
+	}
+	out.Zero()
+	for i := 0; i < m; i++ {
+		arow := a.Data[i*k : (i+1)*k]
+		orow := out.Data[i*n : (i+1)*n]
+		for p := 0; p < k; p++ {
+			av := arow[p]
+			if av == 0 {
+				continue
+			}
+			brow := b.Data[p*n : (p+1)*n]
+			for j, bv := range brow {
+				orow[j] += av * bv
+			}
+		}
+	}
+}
+
+// Transpose2D returns the transpose of a rank-2 tensor.
+func Transpose2D(a *Tensor) *Tensor {
+	if a.Rank() != 2 {
+		panic(fmt.Sprintf("tensor: Transpose2D requires rank 2, got %v", a.Shape))
+	}
+	m, n := a.Shape[0], a.Shape[1]
+	out := New(n, m)
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			out.Data[j*m+i] = a.Data[i*n+j]
+		}
+	}
+	return out
+}
+
+// MatVec returns a×x for a[M,K] and x viewed as a length-K vector.
+func MatVec(a, x *Tensor) *Tensor {
+	if a.Rank() != 2 {
+		panic(fmt.Sprintf("tensor: MatVec requires rank-2 matrix, got %v", a.Shape))
+	}
+	m, k := a.Shape[0], a.Shape[1]
+	if len(x.Data) != k {
+		panic(fmt.Sprintf("tensor: MatVec length mismatch %v × %d", a.Shape, len(x.Data)))
+	}
+	out := New(m)
+	for i := 0; i < m; i++ {
+		row := a.Data[i*k : (i+1)*k]
+		s := 0.0
+		for j, v := range row {
+			s += v * x.Data[j]
+		}
+		out.Data[i] = s
+	}
+	return out
+}
+
+func mustSameShape(op string, a, b *Tensor) {
+	if !a.SameShape(b) {
+		panic(fmt.Sprintf("tensor: %s shape mismatch %v vs %v", op, a.Shape, b.Shape))
+	}
+}

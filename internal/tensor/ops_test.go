@@ -1,0 +1,208 @@
+package tensor
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestAddSubMul(t *testing.T) {
+	a := FromSlice([]float64{1, 2, 3}, 3)
+	b := FromSlice([]float64{4, 5, 6}, 3)
+	if got := Add(a, b); !got.Equal(FromSlice([]float64{5, 7, 9}, 3)) {
+		t.Fatalf("Add = %v", got)
+	}
+	if got := Sub(b, a); !got.Equal(FromSlice([]float64{3, 3, 3}, 3)) {
+		t.Fatalf("Sub = %v", got)
+	}
+	if got := Mul(a, b); !got.Equal(FromSlice([]float64{4, 10, 18}, 3)) {
+		t.Fatalf("Mul = %v", got)
+	}
+	// operands must be unchanged
+	if a.Data[0] != 1 || b.Data[0] != 4 {
+		t.Fatal("binary ops must not mutate operands")
+	}
+}
+
+func TestShapeMismatchPanics(t *testing.T) {
+	defer expectPanic(t, "shape mismatch")
+	Add(New(2), New(3))
+}
+
+func TestAddInPlaceAXPY(t *testing.T) {
+	a := FromSlice([]float64{1, 2}, 2)
+	AddInPlace(a, FromSlice([]float64{10, 20}, 2))
+	if !a.Equal(FromSlice([]float64{11, 22}, 2)) {
+		t.Fatalf("AddInPlace = %v", a)
+	}
+	AXPY(0.5, FromSlice([]float64{2, 4}, 2), a)
+	if !a.Equal(FromSlice([]float64{12, 24}, 2)) {
+		t.Fatalf("AXPY = %v", a)
+	}
+}
+
+func TestScaleAddScalarApply(t *testing.T) {
+	a := FromSlice([]float64{1, -2}, 2)
+	a.Scale(2).AddScalar(1)
+	if !a.Equal(FromSlice([]float64{3, -3}, 2)) {
+		t.Fatalf("Scale/AddScalar = %v", a)
+	}
+	a.Apply(math.Abs)
+	if !a.Equal(FromSlice([]float64{3, 3}, 2)) {
+		t.Fatalf("Apply = %v", a)
+	}
+}
+
+func TestReductions(t *testing.T) {
+	a := FromSlice([]float64{3, -1, 4, 1}, 4)
+	if a.Sum() != 7 {
+		t.Fatalf("Sum = %v", a.Sum())
+	}
+	if a.Mean() != 1.75 {
+		t.Fatalf("Mean = %v", a.Mean())
+	}
+	if a.Max() != 4 || a.Min() != -1 {
+		t.Fatalf("Max/Min = %v/%v", a.Max(), a.Min())
+	}
+	if a.ArgMax() != 2 {
+		t.Fatalf("ArgMax = %d", a.ArgMax())
+	}
+	empty := New(0)
+	if empty.Mean() != 0 {
+		t.Fatal("Mean of empty should be 0")
+	}
+}
+
+func TestArgMaxFirstOccurrence(t *testing.T) {
+	a := FromSlice([]float64{5, 5, 5}, 3)
+	if a.ArgMax() != 0 {
+		t.Fatalf("ArgMax ties should return first index, got %d", a.ArgMax())
+	}
+}
+
+func TestEmptyReductionsPanic(t *testing.T) {
+	for name, f := range map[string]func(){
+		"Max":    func() { New(0).Max() },
+		"Min":    func() { New(0).Min() },
+		"ArgMax": func() { New(0).ArgMax() },
+	} {
+		func() {
+			defer expectPanic(t, name)
+			f()
+		}()
+	}
+}
+
+func TestDotAndNorm(t *testing.T) {
+	a := FromSlice([]float64{1, 2, 3}, 3)
+	b := FromSlice([]float64{4, 5, 6}, 3)
+	if Dot(a, b) != 32 {
+		t.Fatalf("Dot = %v", Dot(a, b))
+	}
+	if !almostEqual(a.Norm2(), math.Sqrt(14), 1e-12) {
+		t.Fatalf("Norm2 = %v", a.Norm2())
+	}
+}
+
+func TestMatMulKnown(t *testing.T) {
+	a := FromSlice([]float64{1, 2, 3, 4, 5, 6}, 2, 3)
+	b := FromSlice([]float64{7, 8, 9, 10, 11, 12}, 3, 2)
+	got := MatMul(a, b)
+	want := FromSlice([]float64{58, 64, 139, 154}, 2, 2)
+	if !got.Equal(want) {
+		t.Fatalf("MatMul = %v, want %v", got, want)
+	}
+}
+
+func TestMatMulIdentity(t *testing.T) {
+	rng := NewRNG(1)
+	a := New(5, 5)
+	rng.FillNormal(a, 0, 1)
+	eye := New(5, 5)
+	for i := 0; i < 5; i++ {
+		eye.Data[i*5+i] = 1
+	}
+	if !MatMul(a, eye).AllClose(a, 1e-12) {
+		t.Fatal("A×I != A")
+	}
+	if !MatMul(eye, a).AllClose(a, 1e-12) {
+		t.Fatal("I×A != A")
+	}
+}
+
+func TestMatMulIntoMatchesMatMul(t *testing.T) {
+	rng := NewRNG(2)
+	a, b := New(4, 7), New(7, 3)
+	rng.FillNormal(a, 0, 1)
+	rng.FillNormal(b, 0, 1)
+	out := New(4, 3)
+	out.Fill(99) // must be overwritten, not accumulated
+	MatMulInto(a, b, out)
+	if !out.AllClose(MatMul(a, b), 1e-12) {
+		t.Fatal("MatMulInto differs from MatMul")
+	}
+}
+
+func TestMatMulShapePanics(t *testing.T) {
+	defer expectPanic(t, "inner dim mismatch")
+	MatMul(New(2, 3), New(4, 2))
+}
+
+func TestTranspose2D(t *testing.T) {
+	a := FromSlice([]float64{1, 2, 3, 4, 5, 6}, 2, 3)
+	at := Transpose2D(a)
+	if at.Shape[0] != 3 || at.Shape[1] != 2 {
+		t.Fatalf("Transpose shape = %v", at.Shape)
+	}
+	if at.At(2, 1) != 6 || at.At(0, 1) != 4 {
+		t.Fatalf("Transpose values wrong: %v", at)
+	}
+	if !Transpose2D(at).Equal(a) {
+		t.Fatal("double transpose != original")
+	}
+}
+
+func TestMatVec(t *testing.T) {
+	a := FromSlice([]float64{1, 2, 3, 4}, 2, 2)
+	x := FromSlice([]float64{5, 6}, 2)
+	got := MatVec(a, x)
+	if !got.Equal(FromSlice([]float64{17, 39}, 2)) {
+		t.Fatalf("MatVec = %v", got)
+	}
+}
+
+// Property: (A·B)ᵀ = Bᵀ·Aᵀ for random matrices.
+func TestMatMulTransposeProperty(t *testing.T) {
+	rng := NewRNG(3)
+	f := func(seed uint64) bool {
+		r := NewRNG(seed)
+		m, k, n := 1+r.Intn(6), 1+r.Intn(6), 1+r.Intn(6)
+		a, b := New(m, k), New(k, n)
+		rng.FillNormal(a, 0, 1)
+		rng.FillNormal(b, 0, 1)
+		lhs := Transpose2D(MatMul(a, b))
+		rhs := MatMul(Transpose2D(b), Transpose2D(a))
+		return lhs.AllClose(rhs, 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: matmul distributes over addition: A(B+C) = AB + AC.
+func TestMatMulDistributiveProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := NewRNG(seed)
+		m, k, n := 1+r.Intn(5), 1+r.Intn(5), 1+r.Intn(5)
+		a, b, c := New(m, k), New(k, n), New(k, n)
+		r.FillNormal(a, 0, 1)
+		r.FillNormal(b, 0, 1)
+		r.FillNormal(c, 0, 1)
+		lhs := MatMul(a, Add(b, c))
+		rhs := Add(MatMul(a, b), MatMul(a, c))
+		return lhs.AllClose(rhs, 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

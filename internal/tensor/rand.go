@@ -1,0 +1,111 @@
+package tensor
+
+import "math"
+
+// RNG is a small deterministic pseudo-random generator (splitmix64).
+// Every source of randomness in this repository flows through an
+// explicitly seeded RNG so that experiments are reproducible run to run.
+type RNG struct {
+	state uint64
+	// cached second normal from Box-Muller
+	hasGauss bool
+	gauss    float64
+}
+
+// NewRNG returns a generator seeded with seed.
+func NewRNG(seed uint64) *RNG { return &RNG{state: seed} }
+
+// Uint64 returns the next 64 random bits (splitmix64 step).
+func (r *RNG) Uint64() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Float64 returns a uniform value in [0, 1).
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Intn returns a uniform value in [0, n). It panics if n <= 0.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("tensor: Intn with non-positive n")
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// Range returns a uniform value in [lo, hi).
+func (r *RNG) Range(lo, hi float64) float64 {
+	return lo + (hi-lo)*r.Float64()
+}
+
+// Norm returns a standard normal sample (Box-Muller).
+func (r *RNG) Norm() float64 {
+	if r.hasGauss {
+		r.hasGauss = false
+		return r.gauss
+	}
+	var u, v, s float64
+	for {
+		u = 2*r.Float64() - 1
+		v = 2*r.Float64() - 1
+		s = u*u + v*v
+		if s > 0 && s < 1 {
+			break
+		}
+	}
+	f := math.Sqrt(-2 * math.Log(s) / s)
+	r.gauss = v * f
+	r.hasGauss = true
+	return u * f
+}
+
+// Perm returns a random permutation of [0, n).
+func (r *RNG) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		p[i], p[j] = p[j], p[i]
+	}
+	return p
+}
+
+// Split derives an independent generator from r; the derived stream is
+// decorrelated by mixing a fresh draw with a fixed odd constant.
+func (r *RNG) Split() *RNG {
+	return NewRNG(r.Uint64()*0x2545f4914f6cdd1d + 0x9e3779b97f4a7c15)
+}
+
+// FillNormal fills t with normal samples of the given mean and standard
+// deviation.
+func (r *RNG) FillNormal(t *Tensor, mean, std float64) {
+	for i := range t.Data {
+		t.Data[i] = mean + std*r.Norm()
+	}
+}
+
+// FillUniform fills t with uniform samples in [lo, hi).
+func (r *RNG) FillUniform(t *Tensor, lo, hi float64) {
+	for i := range t.Data {
+		t.Data[i] = r.Range(lo, hi)
+	}
+}
+
+// HeInit fills t with He-normal initialization for a layer with the
+// given fan-in, the standard initialization for ReLU networks.
+func (r *RNG) HeInit(t *Tensor, fanIn int) {
+	std := math.Sqrt(2 / float64(fanIn))
+	r.FillNormal(t, 0, std)
+}
+
+// XavierInit fills t with Glorot-uniform initialization.
+func (r *RNG) XavierInit(t *Tensor, fanIn, fanOut int) {
+	lim := math.Sqrt(6 / float64(fanIn+fanOut))
+	r.FillUniform(t, -lim, lim)
+}

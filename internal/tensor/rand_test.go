@@ -1,0 +1,130 @@
+package tensor
+
+import (
+	"math"
+	"testing"
+)
+
+func TestRNGDeterminism(t *testing.T) {
+	a, b := NewRNG(42), NewRNG(42)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same seed must produce identical streams")
+		}
+	}
+	c := NewRNG(43)
+	same := true
+	a2 := NewRNG(42)
+	for i := 0; i < 10; i++ {
+		if a2.Uint64() != c.Uint64() {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical streams")
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := NewRNG(7)
+	for i := 0; i < 1000; i++ {
+		v := r.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64 = %v out of [0,1)", v)
+		}
+	}
+}
+
+func TestIntnBoundsAndPanic(t *testing.T) {
+	r := NewRNG(8)
+	seen := map[int]bool{}
+	for i := 0; i < 1000; i++ {
+		v := r.Intn(5)
+		if v < 0 || v >= 5 {
+			t.Fatalf("Intn(5) = %d", v)
+		}
+		seen[v] = true
+	}
+	if len(seen) != 5 {
+		t.Fatalf("Intn(5) over 1000 draws hit only %d values", len(seen))
+	}
+	defer expectPanic(t, "Intn(0)")
+	r.Intn(0)
+}
+
+func TestNormMoments(t *testing.T) {
+	r := NewRNG(9)
+	n := 20000
+	sum, sumSq := 0.0, 0.0
+	for i := 0; i < n; i++ {
+		v := r.Norm()
+		sum += v
+		sumSq += v * v
+	}
+	mean := sum / float64(n)
+	variance := sumSq/float64(n) - mean*mean
+	if math.Abs(mean) > 0.05 {
+		t.Fatalf("Norm mean = %v, want ~0", mean)
+	}
+	if math.Abs(variance-1) > 0.1 {
+		t.Fatalf("Norm variance = %v, want ~1", variance)
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	r := NewRNG(10)
+	p := r.Perm(50)
+	seen := make([]bool, 50)
+	for _, v := range p {
+		if v < 0 || v >= 50 || seen[v] {
+			t.Fatalf("Perm not a permutation: %v", p)
+		}
+		seen[v] = true
+	}
+}
+
+func TestSplitIndependence(t *testing.T) {
+	r := NewRNG(11)
+	s := r.Split()
+	// Parent continues after split without disturbing child determinism.
+	r2 := NewRNG(11)
+	s2 := r2.Split()
+	for i := 0; i < 20; i++ {
+		if s.Uint64() != s2.Uint64() {
+			t.Fatal("Split streams not deterministic")
+		}
+	}
+}
+
+func TestHeInitScale(t *testing.T) {
+	r := NewRNG(12)
+	w := New(10000)
+	fanIn := 128
+	r.HeInit(w, fanIn)
+	wantStd := math.Sqrt(2 / float64(fanIn))
+	if math.Abs(w.Std()-wantStd)/wantStd > 0.1 {
+		t.Fatalf("He init std = %v, want ~%v", w.Std(), wantStd)
+	}
+}
+
+func TestXavierInitBounds(t *testing.T) {
+	r := NewRNG(13)
+	w := New(1000)
+	r.XavierInit(w, 100, 100)
+	lim := math.Sqrt(6.0 / 200.0)
+	if w.Max() > lim || w.Min() < -lim {
+		t.Fatalf("Xavier out of bounds: [%v,%v] limit %v", w.Min(), w.Max(), lim)
+	}
+}
+
+func TestFillUniform(t *testing.T) {
+	r := NewRNG(14)
+	w := New(1000)
+	r.FillUniform(w, -2, 3)
+	if w.Min() < -2 || w.Max() >= 3 {
+		t.Fatalf("uniform fill out of range: [%v,%v]", w.Min(), w.Max())
+	}
+	if math.Abs(w.Mean()-0.5) > 0.3 {
+		t.Fatalf("uniform mean = %v, want ~0.5", w.Mean())
+	}
+}

@@ -1,0 +1,92 @@
+package tensor
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Variance returns the population variance of all elements (0 for
+// tensors with fewer than one element).
+func (t *Tensor) Variance() float64 {
+	n := len(t.Data)
+	if n == 0 {
+		return 0
+	}
+	m := t.Mean()
+	s := 0.0
+	for _, v := range t.Data {
+		d := v - m
+		s += d * d
+	}
+	return s / float64(n)
+}
+
+// Std returns the population standard deviation of all elements.
+func (t *Tensor) Std() float64 { return math.Sqrt(t.Variance()) }
+
+// Percentile returns the p-th percentile (p in [0,100]) of the values,
+// using linear interpolation between order statistics. It is the
+// primitive behind data-based activation normalization, where the 99.9th
+// percentile of observed activations is the robust layer maximum.
+func Percentile(values []float64, p float64) float64 {
+	if len(values) == 0 {
+		panic("tensor: Percentile of empty slice")
+	}
+	if p < 0 || p > 100 {
+		panic(fmt.Sprintf("tensor: Percentile p=%v out of [0,100]", p))
+	}
+	s := append([]float64(nil), values...)
+	sort.Float64s(s)
+	if len(s) == 1 {
+		return s[0]
+	}
+	rank := p / 100 * float64(len(s)-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return s[lo]
+	}
+	frac := rank - float64(lo)
+	return s[lo]*(1-frac) + s[hi]*frac
+}
+
+// Histogram counts values into nbins equal-width bins over [lo, hi].
+// Values outside the range are clamped into the first/last bin. It
+// returns the bin counts and the bin edges (nbins+1 values).
+func Histogram(values []float64, lo, hi float64, nbins int) (counts []int, edges []float64) {
+	if nbins <= 0 {
+		panic("tensor: Histogram with non-positive bin count")
+	}
+	if hi <= lo {
+		panic(fmt.Sprintf("tensor: Histogram with empty range [%v,%v]", lo, hi))
+	}
+	counts = make([]int, nbins)
+	edges = make([]float64, nbins+1)
+	w := (hi - lo) / float64(nbins)
+	for i := range edges {
+		edges[i] = lo + float64(i)*w
+	}
+	for _, v := range values {
+		b := int((v - lo) / w)
+		if b < 0 {
+			b = 0
+		}
+		if b >= nbins {
+			b = nbins - 1
+		}
+		counts[b]++
+	}
+	return counts, edges
+}
+
+// Clamp limits v to [lo, hi].
+func Clamp(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}

@@ -1,0 +1,122 @@
+package tensor
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestVarianceStd(t *testing.T) {
+	a := FromSlice([]float64{2, 4, 4, 4, 5, 5, 7, 9}, 8)
+	if !almostEqual(a.Variance(), 4, 1e-12) {
+		t.Fatalf("Variance = %v, want 4", a.Variance())
+	}
+	if !almostEqual(a.Std(), 2, 1e-12) {
+		t.Fatalf("Std = %v, want 2", a.Std())
+	}
+	if New(0).Variance() != 0 {
+		t.Fatal("Variance of empty should be 0")
+	}
+}
+
+func TestPercentileEndpoints(t *testing.T) {
+	v := []float64{5, 1, 3, 2, 4}
+	if Percentile(v, 0) != 1 {
+		t.Fatalf("p0 = %v", Percentile(v, 0))
+	}
+	if Percentile(v, 100) != 5 {
+		t.Fatalf("p100 = %v", Percentile(v, 100))
+	}
+	if Percentile(v, 50) != 3 {
+		t.Fatalf("p50 = %v", Percentile(v, 50))
+	}
+}
+
+func TestPercentileInterpolation(t *testing.T) {
+	v := []float64{0, 10}
+	if got := Percentile(v, 25); !almostEqual(got, 2.5, 1e-12) {
+		t.Fatalf("p25 = %v, want 2.5", got)
+	}
+}
+
+func TestPercentileDoesNotMutate(t *testing.T) {
+	v := []float64{3, 1, 2}
+	Percentile(v, 50)
+	if v[0] != 3 || v[1] != 1 || v[2] != 2 {
+		t.Fatalf("Percentile mutated input: %v", v)
+	}
+}
+
+func TestPercentilePanics(t *testing.T) {
+	func() {
+		defer expectPanic(t, "empty")
+		Percentile(nil, 50)
+	}()
+	func() {
+		defer expectPanic(t, "out of range")
+		Percentile([]float64{1}, 101)
+	}()
+}
+
+// Property: percentile is monotone in p and bounded by min/max.
+func TestPercentileMonotoneProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := NewRNG(seed)
+		n := 1 + r.Intn(50)
+		v := make([]float64, n)
+		for i := range v {
+			v[i] = r.Norm()
+		}
+		sorted := append([]float64(nil), v...)
+		sort.Float64s(sorted)
+		prev := sorted[0]
+		for p := 0.0; p <= 100; p += 10 {
+			q := Percentile(v, p)
+			if q < prev-1e-12 || q < sorted[0]-1e-12 || q > sorted[n-1]+1e-12 {
+				return false
+			}
+			prev = q
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHistogramCountsAndEdges(t *testing.T) {
+	vals := []float64{0.1, 0.1, 0.5, 0.9, 1.5, -0.5}
+	counts, edges := Histogram(vals, 0, 1, 2)
+	// Bins are half-open [edge, next): 0.5 lands in bin 1; -0.5 clamps
+	// into bin 0 and 1.5 clamps into bin 1.
+	if counts[0] != 3 || counts[1] != 3 {
+		t.Fatalf("counts = %v, want [3 3]", counts)
+	}
+	if len(edges) != 3 || edges[0] != 0 || edges[2] != 1 {
+		t.Fatalf("edges = %v", edges)
+	}
+	total := 0
+	for _, c := range counts {
+		total += c
+	}
+	if total != len(vals) {
+		t.Fatalf("histogram loses values: %d != %d", total, len(vals))
+	}
+}
+
+func TestHistogramPanics(t *testing.T) {
+	func() {
+		defer expectPanic(t, "zero bins")
+		Histogram(nil, 0, 1, 0)
+	}()
+	func() {
+		defer expectPanic(t, "empty range")
+		Histogram(nil, 1, 1, 4)
+	}()
+}
+
+func TestClamp(t *testing.T) {
+	if Clamp(5, 0, 1) != 1 || Clamp(-5, 0, 1) != 0 || Clamp(0.5, 0, 1) != 0.5 {
+		t.Fatal("Clamp wrong")
+	}
+}

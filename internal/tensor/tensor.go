@@ -1,0 +1,197 @@
+// Package tensor provides the dense float64 tensor type and the linear
+// algebra, convolution-lowering, statistics, and deterministic random
+// number primitives that every other subsystem in this repository is
+// built on. It is deliberately small, allocation-conscious, and has no
+// dependencies outside the standard library.
+package tensor
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Tensor is a dense, row-major float64 tensor. The zero value is an
+// empty tensor; use New or the constructors below to build usable ones.
+// Data is exposed so hot loops (conv lowering, SNN stepping) can index
+// directly without accessor overhead.
+type Tensor struct {
+	Shape []int
+	Data  []float64
+}
+
+// New returns a zero-filled tensor with the given shape. It panics on
+// negative dimensions.
+func New(shape ...int) *Tensor {
+	n := 1
+	for _, d := range shape {
+		if d < 0 {
+			panic(fmt.Sprintf("tensor: negative dimension %d in shape %v", d, shape))
+		}
+		n *= d
+	}
+	return &Tensor{Shape: append([]int(nil), shape...), Data: make([]float64, n)}
+}
+
+// FromSlice wraps data in a tensor of the given shape. The slice is used
+// directly (not copied); it panics if len(data) does not match the shape.
+func FromSlice(data []float64, shape ...int) *Tensor {
+	n := 1
+	for _, d := range shape {
+		n *= d
+	}
+	if n != len(data) {
+		panic(fmt.Sprintf("tensor: data length %d does not match shape %v (want %d)", len(data), shape, n))
+	}
+	return &Tensor{Shape: append([]int(nil), shape...), Data: data}
+}
+
+// Full returns a tensor of the given shape with every element set to v.
+func Full(v float64, shape ...int) *Tensor {
+	t := New(shape...)
+	for i := range t.Data {
+		t.Data[i] = v
+	}
+	return t
+}
+
+// Ones returns a tensor of the given shape filled with 1.
+func Ones(shape ...int) *Tensor { return Full(1, shape...) }
+
+// Len returns the total number of elements.
+func (t *Tensor) Len() int { return len(t.Data) }
+
+// Rank returns the number of dimensions.
+func (t *Tensor) Rank() int { return len(t.Shape) }
+
+// Size returns the extent of dimension i.
+func (t *Tensor) Size(i int) int { return t.Shape[i] }
+
+// SameShape reports whether t and o have identical shapes.
+func (t *Tensor) SameShape(o *Tensor) bool {
+	if len(t.Shape) != len(o.Shape) {
+		return false
+	}
+	for i, d := range t.Shape {
+		if o.Shape[i] != d {
+			return false
+		}
+	}
+	return true
+}
+
+// offset computes the flat index for the given multi-dimensional index.
+func (t *Tensor) offset(idx ...int) int {
+	if len(idx) != len(t.Shape) {
+		panic(fmt.Sprintf("tensor: index rank %d does not match shape %v", len(idx), t.Shape))
+	}
+	off := 0
+	for i, x := range idx {
+		if x < 0 || x >= t.Shape[i] {
+			panic(fmt.Sprintf("tensor: index %v out of range for shape %v", idx, t.Shape))
+		}
+		off = off*t.Shape[i] + x
+	}
+	return off
+}
+
+// At returns the element at the given multi-dimensional index.
+func (t *Tensor) At(idx ...int) float64 { return t.Data[t.offset(idx...)] }
+
+// Set stores v at the given multi-dimensional index.
+func (t *Tensor) Set(v float64, idx ...int) { t.Data[t.offset(idx...)] = v }
+
+// Clone returns a deep copy of t.
+func (t *Tensor) Clone() *Tensor {
+	c := &Tensor{Shape: append([]int(nil), t.Shape...), Data: make([]float64, len(t.Data))}
+	copy(c.Data, t.Data)
+	return c
+}
+
+// Reshape returns a view of t with a new shape sharing the same data.
+// One dimension may be -1, in which case it is inferred. It panics if
+// the element counts do not match.
+func (t *Tensor) Reshape(shape ...int) *Tensor {
+	shape = append([]int(nil), shape...)
+	n, infer := 1, -1
+	for i, d := range shape {
+		if d == -1 {
+			if infer >= 0 {
+				panic("tensor: more than one -1 in Reshape")
+			}
+			infer = i
+			continue
+		}
+		n *= d
+	}
+	if infer >= 0 {
+		if n == 0 || len(t.Data)%n != 0 {
+			panic(fmt.Sprintf("tensor: cannot infer dimension reshaping %v to %v", t.Shape, shape))
+		}
+		shape[infer] = len(t.Data) / n
+		n *= shape[infer]
+	}
+	if n != len(t.Data) {
+		panic(fmt.Sprintf("tensor: cannot reshape %v to %v", t.Shape, shape))
+	}
+	return &Tensor{Shape: shape, Data: t.Data}
+}
+
+// Fill sets every element of t to v.
+func (t *Tensor) Fill(v float64) {
+	for i := range t.Data {
+		t.Data[i] = v
+	}
+}
+
+// Zero sets every element of t to 0.
+func (t *Tensor) Zero() { t.Fill(0) }
+
+// Equal reports whether t and o have the same shape and identical data.
+func (t *Tensor) Equal(o *Tensor) bool {
+	if !t.SameShape(o) {
+		return false
+	}
+	for i, v := range t.Data {
+		if v != o.Data[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// AllClose reports whether t and o have the same shape and element-wise
+// absolute differences no greater than tol.
+func (t *Tensor) AllClose(o *Tensor, tol float64) bool {
+	if !t.SameShape(o) {
+		return false
+	}
+	for i, v := range t.Data {
+		if math.Abs(v-o.Data[i]) > tol {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders a compact description with shape and a preview of the
+// first few elements; it is meant for debugging, not serialization.
+func (t *Tensor) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Tensor%v[", t.Shape)
+	n := len(t.Data)
+	if n > 8 {
+		n = 8
+	}
+	for i := 0; i < n; i++ {
+		if i > 0 {
+			b.WriteString(" ")
+		}
+		fmt.Fprintf(&b, "%.4g", t.Data[i])
+	}
+	if len(t.Data) > 8 {
+		b.WriteString(" ...")
+	}
+	b.WriteString("]")
+	return b.String()
+}

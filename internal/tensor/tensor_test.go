@@ -1,0 +1,159 @@
+package tensor
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewZeroFilled(t *testing.T) {
+	x := New(2, 3, 4)
+	if x.Len() != 24 {
+		t.Fatalf("Len = %d, want 24", x.Len())
+	}
+	for i, v := range x.Data {
+		if v != 0 {
+			t.Fatalf("Data[%d] = %v, want 0", i, v)
+		}
+	}
+	if x.Rank() != 3 || x.Size(1) != 3 {
+		t.Fatalf("Rank/Size wrong: rank=%d size(1)=%d", x.Rank(), x.Size(1))
+	}
+}
+
+func TestNewNegativeDimPanics(t *testing.T) {
+	defer expectPanic(t, "negative dimension")
+	New(2, -1)
+}
+
+func TestFromSliceAndAt(t *testing.T) {
+	x := FromSlice([]float64{1, 2, 3, 4, 5, 6}, 2, 3)
+	if got := x.At(1, 2); got != 6 {
+		t.Fatalf("At(1,2) = %v, want 6", got)
+	}
+	x.Set(42, 0, 1)
+	if got := x.At(0, 1); got != 42 {
+		t.Fatalf("Set/At = %v, want 42", got)
+	}
+}
+
+func TestFromSliceLengthMismatchPanics(t *testing.T) {
+	defer expectPanic(t, "length mismatch")
+	FromSlice([]float64{1, 2, 3}, 2, 2)
+}
+
+func TestAtOutOfRangePanics(t *testing.T) {
+	x := New(2, 2)
+	defer expectPanic(t, "out of range")
+	x.At(2, 0)
+}
+
+func TestAtWrongRankPanics(t *testing.T) {
+	x := New(2, 2)
+	defer expectPanic(t, "rank mismatch")
+	x.At(1)
+}
+
+func TestCloneIndependence(t *testing.T) {
+	x := FromSlice([]float64{1, 2}, 2)
+	y := x.Clone()
+	y.Data[0] = 99
+	if x.Data[0] != 1 {
+		t.Fatal("Clone shares data with original")
+	}
+	if !x.SameShape(y) {
+		t.Fatal("Clone changed shape")
+	}
+}
+
+func TestReshapeView(t *testing.T) {
+	x := FromSlice([]float64{1, 2, 3, 4, 5, 6}, 2, 3)
+	y := x.Reshape(3, 2)
+	if y.At(2, 1) != 6 {
+		t.Fatalf("Reshape At(2,1) = %v, want 6", y.At(2, 1))
+	}
+	y.Data[0] = 10
+	if x.Data[0] != 10 {
+		t.Fatal("Reshape must share data")
+	}
+}
+
+func TestReshapeInfer(t *testing.T) {
+	x := New(4, 6)
+	y := x.Reshape(2, -1)
+	if y.Shape[1] != 12 {
+		t.Fatalf("inferred dim = %d, want 12", y.Shape[1])
+	}
+}
+
+func TestReshapeBadCountPanics(t *testing.T) {
+	x := New(4)
+	defer expectPanic(t, "bad reshape")
+	x.Reshape(3)
+}
+
+func TestFullOnesFillZero(t *testing.T) {
+	x := Full(2.5, 3)
+	if x.Sum() != 7.5 {
+		t.Fatalf("Full sum = %v, want 7.5", x.Sum())
+	}
+	o := Ones(4)
+	if o.Sum() != 4 {
+		t.Fatalf("Ones sum = %v, want 4", o.Sum())
+	}
+	o.Fill(3)
+	if o.Sum() != 12 {
+		t.Fatalf("Fill sum = %v, want 12", o.Sum())
+	}
+	o.Zero()
+	if o.Sum() != 0 {
+		t.Fatalf("Zero sum = %v, want 0", o.Sum())
+	}
+}
+
+func TestEqualAndAllClose(t *testing.T) {
+	a := FromSlice([]float64{1, 2}, 2)
+	b := FromSlice([]float64{1, 2.0000001}, 2)
+	if a.Equal(b) {
+		t.Fatal("Equal should be exact")
+	}
+	if !a.AllClose(b, 1e-6) {
+		t.Fatal("AllClose should pass within tol")
+	}
+	c := FromSlice([]float64{1, 2}, 1, 2)
+	if a.Equal(c) || a.AllClose(c, 1) {
+		t.Fatal("shape mismatch must not compare equal")
+	}
+}
+
+func TestStringPreview(t *testing.T) {
+	x := New(20)
+	s := x.String()
+	if s == "" {
+		t.Fatal("String should produce non-empty output")
+	}
+}
+
+// Property: Reshape preserves element order for arbitrary data.
+func TestReshapeRoundTripProperty(t *testing.T) {
+	f := func(vals []float64) bool {
+		if len(vals) == 0 {
+			return true
+		}
+		x := FromSlice(append([]float64(nil), vals...), len(vals))
+		y := x.Reshape(1, len(vals)).Reshape(len(vals))
+		return y.Equal(x)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func expectPanic(t *testing.T, what string) {
+	t.Helper()
+	if recover() == nil {
+		t.Fatalf("expected panic: %s", what)
+	}
+}
+
+func almostEqual(a, b, tol float64) bool { return math.Abs(a-b) <= tol }

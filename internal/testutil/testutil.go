@@ -1,0 +1,65 @@
+// Package testutil provides shared, lazily trained fixtures for tests
+// that need a realistic converted network without paying the training
+// cost in every package: a small LeNet on a synthetic 16×16 ten-class
+// task, trained once per process and converted once.
+package testutil
+
+import (
+	"sync"
+
+	"repro/internal/convert"
+	"repro/internal/dnn"
+	"repro/internal/tensor"
+)
+
+// Fixture is a trained and converted network with its data.
+type Fixture struct {
+	DNN    *dnn.Network
+	Conv   *convert.Result
+	X      *tensor.Tensor // [300, 1, 16, 16]
+	Labels []int
+	// DNNAccuracy is the source network's accuracy on X.
+	DNNAccuracy float64
+}
+
+var (
+	once sync.Once
+	fx   *Fixture
+)
+
+// TrainedLeNet16 returns the shared fixture, training it on first use.
+func TrainedLeNet16() *Fixture {
+	once.Do(func() {
+		rng := tensor.NewRNG(21)
+		cfg := dnn.ArchConfig{InC: 1, InH: 16, InW: 16, Classes: 10, FCWidth: 32, BatchNorm: true, Pool: dnn.AvgPool}
+		net := dnn.BuildLeNet(cfg, rng)
+		n := 300
+		x := tensor.New(n, 1, 16, 16)
+		labels := make([]int, n)
+		r := tensor.NewRNG(22)
+		for i := 0; i < n; i++ {
+			cls := i % 10
+			labels[i] = cls
+			cx, cy := 2+(cls%5)*3, 2+(cls/5)*8
+			for dy := 0; dy < 4; dy++ {
+				for dx := 0; dx < 4; dx++ {
+					x.Data[i*256+(cy+dy)*16+cx+dx] = tensor.Clamp(0.8+0.2*r.Norm(), 0, 1)
+				}
+			}
+			for j := 0; j < 256; j++ {
+				x.Data[i*256+j] = tensor.Clamp(x.Data[i*256+j]+0.05*r.Norm(), 0, 1)
+			}
+		}
+		dnn.Train(net, x, labels, dnn.TrainConfig{
+			Epochs: 3, BatchSize: 25, Optimizer: dnn.NewAdam(2e-3, 0), RNG: tensor.NewRNG(23)})
+		res, err := convert.Convert(net, convert.Options{Calibration: x})
+		if err != nil {
+			panic(err)
+		}
+		fx = &Fixture{
+			DNN: net, Conv: res, X: x, Labels: labels,
+			DNNAccuracy: dnn.Evaluate(net, x, labels, 64),
+		}
+	})
+	return fx
+}

@@ -1,0 +1,32 @@
+package trace
+
+import (
+	"repro/internal/core"
+)
+
+// FromResult builds a Trace from a T2FSNN inference run with
+// CollectEvents enabled: boundary 0 becomes group "Input" and boundary
+// i the name of stage i−1, with group sizes taken from the network so
+// silent neurons still appear in rasters and VCD scopes.
+func FromResult(m *core.Model, r core.Result) *Trace {
+	t := &Trace{GroupSizes: map[string]int{}, Horizon: r.Latency}
+	t.GroupSizes["Input"] = m.Net.InLen
+	for i := range m.Net.Stages {
+		if !m.Net.Stages[i].Output {
+			t.GroupSizes[m.Net.Stages[i].Name] = m.Net.Stages[i].OutLen
+		}
+	}
+	for b, events := range r.Events {
+		group := "Input"
+		if b > 0 {
+			group = m.Net.Stages[b-1].Name
+		}
+		for _, e := range events {
+			t.Add(group, e.Neuron, e.Time)
+		}
+	}
+	if r.Latency > t.Horizon {
+		t.Horizon = r.Latency
+	}
+	return t
+}

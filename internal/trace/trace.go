@@ -1,0 +1,244 @@
+// Package trace records spike activity as hardware-style waveforms: a
+// Recorder captures per-neuron spike events from a T2FSNN inference, a
+// Raster renders them as terminal art, and WriteVCD emits an IEEE 1364
+// Value Change Dump viewable in GTKWave — the natural debug format for
+// a DAC-paper spiking accelerator model.
+package trace
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// Event is one spike: neuron Neuron of signal group Group fired at Time.
+type Event struct {
+	Group  string
+	Neuron int
+	Time   int
+}
+
+// Trace is an ordered collection of spike events plus the horizon they
+// were observed over.
+type Trace struct {
+	Events  []Event
+	Horizon int
+	// GroupSizes maps each group to its neuron count (for raster and
+	// VCD scoping); optional, inferred from events when absent.
+	GroupSizes map[string]int
+}
+
+// Add appends an event, growing the horizon as needed.
+func (t *Trace) Add(group string, neuron, time int) {
+	t.Events = append(t.Events, Event{Group: group, Neuron: neuron, Time: time})
+	if time >= t.Horizon {
+		t.Horizon = time + 1
+	}
+}
+
+// Groups returns the group names in deterministic order.
+func (t *Trace) Groups() []string {
+	seen := map[string]bool{}
+	for _, e := range t.Events {
+		seen[e.Group] = true
+	}
+	for g := range t.GroupSizes {
+		seen[g] = true
+	}
+	var out []string
+	for g := range seen {
+		out = append(out, g)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// size returns the neuron count of a group.
+func (t *Trace) size(group string) int {
+	if n, ok := t.GroupSizes[group]; ok {
+		return n
+	}
+	maxIdx := -1
+	for _, e := range t.Events {
+		if e.Group == group && e.Neuron > maxIdx {
+			maxIdx = e.Neuron
+		}
+	}
+	return maxIdx + 1
+}
+
+// Count returns the number of events in a group.
+func (t *Trace) Count(group string) int {
+	n := 0
+	for _, e := range t.Events {
+		if e.Group == group {
+			n++
+		}
+	}
+	return n
+}
+
+// Raster renders one group as a neuron×time spike raster (rows =
+// neurons, columns = time bins). Large groups subsample rows; time is
+// binned to fit width columns.
+func (t *Trace) Raster(group string, maxRows, width int) string {
+	n := t.size(group)
+	if n == 0 || t.Horizon == 0 {
+		return fmt.Sprintf("%s: no spikes\n", group)
+	}
+	if maxRows <= 0 {
+		maxRows = 40
+	}
+	if width <= 0 {
+		width = 80
+	}
+	rows := n
+	rowStep := 1
+	if rows > maxRows {
+		rowStep = (n + maxRows - 1) / maxRows
+		rows = (n + rowStep - 1) / rowStep
+	}
+	colStep := 1
+	cols := t.Horizon
+	if cols > width {
+		colStep = (t.Horizon + width - 1) / width
+		cols = (t.Horizon + colStep - 1) / colStep
+	}
+	grid := make([][]bool, rows)
+	for i := range grid {
+		grid[i] = make([]bool, cols)
+	}
+	for _, e := range t.Events {
+		if e.Group != group {
+			continue
+		}
+		r, c := e.Neuron/rowStep, e.Time/colStep
+		if r < rows && c < cols {
+			grid[r][c] = true
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s: %d neurons × %d steps (%d spikes)\n", group, n, t.Horizon, t.Count(group))
+	for _, row := range grid {
+		for _, v := range row {
+			if v {
+				b.WriteByte('|')
+			} else {
+				b.WriteByte('.')
+			}
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// WriteVCD emits the trace as a Value Change Dump. Each group becomes a
+// scope; each neuron a 1-bit wire that pulses high for one timestep per
+// spike. Groups larger than maxWires per group are truncated (hardware
+// viewers choke on tens of thousands of signals); a summary wire count
+// is chosen per group.
+func (t *Trace) WriteVCD(w io.Writer, timescale string, maxWires int) error {
+	if timescale == "" {
+		timescale = "1us"
+	}
+	if maxWires <= 0 {
+		maxWires = 64
+	}
+	if _, err := fmt.Fprintf(w, "$date\n  t2fsnn trace\n$end\n$timescale %s $end\n", timescale); err != nil {
+		return err
+	}
+	// identifier allocation: VCD id chars from '!' (33) to '~' (126)
+	nextID := 0
+	idFor := func(n int) string {
+		var sb strings.Builder
+		n++
+		for n > 0 {
+			n--
+			sb.WriteByte(byte(33 + n%94))
+			n /= 94
+		}
+		return sb.String()
+	}
+	type wire struct {
+		id     string
+		group  string
+		neuron int
+	}
+	var wires []wire
+	index := map[string]map[int]string{}
+	for _, g := range t.Groups() {
+		if _, err := fmt.Fprintf(w, "$scope module %s $end\n", sanitize(g)); err != nil {
+			return err
+		}
+		index[g] = map[int]string{}
+		count := t.size(g)
+		if count > maxWires {
+			count = maxWires
+		}
+		for i := 0; i < count; i++ {
+			id := idFor(nextID)
+			nextID++
+			wires = append(wires, wire{id: id, group: g, neuron: i})
+			index[g][i] = id
+			if _, err := fmt.Fprintf(w, "$var wire 1 %s n%d $end\n", id, i); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintln(w, "$upscope $end"); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintln(w, "$enddefinitions $end"); err != nil {
+		return err
+	}
+	// initial values
+	if _, err := fmt.Fprintln(w, "#0"); err != nil {
+		return err
+	}
+	for _, wi := range wires {
+		if _, err := fmt.Fprintf(w, "0%s\n", wi.id); err != nil {
+			return err
+		}
+	}
+	// changes: each spike pulses high at its step and low at step+1
+	type change struct {
+		time int
+		val  byte
+		id   string
+	}
+	var changes []change
+	for _, e := range t.Events {
+		id, ok := index[e.Group][e.Neuron]
+		if !ok {
+			continue // truncated wire
+		}
+		changes = append(changes, change{e.Time, '1', id}, change{e.Time + 1, '0', id})
+	}
+	sort.SliceStable(changes, func(i, j int) bool { return changes[i].time < changes[j].time })
+	last := -1
+	for _, c := range changes {
+		if c.time != last {
+			if _, err := fmt.Fprintf(w, "#%d\n", c.time); err != nil {
+				return err
+			}
+			last = c.time
+		}
+		if _, err := fmt.Fprintf(w, "%c%s\n", c.val, c.id); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintf(w, "#%d\n", t.Horizon+1)
+	return err
+}
+
+// sanitize makes a group name a legal VCD module identifier.
+func sanitize(s string) string {
+	return strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '_':
+			return r
+		}
+		return '_'
+	}, s)
+}
