@@ -1,0 +1,25 @@
+# Convenience targets; everything is plain `go` underneath.
+
+GO ?= go
+
+.PHONY: build test check bench faultbench
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# check is the tier-1 verification gate: static analysis plus the full
+# suite under the race detector (Evaluate fans samples across workers).
+# The simulation-heavy experiments package needs more than go test's
+# default 10m deadline under -race.
+check:
+	$(GO) vet ./...
+	$(GO) test -race -timeout 45m ./...
+
+bench:
+	$(GO) test -bench=. -benchmem .
+
+faultbench:
+	$(GO) run ./cmd/faultbench -scale tiny

@@ -1,0 +1,91 @@
+// Command faultbench sweeps fault-injection intensity across coding
+// schemes and reports accuracy-versus-fault-rate curves — the
+// robustness counterpart of the paper's Table II. TTFS encodes each
+// activation in a single spike time, so it is maximally fragile; rate
+// coding spreads the same information over many spikes and degrades
+// gracefully. The sweep is deterministic for a fixed -seed at any
+// worker count.
+//
+// Usage:
+//
+//	faultbench [-scale tiny|small|full] [-dataset mnist|cifar10|cifar100]
+//	           [-schemes ttfs,rate,phase,burst] [-faults drop,jitter,...]
+//	           [-seed N] [-cache DIR] [-quiet] [-out FILE]
+//
+// Fault models: drop (per-spike loss probability), jitter (delivery
+// delay in steps), stuck-silent (dead neuron fraction), threshold-noise
+// (per-step multiplicative threshold sigma), weight-noise (static
+// weight perturbation sigma).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	scaleFlag := flag.String("scale", "tiny", "experiment scale: tiny|small|full")
+	datasetFlag := flag.String("dataset", "mnist", "dataset: mnist|cifar10|cifar100")
+	schemesFlag := flag.String("schemes", "ttfs,rate,phase,burst", "comma-separated coding schemes")
+	faultsFlag := flag.String("faults", "", "comma-separated fault models (default: all)")
+	seedFlag := flag.Uint64("seed", 42, "fault stream seed")
+	workersFlag := flag.Int("workers", -1, "TTFS evaluation workers (-1 = GOMAXPROCS)")
+	cacheFlag := flag.String("cache", "models", "weight cache directory (empty to disable)")
+	quietFlag := flag.Bool("quiet", false, "suppress progress logging")
+	outFlag := flag.String("out", "", "also write the report to FILE")
+	flag.Parse()
+
+	scale, err := experiments.ParseScale(*scaleFlag)
+	if err != nil {
+		fatal(err)
+	}
+	faults, err := experiments.FaultModelsByName(splitList(*faultsFlag))
+	if err != nil {
+		fatal(err)
+	}
+	var log io.Writer = os.Stderr
+	if *quietFlag {
+		log = nil
+	}
+
+	res, err := experiments.Resilience(scale, experiments.ResilienceOptions{
+		Dataset: *datasetFlag,
+		Schemes: splitList(*schemesFlag),
+		Faults:  faults,
+		Seed:    *seedFlag,
+		Workers: *workersFlag,
+	}, *cacheFlag, log)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Println(res.Report)
+	if *outFlag != "" {
+		if err := os.WriteFile(*outFlag, []byte(res.Report), 0o644); err != nil {
+			fatal(fmt.Errorf("writing report: %w", err))
+		}
+		if log != nil {
+			fmt.Fprintf(log, "wrote %s\n", *outFlag)
+		}
+	}
+}
+
+// splitList parses a comma-separated flag, dropping empty items.
+func splitList(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if part = strings.TrimSpace(part); part != "" {
+			out = append(out, part)
+		}
+	}
+	return out
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "faultbench:", err)
+	os.Exit(1)
+}

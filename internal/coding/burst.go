@@ -1,6 +1,9 @@
 package coding
 
-import "repro/internal/snn"
+import (
+	"repro/internal/fault"
+	"repro/internal/snn"
+)
 
 // Burst is burst coding (Park et al., DAC 2019): a neuron that keeps
 // firing on consecutive steps emits burst spikes whose weight grows
@@ -30,10 +33,11 @@ func (b Burst) params() (float64, int) {
 }
 
 // Run implements Scheme.
-func (b Burst) Run(net *snn.Net, input []float64, steps int, collectTimeline bool) snn.SimResult {
+func (b Burst) Run(net *snn.Net, input []float64, steps int, collectTimeline bool, fs *fault.Stream) snn.SimResult {
 	res := newSimResult(net, steps)
 	g, maxLen := b.params()
 	nStages := len(net.Stages)
+	gates := boundaryGates(fs, nStages)
 
 	inputAcc := make([]float64, net.InLen)
 	inputBurst := make([]int, net.InLen)
@@ -43,11 +47,7 @@ func (b Burst) Run(net *snn.Net, input []float64, steps int, collectTimeline boo
 		pot[si] = make([]float64, net.Stages[si].OutLen)
 		burst[si] = make([]int, net.Stages[si].OutLen)
 	}
-	type wspike struct {
-		idx int
-		w   float64
-	}
-	spikeBuf := make([][]wspike, nStages+1)
+	spikeBuf := make([][]fault.Spike, nStages+1)
 
 	pow := make([]float64, maxLen)
 	pow[0] = 1
@@ -58,6 +58,15 @@ func (b Burst) Run(net *snn.Net, input []float64, steps int, collectTimeline boo
 	for t := 0; t < steps; t++ {
 		spikeBuf[0] = spikeBuf[0][:0]
 		for i, u := range input {
+			if fs != nil {
+				switch fs.Stuck(0, i) {
+				case fault.StuckSilent:
+					continue
+				case fault.StuckFire:
+					spikeBuf[0] = append(spikeBuf[0], fault.Spike{Idx: i, W: 1})
+					continue
+				}
+			}
 			if u <= 0 {
 				continue
 			}
@@ -65,7 +74,7 @@ func (b Burst) Run(net *snn.Net, input []float64, steps int, collectTimeline boo
 			w := pow[inputBurst[i]]
 			if inputAcc[i] >= w {
 				inputAcc[i] -= w
-				spikeBuf[0] = append(spikeBuf[0], wspike{i, w})
+				spikeBuf[0] = append(spikeBuf[0], fault.Spike{Idx: i, W: w})
 				if inputBurst[i] < maxLen-1 {
 					inputBurst[i]++
 				}
@@ -73,13 +82,14 @@ func (b Burst) Run(net *snn.Net, input []float64, steps int, collectTimeline boo
 				inputBurst[i] = 0
 			}
 		}
-		res.SpikesPerStage[0] += len(spikeBuf[0])
 
 		for si := range net.Stages {
 			st := &net.Stages[si]
 			st.AddBias(pot[si])
-			for _, s := range spikeBuf[si] {
-				st.Scatter(s.idx, s.w, pot[si])
+			in := gateStep(gates, si, t, spikeBuf[si])
+			res.SpikesPerStage[si] += len(in)
+			for _, s := range in {
+				st.Scatter(s.Idx, s.W, pot[si])
 			}
 			if st.Output {
 				break
@@ -88,10 +98,25 @@ func (b Burst) Run(net *snn.Net, input []float64, steps int, collectTimeline boo
 			pp := pot[si]
 			bb := burst[si]
 			for j := range pp {
+				if fs != nil {
+					switch fs.Stuck(si+1, j) {
+					case fault.StuckSilent:
+						continue
+					case fault.StuckFire:
+						// a jammed driver fires unit spikes, ignoring the
+						// burst ladder and the membrane state
+						spikeBuf[si+1] = append(spikeBuf[si+1], fault.Spike{Idx: j, W: 1})
+						continue
+					}
+				}
 				w := pow[bb[j]]
-				if pp[j] >= w {
+				thr := w
+				if fs != nil {
+					thr = fs.Threshold(si+1, t, thr)
+				}
+				if pp[j] >= thr {
 					pp[j] -= w
-					spikeBuf[si+1] = append(spikeBuf[si+1], wspike{j, w})
+					spikeBuf[si+1] = append(spikeBuf[si+1], fault.Spike{Idx: j, W: w})
 					if bb[j] < maxLen-1 {
 						bb[j]++
 					}
@@ -99,7 +124,6 @@ func (b Burst) Run(net *snn.Net, input []float64, steps int, collectTimeline boo
 					bb[j] = 0
 				}
 			}
-			res.SpikesPerStage[si+1] += len(spikeBuf[si+1])
 		}
 		if collectTimeline {
 			res.RecordPred(t, pot[nStages-1])

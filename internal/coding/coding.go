@@ -10,15 +10,18 @@ package coding
 import (
 	"fmt"
 
+	"repro/internal/fault"
 	"repro/internal/snn"
 	"repro/internal/tensor"
 )
 
 // Scheme simulates one input (flattened [C,H,W], values in [0,1])
-// through net for the given number of steps.
+// through net for the given number of steps. fs is the sample's
+// fault-injection stream (internal/fault); nil injects nothing and the
+// simulation is bit-identical to the fault-free path.
 type Scheme interface {
 	Name() string
-	Run(net *snn.Net, input []float64, steps int, collectTimeline bool) snn.SimResult
+	Run(net *snn.Net, input []float64, steps int, collectTimeline bool, fs *fault.Stream) snn.SimResult
 }
 
 // CurvePoint is one accuracy sample of an inference curve.
@@ -47,6 +50,12 @@ const Tolerance = 0.005
 // Evaluate runs scheme over a batch X [N, ...] with labels for the given
 // number of steps, sampling the accuracy curve every stride steps.
 func Evaluate(s Scheme, net *snn.Net, x *tensor.Tensor, labels []int, steps, stride int) (EvalResult, error) {
+	return EvaluateFaulted(s, net, x, labels, steps, stride, nil)
+}
+
+// EvaluateFaulted is Evaluate under fault injection: each sample i runs
+// with the per-sample stream inj.Sample(i) (nil inj = no faults).
+func EvaluateFaulted(s Scheme, net *snn.Net, x *tensor.Tensor, labels []int, steps, stride int, inj *fault.Injector) (EvalResult, error) {
 	n := x.Shape[0]
 	if n == 0 || n != len(labels) {
 		return EvalResult{}, fmt.Errorf("coding: %d samples with %d labels", n, len(labels))
@@ -67,7 +76,7 @@ func Evaluate(s Scheme, net *snn.Net, x *tensor.Tensor, labels []int, steps, str
 	timelines := make([][]snn.TimedPred, n)
 	for i := 0; i < n; i++ {
 		in := x.Data[i*sampleLen : (i+1)*sampleLen]
-		r := s.Run(net, in, steps, true)
+		r := s.Run(net, in, steps, true, inj.Sample(i))
 		if r.Pred == labels[i] {
 			correct++
 		}

@@ -3,6 +3,7 @@ package coding
 import (
 	"math"
 
+	"repro/internal/fault"
 	"repro/internal/snn"
 )
 
@@ -28,10 +29,11 @@ func (p Phase) period() int {
 }
 
 // Run implements Scheme.
-func (p Phase) Run(net *snn.Net, input []float64, steps int, collectTimeline bool) snn.SimResult {
+func (p Phase) Run(net *snn.Net, input []float64, steps int, collectTimeline bool, fs *fault.Stream) snn.SimResult {
 	res := newSimResult(net, steps)
 	k := p.period()
 	nStages := len(net.Stages)
+	gates := boundaryGates(fs, nStages)
 
 	// Quantize inputs once: bit b of round(u·2^K) selects a spike at
 	// phase b carrying weight 2^-(1+b).
@@ -48,11 +50,7 @@ func (p Phase) Run(net *snn.Net, input []float64, steps int, collectTimeline boo
 	for si := range net.Stages {
 		pot[si] = make([]float64, net.Stages[si].OutLen)
 	}
-	type wspike struct {
-		idx int
-		w   float64
-	}
-	spikeBuf := make([][]wspike, nStages+1)
+	spikeBuf := make([][]fault.Spike, nStages+1)
 
 	for t := 0; t < steps; t++ {
 		phase := t % k
@@ -62,11 +60,19 @@ func (p Phase) Run(net *snn.Net, input []float64, steps int, collectTimeline boo
 		spikeBuf[0] = spikeBuf[0][:0]
 		bit := uint32(1) << (k - 1 - phase)
 		for i, q := range bits {
+			if fs != nil {
+				switch fs.Stuck(0, i) {
+				case fault.StuckSilent:
+					continue
+				case fault.StuckFire:
+					spikeBuf[0] = append(spikeBuf[0], fault.Spike{Idx: i, W: weight})
+					continue
+				}
+			}
 			if q&bit != 0 {
-				spikeBuf[0] = append(spikeBuf[0], wspike{i, weight})
+				spikeBuf[0] = append(spikeBuf[0], fault.Spike{Idx: i, W: weight})
 			}
 		}
-		res.SpikesPerStage[0] += len(spikeBuf[0])
 
 		for si := range net.Stages {
 			st := &net.Stages[si]
@@ -74,8 +80,10 @@ func (p Phase) Run(net *snn.Net, input []float64, steps int, collectTimeline boo
 				// biases inject their value once per period
 				st.AddBias(pot[si])
 			}
-			for _, s := range spikeBuf[si] {
-				st.Scatter(s.idx, s.w, pot[si])
+			in := gateStep(gates, si, t, spikeBuf[si])
+			res.SpikesPerStage[si] += len(in)
+			for _, s := range in {
+				st.Scatter(s.Idx, s.W, pot[si])
 			}
 			if st.Output {
 				break
@@ -83,14 +91,26 @@ func (p Phase) Run(net *snn.Net, input []float64, steps int, collectTimeline boo
 			spikeBuf[si+1] = spikeBuf[si+1][:0]
 			pp := pot[si]
 			for j := range pp {
+				if fs != nil {
+					switch fs.Stuck(si+1, j) {
+					case fault.StuckSilent:
+						continue
+					case fault.StuckFire:
+						spikeBuf[si+1] = append(spikeBuf[si+1], fault.Spike{Idx: j, W: weight})
+						continue
+					}
+				}
 				// fire a weighted spike when the membrane covers the
 				// current phase weight (phase-modulated threshold)
-				if pp[j] >= weight {
+				thr := weight
+				if fs != nil {
+					thr = fs.Threshold(si+1, t, thr)
+				}
+				if pp[j] >= thr {
 					pp[j] -= weight
-					spikeBuf[si+1] = append(spikeBuf[si+1], wspike{j, weight})
+					spikeBuf[si+1] = append(spikeBuf[si+1], fault.Spike{Idx: j, W: weight})
 				}
 			}
-			res.SpikesPerStage[si+1] += len(spikeBuf[si+1])
 		}
 		if collectTimeline {
 			res.RecordPred(t, pot[nStages-1])

@@ -1,6 +1,7 @@
 package coding
 
 import (
+	"repro/internal/fault"
 	"repro/internal/snn"
 	"repro/internal/tensor"
 )
@@ -29,50 +30,89 @@ func (r Rate) Name() string {
 	return "Rate"
 }
 
+// boundaryGates builds the per-fire-boundary transmission gates (drop +
+// delivery delay) for a clock-driven simulation; nil when the stream
+// injects no transmission faults.
+func boundaryGates(fs *fault.Stream, nStages int) []*fault.ClockGate {
+	if fs == nil {
+		return nil
+	}
+	gates := make([]*fault.ClockGate, nStages)
+	live := false
+	for b := range gates {
+		gates[b] = fs.ClockGate(b)
+		live = live || gates[b] != nil
+	}
+	if !live {
+		return nil
+	}
+	return gates
+}
+
+// gateStep routes boundary b's emissions through its gate (pass-through
+// when no gates are active).
+func gateStep(gates []*fault.ClockGate, b, t int, emitted []fault.Spike) []fault.Spike {
+	if gates == nil {
+		return emitted
+	}
+	return gates[b].Step(t, emitted)
+}
+
 // Run implements Scheme.
-func (r Rate) Run(net *snn.Net, input []float64, steps int, collectTimeline bool) snn.SimResult {
+func (r Rate) Run(net *snn.Net, input []float64, steps int, collectTimeline bool, fs *fault.Stream) snn.SimResult {
 	res := newSimResult(net, steps)
 	nStages := len(net.Stages)
 	var rng *tensor.RNG
 	if r.Poisson {
 		rng = tensor.NewRNG(r.Seed ^ 0x706f6973)
 	}
+	gates := boundaryGates(fs, nStages)
 
 	inputAcc := make([]float64, net.InLen)
 	pot := make([][]float64, nStages)
 	for si := range net.Stages {
 		pot[si] = make([]float64, net.Stages[si].OutLen)
 	}
-	spikeBuf := make([][]int, nStages+1) // reused spike index lists per boundary
+	spikeBuf := make([][]fault.Spike, nStages+1) // reused spike lists per boundary
 
 	for t := 0; t < steps; t++ {
 		// input encoding: constant-current IF (deterministic) or
 		// Bernoulli draws with p = pixel value (Poisson mode)
 		spikeBuf[0] = spikeBuf[0][:0]
 		for i, u := range input {
+			if fs != nil {
+				switch fs.Stuck(0, i) {
+				case fault.StuckSilent:
+					continue
+				case fault.StuckFire:
+					spikeBuf[0] = append(spikeBuf[0], fault.Spike{Idx: i, W: 1})
+					continue
+				}
+			}
 			if u <= 0 {
 				continue
 			}
 			if rng != nil {
 				if rng.Float64() < u {
-					spikeBuf[0] = append(spikeBuf[0], i)
+					spikeBuf[0] = append(spikeBuf[0], fault.Spike{Idx: i, W: 1})
 				}
 				continue
 			}
 			inputAcc[i] += u
 			if inputAcc[i] >= 1 {
 				inputAcc[i]--
-				spikeBuf[0] = append(spikeBuf[0], i)
+				spikeBuf[0] = append(spikeBuf[0], fault.Spike{Idx: i, W: 1})
 			}
 		}
-		res.SpikesPerStage[0] += len(spikeBuf[0])
 
 		// synchronous sweep: spikes cascade through the stack this step
 		for si := range net.Stages {
 			st := &net.Stages[si]
 			st.AddBias(pot[si]) // constant bias current per step
-			for _, idx := range spikeBuf[si] {
-				st.Scatter(idx, 1, pot[si])
+			in := gateStep(gates, si, t, spikeBuf[si])
+			res.SpikesPerStage[si] += len(in)
+			for _, s := range in {
+				st.Scatter(s.Idx, s.W, pot[si])
 			}
 			if st.Output {
 				break
@@ -80,12 +120,26 @@ func (r Rate) Run(net *snn.Net, input []float64, steps int, collectTimeline bool
 			spikeBuf[si+1] = spikeBuf[si+1][:0]
 			p := pot[si]
 			for j := range p {
-				if p[j] >= 1 {
+				if fs != nil {
+					switch fs.Stuck(si+1, j) {
+					case fault.StuckSilent:
+						continue
+					case fault.StuckFire:
+						spikeBuf[si+1] = append(spikeBuf[si+1], fault.Spike{Idx: j, W: 1})
+						continue
+					}
+				}
+				thr := 1.0
+				if fs != nil {
+					thr = fs.Threshold(si+1, t, thr)
+				}
+				if p[j] >= thr {
+					// soft reset by the transmitted quantum (1), not the
+					// perturbed comparison threshold
 					p[j]--
-					spikeBuf[si+1] = append(spikeBuf[si+1], j)
+					spikeBuf[si+1] = append(spikeBuf[si+1], fault.Spike{Idx: j, W: 1})
 				}
 			}
-			res.SpikesPerStage[si+1] += len(spikeBuf[si+1])
 		}
 		if collectTimeline {
 			res.RecordPred(t, pot[nStages-1])

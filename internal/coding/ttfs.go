@@ -2,6 +2,7 @@ package coding
 
 import (
 	"repro/internal/core"
+	"repro/internal/fault"
 	"repro/internal/snn"
 )
 
@@ -24,9 +25,10 @@ func (t TTFS) Name() string {
 }
 
 // Run implements Scheme.
-func (t TTFS) Run(net *snn.Net, input []float64, steps int, collectTimeline bool) snn.SimResult {
+func (t TTFS) Run(net *snn.Net, input []float64, steps int, collectTimeline bool, fs *fault.Stream) snn.SimResult {
 	cfg := t.Run_
 	cfg.CollectTimeline = collectTimeline
+	cfg.Faults = fs
 	r := t.Model.Infer(input, cfg)
 	out := snn.SimResult{
 		Pred:           r.Pred,

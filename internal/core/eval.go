@@ -1,11 +1,13 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
-
+	"runtime"
 	"sync"
 
+	"repro/internal/fault"
 	"repro/internal/metrics"
 	"repro/internal/tensor"
 )
@@ -39,9 +41,17 @@ func (s *StageSpikeStats) Histogram(lo, hi, nbins int) (counts []int, edges []fl
 	return tensor.Histogram(vals, float64(lo), float64(hi), nbins)
 }
 
+// SampleError records one sample whose inference panicked. The sweep
+// survives; the sample counts as misclassified.
+type SampleError struct {
+	Index int
+	Err   string
+}
+
 // EvalResult aggregates an evaluation run over a labelled set.
 type EvalResult struct {
-	Accuracy       float64
+	Accuracy float64
+	// Latency is the maximum per-sample latency observed.
 	Latency        int
 	AvgSpikes      float64 // mean spikes per sample, all boundaries
 	SpikesPerStage []float64
@@ -50,6 +60,10 @@ type EvalResult struct {
 	// Confusion breaks the accuracy down per class.
 	Confusion *metrics.Confusion
 	N         int
+	// Errors lists samples whose inference panicked (recovered); they
+	// are excluded from spike/latency aggregates and counted as
+	// misclassified.
+	Errors []SampleError
 }
 
 // EvalOptions controls Evaluate.
@@ -61,14 +75,27 @@ type EvalOptions struct {
 	// CollectStats enables the per-stage spike-time statistics.
 	CollectStats bool
 	// Workers runs samples concurrently (Infer only reads the model,
-	// so a Model is safe to share). 0 or 1 = sequential.
+	// so a Model is safe to share). 0 or 1 = sequential; negative =
+	// one worker per GOMAXPROCS; values above the sample count clamp.
 	Workers int
+	// Faults evaluates under fault injection: sample i runs with the
+	// stream Faults.Sample(i). Streams are pure functions of
+	// (seed, sample), so the result is identical at any worker count.
+	Faults *fault.Injector
 }
 
 // Evaluate runs the model over a batch X of shape [N, ...] with labels,
 // aggregating accuracy, spikes, latency, the inference curve, and
 // per-stage spike statistics.
 func Evaluate(m *Model, x *tensor.Tensor, labels []int, opts EvalOptions) (EvalResult, error) {
+	return EvaluateContext(context.Background(), m, x, labels, opts)
+}
+
+// EvaluateContext is Evaluate with cancellation: it stops dispatching
+// samples once ctx is done (in-flight inferences finish first) and
+// returns ctx.Err(). Long sweeps — large horizons, fault grids — use it
+// to respect deadlines instead of running to completion.
+func EvaluateContext(ctx context.Context, m *Model, x *tensor.Tensor, labels []int, opts EvalOptions) (EvalResult, error) {
 	n := x.Shape[0]
 	if n != len(labels) {
 		return EvalResult{}, fmt.Errorf("core: %d samples with %d labels", n, len(labels))
@@ -101,35 +128,76 @@ func Evaluate(m *Model, x *tensor.Tensor, labels []int, opts EvalOptions) (EvalR
 	// run all inferences (optionally across workers; Infer only reads
 	// the shared model), then aggregate deterministically in order
 	results := make([]Result, n)
-	if opts.Workers > 1 {
+	errs := make([]error, n)
+	inferOne := func(i int) {
+		defer func() {
+			// a faulted or malformed sample becomes an error record, not
+			// a crashed sweep
+			if p := recover(); p != nil {
+				errs[i] = fmt.Errorf("core: sample %d: panic: %v", i, p)
+			}
+		}()
+		cfg := run
+		cfg.Faults = opts.Faults.Sample(i)
+		results[i] = m.Infer(x.Data[i*sampleLen:(i+1)*sampleLen], cfg)
+	}
+	workers := opts.Workers
+	if workers < 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers > 1 {
 		var wg sync.WaitGroup
 		next := make(chan int, n)
 		for i := 0; i < n; i++ {
 			next <- i
 		}
 		close(next)
-		for w := 0; w < opts.Workers; w++ {
+		for w := 0; w < workers; w++ {
 			wg.Add(1)
 			go func() {
 				defer wg.Done()
 				for i := range next {
-					results[i] = m.Infer(x.Data[i*sampleLen:(i+1)*sampleLen], run)
+					if ctx.Err() != nil {
+						return
+					}
+					inferOne(i)
 				}
 			}()
 		}
 		wg.Wait()
 	} else {
 		for i := 0; i < n; i++ {
-			results[i] = m.Infer(x.Data[i*sampleLen:(i+1)*sampleLen], run)
+			if ctx.Err() != nil {
+				break
+			}
+			inferOne(i)
 		}
+	}
+	if err := ctx.Err(); err != nil {
+		return EvalResult{}, err
 	}
 
 	correct := 0
+	ok := 0
 	totalSpikes := 0.0
 	var timelines [][]TimedPred
 	for i := 0; i < n; i++ {
+		if errs[i] != nil {
+			res.Errors = append(res.Errors, SampleError{Index: i, Err: errs[i].Error()})
+			res.Confusion.Add(labels[i], -1)
+			if opts.CurveStride > 0 {
+				timelines = append(timelines, nil)
+			}
+			continue
+		}
+		ok++
 		r := results[i]
-		res.Latency = r.Latency
+		if r.Latency > res.Latency {
+			res.Latency = r.Latency
+		}
 		res.Confusion.Add(labels[i], r.Pred)
 		if r.Pred == labels[i] {
 			correct++
@@ -155,16 +223,18 @@ func Evaluate(m *Model, x *tensor.Tensor, labels []int, opts EvalOptions) (EvalR
 		}
 	}
 	res.Accuracy = float64(correct) / float64(n)
-	res.AvgSpikes = totalSpikes / float64(n)
-	for b := range res.SpikesPerStage {
-		res.SpikesPerStage[b] /= float64(n)
+	if ok > 0 {
+		res.AvgSpikes = totalSpikes / float64(ok)
+		for b := range res.SpikesPerStage {
+			res.SpikesPerStage[b] /= float64(ok)
+		}
 	}
 
 	if opts.CurveStride > 0 {
 		for step := 0; step <= res.Latency; step += opts.CurveStride {
 			hit := 0
 			for i, tl := range timelines {
-				if predAt(tl, step) == labels[i] {
+				if tl != nil && predAt(tl, step) == labels[i] {
 					hit++
 				}
 			}

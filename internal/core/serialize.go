@@ -76,7 +76,51 @@ func (m *Model) Save(w io.Writer) error {
 	return gob.NewEncoder(w).Encode(wm)
 }
 
-// LoadModel deserializes a model written by Save and validates it.
+// validate defensively checks one decoded wire stage before any slice
+// is wrapped in a tensor or indexed: a truncated or corrupted gob
+// stream must surface as an error here, never as a panic downstream.
+func (ws *wireStage) validate(i int) error {
+	if ws.Kind != int(snn.ConvStage) && ws.Kind != int(snn.DenseStage) {
+		return fmt.Errorf("core: stage %d (%q): unknown stage kind %d", i, ws.Name, ws.Kind)
+	}
+	if ws.InLen <= 0 || ws.OutLen <= 0 {
+		return fmt.Errorf("core: stage %d (%q): non-positive neuron counts (in %d, out %d)", i, ws.Name, ws.InLen, ws.OutLen)
+	}
+	wantW := 1
+	for _, d := range ws.WShape {
+		if d <= 0 {
+			return fmt.Errorf("core: stage %d (%q): non-positive weight dimension in %v", i, ws.Name, ws.WShape)
+		}
+		wantW *= d
+	}
+	if len(ws.WShape) == 0 || wantW != len(ws.W) {
+		return fmt.Errorf("core: stage %d (%q): %d weights do not fill shape %v", i, ws.Name, len(ws.W), ws.WShape)
+	}
+	switch snn.StageKind(ws.Kind) {
+	case snn.ConvStage:
+		if len(ws.WShape) != 4 {
+			return fmt.Errorf("core: stage %d (%q): conv weights need 4 dimensions, have %v", i, ws.Name, ws.WShape)
+		}
+		if len(ws.B) != ws.OutC {
+			return fmt.Errorf("core: stage %d (%q): %d biases for %d output channels", i, ws.Name, len(ws.B), ws.OutC)
+		}
+	case snn.DenseStage:
+		if len(ws.WShape) != 2 {
+			return fmt.Errorf("core: stage %d (%q): dense weights need 2 dimensions, have %v", i, ws.Name, ws.WShape)
+		}
+		if len(ws.B) != ws.OutLen {
+			return fmt.Errorf("core: stage %d (%q): %d biases for %d outputs", i, ws.Name, len(ws.B), ws.OutLen)
+		}
+	}
+	if ws.HasPool && (ws.PoolC <= 0 || ws.PoolH <= 0 || ws.PoolW <= 0 || ws.PoolK <= 0) {
+		return fmt.Errorf("core: stage %d (%q): invalid pool spec %dx%dx%d/%d", i, ws.Name, ws.PoolC, ws.PoolH, ws.PoolW, ws.PoolK)
+	}
+	return nil
+}
+
+// LoadModel deserializes a model written by Save and validates it. It
+// returns a descriptive error — never panics — on truncated, corrupt,
+// version-mismatched, or internally inconsistent model files.
 func LoadModel(r io.Reader) (*Model, error) {
 	var wm wireModel
 	if err := gob.NewDecoder(r).Decode(&wm); err != nil {
@@ -85,8 +129,22 @@ func LoadModel(r io.Reader) (*Model, error) {
 	if wm.Version != wireVersion {
 		return nil, fmt.Errorf("core: model file version %d, this build reads %d", wm.Version, wireVersion)
 	}
+	if len(wm.Stages) == 0 {
+		return nil, fmt.Errorf("core: model file has no stages")
+	}
 	if len(wm.Tau) != len(wm.Stages) || len(wm.Td) != len(wm.Stages) {
 		return nil, fmt.Errorf("core: %d kernels for %d stages in model file", len(wm.Tau), len(wm.Stages))
+	}
+	if wm.InLen <= 0 {
+		return nil, fmt.Errorf("core: non-positive input length %d in model file", wm.InLen)
+	}
+	if wm.T <= 0 {
+		return nil, fmt.Errorf("core: non-positive time window %d in model file", wm.T)
+	}
+	for i := range wm.Stages {
+		if err := wm.Stages[i].validate(i); err != nil {
+			return nil, err
+		}
 	}
 	net := &snn.Net{Name: wm.Name, InShape: wm.InShape, InLen: wm.InLen}
 	for _, ws := range wm.Stages {

@@ -2,6 +2,8 @@ package core
 
 import (
 	"bytes"
+	"encoding/gob"
+	"strings"
 	"testing"
 
 	"repro/internal/kernel"
@@ -55,6 +57,96 @@ func TestModelSaveLoadRoundTrip(t *testing.T) {
 func TestLoadModelRejectsGarbage(t *testing.T) {
 	if _, err := LoadModel(bytes.NewReader([]byte("not a gob stream"))); err == nil {
 		t.Fatal("garbage accepted")
+	}
+}
+
+// saveWire serializes a tinyNet model and decodes it back into the wire
+// struct so corruption tests can mutate individual fields.
+func saveWire(t *testing.T) wireModel {
+	t.Helper()
+	m, err := NewModel(tinyNet(), 20, 4, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var wm wireModel
+	if err := gob.NewDecoder(&buf).Decode(&wm); err != nil {
+		t.Fatal(err)
+	}
+	return wm
+}
+
+// TestLoadModelRejectsCorruptFiles feeds LoadModel systematically
+// corrupted wire models; every case must produce a descriptive error,
+// never a gob or index panic.
+func TestLoadModelRejectsCorruptFiles(t *testing.T) {
+	cases := []struct {
+		name    string
+		corrupt func(wm *wireModel)
+		errHint string
+	}{
+		{"wrong version", func(wm *wireModel) { wm.Version = wireVersion + 7 }, "version"},
+		{"no stages", func(wm *wireModel) { wm.Stages = nil; wm.Tau = nil; wm.Td = nil }, "no stages"},
+		{"kernel count mismatch", func(wm *wireModel) { wm.Tau = wm.Tau[:1] }, "kernels"},
+		{"td count mismatch", func(wm *wireModel) { wm.Td = append(wm.Td, 1) }, "kernels"},
+		{"non-positive input length", func(wm *wireModel) { wm.InLen = 0 }, "input length"},
+		{"non-positive window", func(wm *wireModel) { wm.T = -3 }, "time window"},
+		{"invalid kernel tau", func(wm *wireModel) { wm.Tau[0] = -1 }, "kernel"},
+		{"unknown stage kind", func(wm *wireModel) { wm.Stages[0].Kind = 9 }, "kind"},
+		{"truncated weights", func(wm *wireModel) { wm.Stages[0].W = wm.Stages[0].W[:5] }, "weights"},
+		{"empty weight shape", func(wm *wireModel) { wm.Stages[0].WShape = nil }, "weights"},
+		{"negative weight dim", func(wm *wireModel) { wm.Stages[0].WShape = []int{-3, -4} }, "dimension"},
+		{"dense shape rank", func(wm *wireModel) {
+			wm.Stages[0].WShape = []int{2, 2, 3, 1}
+		}, "dense"},
+		{"bias length mismatch", func(wm *wireModel) { wm.Stages[1].B = wm.Stages[1].B[:1] }, "biases"},
+		{"zero neuron counts", func(wm *wireModel) { wm.Stages[0].OutLen = 0 }, "neuron counts"},
+		{"invalid pool spec", func(wm *wireModel) {
+			wm.Stages[0].HasPool = true
+			wm.Stages[0].PoolK = 0
+		}, "pool"},
+		{"inconsistent stage chain", func(wm *wireModel) { wm.Stages[1].InLen = 7; wm.Stages[1].WShape = []int{7, 2}; wm.Stages[1].W = make([]float64, 14) }, "stage"},
+		{"output flag missing", func(wm *wireModel) { wm.Stages[1].Output = false }, "Output"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			wm := saveWire(t)
+			tc.corrupt(&wm)
+			var buf bytes.Buffer
+			if err := gob.NewEncoder(&buf).Encode(wm); err != nil {
+				t.Fatal(err)
+			}
+			m, err := LoadModel(&buf)
+			if err == nil {
+				t.Fatalf("corrupt model accepted: %+v", m)
+			}
+			if !strings.Contains(err.Error(), tc.errHint) {
+				t.Fatalf("error %q does not mention %q", err, tc.errHint)
+			}
+		})
+	}
+}
+
+// TestLoadModelRejectsTruncatedStreams checks every byte-level prefix
+// class of a valid stream errors cleanly.
+func TestLoadModelRejectsTruncatedStreams(t *testing.T) {
+	m, err := NewModel(tinyNet(), 20, 4, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	for _, frac := range []int{0, 1, 4, 10, 25, 50, 75, 90, 99} {
+		n := len(full) * frac / 100
+		if _, err := LoadModel(bytes.NewReader(full[:n])); err == nil {
+			t.Fatalf("stream truncated to %d%% (%d bytes) accepted", frac, n)
+		}
 	}
 }
 

@@ -9,6 +9,7 @@ package core
 import (
 	"fmt"
 
+	"repro/internal/fault"
 	"repro/internal/kernel"
 	"repro/internal/snn"
 )
@@ -103,6 +104,9 @@ type RunConfig struct {
 	// CollectEvents retains (neuron, global time) spike pairs per fire
 	// boundary for waveform export (internal/trace).
 	CollectEvents bool
+	// Faults is this sample's fault-injection stream (internal/fault).
+	// Nil injects nothing and adds no work to the inference path.
+	Faults *fault.Stream
 }
 
 // advance returns the pipeline advance per layer: T for the baseline
@@ -202,6 +206,11 @@ func (m *Model) Infer(input []float64, cfg RunConfig) Result {
 			times[i] = -1
 		}
 	}
+	if cfg.Faults != nil {
+		// Boundary 0 faults model a defective sensor/encoder front-end:
+		// stuck pixels, lost or jittered encoding spikes.
+		fired = cfg.Faults.ApplyTTFS(0, times, m.T)
+	}
 	res.Spikes[0] = fired
 	if cfg.CollectSpikeTimes {
 		res.SpikeTimes[0] = collectGlobal(times, 0)
@@ -265,12 +274,20 @@ func (m *Model) runHiddenStage(st *snn.Stage, inK, outK kernel.Kernel, inTimes [
 			}
 		}
 		theta := outK.Threshold(float64(f))
+		if cfg.Faults != nil {
+			theta = cfg.Faults.Threshold(si+1, f, theta)
+		}
 		for j, u := range pot {
 			if outTimes[j] < 0 && u >= theta {
 				outTimes[j] = f
 				firedCount++
 			}
 		}
+	}
+	if cfg.Faults != nil {
+		// The stage's spikes traverse a faulty boundary on the way to the
+		// next layer: stuck neurons override, survivors may drop or jitter.
+		firedCount = cfg.Faults.ApplyTTFS(si+1, outTimes, m.T)
 	}
 	res.Spikes[si+1] = firedCount
 	res.TotalSpikes = 0
@@ -374,6 +391,9 @@ func collectGlobal(times []int, base int) []int {
 }
 
 func argmax(v []float64) int {
+	if len(v) == 0 {
+		return -1
+	}
 	best, bi := v[0], 0
 	for i, x := range v {
 		if x > best {

@@ -1,0 +1,253 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/coding"
+	"repro/internal/core"
+	"repro/internal/fault"
+	"repro/internal/snn"
+)
+
+// FaultModel names one fault family and maps an intensity level onto a
+// fault.Config. Level 0 must always mean "no fault" so retention can be
+// normalized against the clean run of the same sweep.
+type FaultModel struct {
+	Name   string
+	Levels []float64
+	Config func(level float64) fault.Config
+}
+
+// DefaultFaultModels returns the canonical sweep: spike drop, delivery
+// jitter, stuck-at-silent neurons, threshold noise, and static weight
+// perturbation.
+func DefaultFaultModels() []FaultModel {
+	return []FaultModel{
+		{
+			Name:   "drop",
+			Levels: []float64{0, 0.05, 0.1, 0.2, 0.3},
+			Config: func(l float64) fault.Config { return fault.Config{Drop: l} },
+		},
+		{
+			Name:   "jitter",
+			Levels: []float64{0, 1, 2, 4},
+			Config: func(l float64) fault.Config { return fault.Config{Jitter: int(l)} },
+		},
+		{
+			Name:   "stuck-silent",
+			Levels: []float64{0, 0.02, 0.05, 0.1},
+			Config: func(l float64) fault.Config { return fault.Config{StuckSilent: l} },
+		},
+		{
+			Name:   "threshold-noise",
+			Levels: []float64{0, 0.05, 0.1, 0.2},
+			Config: func(l float64) fault.Config { return fault.Config{ThresholdNoise: l} },
+		},
+		{
+			Name:   "weight-noise",
+			Levels: []float64{0, 0.05, 0.1, 0.2},
+			Config: func(l float64) fault.Config { return fault.Config{WeightNoise: l} },
+		},
+	}
+}
+
+// FaultModelsByName selects a subset of DefaultFaultModels.
+func FaultModelsByName(names []string) ([]FaultModel, error) {
+	all := DefaultFaultModels()
+	if len(names) == 0 {
+		return all, nil
+	}
+	var out []FaultModel
+	for _, n := range names {
+		found := false
+		for _, fm := range all {
+			if fm.Name == n {
+				out = append(out, fm)
+				found = true
+				break
+			}
+		}
+		if !found {
+			return nil, fmt.Errorf("experiments: unknown fault model %q", n)
+		}
+	}
+	return out, nil
+}
+
+// ResilienceOptions configures the sweep. Zero values pick the canonical
+// defaults.
+type ResilienceOptions struct {
+	Dataset string   // default "mnist"
+	Schemes []string // subset of ttfs|rate|phase|burst; default all four
+	Faults  []FaultModel
+	Seed    uint64 // fault stream seed; default 42
+	Workers int    // TTFS evaluation workers; default -1 (GOMAXPROCS)
+}
+
+// ResilienceRow is one (fault, level, scheme) cell of the sweep.
+type ResilienceRow struct {
+	Fault     string
+	Level     float64
+	Scheme    string
+	Accuracy  float64
+	Retention float64 // Accuracy / clean accuracy of the same scheme
+	AvgSpikes float64
+	Failures  int // samples whose inference panicked (TTFS only)
+}
+
+// ResilienceResult is the accuracy-versus-fault-rate sweep across coding
+// schemes — the robustness counterpart of the paper's Table II. TTFS
+// concentrates each activation into a single spike time, so it degrades
+// fastest; rate coding spreads the same information over many spikes and
+// degrades gracefully.
+type ResilienceResult struct {
+	Rows   []ResilienceRow
+	Report string
+}
+
+// Retention returns the retention of one sweep cell (or -1 if absent).
+func (r *ResilienceResult) Retention(scheme, faultName string, level float64) float64 {
+	for _, row := range r.Rows {
+		if row.Scheme == scheme && row.Fault == faultName && row.Level == level {
+			return row.Retention
+		}
+	}
+	return -1
+}
+
+// pipeline is one evaluated scheme: TTFS runs the event-driven core
+// model, the baselines run the clock-driven simulators.
+type pipeline struct {
+	name string
+	eval func(net *snn.Net, inj *fault.Injector) (acc, spikes float64, failures int, err error)
+}
+
+// Resilience runs the fault sweep at the given scale. Every fault
+// decision derives from (opts.Seed, sample, boundary, neuron, step), so
+// the result is deterministic for a fixed seed at any worker count.
+func Resilience(scale Scale, opts ResilienceOptions, cacheDir string, log io.Writer) (*ResilienceResult, error) {
+	if opts.Dataset == "" {
+		opts.Dataset = "mnist"
+	}
+	if len(opts.Schemes) == 0 {
+		opts.Schemes = []string{"ttfs", "rate", "phase", "burst"}
+	}
+	if len(opts.Faults) == 0 {
+		opts.Faults = DefaultFaultModels()
+	}
+	if opts.Seed == 0 {
+		opts.Seed = 42
+	}
+	if opts.Workers == 0 {
+		opts.Workers = -1
+	}
+	p, err := ParamsFor(opts.Dataset, scale)
+	if err != nil {
+		return nil, err
+	}
+	s, err := Prepare(p, cacheDir, log)
+	if err != nil {
+		return nil, err
+	}
+	ttfs, err := core.NewModel(s.Conv.Net, p.T, p.TauInit, p.TdInit)
+	if err != nil {
+		return nil, err
+	}
+
+	pipes := make([]pipeline, 0, len(opts.Schemes))
+	for _, name := range opts.Schemes {
+		switch name {
+		case "ttfs":
+			pipes = append(pipes, pipeline{name: "TTFS", eval: func(net *snn.Net, inj *fault.Injector) (float64, float64, int, error) {
+				m := ttfs
+				if net != s.Conv.Net { // weight-perturbed copy
+					m = &core.Model{Net: net, K: ttfs.K, T: ttfs.T}
+				}
+				ev, err := core.Evaluate(m, s.EvalX, s.EvalY, core.EvalOptions{
+					Run: core.RunConfig{EarlyFire: true, EFStart: p.EFStart()}, Faults: inj, Workers: opts.Workers})
+				if err != nil {
+					return 0, 0, 0, err
+				}
+				return ev.Accuracy, ev.AvgSpikes, len(ev.Errors), nil
+			}})
+		case "rate", "phase", "burst":
+			var scheme coding.Scheme
+			var steps int
+			switch name {
+			case "rate":
+				scheme, steps = coding.Rate{}, p.RateSteps
+			case "phase":
+				scheme, steps = coding.Phase{}, p.PhaseSteps
+			default:
+				scheme, steps = coding.Burst{}, p.BurstSteps
+			}
+			sc, st := scheme, steps
+			pipes = append(pipes, pipeline{name: sc.Name(), eval: func(net *snn.Net, inj *fault.Injector) (float64, float64, int, error) {
+				ev, err := coding.EvaluateFaulted(sc, net, s.EvalX, s.EvalY, st, p.CurveStride, inj)
+				if err != nil {
+					return 0, 0, 0, err
+				}
+				return ev.Accuracy, ev.AvgSpikes, 0, nil
+			}})
+		default:
+			return nil, fmt.Errorf("experiments: unknown scheme %q (want ttfs|rate|phase|burst)", name)
+		}
+	}
+
+	res := &ResilienceResult{}
+	clean := map[string]float64{} // scheme -> level-0 accuracy of the current fault model
+	for _, fm := range opts.Faults {
+		for _, level := range fm.Levels {
+			cfg := fm.Config(level)
+			cfg.Seed = opts.Seed
+			inj, err := fault.New(cfg)
+			if err != nil {
+				return nil, fmt.Errorf("experiments: %s level %g: %w", fm.Name, level, err)
+			}
+			net := s.Conv.Net
+			if cfg.WeightNoise > 0 {
+				// static model corruption: perturb once, evaluate fault-free
+				net = fault.PerturbWeights(s.Conv.Net, cfg.WeightNoise, cfg.Seed)
+			}
+			for _, pl := range pipes {
+				if log != nil {
+					fmt.Fprintf(log, "resilience: %s %s=%g\n", pl.name, fm.Name, level)
+				}
+				acc, spikes, failures, err := pl.eval(net, inj)
+				if err != nil {
+					return nil, fmt.Errorf("experiments: %s under %s=%g: %w", pl.name, fm.Name, level, err)
+				}
+				if level == 0 {
+					clean[pl.name] = acc
+				}
+				ret := 0.0
+				if c := clean[pl.name]; c > 0 {
+					ret = acc / c
+				}
+				res.Rows = append(res.Rows, ResilienceRow{
+					Fault: fm.Name, Level: level, Scheme: pl.name,
+					Accuracy: acc, Retention: ret, AvgSpikes: spikes, Failures: failures,
+				})
+			}
+		}
+	}
+
+	t := Table{
+		Title: fmt.Sprintf("Resilience: accuracy under fault injection (%s, scale %s, seed %d)",
+			opts.Dataset, scale, opts.Seed),
+		Headers: []string{"Fault", "Level", "Scheme", "Accuracy", "Retention", "Spikes/sample"},
+	}
+	for _, r := range res.Rows {
+		t.AddRow(r.Fault, trimFloat(r.Level), r.Scheme,
+			fmt.Sprintf("%.2f%%", 100*r.Accuracy), fmt.Sprintf("%.2f", r.Retention),
+			fmt.Sprintf("%.0f", r.AvgSpikes))
+	}
+	res.Report = t.String()
+	return res, nil
+}
+
+func trimFloat(v float64) string {
+	return strings.TrimRight(strings.TrimRight(fmt.Sprintf("%.3f", v), "0"), ".")
+}

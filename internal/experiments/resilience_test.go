@@ -1,0 +1,111 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/fault"
+)
+
+// The headline robustness result: TTFS carries each activation in a
+// single spike time, so dropping spikes destroys information outright;
+// rate coding averages over many spikes and degrades gracefully. The
+// sweep must reproduce that ordering deterministically at Tiny scale.
+func TestResilienceTTFSDegradesFasterThanRate(t *testing.T) {
+	opts := ResilienceOptions{
+		Schemes: []string{"ttfs", "rate"},
+		Faults: []FaultModel{{
+			Name:   "drop",
+			Levels: []float64{0, 0.3},
+			Config: func(l float64) fault.Config { return fault.Config{Drop: l} },
+		}},
+		Seed: 42,
+	}
+	res, err := Resilience(Tiny, opts, "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 4 {
+		t.Fatalf("%d rows, want 4 (2 levels x 2 schemes)", len(res.Rows))
+	}
+	ttfs := res.Retention("TTFS", "drop", 0.3)
+	rate := res.Retention("Rate", "drop", 0.3)
+	if ttfs < 0 || rate < 0 {
+		t.Fatalf("sweep cells missing: ttfs=%v rate=%v\n%s", ttfs, rate, res.Report)
+	}
+	if rate <= ttfs {
+		t.Fatalf("rate coding retention %.2f not above TTFS %.2f under 30%% spike drop\n%s",
+			rate, ttfs, res.Report)
+	}
+	// clean rows normalize to themselves
+	if r := res.Retention("TTFS", "drop", 0); r != 1 {
+		t.Fatalf("clean TTFS retention %v, want 1", r)
+	}
+	if !strings.Contains(res.Report, "Retention") {
+		t.Fatal("report missing retention column")
+	}
+
+	// the sweep is a pure function of the seed
+	again, err := Resilience(Tiny, opts, "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range res.Rows {
+		if res.Rows[i] != again.Rows[i] {
+			t.Fatalf("row %d not reproducible: %+v vs %+v", i, res.Rows[i], again.Rows[i])
+		}
+	}
+}
+
+// Weight noise is a static model transform, not a stream fault: the
+// sweep must route it through fault.PerturbWeights and still report a
+// clean-normalized retention.
+func TestResilienceWeightNoise(t *testing.T) {
+	opts := ResilienceOptions{
+		Schemes: []string{"ttfs"},
+		Faults: []FaultModel{{
+			Name:   "weight-noise",
+			Levels: []float64{0, 0.4},
+			Config: func(l float64) fault.Config { return fault.Config{WeightNoise: l} },
+		}},
+		Seed: 7,
+	}
+	res, err := Resilience(Tiny, opts, "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clean := res.Retention("TTFS", "weight-noise", 0)
+	noisy := res.Retention("TTFS", "weight-noise", 0.4)
+	if clean != 1 {
+		t.Fatalf("clean retention %v, want 1", clean)
+	}
+	if noisy >= 1 {
+		t.Fatalf("sigma=0.4 weight noise left retention at %v; perturbation had no effect", noisy)
+	}
+}
+
+func TestFaultModelsByName(t *testing.T) {
+	all, err := FaultModelsByName(nil)
+	if err != nil || len(all) < 5 {
+		t.Fatalf("default fault models: %d, %v", len(all), err)
+	}
+	sub, err := FaultModelsByName([]string{"jitter", "drop"})
+	if err != nil || len(sub) != 2 || sub[0].Name != "jitter" {
+		t.Fatalf("subset selection wrong: %+v, %v", sub, err)
+	}
+	if _, err := FaultModelsByName([]string{"cosmic-ray"}); err == nil {
+		t.Fatal("unknown fault model accepted")
+	}
+	for _, fm := range all {
+		if len(fm.Levels) == 0 || fm.Levels[0] != 0 {
+			t.Fatalf("%s: level grid must start at 0 (clean baseline)", fm.Name)
+		}
+	}
+}
+
+func TestResilienceRejectsUnknownScheme(t *testing.T) {
+	_, err := Resilience(Tiny, ResilienceOptions{Schemes: []string{"morse"}}, "", nil)
+	if err == nil {
+		t.Fatal("unknown scheme accepted")
+	}
+}

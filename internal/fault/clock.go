@@ -1,0 +1,83 @@
+package fault
+
+import (
+	"repro/internal/snn"
+	"repro/internal/tensor"
+)
+
+// Spike is one weighted spike event in a clock-driven simulation (rate
+// coding uses weight 1; phase and burst coding carry per-spike weights).
+type Spike struct {
+	Idx int
+	W   float64
+}
+
+// ClockGate routes one fire boundary's per-step emissions through the
+// stream's transmission faults — drop and delivery delay (jitter) — for
+// a clock-driven simulator. Stuck and threshold faults change neuron
+// state and must be applied at emission time by the simulator itself.
+//
+// A nil gate (from a nil stream, or Jitter = 0 with Drop = 0) is a
+// pass-through; the simulators keep their original buffers untouched.
+type ClockGate struct {
+	s *Stream
+	b int
+	// ring[i] holds spikes due i steps after the ring's current head.
+	ring [][]Spike
+	pos  int
+}
+
+// ClockGate returns the transmission gate for fire boundary b, or nil
+// when the stream injects no transmission faults.
+func (s *Stream) ClockGate(b int) *ClockGate {
+	if s == nil || (s.j.cfg.Drop <= 0 && s.j.cfg.Jitter <= 0) {
+		return nil
+	}
+	return &ClockGate{s: s, b: b, ring: make([][]Spike, s.j.cfg.Jitter+1)}
+}
+
+// Step pushes the spikes emitted at step t through the gate and returns
+// the spikes due for delivery at step t (emissions delayed from earlier
+// steps plus this step's zero-delay survivors). The returned slice is
+// owned by the gate and valid until the next Step call. A nil gate
+// returns emitted unchanged.
+func (g *ClockGate) Step(t int, emitted []Spike) []Spike {
+	if g == nil {
+		return emitted
+	}
+	for _, sp := range emitted {
+		if g.s.Drop(g.b, sp.Idx, t) {
+			continue
+		}
+		d := g.s.Delay(g.b, sp.Idx, t)
+		slot := (g.pos + d) % len(g.ring)
+		g.ring[slot] = append(g.ring[slot], sp)
+	}
+	due := g.ring[g.pos]
+	g.ring[g.pos] = nil
+	g.pos = (g.pos + 1) % len(g.ring)
+	return due
+}
+
+// PerturbWeights returns a copy of net whose stage weights carry static
+// multiplicative Gaussian noise, w' = w·(1 + σ·N(0,1)) — the
+// fabrication-defect model. Biases and geometry are shared with the
+// original; only the weight tensors are cloned. σ ≤ 0 returns net
+// unchanged.
+func PerturbWeights(net *snn.Net, sigma float64, seed uint64) *snn.Net {
+	if sigma <= 0 {
+		return net
+	}
+	rng := tensor.NewRNG(mix(seed, 0x77656967687473)) // "weights"
+	clone := &snn.Net{Name: net.Name, InShape: net.InShape, InLen: net.InLen}
+	clone.Stages = append([]snn.Stage(nil), net.Stages...)
+	for i := range clone.Stages {
+		st := &clone.Stages[i]
+		w := tensor.FromSlice(append([]float64(nil), st.W.Data...), st.W.Shape...)
+		for j := range w.Data {
+			w.Data[j] *= 1 + sigma*rng.Norm()
+		}
+		st.W = w
+	}
+	return clone
+}

@@ -49,8 +49,12 @@ func (r *SimResult) RecordPred(step int, potentials []float64) {
 	}
 }
 
-// ArgMax returns the index of the largest element.
+// ArgMax returns the index of the largest element, or -1 for an empty
+// slice (callers treat -1 as "no decision", matching PredAt).
 func ArgMax(v []float64) int {
+	if len(v) == 0 {
+		return -1
+	}
 	best, bi := v[0], 0
 	for i, x := range v {
 		if x > best {
