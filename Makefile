@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test check bench faultbench
+.PHONY: build test check bench faultbench serve-smoke
 
 build:
 	$(GO) build ./...
@@ -17,6 +17,13 @@ test:
 check:
 	$(GO) vet ./...
 	$(GO) test -race -timeout 45m ./...
+	$(MAKE) serve-smoke
+
+# serve-smoke boots cmd/snnserve on a tiny model, replays load with
+# cmd/snnload, and asserts non-zero throughput plus a clean SIGTERM
+# drain — the serving layer's end-to-end gate.
+serve-smoke:
+	bash scripts/serve_smoke.sh
 
 bench:
 	$(GO) test -bench=. -benchmem .

@@ -202,7 +202,7 @@ func BenchmarkAblationCodingStep(b *testing.B) {
 	for _, sch := range []coding.Scheme{coding.Rate{}, coding.Phase{}, coding.Burst{}} {
 		b.Run(sch.Name(), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				sch.Run(s.Conv.Net, in, 50, false, nil)
+				sch.Run(s.Conv.Net, in, coding.RunOpts{Steps: 50})
 			}
 		})
 	}
@@ -258,12 +258,12 @@ func BenchmarkAblationRateEncoder(b *testing.B) {
 	in := s.EvalX.Data[:s.Conv.Net.InLen]
 	b.Run("deterministic", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			coding.Rate{}.Run(s.Conv.Net, in, 50, false, nil)
+			coding.Rate{}.Run(s.Conv.Net, in, coding.RunOpts{Steps: 50})
 		}
 	})
 	b.Run("poisson", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			coding.Rate{Poisson: true, Seed: uint64(i)}.Run(s.Conv.Net, in, 50, false, nil)
+			coding.Rate{Poisson: true, Seed: uint64(i)}.Run(s.Conv.Net, in, coding.RunOpts{Steps: 50})
 		}
 	})
 }

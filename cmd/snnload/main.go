@@ -1,0 +1,222 @@
+// Command snnload is a deterministic load generator for cmd/snnserve:
+// it regenerates a synthetic evaluation set (same generator the server
+// and experiments use, so sample i is always the same image), replays
+// it over POST /v1/infer from -c concurrent clients, and reports
+// throughput, wall-clock latency percentiles, and accuracy.
+//
+//	snnload -addr http://127.0.0.1:8080 -dataset mnist -n 500 -c 8
+//
+// The final line is machine-readable:
+//
+//	RESULT ok=500 err=0 rejected=0 wall_s=1.23 throughput=406.5 p50_ms=18.2 p99_ms=44.0 acc=0.96
+//
+// so scripts (make serve-smoke) can assert on it. Rejected requests
+// (429 backpressure) are retried with exponential backoff up to
+// -retries times; other failures count as errors.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/dataset"
+	"repro/internal/serve"
+)
+
+func main() {
+	addr := flag.String("addr", "http://127.0.0.1:8080", "server base URL")
+	ds := flag.String("dataset", "mnist", "synthetic dataset to replay: mnist|cifar10|cifar100")
+	n := flag.Int("n", 200, "total requests")
+	c := flag.Int("c", 8, "concurrent clients")
+	seed := flag.Uint64("seed", 99, "dataset generator seed")
+	samples := flag.Int("samples", 64, "distinct samples to cycle through")
+	timeoutMs := flag.Int("timeout-ms", 0, "per-request server-side deadline (0 = none)")
+	retries := flag.Int("retries", 8, "max retries on 429 backpressure")
+	faults := flag.Bool("faults", false, "request per-sample fault injection (sends the sample index)")
+	warmup := flag.Duration("warmup", 60*time.Second, "how long to wait for the server to report healthy")
+	flag.Parse()
+
+	if err := waitHealthy(*addr, *warmup); err != nil {
+		fmt.Fprintf(os.Stderr, "snnload: %v\n", err)
+		os.Exit(1)
+	}
+
+	cfg := dataset.Config{Train: *samples, Test: 1, Seed: *seed}
+	var eval *dataset.Dataset
+	switch *ds {
+	case "mnist":
+		eval, _ = dataset.MNISTLike(cfg)
+	case "cifar10":
+		eval, _ = dataset.CIFAR10Like(cfg)
+	case "cifar100":
+		eval, _ = dataset.CIFAR100Like(cfg)
+	default:
+		fmt.Fprintf(os.Stderr, "snnload: unknown dataset %q\n", *ds)
+		os.Exit(1)
+	}
+	sampleLen := 1
+	for _, d := range eval.SampleShape() {
+		sampleLen *= d
+	}
+
+	// Pre-encode every request body once: the load loop measures the
+	// server, not the JSON encoder.
+	bodies := make([][]byte, *samples)
+	for i := 0; i < *samples; i++ {
+		req := serve.InferRequest{
+			Input:     eval.X.Data[i*sampleLen : (i+1)*sampleLen],
+			Label:     &eval.Labels[i],
+			TimeoutMs: *timeoutMs,
+		}
+		if *faults {
+			idx := i
+			req.Sample = &idx
+		}
+		b, err := json.Marshal(req)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "snnload: %v\n", err)
+			os.Exit(1)
+		}
+		bodies[i] = b
+	}
+
+	var (
+		okCt, errCt, rejectCt, correctCt atomic.Int64
+		mu                               sync.Mutex
+		lats                             []time.Duration
+	)
+	client := &http.Client{}
+	next := make(chan int, *n)
+	for i := 0; i < *n; i++ {
+		next <- i
+	}
+	close(next)
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	for w := 0; w < *c; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				si := i % *samples
+				t0 := time.Now()
+				resp, retried, err := postWithRetry(client, *addr+"/v1/infer", bodies[si], *retries)
+				rejectCt.Add(int64(retried))
+				if err != nil {
+					errCt.Add(1)
+					continue
+				}
+				okCt.Add(1)
+				if resp.Pred == eval.Labels[si] {
+					correctCt.Add(1)
+				}
+				mu.Lock()
+				lats = append(lats, time.Since(t0))
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	wall := time.Since(start)
+
+	ok, errs, rejected := okCt.Load(), errCt.Load(), rejectCt.Load()
+	acc := 0.0
+	if ok > 0 {
+		acc = float64(correctCt.Load()) / float64(ok)
+	}
+	throughput := float64(ok) / wall.Seconds()
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	pct := func(p float64) float64 {
+		if len(lats) == 0 {
+			return 0
+		}
+		return float64(lats[int(p*float64(len(lats)-1))]) / float64(time.Millisecond)
+	}
+
+	fmt.Printf("snnload: %d ok, %d errors, %d backpressure retries over %s\n", ok, errs, rejected, wall.Round(time.Millisecond))
+	fmt.Printf("  throughput %.1f samples/s, latency p50 %.1fms p90 %.1fms p99 %.1fms, accuracy %.3f\n",
+		throughput, pct(0.50), pct(0.90), pct(0.99), acc)
+	if snap, err := fetchMetrics(client, *addr); err == nil {
+		fmt.Printf("  server: mean batch %.2f, completed %d, rejected %d, spikes/sample %.0f\n",
+			snap.MeanBatchSize, snap.Completed, snap.Rejected, snap.SpikesPerSample)
+	}
+	fmt.Printf("RESULT ok=%d err=%d rejected=%d wall_s=%.3f throughput=%.1f p50_ms=%.1f p99_ms=%.1f acc=%.3f\n",
+		ok, errs, rejected, wall.Seconds(), throughput, pct(0.50), pct(0.99), acc)
+	if errs > 0 || ok == 0 {
+		os.Exit(1)
+	}
+}
+
+// waitHealthy polls /healthz until the server answers 200 or the window
+// elapses — so scripts can start snnserve and snnload back to back.
+func waitHealthy(addr string, window time.Duration) error {
+	deadline := time.Now().Add(window)
+	for {
+		resp, err := http.Get(addr + "/healthz")
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return nil
+			}
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("server at %s not healthy within %s", addr, window)
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+}
+
+// postWithRetry sends one inference request, retrying 429 responses
+// with exponential backoff. It returns the decoded response and how
+// many backpressure rejections it absorbed.
+func postWithRetry(client *http.Client, url string, body []byte, retries int) (serve.InferResponse, int, error) {
+	var out serve.InferResponse
+	backoff := 2 * time.Millisecond
+	rejected := 0
+	for attempt := 0; ; attempt++ {
+		resp, err := client.Post(url, "application/json", bytes.NewReader(body))
+		if err != nil {
+			return out, rejected, err
+		}
+		if resp.StatusCode == http.StatusTooManyRequests {
+			resp.Body.Close()
+			rejected++
+			if attempt >= retries {
+				return out, rejected, fmt.Errorf("still overloaded after %d retries", retries)
+			}
+			time.Sleep(backoff)
+			backoff *= 2
+			continue
+		}
+		if resp.StatusCode != http.StatusOK {
+			var e struct {
+				Error string `json:"error"`
+			}
+			_ = json.NewDecoder(resp.Body).Decode(&e)
+			resp.Body.Close()
+			return out, rejected, fmt.Errorf("status %d: %s", resp.StatusCode, e.Error)
+		}
+		err = json.NewDecoder(resp.Body).Decode(&out)
+		resp.Body.Close()
+		return out, rejected, err
+	}
+}
+
+func fetchMetrics(client *http.Client, addr string) (serve.Snapshot, error) {
+	var snap serve.Snapshot
+	resp, err := client.Get(addr + "/metrics")
+	if err != nil {
+		return snap, err
+	}
+	defer resp.Body.Close()
+	return snap, json.NewDecoder(resp.Body).Decode(&snap)
+}

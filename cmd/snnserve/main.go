@@ -1,0 +1,202 @@
+// Command snnserve exposes a spiking model over HTTP with server-side
+// micro-batching (internal/serve): requests queue up to -batch samples
+// or -wait, whichever comes first, and execute as one batched inference
+// — on a single core the batched TTFS engine amortizes scatter address
+// generation across the batch, which is where the throughput win over
+// per-request inference comes from.
+//
+// The model comes from either a .t2f file written by cmd/snnc:
+//
+//	snnserve -model cifar10.t2f -addr :8080
+//
+// or is built on the spot from a synthetic dataset (DNN weights are
+// cached under -cache, so repeat startups are fast):
+//
+//	snnserve -dataset mnist -scale tiny -cache models -addr :8080
+//
+// Baseline codings are served through the same API:
+//
+//	snnserve -dataset mnist -scale tiny -scheme rate -steps 100
+//
+// Endpoints: POST /v1/infer, GET /healthz, GET /metrics. SIGINT/SIGTERM
+// drain in-flight batches before exit.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/coding"
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/fault"
+	"repro/internal/serve"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	modelPath := flag.String("model", "", "serve a .t2f model written by cmd/snnc (overrides -dataset)")
+	ds := flag.String("dataset", "mnist", "build a model for this synthetic dataset: mnist|cifar10|cifar100")
+	scale := flag.String("scale", "tiny", "dataset scale: tiny|small|full")
+	cache := flag.String("cache", "models", "weight cache directory for the -dataset build path")
+	scheme := flag.String("scheme", "ttfs", "serving engine: ttfs|rate|phase|burst")
+	steps := flag.Int("steps", 100, "simulation horizon for non-ttfs schemes")
+	ef := flag.Bool("ef", true, "early firing (ttfs engine)")
+	useGO := flag.Bool("go", false, "apply gradient-based kernel optimization at startup (slower start, better accuracy)")
+
+	batch := flag.Int("batch", 16, "max samples per dispatched batch")
+	wait := flag.Duration("wait", 2*time.Millisecond, "max time the first queued request waits for a batch to fill")
+	queue := flag.Int("queue", 0, "request queue bound (0 = 8x batch); overflow returns 429")
+	workers := flag.Int("workers", 0, "batch executor goroutines (0 = GOMAXPROCS)")
+	timeout := flag.Duration("timeout", 0, "default per-request deadline (0 = none)")
+
+	fSeed := flag.Uint64("fault-seed", 1, "fault injection seed")
+	fDrop := flag.Float64("fault-drop", 0, "per-spike drop probability")
+	fJitter := flag.Int("fault-jitter", 0, "max TTFS spike jitter in steps")
+	fStuck := flag.Float64("fault-stuck", 0, "stuck-silent neuron fraction")
+	fNoise := flag.Float64("fault-noise", 0, "threshold noise amplitude")
+	flag.Parse()
+
+	eng, desc, err := buildEngine(engineConfig{
+		modelPath: *modelPath, dataset: *ds, scale: *scale, cache: *cache,
+		scheme: *scheme, steps: *steps, ef: *ef, useGO: *useGO,
+		fSeed: *fSeed, fDrop: *fDrop, fJitter: *fJitter, fStuck: *fStuck, fNoise: *fNoise,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "snnserve: %v\n", err)
+		os.Exit(1)
+	}
+
+	srv := serve.New(eng, serve.Options{
+		MaxBatch:       *batch,
+		MaxWait:        *wait,
+		QueueSize:      *queue,
+		Workers:        *workers,
+		DefaultTimeout: *timeout,
+	})
+	hs := &http.Server{Addr: *addr, Handler: srv.Handler()}
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	done := make(chan error, 1)
+	go func() {
+		<-stop
+		fmt.Fprintln(os.Stderr, "snnserve: draining...")
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		err := hs.Shutdown(ctx) // stop accepting, finish in-flight HTTP
+		srv.Close()             // drain the batch queue
+		done <- err
+	}()
+
+	opt := srv.Options()
+	fmt.Fprintf(os.Stderr, "snnserve: serving %s on %s (batch<=%d, wait %s, queue %d, workers %d)\n",
+		desc, *addr, opt.MaxBatch, opt.MaxWait, opt.QueueSize, opt.Workers)
+	if err := hs.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
+		fmt.Fprintf(os.Stderr, "snnserve: %v\n", err)
+		os.Exit(1)
+	}
+	if err := <-done; err != nil {
+		fmt.Fprintf(os.Stderr, "snnserve: shutdown: %v\n", err)
+		os.Exit(1)
+	}
+	snap := srv.Metrics().Snapshot()
+	fmt.Fprintf(os.Stderr, "snnserve: done (%d completed, %d rejected, mean batch %.2f)\n",
+		snap.Completed, snap.Rejected, snap.MeanBatchSize)
+}
+
+type engineConfig struct {
+	modelPath, dataset, scale, cache, scheme string
+	steps                                    int
+	ef, useGO                                bool
+	fSeed                                    uint64
+	fDrop, fNoise, fStuck                    float64
+	fJitter                                  int
+}
+
+// buildEngine assembles the serving engine: model (loaded or built),
+// scheme, run configuration, and optional fault injector.
+func buildEngine(c engineConfig) (serve.Engine, string, error) {
+	var inj *fault.Injector
+	if c.fDrop > 0 || c.fJitter > 0 || c.fStuck > 0 || c.fNoise > 0 {
+		var err error
+		inj, err = fault.New(fault.Config{
+			Seed: c.fSeed, Drop: c.fDrop, Jitter: c.fJitter,
+			StuckSilent: c.fStuck, ThresholdNoise: c.fNoise,
+		})
+		if err != nil {
+			return nil, "", err
+		}
+	}
+
+	if c.modelPath != "" {
+		f, err := os.Open(c.modelPath)
+		if err != nil {
+			return nil, "", err
+		}
+		m, err := core.LoadModel(f)
+		f.Close()
+		if err != nil {
+			return nil, "", err
+		}
+		run := core.RunConfig{EarlyFire: c.ef}
+		return &serve.TTFSEngine{Model: m, Run: run, Faults: inj},
+			fmt.Sprintf("t2fsnn %s (T=%d)", c.modelPath, m.T), nil
+	}
+
+	sc, err := experiments.ParseScale(c.scale)
+	if err != nil {
+		return nil, "", err
+	}
+	p, err := experiments.ParamsFor(c.dataset, sc)
+	if err != nil {
+		return nil, "", err
+	}
+	s, err := experiments.Prepare(p, c.cache, os.Stderr)
+	if err != nil {
+		return nil, "", err
+	}
+
+	if c.scheme != "ttfs" {
+		var sch coding.Scheme
+		switch c.scheme {
+		case "rate":
+			sch = coding.Rate{}
+		case "phase":
+			sch = coding.Phase{}
+		case "burst":
+			sch = coding.Burst{}
+		default:
+			return nil, "", fmt.Errorf("unknown scheme %q", c.scheme)
+		}
+		return &serve.SchemeEngine{Net: s.Conv.Net, Scheme: sch, Steps: c.steps, Faults: inj},
+			fmt.Sprintf("%s over %s/%s (%d steps)", sch.Name(), c.dataset, c.scale, c.steps), nil
+	}
+
+	var m *core.Model
+	if c.useGO {
+		_, m, _, err = experiments.BuildModels(s)
+	} else {
+		m, err = core.NewModel(s.Conv.Net, p.T, p.TauInit, p.TdInit)
+	}
+	if err != nil {
+		return nil, "", err
+	}
+	run := core.RunConfig{EarlyFire: c.ef, EFStart: p.EFStart()}
+	name := "T2FSNN"
+	if c.useGO {
+		name += "+GO"
+	}
+	if c.ef {
+		name += "+EF"
+	}
+	return &serve.TTFSEngine{Model: m, Run: run, Faults: inj},
+		fmt.Sprintf("%s over %s/%s (T=%d, DNN acc %.3f)", name, c.dataset, c.scale, m.T, s.DNNAcc), nil
+}

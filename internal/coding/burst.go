@@ -33,7 +33,8 @@ func (b Burst) params() (float64, int) {
 }
 
 // Run implements Scheme.
-func (b Burst) Run(net *snn.Net, input []float64, steps int, collectTimeline bool, fs *fault.Stream) snn.SimResult {
+func (b Burst) Run(net *snn.Net, input []float64, opts RunOpts) snn.SimResult {
+	steps, fs := opts.Steps, opts.Faults
 	res := newSimResult(net, steps)
 	g, maxLen := b.params()
 	nStages := len(net.Stages)
@@ -125,7 +126,7 @@ func (b Burst) Run(net *snn.Net, input []float64, steps int, collectTimeline boo
 				}
 			}
 		}
-		if collectTimeline {
+		if opts.CollectTimeline {
 			res.RecordPred(t, pot[nStages-1])
 		}
 	}

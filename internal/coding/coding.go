@@ -11,24 +11,39 @@ import (
 	"fmt"
 
 	"repro/internal/fault"
+	"repro/internal/metrics"
 	"repro/internal/snn"
 	"repro/internal/tensor"
 )
 
-// Scheme simulates one input (flattened [C,H,W], values in [0,1])
-// through net for the given number of steps. fs is the sample's
-// fault-injection stream (internal/fault); nil injects nothing and the
-// simulation is bit-identical to the fault-free path.
-type Scheme interface {
-	Name() string
-	Run(net *snn.Net, input []float64, steps int, collectTimeline bool, fs *fault.Stream) snn.SimResult
+// RunOpts configures one scheme simulation, mirroring core.RunConfig so
+// the serving layer and the experiments call every engine with one
+// shape. The zero value (plus a Steps horizon) is the plain fault-free
+// run.
+type RunOpts struct {
+	// Steps is the simulation horizon in global time steps. Schemes
+	// with an intrinsic latency (TTFS) treat it as a timeline cap; 0
+	// means "the scheme's own latency".
+	Steps int
+	// CollectTimeline retains the output-potential argmax trajectory
+	// for inference curves (costs memory; off by default).
+	CollectTimeline bool
+	// Faults is the sample's fault-injection stream (internal/fault);
+	// nil injects nothing and the simulation is bit-identical to the
+	// fault-free path.
+	Faults *fault.Stream
 }
 
-// CurvePoint is one accuracy sample of an inference curve.
-type CurvePoint struct {
-	Step     int
-	Accuracy float64
+// Scheme simulates one input (flattened [C,H,W], values in [0,1])
+// through net under the given options.
+type Scheme interface {
+	Name() string
+	Run(net *snn.Net, input []float64, opts RunOpts) snn.SimResult
 }
+
+// CurvePoint is one accuracy sample of an inference curve, shared with
+// internal/core via internal/metrics.
+type CurvePoint = metrics.CurvePoint
 
 // EvalResult aggregates a scheme over a labelled evaluation set.
 type EvalResult struct {
@@ -76,7 +91,7 @@ func EvaluateFaulted(s Scheme, net *snn.Net, x *tensor.Tensor, labels []int, ste
 	timelines := make([][]snn.TimedPred, n)
 	for i := 0; i < n; i++ {
 		in := x.Data[i*sampleLen : (i+1)*sampleLen]
-		r := s.Run(net, in, steps, true, inj.Sample(i))
+		r := s.Run(net, in, RunOpts{Steps: steps, CollectTimeline: true, Faults: inj.Sample(i)})
 		if r.Pred == labels[i] {
 			correct++
 		}

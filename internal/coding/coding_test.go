@@ -86,7 +86,7 @@ func TestRateInputEncoderFrequency(t *testing.T) {
 	net := fx.Conv.Net
 	input := make([]float64, net.InLen)
 	input[0] = 0.37
-	res := Rate{}.Run(net, input, 1000, false, nil)
+	res := Rate{}.Run(net, input, RunOpts{Steps: 1000})
 	rate := float64(res.SpikesPerStage[0]) / 1000
 	if rate < 0.36 || rate > 0.38 {
 		t.Fatalf("input firing rate %.3f, want ≈0.37", rate)
@@ -98,7 +98,7 @@ func TestPhaseInputEmitsPerPeriod(t *testing.T) {
 	net := fx.Conv.Net
 	input := make([]float64, net.InLen)
 	input[0] = 0.5 // exactly one bit set -> one spike per period
-	res := Phase{}.Run(net, input, 80, false, nil)
+	res := Phase{}.Run(net, input, RunOpts{Steps: 80})
 	if res.SpikesPerStage[0] != 10 {
 		t.Fatalf("phase input spikes = %d, want 10 (one per 8-step period)", res.SpikesPerStage[0])
 	}
@@ -112,8 +112,8 @@ func TestBurstTransmitsLargeValuesFaster(t *testing.T) {
 		big[i] = 1.0
 	}
 	nSteps := 20
-	burst := Burst{}.Run(net, big, nSteps, false, nil)
-	rate := Rate{}.Run(net, big, nSteps, false, nil)
+	burst := Burst{}.Run(net, big, RunOpts{Steps: nSteps})
+	rate := Rate{}.Run(net, big, RunOpts{Steps: nSteps})
 	// burst input encoders drain accumulated charge with growing weights,
 	// so they emit at most as many spikes as rate for the same drive
 	if burst.SpikesPerStage[0] > rate.SpikesPerStage[0] {
@@ -132,7 +132,7 @@ func TestTimelineInvariants(t *testing.T) {
 	net := fx.Conv.Net
 	in := fx.X.Data[:256]
 	for _, s := range []Scheme{Rate{}, Phase{}, Burst{}} {
-		r := s.Run(net, in, 100, true, nil)
+		r := s.Run(net, in, RunOpts{Steps: 100, CollectTimeline: true})
 		if r.Pred < 0 || r.Pred >= 10 {
 			t.Fatalf("%s: pred %d out of range", s.Name(), r.Pred)
 		}
@@ -197,7 +197,12 @@ func TestConvergenceStepEdgeCases(t *testing.T) {
 	if got := ConvergenceStep(nil, 0.5); got != 0 {
 		t.Fatalf("empty curve -> %d, want 0", got)
 	}
-	curve := []CurvePoint{{0, 0.1}, {10, 0.5}, {20, 0.9}, {30, 0.9}}
+	curve := []CurvePoint{
+		{Step: 0, Accuracy: 0.1},
+		{Step: 10, Accuracy: 0.5},
+		{Step: 20, Accuracy: 0.9},
+		{Step: 30, Accuracy: 0.9},
+	}
 	if got := ConvergenceStep(curve, 0.9); got != 20 {
 		t.Fatalf("ConvergenceStep = %d, want 20", got)
 	}
@@ -241,7 +246,7 @@ func TestPoissonRateFrequency(t *testing.T) {
 	net := fx.Conv.Net
 	input := make([]float64, net.InLen)
 	input[0] = 0.37
-	res := Rate{Poisson: true, Seed: 5}.Run(net, input, 3000, false, nil)
+	res := Rate{Poisson: true, Seed: 5}.Run(net, input, RunOpts{Steps: 3000})
 	rate := float64(res.SpikesPerStage[0]) / 3000
 	if rate < 0.34 || rate > 0.40 {
 		t.Fatalf("poisson input firing rate %.3f, want ≈0.37", rate)
@@ -251,12 +256,12 @@ func TestPoissonRateFrequency(t *testing.T) {
 func TestPoissonRateDeterministicPerSeed(t *testing.T) {
 	fx := testutil.TrainedLeNet16()
 	in := fx.X.Data[:256]
-	a := Rate{Poisson: true, Seed: 7}.Run(fx.Conv.Net, in, 100, false, nil)
-	b := Rate{Poisson: true, Seed: 7}.Run(fx.Conv.Net, in, 100, false, nil)
+	a := Rate{Poisson: true, Seed: 7}.Run(fx.Conv.Net, in, RunOpts{Steps: 100})
+	b := Rate{Poisson: true, Seed: 7}.Run(fx.Conv.Net, in, RunOpts{Steps: 100})
 	if a.TotalSpikes != b.TotalSpikes || a.Pred != b.Pred {
 		t.Fatal("same seed must reproduce the same simulation")
 	}
-	c := Rate{Poisson: true, Seed: 8}.Run(fx.Conv.Net, in, 100, false, nil)
+	c := Rate{Poisson: true, Seed: 8}.Run(fx.Conv.Net, in, RunOpts{Steps: 100})
 	if a.TotalSpikes == c.TotalSpikes {
 		t.Fatal("different seeds should perturb the spike count")
 	}

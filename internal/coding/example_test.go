@@ -27,7 +27,7 @@ func exampleNet() *snn.Net {
 // keep the arithmetic clean), and the identity output accumulates
 // exactly those counts.
 func ExampleRate() {
-	r := coding.Rate{}.Run(exampleNet(), []float64{0.75, 0.25}, 10, false, nil)
+	r := coding.Rate{}.Run(exampleNet(), []float64{0.75, 0.25}, coding.RunOpts{Steps: 10})
 	fmt.Printf("input spikes: %d\n", r.SpikesPerStage[0])
 	fmt.Printf("accumulated potentials: %.0f %.0f\n", r.Potentials[0], r.Potentials[1])
 	// Output:
@@ -39,7 +39,7 @@ func ExampleRate() {
 // pixel is the single high bit of the first phase, firing exactly once
 // per 8-step period with weight 1/2.
 func ExamplePhase() {
-	r := coding.Phase{}.Run(exampleNet(), []float64{0.5, 0}, 16, false, nil)
+	r := coding.Phase{}.Run(exampleNet(), []float64{0.5, 0}, coding.RunOpts{Steps: 16})
 	fmt.Printf("spikes over two periods: %d\n", r.SpikesPerStage[0])
 	fmt.Printf("accumulated value: %.2f\n", r.Potentials[0])
 	// Output:

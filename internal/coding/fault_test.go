@@ -27,8 +27,8 @@ func TestSchemesFaultHooksAreNoOpWhenDisabled(t *testing.T) {
 	for _, s := range []Scheme{Rate{}, Rate{Poisson: true, Seed: 4}, Phase{}, Burst{}} {
 		for i := 0; i < 5; i++ {
 			in := fx.X.Data[i*256 : (i+1)*256]
-			plain := s.Run(net, in, 120, true, nil)
-			hooked := s.Run(net, in, 120, true, inj.Sample(i))
+			plain := s.Run(net, in, RunOpts{Steps: 120, CollectTimeline: true})
+			hooked := s.Run(net, in, RunOpts{Steps: 120, CollectTimeline: true, Faults: inj.Sample(i)})
 			if plain.Pred != hooked.Pred || plain.TotalSpikes != hooked.TotalSpikes {
 				t.Fatalf("%s sample %d: zero-fault stream changed result: pred %d/%d spikes %d/%d",
 					s.Name(), i, plain.Pred, hooked.Pred, plain.TotalSpikes, hooked.TotalSpikes)
@@ -59,8 +59,8 @@ func TestSchemesDropReducesDeliveredSpikes(t *testing.T) {
 	in := fx.X.Data[:256]
 	inj := mustInjector(t, fault.Config{Seed: 3, Drop: 0.5})
 	for _, s := range []Scheme{Rate{}, Phase{}, Burst{}} {
-		clean := s.Run(net, in, 100, false, nil)
-		dropped := s.Run(net, in, 100, false, inj.Sample(0))
+		clean := s.Run(net, in, RunOpts{Steps: 100})
+		dropped := s.Run(net, in, RunOpts{Steps: 100, Faults: inj.Sample(0)})
 		lo, hi := 0.3*float64(clean.TotalSpikes), 0.7*float64(clean.TotalSpikes)
 		if f := float64(dropped.TotalSpikes); f < lo || f > hi {
 			t.Fatalf("%s: drop=0.5 delivered %d of %d spikes, want roughly half",
@@ -76,7 +76,7 @@ func TestSchemesStuckSilentInput(t *testing.T) {
 	in := fx.X.Data[:256]
 	inj := mustInjector(t, fault.Config{Seed: 5, StuckSilent: 1}) // kill everything
 	for _, s := range []Scheme{Rate{}, Phase{}, Burst{}} {
-		r := s.Run(net, in, 60, false, inj.Sample(0))
+		r := s.Run(net, in, RunOpts{Steps: 60, Faults: inj.Sample(0)})
 		if r.TotalSpikes != 0 {
 			t.Fatalf("%s: fully stuck-silent network still delivered %d spikes", s.Name(), r.TotalSpikes)
 		}
@@ -91,8 +91,8 @@ func TestSchemesJitterConservesSpikes(t *testing.T) {
 	in := fx.X.Data[:256]
 	inj := mustInjector(t, fault.Config{Seed: 6, Jitter: 3})
 	for _, s := range []Scheme{Rate{}, Phase{}, Burst{}} {
-		clean := s.Run(net, in, 100, false, nil)
-		jittered := s.Run(net, in, 100, false, inj.Sample(0))
+		clean := s.Run(net, in, RunOpts{Steps: 100})
+		jittered := s.Run(net, in, RunOpts{Steps: 100, Faults: inj.Sample(0)})
 		// jitter perturbs dynamics, so counts drift; they must stay in the
 		// same regime rather than collapse or explode
 		if f := float64(jittered.TotalSpikes); f < 0.5*float64(clean.TotalSpikes) || f > 1.5*float64(clean.TotalSpikes) {

@@ -29,7 +29,8 @@ func (p Phase) period() int {
 }
 
 // Run implements Scheme.
-func (p Phase) Run(net *snn.Net, input []float64, steps int, collectTimeline bool, fs *fault.Stream) snn.SimResult {
+func (p Phase) Run(net *snn.Net, input []float64, opts RunOpts) snn.SimResult {
+	steps, fs := opts.Steps, opts.Faults
 	res := newSimResult(net, steps)
 	k := p.period()
 	nStages := len(net.Stages)
@@ -112,7 +113,7 @@ func (p Phase) Run(net *snn.Net, input []float64, steps int, collectTimeline boo
 				}
 			}
 		}
-		if collectTimeline {
+		if opts.CollectTimeline {
 			res.RecordPred(t, pot[nStages-1])
 		}
 	}

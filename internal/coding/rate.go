@@ -59,7 +59,8 @@ func gateStep(gates []*fault.ClockGate, b, t int, emitted []fault.Spike) []fault
 }
 
 // Run implements Scheme.
-func (r Rate) Run(net *snn.Net, input []float64, steps int, collectTimeline bool, fs *fault.Stream) snn.SimResult {
+func (r Rate) Run(net *snn.Net, input []float64, opts RunOpts) snn.SimResult {
+	steps, fs := opts.Steps, opts.Faults
 	res := newSimResult(net, steps)
 	nStages := len(net.Stages)
 	var rng *tensor.RNG
@@ -141,7 +142,7 @@ func (r Rate) Run(net *snn.Net, input []float64, steps int, collectTimeline bool
 				}
 			}
 		}
-		if collectTimeline {
+		if opts.CollectTimeline {
 			res.RecordPred(t, pot[nStages-1])
 		}
 	}

@@ -2,7 +2,6 @@ package coding
 
 import (
 	"repro/internal/core"
-	"repro/internal/fault"
 	"repro/internal/snn"
 )
 
@@ -25,10 +24,10 @@ func (t TTFS) Name() string {
 }
 
 // Run implements Scheme.
-func (t TTFS) Run(net *snn.Net, input []float64, steps int, collectTimeline bool, fs *fault.Stream) snn.SimResult {
+func (t TTFS) Run(net *snn.Net, input []float64, opts RunOpts) snn.SimResult {
 	cfg := t.Run_
-	cfg.CollectTimeline = collectTimeline
-	cfg.Faults = fs
+	cfg.CollectTimeline = opts.CollectTimeline
+	cfg.Faults = opts.Faults
 	r := t.Model.Infer(input, cfg)
 	out := snn.SimResult{
 		Pred:           r.Pred,
@@ -38,7 +37,7 @@ func (t TTFS) Run(net *snn.Net, input []float64, steps int, collectTimeline bool
 		Potentials:     r.Potentials,
 	}
 	for _, tp := range r.Timeline {
-		if steps > 0 && tp.Step > steps {
+		if opts.Steps > 0 && tp.Step > opts.Steps {
 			break
 		}
 		out.Timeline = append(out.Timeline, snn.TimedPred{Step: tp.Step, Pred: tp.Pred})

@@ -33,7 +33,7 @@ func TestTTFSAdapterMatchesDirectInfer(t *testing.T) {
 	s, fx := ttfsScheme(t)
 	in := fx.X.Data[:256]
 	direct := s.Model.Infer(in, core.RunConfig{})
-	via := s.Run(fx.Conv.Net, in, 0, false, nil)
+	via := s.Run(fx.Conv.Net, in, RunOpts{})
 	if via.Pred != direct.Pred || via.TotalSpikes != direct.TotalSpikes {
 		t.Fatalf("adapter diverges: pred %d/%d spikes %d/%d",
 			via.Pred, direct.Pred, via.TotalSpikes, direct.TotalSpikes)
@@ -63,11 +63,11 @@ func TestTTFSAdapterInEvaluateHarness(t *testing.T) {
 func TestTTFSAdapterTimelineTruncation(t *testing.T) {
 	s, fx := ttfsScheme(t)
 	in := fx.X.Data[:256]
-	full := s.Run(fx.Conv.Net, in, 0, true, nil)
+	full := s.Run(fx.Conv.Net, in, RunOpts{CollectTimeline: true})
 	if len(full.Timeline) == 0 {
 		t.Fatal("no timeline")
 	}
-	cut := s.Run(fx.Conv.Net, in, full.Timeline[0].Step, true, nil)
+	cut := s.Run(fx.Conv.Net, in, RunOpts{Steps: full.Timeline[0].Step, CollectTimeline: true})
 	if len(cut.Timeline) >= len(full.Timeline) && len(full.Timeline) > 1 {
 		t.Fatalf("truncation had no effect: %d vs %d", len(cut.Timeline), len(full.Timeline))
 	}

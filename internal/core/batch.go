@@ -1,0 +1,253 @@
+package core
+
+import (
+	"fmt"
+	"math/bits"
+
+	"repro/internal/fault"
+	"repro/internal/kernel"
+	"repro/internal/snn"
+)
+
+// maxChunk is the largest number of samples one batched pass handles:
+// per-(offset, neuron) firing sets are tracked as 64-bit masks. Larger
+// batches are processed in chunks; the amortization win saturates well
+// below this.
+const maxChunk = 64
+
+// InferBatch runs a batch of inputs through the T2FSNN pipeline and
+// returns one Result per input, each bit-identical to what
+// Infer(inputs[i], cfg) with Faults=faults[i] would produce (pinned by
+// TestInferBatchMatchesInfer).
+//
+// The win over per-sample Infer on the same core count is amortization,
+// not parallelism: per-spike scatter address generation (the conv
+// kernel index arithmetic that dominates Infer's profile) is computed
+// once per fired neuron per batch and replayed as a flat
+// contribution-list sweep for every sample in which that neuron fired.
+// Samples of the same class fire heavily overlapping neuron sets, so
+// the address-generation cost — roughly half of a single inference —
+// divides by the batch size. This is what makes server-side
+// micro-batching (internal/serve) pay on a single core.
+//
+// faults must be nil (no injection) or hold one per-sample stream entry
+// (nil entries inject nothing); cfg.Faults must be nil — the batch
+// variant takes per-sample streams explicitly.
+func (m *Model) InferBatch(inputs [][]float64, cfg RunConfig, faults []*fault.Stream) []Result {
+	if cfg.Faults != nil {
+		panic("core: InferBatch takes per-sample fault streams, not cfg.Faults")
+	}
+	if faults != nil && len(faults) != len(inputs) {
+		panic(fmt.Sprintf("core: %d fault streams for %d inputs", len(faults), len(inputs)))
+	}
+	res := make([]Result, len(inputs))
+	for lo := 0; lo < len(inputs); lo += maxChunk {
+		hi := lo + maxChunk
+		if hi > len(inputs) {
+			hi = len(inputs)
+		}
+		var fs []*fault.Stream
+		if faults != nil {
+			fs = faults[lo:hi]
+		}
+		m.inferChunk(inputs[lo:hi], cfg, fs, res[lo:hi])
+	}
+	return res
+}
+
+// fireEntry records that input neuron Idx fired at some offset in the
+// samples whose bits are set in Mask.
+type fireEntry struct {
+	Idx  int32
+	Mask uint64
+}
+
+// inferChunk is the batched pipeline over at most maxChunk samples.
+// Every per-sample floating-point operation happens in exactly the
+// order Infer performs it, so results are bit-identical; only the
+// bookkeeping around them is shared.
+func (m *Model) inferChunk(inputs [][]float64, cfg RunConfig, faults []*fault.Stream, res []Result) {
+	b := len(inputs)
+	if b == 0 {
+		return
+	}
+	adv := cfg.advance(m.T)
+	nStages := len(m.Net.Stages)
+	stream := func(s int) *fault.Stream {
+		if faults == nil {
+			return nil
+		}
+		return faults[s]
+	}
+
+	times := make([][]int, b) // per-sample spike offsets at the current boundary
+	for s, input := range inputs {
+		if len(input) != m.Net.InLen {
+			panic(fmt.Sprintf("core: input length %d, want %d", len(input), m.Net.InLen))
+		}
+		res[s] = Result{
+			Spikes:  make([]int, nStages),
+			Latency: (nStages-1)*adv + m.T,
+		}
+		if cfg.CollectSpikeTimes {
+			res[s].SpikeTimes = make([][]int, nStages)
+		}
+		if cfg.CollectEvents {
+			res[s].Events = make([][]SpikeEvent, nStages)
+		}
+
+		// input encoding: analytic per sample, exactly as in Infer
+		ts := make([]int, m.Net.InLen)
+		fired := 0
+		for i, u := range input {
+			t, ok := m.K[0].Encode(u)
+			if ok {
+				ts[i] = t
+				fired++
+			} else {
+				ts[i] = -1
+			}
+		}
+		if fs := stream(s); fs != nil {
+			fired = fs.ApplyTTFS(0, ts, m.T)
+		}
+		times[s] = ts
+		res[s].Spikes[0] = fired
+		if cfg.CollectSpikeTimes {
+			res[s].SpikeTimes[0] = collectGlobal(ts, 0)
+		}
+		if cfg.CollectEvents {
+			res[s].Events[0] = collectEvents(ts, 0)
+		}
+	}
+
+	perOff := make([][]fireEntry, m.T)
+	for si := range m.Net.Stages {
+		st := &m.Net.Stages[si]
+		inK := m.K[si]
+		windowStart := si * adv
+
+		if st.Output {
+			// The output stage is cheap (few neurons, no firing); reuse
+			// the reference implementation per sample.
+			for s := range inputs {
+				m.runOutputStage(st, inK, times[s], windowStart, adv, cfg, &res[s])
+			}
+			return
+		}
+		times = m.runHiddenStageBatch(st, inK, m.K[si+1], times, adv, si, cfg, faults, res, perOff)
+	}
+}
+
+// runHiddenStageBatch is the batched counterpart of runHiddenStage.
+// perOff is caller-owned scratch (reset here) grouping the chunk's input
+// spikes by window offset.
+func (m *Model) runHiddenStageBatch(st *snn.Stage, inK, outK kernel.Kernel, inTimes [][]int, adv, si int, cfg RunConfig, faults []*fault.Stream, res []Result, perOff [][]fireEntry) [][]int {
+	b := len(inTimes)
+	dec := decodeTable(inK, m.T)
+
+	pots := make([][]float64, b)
+	for s := 0; s < b; s++ {
+		pot := make([]float64, st.OutLen)
+		st.AddBias(pot)
+		pots[s] = pot
+	}
+
+	// Group the chunk's spikes by offset. Iterating neurons in the outer
+	// loop keeps every offset's entry list sorted by neuron index, so
+	// each sample sees its arrivals in exactly bucketize order.
+	for off := range perOff {
+		perOff[off] = perOff[off][:0]
+	}
+	for idx := 0; idx < st.InLen; idx++ {
+		for s := 0; s < b; s++ {
+			t := inTimes[s][idx]
+			if t < 0 || t >= m.T {
+				continue
+			}
+			lst := perOff[t]
+			if n := len(lst); n > 0 && lst[n-1].Idx == int32(idx) {
+				lst[n-1].Mask |= 1 << uint(s)
+			} else {
+				perOff[t] = append(lst, fireEntry{Idx: int32(idx), Mask: 1 << uint(s)})
+			}
+		}
+	}
+
+	// rows caches the scatter contribution list per pooled input index;
+	// built once per chunk, replayed per sample.
+	rows := make([][]snn.Contrib, st.NumRowKeys())
+	apply := func(off int) {
+		scale := dec[off]
+		for _, e := range perOff[off] {
+			key, div := st.RowKey(int(e.Idx))
+			row := rows[key]
+			if row == nil {
+				row = st.AppendContribs(key, make([]snn.Contrib, 0, st.FanOut(int(e.Idx))))
+				rows[key] = row
+			}
+			sc := scale / div
+			for mask := e.Mask; mask != 0; mask &= mask - 1 {
+				pot := pots[bits.TrailingZeros64(mask)]
+				for _, c := range row {
+					pot[c.J] += sc * c.W
+				}
+			}
+		}
+	}
+
+	// Phase 1 — guaranteed integration (arrivals before the fire phase).
+	for off := 0; off < adv && off < m.T; off++ {
+		apply(off)
+	}
+
+	outTimes := make([][]int, b)
+	firedCount := make([]int, b)
+	for s := 0; s < b; s++ {
+		ot := make([]int, st.OutLen)
+		for i := range ot {
+			ot[i] = -1
+		}
+		outTimes[s] = ot
+	}
+
+	// Phase 2 — fire phase with overlapping arrivals.
+	for f := 0; f < m.T; f++ {
+		if inOff := adv + f; inOff < m.T {
+			apply(inOff)
+		}
+		thetaBase := outK.Threshold(float64(f))
+		for s := 0; s < b; s++ {
+			theta := thetaBase
+			if faults != nil && faults[s] != nil {
+				theta = faults[s].Threshold(si+1, f, theta)
+			}
+			ot := outTimes[s]
+			for j, u := range pots[s] {
+				if ot[j] < 0 && u >= theta {
+					ot[j] = f
+					firedCount[s]++
+				}
+			}
+		}
+	}
+
+	for s := 0; s < b; s++ {
+		if faults != nil && faults[s] != nil {
+			firedCount[s] = faults[s].ApplyTTFS(si+1, outTimes[s], m.T)
+		}
+		r := &res[s]
+		r.Spikes[si+1] = firedCount[s]
+		r.TotalSpikes = 0
+		for _, c := range r.Spikes {
+			r.TotalSpikes += c
+		}
+		if cfg.CollectSpikeTimes {
+			r.SpikeTimes[si+1] = collectGlobal(outTimes[s], (si+1)*adv)
+		}
+		if cfg.CollectEvents {
+			r.Events[si+1] = collectEvents(outTimes[s], (si+1)*adv)
+		}
+	}
+	return outTimes
+}

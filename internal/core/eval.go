@@ -13,11 +13,10 @@ import (
 )
 
 // CurvePoint is one point of an accuracy-versus-time-step inference
-// curve (paper Fig. 6).
-type CurvePoint struct {
-	Step     int
-	Accuracy float64
-}
+// curve (paper Fig. 6). It is the shared metrics.CurvePoint: the TTFS
+// core and the baseline codings produce the same curve type, so
+// experiment code can mix them without copy-conversion.
+type CurvePoint = metrics.CurvePoint
 
 // StageSpikeStats aggregates the spike timing of one fire boundary
 // across an evaluation set (paper Fig. 5).
@@ -123,7 +122,11 @@ func EvaluateContext(ctx context.Context, m *Model, x *tensor.Tensor, labels []i
 	}
 
 	classes := m.Net.Stages[len(m.Net.Stages)-1].OutLen
-	res.Confusion = metrics.NewConfusion(classes)
+	conf, err := metrics.NewConfusion(classes)
+	if err != nil {
+		return EvalResult{}, fmt.Errorf("core: %w", err)
+	}
+	res.Confusion = conf
 
 	// run all inferences (optionally across workers; Infer only reads
 	// the shared model), then aggregate deterministically in order

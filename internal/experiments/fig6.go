@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/coding"
 	"repro/internal/core"
+	"repro/internal/metrics"
 )
 
 // Fig6Curves holds one dataset's inference curves for every scheme.
@@ -52,7 +53,7 @@ func Fig6(scale Scale, cacheDir string, log io.Writer) (*Fig6Result, error) {
 			if err != nil {
 				return nil, err
 			}
-			fc.Series = append(fc.Series, curveToSeries(b.scheme.Name(), nil, ev.Curve))
+			fc.Series = append(fc.Series, curveToSeries(b.scheme.Name(), ev.Curve))
 			fc.FinalAccuracy[b.scheme.Name()] = ev.Accuracy
 			if log != nil {
 				fmt.Fprintf(log, "%s/%s: final acc %.3f\n", ds, b.scheme.Name(), ev.Accuracy)
@@ -68,7 +69,7 @@ func Fig6(scale Scale, cacheDir string, log io.Writer) (*Fig6Result, error) {
 			if err != nil {
 				return nil, err
 			}
-			fc.Series = append(fc.Series, curveToSeries(string(v.Name), ev.Curve, nil))
+			fc.Series = append(fc.Series, curveToSeries(string(v.Name), ev.Curve))
 			fc.FinalAccuracy[string(v.Name)] = ev.Accuracy
 		}
 		res.Curves = append(res.Curves, fc)
@@ -78,14 +79,12 @@ func Fig6(scale Scale, cacheDir string, log io.Writer) (*Fig6Result, error) {
 	return res, nil
 }
 
-// curveToSeries converts either curve representation into a Series.
-func curveToSeries(name string, a []core.CurvePoint, b []coding.CurvePoint) Series {
+// curveToSeries converts an inference curve into a Series. The TTFS
+// core and the baseline codings share metrics.CurvePoint, so one
+// conversion covers both evaluation paths.
+func curveToSeries(name string, curve []metrics.CurvePoint) Series {
 	s := Series{Name: name}
-	for _, p := range a {
-		s.X = append(s.X, float64(p.Step))
-		s.Y = append(s.Y, p.Accuracy)
-	}
-	for _, p := range b {
+	for _, p := range curve {
 		s.X = append(s.X, float64(p.Step))
 		s.Y = append(s.Y, p.Accuracy)
 	}

@@ -66,7 +66,7 @@ func Table3(scale Scale, cacheDir string, log io.Writer) (*Table3Result, error) 
 		// split the aggregate across boundaries using one sample's
 		// distribution (SpikeOps only needs the total, but the split
 		// keeps the per-boundary interface honest)
-		one := b.scheme.Run(net, s.EvalX.Data[:net.InLen], b.steps, false, nil)
+		one := b.scheme.Run(net, s.EvalX.Data[:net.InLen], coding.RunOpts{Steps: b.steps})
 		per := make([]float64, len(net.Stages))
 		tot := 0.0
 		for i := range per {

@@ -10,6 +10,14 @@ import (
 	"strings"
 )
 
+// CurvePoint is one point of an accuracy-versus-time-step inference
+// curve (paper Fig. 6). It is the shared curve representation of the
+// TTFS core (internal/core) and the baseline codings (internal/coding).
+type CurvePoint struct {
+	Step     int
+	Accuracy float64
+}
+
 // Confusion is a square confusion matrix: Counts[true][pred].
 type Confusion struct {
 	Classes int
@@ -17,16 +25,19 @@ type Confusion struct {
 	Total   int
 }
 
-// NewConfusion allocates a matrix for the given class count.
-func NewConfusion(classes int) *Confusion {
+// NewConfusion allocates a matrix for the given class count. A
+// non-positive class count is a caller bug, but it typically arrives
+// from config or a loaded model, so it is reported as an error rather
+// than a panic.
+func NewConfusion(classes int) (*Confusion, error) {
 	if classes <= 0 {
-		panic(fmt.Sprintf("metrics: non-positive class count %d", classes))
+		return nil, fmt.Errorf("metrics: non-positive class count %d", classes)
 	}
 	c := &Confusion{Classes: classes, Counts: make([][]int, classes)}
 	for i := range c.Counts {
 		c.Counts[i] = make([]int, classes)
 	}
-	return c
+	return c, nil
 }
 
 // Add records one (true label, prediction) pair. Out-of-range

@@ -6,7 +6,7 @@ import (
 )
 
 func TestConfusionAccuracy(t *testing.T) {
-	c := NewConfusion(3)
+	c := mustConfusion(t, 3)
 	c.AddAll([]int{0, 1, 2, 0}, []int{0, 1, 1, 0})
 	if got := c.Accuracy(); got != 0.75 {
 		t.Fatalf("Accuracy = %v, want 0.75", got)
@@ -17,7 +17,7 @@ func TestConfusionAccuracy(t *testing.T) {
 }
 
 func TestConfusionNoDecisionCountsAsError(t *testing.T) {
-	c := NewConfusion(2)
+	c := mustConfusion(t, 2)
 	c.Add(1, -1) // no decision
 	if c.Accuracy() != 0 {
 		t.Fatal("no-decision must not count as correct")
@@ -28,7 +28,7 @@ func TestConfusionNoDecisionCountsAsError(t *testing.T) {
 }
 
 func TestConfusionRecallPrecision(t *testing.T) {
-	c := NewConfusion(2)
+	c := mustConfusion(t, 2)
 	// class 0: 3 examples, 2 recalled; class 1: 1 example, predicted 0
 	c.AddAll([]int{0, 0, 0, 1}, []int{0, 0, 1, 0})
 	if got := c.Recall(0); got != 2.0/3.0 {
@@ -41,14 +41,14 @@ func TestConfusionRecallPrecision(t *testing.T) {
 		t.Fatalf("Recall(1) = %v", got)
 	}
 	// empty class behaviour
-	e := NewConfusion(3)
+	e := mustConfusion(t, 3)
 	if e.Recall(2) != 0 || e.Precision(2) != 0 || e.Accuracy() != 0 {
 		t.Fatal("empty confusion should report zeros")
 	}
 }
 
 func TestMostConfused(t *testing.T) {
-	c := NewConfusion(3)
+	c := mustConfusion(t, 3)
 	for i := 0; i < 5; i++ {
 		c.Add(2, 0)
 	}
@@ -60,30 +60,34 @@ func TestMostConfused(t *testing.T) {
 }
 
 func TestConfusionStringSmallAndLarge(t *testing.T) {
-	small := NewConfusion(2)
+	small := mustConfusion(t, 2)
 	small.Add(0, 0)
 	if !strings.Contains(small.String(), "true\\pred") {
 		t.Fatal("small matrix should render full grid")
 	}
-	big := NewConfusion(100)
+	big := mustConfusion(t, 100)
 	big.Add(3, 7)
 	if !strings.Contains(big.String(), "worst confusion 3->7") {
 		t.Fatalf("large matrix summary wrong: %s", big.String())
 	}
 }
 
+func TestNewConfusionRejectsBadCounts(t *testing.T) {
+	for _, classes := range []int{0, -1} {
+		if c, err := NewConfusion(classes); err == nil || c != nil {
+			t.Fatalf("NewConfusion(%d) = (%v, %v), want error", classes, c, err)
+		}
+	}
+}
+
 func TestConfusionPanics(t *testing.T) {
 	func() {
 		defer expectPanic(t)
-		NewConfusion(0)
+		mustConfusion(t, 2).Add(5, 0)
 	}()
 	func() {
 		defer expectPanic(t)
-		NewConfusion(2).Add(5, 0)
-	}()
-	func() {
-		defer expectPanic(t)
-		NewConfusion(2).AddAll([]int{0}, []int{0, 1})
+		mustConfusion(t, 2).AddAll([]int{0}, []int{0, 1})
 	}()
 }
 
@@ -107,6 +111,15 @@ func TestTopK(t *testing.T) {
 	if TopK(nil, nil, 1) != 0 {
 		t.Fatal("empty TopK should be 0")
 	}
+}
+
+func mustConfusion(t *testing.T, classes int) *Confusion {
+	t.Helper()
+	c, err := NewConfusion(classes)
+	if err != nil {
+		t.Fatalf("NewConfusion(%d): %v", classes, err)
+	}
+	return c
 }
 
 func expectPanic(t *testing.T) {

@@ -1,0 +1,131 @@
+// Package serve is the batched inference serving layer: a stdlib-only
+// HTTP server that queues single-sample requests, forms micro-batches
+// (up to MaxBatch samples or MaxWait, whichever first), and executes
+// them on the batched T2FSNN engine (core.InferBatch) or any
+// coding.Scheme. On a single core the win is amortization, not
+// parallelism — see core.InferBatch — so batching still buys ≥2×
+// throughput (pinned by make serve-smoke via cmd/snnload).
+//
+// The scheduler guarantees the served predictions are bit-identical to
+// direct core.Evaluate over the same samples (pinned by the golden test
+// in golden_test.go): batching changes wall-clock behaviour, never
+// results.
+package serve
+
+import (
+	"repro/internal/coding"
+	"repro/internal/core"
+	"repro/internal/fault"
+	"repro/internal/snn"
+)
+
+// Prediction is the serving outcome for one sample.
+type Prediction struct {
+	// Pred is the predicted class.
+	Pred int
+	// Latency is the model-time latency in simulation steps (not wall
+	// clock; the server reports wall latency separately).
+	Latency int
+	// TotalSpikes counts every spike the inference generated.
+	TotalSpikes int
+	// Potentials are the final output potentials (the logits the
+	// decision was read from).
+	Potentials []float64
+}
+
+// Engine turns a batch of inputs into predictions. Implementations must
+// be safe for concurrent InferBatch calls (the server runs a worker
+// pool) and must produce per-sample results independent of how samples
+// are grouped into batches.
+type Engine interface {
+	// InLen is the expected flattened input length.
+	InLen() int
+	// Classes is the number of output classes (0 if unknown).
+	Classes() int
+	// InferBatch infers every input. samples[i] is the caller-supplied
+	// sample index of inputs[i], used to derive deterministic per-sample
+	// fault streams; a negative index disables fault injection for that
+	// sample.
+	InferBatch(inputs [][]float64, samples []int) []Prediction
+}
+
+// TTFSEngine serves a T2FSNN core.Model through core.InferBatch — the
+// batched path whose scatter-row amortization makes micro-batching pay.
+type TTFSEngine struct {
+	Model *core.Model
+	Run   core.RunConfig
+	// Faults optionally injects deterministic per-sample faults keyed by
+	// the request's sample index.
+	Faults *fault.Injector
+}
+
+// InLen implements Engine.
+func (e *TTFSEngine) InLen() int { return e.Model.Net.InLen }
+
+// Classes implements Engine.
+func (e *TTFSEngine) Classes() int {
+	return e.Model.Net.Stages[len(e.Model.Net.Stages)-1].OutLen
+}
+
+// InferBatch implements Engine.
+func (e *TTFSEngine) InferBatch(inputs [][]float64, samples []int) []Prediction {
+	var fs []*fault.Stream
+	if e.Faults != nil {
+		fs = make([]*fault.Stream, len(inputs))
+		for i, idx := range samples {
+			if idx >= 0 {
+				fs[i] = e.Faults.Sample(idx)
+			}
+		}
+	}
+	rs := e.Model.InferBatch(inputs, e.Run, fs)
+	preds := make([]Prediction, len(rs))
+	for i, r := range rs {
+		preds[i] = Prediction{
+			Pred:        r.Pred,
+			Latency:     r.Latency,
+			TotalSpikes: r.TotalSpikes,
+			Potentials:  r.Potentials,
+		}
+	}
+	return preds
+}
+
+// SchemeEngine serves any coding.Scheme (rate, phase, burst, or the
+// TTFS adapter) over a converted network. Schemes have no batched
+// execution path, so batches run sample-by-sample: batching still
+// bounds queueing overhead but brings no amortization win.
+type SchemeEngine struct {
+	Net    *snn.Net
+	Scheme coding.Scheme
+	// Steps is the simulation horizon passed to every Run.
+	Steps  int
+	Faults *fault.Injector
+}
+
+// InLen implements Engine.
+func (e *SchemeEngine) InLen() int { return e.Net.InLen }
+
+// Classes implements Engine.
+func (e *SchemeEngine) Classes() int {
+	return e.Net.Stages[len(e.Net.Stages)-1].OutLen
+}
+
+// InferBatch implements Engine.
+func (e *SchemeEngine) InferBatch(inputs [][]float64, samples []int) []Prediction {
+	preds := make([]Prediction, len(inputs))
+	for i, in := range inputs {
+		opts := coding.RunOpts{Steps: e.Steps}
+		if e.Faults != nil && samples[i] >= 0 {
+			opts.Faults = e.Faults.Sample(samples[i])
+		}
+		r := e.Scheme.Run(e.Net, in, opts)
+		preds[i] = Prediction{
+			Pred:        r.Pred,
+			Latency:     r.Steps,
+			TotalSpikes: r.TotalSpikes,
+			Potentials:  r.Potentials,
+		}
+	}
+	return preds
+}

@@ -1,0 +1,135 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+)
+
+// maxBodyBytes bounds /v1/infer request bodies; the largest supported
+// input (CIFAR-100-like, 3072 floats as JSON) is well under 1 MiB.
+const maxBodyBytes = 8 << 20
+
+// InferRequest is the /v1/infer request body.
+type InferRequest struct {
+	// Input is the flattened sample (length must match the model).
+	Input []float64 `json:"input"`
+	// Sample keys deterministic fault injection; omit or use a negative
+	// value to disable faults for this request.
+	Sample *int `json:"sample,omitempty"`
+	// Label, when present, feeds the live accuracy tracker in /metrics.
+	Label *int `json:"label,omitempty"`
+	// TimeoutMs overrides the server's default per-request deadline.
+	TimeoutMs int `json:"timeout_ms,omitempty"`
+}
+
+// InferResponse is the /v1/infer response body.
+type InferResponse struct {
+	Pred         int     `json:"pred"`
+	LatencySteps int     `json:"latency_steps"`
+	TotalSpikes  int     `json:"total_spikes"`
+	WallMs       float64 `json:"wall_ms"`
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+// Handler returns the server's HTTP API:
+//
+//	POST /v1/infer  — one sample in, one prediction out
+//	GET  /healthz   — 200 while serving, 503 once Close started
+//	GET  /metrics   — JSON metrics snapshot
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/infer", s.handleInfer)
+	mux.HandleFunc("/healthz", s.handleHealth)
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	return mux
+}
+
+func (s *Server) handleInfer(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	var req InferRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("bad request body: %v", err))
+		return
+	}
+	if len(req.Input) != s.eng.InLen() {
+		writeError(w, http.StatusBadRequest,
+			fmt.Sprintf("input length %d, model expects %d", len(req.Input), s.eng.InLen()))
+		return
+	}
+	sample, label := -1, -1
+	if req.Sample != nil {
+		sample = *req.Sample
+	}
+	if req.Label != nil {
+		label = *req.Label
+	}
+
+	ctx := r.Context()
+	timeout := s.opt.DefaultTimeout
+	if req.TimeoutMs > 0 {
+		timeout = time.Duration(req.TimeoutMs) * time.Millisecond
+	}
+	if timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, timeout)
+		defer cancel()
+	}
+
+	start := time.Now()
+	pred, err := s.Infer(ctx, req.Input, sample, label)
+	if err != nil {
+		switch {
+		case errors.Is(err, ErrOverloaded):
+			writeError(w, http.StatusTooManyRequests, err.Error())
+		case errors.Is(err, ErrClosed):
+			writeError(w, http.StatusServiceUnavailable, err.Error())
+		case errors.Is(err, context.DeadlineExceeded):
+			writeError(w, http.StatusGatewayTimeout, "deadline exceeded before inference completed")
+		case errors.Is(err, context.Canceled):
+			// the client is gone; nothing useful to write
+			writeError(w, http.StatusServiceUnavailable, "request canceled")
+		default:
+			writeError(w, http.StatusInternalServerError, err.Error())
+		}
+		return
+	}
+	writeJSON(w, http.StatusOK, InferResponse{
+		Pred:         pred.Pred,
+		LatencySteps: pred.Latency,
+		TotalSpikes:  pred.TotalSpikes,
+		WallMs:       float64(time.Since(start)) / float64(time.Millisecond),
+	})
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
+	if s.Closed() {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "closing"})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, s.met.Snapshot())
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, msg string) {
+	writeJSON(w, code, errorResponse{Error: msg})
+}

@@ -1,0 +1,177 @@
+package serve
+
+import (
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/metrics"
+)
+
+// latWindow is how many recent request latencies the percentile window
+// retains; old entries are overwritten ring-buffer style.
+const latWindow = 8192
+
+// Metrics aggregates serving statistics: request counters, a sliding
+// window of wall-clock latencies (for percentiles), the batch-size
+// histogram, spike totals, and — when requests carry labels — a live
+// confusion matrix reusing internal/metrics.
+type Metrics struct {
+	mu        sync.Mutex
+	start     time.Time
+	accepted  uint64
+	rejected  uint64
+	expired   uint64
+	failed    uint64
+	completed uint64
+
+	totalSpikes uint64
+	// batchSizes[k] counts dispatched batches of k live samples
+	// (index 0 unused).
+	batchSizes []uint64
+
+	lats  []time.Duration // ring buffer, latWindow cap
+	latN  int             // next write position
+	latCt int             // filled entries (≤ latWindow)
+
+	conf *metrics.Confusion // nil when class count unknown
+}
+
+func newMetrics(maxBatch, classes int) *Metrics {
+	m := &Metrics{
+		start:      time.Now(),
+		batchSizes: make([]uint64, maxBatch+1),
+		lats:       make([]time.Duration, latWindow),
+	}
+	if c, err := metrics.NewConfusion(classes); err == nil {
+		m.conf = c
+	}
+	return m
+}
+
+func (m *Metrics) accept() {
+	m.mu.Lock()
+	m.accepted++
+	m.mu.Unlock()
+}
+
+func (m *Metrics) reject() {
+	m.mu.Lock()
+	m.rejected++
+	m.mu.Unlock()
+}
+
+func (m *Metrics) expire() {
+	m.mu.Lock()
+	m.expired++
+	m.mu.Unlock()
+}
+
+func (m *Metrics) fail(n int) {
+	m.mu.Lock()
+	m.failed += uint64(n)
+	m.mu.Unlock()
+}
+
+func (m *Metrics) complete(wall time.Duration, p Prediction, label int) {
+	m.mu.Lock()
+	m.completed++
+	m.totalSpikes += uint64(p.TotalSpikes)
+	m.lats[m.latN] = wall
+	m.latN = (m.latN + 1) % latWindow
+	if m.latCt < latWindow {
+		m.latCt++
+	}
+	if label >= 0 && m.conf != nil && label < m.conf.Classes {
+		m.conf.Add(label, p.Pred)
+	}
+	m.mu.Unlock()
+}
+
+func (m *Metrics) batchDone(size int) {
+	m.mu.Lock()
+	if size >= 0 && size < len(m.batchSizes) {
+		m.batchSizes[size]++
+	}
+	m.mu.Unlock()
+}
+
+// Snapshot is a point-in-time copy of the serving statistics, shaped
+// for JSON export on /metrics.
+type Snapshot struct {
+	UptimeSeconds float64 `json:"uptime_seconds"`
+
+	Accepted  uint64 `json:"requests_accepted"`
+	Rejected  uint64 `json:"requests_rejected"`
+	Expired   uint64 `json:"requests_expired"`
+	Failed    uint64 `json:"requests_failed"`
+	Completed uint64 `json:"requests_completed"`
+
+	ThroughputPerSec float64 `json:"throughput_per_sec"`
+
+	LatencyP50Ms float64 `json:"latency_p50_ms"`
+	LatencyP90Ms float64 `json:"latency_p90_ms"`
+	LatencyP99Ms float64 `json:"latency_p99_ms"`
+	LatencyMaxMs float64 `json:"latency_max_ms"`
+
+	// BatchSizeHist[k] is the number of dispatched batches holding k
+	// samples (index 0 unused).
+	BatchSizeHist []uint64 `json:"batch_size_hist"`
+	MeanBatchSize float64  `json:"mean_batch_size"`
+
+	TotalSpikes     uint64  `json:"total_spikes"`
+	SpikesPerSample float64 `json:"spikes_per_sample"`
+
+	// Accuracy over labeled requests (LabeledTotal 0 means none seen).
+	Accuracy     float64 `json:"accuracy"`
+	LabeledTotal int     `json:"labeled_total"`
+}
+
+// Snapshot captures the current statistics. Percentiles are computed
+// over the sliding latency window (last 8192 completed requests).
+func (m *Metrics) Snapshot() Snapshot {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	s := Snapshot{
+		UptimeSeconds: time.Since(m.start).Seconds(),
+		Accepted:      m.accepted,
+		Rejected:      m.rejected,
+		Expired:       m.expired,
+		Failed:        m.failed,
+		Completed:     m.completed,
+		TotalSpikes:   m.totalSpikes,
+		BatchSizeHist: append([]uint64(nil), m.batchSizes...),
+	}
+	if s.UptimeSeconds > 0 {
+		s.ThroughputPerSec = float64(m.completed) / s.UptimeSeconds
+	}
+	if m.completed > 0 {
+		s.SpikesPerSample = float64(m.totalSpikes) / float64(m.completed)
+	}
+	batches, samples := uint64(0), uint64(0)
+	for k, n := range m.batchSizes {
+		batches += n
+		samples += uint64(k) * n
+	}
+	if batches > 0 {
+		s.MeanBatchSize = float64(samples) / float64(batches)
+	}
+	if m.latCt > 0 {
+		window := make([]time.Duration, m.latCt)
+		copy(window, m.lats[:m.latCt])
+		sort.Slice(window, func(i, j int) bool { return window[i] < window[j] })
+		pct := func(p float64) float64 {
+			i := int(p * float64(len(window)-1))
+			return float64(window[i]) / float64(time.Millisecond)
+		}
+		s.LatencyP50Ms = pct(0.50)
+		s.LatencyP90Ms = pct(0.90)
+		s.LatencyP99Ms = pct(0.99)
+		s.LatencyMaxMs = float64(window[len(window)-1]) / float64(time.Millisecond)
+	}
+	if m.conf != nil && m.conf.Total > 0 {
+		s.Accuracy = m.conf.Accuracy()
+		s.LabeledTotal = m.conf.Total
+	}
+	return s
+}

@@ -1,0 +1,430 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// stubEngine is a controllable Engine for scheduler tests: entry can be
+// observed, execution can be gated, and every batch is recorded.
+type stubEngine struct {
+	inLen   int
+	classes int
+	enter   chan struct{} // when non-nil, receives one token per InferBatch entry
+	release chan struct{} // when non-nil, InferBatch blocks until a token arrives
+
+	mu         sync.Mutex
+	batchSizes []int
+	seen       []float64 // input[0] of every sample executed
+}
+
+func newStubEngine() *stubEngine { return &stubEngine{inLen: 4, classes: 3} }
+
+func (e *stubEngine) InLen() int   { return e.inLen }
+func (e *stubEngine) Classes() int { return e.classes }
+
+func (e *stubEngine) InferBatch(inputs [][]float64, samples []int) []Prediction {
+	if e.enter != nil {
+		e.enter <- struct{}{}
+	}
+	if e.release != nil {
+		<-e.release
+	}
+	e.mu.Lock()
+	e.batchSizes = append(e.batchSizes, len(inputs))
+	for _, in := range inputs {
+		e.seen = append(e.seen, in[0])
+	}
+	e.mu.Unlock()
+	preds := make([]Prediction, len(inputs))
+	for i, in := range inputs {
+		preds[i] = Prediction{
+			Pred:        int(in[0]) % e.classes,
+			Latency:     5,
+			TotalSpikes: 10,
+			Potentials:  []float64{in[0], 0, 0},
+		}
+	}
+	return preds
+}
+
+func (e *stubEngine) sawInput(v float64) bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for _, s := range e.seen {
+		if s == v {
+			return true
+		}
+	}
+	return false
+}
+
+func input(v float64) []float64 { return []float64{v, 0, 0, 0} }
+
+// The dispatcher must coalesce queued requests into one engine call up
+// to MaxBatch while a worker is busy.
+func TestSchedulerFormsBatches(t *testing.T) {
+	eng := newStubEngine()
+	eng.enter = make(chan struct{}, 4)
+	eng.release = make(chan struct{}, 4)
+	s := New(eng, Options{MaxBatch: 8, MaxWait: time.Second, Workers: 1})
+	defer s.Close()
+
+	var wg sync.WaitGroup
+	infer := func(v float64) {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, err := s.Infer(context.Background(), input(v), -1, -1); err != nil {
+				t.Errorf("Infer(%v): %v", v, err)
+			}
+		}()
+	}
+	// First request occupies the only worker...
+	infer(0)
+	<-eng.enter
+	// ...so the next eight coalesce in the dispatcher into one batch.
+	for i := 1; i <= 8; i++ {
+		infer(float64(i))
+	}
+	eng.release <- struct{}{} // finish batch 1
+	eng.release <- struct{}{} // run batch 2
+	<-eng.enter
+	wg.Wait()
+
+	eng.mu.Lock()
+	sizes := append([]int(nil), eng.batchSizes...)
+	eng.mu.Unlock()
+	if len(sizes) != 2 || sizes[0] != 1 || sizes[1] != 8 {
+		t.Fatalf("batch sizes = %v, want [1 8]", sizes)
+	}
+	snap := s.Metrics().Snapshot()
+	if snap.Completed != 9 || snap.BatchSizeHist[8] != 1 {
+		t.Fatalf("metrics: completed %d, hist[8] %d", snap.Completed, snap.BatchSizeHist[8])
+	}
+}
+
+// A full queue must reject fast with ErrOverloaded, and every accepted
+// request must still complete once the engine unblocks.
+func TestBackpressure(t *testing.T) {
+	eng := newStubEngine()
+	eng.release = make(chan struct{})
+	s := New(eng, Options{MaxBatch: 1, MaxWait: time.Millisecond, QueueSize: 2, Workers: 1})
+
+	const n = 10
+	errs := make(chan error, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, err := s.Infer(context.Background(), input(float64(i)), -1, -1)
+			errs <- err
+		}(i)
+	}
+	// Wait until the scheduler has absorbed all it can (1 in the engine,
+	// 1 parked in the dispatcher, QueueSize queued), then let everything
+	// finish.
+	deadline := time.After(5 * time.Second)
+	for {
+		snap := s.Metrics().Snapshot()
+		if snap.Accepted+snap.Rejected == n {
+			break
+		}
+		select {
+		case <-deadline:
+			t.Fatalf("requests did not settle: %+v", snap)
+		case <-time.After(time.Millisecond):
+		}
+	}
+	close(eng.release)
+	wg.Wait()
+	close(errs)
+
+	ok, overloaded := 0, 0
+	for err := range errs {
+		switch {
+		case err == nil:
+			ok++
+		case errors.Is(err, ErrOverloaded):
+			overloaded++
+		default:
+			t.Fatalf("unexpected error: %v", err)
+		}
+	}
+	if overloaded == 0 {
+		t.Fatal("no request was rejected by the bounded queue")
+	}
+	if ok+overloaded != n {
+		t.Fatalf("ok %d + overloaded %d != %d", ok, overloaded, n)
+	}
+	snap := s.Metrics().Snapshot()
+	if snap.Completed != uint64(ok) || snap.Rejected != uint64(overloaded) {
+		t.Fatalf("metrics disagree: %+v vs ok=%d overloaded=%d", snap, ok, overloaded)
+	}
+	s.Close()
+}
+
+// A request whose deadline expires while its batch is still queued (or
+// executing) must return context.DeadlineExceeded without waiting for
+// the batch; a request already expired at dispatch must not cost engine
+// time.
+func TestDeadlineExpiry(t *testing.T) {
+	eng := newStubEngine()
+	eng.enter = make(chan struct{}, 4)
+	eng.release = make(chan struct{}, 4)
+	s := New(eng, Options{MaxBatch: 4, MaxWait: time.Millisecond, Workers: 1})
+	defer s.Close()
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		if _, err := s.Infer(context.Background(), input(1), -1, -1); err != nil {
+			t.Errorf("blocker: %v", err)
+		}
+	}()
+	<-eng.enter // engine now busy; the worker is occupied
+
+	// Expires while queued behind the running batch.
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	if _, err := s.Infer(ctx, input(2), -1, -1); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("queued request: err = %v, want DeadlineExceeded", err)
+	}
+
+	// Already canceled when its batch reaches the worker: dropped before
+	// the engine call.
+	canceled, cancel2 := context.WithCancel(context.Background())
+	cancel2()
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		if _, err := s.Infer(canceled, input(99), -1, -1); !errors.Is(err, context.Canceled) {
+			t.Errorf("canceled request: err = %v, want Canceled", err)
+		}
+	}()
+
+	eng.release <- struct{}{} // finish the blocker
+	eng.release <- struct{}{} // run whatever was queued behind it
+	eng.release <- struct{}{}
+	wg.Wait()
+	s.Close()
+	if eng.sawInput(99) {
+		t.Fatal("engine executed a request that was canceled before dispatch")
+	}
+	if snap := s.Metrics().Snapshot(); snap.Expired < 2 {
+		t.Fatalf("expired = %d, want >= 2", snap.Expired)
+	}
+}
+
+// Close must drain: every accepted request gets its result, and
+// requests submitted after Close fail with ErrClosed.
+func TestShutdownDrain(t *testing.T) {
+	eng := newStubEngine()
+	s := New(eng, Options{MaxBatch: 4, MaxWait: 5 * time.Millisecond, Workers: 2})
+
+	const n = 20
+	results := make(chan error, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, err := s.Infer(context.Background(), input(float64(i)), -1, -1)
+			results <- err
+		}(i)
+	}
+	// Wait for every request to be accepted or rejected, then close.
+	deadline := time.After(5 * time.Second)
+	for {
+		snap := s.Metrics().Snapshot()
+		if snap.Accepted+snap.Rejected == n {
+			break
+		}
+		select {
+		case <-deadline:
+			t.Fatal("requests did not settle before Close")
+		case <-time.After(time.Millisecond):
+		}
+	}
+	s.Close()
+	wg.Wait()
+	close(results)
+
+	for err := range results {
+		if err != nil && !errors.Is(err, ErrOverloaded) {
+			t.Fatalf("drained request failed: %v", err)
+		}
+	}
+	snap := s.Metrics().Snapshot()
+	if snap.Completed+snap.Rejected != n {
+		t.Fatalf("completed %d + rejected %d != %d", snap.Completed, snap.Rejected, n)
+	}
+	if _, err := s.Infer(context.Background(), input(0), -1, -1); !errors.Is(err, ErrClosed) {
+		t.Fatalf("post-Close Infer: err = %v, want ErrClosed", err)
+	}
+	if !s.Closed() {
+		t.Fatal("Closed() false after Close")
+	}
+}
+
+func TestInferValidatesInputLength(t *testing.T) {
+	s := New(newStubEngine(), Options{})
+	defer s.Close()
+	if _, err := s.Infer(context.Background(), []float64{1}, -1, -1); err == nil {
+		t.Fatal("short input accepted")
+	}
+}
+
+// The HTTP layer under concurrent clients: correct codes, correct
+// payloads, coherent metrics. Run with -race this doubles as the
+// concurrency soak.
+func TestHTTPConcurrentClients(t *testing.T) {
+	eng := newStubEngine()
+	s := New(eng, Options{MaxBatch: 8, MaxWait: time.Millisecond, Workers: 2})
+	defer s.Close()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	const clients, perClient = 8, 5
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for r := 0; r < perClient; r++ {
+				v := c*perClient + r
+				label := v % 3
+				body, _ := json.Marshal(InferRequest{Input: input(float64(v)), Label: &label})
+				resp, err := http.Post(ts.URL+"/v1/infer", "application/json", bytes.NewReader(body))
+				if err != nil {
+					t.Errorf("client %d: %v", c, err)
+					return
+				}
+				var out InferResponse
+				err = json.NewDecoder(resp.Body).Decode(&out)
+				resp.Body.Close()
+				if err != nil || resp.StatusCode != http.StatusOK {
+					t.Errorf("client %d: status %d, err %v", c, resp.StatusCode, err)
+					return
+				}
+				if out.Pred != v%3 {
+					t.Errorf("pred %d, want %d", out.Pred, v%3)
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap Snapshot
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if snap.Completed != clients*perClient {
+		t.Fatalf("completed %d, want %d", snap.Completed, clients*perClient)
+	}
+	// Every stub prediction is input%3 and every label was set to the
+	// same value, so the live confusion matrix must report 100%.
+	if snap.LabeledTotal != clients*perClient || snap.Accuracy != 1 {
+		t.Fatalf("labeled %d acc %v, want %d and 1", snap.LabeledTotal, snap.Accuracy, clients*perClient)
+	}
+	if snap.TotalSpikes != clients*perClient*10 {
+		t.Fatalf("spikes %d", snap.TotalSpikes)
+	}
+}
+
+func TestHTTPErrorPaths(t *testing.T) {
+	eng := newStubEngine()
+	s := New(eng, Options{MaxBatch: 2, MaxWait: time.Millisecond})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	get := func(path string) int {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+	post := func(body string) int {
+		resp, err := http.Post(ts.URL+"/v1/infer", "application/json", bytes.NewReader([]byte(body)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+
+	if got := get("/healthz"); got != http.StatusOK {
+		t.Fatalf("healthz = %d", got)
+	}
+	if got := get("/v1/infer"); got != http.StatusMethodNotAllowed {
+		t.Fatalf("GET infer = %d", got)
+	}
+	if got := post("{not json"); got != http.StatusBadRequest {
+		t.Fatalf("bad json = %d", got)
+	}
+	if got := post(`{"input":[1,2]}`); got != http.StatusBadRequest {
+		t.Fatalf("short input = %d", got)
+	}
+	if got := post(`{"input":[1,2,3,4]}`); got != http.StatusOK {
+		t.Fatalf("good input = %d", got)
+	}
+
+	s.Close()
+	if got := get("/healthz"); got != http.StatusServiceUnavailable {
+		t.Fatalf("healthz after Close = %d", got)
+	}
+	if got := post(`{"input":[1,2,3,4]}`); got != http.StatusServiceUnavailable {
+		t.Fatalf("infer after Close = %d", got)
+	}
+}
+
+// Defaults must be filled in and visible through Options().
+func TestOptionDefaults(t *testing.T) {
+	s := New(newStubEngine(), Options{})
+	defer s.Close()
+	o := s.Options()
+	if o.MaxBatch != 16 || o.MaxWait != 2*time.Millisecond || o.QueueSize != 128 || o.Workers < 1 {
+		t.Fatalf("defaults = %+v", o)
+	}
+}
+
+// An engine panic must fail the batch's requests, not the process.
+func TestEnginePanicIsContained(t *testing.T) {
+	s := New(panicEngine{}, Options{MaxBatch: 2, MaxWait: time.Millisecond})
+	defer s.Close()
+	_, err := s.Infer(context.Background(), []float64{1, 2, 3, 4}, -1, -1)
+	if err == nil || !strings.Contains(err.Error(), "engine panic") {
+		t.Fatalf("err = %v, want engine panic error", err)
+	}
+	// The server must still serve afterwards.
+	snap := s.Metrics().Snapshot()
+	if snap.Failed != 1 {
+		t.Fatalf("failed = %d, want 1", snap.Failed)
+	}
+}
+
+type panicEngine struct{}
+
+func (panicEngine) InLen() int   { return 4 }
+func (panicEngine) Classes() int { return 2 }
+func (panicEngine) InferBatch([][]float64, []int) []Prediction {
+	panic("boom")
+}
+

@@ -1,0 +1,271 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+)
+
+// ErrOverloaded is returned when the bounded request queue is full; the
+// HTTP layer maps it to 429 so load generators can back off.
+var ErrOverloaded = errors.New("serve: queue full")
+
+// ErrClosed is returned for requests submitted after Close started; the
+// HTTP layer maps it to 503.
+var ErrClosed = errors.New("serve: server closed")
+
+// Options configures the micro-batching scheduler.
+type Options struct {
+	// MaxBatch is the largest batch handed to the engine (default 16 —
+	// where core.InferBatch's amortization win saturates on one core).
+	MaxBatch int
+	// MaxWait bounds how long the first request of a batch waits for
+	// company before the batch is dispatched anyway (default 2ms).
+	MaxWait time.Duration
+	// QueueSize bounds the request queue; submissions beyond it fail
+	// fast with ErrOverloaded (default 8×MaxBatch).
+	QueueSize int
+	// Workers is the number of concurrent batch executors (default
+	// GOMAXPROCS). More workers than cores only helps hide queueing
+	// jitter; the engine is CPU-bound.
+	Workers int
+	// DefaultTimeout is applied to requests that carry no deadline of
+	// their own (0 = no default deadline).
+	DefaultTimeout time.Duration
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxBatch <= 0 {
+		o.MaxBatch = 16
+	}
+	if o.MaxWait <= 0 {
+		o.MaxWait = 2 * time.Millisecond
+	}
+	if o.QueueSize <= 0 {
+		o.QueueSize = 8 * o.MaxBatch
+	}
+	if o.Workers <= 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
+	}
+	return o
+}
+
+type result struct {
+	pred Prediction
+	err  error
+}
+
+type request struct {
+	ctx    context.Context
+	input  []float64
+	sample int
+	label  int // -1 when the request is unlabeled
+	enq    time.Time
+	done   chan result // buffered(1): workers never block on delivery
+}
+
+// Server owns the request queue, the batching dispatcher, and the
+// worker pool. Create with New, serve via Handler or Infer, stop with
+// Close (drains in-flight work).
+type Server struct {
+	eng Engine
+	opt Options
+	met *Metrics
+
+	mu     sync.RWMutex // guards closed + queue close
+	closed bool
+	queue  chan *request
+
+	wg sync.WaitGroup // dispatcher + workers
+}
+
+// New starts a server: the dispatcher and worker goroutines run until
+// Close.
+func New(eng Engine, opt Options) *Server {
+	opt = opt.withDefaults()
+	s := &Server{
+		eng:   eng,
+		opt:   opt,
+		met:   newMetrics(opt.MaxBatch, eng.Classes()),
+		queue: make(chan *request, opt.QueueSize),
+	}
+	batches := make(chan []*request)
+	s.wg.Add(1 + opt.Workers)
+	go s.dispatch(batches)
+	for i := 0; i < opt.Workers; i++ {
+		go s.worker(batches)
+	}
+	return s
+}
+
+// Options returns the effective (defaulted) options.
+func (s *Server) Options() Options { return s.opt }
+
+// Metrics returns the server's metrics collector.
+func (s *Server) Metrics() *Metrics { return s.met }
+
+// Closed reports whether Close has started.
+func (s *Server) Closed() bool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.closed
+}
+
+// Infer submits one sample and blocks until its batch completes, its
+// context expires, or the queue rejects it. sample keys deterministic
+// fault injection (negative = none); label enables live accuracy
+// tracking in /metrics (negative = unlabeled).
+func (s *Server) Infer(ctx context.Context, input []float64, sample, label int) (Prediction, error) {
+	if len(input) != s.eng.InLen() {
+		return Prediction{}, fmt.Errorf("serve: input length %d, engine expects %d", len(input), s.eng.InLen())
+	}
+	req := &request{
+		ctx:    ctx,
+		input:  input,
+		sample: sample,
+		label:  label,
+		enq:    time.Now(),
+		done:   make(chan result, 1),
+	}
+	// The RLock pairs with Close's Lock: no submission can race the
+	// queue close, so sends never hit a closed channel.
+	s.mu.RLock()
+	if s.closed {
+		s.mu.RUnlock()
+		return Prediction{}, ErrClosed
+	}
+	select {
+	case s.queue <- req:
+		s.mu.RUnlock()
+	default:
+		s.mu.RUnlock()
+		s.met.reject()
+		return Prediction{}, ErrOverloaded
+	}
+	s.met.accept()
+	select {
+	case r := <-req.done:
+		// A worker may answer with the request's own context error when
+		// the deadline fell between enqueue and dispatch.
+		if errors.Is(r.err, context.DeadlineExceeded) || errors.Is(r.err, context.Canceled) {
+			s.met.expire()
+		}
+		return r.pred, r.err
+	case <-ctx.Done():
+		// The batch may still execute; the buffered done channel absorbs
+		// the abandoned result.
+		s.met.expire()
+		return Prediction{}, ctx.Err()
+	}
+}
+
+// Close stops accepting requests, drains everything already queued
+// (in-flight batches run to completion and deliver results), and waits
+// for the dispatcher and workers to exit. Safe to call more than once.
+func (s *Server) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		s.wg.Wait()
+		return
+	}
+	s.closed = true
+	close(s.queue)
+	s.mu.Unlock()
+	s.wg.Wait()
+}
+
+// dispatch forms batches: the first queued request opens a batch, which
+// is dispatched when it reaches MaxBatch samples or MaxWait elapses.
+// When the queue closes it drains remaining requests into final batches
+// and exits, closing the batches channel behind it.
+func (s *Server) dispatch(batches chan<- []*request) {
+	defer s.wg.Done()
+	defer close(batches)
+	for {
+		req, ok := <-s.queue
+		if !ok {
+			return
+		}
+		batch := []*request{req}
+		if s.opt.MaxBatch > 1 {
+			timer := time.NewTimer(s.opt.MaxWait)
+		collect:
+			for len(batch) < s.opt.MaxBatch {
+				select {
+				case req, ok := <-s.queue:
+					if !ok {
+						break collect
+					}
+					batch = append(batch, req)
+				case <-timer.C:
+					break collect
+				}
+			}
+			timer.Stop()
+		}
+		batches <- batch
+	}
+}
+
+func (s *Server) worker(batches <-chan []*request) {
+	defer s.wg.Done()
+	for batch := range batches {
+		s.runBatch(batch)
+	}
+}
+
+// runBatch executes one batch: requests whose deadline already expired
+// are answered with their context error without costing engine time;
+// the rest run as a single engine call.
+func (s *Server) runBatch(batch []*request) {
+	live := make([]*request, 0, len(batch))
+	for _, r := range batch {
+		if err := r.ctx.Err(); err != nil {
+			r.done <- result{err: err}
+			continue
+		}
+		live = append(live, r)
+	}
+	if len(live) == 0 {
+		return
+	}
+	inputs := make([][]float64, len(live))
+	samples := make([]int, len(live))
+	for i, r := range live {
+		inputs[i] = r.input
+		samples[i] = r.sample
+	}
+	preds, err := s.runEngine(inputs, samples)
+	if err != nil {
+		s.met.fail(len(live))
+		for _, r := range live {
+			r.done <- result{err: err}
+		}
+		return
+	}
+	now := time.Now()
+	for i, r := range live {
+		s.met.complete(now.Sub(r.enq), preds[i], r.label)
+		r.done <- result{pred: preds[i]}
+	}
+	s.met.batchDone(len(live))
+}
+
+// runEngine isolates engine panics (a malformed model or fault stream
+// must fail the batch, not the server).
+func (s *Server) runEngine(inputs [][]float64, samples []int) (preds []Prediction, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			err = fmt.Errorf("serve: engine panic: %v", p)
+		}
+	}()
+	preds = s.eng.InferBatch(inputs, samples)
+	if len(preds) != len(inputs) {
+		return nil, fmt.Errorf("serve: engine returned %d predictions for %d inputs", len(preds), len(inputs))
+	}
+	return preds, nil
+}

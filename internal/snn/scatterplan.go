@@ -1,0 +1,48 @@
+package snn
+
+// Contrib is one precomputed synapse of a scatter row: a spike at the
+// row's input neuron accumulates Scale×W into potentials[J], where Scale
+// is the per-spike kernel scale (already divided by the pool area when
+// the stage pools). Rows replay the exact visit order of ScatterVisit,
+// so replaying a row is bit-identical to calling Scatter.
+type Contrib struct {
+	J int32
+	W float64
+}
+
+// RowKey maps a (pre-pool) input index to the key identifying its
+// scatter row and the pool divisor applied to the per-spike scale.
+// Neurons sharing a pooled cell share the same row, so a batched engine
+// caches rows by key rather than by raw input index.
+func (s *Stage) RowKey(idx int) (key int, scaleDiv float64) {
+	if s.PrePool == nil {
+		return idx, 1
+	}
+	p := s.PrePool
+	c := idx / (p.InH * p.InW)
+	rem := idx % (p.InH * p.InW)
+	y, x := rem/p.InW, rem%p.InW
+	return (c*p.OutH()+y/p.K)*p.OutW() + x/p.K, float64(p.K * p.K)
+}
+
+// NumRowKeys returns the size of the RowKey space (the post-pool input
+// length), for sizing a row cache.
+func (s *Stage) NumRowKeys() int {
+	if s.PrePool == nil {
+		return s.InLen
+	}
+	p := s.PrePool
+	return p.C * p.OutH() * p.OutW()
+}
+
+// AppendContribs appends the scatter row for the given RowKey to dst and
+// returns it. The entries appear in exactly the order scatterCore visits
+// them (kh → kw → oc for convolutions, ascending output index for dense
+// stages), so `for _, c := range row { pot[c.J] += scale * c.W }`
+// reproduces Scatter(idx, scale, pot) bit for bit.
+func (s *Stage) AppendContribs(key int, dst []Contrib) []Contrib {
+	s.scatterCore(key, 1, func(j int, w float64) {
+		dst = append(dst, Contrib{J: int32(j), W: w})
+	})
+	return dst
+}

@@ -1,0 +1,37 @@
+#!/usr/bin/env bash
+# serve_smoke.sh — end-to-end smoke test of the serving layer: build
+# snnserve + snnload, start a tiny-scale server (cached weights make
+# this fast), replay a short load, assert zero errors and non-zero
+# throughput, and verify the server drains cleanly on SIGTERM.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+PORT="${SMOKE_PORT:-18099}"
+BIN="$(mktemp -d)"
+SRV=""
+cleanup() {
+    [ -n "$SRV" ] && kill "$SRV" 2>/dev/null || true
+    rm -rf "$BIN"
+}
+trap cleanup EXIT
+
+go build -o "$BIN/" ./cmd/snnserve ./cmd/snnload
+
+"$BIN/snnserve" -addr "127.0.0.1:$PORT" -dataset mnist -scale tiny -cache models -batch 16 &
+SRV=$!
+
+OUT="$("$BIN/snnload" -addr "http://127.0.0.1:$PORT" -dataset mnist -n 120 -c 12)"
+echo "$OUT"
+RESULT="$(echo "$OUT" | grep '^RESULT ')"
+
+echo "$RESULT" | grep -q ' err=0 ' || { echo "serve-smoke: FAIL (request errors)"; exit 1; }
+THR="$(echo "$RESULT" | sed 's/.*throughput=\([0-9.]*\).*/\1/')"
+awk -v t="$THR" 'BEGIN { exit !(t > 0) }' || { echo "serve-smoke: FAIL (zero throughput)"; exit 1; }
+
+kill -TERM "$SRV"
+if ! wait "$SRV"; then
+    echo "serve-smoke: FAIL (server exited non-zero on SIGTERM)"
+    exit 1
+fi
+SRV=""
+echo "serve-smoke: ok ($THR samples/s)"
