@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test check bench faultbench serve-smoke
+.PHONY: build test check bench bench-smoke bench-paper faultbench serve-smoke
 
 build:
 	$(GO) build ./...
@@ -18,6 +18,7 @@ check:
 	$(GO) vet ./...
 	$(GO) test -race -timeout 45m ./...
 	$(MAKE) serve-smoke
+	$(MAKE) bench-smoke
 
 # serve-smoke boots cmd/snnserve on a tiny model, replays load with
 # cmd/snnload, and asserts non-zero throughput plus a clean SIGTERM
@@ -25,7 +26,18 @@ check:
 serve-smoke:
 	bash scripts/serve_smoke.sh
 
+# bench runs the inference hot-path benchmarks and records ns/op,
+# B/op, allocs/op as machine-readable BENCH_<date>.json.
 bench:
+	bash scripts/bench.sh
+
+# bench-smoke is the 1-iteration variant wired into check: proves the
+# benchmarks and the JSON emitter still work without paying bench time.
+bench-smoke:
+	bash scripts/bench.sh --smoke
+
+# bench-paper reproduces the paper's tables/figures benchmarks.
+bench-paper:
 	$(GO) test -bench=. -benchmem .
 
 faultbench:

@@ -201,8 +201,19 @@ func BenchmarkAblationCodingStep(b *testing.B) {
 	in := s.EvalX.Data[:s.Conv.Net.InLen]
 	for _, sch := range []coding.Scheme{coding.Rate{}, coding.Phase{}, coding.Burst{}} {
 		b.Run(sch.Name(), func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				sch.Run(s.Conv.Net, in, coding.RunOpts{Steps: 50})
+			}
+		})
+		b.Run(sch.Name()+"/scratch", func(b *testing.B) {
+			sc := coding.NewScratch()
+			opts := coding.RunOpts{Steps: 50, Scratch: sc}
+			sch.Run(s.Conv.Net, in, opts)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				sch.Run(s.Conv.Net, in, opts)
 			}
 		})
 	}

@@ -20,6 +20,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"math"
 	"net/http"
 	"os"
 	"sort"
@@ -135,11 +136,20 @@ func main() {
 	}
 	throughput := float64(ok) / wall.Seconds()
 	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	// Nearest-rank percentile (rank ⌈p·n⌉), matching the server's
+	// /metrics definition so the two reports are comparable.
 	pct := func(p float64) float64 {
 		if len(lats) == 0 {
 			return 0
 		}
-		return float64(lats[int(p*float64(len(lats)-1))]) / float64(time.Millisecond)
+		rank := int(math.Ceil(p * float64(len(lats))))
+		if rank < 1 {
+			rank = 1
+		}
+		if rank > len(lats) {
+			rank = len(lats)
+		}
+		return float64(lats[rank-1]) / float64(time.Millisecond)
 	}
 
 	fmt.Printf("snnload: %d ok, %d errors, %d backpressure retries over %s\n", ok, errs, rejected, wall.Round(time.Millisecond))

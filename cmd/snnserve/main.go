@@ -74,6 +74,13 @@ func main() {
 		os.Exit(1)
 	}
 
+	// Warm the engine before accepting traffic: the first inference
+	// builds the model's scatter plan and sizes a pooled scratch, which
+	// would otherwise land on the first user request's latency.
+	warm := time.Now()
+	eng.InferBatch([][]float64{make([]float64, eng.InLen())}, []int{-1})
+	fmt.Fprintf(os.Stderr, "snnserve: engine warmed in %s\n", time.Since(warm).Round(time.Millisecond))
+
 	srv := serve.New(eng, serve.Options{
 		MaxBatch:       *batch,
 		MaxWait:        *wait,

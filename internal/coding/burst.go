@@ -40,21 +40,13 @@ func (b Burst) Run(net *snn.Net, input []float64, opts RunOpts) snn.SimResult {
 	nStages := len(net.Stages)
 	gates := boundaryGates(fs, nStages)
 
-	inputAcc := make([]float64, net.InLen)
-	inputBurst := make([]int, net.InLen)
-	pot := make([][]float64, nStages)
-	burst := make([][]int, nStages)
-	for si := range net.Stages {
-		pot[si] = make([]float64, net.Stages[si].OutLen)
-		burst[si] = make([]int, net.Stages[si].OutLen)
-	}
-	spikeBuf := make([][]fault.Spike, nStages+1)
-
-	pow := make([]float64, maxLen)
-	pow[0] = 1
-	for i := 1; i < maxLen; i++ {
-		pow[i] = pow[i-1] * g
-	}
+	sc := scratchFor(opts)
+	inputAcc := sc.floats(net.InLen)
+	inputBurst := sc.ints(net.InLen)
+	pot := sc.potentials(net)
+	burst := sc.bursts(net)
+	spikeBuf := sc.spikeBufs(net)
+	pow := sc.powers(g, maxLen)
 
 	for t := 0; t < steps; t++ {
 		spikeBuf[0] = spikeBuf[0][:0]

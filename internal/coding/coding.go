@@ -32,6 +32,10 @@ type RunOpts struct {
 	// nil injects nothing and the simulation is bit-identical to the
 	// fault-free path.
 	Faults *fault.Stream
+	// Scratch supplies the simulation's reusable working buffers so a
+	// sustained caller allocates nothing per Run; nil falls back to a
+	// fresh single-use scratch. See Scratch for the aliasing contract.
+	Scratch *Scratch
 }
 
 // Scheme simulates one input (flattened [C,H,W], values in [0,1])
@@ -89,9 +93,12 @@ func EvaluateFaulted(s Scheme, net *snn.Net, x *tensor.Tensor, labels []int, ste
 	correct := 0
 	totalSpikes := 0.0
 	timelines := make([][]snn.TimedPred, n)
+	// One scratch for the whole sweep: only Timeline/Pred/TotalSpikes are
+	// retained across samples, none of which alias scratch memory.
+	sc := NewScratch()
 	for i := 0; i < n; i++ {
 		in := x.Data[i*sampleLen : (i+1)*sampleLen]
-		r := s.Run(net, in, RunOpts{Steps: steps, CollectTimeline: true, Faults: inj.Sample(i)})
+		r := s.Run(net, in, RunOpts{Steps: steps, CollectTimeline: true, Faults: inj.Sample(i), Scratch: sc})
 		if r.Pred == labels[i] {
 			correct++
 		}

@@ -36,9 +36,11 @@ func (p Phase) Run(net *snn.Net, input []float64, opts RunOpts) snn.SimResult {
 	nStages := len(net.Stages)
 	gates := boundaryGates(fs, nStages)
 
+	sc := scratchFor(opts)
+
 	// Quantize inputs once: bit b of round(u·2^K) selects a spike at
 	// phase b carrying weight 2^-(1+b).
-	bits := make([]uint32, net.InLen)
+	bits := sc.uint32s(net.InLen)
 	for i, u := range input {
 		q := uint32(math.Round(snnClamp(u, 0, 1) * float64(uint32(1)<<k)))
 		if q >= 1<<k {
@@ -47,11 +49,8 @@ func (p Phase) Run(net *snn.Net, input []float64, opts RunOpts) snn.SimResult {
 		bits[i] = q
 	}
 
-	pot := make([][]float64, nStages)
-	for si := range net.Stages {
-		pot[si] = make([]float64, net.Stages[si].OutLen)
-	}
-	spikeBuf := make([][]fault.Spike, nStages+1)
+	pot := sc.potentials(net)
+	spikeBuf := sc.spikeBufs(net)
 
 	for t := 0; t < steps; t++ {
 		phase := t % k

@@ -69,12 +69,10 @@ func (r Rate) Run(net *snn.Net, input []float64, opts RunOpts) snn.SimResult {
 	}
 	gates := boundaryGates(fs, nStages)
 
-	inputAcc := make([]float64, net.InLen)
-	pot := make([][]float64, nStages)
-	for si := range net.Stages {
-		pot[si] = make([]float64, net.Stages[si].OutLen)
-	}
-	spikeBuf := make([][]fault.Spike, nStages+1) // reused spike lists per boundary
+	sc := scratchFor(opts)
+	inputAcc := sc.floats(net.InLen)
+	pot := sc.potentials(net)
+	spikeBuf := sc.spikeBufs(net) // reused spike lists per boundary
 
 	for t := 0; t < steps; t++ {
 		// input encoding: constant-current IF (deterministic) or

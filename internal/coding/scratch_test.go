@@ -1,0 +1,102 @@
+package coding
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/fault"
+	"repro/internal/snn"
+	"repro/internal/testutil"
+)
+
+// sameSimResult pins bit-identity between a scratch-backed and a
+// fresh-allocation simulation result.
+func sameSimResult(t *testing.T, tag string, got, want snn.SimResult) {
+	t.Helper()
+	if got.Pred != want.Pred || got.Steps != want.Steps || got.TotalSpikes != want.TotalSpikes {
+		t.Fatalf("%s: pred/steps/spikes (%d,%d,%d) != (%d,%d,%d)",
+			tag, got.Pred, got.Steps, got.TotalSpikes, want.Pred, want.Steps, want.TotalSpikes)
+	}
+	if len(got.SpikesPerStage) != len(want.SpikesPerStage) {
+		t.Fatalf("%s: stage counts %d != %d", tag, len(got.SpikesPerStage), len(want.SpikesPerStage))
+	}
+	for i := range got.SpikesPerStage {
+		if got.SpikesPerStage[i] != want.SpikesPerStage[i] {
+			t.Fatalf("%s: stage %d spikes %d != %d", tag, i, got.SpikesPerStage[i], want.SpikesPerStage[i])
+		}
+	}
+	if len(got.Potentials) != len(want.Potentials) {
+		t.Fatalf("%s: potentials %d != %d", tag, len(got.Potentials), len(want.Potentials))
+	}
+	for j := range got.Potentials {
+		if math.Float64bits(got.Potentials[j]) != math.Float64bits(want.Potentials[j]) {
+			t.Fatalf("%s: potential %d not bit-identical: %v != %v",
+				tag, j, got.Potentials[j], want.Potentials[j])
+		}
+	}
+	if len(got.Timeline) != len(want.Timeline) {
+		t.Fatalf("%s: timeline %d != %d entries", tag, len(got.Timeline), len(want.Timeline))
+	}
+	for i := range got.Timeline {
+		if got.Timeline[i] != want.Timeline[i] {
+			t.Fatalf("%s: timeline[%d] %+v != %+v", tag, i, got.Timeline[i], want.Timeline[i])
+		}
+	}
+}
+
+// TestSchemesWithScratchMatchFresh pins the RunOpts.Scratch contract for
+// all four coding schemes: one scratch reused across samples, schemes,
+// and fault streams produces results bit-identical to scratch-free runs.
+func TestSchemesWithScratchMatchFresh(t *testing.T) {
+	fx := testutil.TrainedLeNet16()
+	m, err := core.NewModel(fx.Conv.Net, 40, 10, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inj, err := fault.New(fault.Config{Seed: 17, Drop: 0.1, Jitter: 1, StuckSilent: 0.02, ThresholdNoise: 0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	schemes := []Scheme{
+		Rate{},
+		Rate{Poisson: true, Seed: 5},
+		Phase{},
+		Burst{},
+		TTFS{Model: m},
+	}
+	sc := NewScratch() // shared across every scheme: resets must be exact
+	for _, s := range schemes {
+		for i := 0; i < 4; i++ {
+			opts := RunOpts{Steps: 60, CollectTimeline: i%2 == 0}
+			if i%2 == 1 { // faults on odd samples
+				opts.Faults = inj.Sample(i)
+			}
+			in := fx.X.Data[i*256 : (i+1)*256]
+			fresh := s.Run(fx.Conv.Net, in, opts)
+			opts.Scratch = sc
+			got := s.Run(fx.Conv.Net, in, opts)
+			sameSimResult(t, fmt.Sprintf("%s sample %d", s.Name(), i), got, fresh)
+		}
+	}
+}
+
+// TestScratchSteadyStateAllocs bounds per-Run allocations with a warm
+// scratch: the clock-driven schemes may only allocate result bookkeeping
+// (SimResult slices), never the simulation working set. The fresh-run
+// working set for this net is hundreds of allocations.
+func TestScratchSteadyStateAllocs(t *testing.T) {
+	fx := testutil.TrainedLeNet16()
+	in := fx.X.Data[:256]
+	for _, s := range []Scheme{Rate{}, Phase{}, Burst{}} {
+		sc := NewScratch()
+		opts := RunOpts{Steps: 30, Scratch: sc}
+		s.Run(fx.Conv.Net, in, opts) // warm buffers
+		n := testing.AllocsPerRun(5, func() { s.Run(fx.Conv.Net, in, opts) })
+		// newSimResult + gate bookkeeping: a handful, not the working set
+		if n > 8 {
+			t.Errorf("%s: %.0f allocs/run with warm scratch, want ≤ 8", s.Name(), n)
+		}
+	}
+}

@@ -28,7 +28,11 @@ func (t TTFS) Run(net *snn.Net, input []float64, opts RunOpts) snn.SimResult {
 	cfg := t.Run_
 	cfg.CollectTimeline = opts.CollectTimeline
 	cfg.Faults = opts.Faults
-	r := t.Model.Infer(input, cfg)
+	var sc *core.InferScratch
+	if opts.Scratch != nil {
+		sc = opts.Scratch.CoreScratch(t.Model)
+	}
+	r := t.Model.InferWith(sc, input, cfg)
 	out := snn.SimResult{
 		Pred:           r.Pred,
 		Steps:          r.Latency,

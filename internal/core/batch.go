@@ -23,24 +23,41 @@ const maxChunk = 64
 // The win over per-sample Infer on the same core count is amortization,
 // not parallelism: per-spike scatter address generation (the conv
 // kernel index arithmetic that dominates Infer's profile) is computed
-// once per fired neuron per batch and replayed as a flat
-// contribution-list sweep for every sample in which that neuron fired.
-// Samples of the same class fire heavily overlapping neuron sets, so
-// the address-generation cost — roughly half of a single inference —
-// divides by the batch size. This is what makes server-side
-// micro-batching (internal/serve) pay on a single core.
+// once per fired neuron per model lifetime (the snn.ScatterPlan cached
+// on the model) and replayed as a flat contribution-list sweep for
+// every sample in which that neuron fired. Samples of the same class
+// fire heavily overlapping neuron sets, so the address-generation cost
+// — roughly half of a single inference — amortizes away entirely. This
+// is what makes server-side micro-batching (internal/serve) pay on a
+// single core.
 //
 // faults must be nil (no injection) or hold one per-sample stream entry
 // (nil entries inject nothing); cfg.Faults must be nil — the batch
 // variant takes per-sample streams explicitly.
 func (m *Model) InferBatch(inputs [][]float64, cfg RunConfig, faults []*fault.Stream) []Result {
+	return m.InferBatchWith(nil, inputs, cfg, faults)
+}
+
+// InferBatchWith is InferBatch against an explicit scratch arena: the
+// working set and the returned results' Spikes/Potentials (and the
+// result slice itself) come from sc, so the steady-state call allocates
+// nothing (see InferScratch for the aliasing contract — results are
+// valid until the next call reusing sc). A nil sc falls back to a fresh
+// single-use scratch, making it exactly InferBatch.
+func (m *Model) InferBatchWith(sc *InferScratch, inputs [][]float64, cfg RunConfig, faults []*fault.Stream) []Result {
 	if cfg.Faults != nil {
 		panic("core: InferBatch takes per-sample fault streams, not cfg.Faults")
 	}
 	if faults != nil && len(faults) != len(inputs) {
 		panic(fmt.Sprintf("core: %d fault streams for %d inputs", len(faults), len(inputs)))
 	}
-	res := make([]Result, len(inputs))
+	if sc == nil {
+		sc = NewInferScratch(m)
+	} else {
+		sc.ensure(m)
+	}
+	sc.reset()
+	res := sc.takeResults(len(inputs))
 	for lo := 0; lo < len(inputs); lo += maxChunk {
 		hi := lo + maxChunk
 		if hi > len(inputs) {
@@ -50,7 +67,8 @@ func (m *Model) InferBatch(inputs [][]float64, cfg RunConfig, faults []*fault.St
 		if faults != nil {
 			fs = faults[lo:hi]
 		}
-		m.inferChunk(inputs[lo:hi], cfg, fs, res[lo:hi])
+		sc.ensureBatch(hi - lo)
+		m.inferChunk(sc, inputs[lo:hi], cfg, fs, res[lo:hi])
 	}
 	return res
 }
@@ -66,7 +84,7 @@ type fireEntry struct {
 // Every per-sample floating-point operation happens in exactly the
 // order Infer performs it, so results are bit-identical; only the
 // bookkeeping around them is shared.
-func (m *Model) inferChunk(inputs [][]float64, cfg RunConfig, faults []*fault.Stream, res []Result) {
+func (m *Model) inferChunk(sc *InferScratch, inputs [][]float64, cfg RunConfig, faults []*fault.Stream, res []Result) {
 	b := len(inputs)
 	if b == 0 {
 		return
@@ -80,13 +98,15 @@ func (m *Model) inferChunk(inputs [][]float64, cfg RunConfig, faults []*fault.St
 		return faults[s]
 	}
 
-	times := make([][]int, b) // per-sample spike offsets at the current boundary
+	// per-sample spike offsets at the current boundary (ping-pong bank 0)
+	bank := 0
+	times := sc.bankTimes(bank, b, m.Net.InLen)
 	for s, input := range inputs {
 		if len(input) != m.Net.InLen {
 			panic(fmt.Sprintf("core: input length %d, want %d", len(input), m.Net.InLen))
 		}
 		res[s] = Result{
-			Spikes:  make([]int, nStages),
+			Spikes:  sc.ints.take(nStages),
 			Latency: (nStages-1)*adv + m.T,
 		}
 		if cfg.CollectSpikeTimes {
@@ -97,7 +117,7 @@ func (m *Model) inferChunk(inputs [][]float64, cfg RunConfig, faults []*fault.St
 		}
 
 		// input encoding: analytic per sample, exactly as in Infer
-		ts := make([]int, m.Net.InLen)
+		ts := times[s]
 		fired := 0
 		for i, u := range input {
 			t, ok := m.K[0].Encode(u)
@@ -111,7 +131,6 @@ func (m *Model) inferChunk(inputs [][]float64, cfg RunConfig, faults []*fault.St
 		if fs := stream(s); fs != nil {
 			fired = fs.ApplyTTFS(0, ts, m.T)
 		}
-		times[s] = ts
 		res[s].Spikes[0] = fired
 		if cfg.CollectSpikeTimes {
 			res[s].SpikeTimes[0] = collectGlobal(ts, 0)
@@ -121,7 +140,6 @@ func (m *Model) inferChunk(inputs [][]float64, cfg RunConfig, faults []*fault.St
 		}
 	}
 
-	perOff := make([][]fireEntry, m.T)
 	for si := range m.Net.Stages {
 		st := &m.Net.Stages[si]
 		inK := m.K[si]
@@ -131,31 +149,33 @@ func (m *Model) inferChunk(inputs [][]float64, cfg RunConfig, faults []*fault.St
 			// The output stage is cheap (few neurons, no firing); reuse
 			// the reference implementation per sample.
 			for s := range inputs {
-				m.runOutputStage(st, inK, times[s], windowStart, adv, cfg, &res[s])
+				m.runOutputStage(sc, st, si, inK, times[s], windowStart, adv, cfg, &res[s])
 			}
 			return
 		}
-		times = m.runHiddenStageBatch(st, inK, m.K[si+1], times, adv, si, cfg, faults, res, perOff)
+		bank = 1 - bank
+		outTimes := sc.bankTimes(bank, b, st.OutLen)
+		m.runHiddenStageBatch(sc, st, inK, m.K[si+1], times, outTimes, adv, si, cfg, faults, res)
+		times = outTimes
 	}
 }
 
-// runHiddenStageBatch is the batched counterpart of runHiddenStage.
-// perOff is caller-owned scratch (reset here) grouping the chunk's input
-// spikes by window offset.
-func (m *Model) runHiddenStageBatch(st *snn.Stage, inK, outK kernel.Kernel, inTimes [][]int, adv, si int, cfg RunConfig, faults []*fault.Stream, res []Result, perOff [][]fireEntry) [][]int {
+// runHiddenStageBatch is the batched counterpart of runHiddenStage,
+// writing each sample's new spike offsets into outTimes.
+func (m *Model) runHiddenStageBatch(sc *InferScratch, st *snn.Stage, inK, outK kernel.Kernel, inTimes, outTimes [][]int, adv, si int, cfg RunConfig, faults []*fault.Stream, res []Result) {
 	b := len(inTimes)
-	dec := decodeTable(inK, m.T)
+	dec := sc.decode(inK, m.T)
+	plan := m.stagePlan(si)
 
-	pots := make([][]float64, b)
+	pots := sc.batchPots(b, st.OutLen)
 	for s := 0; s < b; s++ {
-		pot := make([]float64, st.OutLen)
-		st.AddBias(pot)
-		pots[s] = pot
+		st.AddBias(pots[s])
 	}
 
 	// Group the chunk's spikes by offset. Iterating neurons in the outer
 	// loop keeps every offset's entry list sorted by neuron index, so
 	// each sample sees its arrivals in exactly bucketize order.
+	perOff := sc.perOff[:m.T]
 	for off := range perOff {
 		perOff[off] = perOff[off][:0]
 	}
@@ -174,23 +194,18 @@ func (m *Model) runHiddenStageBatch(st *snn.Stage, inK, outK kernel.Kernel, inTi
 		}
 	}
 
-	// rows caches the scatter contribution list per pooled input index;
-	// built once per chunk, replayed per sample.
-	rows := make([][]snn.Contrib, st.NumRowKeys())
+	// Replay the model's cached scatter rows per sample; the plan is
+	// built once per model lifetime, not per batch.
 	apply := func(off int) {
 		scale := dec[off]
 		for _, e := range perOff[off] {
 			key, div := st.RowKey(int(e.Idx))
-			row := rows[key]
-			if row == nil {
-				row = st.AppendContribs(key, make([]snn.Contrib, 0, st.FanOut(int(e.Idx))))
-				rows[key] = row
-			}
-			sc := scale / div
+			row := plan.Row(key)
+			scl := scale / div
 			for mask := e.Mask; mask != 0; mask &= mask - 1 {
 				pot := pots[bits.TrailingZeros64(mask)]
 				for _, c := range row {
-					pot[c.J] += sc * c.W
+					pot[c.J] += scl * c.W
 				}
 			}
 		}
@@ -201,14 +216,13 @@ func (m *Model) runHiddenStageBatch(st *snn.Stage, inK, outK kernel.Kernel, inTi
 		apply(off)
 	}
 
-	outTimes := make([][]int, b)
-	firedCount := make([]int, b)
+	firedCount := sc.fired[:b]
 	for s := 0; s < b; s++ {
-		ot := make([]int, st.OutLen)
+		firedCount[s] = 0
+		ot := outTimes[s]
 		for i := range ot {
 			ot[i] = -1
 		}
-		outTimes[s] = ot
 	}
 
 	// Phase 2 — fire phase with overlapping arrivals.
@@ -249,5 +263,4 @@ func (m *Model) runHiddenStageBatch(st *snn.Stage, inK, outK kernel.Kernel, inTi
 			r.Events[si+1] = collectEvents(outTimes[s], (si+1)*adv)
 		}
 	}
-	return outTimes
 }

@@ -50,11 +50,12 @@ func (m *Model) InferEvent(input []float64, cfg RunConfig) Result {
 		res.SpikeTimes[0] = collectGlobal(times, 0)
 	}
 
+	sc := NewInferScratch(m) // single-use arena for the shared output stage
 	for si := range m.Net.Stages {
 		st := &m.Net.Stages[si]
 		inK := m.K[si]
 		if st.Output {
-			m.runOutputStage(st, inK, times, si*adv, adv, cfg, &res)
+			m.runOutputStage(sc, st, si, inK, times, si*adv, adv, cfg, &res)
 			return res
 		}
 		outK := m.K[si+1]

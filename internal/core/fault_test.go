@@ -112,11 +112,10 @@ func TestEvaluateRecoversPanickingSamples(t *testing.T) {
 	loadFixture(t)
 	m := fixture.model()
 	// sabotage a hidden stage's weights so Scatter indexes out of range
-	broken := *m
-	broken.Net = fault.PerturbWeights(m.Net, 0.0001, 1) // deep-enough copy of stages
+	broken := &Model{Net: fault.PerturbWeights(m.Net, 0.0001, 1), K: m.K, T: m.T} // deep-enough copy of stages
 	st := &broken.Net.Stages[len(broken.Net.Stages)-1]
 	st.W = tensor.FromSlice(append([]float64(nil), st.W.Data[:4]...), 4)
-	res, err := Evaluate(&broken, tensor.FromSlice(fixture.x.Data[:10*256], 10, 256),
+	res, err := Evaluate(broken, tensor.FromSlice(fixture.x.Data[:10*256], 10, 256),
 		fixture.labels[:10], EvalOptions{Workers: 2})
 	if err != nil {
 		t.Fatalf("sweep died instead of recording sample errors: %v", err)

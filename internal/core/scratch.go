@@ -1,0 +1,207 @@
+package core
+
+import (
+	"repro/internal/kernel"
+)
+
+// InferScratch is the reusable working set of one inference engine: the
+// per-stage potential, fired and refractory (spike-offset) buffers, the
+// decode LUT, the spike-offset buckets, and the arenas that back the
+// returned Result slices. TTFS coding fires each neuron at most once, so
+// the working set is a fixed function of the model geometry — allocate a
+// scratch once, reuse it per call, and the steady-state hot path
+// allocates nothing (pinned by TestInferWithZeroAllocs).
+//
+// A scratch is NOT safe for concurrent use; give each worker its own
+// (internal/serve pools them per engine). Results returned by InferWith
+// and InferBatchWith alias scratch memory: they are valid until the next
+// call that reuses the same scratch. Callers that retain results across
+// calls must copy Spikes and Potentials first — or pass a nil scratch,
+// which falls back to a fresh single-use arena.
+type InferScratch struct {
+	// sized-for dimensions (grown on demand, never shrunk)
+	maxLen int // max of InLen and every stage OutLen
+	window int // decode-LUT horizon (model T)
+	chunk  int // per-chunk sample capacity of the batch buffers
+
+	// single-sample working state
+	timesA, timesB []int     // ping-pong spike-offset buffers
+	pot            []float64 // hidden-stage membrane potentials
+	dec            []float64 // ε(t) decode LUT, rebuilt per stage
+	buckets        [][]int   // spike indices grouped by window offset
+
+	// batched working state (chunk ≤ maxChunk samples)
+	bTimes     [2][][]int // ping-pong banks of per-sample offset buffers
+	bTimesBack [2][]int
+	pots       [][]float64 // per-sample hidden-stage potentials
+	potsBack   []float64
+	fired      []int         // per-sample fired counters
+	perOff     [][]fireEntry // chunk spikes grouped by window offset
+
+	// result arenas (reset per top-level call)
+	ints    intArena   // Result.Spikes
+	floats  floatArena // Result.Potentials (output-stage membranes)
+	results []Result   // InferBatchWith return backing
+}
+
+// NewInferScratch allocates a scratch pre-sized for single-sample
+// inference on m; the batched buffers are sized on first batched use.
+func NewInferScratch(m *Model) *InferScratch {
+	sc := &InferScratch{}
+	sc.ensure(m)
+	return sc
+}
+
+// ensure grows the single-sample buffers to fit m.
+func (sc *InferScratch) ensure(m *Model) {
+	maxLen := m.Net.InLen
+	for i := range m.Net.Stages {
+		if n := m.Net.Stages[i].OutLen; n > maxLen {
+			maxLen = n
+		}
+	}
+	if maxLen > sc.maxLen {
+		sc.maxLen = maxLen
+		sc.timesA = make([]int, maxLen)
+		sc.timesB = make([]int, maxLen)
+		sc.pot = make([]float64, maxLen)
+		sc.chunk = 0 // batch backings are sized from maxLen; rebuild them
+	}
+	if m.T > sc.window {
+		sc.window = m.T
+		sc.dec = make([]float64, m.T)
+		old := sc.buckets
+		sc.buckets = make([][]int, m.T)
+		copy(sc.buckets, old) // keep grown bucket capacity
+		oldOff := sc.perOff
+		sc.perOff = make([][]fireEntry, m.T)
+		copy(sc.perOff, oldOff)
+	}
+}
+
+// ensureBatch grows the batched buffers to fit a chunk of b samples.
+func (sc *InferScratch) ensureBatch(b int) {
+	if b <= sc.chunk {
+		return
+	}
+	sc.chunk = b
+	for bank := 0; bank < 2; bank++ {
+		sc.bTimesBack[bank] = make([]int, b*sc.maxLen)
+		sc.bTimes[bank] = make([][]int, b)
+	}
+	sc.potsBack = make([]float64, b*sc.maxLen)
+	sc.pots = make([][]float64, b)
+	sc.fired = make([]int, b)
+}
+
+// reset rewinds the result arenas; called once per top-level inference.
+func (sc *InferScratch) reset() {
+	sc.ints.reset()
+	sc.floats.reset()
+}
+
+// decode fills the scratch LUT with ε(t) at every window offset — the
+// zero-allocation twin of decodeTable.
+func (sc *InferScratch) decode(k kernel.Kernel, t int) []float64 {
+	dec := sc.dec[:t]
+	for i := range dec {
+		dec[i] = k.Decode(i)
+	}
+	return dec
+}
+
+// bucketizeInto groups spike indices by their time offset into the
+// scratch buckets, reusing each bucket's capacity.
+func (sc *InferScratch) bucketizeInto(times []int, t int) [][]int {
+	buckets := sc.buckets[:t]
+	for i := range buckets {
+		buckets[i] = buckets[i][:0]
+	}
+	for idx, off := range times {
+		if off >= 0 && off < t {
+			buckets[off] = append(buckets[off], idx)
+		}
+	}
+	return buckets
+}
+
+// bankTimes returns the b per-sample offset buffers of one ping-pong
+// bank, each resliced to n entries.
+func (sc *InferScratch) bankTimes(bank, b, n int) [][]int {
+	ts := sc.bTimes[bank][:b]
+	back := sc.bTimesBack[bank]
+	for s := 0; s < b; s++ {
+		ts[s] = back[s*sc.maxLen : s*sc.maxLen+n : (s+1)*sc.maxLen]
+	}
+	return ts
+}
+
+// batchPots returns b zeroed per-sample potential buffers of n neurons.
+func (sc *InferScratch) batchPots(b, n int) [][]float64 {
+	ps := sc.pots[:b]
+	for s := 0; s < b; s++ {
+		p := sc.potsBack[s*sc.maxLen : s*sc.maxLen+n : (s+1)*sc.maxLen]
+		for i := range p {
+			p[i] = 0
+		}
+		ps[s] = p
+	}
+	return ps
+}
+
+// takeResults returns a zeroed result slice backed by the scratch.
+func (sc *InferScratch) takeResults(n int) []Result {
+	if cap(sc.results) < n {
+		sc.results = make([]Result, n)
+	}
+	res := sc.results[:n]
+	for i := range res {
+		res[i] = Result{}
+	}
+	return res
+}
+
+// intArena hands out zeroed []int blocks from a reusable backing array.
+// Blocks stay valid after a mid-call grow (they keep referencing the old
+// backing); reset only rewinds the cursor, so previously returned blocks
+// are overwritten by the next call — the scratch aliasing contract.
+type intArena struct {
+	buf []int
+	off int
+}
+
+func (a *intArena) reset() { a.off = 0 }
+
+func (a *intArena) take(n int) []int {
+	if a.off+n > len(a.buf) {
+		a.buf = make([]int, 2*(a.off+n))
+		a.off = 0
+	}
+	s := a.buf[a.off : a.off+n : a.off+n]
+	a.off += n
+	for i := range s {
+		s[i] = 0
+	}
+	return s
+}
+
+// floatArena is intArena for float64 blocks.
+type floatArena struct {
+	buf []float64
+	off int
+}
+
+func (a *floatArena) reset() { a.off = 0 }
+
+func (a *floatArena) take(n int) []float64 {
+	if a.off+n > len(a.buf) {
+		a.buf = make([]float64, 2*(a.off+n))
+		a.off = 0
+	}
+	s := a.buf[a.off : a.off+n : a.off+n]
+	a.off += n
+	for i := range s {
+		s[i] = 0
+	}
+	return s
+}

@@ -8,6 +8,7 @@ package core
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/internal/fault"
 	"repro/internal/kernel"
@@ -23,6 +24,37 @@ type Model struct {
 	Net *snn.Net
 	K   []kernel.Kernel
 	T   int // time window per layer, in steps
+
+	// plans cache per-stage scatter rows (snn.ScatterPlan) so inference
+	// stops re-deriving per-spike addresses; built lazily because models
+	// are also constructed by composite literal. Kernels only shape
+	// thresholds and decode scales, never the rows, so ApplyGO needs no
+	// invalidation; stage weights are frozen after construction (see
+	// snn.ScatterPlan).
+	planOnce sync.Once
+	plans    []*snn.ScatterPlan
+}
+
+// stagePlan returns the cached scatter plan of stage si.
+func (m *Model) stagePlan(si int) *snn.ScatterPlan {
+	m.planOnce.Do(func() {
+		m.plans = make([]*snn.ScatterPlan, len(m.Net.Stages))
+		for i := range m.Net.Stages {
+			m.plans[i] = snn.NewScatterPlan(&m.Net.Stages[i])
+		}
+	})
+	return m.plans[si]
+}
+
+// scatterPlanned replays a cached scatter row into pot: bit-identical to
+// st.Scatter(idx, scale, pot) (same division, same visit order) with the
+// address arithmetic paid once per row per model lifetime.
+func scatterPlanned(plan *snn.ScatterPlan, st *snn.Stage, idx int, scale float64, pot []float64) {
+	key, div := st.RowKey(idx)
+	s := scale / div
+	for _, c := range plan.Row(key) {
+		pot[c.J] += s * c.W
+	}
 }
 
 // NewModel equips a converted network with uniform initial kernels
@@ -177,13 +209,30 @@ func (r *Result) PredAt(step int) int {
 // integration phase; inputs arriving after a neuron's own spike no
 // longer influence it (non-guaranteed integration, §III-C).
 func (m *Model) Infer(input []float64, cfg RunConfig) Result {
+	return m.InferWith(nil, input, cfg)
+}
+
+// InferWith is Infer against an explicit scratch arena: all working
+// buffers and the returned Result's Spikes/Potentials slices come from
+// sc, so the steady-state call allocates nothing (see InferScratch for
+// the aliasing contract). A nil sc falls back to a fresh single-use
+// scratch, making it exactly Infer. Results are bit-identical either
+// way: reused buffers are reset to the same state fresh allocations
+// start in, and no floating-point operation changes order.
+func (m *Model) InferWith(sc *InferScratch, input []float64, cfg RunConfig) Result {
 	if len(input) != m.Net.InLen {
 		panic(fmt.Sprintf("core: input length %d, want %d", len(input), m.Net.InLen))
 	}
+	if sc == nil {
+		sc = NewInferScratch(m)
+	} else {
+		sc.ensure(m)
+	}
+	sc.reset()
 	adv := cfg.advance(m.T)
 	nStages := len(m.Net.Stages)
 	res := Result{
-		Spikes:  make([]int, nStages), // boundary 0..nStages-1 (output stage does not fire)
+		Spikes:  sc.ints.take(nStages), // boundary 0..nStages-1 (output stage does not fire)
 		Latency: (nStages-1)*adv + m.T,
 	}
 	if cfg.CollectSpikeTimes {
@@ -195,7 +244,8 @@ func (m *Model) Infer(input []float64, cfg RunConfig) Result {
 
 	// Encode the input image with K[0]. All pixel information is
 	// available at step 0, so encoding is analytic in both pipelines.
-	times := make([]int, m.Net.InLen) // spike offset within the window, -1 = none
+	times := sc.timesA[:m.Net.InLen] // spike offset within the window, -1 = none
+	next := sc.timesB
 	fired := 0
 	for i, u := range input {
 		t, ok := m.K[0].Encode(u)
@@ -225,38 +275,44 @@ func (m *Model) Infer(input []float64, cfg RunConfig) Result {
 		windowStart := si * adv
 
 		if st.Output {
-			m.runOutputStage(st, inK, times, windowStart, adv, cfg, &res)
+			m.runOutputStage(sc, st, si, inK, times, windowStart, adv, cfg, &res)
 			return res
 		}
 
 		outK := m.K[si+1]
-		times = m.runHiddenStage(st, inK, outK, times, adv, &res, si, cfg)
+		out := next[:st.OutLen]
+		next = times[:cap(times)] // the consumed buffer becomes the next stage's output
+		m.runHiddenStage(sc, st, inK, outK, times, out, adv, &res, si, cfg)
+		times = out
 	}
 	return res // unreachable: Validate guarantees an output stage
 }
 
 // runHiddenStage integrates the previous layer's spikes into stage st
-// and fires its neurons against the dynamic threshold, returning the new
-// spike-time offsets. The fire window of this stage opens `adv` steps
-// after its input's fire window opened.
-func (m *Model) runHiddenStage(st *snn.Stage, inK, outK kernel.Kernel, inTimes []int, adv int, res *Result, si int, cfg RunConfig) []int {
-	pot := make([]float64, st.OutLen)
+// and fires its neurons against the dynamic threshold, writing the new
+// spike-time offsets into outTimes (len st.OutLen). The fire window of
+// this stage opens `adv` steps after its input's fire window opened.
+func (m *Model) runHiddenStage(sc *InferScratch, st *snn.Stage, inK, outK kernel.Kernel, inTimes, outTimes []int, adv int, res *Result, si int, cfg RunConfig) {
+	pot := sc.pot[:st.OutLen]
+	for i := range pot {
+		pot[i] = 0
+	}
 	st.AddBias(pot)
+	plan := m.stagePlan(si)
 
 	// Bucket input spikes by arrival offset within the input window and
 	// tabulate the integration kernel once (the LUT replacement of §V).
-	buckets := bucketize(inTimes, m.T)
-	dec := decodeTable(inK, m.T)
+	buckets := sc.bucketizeInto(inTimes, m.T)
+	dec := sc.decode(inK, m.T)
 
 	// Phase 1 — guaranteed integration: arrivals before the fire phase
 	// opens (input offsets < adv).
 	for off := 0; off < adv && off < m.T; off++ {
 		for _, idx := range buckets[off] {
-			st.Scatter(idx, dec[off], pot)
+			scatterPlanned(plan, st, idx, dec[off], pot)
 		}
 	}
 
-	outTimes := make([]int, st.OutLen)
 	for i := range outTimes {
 		outTimes[i] = -1
 	}
@@ -270,7 +326,7 @@ func (m *Model) runHiddenStage(st *snn.Stage, inK, outK kernel.Kernel, inTimes [
 		inOff := adv + f
 		if inOff < m.T {
 			for _, idx := range buckets[inOff] {
-				st.Scatter(idx, dec[inOff], pot)
+				scatterPlanned(plan, st, idx, dec[inOff], pot)
 			}
 		}
 		theta := outK.Threshold(float64(f))
@@ -300,43 +356,47 @@ func (m *Model) runHiddenStage(st *snn.Stage, inK, outK kernel.Kernel, inTimes [
 	if cfg.CollectEvents {
 		res.Events[si+1] = collectEvents(outTimes, (si+1)*adv)
 	}
-	return outTimes
 }
 
 // runOutputStage integrates the last hidden layer's spikes into the
 // output potentials, recording the decision timeline. The output stage
-// never fires; it is read at the end of its integration window.
-func (m *Model) runOutputStage(st *snn.Stage, inK kernel.Kernel, inTimes []int, windowStart, adv int, cfg RunConfig, res *Result) {
-	pot := make([]float64, st.OutLen)
+// never fires; it is read at the end of its integration window. The
+// potential buffer comes from the scratch float arena and is returned as
+// res.Potentials.
+func (m *Model) runOutputStage(sc *InferScratch, st *snn.Stage, si int, inK kernel.Kernel, inTimes []int, windowStart, adv int, cfg RunConfig, res *Result) {
+	pot := sc.floats.take(st.OutLen)
 	st.AddBias(pot)
-	buckets := bucketize(inTimes, m.T)
-	dec := decodeTable(inK, m.T)
+	plan := m.stagePlan(si)
+	buckets := sc.bucketizeInto(inTimes, m.T)
+	dec := sc.decode(inK, m.T)
 
-	record := func(step int) {
-		pred := argmax(pot)
-		n := len(res.Timeline)
-		if n == 0 || res.Timeline[n-1].Pred != pred {
-			res.Timeline = append(res.Timeline, TimedPred{Step: step, Pred: pred})
-		}
-	}
 	for off := 0; off < m.T; off++ {
 		if len(buckets[off]) > 0 {
 			for _, idx := range buckets[off] {
-				st.Scatter(idx, dec[off], pot)
+				scatterPlanned(plan, st, idx, dec[off], pot)
 			}
 			if cfg.CollectTimeline {
-				record(windowStart + off)
+				res.record(windowStart+off, pot)
 			}
 		}
 	}
 	res.Pred = argmax(pot)
 	res.Potentials = pot
 	if cfg.CollectTimeline {
-		record(res.Latency)
+		res.record(res.Latency, pot)
 	}
 	res.TotalSpikes = 0
 	for _, s := range res.Spikes {
 		res.TotalSpikes += s
+	}
+}
+
+// record appends a timeline entry when the output argmax changed.
+func (r *Result) record(step int, pot []float64) {
+	pred := argmax(pot)
+	n := len(r.Timeline)
+	if n == 0 || r.Timeline[n-1].Pred != pred {
+		r.Timeline = append(r.Timeline, TimedPred{Step: step, Pred: pred})
 	}
 }
 

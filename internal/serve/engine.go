@@ -13,6 +13,8 @@
 package serve
 
 import (
+	"sync"
+
 	"repro/internal/coding"
 	"repro/internal/core"
 	"repro/internal/fault"
@@ -57,6 +59,10 @@ type TTFSEngine struct {
 	// Faults optionally injects deterministic per-sample faults keyed by
 	// the request's sample index.
 	Faults *fault.Injector
+
+	// scratch pools per-worker inference arenas so steady-state batches
+	// allocate only the returned Predictions, never the working set.
+	scratch sync.Pool
 }
 
 // InLen implements Engine.
@@ -78,16 +84,22 @@ func (e *TTFSEngine) InferBatch(inputs [][]float64, samples []int) []Prediction 
 			}
 		}
 	}
-	rs := e.Model.InferBatch(inputs, e.Run, fs)
+	sc, _ := e.scratch.Get().(*core.InferScratch)
+	if sc == nil {
+		sc = core.NewInferScratch(e.Model)
+	}
+	rs := e.Model.InferBatchWith(sc, inputs, e.Run, fs)
 	preds := make([]Prediction, len(rs))
 	for i, r := range rs {
 		preds[i] = Prediction{
 			Pred:        r.Pred,
 			Latency:     r.Latency,
 			TotalSpikes: r.TotalSpikes,
-			Potentials:  r.Potentials,
+			// copied: r.Potentials aliases the pooled scratch
+			Potentials: append([]float64(nil), r.Potentials...),
 		}
 	}
+	e.scratch.Put(sc)
 	return preds
 }
 
@@ -101,6 +113,9 @@ type SchemeEngine struct {
 	// Steps is the simulation horizon passed to every Run.
 	Steps  int
 	Faults *fault.Injector
+
+	// scratch pools per-worker simulation buffers (see TTFSEngine).
+	scratch sync.Pool
 }
 
 // InLen implements Engine.
@@ -113,9 +128,13 @@ func (e *SchemeEngine) Classes() int {
 
 // InferBatch implements Engine.
 func (e *SchemeEngine) InferBatch(inputs [][]float64, samples []int) []Prediction {
+	sc, _ := e.scratch.Get().(*coding.Scratch)
+	if sc == nil {
+		sc = coding.NewScratch()
+	}
 	preds := make([]Prediction, len(inputs))
 	for i, in := range inputs {
-		opts := coding.RunOpts{Steps: e.Steps}
+		opts := coding.RunOpts{Steps: e.Steps, Scratch: sc}
 		if e.Faults != nil && samples[i] >= 0 {
 			opts.Faults = e.Faults.Sample(samples[i])
 		}
@@ -124,8 +143,10 @@ func (e *SchemeEngine) InferBatch(inputs [][]float64, samples []int) []Predictio
 			Pred:        r.Pred,
 			Latency:     r.Steps,
 			TotalSpikes: r.TotalSpikes,
-			Potentials:  r.Potentials,
+			// copied: r.Potentials aliases the pooled scratch
+			Potentials: append([]float64(nil), r.Potentials...),
 		}
 	}
+	e.scratch.Put(sc)
 	return preds
 }

@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"math"
 	"sort"
 	"sync"
 	"time"
@@ -160,9 +161,19 @@ func (m *Metrics) Snapshot() Snapshot {
 		window := make([]time.Duration, m.latCt)
 		copy(window, m.lats[:m.latCt])
 		sort.Slice(window, func(i, j int) bool { return window[i] < window[j] })
+		// Nearest-rank percentile: rank ⌈p·n⌉ (1-based). The previous
+		// truncating interpolation index biased every percentile low —
+		// p99 over 100 samples read window[98], reporting the 99th
+		// sample as if one more could still exceed it.
 		pct := func(p float64) float64 {
-			i := int(p * float64(len(window)-1))
-			return float64(window[i]) / float64(time.Millisecond)
+			rank := int(math.Ceil(p * float64(len(window))))
+			if rank < 1 {
+				rank = 1
+			}
+			if rank > len(window) {
+				rank = len(window)
+			}
+			return float64(window[rank-1]) / float64(time.Millisecond)
 		}
 		s.LatencyP50Ms = pct(0.50)
 		s.LatencyP90Ms = pct(0.90)

@@ -122,6 +122,14 @@ func (s *Server) Infer(ctx context.Context, input []float64, sample, label int) 
 	if len(input) != s.eng.InLen() {
 		return Prediction{}, fmt.Errorf("serve: input length %d, engine expects %d", len(input), s.eng.InLen())
 	}
+	// A dead request must not take a queue slot: a caller that gave up
+	// before submitting would otherwise occupy the bounded queue (and a
+	// batch seat) until a worker noticed, pushing live requests into
+	// ErrOverloaded under load. Count it as expired, not accepted.
+	if err := ctx.Err(); err != nil {
+		s.met.expire()
+		return Prediction{}, err
+	}
 	req := &request{
 		ctx:    ctx,
 		input:  input,

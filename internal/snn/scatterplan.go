@@ -1,5 +1,7 @@
 package snn
 
+import "sync/atomic"
+
 // Contrib is one precomputed synapse of a scatter row: a spike at the
 // row's input neuron accumulates Scale×W into potentials[J], where Scale
 // is the per-spike kernel scale (already divided by the pool area when
@@ -45,4 +47,34 @@ func (s *Stage) AppendContribs(key int, dst []Contrib) []Contrib {
 		dst = append(dst, Contrib{J: int32(j), W: w})
 	})
 	return dst
+}
+
+// ScatterPlan caches the scatter rows of one stage so repeated inference
+// stops re-deriving the per-spike address arithmetic. Rows are built
+// lazily — only keys that actually fire pay memory — and published with
+// an atomic pointer, so a plan is safe for concurrent readers (two
+// goroutines racing on an unbuilt key both build the same deterministic
+// row; the losing store is identical). The plan assumes the stage's
+// weights are frozen, which holds for every model in this repo: weight
+// mutation paths (fault.PerturbWeights, quant.QuantizeNet) derive new
+// nets instead of editing one in place.
+type ScatterPlan struct {
+	st   *Stage
+	rows []atomic.Pointer[[]Contrib]
+}
+
+// NewScatterPlan prepares an empty plan over the stage's RowKey space.
+func NewScatterPlan(st *Stage) *ScatterPlan {
+	return &ScatterPlan{st: st, rows: make([]atomic.Pointer[[]Contrib], st.NumRowKeys())}
+}
+
+// Row returns the cached scatter row for a RowKey, building it on first
+// use. Steady-state calls are a single atomic load.
+func (p *ScatterPlan) Row(key int) []Contrib {
+	if r := p.rows[key].Load(); r != nil {
+		return *r
+	}
+	row := p.st.AppendContribs(key, []Contrib{})
+	p.rows[key].Store(&row)
+	return row
 }

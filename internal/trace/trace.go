@@ -215,7 +215,18 @@ func (t *Trace) WriteVCD(w io.Writer, timescale string, maxWires int) error {
 		}
 		changes = append(changes, change{e.Time, '1', id}, change{e.Time + 1, '0', id})
 	}
-	sort.SliceStable(changes, func(i, j int) bool { return changes[i].time < changes[j].time })
+	// At equal timestamps, falls ('0') must precede rises ('1'):
+	// back-to-back spikes on one wire emit a fall (from step t) and a
+	// rise (at step t+1) at the same timestamp, and a viewer keeps only
+	// the last value per wire per timestamp — rise-then-fall would erase
+	// the second pulse. Sorting by time alone left the order at the mercy
+	// of Events ordering.
+	sort.SliceStable(changes, func(i, j int) bool {
+		if changes[i].time != changes[j].time {
+			return changes[i].time < changes[j].time
+		}
+		return changes[i].val < changes[j].val
+	})
 	last := -1
 	for _, c := range changes {
 		if c.time != last {

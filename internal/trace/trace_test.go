@@ -189,3 +189,35 @@ func TestFromResultEndToEnd(t *testing.T) {
 		t.Fatal("raster shows no spikes for an active layer")
 	}
 }
+
+// Back-to-back spikes on one wire put a fall (closing the first pulse)
+// and a rise (opening the second) at the same timestamp; the fall must
+// be emitted first or a viewer, keeping the last value per timestamp,
+// erases the second pulse. Events are added out of time order to ensure
+// the ordering comes from the sort, not from insertion order.
+func TestWriteVCDBackToBackSpikes(t *testing.T) {
+	tr := Trace{GroupSizes: map[string]int{"g": 1}}
+	tr.Add("g", 0, 5) // second spike added first
+	tr.Add("g", 0, 4)
+	var buf bytes.Buffer
+	if err := tr.WriteVCD(&buf, "", 4); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	// locate the #5 timestamp block: it must read fall then rise
+	at5 := strings.Index(out, "\n#5\n")
+	if at5 < 0 {
+		t.Fatalf("no #5 timestamp:\n%s", out)
+	}
+	block := out[at5+4:]
+	if end := strings.Index(block, "#"); end >= 0 {
+		block = block[:end]
+	}
+	lines := strings.Split(strings.TrimSpace(block), "\n")
+	if len(lines) != 2 || lines[0][0] != '0' || lines[1][0] != '1' {
+		t.Fatalf("at #5 want fall then rise, got %q", lines)
+	}
+	if strings.Count(out, "\n1") != 2 {
+		t.Fatalf("want both pulses to survive:\n%s", out)
+	}
+}

@@ -1,0 +1,69 @@
+#!/usr/bin/env bash
+# bench.sh — run the inference hot-path benchmarks and emit a
+# machine-readable JSON record (ns/op, allocs/op, B/op per benchmark).
+#
+#   scripts/bench.sh             full run, writes BENCH_<date>.json
+#   scripts/bench.sh --smoke     1-iteration sanity pass (wired into
+#                                `make check`): verifies the benchmarks
+#                                still build and run; numbers are noise.
+#
+# Output JSON shape (one entry per benchmark):
+#   { "date": "...", "go": "...", "smoke": false,
+#     "benchmarks": [ {"name": ..., "ns_per_op": ...,
+#                      "bytes_per_op": ..., "allocs_per_op": ...}, ... ] }
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+GO=${GO:-go}
+SMOKE=0
+if [[ "${1:-}" == "--smoke" ]]; then
+  SMOKE=1
+fi
+
+# The hot-path benchmarks the zero-allocation work is gated on.
+PATTERN='BenchmarkInfer$|BenchmarkInferBatch$|BenchmarkInferBatchScratch$'
+PKG=./internal/core/
+
+if [[ $SMOKE -eq 1 ]]; then
+  BENCHTIME=1x
+  OUT=$(mktemp)
+  trap 'rm -f "$OUT"' EXIT
+else
+  BENCHTIME=${BENCHTIME:-2s}
+  OUT="BENCH_$(date +%F).json"
+fi
+
+RAW=$("$GO" test -run '^$' -bench "$PATTERN" -benchmem -benchtime "$BENCHTIME" "$PKG")
+echo "$RAW"
+
+echo "$RAW" | awk -v smoke="$SMOKE" -v goversion="$("$GO" env GOVERSION)" '
+BEGIN {
+  printf "{\n  \"date\": \"%s\",\n", strftime("%Y-%m-%dT%H:%M:%S%z")
+  printf "  \"go\": \"%s\",\n", goversion
+  printf "  \"smoke\": %s,\n  \"benchmarks\": [", smoke ? "true" : "false"
+  n = 0
+}
+/^Benchmark/ {
+  name = $1; ns = ""; bytes = ""; allocs = ""
+  for (i = 2; i <= NF; i++) {
+    if ($(i) == "ns/op")     ns = $(i-1)
+    if ($(i) == "B/op")      bytes = $(i-1)
+    if ($(i) == "allocs/op") allocs = $(i-1)
+  }
+  if (ns == "") next
+  if (n++) printf ","
+  printf "\n    {\"name\": \"%s\", \"ns_per_op\": %s", name, ns
+  if (bytes != "")  printf ", \"bytes_per_op\": %s", bytes
+  if (allocs != "") printf ", \"allocs_per_op\": %s", allocs
+  printf "}"
+}
+END { printf "\n  ]\n}\n" }
+' > "$OUT"
+
+if [[ $SMOKE -eq 1 ]]; then
+  # sanity: the JSON must hold at least one parsed benchmark
+  grep -q '"ns_per_op"' "$OUT" || { echo "bench.sh: no benchmarks parsed" >&2; exit 1; }
+  echo "bench smoke OK"
+else
+  echo "wrote $OUT"
+fi
