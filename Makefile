@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test check bench bench-smoke bench-paper faultbench serve-smoke
+.PHONY: build test check bench bench-smoke bench-paper benchdiff faultbench serve-smoke
 
 build:
 	$(GO) build ./...
@@ -19,6 +19,7 @@ check:
 	$(GO) test -race -timeout 45m ./...
 	$(MAKE) serve-smoke
 	$(MAKE) bench-smoke
+	bash scripts/benchdiff.sh --if-baseline
 
 # serve-smoke boots cmd/snnserve on a tiny model, replays load with
 # cmd/snnload, and asserts non-zero throughput plus a clean SIGTERM
@@ -35,6 +36,12 @@ bench:
 # benchmarks and the JSON emitter still work without paying bench time.
 bench-smoke:
 	bash scripts/bench.sh --smoke
+
+# benchdiff compares the two newest BENCH_*.json records and fails on
+# >10% ns/op growth or any allocs/op increase; check runs it in
+# --if-baseline mode, which skips until a comparable pair exists.
+benchdiff:
+	bash scripts/benchdiff.sh
 
 # bench-paper reproduces the paper's tables/figures benchmarks.
 bench-paper:

@@ -162,6 +162,28 @@ func BenchmarkAblationEFStart(b *testing.B) {
 	}
 }
 
+// BenchmarkEvaluateParallel sweeps core.Pool worker counts over full
+// evaluation — the experiment-harness counterpart of the serving-side
+// BenchmarkInferBatchParallel (on a single-core host the counts tie;
+// results are bit-identical at any count, so only wall clock moves).
+func BenchmarkEvaluateParallel(b *testing.B) {
+	s, base, _ := setupAndModels(b)
+	run := core.RunConfig{EarlyFire: true}
+	for _, workers := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("workers%d", workers), func(b *testing.B) {
+			pool := core.NewPool(core.ParallelOpts{Workers: workers})
+			defer pool.Close()
+			for i := 0; i < b.N; i++ {
+				ev, err := core.Evaluate(base, s.EvalX, s.EvalY, core.EvalOptions{Run: run, Pool: pool})
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(100*ev.Accuracy, "acc%")
+			}
+		})
+	}
+}
+
 // BenchmarkAblationPipeline compares the baseline and early-firing
 // pipelines on identical inputs.
 func BenchmarkAblationPipeline(b *testing.B) {

@@ -156,8 +156,8 @@ func main() {
 	fmt.Printf("  throughput %.1f samples/s, latency p50 %.1fms p90 %.1fms p99 %.1fms, accuracy %.3f\n",
 		throughput, pct(0.50), pct(0.90), pct(0.99), acc)
 	if snap, err := fetchMetrics(client, *addr); err == nil {
-		fmt.Printf("  server: mean batch %.2f, completed %d, rejected %d, spikes/sample %.0f\n",
-			snap.MeanBatchSize, snap.Completed, snap.Rejected, snap.SpikesPerSample)
+		fmt.Printf("  server: mean batch %.2f, completed %d, rejected %d, spikes/sample %.0f, parallel chunks %d\n",
+			snap.MeanBatchSize, snap.Completed, snap.Rejected, snap.SpikesPerSample, snap.ParallelChunks)
 	}
 	fmt.Printf("RESULT ok=%d err=%d rejected=%d wall_s=%.3f throughput=%.1f p50_ms=%.1f p99_ms=%.1f acc=%.3f\n",
 		ok, errs, rejected, wall.Seconds(), throughput, pct(0.50), pct(0.99), acc)

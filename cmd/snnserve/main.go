@@ -30,6 +30,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"runtime"
 	"syscall"
 	"time"
 
@@ -54,7 +55,8 @@ func main() {
 	batch := flag.Int("batch", 16, "max samples per dispatched batch")
 	wait := flag.Duration("wait", 2*time.Millisecond, "max time the first queued request waits for a batch to fill")
 	queue := flag.Int("queue", 0, "request queue bound (0 = 8x batch); overflow returns 429")
-	workers := flag.Int("workers", 0, "batch executor goroutines (0 = GOMAXPROCS)")
+	workers := flag.Int("workers", 0, "batch executor goroutines (0 = GOMAXPROCS; forced to 1 when -parallel engages)")
+	parallel := flag.Int("parallel", 0, "data-parallel workers per batch inference (0 = GOMAXPROCS, 1 = sequential)")
 	timeout := flag.Duration("timeout", 0, "default per-request deadline (0 = none)")
 
 	fSeed := flag.Uint64("fault-seed", 1, "fault injection seed")
@@ -74,11 +76,38 @@ func main() {
 		os.Exit(1)
 	}
 
+	// Data-parallel batch execution: the pool shards each micro-batch
+	// across cores inside one engine call, so the scheduler needs only
+	// one dispatcher goroutine — more would oversubscribe the cores the
+	// pool already owns.
+	pw := *parallel
+	if pw <= 0 {
+		pw = runtime.GOMAXPROCS(0)
+	}
+	var pool *core.Pool
+	if pw > 1 {
+		pool = core.NewPool(core.ParallelOpts{Workers: pw})
+		defer pool.Close()
+		switch e := eng.(type) {
+		case *serve.TTFSEngine:
+			e.Pool = pool
+		case *serve.SchemeEngine:
+			e.Pool = pool
+		}
+		if *workers == 0 {
+			*workers = 1
+		}
+	}
+
 	// Warm the engine before accepting traffic: the first inference
 	// builds the model's scatter plan and sizes a pooled scratch, which
-	// would otherwise land on the first user request's latency.
+	// would otherwise land on the first user request's latency. With a
+	// pool, warm every worker's arena too.
 	warm := time.Now()
 	eng.InferBatch([][]float64{make([]float64, eng.InLen())}, []int{-1})
+	if te, ok := eng.(*serve.TTFSEngine); ok && pool != nil {
+		pool.Warm(te.Model, [][]float64{make([]float64, eng.InLen())}, te.Run)
+	}
 	fmt.Fprintf(os.Stderr, "snnserve: engine warmed in %s\n", time.Since(warm).Round(time.Millisecond))
 
 	srv := serve.New(eng, serve.Options{
@@ -104,8 +133,8 @@ func main() {
 	}()
 
 	opt := srv.Options()
-	fmt.Fprintf(os.Stderr, "snnserve: serving %s on %s (batch<=%d, wait %s, queue %d, workers %d)\n",
-		desc, *addr, opt.MaxBatch, opt.MaxWait, opt.QueueSize, opt.Workers)
+	fmt.Fprintf(os.Stderr, "snnserve: serving %s on %s (batch<=%d, wait %s, queue %d, workers %d, parallel %d)\n",
+		desc, *addr, opt.MaxBatch, opt.MaxWait, opt.QueueSize, opt.Workers, pool.Workers())
 	if err := hs.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
 		fmt.Fprintf(os.Stderr, "snnserve: %v\n", err)
 		os.Exit(1)
@@ -115,8 +144,8 @@ func main() {
 		os.Exit(1)
 	}
 	snap := srv.Metrics().Snapshot()
-	fmt.Fprintf(os.Stderr, "snnserve: done (%d completed, %d rejected, mean batch %.2f)\n",
-		snap.Completed, snap.Rejected, snap.MeanBatchSize)
+	fmt.Fprintf(os.Stderr, "snnserve: done (%d completed, %d rejected, mean batch %.2f, parallel chunks %d)\n",
+		snap.Completed, snap.Rejected, snap.MeanBatchSize, snap.ParallelChunks)
 }
 
 type engineConfig struct {

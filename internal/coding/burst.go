@@ -35,12 +35,12 @@ func (b Burst) params() (float64, int) {
 // Run implements Scheme.
 func (b Burst) Run(net *snn.Net, input []float64, opts RunOpts) snn.SimResult {
 	steps, fs := opts.Steps, opts.Faults
-	res := newSimResult(net, steps)
 	g, maxLen := b.params()
 	nStages := len(net.Stages)
 	gates := boundaryGates(fs, nStages)
 
 	sc := scratchFor(opts)
+	res := newSimResult(sc, net, steps)
 	inputAcc := sc.floats(net.InLen)
 	inputBurst := sc.ints(net.InLen)
 	pot := sc.potentials(net)

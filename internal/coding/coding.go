@@ -10,6 +10,7 @@ package coding
 import (
 	"fmt"
 
+	"repro/internal/core"
 	"repro/internal/fault"
 	"repro/internal/metrics"
 	"repro/internal/snn"
@@ -66,15 +67,41 @@ type EvalResult struct {
 // Tolerance is the absolute accuracy slack used to declare convergence.
 const Tolerance = 0.005
 
+// SweepOpts configures an evaluation sweep over a labelled set.
+type SweepOpts struct {
+	// Steps is the simulation horizon per sample.
+	Steps int
+	// Stride samples the accuracy curve every Stride steps (≤0 means
+	// Steps/50, minimum 1).
+	Stride int
+	// Faults runs sample i with the per-sample stream Faults.Sample(i)
+	// (nil = no faults).
+	Faults *fault.Injector
+	// Pool fans samples across a shared worker pool with one Scratch per
+	// worker; nil (or a single-worker pool) runs the sequential
+	// one-scratch sweep. Results are identical at any worker count:
+	// every scheme's Run is a pure function of (input, sample stream) —
+	// even Poisson rate coding reseeds its generator per Run — and the
+	// retained fields (Pred, TotalSpikes, Timeline) never alias scratch
+	// memory.
+	Pool *core.Pool
+}
+
 // Evaluate runs scheme over a batch X [N, ...] with labels for the given
 // number of steps, sampling the accuracy curve every stride steps.
 func Evaluate(s Scheme, net *snn.Net, x *tensor.Tensor, labels []int, steps, stride int) (EvalResult, error) {
-	return EvaluateFaulted(s, net, x, labels, steps, stride, nil)
+	return EvaluateSweep(s, net, x, labels, SweepOpts{Steps: steps, Stride: stride})
 }
 
 // EvaluateFaulted is Evaluate under fault injection: each sample i runs
 // with the per-sample stream inj.Sample(i) (nil inj = no faults).
 func EvaluateFaulted(s Scheme, net *snn.Net, x *tensor.Tensor, labels []int, steps, stride int, inj *fault.Injector) (EvalResult, error) {
+	return EvaluateSweep(s, net, x, labels, SweepOpts{Steps: steps, Stride: stride, Faults: inj})
+}
+
+// EvaluateSweep is the full-control sweep: fault injection plus
+// optional data-parallel execution over a shared core.Pool.
+func EvaluateSweep(s Scheme, net *snn.Net, x *tensor.Tensor, labels []int, opts SweepOpts) (EvalResult, error) {
 	n := x.Shape[0]
 	if n == 0 || n != len(labels) {
 		return EvalResult{}, fmt.Errorf("coding: %d samples with %d labels", n, len(labels))
@@ -83,6 +110,7 @@ func EvaluateFaulted(s Scheme, net *snn.Net, x *tensor.Tensor, labels []int, ste
 	if sampleLen != net.InLen {
 		return EvalResult{}, fmt.Errorf("coding: sample length %d, network expects %d", sampleLen, net.InLen)
 	}
+	steps, stride, inj := opts.Steps, opts.Stride, opts.Faults
 	if stride <= 0 {
 		stride = steps / 50
 		if stride == 0 {
@@ -90,20 +118,43 @@ func EvaluateFaulted(s Scheme, net *snn.Net, x *tensor.Tensor, labels []int, ste
 		}
 	}
 	res := EvalResult{SchemeName: s.Name(), Steps: steps, N: n}
+	preds := make([]int, n)
+	spikes := make([]int, n)
+	timelines := make([][]snn.TimedPred, n)
+	// Only Timeline/Pred/TotalSpikes are retained across samples, none of
+	// which alias scratch memory — so one scratch per worker (or one for
+	// the whole sequential sweep) is safe.
+	runRange := func(lo, hi int, sc *Scratch) {
+		for i := lo; i < hi; i++ {
+			in := x.Data[i*sampleLen : (i+1)*sampleLen]
+			r := s.Run(net, in, RunOpts{Steps: steps, CollectTimeline: true, Faults: inj.Sample(i), Scratch: sc})
+			preds[i] = r.Pred
+			spikes[i] = r.TotalSpikes
+			timelines[i] = r.Timeline
+		}
+	}
+	if w := opts.Pool.Workers(); w > 1 {
+		scratches := make([]*Scratch, w)
+		chunk := n / (w * 4)
+		if chunk < 1 {
+			chunk = 1
+		}
+		opts.Pool.Each(n, chunk, func(lo, hi, worker int) {
+			if scratches[worker] == nil {
+				scratches[worker] = NewScratch()
+			}
+			runRange(lo, hi, scratches[worker])
+		})
+	} else {
+		runRange(0, n, NewScratch())
+	}
 	correct := 0
 	totalSpikes := 0.0
-	timelines := make([][]snn.TimedPred, n)
-	// One scratch for the whole sweep: only Timeline/Pred/TotalSpikes are
-	// retained across samples, none of which alias scratch memory.
-	sc := NewScratch()
 	for i := 0; i < n; i++ {
-		in := x.Data[i*sampleLen : (i+1)*sampleLen]
-		r := s.Run(net, in, RunOpts{Steps: steps, CollectTimeline: true, Faults: inj.Sample(i), Scratch: sc})
-		if r.Pred == labels[i] {
+		if preds[i] == labels[i] {
 			correct++
 		}
-		totalSpikes += float64(r.TotalSpikes)
-		timelines[i] = r.Timeline
+		totalSpikes += float64(spikes[i])
 	}
 	res.Accuracy = float64(correct) / float64(n)
 	res.AvgSpikes = totalSpikes / float64(n)
@@ -145,14 +196,15 @@ func predAt(tl []snn.TimedPred, step int) int {
 	return pred
 }
 
-// newSimResult allocates the result for a network with the standard
-// stage-boundary spike accounting.
-func newSimResult(net *snn.Net, steps int) snn.SimResult {
+// newSimResult builds the result for a network with the standard
+// stage-boundary spike accounting, its tally drawn from the scratch's
+// results arena (the scratch aliasing contract covers SpikesPerStage).
+func newSimResult(sc *Scratch, net *snn.Net, steps int) snn.SimResult {
 	// Boundary 0 is the input encoding; boundary i is stage i-1's fire
 	// output. The final (Output) stage never fires, so there are exactly
 	// len(Stages) boundaries — the same accounting internal/core uses.
 	return snn.SimResult{
 		Steps:          steps,
-		SpikesPerStage: make([]int, len(net.Stages)),
+		SpikesPerStage: sc.stageCounts(len(net.Stages)),
 	}
 }

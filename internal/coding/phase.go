@@ -31,12 +31,12 @@ func (p Phase) period() int {
 // Run implements Scheme.
 func (p Phase) Run(net *snn.Net, input []float64, opts RunOpts) snn.SimResult {
 	steps, fs := opts.Steps, opts.Faults
-	res := newSimResult(net, steps)
 	k := p.period()
 	nStages := len(net.Stages)
 	gates := boundaryGates(fs, nStages)
 
 	sc := scratchFor(opts)
+	res := newSimResult(sc, net, steps)
 
 	// Quantize inputs once: bit b of round(u·2^K) selects a spike at
 	// phase b carrying weight 2^-(1+b).

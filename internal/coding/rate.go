@@ -61,7 +61,6 @@ func gateStep(gates []*fault.ClockGate, b, t int, emitted []fault.Spike) []fault
 // Run implements Scheme.
 func (r Rate) Run(net *snn.Net, input []float64, opts RunOpts) snn.SimResult {
 	steps, fs := opts.Steps, opts.Faults
-	res := newSimResult(net, steps)
 	nStages := len(net.Stages)
 	var rng *tensor.RNG
 	if r.Poisson {
@@ -70,6 +69,7 @@ func (r Rate) Run(net *snn.Net, input []float64, opts RunOpts) snn.SimResult {
 	gates := boundaryGates(fs, nStages)
 
 	sc := scratchFor(opts)
+	res := newSimResult(sc, net, steps)
 	inputAcc := sc.floats(net.InLen)
 	pot := sc.potentials(net)
 	spikeBuf := sc.spikeBufs(net) // reused spike lists per boundary

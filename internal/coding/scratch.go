@@ -15,11 +15,11 @@ import (
 //
 // A Scratch is NOT safe for concurrent use; give each worker its own.
 // A SimResult produced with a scratch aliases scratch memory through its
-// Potentials field (and, for the TTFS adapter, SpikesPerStage): it is
-// valid until the next Run that reuses the same scratch. Results are
-// bit-identical to scratch-free runs (pinned by the differential tests
-// in scratch_test.go): reused buffers are reset to exactly the state
-// fresh allocations start in.
+// Potentials and SpikesPerStage fields: it is valid until the next Run
+// that reuses the same scratch. Results are bit-identical to
+// scratch-free runs (pinned by the differential tests in
+// scratch_test.go): reused buffers are reset to exactly the state fresh
+// allocations start in.
 type Scratch struct {
 	core *core.InferScratch // lazily created for the TTFS adapter
 
@@ -33,6 +33,7 @@ type Scratch struct {
 	burst     [][]int // per-stage burst ladders
 	burstBack []int
 	spikeBuf  [][]fault.Spike // per-boundary spike lists
+	counts    []int           // SimResult.SpikesPerStage backing
 }
 
 // NewScratch returns an empty scratch; buffers are sized on first use.
@@ -103,6 +104,19 @@ func (sc *Scratch) powers(g float64, n int) []float64 {
 		p[i] = p[i-1] * g
 	}
 	return p
+}
+
+// stageCounts returns a zeroed per-boundary spike tally of n entries,
+// the SimResult.SpikesPerStage backing (results arena).
+func (sc *Scratch) stageCounts(n int) []int {
+	if cap(sc.counts) < n {
+		sc.counts = make([]int, n)
+	}
+	s := sc.counts[:n:n]
+	for i := range s {
+		s[i] = 0
+	}
+	return s
 }
 
 // ensureStages sizes the per-stage buffer tables for net.

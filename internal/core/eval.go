@@ -5,7 +5,6 @@ import (
 	"fmt"
 	"math"
 	"runtime"
-	"sync"
 
 	"repro/internal/fault"
 	"repro/internal/metrics"
@@ -76,7 +75,13 @@ type EvalOptions struct {
 	// Workers runs samples concurrently (Infer only reads the model,
 	// so a Model is safe to share). 0 or 1 = sequential; negative =
 	// one worker per GOMAXPROCS; values above the sample count clamp.
+	// Ignored when Pool is set.
 	Workers int
+	// Pool runs the sweep on a shared worker pool with chunk-granularity
+	// work stealing instead of spinning up per-call goroutines. Results
+	// are identical either way: samples are aggregated in order after
+	// all inferences finish. Overrides Workers when non-nil.
+	Pool *Pool
 	// Faults evaluates under fault injection: sample i runs with the
 	// stream Faults.Sample(i). Streams are pure functions of
 	// (seed, sample), so the result is identical at any worker count.
@@ -144,33 +149,32 @@ func EvaluateContext(ctx context.Context, m *Model, x *tensor.Tensor, labels []i
 		cfg.Faults = opts.Faults.Sample(i)
 		results[i] = m.Infer(x.Data[i*sampleLen:(i+1)*sampleLen], cfg)
 	}
-	workers := opts.Workers
-	if workers < 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers > n {
-		workers = n
-	}
-	if workers > 1 {
-		var wg sync.WaitGroup
-		next := make(chan int, n)
-		for i := 0; i < n; i++ {
-			next <- i
+	pool := opts.Pool
+	if pool == nil {
+		workers := opts.Workers
+		if workers < 0 {
+			workers = runtime.GOMAXPROCS(0)
 		}
-		close(next)
-		for w := 0; w < workers; w++ {
-			wg.Add(1)
-			go func() {
-				defer wg.Done()
-				for i := range next {
-					if ctx.Err() != nil {
-						return
-					}
-					inferOne(i)
+		if workers > n {
+			workers = n
+		}
+		if workers > 1 {
+			// ad-hoc pool for this call; chunk claiming replaces the old
+			// per-sample channel feed
+			tmp := NewPool(ParallelOpts{Workers: workers})
+			defer tmp.Close()
+			pool = tmp
+		}
+	}
+	if pool.Workers() > 1 {
+		pool.Each(n, evalChunk(n, pool.Workers()), func(lo, hi, _ int) {
+			for i := lo; i < hi; i++ {
+				if ctx.Err() != nil {
+					return
 				}
-			}()
-		}
-		wg.Wait()
+				inferOne(i)
+			}
+		})
 	} else {
 		for i := 0; i < n; i++ {
 			if ctx.Err() != nil {

@@ -1,7 +1,6 @@
 package core
 
 import (
-	"container/heap"
 	"fmt"
 	"math"
 
@@ -22,20 +21,40 @@ import (
 // regime TTFS coding creates by construction); the clocked engine wins
 // on dense traffic. BenchmarkEngineEvent quantifies the trade.
 func (m *Model) InferEvent(input []float64, cfg RunConfig) Result {
+	return m.InferEventWith(nil, input, cfg)
+}
+
+// InferEventWith is InferEvent against an explicit scratch arena: the
+// candidate heap, version/touched bookkeeping, potentials, and the
+// returned Result's Spikes/Potentials all come from sc, so the
+// steady-state call allocates nothing (pinned by
+// TestInferEventWithZeroAllocs). A nil sc falls back to a fresh
+// single-use scratch; results are bit-identical either way (the heap's
+// internal layout varies with buffer history, but commits depend only
+// on candidate steps and versions, never on heap order among distinct
+// neurons). The usual scratch aliasing contract applies.
+func (m *Model) InferEventWith(sc *InferScratch, input []float64, cfg RunConfig) Result {
 	if len(input) != m.Net.InLen {
 		panic(fmt.Sprintf("core: input length %d, want %d", len(input), m.Net.InLen))
 	}
+	if sc == nil {
+		sc = NewInferScratch(m)
+	} else {
+		sc.ensure(m)
+	}
+	sc.reset()
 	adv := cfg.advance(m.T)
 	nStages := len(m.Net.Stages)
 	res := Result{
-		Spikes:  make([]int, nStages),
+		Spikes:  sc.ints.take(nStages),
 		Latency: (nStages-1)*adv + m.T,
 	}
 	if cfg.CollectSpikeTimes {
 		res.SpikeTimes = make([][]int, nStages)
 	}
 
-	times := make([]int, m.Net.InLen)
+	times := sc.timesA[:m.Net.InLen]
+	next := sc.timesB
 	fired := 0
 	for i, u := range input {
 		if t, ok := m.K[0].Encode(u); ok {
@@ -50,7 +69,6 @@ func (m *Model) InferEvent(input []float64, cfg RunConfig) Result {
 		res.SpikeTimes[0] = collectGlobal(times, 0)
 	}
 
-	sc := NewInferScratch(m) // single-use arena for the shared output stage
 	for si := range m.Net.Stages {
 		st := &m.Net.Stages[si]
 		inK := m.K[si]
@@ -59,7 +77,10 @@ func (m *Model) InferEvent(input []float64, cfg RunConfig) Result {
 			return res
 		}
 		outK := m.K[si+1]
-		times = m.runHiddenStageEvent(st, inK, outK, times, adv, &res, si, cfg)
+		out := next[:st.OutLen]
+		next = times[:cap(times)]
+		m.runHiddenStageEvent(sc, st, inK, outK, times, out, adv, &res, si, cfg)
+		times = out
 	}
 	return res
 }
@@ -71,18 +92,37 @@ type fireEvent struct {
 	version uint32
 }
 
-type fireHeap []fireEvent
+// evUp/evDown are the sift primitives of a slice min-heap ordered by
+// step. container/heap would box every fireEvent into an interface on
+// Push/Pop; the manual heap keeps the event path allocation-free.
+func evUp(h []fireEvent, i int) {
+	for i > 0 {
+		p := (i - 1) / 2
+		if h[p].step <= h[i].step {
+			return
+		}
+		h[p], h[i] = h[i], h[p]
+		i = p
+	}
+}
 
-func (h fireHeap) Len() int            { return len(h) }
-func (h fireHeap) Less(i, j int) bool  { return h[i].step < h[j].step }
-func (h fireHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *fireHeap) Push(x interface{}) { *h = append(*h, x.(fireEvent)) }
-func (h *fireHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	x := old[n-1]
-	*h = old[:n-1]
-	return x
+func evDown(h []fireEvent, i int) {
+	n := len(h)
+	for {
+		l := 2*i + 1
+		if l >= n {
+			return
+		}
+		min := l
+		if r := l + 1; r < n && h[r].step < h[l].step {
+			min = r
+		}
+		if h[i].step <= h[min].step {
+			return
+		}
+		h[i], h[min] = h[min], h[i]
+		i = min
+	}
 }
 
 // candidate returns the earliest fire step ≥ from at which potential u
@@ -106,40 +146,55 @@ func candidate(k kernel.Kernel, u float64, from, t int) int {
 // Theta0E mirrors kernel.Theta0 for the candidate computation.
 const Theta0E = kernel.Theta0
 
-// runHiddenStageEvent is the event-driven counterpart of runHiddenStage.
-func (m *Model) runHiddenStageEvent(st *snn.Stage, inK, outK kernel.Kernel, inTimes []int, adv int, res *Result, si int, cfg RunConfig) []int {
-	pot := make([]float64, st.OutLen)
+// runHiddenStageEvent is the event-driven counterpart of runHiddenStage,
+// writing spike-time offsets into outTimes (len st.OutLen).
+func (m *Model) runHiddenStageEvent(sc *InferScratch, st *snn.Stage, inK, outK kernel.Kernel, inTimes, outTimes []int, adv int, res *Result, si int, cfg RunConfig) {
+	pot := sc.pot[:st.OutLen]
+	for i := range pot {
+		pot[i] = 0
+	}
 	st.AddBias(pot)
-	buckets := bucketize(inTimes, m.T)
-	dec := decodeTable(inK, m.T)
+	plan := m.stagePlan(si)
+	buckets := sc.bucketizeInto(inTimes, m.T)
+	dec := sc.decode(inK, m.T)
 
 	// guaranteed integration
 	for off := 0; off < adv && off < m.T; off++ {
 		for _, idx := range buckets[off] {
-			st.Scatter(idx, dec[off], pot)
+			scatterPlanned(plan, st, idx, dec[off], pot)
 		}
 	}
 
-	outTimes := make([]int, st.OutLen)
-	version := make([]uint32, st.OutLen)
 	for i := range outTimes {
 		outTimes[i] = -1
+	}
+	version := sc.evVersion[:st.OutLen]
+	stamp := sc.evStamp[:st.OutLen]
+	for i := range version {
+		version[i] = 0
+		stamp[i] = 0
 	}
 	firedCount := 0
 
 	// seed candidates from the guaranteed-phase potentials
-	h := make(fireHeap, 0, st.OutLen)
+	h := sc.evHeap[:0]
 	for j, u := range pot {
 		if c := candidate(outK, u, 0, m.T); c < m.T {
 			h = append(h, fireEvent{step: c, neuron: j})
 		}
 	}
-	heap.Init(&h)
+	for i := len(h)/2 - 1; i >= 0; i-- {
+		evDown(h, i)
+	}
 
 	fireUpTo := func(limit int) {
 		// pop and commit every valid candidate strictly before limit
 		for len(h) > 0 && h[0].step < limit {
-			ev := heap.Pop(&h).(fireEvent)
+			ev := h[0]
+			n := len(h) - 1
+			h[0] = h[n]
+			h = h[:n]
+			evDown(h, 0)
 			j := ev.neuron
 			if outTimes[j] >= 0 || ev.version != version[j] {
 				continue // already fired or stale
@@ -158,26 +213,36 @@ func (m *Model) runHiddenStageEvent(st *snn.Stage, inK, outK kernel.Kernel, inTi
 		}
 		// all fires strictly before this step are settled
 		fireUpTo(f)
-		touched := map[int]struct{}{}
+		epoch := uint32(f + 1)
+		touched := sc.evTouched[:0]
 		for _, idx := range buckets[inOff] {
-			st.ScatterVisit(idx, dec[inOff], func(j int, contrib float64) {
-				pot[j] += contrib
-				touched[j] = struct{}{}
-			})
+			key, div := st.RowKey(idx)
+			s := dec[inOff] / div
+			for _, c := range plan.Row(key) {
+				pot[c.J] += s * c.W
+				if stamp[c.J] != epoch {
+					stamp[c.J] = epoch
+					touched = append(touched, c.J)
+				}
+			}
 		}
 		// arrivals precede the threshold check at step f: recompute
 		// candidates (from f) for every touched, unfired neuron
-		for j := range touched {
+		for _, j32 := range touched {
+			j := int(j32)
 			if outTimes[j] >= 0 {
 				continue
 			}
 			version[j]++
 			if c := candidate(outK, pot[j], f, m.T); c < m.T {
-				heap.Push(&h, fireEvent{step: c, neuron: j, version: version[j]})
+				h = append(h, fireEvent{step: c, neuron: j, version: version[j]})
+				evUp(h, len(h)-1)
 			}
 		}
+		sc.evTouched = touched[:0] // keep grown capacity
 	}
 	fireUpTo(m.T)
+	sc.evHeap = h[:0]
 
 	res.Spikes[si+1] = firedCount
 	res.TotalSpikes = 0
@@ -187,7 +252,6 @@ func (m *Model) runHiddenStageEvent(st *snn.Stage, inK, outK kernel.Kernel, inTi
 	if cfg.CollectSpikeTimes {
 		res.SpikeTimes[si+1] = collectGlobal(outTimes, (si+1)*adv)
 	}
-	return outTimes
 }
 
 // VerifyEnginesEvent checks the clocked and event-driven engines agree

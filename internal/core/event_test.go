@@ -1,6 +1,7 @@
 package core
 
 import (
+	"fmt"
 	"testing"
 	"testing/quick"
 
@@ -63,6 +64,42 @@ func TestEventEngineInhibitoryCancellation(t *testing.T) {
 		in := fixture.x.Data[i*256 : (i+1)*256]
 		if err := m.VerifyEnginesEvent(in, RunConfig{EarlyFire: true, EFStart: m.T / 4}); err != nil {
 			t.Fatalf("sample %d: %v", i, err)
+		}
+	}
+}
+
+// TestInferEventWithMatchesFresh pins scratch reuse on the event
+// engine: one scratch carried across samples and configs (interleaved
+// with clocked InferWith calls on the same scratch) stays bit-identical
+// to nil-scratch InferEvent.
+func TestInferEventWithMatchesFresh(t *testing.T) {
+	loadFixture(t)
+	m := fixture.model()
+	sc := NewInferScratch(m)
+	for ci, cfg := range []RunConfig{{}, {EarlyFire: true}, {EarlyFire: true, EFStart: 13}, {CollectSpikeTimes: true}} {
+		for i := 0; i < 6; i++ {
+			in := fixture.x.Data[i*256 : (i+1)*256]
+			got := m.InferEventWith(sc, in, cfg)
+			sameResult(t, fmt.Sprintf("cfg %d sample %d", ci, i), got, m.InferEvent(in, cfg))
+			// the clocked engine shares the scratch without interference
+			clocked := m.InferWith(sc, in, cfg)
+			sameResult(t, fmt.Sprintf("cfg %d sample %d clocked", ci, i), clocked, m.Infer(in, cfg))
+		}
+	}
+}
+
+// TestInferEventWithZeroAllocs gates the ROADMAP item: the event engine
+// with a warm scratch allocates nothing per call.
+func TestInferEventWithZeroAllocs(t *testing.T) {
+	loadFixture(t)
+	m := fixture.model()
+	sc := NewInferScratch(m)
+	in := fixture.x.Data[:256]
+	for _, cfg := range []RunConfig{{}, {EarlyFire: true}} {
+		cfg := cfg
+		m.InferEventWith(sc, in, cfg) // warm plan + arenas + heap
+		if n := testing.AllocsPerRun(20, func() { m.InferEventWith(sc, in, cfg) }); n != 0 {
+			t.Errorf("InferEventWith(earlyFire=%v) allocates %.1f/op, want 0", cfg.EarlyFire, n)
 		}
 	}
 }

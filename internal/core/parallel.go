@@ -1,0 +1,392 @@
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/fault"
+)
+
+// minParChunk is the smallest chunk the parallel planner will cut. Below
+// this the per-chunk fixed costs (decode LUT fill, per-offset spike
+// grouping) and the lost scatter-row amortization outweigh what another
+// core can win back.
+const minParChunk = 8
+
+// ParallelOpts tunes the data-parallel batch path (NewPool).
+type ParallelOpts struct {
+	// Workers is the number of pool workers; 0 or negative means one per
+	// GOMAXPROCS.
+	Workers int
+	// MinChunksPerWorker is how many chunks each engaged worker should
+	// get before the planner cuts chunks smaller than the 64-sample mask
+	// width (default 1). Larger values trade scatter-row amortization for
+	// finer work-stealing granularity.
+	MinChunksPerWorker int
+}
+
+// poolCall is one parallel invocation: either a generic index-range
+// function (fn != nil) or a batched inference (m != nil). It is owned by
+// the pool and reused across calls so the steady-state parallel hot path
+// allocates nothing.
+type poolCall struct {
+	// generic mode
+	fn func(lo, hi, worker int)
+
+	// batch mode
+	m      *Model
+	inputs [][]float64
+	cfg    RunConfig
+	faults []*fault.Stream
+	res    []Result
+
+	n       int // total items
+	chunk   int // items per claimed chunk
+	nChunks int
+	next    atomic.Int64 // next chunk index to claim
+
+	panicMu  sync.Mutex
+	panicVal any // first worker panic, re-raised on the caller
+
+	wg sync.WaitGroup
+}
+
+// Pool is a bounded worker pool for data-parallel execution: batched
+// inference sharded at chunk granularity (InferBatchParallel) and
+// generic index-range fan-out (Each, used by Evaluate and the coding
+// sweeps). Each worker owns one InferScratch, so the batched hot path
+// stays at zero steady-state allocations per worker; the shared
+// scatter plan on the model is read lock-free by every worker.
+//
+// Calls are serialized internally (one parallel call runs at a time),
+// so concurrent Each calls are safe: their results flow through fn.
+// Concurrent InferBatchParallel callers need one extra rule — returned
+// results alias pool memory and are overwritten by the next call, so
+// callers sharing a pool must consume (copy out of) results under their
+// own lock before another call can start; internal/serve's TTFSEngine
+// does exactly that. Calls must not be nested: fn passed to Each must
+// never call back into the same pool.
+//
+// A nil *Pool is accepted everywhere and means "run sequentially".
+type Pool struct {
+	workers   int
+	minChunks int
+
+	mu      sync.Mutex // serializes calls, guards state below
+	started bool
+	closed  bool
+	calls   chan *poolCall
+	scr     []*InferScratch
+	results []Result
+	call    poolCall
+
+	chunks atomic.Uint64 // cumulative chunks dispatched (all modes)
+}
+
+// NewPool builds a pool. Worker goroutines start lazily on the first
+// parallel call; Close releases them.
+func NewPool(opts ParallelOpts) *Pool {
+	w := opts.Workers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	mc := opts.MinChunksPerWorker
+	if mc <= 0 {
+		mc = 1
+	}
+	p := &Pool{workers: w, minChunks: mc}
+	p.scr = make([]*InferScratch, w)
+	for i := range p.scr {
+		p.scr[i] = &InferScratch{}
+	}
+	return p
+}
+
+// Workers returns the pool's worker count (1 for a nil pool).
+func (p *Pool) Workers() int {
+	if p == nil {
+		return 1
+	}
+	return p.workers
+}
+
+// Chunks returns the cumulative number of work chunks the pool has
+// dispatched (0 for a nil pool) — the parallel_chunks serving metric.
+func (p *Pool) Chunks() uint64 {
+	if p == nil {
+		return 0
+	}
+	return p.chunks.Load()
+}
+
+// Close stops the worker goroutines. The pool runs sequentially (on the
+// caller's goroutine) afterwards; Close is idempotent.
+func (p *Pool) Close() {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	if !p.closed {
+		p.closed = true
+		if p.started {
+			close(p.calls)
+		}
+	}
+	p.mu.Unlock()
+}
+
+// start launches the workers once. Caller holds p.mu.
+func (p *Pool) start() {
+	if p.started {
+		return
+	}
+	p.started = true
+	p.calls = make(chan *poolCall, p.workers)
+	for w := 0; w < p.workers; w++ {
+		go p.worker(w)
+	}
+}
+
+func (p *Pool) worker(wid int) {
+	for c := range p.calls {
+		p.serve(c, wid)
+		c.wg.Done()
+	}
+}
+
+// serve claims chunks off one call until none remain. A panic in a
+// chunk is recorded (first wins), further claims are cancelled, and the
+// call's initiator re-raises it — matching the sequential path's panic
+// semantics without killing the worker.
+func (p *Pool) serve(c *poolCall, wid int) {
+	defer func() {
+		if r := recover(); r != nil {
+			c.panicMu.Lock()
+			if c.panicVal == nil {
+				c.panicVal = r
+			}
+			c.panicMu.Unlock()
+			c.next.Store(int64(c.nChunks)) // cancel remaining chunks
+		}
+	}()
+	if c.fn == nil {
+		// Batched mode: prepare this worker's scratch once per call. The
+		// arena rewinds exactly once, so every chunk this worker claims
+		// lands in fresh arena space.
+		sc := p.scr[wid]
+		sc.ensure(c.m)
+		sc.reset()
+	}
+	for {
+		i := int(c.next.Add(1)) - 1
+		if i >= c.nChunks {
+			return
+		}
+		lo := i * c.chunk
+		hi := lo + c.chunk
+		if hi > c.n {
+			hi = c.n
+		}
+		if c.fn != nil {
+			c.fn(lo, hi, wid)
+			continue
+		}
+		sc := p.scr[wid]
+		sc.ensureBatch(hi - lo)
+		var fs []*fault.Stream
+		if c.faults != nil {
+			fs = c.faults[lo:hi]
+		}
+		c.m.inferChunk(sc, c.inputs[lo:hi], c.cfg, fs, c.res[lo:hi])
+	}
+}
+
+// run engages w workers on the prepared p.call and waits. Caller holds
+// p.mu and has filled the call descriptor.
+func (p *Pool) run(w int) {
+	p.start()
+	c := &p.call
+	c.wg.Add(w)
+	for i := 0; i < w; i++ {
+		p.calls <- c
+	}
+	c.wg.Wait()
+	// drop caller references so the pool doesn't pin inputs between calls
+	pv := c.panicVal
+	c.fn, c.m, c.inputs, c.faults, c.res, c.panicVal = nil, nil, nil, nil, nil, nil
+	if pv != nil {
+		panic(pv)
+	}
+}
+
+// planBatch picks the chunk size and worker count for an n-sample batch.
+// Chunks default to the 64-sample mask width (maximal scatter-row
+// amortization); when that would leave workers idle the planner cuts
+// smaller chunks — chunking is result-invariant (pinned by
+// TestInferBatchChunksLargeBatches), so this only trades amortization
+// for parallelism — with a floor of minParChunk samples.
+func (p *Pool) planBatch(n int) (chunk, workers int) {
+	chunk = maxChunk
+	nChunks := (n + chunk - 1) / chunk
+	w := p.workers
+	if w > 1 && nChunks < w*p.minChunks {
+		chunk = (n + w*p.minChunks - 1) / (w * p.minChunks)
+		if chunk < minParChunk {
+			chunk = minParChunk
+		}
+		if chunk > maxChunk {
+			chunk = maxChunk
+		}
+		nChunks = (n + chunk - 1) / chunk
+	}
+	if w > nChunks {
+		w = nChunks
+	}
+	return chunk, w
+}
+
+// Warm primes every worker's scratch for the given model and batch by
+// running the batch sequentially on each, plus the pool's result
+// backing. A sequential pass covers the buffer needs of any parallel
+// sub-chunk of the same samples (per-offset spike groups over a chunk
+// contain those of its sub-chunks), so after Warm, parallel calls on
+// same-shaped batches start at zero steady-state allocations no matter
+// which worker claims which chunk. snnserve calls this at startup.
+func (p *Pool) Warm(m *Model, inputs [][]float64, cfg RunConfig) {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for _, sc := range p.scr {
+		m.InferBatchWith(sc, inputs, cfg, nil)
+	}
+	p.takeResults(len(inputs))
+}
+
+// takeResults returns a zeroed pool-owned result slice.
+func (p *Pool) takeResults(n int) []Result {
+	if cap(p.results) < n {
+		p.results = make([]Result, n)
+	}
+	res := p.results[:n]
+	for i := range res {
+		res[i] = Result{}
+	}
+	return res
+}
+
+// Each runs fn over [0, n) split into chunks of the given size, claimed
+// across the pool's workers (work stealing: a fast worker takes more
+// chunks). fn receives the half-open range [lo, hi) and the worker
+// index in [0, Workers()) — per-worker state indexed by it is never
+// touched concurrently. fn must be safe for concurrent invocation on
+// disjoint ranges; a panic in fn propagates to the caller after all
+// workers stop claiming. A nil or closed pool runs fn sequentially on
+// the caller's goroutine with worker index 0.
+func (p *Pool) Each(n, chunk int, fn func(lo, hi, worker int)) {
+	if n <= 0 {
+		return
+	}
+	if chunk <= 0 {
+		chunk = 1
+	}
+	nChunks := (n + chunk - 1) / chunk
+	if p != nil {
+		p.chunks.Add(uint64(nChunks))
+	}
+	w := p.Workers()
+	if w > nChunks {
+		w = nChunks
+	}
+	if p == nil || w <= 1 {
+		eachSeq(n, chunk, fn)
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		eachSeq(n, chunk, fn)
+		return
+	}
+	c := &p.call
+	c.fn = fn
+	c.m, c.inputs, c.faults, c.res = nil, nil, nil, nil
+	c.n, c.chunk, c.nChunks = n, chunk, nChunks
+	c.next.Store(0)
+	p.run(w)
+}
+
+// evalChunk sizes per-sample work-stealing chunks for evaluation-style
+// fan-out: about four chunks per worker keeps stealing effective when
+// per-sample cost varies (early firing, faults), capped at the batch
+// mask width.
+func evalChunk(n, workers int) int {
+	c := n / (workers * 4)
+	if c < 1 {
+		c = 1
+	}
+	if c > maxChunk {
+		c = maxChunk
+	}
+	return c
+}
+
+func eachSeq(n, chunk int, fn func(lo, hi, worker int)) {
+	for lo := 0; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		fn(lo, hi, 0)
+	}
+}
+
+// InferBatchParallel is InferBatch sharded across p's workers: the batch
+// is split into chunks (64-sample mask width, cut smaller when needed to
+// engage every worker), each claimed by a worker running the standard
+// chunk pipeline on its own scratch. Results are bit-identical to the
+// sequential path at any worker count: chunking is result-invariant,
+// scratch reuse is bit-exact, and fault streams are pure functions of
+// (seed, sample, …) — no decision depends on execution order. Per-worker
+// scratches make the steady-state call allocation-free.
+//
+// The returned results alias pool memory: they are valid until the next
+// call on the same pool (copy Spikes/Potentials to retain them). A nil
+// pool falls back to the sequential InferBatch, whose results are
+// freshly allocated.
+func (m *Model) InferBatchParallel(p *Pool, inputs [][]float64, cfg RunConfig, faults []*fault.Stream) []Result {
+	if p == nil {
+		return m.InferBatch(inputs, cfg, faults)
+	}
+	if cfg.Faults != nil {
+		panic("core: InferBatchParallel takes per-sample fault streams, not cfg.Faults")
+	}
+	if faults != nil && len(faults) != len(inputs) {
+		panic(fmt.Sprintf("core: %d fault streams for %d inputs", len(faults), len(inputs)))
+	}
+	n := len(inputs)
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	chunk, w := p.planBatch(n)
+	nChunks := 0
+	if chunk > 0 {
+		nChunks = (n + chunk - 1) / chunk
+	}
+	p.chunks.Add(uint64(nChunks))
+	if w <= 1 || p.closed || n == 0 {
+		// Sequential fallback on worker 0's scratch: same zero-alloc
+		// steady state, same aliasing contract.
+		return m.InferBatchWith(p.scr[0], inputs, cfg, faults)
+	}
+	res := p.takeResults(n)
+	c := &p.call
+	c.fn = nil
+	c.m, c.inputs, c.cfg, c.faults, c.res = m, inputs, cfg, faults, res
+	c.n, c.chunk, c.nChunks = n, chunk, nChunks
+	c.next.Store(0)
+	p.run(w)
+	return res
+}

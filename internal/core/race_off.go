@@ -1,0 +1,8 @@
+//go:build !race
+
+package core
+
+// raceEnabled reports whether the race detector is compiled in; alloc
+// gates on multi-goroutine paths skip under -race because the detector
+// itself allocates.
+const raceEnabled = false

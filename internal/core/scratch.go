@@ -30,6 +30,12 @@ type InferScratch struct {
 	dec            []float64 // ε(t) decode LUT, rebuilt per stage
 	buckets        [][]int   // spike indices grouped by window offset
 
+	// event-engine working state (InferEventWith)
+	evHeap    []fireEvent // candidate min-heap backing, kept empty between calls
+	evVersion []uint32    // per-neuron candidate versions
+	evStamp   []uint32    // per-step touched dedup stamps
+	evTouched []int32     // neurons touched by this step's arrivals
+
 	// batched working state (chunk ≤ maxChunk samples)
 	bTimes     [2][][]int // ping-pong banks of per-sample offset buffers
 	bTimesBack [2][]int
@@ -65,6 +71,9 @@ func (sc *InferScratch) ensure(m *Model) {
 		sc.timesA = make([]int, maxLen)
 		sc.timesB = make([]int, maxLen)
 		sc.pot = make([]float64, maxLen)
+		sc.evVersion = make([]uint32, maxLen)
+		sc.evStamp = make([]uint32, maxLen)
+		sc.evTouched = make([]int32, 0, maxLen)
 		sc.chunk = 0 // batch backings are sized from maxLen; rebuild them
 	}
 	if m.T > sc.window {

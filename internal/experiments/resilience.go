@@ -156,6 +156,13 @@ func Resilience(scale Scale, opts ResilienceOptions, cacheDir string, log io.Wri
 		return nil, err
 	}
 
+	// One pool serves the whole sweep: the TTFS cells hand it to
+	// core.Evaluate and the clock-driven baselines to coding.EvaluateSweep,
+	// so every (fault, level, scheme) cell reuses the same warm workers and
+	// scratch arenas instead of spawning goroutines per cell.
+	pool := core.NewPool(core.ParallelOpts{Workers: opts.Workers})
+	defer pool.Close()
+
 	pipes := make([]pipeline, 0, len(opts.Schemes))
 	for _, name := range opts.Schemes {
 		switch name {
@@ -166,7 +173,7 @@ func Resilience(scale Scale, opts ResilienceOptions, cacheDir string, log io.Wri
 					m = &core.Model{Net: net, K: ttfs.K, T: ttfs.T}
 				}
 				ev, err := core.Evaluate(m, s.EvalX, s.EvalY, core.EvalOptions{
-					Run: core.RunConfig{EarlyFire: true, EFStart: p.EFStart()}, Faults: inj, Workers: opts.Workers})
+					Run: core.RunConfig{EarlyFire: true, EFStart: p.EFStart()}, Faults: inj, Pool: pool})
 				if err != nil {
 					return 0, 0, 0, err
 				}
@@ -185,7 +192,8 @@ func Resilience(scale Scale, opts ResilienceOptions, cacheDir string, log io.Wri
 			}
 			sc, st := scheme, steps
 			pipes = append(pipes, pipeline{name: sc.Name(), eval: func(net *snn.Net, inj *fault.Injector) (float64, float64, int, error) {
-				ev, err := coding.EvaluateFaulted(sc, net, s.EvalX, s.EvalY, st, p.CurveStride, inj)
+				ev, err := coding.EvaluateSweep(sc, net, s.EvalX, s.EvalY,
+					coding.SweepOpts{Steps: st, Stride: p.CurveStride, Faults: inj, Pool: pool})
 				if err != nil {
 					return 0, 0, 0, err
 				}

@@ -51,6 +51,14 @@ type Engine interface {
 	InferBatch(inputs [][]float64, samples []int) []Prediction
 }
 
+// ChunkReporter is implemented by engines whose batch execution runs
+// data-parallel on a core.Pool; ParallelChunks returns the cumulative
+// number of work chunks dispatched, exported as parallel_chunks on
+// /metrics.
+type ChunkReporter interface {
+	ParallelChunks() uint64
+}
+
 // TTFSEngine serves a T2FSNN core.Model through core.InferBatch — the
 // batched path whose scatter-row amortization makes micro-batching pay.
 type TTFSEngine struct {
@@ -59,6 +67,17 @@ type TTFSEngine struct {
 	// Faults optionally injects deterministic per-sample faults keyed by
 	// the request's sample index.
 	Faults *fault.Injector
+	// Pool hands whole micro-batches to the data-parallel path
+	// (core.InferBatchParallel) with one scratch arena per pool worker;
+	// nil (or a single-worker pool) keeps the single-goroutine amortized
+	// path below. Give each engine its own pool.
+	Pool *core.Pool
+
+	// poolMu serializes parallel batches so result extraction (which
+	// reads pool-owned memory) finishes before the next call overwrites
+	// it — the coordination core.Pool requires of concurrent
+	// InferBatchParallel callers.
+	poolMu sync.Mutex
 
 	// scratch pools per-worker inference arenas so steady-state batches
 	// allocate only the returned Predictions, never the working set.
@@ -84,22 +103,35 @@ func (e *TTFSEngine) InferBatch(inputs [][]float64, samples []int) []Prediction 
 			}
 		}
 	}
+	if e.Pool.Workers() > 1 {
+		e.poolMu.Lock()
+		defer e.poolMu.Unlock()
+		return corePredictions(e.Model.InferBatchParallel(e.Pool, inputs, e.Run, fs))
+	}
 	sc, _ := e.scratch.Get().(*core.InferScratch)
 	if sc == nil {
 		sc = core.NewInferScratch(e.Model)
 	}
-	rs := e.Model.InferBatchWith(sc, inputs, e.Run, fs)
+	preds := corePredictions(e.Model.InferBatchWith(sc, inputs, e.Run, fs))
+	e.scratch.Put(sc)
+	return preds
+}
+
+// ParallelChunks implements ChunkReporter (0 without a pool).
+func (e *TTFSEngine) ParallelChunks() uint64 { return e.Pool.Chunks() }
+
+// corePredictions converts batch results into predictions, copying
+// Potentials out of the scratch/pool arenas they alias.
+func corePredictions(rs []core.Result) []Prediction {
 	preds := make([]Prediction, len(rs))
 	for i, r := range rs {
 		preds[i] = Prediction{
 			Pred:        r.Pred,
 			Latency:     r.Latency,
 			TotalSpikes: r.TotalSpikes,
-			// copied: r.Potentials aliases the pooled scratch
-			Potentials: append([]float64(nil), r.Potentials...),
+			Potentials:  append([]float64(nil), r.Potentials...),
 		}
 	}
-	e.scratch.Put(sc)
 	return preds
 }
 
@@ -113,6 +145,14 @@ type SchemeEngine struct {
 	// Steps is the simulation horizon passed to every Run.
 	Steps  int
 	Faults *fault.Injector
+	// Pool fans the micro-batch's samples across pool workers, one
+	// coding.Scratch per worker; nil runs them on the calling goroutine.
+	// Give each engine its own pool.
+	Pool *core.Pool
+
+	// mu guards the lazy per-pool-worker scratch table.
+	mu        sync.Mutex
+	scratches []*coding.Scratch
 
 	// scratch pools per-worker simulation buffers (see TTFSEngine).
 	scratch sync.Pool
@@ -128,17 +168,13 @@ func (e *SchemeEngine) Classes() int {
 
 // InferBatch implements Engine.
 func (e *SchemeEngine) InferBatch(inputs [][]float64, samples []int) []Prediction {
-	sc, _ := e.scratch.Get().(*coding.Scratch)
-	if sc == nil {
-		sc = coding.NewScratch()
-	}
 	preds := make([]Prediction, len(inputs))
-	for i, in := range inputs {
+	runOne := func(i int, sc *coding.Scratch) {
 		opts := coding.RunOpts{Steps: e.Steps, Scratch: sc}
 		if e.Faults != nil && samples[i] >= 0 {
 			opts.Faults = e.Faults.Sample(samples[i])
 		}
-		r := e.Scheme.Run(e.Net, in, opts)
+		r := e.Scheme.Run(e.Net, inputs[i], opts)
 		preds[i] = Prediction{
 			Pred:        r.Pred,
 			Latency:     r.Steps,
@@ -147,6 +183,38 @@ func (e *SchemeEngine) InferBatch(inputs [][]float64, samples []int) []Predictio
 			Potentials: append([]float64(nil), r.Potentials...),
 		}
 	}
+	if w := e.Pool.Workers(); w > 1 && len(inputs) > 1 {
+		e.mu.Lock()
+		if e.scratches == nil {
+			e.scratches = make([]*coding.Scratch, w)
+		}
+		e.mu.Unlock()
+		// Per-sample chunks: scheme runs dominate, so stealing at the
+		// finest grain balances best. Scratch access is safe: the pool
+		// serializes calls and hands worker index w to one goroutine at a
+		// time, and preds extraction happens inside fn.
+		e.Pool.Each(len(inputs), 1, func(lo, hi, worker int) {
+			sc := e.scratches[worker]
+			if sc == nil {
+				sc = coding.NewScratch()
+				e.scratches[worker] = sc
+			}
+			for i := lo; i < hi; i++ {
+				runOne(i, sc)
+			}
+		})
+		return preds
+	}
+	sc, _ := e.scratch.Get().(*coding.Scratch)
+	if sc == nil {
+		sc = coding.NewScratch()
+	}
+	for i := range inputs {
+		runOne(i, sc)
+	}
 	e.scratch.Put(sc)
 	return preds
 }
+
+// ParallelChunks implements ChunkReporter (0 without a pool).
+func (e *SchemeEngine) ParallelChunks() uint64 { return e.Pool.Chunks() }

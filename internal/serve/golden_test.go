@@ -141,6 +141,106 @@ func TestServedFaultInjectionMatchesDirect(t *testing.T) {
 	}
 }
 
+// Pool-backed serving must stay bit-identical to direct inference for
+// both engine kinds — the data-parallel path changes scheduling, never
+// results — and the parallel_chunks metric must surface the pool's
+// dispatch count.
+func TestServedWithPoolMatchesDirect(t *testing.T) {
+	fx := testutil.TrainedLeNet16()
+	m, err := core.NewModel(fx.Conv.Net, 40, 10, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inj, err := fault.New(fault.Config{Seed: 29, Drop: 0.1, Jitter: 1, ThresholdNoise: 0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := core.RunConfig{EarlyFire: true}
+	sampleLen := fx.Conv.Net.InLen
+	const n = 24
+
+	serveAll := func(t *testing.T, s *Server) []Prediction {
+		t.Helper()
+		got := make([]Prediction, n)
+		var wg sync.WaitGroup
+		for i := 0; i < n; i++ {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				in := fx.X.Data[i*sampleLen : (i+1)*sampleLen]
+				sample := -1
+				if i%2 == 1 { // mixed batch: odd samples carry faults
+					sample = i
+				}
+				var err error
+				got[i], err = s.Infer(context.Background(), in, sample, -1)
+				if err != nil {
+					t.Errorf("sample %d: %v", i, err)
+				}
+			}(i)
+		}
+		wg.Wait()
+		return got
+	}
+
+	t.Run("ttfs", func(t *testing.T) {
+		pool := core.NewPool(core.ParallelOpts{Workers: 4})
+		defer pool.Close()
+		s := New(&TTFSEngine{Model: m, Run: run, Faults: inj, Pool: pool},
+			Options{MaxBatch: 16, MaxWait: 2 * time.Millisecond})
+		got := serveAll(t, s)
+		snap := s.Metrics().Snapshot()
+		s.Close()
+		for i := 0; i < n; i++ {
+			cfg := run
+			if i%2 == 1 {
+				cfg.Faults = inj.Sample(i)
+			}
+			ref := m.Infer(fx.X.Data[i*sampleLen:(i+1)*sampleLen], cfg)
+			if got[i].Pred != ref.Pred || got[i].Latency != ref.Latency || got[i].TotalSpikes != ref.TotalSpikes {
+				t.Fatalf("sample %d: served (%d,%d,%d) != direct (%d,%d,%d)",
+					i, got[i].Pred, got[i].Latency, got[i].TotalSpikes, ref.Pred, ref.Latency, ref.TotalSpikes)
+			}
+			for j := range ref.Potentials {
+				if math.Float64bits(got[i].Potentials[j]) != math.Float64bits(ref.Potentials[j]) {
+					t.Fatalf("sample %d: potential %d not bit-identical", i, j)
+				}
+			}
+		}
+		if snap.ParallelChunks == 0 {
+			t.Log("warning: no multi-sample batches reached the pool (timing); parallel_chunks stayed 0")
+		} else if snap.ParallelChunks != pool.Chunks() {
+			t.Fatalf("parallel_chunks %d != pool count %d", snap.ParallelChunks, pool.Chunks())
+		}
+	})
+
+	t.Run("scheme", func(t *testing.T) {
+		pool := core.NewPool(core.ParallelOpts{Workers: 4})
+		defer pool.Close()
+		sch := coding.Burst{}
+		const steps = 24
+		s := New(&SchemeEngine{Net: fx.Conv.Net, Scheme: sch, Steps: steps, Faults: inj, Pool: pool},
+			Options{MaxBatch: 16, MaxWait: 2 * time.Millisecond})
+		got := serveAll(t, s)
+		snap := s.Metrics().Snapshot()
+		s.Close()
+		for i := 0; i < n; i++ {
+			opts := coding.RunOpts{Steps: steps}
+			if i%2 == 1 {
+				opts.Faults = inj.Sample(i)
+			}
+			ref := sch.Run(fx.Conv.Net, fx.X.Data[i*sampleLen:(i+1)*sampleLen], opts)
+			if got[i].Pred != ref.Pred || got[i].TotalSpikes != ref.TotalSpikes {
+				t.Fatalf("sample %d: served (%d,%d) != direct (%d,%d)",
+					i, got[i].Pred, got[i].TotalSpikes, ref.Pred, ref.TotalSpikes)
+			}
+		}
+		if snap.ParallelChunks == 0 {
+			t.Log("warning: no multi-sample batches reached the pool (timing); parallel_chunks stayed 0")
+		}
+	})
+}
+
 // The scheme engine must serve any coding.Scheme unchanged.
 func TestSchemeEngineMatchesDirectRun(t *testing.T) {
 	fx := testutil.TrainedLeNet16()

@@ -27,6 +27,9 @@ type Metrics struct {
 	completed uint64
 
 	totalSpikes uint64
+	// parallelChunks mirrors the engine's cumulative ChunkReporter count
+	// (0 when the engine runs sequentially).
+	parallelChunks uint64
 	// batchSizes[k] counts dispatched batches of k live samples
 	// (index 0 unused).
 	batchSizes []uint64
@@ -89,6 +92,12 @@ func (m *Metrics) complete(wall time.Duration, p Prediction, label int) {
 	m.mu.Unlock()
 }
 
+func (m *Metrics) setParallelChunks(v uint64) {
+	m.mu.Lock()
+	m.parallelChunks = v
+	m.mu.Unlock()
+}
+
 func (m *Metrics) batchDone(size int) {
 	m.mu.Lock()
 	if size >= 0 && size < len(m.batchSizes) {
@@ -123,6 +132,10 @@ type Snapshot struct {
 	TotalSpikes     uint64  `json:"total_spikes"`
 	SpikesPerSample float64 `json:"spikes_per_sample"`
 
+	// ParallelChunks is the cumulative number of work chunks the engine
+	// dispatched to its core.Pool (0 when serving sequentially).
+	ParallelChunks uint64 `json:"parallel_chunks"`
+
 	// Accuracy over labeled requests (LabeledTotal 0 means none seen).
 	Accuracy     float64 `json:"accuracy"`
 	LabeledTotal int     `json:"labeled_total"`
@@ -134,14 +147,15 @@ func (m *Metrics) Snapshot() Snapshot {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	s := Snapshot{
-		UptimeSeconds: time.Since(m.start).Seconds(),
-		Accepted:      m.accepted,
-		Rejected:      m.rejected,
-		Expired:       m.expired,
-		Failed:        m.failed,
-		Completed:     m.completed,
-		TotalSpikes:   m.totalSpikes,
-		BatchSizeHist: append([]uint64(nil), m.batchSizes...),
+		UptimeSeconds:  time.Since(m.start).Seconds(),
+		Accepted:       m.accepted,
+		Rejected:       m.rejected,
+		Expired:        m.expired,
+		Failed:         m.failed,
+		Completed:      m.completed,
+		TotalSpikes:    m.totalSpikes,
+		ParallelChunks: m.parallelChunks,
+		BatchSizeHist:  append([]uint64(nil), m.batchSizes...),
 	}
 	if s.UptimeSeconds > 0 {
 		s.ThroughputPerSec = float64(m.completed) / s.UptimeSeconds

@@ -427,4 +427,3 @@ func (panicEngine) Classes() int { return 2 }
 func (panicEngine) InferBatch([][]float64, []int) []Prediction {
 	panic("boom")
 }
-

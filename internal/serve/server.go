@@ -261,6 +261,9 @@ func (s *Server) runBatch(batch []*request) {
 		r.done <- result{pred: preds[i]}
 	}
 	s.met.batchDone(len(live))
+	if cr, ok := s.eng.(ChunkReporter); ok {
+		s.met.setParallelChunks(cr.ParallelChunks())
+	}
 }
 
 // runEngine isolates engine panics (a malformed model or fault stream

@@ -2,7 +2,9 @@
 # serve_smoke.sh — end-to-end smoke test of the serving layer: build
 # snnserve + snnload, start a tiny-scale server (cached weights make
 # this fast), replay a short load, assert zero errors and non-zero
-# throughput, and verify the server drains cleanly on SIGTERM.
+# throughput, and verify the server drains cleanly on SIGTERM. A second
+# leg repeats the exercise with -parallel 2 (data-parallel batch
+# execution) and asserts the parallel_chunks metric moved.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -17,21 +19,35 @@ trap cleanup EXIT
 
 go build -o "$BIN/" ./cmd/snnserve ./cmd/snnload
 
-"$BIN/snnserve" -addr "127.0.0.1:$PORT" -dataset mnist -scale tiny -cache models -batch 16 &
-SRV=$!
+# one_leg <tag> <extra snnserve flags...>: boot, load, assert, drain.
+# Sets LOAD to snnload's full output.
+one_leg() {
+    local tag="$1"; shift
+    "$BIN/snnserve" -addr "127.0.0.1:$PORT" -dataset mnist -scale tiny -cache models -batch 16 "$@" &
+    SRV=$!
 
-OUT="$("$BIN/snnload" -addr "http://127.0.0.1:$PORT" -dataset mnist -n 120 -c 12)"
-echo "$OUT"
-RESULT="$(echo "$OUT" | grep '^RESULT ')"
+    LOAD="$("$BIN/snnload" -addr "http://127.0.0.1:$PORT" -dataset mnist -n 120 -c 12)"
+    echo "$LOAD"
+    local result
+    result="$(echo "$LOAD" | grep '^RESULT ')"
 
-echo "$RESULT" | grep -q ' err=0 ' || { echo "serve-smoke: FAIL (request errors)"; exit 1; }
-THR="$(echo "$RESULT" | sed 's/.*throughput=\([0-9.]*\).*/\1/')"
-awk -v t="$THR" 'BEGIN { exit !(t > 0) }' || { echo "serve-smoke: FAIL (zero throughput)"; exit 1; }
+    echo "$result" | grep -q ' err=0 ' || { echo "serve-smoke: FAIL ($tag: request errors)"; exit 1; }
+    THR="$(echo "$result" | sed 's/.*throughput=\([0-9.]*\).*/\1/')"
+    awk -v t="$THR" 'BEGIN { exit !(t > 0) }' || { echo "serve-smoke: FAIL ($tag: zero throughput)"; exit 1; }
 
-kill -TERM "$SRV"
-if ! wait "$SRV"; then
-    echo "serve-smoke: FAIL (server exited non-zero on SIGTERM)"
-    exit 1
-fi
-SRV=""
-echo "serve-smoke: ok ($THR samples/s)"
+    kill -TERM "$SRV"
+    if ! wait "$SRV"; then
+        echo "serve-smoke: FAIL ($tag: server exited non-zero on SIGTERM)"
+        exit 1
+    fi
+    SRV=""
+}
+
+one_leg sequential
+SEQ_THR="$THR"
+
+one_leg parallel -parallel 2
+CHUNKS="$(echo "$LOAD" | sed -n 's/.*parallel chunks \([0-9]*\).*/\1/p')"
+[ -n "$CHUNKS" ] && [ "$CHUNKS" -gt 0 ] || { echo "serve-smoke: FAIL (parallel: parallel_chunks stayed 0)"; exit 1; }
+
+echo "serve-smoke: ok (sequential $SEQ_THR samples/s, parallel $THR samples/s, $CHUNKS chunks)"
