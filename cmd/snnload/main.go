@@ -1,18 +1,24 @@
 // Command snnload is a deterministic load generator for cmd/snnserve:
 // it regenerates a synthetic evaluation set (same generator the server
 // and experiments use, so sample i is always the same image), replays
-// it over POST /v1/infer from -c concurrent clients, and reports
-// throughput, wall-clock latency percentiles, and accuracy.
+// it over POST /v1/infer — or POST /v1/models/{name}/infer when -model
+// is given — from -c concurrent clients, and reports throughput,
+// wall-clock latency percentiles, and accuracy.
 //
 //	snnload -addr http://127.0.0.1:8080 -dataset mnist -n 500 -c 8
+//	snnload -model rate -client-id canary -timeout-ms 50 -tolerate-shed
 //
 // The final line is machine-readable:
 //
-//	RESULT ok=500 err=0 rejected=0 wall_s=1.23 throughput=406.5 p50_ms=18.2 p99_ms=44.0 acc=0.96
+//	RESULT ok=500 err=0 rejected=0 shed=0 expired=0 retry_after=0 wall_s=1.23 throughput=406.5 p50_ms=18.2 p99_ms=44.0 acc=0.96
 //
 // so scripts (make serve-smoke) can assert on it. Rejected requests
-// (429 backpressure) are retried with exponential backoff up to
-// -retries times; other failures count as errors.
+// (429 backpressure or admission control) are retried up to -retries
+// times, honoring the server's Retry-After header when present (else
+// exponential backoff). A request still 429ing after its retries
+// counts as shed, and a 504 (deadline exceeded server-side) counts as
+// expired; both are errors unless -tolerate-shed is set — the flag for
+// load runs that *intend* to trip admission control.
 package main
 
 import (
@@ -24,6 +30,7 @@ import (
 	"net/http"
 	"os"
 	"sort"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -34,13 +41,16 @@ import (
 
 func main() {
 	addr := flag.String("addr", "http://127.0.0.1:8080", "server base URL")
+	model := flag.String("model", "", "target model name (empty = the server's default via /v1/infer)")
+	clientID := flag.String("client-id", "", "X-Client-ID header value for per-client rate limiting (empty = none)")
 	ds := flag.String("dataset", "mnist", "synthetic dataset to replay: mnist|cifar10|cifar100")
 	n := flag.Int("n", 200, "total requests")
 	c := flag.Int("c", 8, "concurrent clients")
 	seed := flag.Uint64("seed", 99, "dataset generator seed")
 	samples := flag.Int("samples", 64, "distinct samples to cycle through")
 	timeoutMs := flag.Int("timeout-ms", 0, "per-request server-side deadline (0 = none)")
-	retries := flag.Int("retries", 8, "max retries on 429 backpressure")
+	retries := flag.Int("retries", 8, "max retries on 429 rejections")
+	tolerateShed := flag.Bool("tolerate-shed", false, "count exhausted 429s and server-side deadline misses as shed/expired instead of errors")
 	faults := flag.Bool("faults", false, "request per-sample fault injection (sends the sample index)")
 	warmup := flag.Duration("warmup", 60*time.Second, "how long to wait for the server to report healthy")
 	flag.Parse()
@@ -48,6 +58,10 @@ func main() {
 	if err := waitHealthy(*addr, *warmup); err != nil {
 		fmt.Fprintf(os.Stderr, "snnload: %v\n", err)
 		os.Exit(1)
+	}
+	inferURL := *addr + "/v1/infer"
+	if *model != "" {
+		inferURL = *addr + "/v1/models/" + *model + "/infer"
 	}
 
 	cfg := dataset.Config{Train: *samples, Test: 1, Seed: *seed}
@@ -91,6 +105,7 @@ func main() {
 
 	var (
 		okCt, errCt, rejectCt, correctCt atomic.Int64
+		shedCt, expiredCt, retryAfterCt  atomic.Int64
 		mu                               sync.Mutex
 		lats                             []time.Duration
 	)
@@ -110,19 +125,25 @@ func main() {
 			for i := range next {
 				si := i % *samples
 				t0 := time.Now()
-				resp, retried, err := postWithRetry(client, *addr+"/v1/infer", bodies[si], *retries)
-				rejectCt.Add(int64(retried))
-				if err != nil {
+				resp, m, err := postWithRetry(client, inferURL, *clientID, bodies[si], *retries)
+				rejectCt.Add(int64(m.rejected))
+				retryAfterCt.Add(int64(m.retryAfterSeen))
+				switch {
+				case err == nil:
+					okCt.Add(1)
+					if resp.Pred == eval.Labels[si] {
+						correctCt.Add(1)
+					}
+					mu.Lock()
+					lats = append(lats, time.Since(t0))
+					mu.Unlock()
+				case m.exhausted429 && *tolerateShed:
+					shedCt.Add(1)
+				case m.status == http.StatusGatewayTimeout && *tolerateShed:
+					expiredCt.Add(1)
+				default:
 					errCt.Add(1)
-					continue
 				}
-				okCt.Add(1)
-				if resp.Pred == eval.Labels[si] {
-					correctCt.Add(1)
-				}
-				mu.Lock()
-				lats = append(lats, time.Since(t0))
-				mu.Unlock()
 			}
 		}()
 	}
@@ -130,6 +151,7 @@ func main() {
 	wall := time.Since(start)
 
 	ok, errs, rejected := okCt.Load(), errCt.Load(), rejectCt.Load()
+	shed, expired := shedCt.Load(), expiredCt.Load()
 	acc := 0.0
 	if ok > 0 {
 		acc = float64(correctCt.Load()) / float64(ok)
@@ -152,16 +174,20 @@ func main() {
 		return float64(lats[rank-1]) / float64(time.Millisecond)
 	}
 
-	fmt.Printf("snnload: %d ok, %d errors, %d backpressure retries over %s\n", ok, errs, rejected, wall.Round(time.Millisecond))
+	fmt.Printf("snnload: %d ok, %d errors, %d rejections retried, %d shed, %d expired over %s\n",
+		ok, errs, rejected, shed, expired, wall.Round(time.Millisecond))
 	fmt.Printf("  throughput %.1f samples/s, latency p50 %.1fms p90 %.1fms p99 %.1fms, accuracy %.3f\n",
 		throughput, pct(0.50), pct(0.90), pct(0.99), acc)
-	if snap, err := fetchMetrics(client, *addr); err == nil {
+	if snap, err := fetchMetrics(client, *addr, *model); err == nil {
 		fmt.Printf("  server: mean batch %.2f, completed %d, rejected %d, spikes/sample %.0f, parallel chunks %d\n",
 			snap.MeanBatchSize, snap.Completed, snap.Rejected, snap.SpikesPerSample, snap.ParallelChunks)
 	}
-	fmt.Printf("RESULT ok=%d err=%d rejected=%d wall_s=%.3f throughput=%.1f p50_ms=%.1f p99_ms=%.1f acc=%.3f\n",
-		ok, errs, rejected, wall.Seconds(), throughput, pct(0.50), pct(0.99), acc)
-	if errs > 0 || ok == 0 {
+	fmt.Printf("RESULT ok=%d err=%d rejected=%d shed=%d expired=%d retry_after=%d wall_s=%.3f throughput=%.1f p50_ms=%.1f p99_ms=%.1f acc=%.3f\n",
+		ok, errs, rejected, shed, expired, retryAfterCt.Load(), wall.Seconds(), throughput, pct(0.50), pct(0.99), acc)
+	if errs > 0 {
+		os.Exit(1)
+	}
+	if ok == 0 && !(*tolerateShed && shed+expired > 0) {
 		os.Exit(1)
 	}
 }
@@ -185,25 +211,50 @@ func waitHealthy(addr string, window time.Duration) error {
 	}
 }
 
-// postWithRetry sends one inference request, retrying 429 responses
-// with exponential backoff. It returns the decoded response and how
-// many backpressure rejections it absorbed.
-func postWithRetry(client *http.Client, url string, body []byte, retries int) (serve.InferResponse, int, error) {
+// postMeta describes how one logical request went beyond its decoded
+// response: how many 429s it absorbed, whether any carried Retry-After,
+// whether retries ran out, and the final HTTP status.
+type postMeta struct {
+	rejected       int
+	retryAfterSeen int
+	exhausted429   bool
+	status         int
+}
+
+// postWithRetry sends one inference request, retrying 429 responses —
+// waiting out the server's Retry-After when present, else backing off
+// exponentially from 2ms.
+func postWithRetry(client *http.Client, url, clientID string, body []byte, retries int) (serve.InferResponse, postMeta, error) {
 	var out serve.InferResponse
+	var meta postMeta
 	backoff := 2 * time.Millisecond
-	rejected := 0
 	for attempt := 0; ; attempt++ {
-		resp, err := client.Post(url, "application/json", bytes.NewReader(body))
+		req, err := http.NewRequest(http.MethodPost, url, bytes.NewReader(body))
 		if err != nil {
-			return out, rejected, err
+			return out, meta, err
 		}
+		req.Header.Set("Content-Type", "application/json")
+		if clientID != "" {
+			req.Header.Set("X-Client-ID", clientID)
+		}
+		resp, err := client.Do(req)
+		if err != nil {
+			return out, meta, err
+		}
+		meta.status = resp.StatusCode
 		if resp.StatusCode == http.StatusTooManyRequests {
-			resp.Body.Close()
-			rejected++
-			if attempt >= retries {
-				return out, rejected, fmt.Errorf("still overloaded after %d retries", retries)
+			wait := backoff
+			if ra, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil && ra > 0 {
+				meta.retryAfterSeen++
+				wait = time.Duration(ra) * time.Second
 			}
-			time.Sleep(backoff)
+			resp.Body.Close()
+			meta.rejected++
+			if attempt >= retries {
+				meta.exhausted429 = true
+				return out, meta, fmt.Errorf("still rejected (429) after %d retries", retries)
+			}
+			time.Sleep(wait)
 			backoff *= 2
 			continue
 		}
@@ -213,20 +264,38 @@ func postWithRetry(client *http.Client, url string, body []byte, retries int) (s
 			}
 			_ = json.NewDecoder(resp.Body).Decode(&e)
 			resp.Body.Close()
-			return out, rejected, fmt.Errorf("status %d: %s", resp.StatusCode, e.Error)
+			return out, meta, fmt.Errorf("status %d: %s", resp.StatusCode, e.Error)
 		}
 		err = json.NewDecoder(resp.Body).Decode(&out)
 		resp.Body.Close()
-		return out, rejected, err
+		return out, meta, err
 	}
 }
 
-func fetchMetrics(client *http.Client, addr string) (serve.Snapshot, error) {
+// fetchMetrics reads the server's /metrics. Multi-model servers nest
+// per-model snapshots; model selects one (the default model when
+// empty), falling back to the flat single-server document.
+func fetchMetrics(client *http.Client, addr, model string) (serve.Snapshot, error) {
 	var snap serve.Snapshot
 	resp, err := client.Get(addr + "/metrics")
 	if err != nil {
 		return snap, err
 	}
 	defer resp.Body.Close()
-	return snap, json.NewDecoder(resp.Body).Decode(&snap)
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		return snap, err
+	}
+	var reg serve.RegistrySnapshot
+	if err := json.Unmarshal(buf.Bytes(), &reg); err == nil && len(reg.Models) > 0 {
+		name := model
+		if name == "" {
+			name = reg.DefaultModel
+		}
+		if ms, ok := reg.Models[name]; ok {
+			return ms.Snapshot, nil
+		}
+		return snap, fmt.Errorf("model %q not in /metrics", name)
+	}
+	return snap, json.Unmarshal(buf.Bytes(), &snap)
 }

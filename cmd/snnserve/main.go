@@ -1,25 +1,39 @@
-// Command snnserve exposes a spiking model over HTTP with server-side
+// Command snnserve exposes spiking models over HTTP with server-side
 // micro-batching (internal/serve): requests queue up to -batch samples
 // or -wait, whichever comes first, and execute as one batched inference
 // — on a single core the batched TTFS engine amortizes scatter address
 // generation across the batch, which is where the throughput win over
 // per-request inference comes from.
 //
-// The model comes from either a .t2f file written by cmd/snnc:
-//
-//	snnserve -model cifar10.t2f -addr :8080
-//
-// or is built on the spot from a synthetic dataset (DNN weights are
+// One process hosts any number of named models (serve.Registry), each
+// with its own queue, workers, and metrics. -model is repeatable and
+// takes name=source[:scheme[:steps]] where source is a .t2f file from
+// cmd/snnc or dataset/scale for an on-the-spot build (DNN weights are
 // cached under -cache, so repeat startups are fast):
 //
+//	snnserve -model ttfs=mnist/tiny -model rate=mnist/tiny:rate:100
+//	snnserve -model prod=cifar10.t2f -model canary=cifar10.t2f
+//
+// The first model is the default for the back-compat /v1/infer route.
+// A bare path or the -dataset flags still work and name the single
+// model "default":
+//
+//	snnserve -model cifar10.t2f -addr :8080
 //	snnserve -dataset mnist -scale tiny -cache models -addr :8080
-//
-// Baseline codings are served through the same API:
-//
 //	snnserve -dataset mnist -scale tiny -scheme rate -steps 100
 //
-// Endpoints: POST /v1/infer, GET /healthz, GET /metrics. SIGINT/SIGTERM
-// drain in-flight batches before exit.
+// Admission control sits in front of every model: -rate/-burst run a
+// per-client token bucket (keyed by -client-header, falling back to
+// remote address), and deadline-headroom shedding (disable with
+// -no-shed) rejects requests whose deadline is below the target
+// model's rolling p99 batch latency with 429 + Retry-After before they
+// occupy a queue slot. -max-timeout clamps client deadlines so the
+// shedder cannot be dodged with huge or absent timeout_ms values.
+//
+// Endpoints: POST /v1/models/{name}/infer, POST /v1/infer,
+// GET /v1/models, GET /healthz, GET /metrics (per-model snapshots
+// nested in one document). SIGINT/SIGTERM drain every model before
+// exit.
 package main
 
 import (
@@ -31,6 +45,8 @@ import (
 	"os"
 	"os/signal"
 	"runtime"
+	"strconv"
+	"strings"
 	"syscall"
 	"time"
 
@@ -41,83 +57,132 @@ import (
 	"repro/internal/serve"
 )
 
+// modelSpec is one parsed -model flag.
+type modelSpec struct {
+	name   string
+	source string // .t2f path or dataset/scale
+	scheme string // ttfs|rate|phase|burst
+	steps  int    // simulation horizon for non-ttfs schemes
+}
+
 func main() {
 	addr := flag.String("addr", ":8080", "listen address")
-	modelPath := flag.String("model", "", "serve a .t2f model written by cmd/snnc (overrides -dataset)")
-	ds := flag.String("dataset", "mnist", "build a model for this synthetic dataset: mnist|cifar10|cifar100")
+	var modelFlags []string
+	flag.Func("model", "model to serve: name=source[:scheme[:steps]] with source a .t2f file or dataset/scale (repeatable); a bare path serves that .t2f as \"default\"", func(v string) error {
+		modelFlags = append(modelFlags, v)
+		return nil
+	})
+	ds := flag.String("dataset", "mnist", "build the default model for this synthetic dataset when no -model is given: mnist|cifar10|cifar100")
 	scale := flag.String("scale", "tiny", "dataset scale: tiny|small|full")
-	cache := flag.String("cache", "models", "weight cache directory for the -dataset build path")
-	scheme := flag.String("scheme", "ttfs", "serving engine: ttfs|rate|phase|burst")
-	steps := flag.Int("steps", 100, "simulation horizon for non-ttfs schemes")
+	cache := flag.String("cache", "models", "weight cache directory for dataset builds")
+	scheme := flag.String("scheme", "ttfs", "default serving engine: ttfs|rate|phase|burst")
+	steps := flag.Int("steps", 100, "default simulation horizon for non-ttfs schemes")
 	ef := flag.Bool("ef", true, "early firing (ttfs engine)")
-	useGO := flag.Bool("go", false, "apply gradient-based kernel optimization at startup (slower start, better accuracy)")
+	useGO := flag.Bool("go", false, "apply gradient-based kernel optimization at startup (slower start, better accuracy; dataset builds only)")
 
-	batch := flag.Int("batch", 16, "max samples per dispatched batch")
+	batch := flag.Int("batch", 16, "max samples per dispatched batch (per model)")
 	wait := flag.Duration("wait", 2*time.Millisecond, "max time the first queued request waits for a batch to fill")
-	queue := flag.Int("queue", 0, "request queue bound (0 = 8x batch); overflow returns 429")
-	workers := flag.Int("workers", 0, "batch executor goroutines (0 = GOMAXPROCS; forced to 1 when -parallel engages)")
+	queue := flag.Int("queue", 0, "request queue bound per model (0 = 8x batch); overflow returns 429")
+	workers := flag.Int("workers", 0, "batch executor goroutines per model (0 = GOMAXPROCS; forced to 1 when -parallel engages)")
 	parallel := flag.Int("parallel", 0, "data-parallel workers per batch inference (0 = GOMAXPROCS, 1 = sequential)")
+	sharePool := flag.Bool("share-pool", false, "share one data-parallel pool across all models instead of one pool per model")
 	timeout := flag.Duration("timeout", 0, "default per-request deadline (0 = none)")
+	maxTimeout := flag.Duration("max-timeout", 0, "cap on client-supplied deadlines; 0 lets clients pick any deadline (or none) and defeats deadline shedding")
 
-	fSeed := flag.Uint64("fault-seed", 1, "fault injection seed")
+	rate := flag.Float64("rate", 0, "per-client admission rate in requests/s (0 = unlimited)")
+	burst := flag.Int("burst", 0, "per-client burst allowance (0 = rate rounded up)")
+	clientHeader := flag.String("client-header", "X-Client-ID", "request header identifying a client for rate limiting (fallback: remote address)")
+	noShed := flag.Bool("no-shed", false, "disable deadline-headroom shedding (429 when a request's deadline is below the model's rolling p99 batch latency)")
+
+	fSeed := flag.Uint64("fault-seed", 1, "fault injection seed (applies to every model)")
 	fDrop := flag.Float64("fault-drop", 0, "per-spike drop probability")
 	fJitter := flag.Int("fault-jitter", 0, "max TTFS spike jitter in steps")
 	fStuck := flag.Float64("fault-stuck", 0, "stuck-silent neuron fraction")
 	fNoise := flag.Float64("fault-noise", 0, "threshold noise amplitude")
 	flag.Parse()
 
-	eng, desc, err := buildEngine(engineConfig{
-		modelPath: *modelPath, dataset: *ds, scale: *scale, cache: *cache,
-		scheme: *scheme, steps: *steps, ef: *ef, useGO: *useGO,
-		fSeed: *fSeed, fDrop: *fDrop, fJitter: *fJitter, fStuck: *fStuck, fNoise: *fNoise,
-	})
+	specs, err := parseModelSpecs(modelFlags, *ds, *scale, *scheme, *steps)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "snnserve: %v\n", err)
 		os.Exit(1)
 	}
 
-	// Data-parallel batch execution: the pool shards each micro-batch
-	// across cores inside one engine call, so the scheduler needs only
+	// Data-parallel batch execution: a pool shards each micro-batch
+	// across cores inside one engine call, so each scheduler needs only
 	// one dispatcher goroutine — more would oversubscribe the cores the
 	// pool already owns.
 	pw := *parallel
 	if pw <= 0 {
 		pw = runtime.GOMAXPROCS(0)
 	}
-	var pool *core.Pool
-	if pw > 1 {
-		pool = core.NewPool(core.ParallelOpts{Workers: pw})
-		defer pool.Close()
-		switch e := eng.(type) {
-		case *serve.TTFSEngine:
-			e.Pool = pool
-		case *serve.SchemeEngine:
-			e.Pool = pool
-		}
-		if *workers == 0 {
-			*workers = 1
-		}
+	var shared *core.Pool
+	if pw > 1 && *sharePool {
+		shared = core.NewPool(core.ParallelOpts{Workers: pw})
+		defer shared.Close()
 	}
 
-	// Warm the engine before accepting traffic: the first inference
-	// builds the model's scatter plan and sizes a pooled scratch, which
-	// would otherwise land on the first user request's latency. With a
-	// pool, warm every worker's arena too.
-	warm := time.Now()
-	eng.InferBatch([][]float64{make([]float64, eng.InLen())}, []int{-1})
-	if te, ok := eng.(*serve.TTFSEngine); ok && pool != nil {
-		pool.Warm(te.Model, [][]float64{make([]float64, eng.InLen())}, te.Run)
-	}
-	fmt.Fprintf(os.Stderr, "snnserve: engine warmed in %s\n", time.Since(warm).Round(time.Millisecond))
-
-	srv := serve.New(eng, serve.Options{
+	reg := serve.NewRegistry(serve.RegistryOptions{
+		RatePerSec:      *rate,
+		Burst:           *burst,
+		ClientHeader:    *clientHeader,
+		DisableShedding: *noShed,
+	})
+	opt := serve.Options{
 		MaxBatch:       *batch,
 		MaxWait:        *wait,
 		QueueSize:      *queue,
 		Workers:        *workers,
 		DefaultTimeout: *timeout,
-	})
-	hs := &http.Server{Addr: *addr, Handler: srv.Handler()}
+		MaxTimeout:     *maxTimeout,
+	}
+	var descs []string
+	for _, spec := range specs {
+		eng, desc, err := buildEngine(engineConfig{
+			spec: spec, cache: *cache, ef: *ef, useGO: *useGO,
+			fSeed: *fSeed, fDrop: *fDrop, fJitter: *fJitter, fStuck: *fStuck, fNoise: *fNoise,
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "snnserve: model %s: %v\n", spec.name, err)
+			os.Exit(1)
+		}
+		pool := shared
+		if pw > 1 && pool == nil {
+			pool = core.NewPool(core.ParallelOpts{Workers: pw})
+			defer pool.Close()
+		}
+		mopt := opt
+		if pool != nil {
+			switch e := eng.(type) {
+			case *serve.TTFSEngine:
+				e.Pool = pool
+			case *serve.SchemeEngine:
+				e.Pool = pool
+			}
+			if mopt.Workers == 0 {
+				mopt.Workers = 1
+			}
+		}
+		srv, err := reg.Add(spec.name, eng, mopt)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "snnserve: model %s: %v\n", spec.name, err)
+			os.Exit(1)
+		}
+
+		// Warm before accepting traffic: the first inference builds the
+		// model's scatter plan and sizes a pooled scratch, which would
+		// otherwise land on the first user request's latency. With a
+		// pool, warm every worker's arena too.
+		warm := time.Now()
+		srv.Warm()
+		if te, ok := eng.(*serve.TTFSEngine); ok && pool != nil {
+			pool.Warm(te.Model, [][]float64{make([]float64, eng.InLen())}, te.Run)
+		}
+		fmt.Fprintf(os.Stderr, "snnserve: model %s (%s) warmed in %s\n",
+			spec.name, desc, time.Since(warm).Round(time.Millisecond))
+		descs = append(descs, fmt.Sprintf("%s=%s", spec.name, desc))
+	}
+
+	hs := &http.Server{Addr: *addr, Handler: reg.Handler()}
 
 	stop := make(chan os.Signal, 1)
 	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
@@ -128,13 +193,15 @@ func main() {
 		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
 		defer cancel()
 		err := hs.Shutdown(ctx) // stop accepting, finish in-flight HTTP
-		srv.Close()             // drain the batch queue
+		reg.Close()             // drain every model's batch queue
 		done <- err
 	}()
 
-	opt := srv.Options()
-	fmt.Fprintf(os.Stderr, "snnserve: serving %s on %s (batch<=%d, wait %s, queue %d, workers %d, parallel %d)\n",
-		desc, *addr, opt.MaxBatch, opt.MaxWait, opt.QueueSize, opt.Workers, pool.Workers())
+	fmt.Fprintf(os.Stderr, "snnserve: serving %d model(s) on %s (batch<=%d, wait %s, workers %d, parallel %d, rate %s/client, shed %v)\n",
+		len(specs), *addr, opt.MaxBatch, opt.MaxWait, opt.Workers, pw, rateDesc(*rate), !*noShed)
+	for _, d := range descs {
+		fmt.Fprintf(os.Stderr, "snnserve:   %s\n", d)
+	}
 	if err := hs.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
 		fmt.Fprintf(os.Stderr, "snnserve: %v\n", err)
 		os.Exit(1)
@@ -143,22 +210,93 @@ func main() {
 		fmt.Fprintf(os.Stderr, "snnserve: shutdown: %v\n", err)
 		os.Exit(1)
 	}
-	snap := srv.Metrics().Snapshot()
-	fmt.Fprintf(os.Stderr, "snnserve: done (%d completed, %d rejected, mean batch %.2f, parallel chunks %d)\n",
-		snap.Completed, snap.Rejected, snap.MeanBatchSize, snap.ParallelChunks)
+	snap := reg.Snapshot()
+	for _, name := range reg.Names() {
+		ms := snap.Models[name]
+		fmt.Fprintf(os.Stderr, "snnserve: %s done (%d completed, %d rejected, %d shed, mean batch %.2f, parallel chunks %d)\n",
+			name, ms.Completed, ms.Rejected, ms.DeadlineShed, ms.MeanBatchSize, ms.ParallelChunks)
+	}
+	if snap.RateLimited > 0 {
+		fmt.Fprintf(os.Stderr, "snnserve: %d request(s) rate-limited\n", snap.RateLimited)
+	}
+}
+
+func rateDesc(rate float64) string {
+	if rate <= 0 {
+		return "unlimited"
+	}
+	return fmt.Sprintf("%.3g req/s", rate)
+}
+
+// parseModelSpecs turns the -model flags into model specs, falling back
+// to a single "default" model built from the -dataset/-scheme flags
+// when none were given.
+func parseModelSpecs(raw []string, ds, scale, scheme string, steps int) ([]modelSpec, error) {
+	if len(raw) == 0 {
+		return []modelSpec{{name: "default", source: ds + "/" + scale, scheme: scheme, steps: steps}}, nil
+	}
+	specs := make([]modelSpec, 0, len(raw))
+	for _, v := range raw {
+		spec, err := parseModelSpec(v, scheme, steps)
+		if err != nil {
+			return nil, err
+		}
+		specs = append(specs, spec)
+	}
+	return specs, nil
+}
+
+// parseModelSpec parses name=source[:scheme[:steps]]; a value without
+// '=' is the legacy single-model form, a bare .t2f path named
+// "default".
+func parseModelSpec(v, defScheme string, defSteps int) (modelSpec, error) {
+	spec := modelSpec{name: "default", scheme: "ttfs", steps: defSteps}
+	src := v
+	if name, rest, ok := strings.Cut(v, "="); ok {
+		if name == "" {
+			return spec, fmt.Errorf("empty model name in %q", v)
+		}
+		spec.name = name
+		spec.scheme = defScheme
+		src = rest
+	}
+	parts := strings.Split(src, ":")
+	spec.source = parts[0]
+	if spec.source == "" {
+		return spec, fmt.Errorf("empty model source in %q", v)
+	}
+	if len(parts) > 1 && parts[1] != "" {
+		spec.scheme = parts[1]
+	}
+	if len(parts) > 2 {
+		n, err := strconv.Atoi(parts[2])
+		if err != nil || n <= 0 {
+			return spec, fmt.Errorf("bad steps in %q", v)
+		}
+		spec.steps = n
+	}
+	if len(parts) > 3 {
+		return spec, fmt.Errorf("too many fields in %q (want name=source[:scheme[:steps]])", v)
+	}
+	switch spec.scheme {
+	case "ttfs", "rate", "phase", "burst":
+	default:
+		return spec, fmt.Errorf("unknown scheme %q in %q", spec.scheme, v)
+	}
+	return spec, nil
 }
 
 type engineConfig struct {
-	modelPath, dataset, scale, cache, scheme string
-	steps                                    int
-	ef, useGO                                bool
-	fSeed                                    uint64
-	fDrop, fNoise, fStuck                    float64
-	fJitter                                  int
+	spec                  modelSpec
+	cache                 string
+	ef, useGO             bool
+	fSeed                 uint64
+	fDrop, fNoise, fStuck float64
+	fJitter               int
 }
 
-// buildEngine assembles the serving engine: model (loaded or built),
-// scheme, run configuration, and optional fault injector.
+// buildEngine assembles one model's serving engine: model (loaded or
+// built), scheme, run configuration, and optional fault injector.
 func buildEngine(c engineConfig) (serve.Engine, string, error) {
 	var inj *fault.Injector
 	if c.fDrop > 0 || c.fJitter > 0 || c.fStuck > 0 || c.fNoise > 0 {
@@ -172,8 +310,8 @@ func buildEngine(c engineConfig) (serve.Engine, string, error) {
 		}
 	}
 
-	if c.modelPath != "" {
-		f, err := os.Open(c.modelPath)
+	if strings.HasSuffix(c.spec.source, ".t2f") {
+		f, err := os.Open(c.spec.source)
 		if err != nil {
 			return nil, "", err
 		}
@@ -182,16 +320,28 @@ func buildEngine(c engineConfig) (serve.Engine, string, error) {
 		if err != nil {
 			return nil, "", err
 		}
+		if c.spec.scheme != "ttfs" {
+			sch, err := schemeFor(c.spec.scheme)
+			if err != nil {
+				return nil, "", err
+			}
+			return &serve.SchemeEngine{Net: m.Net, Scheme: sch, Steps: c.spec.steps, Faults: inj},
+				fmt.Sprintf("%s over %s (%d steps)", sch.Name(), c.spec.source, c.spec.steps), nil
+		}
 		run := core.RunConfig{EarlyFire: c.ef}
 		return &serve.TTFSEngine{Model: m, Run: run, Faults: inj},
-			fmt.Sprintf("t2fsnn %s (T=%d)", c.modelPath, m.T), nil
+			fmt.Sprintf("t2fsnn %s (T=%d)", c.spec.source, m.T), nil
 	}
 
-	sc, err := experiments.ParseScale(c.scale)
+	ds, scaleName, ok := strings.Cut(c.spec.source, "/")
+	if !ok {
+		return nil, "", fmt.Errorf("source %q is neither a .t2f path nor dataset/scale", c.spec.source)
+	}
+	sc, err := experiments.ParseScale(scaleName)
 	if err != nil {
 		return nil, "", err
 	}
-	p, err := experiments.ParamsFor(c.dataset, sc)
+	p, err := experiments.ParamsFor(ds, sc)
 	if err != nil {
 		return nil, "", err
 	}
@@ -200,20 +350,13 @@ func buildEngine(c engineConfig) (serve.Engine, string, error) {
 		return nil, "", err
 	}
 
-	if c.scheme != "ttfs" {
-		var sch coding.Scheme
-		switch c.scheme {
-		case "rate":
-			sch = coding.Rate{}
-		case "phase":
-			sch = coding.Phase{}
-		case "burst":
-			sch = coding.Burst{}
-		default:
-			return nil, "", fmt.Errorf("unknown scheme %q", c.scheme)
+	if c.spec.scheme != "ttfs" {
+		sch, err := schemeFor(c.spec.scheme)
+		if err != nil {
+			return nil, "", err
 		}
-		return &serve.SchemeEngine{Net: s.Conv.Net, Scheme: sch, Steps: c.steps, Faults: inj},
-			fmt.Sprintf("%s over %s/%s (%d steps)", sch.Name(), c.dataset, c.scale, c.steps), nil
+		return &serve.SchemeEngine{Net: s.Conv.Net, Scheme: sch, Steps: c.spec.steps, Faults: inj},
+			fmt.Sprintf("%s over %s (%d steps)", sch.Name(), c.spec.source, c.spec.steps), nil
 	}
 
 	var m *core.Model
@@ -234,5 +377,17 @@ func buildEngine(c engineConfig) (serve.Engine, string, error) {
 		name += "+EF"
 	}
 	return &serve.TTFSEngine{Model: m, Run: run, Faults: inj},
-		fmt.Sprintf("%s over %s/%s (T=%d, DNN acc %.3f)", name, c.dataset, c.scale, m.T, s.DNNAcc), nil
+		fmt.Sprintf("%s over %s (T=%d, DNN acc %.3f)", name, c.spec.source, m.T, s.DNNAcc), nil
+}
+
+func schemeFor(name string) (coding.Scheme, error) {
+	switch name {
+	case "rate":
+		return coding.Rate{}, nil
+	case "phase":
+		return coding.Phase{}, nil
+	case "burst":
+		return coding.Burst{}, nil
+	}
+	return nil, fmt.Errorf("unknown scheme %q", name)
 }

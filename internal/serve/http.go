@@ -5,12 +5,16 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"math"
 	"net/http"
+	"strconv"
 	"time"
 )
 
-// maxBodyBytes bounds /v1/infer request bodies; the largest supported
-// input (CIFAR-100-like, 3072 floats as JSON) is well under 1 MiB.
+// maxBodyBytes bounds /v1/infer request bodies. The bound is defensive
+// headroom, not a sizing estimate: the largest supported input
+// (CIFAR-100-like, 3072 floats as JSON) encodes to well under 1 MiB,
+// and anything approaching 8 MiB is a hostile or broken client.
 const maxBodyBytes = 8 << 20
 
 // InferRequest is the /v1/infer request body.
@@ -22,7 +26,8 @@ type InferRequest struct {
 	Sample *int `json:"sample,omitempty"`
 	// Label, when present, feeds the live accuracy tracker in /metrics.
 	Label *int `json:"label,omitempty"`
-	// TimeoutMs overrides the server's default per-request deadline.
+	// TimeoutMs overrides the server's default per-request deadline
+	// (clamped to Options.MaxTimeout when set).
 	TimeoutMs int `json:"timeout_ms,omitempty"`
 }
 
@@ -38,7 +43,8 @@ type errorResponse struct {
 	Error string `json:"error"`
 }
 
-// Handler returns the server's HTTP API:
+// Handler returns the single-model HTTP API (Registry.Handler is the
+// multi-model superset):
 //
 //	POST /v1/infer  — one sample in, one prediction out
 //	GET  /healthz   — 200 while serving, 503 once Close started
@@ -52,21 +58,61 @@ func (s *Server) Handler() http.Handler {
 }
 
 func (s *Server) handleInfer(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodPost {
-		writeError(w, http.StatusMethodNotAllowed, "POST only")
+	req, ok := decodeInferRequest(w, r, s)
+	if !ok {
 		return
 	}
+	serveInfer(w, r, s, req)
+}
+
+// decodeInferRequest parses and validates one /v1/infer body against
+// srv's engine, writing the error response itself when it fails.
+func decodeInferRequest(w http.ResponseWriter, r *http.Request, srv *Server) (InferRequest, bool) {
 	var req InferRequest
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "POST only")
+		return req, false
+	}
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
 	if err := dec.Decode(&req); err != nil {
 		writeError(w, http.StatusBadRequest, fmt.Sprintf("bad request body: %v", err))
-		return
+		return req, false
 	}
-	if len(req.Input) != s.eng.InLen() {
+	// A body is exactly one JSON value: trailing garbage means a
+	// confused client (concatenated bodies, framing bug) whose request
+	// we likely mis-read, so reject rather than silently ignore it.
+	if dec.More() {
+		writeError(w, http.StatusBadRequest, "trailing data after JSON body")
+		return req, false
+	}
+	if len(req.Input) != srv.eng.InLen() {
 		writeError(w, http.StatusBadRequest,
-			fmt.Sprintf("input length %d, model expects %d", len(req.Input), s.eng.InLen()))
-		return
+			fmt.Sprintf("input length %d, model expects %d", len(req.Input), srv.eng.InLen()))
+		return req, false
 	}
+	return req, true
+}
+
+// inferTimeout resolves the effective per-request deadline: the
+// client's timeout_ms if given, else DefaultTimeout, with both — and
+// the "no deadline at all" case — clamped to MaxTimeout when set.
+// Without the clamp a client could send an arbitrarily large (or no)
+// deadline and defeat deadline-based shedding.
+func (s *Server) inferTimeout(timeoutMs int) time.Duration {
+	timeout := s.opt.DefaultTimeout
+	if timeoutMs > 0 {
+		timeout = time.Duration(timeoutMs) * time.Millisecond
+	}
+	if max := s.opt.MaxTimeout; max > 0 && (timeout <= 0 || timeout > max) {
+		timeout = max
+	}
+	return timeout
+}
+
+// serveInfer runs one decoded request through srv and writes the
+// response. Admission (rate limiting, deadline shedding) is the
+// caller's job — the Registry does it before calling in.
+func serveInfer(w http.ResponseWriter, r *http.Request, srv *Server, req InferRequest) {
 	sample, label := -1, -1
 	if req.Sample != nil {
 		sample = *req.Sample
@@ -76,32 +122,16 @@ func (s *Server) handleInfer(w http.ResponseWriter, r *http.Request) {
 	}
 
 	ctx := r.Context()
-	timeout := s.opt.DefaultTimeout
-	if req.TimeoutMs > 0 {
-		timeout = time.Duration(req.TimeoutMs) * time.Millisecond
-	}
-	if timeout > 0 {
+	if timeout := srv.inferTimeout(req.TimeoutMs); timeout > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, timeout)
 		defer cancel()
 	}
 
 	start := time.Now()
-	pred, err := s.Infer(ctx, req.Input, sample, label)
+	pred, err := srv.Infer(ctx, req.Input, sample, label)
 	if err != nil {
-		switch {
-		case errors.Is(err, ErrOverloaded):
-			writeError(w, http.StatusTooManyRequests, err.Error())
-		case errors.Is(err, ErrClosed):
-			writeError(w, http.StatusServiceUnavailable, err.Error())
-		case errors.Is(err, context.DeadlineExceeded):
-			writeError(w, http.StatusGatewayTimeout, "deadline exceeded before inference completed")
-		case errors.Is(err, context.Canceled):
-			// the client is gone; nothing useful to write
-			writeError(w, http.StatusServiceUnavailable, "request canceled")
-		default:
-			writeError(w, http.StatusInternalServerError, err.Error())
-		}
+		writeInferError(w, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, InferResponse{
@@ -110,6 +140,35 @@ func (s *Server) handleInfer(w http.ResponseWriter, r *http.Request) {
 		TotalSpikes:  pred.TotalSpikes,
 		WallMs:       float64(time.Since(start)) / float64(time.Millisecond),
 	})
+}
+
+func writeInferError(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, ErrOverloaded):
+		// Queue-full backpressure clears on the next batch dispatch;
+		// 1s is the smallest interval Retry-After can express.
+		writeRetryAfter(w, time.Second)
+		writeError(w, http.StatusTooManyRequests, err.Error())
+	case errors.Is(err, ErrClosed):
+		writeError(w, http.StatusServiceUnavailable, err.Error())
+	case errors.Is(err, context.DeadlineExceeded):
+		writeError(w, http.StatusGatewayTimeout, "deadline exceeded before inference completed")
+	case errors.Is(err, context.Canceled):
+		// The client disconnected; there is no one to read a body, so
+		// don't write one — net/http discards the response anyway.
+	default:
+		writeError(w, http.StatusInternalServerError, err.Error())
+	}
+}
+
+// writeRetryAfter sets a Retry-After header of at least one second
+// (the header's resolution) covering d.
+func writeRetryAfter(w http.ResponseWriter, d time.Duration) {
+	secs := int(math.Ceil(d.Seconds()))
+	if secs < 1 {
+		secs = 1
+	}
+	w.Header().Set("Retry-After", strconv.Itoa(secs))
 }
 
 func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {

@@ -1,0 +1,83 @@
+package serve
+
+import (
+	"sync"
+	"time"
+)
+
+// maxBuckets bounds the limiter's per-client table; when an insert
+// would exceed it, buckets idle long enough to have fully refilled are
+// evicted (dropping a full bucket cannot grant extra requests).
+const maxBuckets = 4096
+
+// rateLimiter is a per-client token bucket: each key refills at rate
+// tokens/second up to burst, and one request costs one token. Keys are
+// whatever the caller uses to identify clients (header value or remote
+// address).
+type rateLimiter struct {
+	rate  float64 // tokens per second
+	burst float64
+	now   func() time.Time // injectable for tests
+
+	mu      sync.Mutex
+	buckets map[string]*bucket
+}
+
+type bucket struct {
+	tokens float64
+	last   time.Time
+}
+
+func newRateLimiter(rate float64, burst int) *rateLimiter {
+	if burst < 1 {
+		burst = 1
+	}
+	return &rateLimiter{
+		rate:    rate,
+		burst:   float64(burst),
+		now:     time.Now,
+		buckets: make(map[string]*bucket),
+	}
+}
+
+// allow takes one token from key's bucket. When the bucket is empty it
+// returns false and how long until the next token accrues — the
+// Retry-After the HTTP layer should send.
+func (l *rateLimiter) allow(key string) (bool, time.Duration) {
+	now := l.now()
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	b, ok := l.buckets[key]
+	if !ok {
+		if len(l.buckets) >= maxBuckets {
+			l.evictLocked(now)
+		}
+		b = &bucket{tokens: l.burst, last: now}
+		l.buckets[key] = b
+	} else {
+		b.tokens += now.Sub(b.last).Seconds() * l.rate
+		if b.tokens > l.burst {
+			b.tokens = l.burst
+		}
+		b.last = now
+	}
+	if b.tokens >= 1 {
+		b.tokens--
+		return true, 0
+	}
+	return false, time.Duration((1 - b.tokens) / l.rate * float64(time.Second))
+}
+
+// evictLocked drops buckets that have been idle long enough to refill
+// completely; if every bucket is hot the table grows past maxBuckets
+// rather than forgetting live debt (unbounded growth then requires
+// maxBuckets *concurrently* hot clients, which is the queue's problem,
+// not the limiter's).
+func (l *rateLimiter) evictLocked(now time.Time) {
+	refill := time.Duration(l.burst / l.rate * float64(time.Second))
+	for k, b := range l.buckets {
+		if now.Sub(b.last) >= refill {
+			delete(l.buckets, k)
+		}
+	}
+}

@@ -1,0 +1,89 @@
+package serve
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+// fakeClock drives the limiter deterministically.
+type fakeClock struct{ t time.Time }
+
+func (c *fakeClock) now() time.Time                { return c.t }
+func (c *fakeClock) advance(d time.Duration)       { c.t = c.t.Add(d) }
+func newFakeClock() *fakeClock                     { return &fakeClock{t: time.Unix(1000, 0)} }
+func withClock(l *rateLimiter, c *fakeClock) *rateLimiter {
+	l.now = c.now
+	return l
+}
+
+// Token-bucket semantics: burst tokens up front, refill at rate, and a
+// denial reports how long until the next token accrues.
+func TestRateLimiterBucket(t *testing.T) {
+	clock := newFakeClock()
+	l := withClock(newRateLimiter(1, 2), clock)
+
+	for i := 0; i < 2; i++ {
+		if ok, _ := l.allow("a"); !ok {
+			t.Fatalf("burst request %d denied", i)
+		}
+	}
+	ok, retry := l.allow("a")
+	if ok {
+		t.Fatal("request beyond burst allowed")
+	}
+	if retry <= 0 || retry > time.Second {
+		t.Fatalf("retry = %v, want (0, 1s]", retry)
+	}
+
+	// Other clients have their own buckets.
+	if ok, _ := l.allow("b"); !ok {
+		t.Fatal("independent client denied")
+	}
+
+	// One second refills one token — exactly one more request.
+	clock.advance(time.Second)
+	if ok, _ := l.allow("a"); !ok {
+		t.Fatal("request after refill denied")
+	}
+	if ok, _ := l.allow("a"); ok {
+		t.Fatal("second request after single-token refill allowed")
+	}
+
+	// Refill caps at burst no matter how long the client is idle.
+	clock.advance(time.Hour)
+	allowed := 0
+	for i := 0; i < 5; i++ {
+		if ok, _ := l.allow("a"); ok {
+			allowed++
+		}
+	}
+	if allowed != 2 {
+		t.Fatalf("allowed %d after long idle, want burst (2)", allowed)
+	}
+}
+
+// The bucket table must not grow without bound: once it reaches
+// maxBuckets, inserting a new client evicts buckets idle long enough
+// to have fully refilled.
+func TestRateLimiterEviction(t *testing.T) {
+	clock := newFakeClock()
+	l := withClock(newRateLimiter(1, 2), clock)
+
+	for i := 0; i < maxBuckets; i++ {
+		l.allow(fmt.Sprintf("client-%d", i))
+	}
+	if len(l.buckets) != maxBuckets {
+		t.Fatalf("buckets = %d, want %d", len(l.buckets), maxBuckets)
+	}
+	// Everyone idle past the 2s refill horizon: the next new client
+	// triggers a sweep.
+	clock.advance(10 * time.Second)
+	l.allow("fresh")
+	if len(l.buckets) != 1 {
+		t.Fatalf("buckets after eviction = %d, want 1", len(l.buckets))
+	}
+	if _, ok := l.buckets["fresh"]; !ok {
+		t.Fatal("fresh client evicted with the stale ones")
+	}
+}

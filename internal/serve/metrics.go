@@ -13,6 +13,17 @@ import (
 // retains; old entries are overwritten ring-buffer style.
 const latWindow = 8192
 
+// batchLatWindow is how many recent engine batch execution times feed
+// the rolling p99 used for deadline-headroom admission. Smaller than
+// latWindow: admission must track the engine's *current* speed, and a
+// long window would let ancient fast batches mask a slowdown.
+const batchLatWindow = 512
+
+// batchP99Every bounds how often the rolling batch p99 is recomputed:
+// at most once per this many recorded batches, so admission checks on
+// the request path never pay the sort.
+const batchP99Every = 16
+
 // Metrics aggregates serving statistics: request counters, a sliding
 // window of wall-clock latencies (for percentiles), the batch-size
 // histogram, spike totals, and — when requests carry labels — a live
@@ -38,6 +49,18 @@ type Metrics struct {
 	latN  int             // next write position
 	latCt int             // filled entries (≤ latWindow)
 
+	// Engine batch execution times (queue wait excluded) — the service
+	// floor a freshly admitted request cannot beat, so the admission
+	// layer sheds deadlines tighter than its p99. Recorded even when the
+	// clients of a batch have already gone: the engine ran regardless,
+	// which is exactly what keeps the window alive under deadline storms.
+	batchLats   []time.Duration // ring buffer, batchLatWindow cap
+	batchLatN   int
+	batchLatCt  int
+	batchLatSeq uint64        // batches recorded since start
+	bp99        time.Duration // cached p99 over batchLats
+	bp99Seq     uint64        // batchLatSeq when bp99 was computed
+
 	conf *metrics.Confusion // nil when class count unknown
 }
 
@@ -46,6 +69,7 @@ func newMetrics(maxBatch, classes int) *Metrics {
 		start:      time.Now(),
 		batchSizes: make([]uint64, maxBatch+1),
 		lats:       make([]time.Duration, latWindow),
+		batchLats:  make([]time.Duration, batchLatWindow),
 	}
 	if c, err := metrics.NewConfusion(classes); err == nil {
 		m.conf = c
@@ -92,6 +116,46 @@ func (m *Metrics) complete(wall time.Duration, p Prediction, label int) {
 	m.mu.Unlock()
 }
 
+func (m *Metrics) batchLatency(d time.Duration) {
+	m.mu.Lock()
+	m.batchLats[m.batchLatN] = d
+	m.batchLatN = (m.batchLatN + 1) % batchLatWindow
+	if m.batchLatCt < batchLatWindow {
+		m.batchLatCt++
+	}
+	m.batchLatSeq++
+	m.mu.Unlock()
+}
+
+// BatchLatencyP99 returns the rolling p99 of engine batch execution
+// time, or 0 before any batch has run. The value is recomputed at most
+// once per batchP99Every recorded batches and cached, so calling it on
+// every admission decision is cheap.
+func (m *Metrics) BatchLatencyP99() time.Duration {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.batchP99Locked()
+}
+
+func (m *Metrics) batchP99Locked() time.Duration {
+	if m.batchLatCt == 0 {
+		return 0
+	}
+	if m.bp99Seq != 0 && m.batchLatSeq-m.bp99Seq < batchP99Every {
+		return m.bp99
+	}
+	window := make([]time.Duration, m.batchLatCt)
+	copy(window, m.batchLats[:m.batchLatCt])
+	sort.Slice(window, func(i, j int) bool { return window[i] < window[j] })
+	rank := int(math.Ceil(0.99 * float64(len(window))))
+	if rank < 1 {
+		rank = 1
+	}
+	m.bp99 = window[rank-1]
+	m.bp99Seq = m.batchLatSeq
+	return m.bp99
+}
+
 func (m *Metrics) setParallelChunks(v uint64) {
 	m.mu.Lock()
 	m.parallelChunks = v
@@ -123,6 +187,10 @@ type Snapshot struct {
 	LatencyP90Ms float64 `json:"latency_p90_ms"`
 	LatencyP99Ms float64 `json:"latency_p99_ms"`
 	LatencyMaxMs float64 `json:"latency_max_ms"`
+
+	// BatchLatencyP99Ms is the rolling p99 of engine batch execution
+	// time — the floor the admission layer sheds against.
+	BatchLatencyP99Ms float64 `json:"batch_latency_p99_ms"`
 
 	// BatchSizeHist[k] is the number of dispatched batches holding k
 	// samples (index 0 unused).
@@ -157,6 +225,7 @@ func (m *Metrics) Snapshot() Snapshot {
 		ParallelChunks: m.parallelChunks,
 		BatchSizeHist:  append([]uint64(nil), m.batchSizes...),
 	}
+	s.BatchLatencyP99Ms = float64(m.batchP99Locked()) / float64(time.Millisecond)
 	if s.UptimeSeconds > 0 {
 		s.ThroughputPerSec = float64(m.completed) / s.UptimeSeconds
 	}

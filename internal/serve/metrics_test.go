@@ -43,7 +43,9 @@ func TestSnapshotPercentileSingleSample(t *testing.T) {
 
 // TestExpiredContextRejectedAtEnqueue: a request whose context is
 // already dead must not occupy a queue slot — it is answered
-// immediately, counted as expired, and never accepted.
+// immediately and counted as accepted + expired in the same breath, so
+// the accounting identity accepted = completed + expired + failed
+// holds without the request ever touching the queue or the engine.
 func TestExpiredContextRejectedAtEnqueue(t *testing.T) {
 	eng := newStubEngine()
 	s := New(eng, Options{MaxBatch: 2, MaxWait: time.Millisecond})
@@ -59,8 +61,8 @@ func TestExpiredContextRejectedAtEnqueue(t *testing.T) {
 	if snap.Expired != 1 {
 		t.Errorf("expired = %d, want 1", snap.Expired)
 	}
-	if snap.Accepted != 0 {
-		t.Errorf("accepted = %d, want 0 — dead request took a queue slot", snap.Accepted)
+	if snap.Accepted != 1 {
+		t.Errorf("accepted = %d, want 1 (identity: accepted = completed+expired+failed)", snap.Accepted)
 	}
 	if eng.sawInput(1) {
 		t.Error("dead request reached the engine")

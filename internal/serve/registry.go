@@ -1,0 +1,351 @@
+package serve
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// RegistryOptions configures the multi-model registry's admission
+// layer. The zero value disables rate limiting and keeps deadline
+// shedding on.
+type RegistryOptions struct {
+	// RatePerSec is the per-client token refill rate; 0 disables rate
+	// limiting entirely.
+	RatePerSec float64
+	// Burst is the token bucket capacity (default: RatePerSec rounded
+	// up, minimum 1) — how far a client can run ahead of its rate.
+	Burst int
+	// ClientHeader names the request header identifying a client for
+	// rate limiting (default "X-Client-ID"); requests without it are
+	// keyed by remote address.
+	ClientHeader string
+	// DisableShedding turns off deadline-headroom admission: by default
+	// a request whose deadline is tighter than the target model's
+	// rolling p99 batch latency is rejected with 429 before it can
+	// occupy a queue slot — it would expire before any batch could
+	// serve it, so enqueueing it only steals capacity from live work.
+	DisableShedding bool
+}
+
+// Registry hosts several named models in one HTTP process, each with
+// its own Server (own queue, workers, metrics, drain), behind a shared
+// admission layer:
+//
+//	POST /v1/models/{name}/infer — infer against one model
+//	POST /v1/infer               — back-compat route to the default model
+//	GET  /v1/models              — list hosted models
+//	GET  /metrics                — per-model snapshots nested in one doc
+//	GET  /healthz                — 200 while serving, 503 once Close started
+//
+// Create with NewRegistry, attach models with Add, serve Handler, stop
+// with Close (drains every model).
+type Registry struct {
+	opt     RegistryOptions
+	limiter *rateLimiter // nil when rate limiting is disabled
+	start   time.Time
+
+	rateLimited atomic.Uint64
+
+	mu          sync.RWMutex
+	models      map[string]*registryModel
+	order       []string // Add order; order[0] is the default fallback
+	defaultName string
+	closed      bool
+}
+
+type registryModel struct {
+	name string
+	srv  *Server
+	shed atomic.Uint64 // deadline-headroom 429s for this model
+}
+
+// NewRegistry creates an empty registry. Add at least one model before
+// serving; the first Add becomes the default route target unless
+// SetDefault overrides it.
+func NewRegistry(opt RegistryOptions) *Registry {
+	g := &Registry{
+		opt:    opt,
+		start:  time.Now(),
+		models: make(map[string]*registryModel),
+	}
+	if opt.RatePerSec > 0 {
+		burst := opt.Burst
+		if burst <= 0 {
+			burst = int(opt.RatePerSec + 0.999)
+		}
+		g.limiter = newRateLimiter(opt.RatePerSec, burst)
+	}
+	if g.opt.ClientHeader == "" {
+		g.opt.ClientHeader = "X-Client-ID"
+	}
+	return g
+}
+
+// Add starts a Server for eng under name and registers it. The first
+// model added becomes the default for /v1/infer.
+func (g *Registry) Add(name string, eng Engine, opt Options) (*Server, error) {
+	if name == "" || strings.ContainsAny(name, "/ ") {
+		return nil, fmt.Errorf("serve: invalid model name %q", name)
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.closed {
+		return nil, ErrClosed
+	}
+	if _, ok := g.models[name]; ok {
+		return nil, fmt.Errorf("serve: model %q already registered", name)
+	}
+	srv := New(eng, opt)
+	g.models[name] = &registryModel{name: name, srv: srv}
+	g.order = append(g.order, name)
+	if g.defaultName == "" {
+		g.defaultName = name
+	}
+	return srv, nil
+}
+
+// SetDefault routes /v1/infer to name.
+func (g *Registry) SetDefault(name string) error {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if _, ok := g.models[name]; !ok {
+		return fmt.Errorf("serve: unknown model %q", name)
+	}
+	g.defaultName = name
+	return nil
+}
+
+// Get returns the named model's Server (nil if unknown) — the handle
+// for per-model drain or direct Infer.
+func (g *Registry) Get(name string) *Server {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	if m, ok := g.models[name]; ok {
+		return m.srv
+	}
+	return nil
+}
+
+// Names returns the registered model names in Add order.
+func (g *Registry) Names() []string {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	return append([]string(nil), g.order...)
+}
+
+// Warm runs one zero-sample batch through every model's engine, off
+// the books: scatter plans get built and scratch arenas sized before
+// the first user request pays for them.
+func (g *Registry) Warm() {
+	for _, name := range g.Names() {
+		if srv := g.Get(name); srv != nil {
+			srv.Warm()
+		}
+	}
+}
+
+// Close drains every model (each Server finishes its queued work) and
+// marks the registry closed. Safe to call more than once.
+func (g *Registry) Close() {
+	g.mu.Lock()
+	g.closed = true
+	models := make([]*registryModel, 0, len(g.models))
+	for _, m := range g.models {
+		models = append(models, m)
+	}
+	g.mu.Unlock()
+	for _, m := range models {
+		m.srv.Close()
+	}
+}
+
+// Closed reports whether Close has started.
+func (g *Registry) Closed() bool {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	return g.closed
+}
+
+// Handler returns the registry's HTTP API.
+func (g *Registry) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/models/{name}/infer", g.handleModelInfer)
+	mux.HandleFunc("GET /v1/models", g.handleList)
+	mux.HandleFunc("/v1/infer", g.handleDefaultInfer)
+	mux.HandleFunc("/healthz", g.handleHealth)
+	mux.HandleFunc("/metrics", g.handleMetrics)
+	return mux
+}
+
+func (g *Registry) lookup(name string) *registryModel {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	return g.models[name]
+}
+
+func (g *Registry) handleModelInfer(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	m := g.lookup(name)
+	if m == nil {
+		writeError(w, http.StatusNotFound, fmt.Sprintf("unknown model %q", name))
+		return
+	}
+	g.serveModel(w, r, m)
+}
+
+func (g *Registry) handleDefaultInfer(w http.ResponseWriter, r *http.Request) {
+	g.mu.RLock()
+	m := g.models[g.defaultName]
+	g.mu.RUnlock()
+	if m == nil {
+		writeError(w, http.StatusNotFound, "no models registered")
+		return
+	}
+	g.serveModel(w, r, m)
+}
+
+// serveModel is the admission-controlled inference path: per-client
+// rate limit, then body decode, then deadline-headroom shedding, then
+// the model's own queue.
+func (g *Registry) serveModel(w http.ResponseWriter, r *http.Request, m *registryModel) {
+	if g.limiter != nil {
+		if ok, retry := g.limiter.allow(g.clientKey(r)); !ok {
+			g.rateLimited.Add(1)
+			writeRetryAfter(w, retry)
+			writeError(w, http.StatusTooManyRequests, "client rate limit exceeded")
+			return
+		}
+	}
+	req, ok := decodeInferRequest(w, r, m.srv)
+	if !ok {
+		return
+	}
+	// Deadline-headroom shedding: a deadline tighter than the model's
+	// rolling p99 batch latency cannot be met even if the request were
+	// dispatched immediately, so reject before it occupies a queue slot
+	// and a batch seat that live requests need. Requests without a
+	// deadline (possible only when MaxTimeout is unset) always pass.
+	if !g.opt.DisableShedding {
+		if timeout := m.srv.inferTimeout(req.TimeoutMs); timeout > 0 {
+			if p99 := m.srv.Metrics().BatchLatencyP99(); p99 > 0 && timeout < p99 {
+				m.shed.Add(1)
+				writeRetryAfter(w, p99)
+				writeError(w, http.StatusTooManyRequests,
+					fmt.Sprintf("deadline %s below model p99 batch latency %s",
+						timeout.Round(time.Millisecond), p99.Round(time.Millisecond)))
+				return
+			}
+		}
+	}
+	serveInfer(w, r, m.srv, req)
+}
+
+// clientKey identifies the client for rate limiting: the configured
+// header when present, else the remote host (ports vary per
+// connection, so they are stripped).
+func (g *Registry) clientKey(r *http.Request) string {
+	if v := r.Header.Get(g.opt.ClientHeader); v != "" {
+		return v
+	}
+	if host, _, err := net.SplitHostPort(r.RemoteAddr); err == nil {
+		return host
+	}
+	return r.RemoteAddr
+}
+
+// ModelInfo is one entry of the GET /v1/models listing.
+type ModelInfo struct {
+	Name     string `json:"name"`
+	Default  bool   `json:"default"`
+	InputLen int    `json:"input_len"`
+	Classes  int    `json:"classes"`
+	MaxBatch int    `json:"max_batch"`
+	Closed   bool   `json:"closed"`
+}
+
+// ModelList is the GET /v1/models response body.
+type ModelList struct {
+	Default string      `json:"default"`
+	Models  []ModelInfo `json:"models"`
+}
+
+func (g *Registry) handleList(w http.ResponseWriter, _ *http.Request) {
+	g.mu.RLock()
+	list := ModelList{Default: g.defaultName}
+	for _, name := range g.order {
+		m := g.models[name]
+		list.Models = append(list.Models, ModelInfo{
+			Name:     name,
+			Default:  name == g.defaultName,
+			InputLen: m.srv.eng.InLen(),
+			Classes:  m.srv.eng.Classes(),
+			MaxBatch: m.srv.opt.MaxBatch,
+			Closed:   m.srv.Closed(),
+		})
+	}
+	g.mu.RUnlock()
+	writeJSON(w, http.StatusOK, list)
+}
+
+// ModelSnapshot nests one model's serving metrics plus the admission
+// decisions made on its behalf.
+type ModelSnapshot struct {
+	Snapshot
+	// DeadlineShed counts requests rejected before enqueue because
+	// their deadline was below the model's rolling p99 batch latency.
+	DeadlineShed uint64 `json:"deadline_shed"`
+}
+
+// RegistrySnapshot is the GET /metrics response body: one document,
+// per-model snapshots nested by name.
+type RegistrySnapshot struct {
+	UptimeSeconds float64 `json:"uptime_seconds"`
+	DefaultModel  string  `json:"default_model"`
+	// RateLimited counts requests rejected by the per-client token
+	// bucket (registry-wide: the limit is per client, not per model).
+	RateLimited uint64                   `json:"rate_limited"`
+	Models      map[string]ModelSnapshot `json:"models"`
+}
+
+// Snapshot captures the registry-level counters and every model's
+// metrics.
+func (g *Registry) Snapshot() RegistrySnapshot {
+	snap := RegistrySnapshot{
+		UptimeSeconds: time.Since(g.start).Seconds(),
+		RateLimited:   g.rateLimited.Load(),
+		Models:        make(map[string]ModelSnapshot),
+	}
+	g.mu.RLock()
+	snap.DefaultModel = g.defaultName
+	models := make([]*registryModel, 0, len(g.models))
+	for _, m := range g.models {
+		models = append(models, m)
+	}
+	g.mu.RUnlock()
+	sort.Slice(models, func(i, j int) bool { return models[i].name < models[j].name })
+	for _, m := range models {
+		snap.Models[m.name] = ModelSnapshot{
+			Snapshot:     m.srv.Metrics().Snapshot(),
+			DeadlineShed: m.shed.Load(),
+		}
+	}
+	return snap
+}
+
+func (g *Registry) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, g.Snapshot())
+}
+
+func (g *Registry) handleHealth(w http.ResponseWriter, _ *http.Request) {
+	if g.Closed() {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "closing"})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}

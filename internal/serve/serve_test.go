@@ -9,6 +9,7 @@ import (
 	"net/http/httptest"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 )
@@ -426,4 +427,304 @@ func (panicEngine) InLen() int   { return 4 }
 func (panicEngine) Classes() int { return 2 }
 func (panicEngine) InferBatch([][]float64, []int) []Prediction {
 	panic("boom")
+}
+
+// slowEngine answers correctly but takes a fixed wall time per batch —
+// long enough that tight deadlines reliably expire mid-flight.
+type slowEngine struct {
+	stubEngine
+	delay time.Duration
+}
+
+func (e *slowEngine) InferBatch(inputs [][]float64, samples []int) []Prediction {
+	time.Sleep(e.delay)
+	return e.stubEngine.InferBatch(inputs, samples)
+}
+
+// The accounting identity accepted = completed + expired + failed must
+// hold *exactly* under a storm of mixed deadlines — including requests
+// dead on arrival, expired in the queue, expired mid-batch, and the
+// race where a result is delivered in the same instant the deadline
+// fires (the old code could count one request as both completed and
+// expired).
+func TestMetricsAccountingIdentity(t *testing.T) {
+	eng := &slowEngine{stubEngine: stubEngine{inLen: 4, classes: 3}, delay: 2 * time.Millisecond}
+	s := New(eng, Options{MaxBatch: 4, MaxWait: time.Millisecond, QueueSize: 8, Workers: 2})
+
+	const n = 300
+	var wg sync.WaitGroup
+	var attempts, rejected atomic.Int64
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			ctx := context.Background()
+			switch i % 4 {
+			case 1: // deadline close to the engine's batch time: races
+				var cancel context.CancelFunc
+				ctx, cancel = context.WithTimeout(ctx, 2*time.Millisecond)
+				defer cancel()
+			case 2: // hopeless deadline: expires queued or mid-batch
+				var cancel context.CancelFunc
+				ctx, cancel = context.WithTimeout(ctx, 100*time.Microsecond)
+				defer cancel()
+			case 3: // dead on arrival
+				var cancel context.CancelFunc
+				ctx, cancel = context.WithCancel(ctx)
+				cancel()
+			}
+			attempts.Add(1)
+			_, err := s.Infer(ctx, input(float64(i)), -1, -1)
+			if errors.Is(err, ErrOverloaded) {
+				rejected.Add(1)
+			}
+		}(i)
+	}
+	wg.Wait()
+	s.Close()
+
+	snap := s.Metrics().Snapshot()
+	if snap.Accepted != snap.Completed+snap.Expired+snap.Failed {
+		t.Fatalf("identity broken: accepted %d != completed %d + expired %d + failed %d",
+			snap.Accepted, snap.Completed, snap.Expired, snap.Failed)
+	}
+	if snap.Accepted+snap.Rejected != uint64(attempts.Load()) {
+		t.Fatalf("accepted %d + rejected %d != attempts %d",
+			snap.Accepted, snap.Rejected, attempts.Load())
+	}
+	if snap.Rejected != uint64(rejected.Load()) {
+		t.Fatalf("rejected metric %d != observed %d", snap.Rejected, rejected.Load())
+	}
+}
+
+// When the worker's result and the context deadline are ready in the
+// same select, Infer must prefer the delivered result (it is real,
+// already-counted work) instead of discarding it and double-counting
+// the request as expired. Engineered by firing the cancel and the
+// engine release together, many times.
+func TestInferPrefersDeliveredResultOnDeadlineRace(t *testing.T) {
+	eng := newStubEngine()
+	eng.enter = make(chan struct{}, 1)
+	eng.release = make(chan struct{}, 1)
+	s := New(eng, Options{MaxBatch: 1, MaxWait: time.Millisecond, Workers: 1})
+
+	const rounds = 60
+	completions := 0
+	for i := 0; i < rounds; i++ {
+		ctx, cancel := context.WithCancel(context.Background())
+		done := make(chan error, 1)
+		go func() {
+			_, err := s.Infer(ctx, input(float64(i)), -1, -1)
+			done <- err
+		}()
+		<-eng.enter // the batch is in the engine
+		// Fire both: the result lands on req.done at the same time the
+		// context dies. Either outcome is legal; double counting is not.
+		eng.release <- struct{}{}
+		cancel()
+		if err := <-done; err == nil {
+			completions++
+		}
+	}
+	s.Close()
+
+	snap := s.Metrics().Snapshot()
+	if snap.Accepted != snap.Completed+snap.Expired+snap.Failed {
+		t.Fatalf("identity broken after %d raced rounds: accepted %d != completed %d + expired %d + failed %d",
+			rounds, snap.Accepted, snap.Completed, snap.Expired, snap.Failed)
+	}
+	// Whoever won the settle race decided the category: a client that
+	// got a prediction is a completion, a client that got ctx.Err() is
+	// an expiry — and the two partitions exactly cover the rounds.
+	if snap.Completed != uint64(completions) {
+		t.Fatalf("completed %d != successful returns %d", snap.Completed, completions)
+	}
+	if snap.Completed+snap.Expired != rounds {
+		t.Fatalf("completed %d + expired %d != rounds %d", snap.Completed, snap.Expired, rounds)
+	}
+}
+
+// Drain under load: Infer storms racing Close must neither deadlock,
+// drop an accepted request without an answer, nor corrupt the
+// accounting. Run under -race this is the shutdown soak.
+func TestConcurrentInferClose(t *testing.T) {
+	eng := &slowEngine{stubEngine: stubEngine{inLen: 4, classes: 3}, delay: 500 * time.Microsecond}
+	s := New(eng, Options{MaxBatch: 4, MaxWait: time.Millisecond, QueueSize: 16, Workers: 2})
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	var submitted, answered atomic.Int64
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				submitted.Add(1)
+				_, err := s.Infer(context.Background(), input(float64(w*1000+i)), -1, -1)
+				answered.Add(1)
+				switch {
+				case err == nil:
+				case errors.Is(err, ErrOverloaded):
+				case errors.Is(err, ErrClosed):
+					return
+				default:
+					t.Errorf("unexpected error during drain race: %v", err)
+					return
+				}
+			}
+		}(w)
+	}
+	time.Sleep(10 * time.Millisecond)
+	s.Close() // races live Infer calls
+	close(stop)
+	wg.Wait()
+
+	if submitted.Load() != answered.Load() {
+		t.Fatalf("submitted %d != answered %d: an Infer never returned", submitted.Load(), answered.Load())
+	}
+	snap := s.Metrics().Snapshot()
+	if snap.Accepted != snap.Completed+snap.Expired+snap.Failed {
+		t.Fatalf("identity broken across Close: accepted %d != completed %d + expired %d + failed %d",
+			snap.Accepted, snap.Completed, snap.Expired, snap.Failed)
+	}
+}
+
+// Options.MaxTimeout must clamp client-supplied deadlines — both
+// oversized timeout_ms values and requests that omit the field
+// entirely — so a client cannot hold a queue slot indefinitely or
+// dodge deadline-based admission.
+func TestHTTPMaxTimeoutClamp(t *testing.T) {
+	eng := newStubEngine()
+	eng.enter = make(chan struct{}, 4)
+	eng.release = make(chan struct{}, 4)
+	s := New(eng, Options{MaxBatch: 1, MaxWait: time.Millisecond, Workers: 1, MaxTimeout: 30 * time.Millisecond})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	// Occupy the only worker so clamped requests expire in the queue.
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		s.Infer(context.Background(), input(0), -1, -1)
+	}()
+	<-eng.enter
+
+	for _, body := range []string{
+		`{"input":[1,0,0,0],"timeout_ms":3600000}`, // absurd deadline: clamped
+		`{"input":[1,0,0,0]}`,                      // no deadline at all: clamped
+	} {
+		start := time.Now()
+		resp, err := http.Post(ts.URL+"/v1/infer", "application/json", bytes.NewReader([]byte(body)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusGatewayTimeout {
+			t.Fatalf("clamped request %s: status %d, want 504", body, resp.StatusCode)
+		}
+		if elapsed := time.Since(start); elapsed > 5*time.Second {
+			t.Fatalf("clamped request took %v — MaxTimeout not applied", elapsed)
+		}
+	}
+
+	eng.release <- struct{}{}
+	wg.Wait()
+	// Drain whatever the dispatcher still holds, then shut down.
+	close(eng.release)
+	s.Close()
+}
+
+// Trailing garbage after the JSON body means the request was framed
+// wrong; it must be rejected, not silently half-read.
+func TestHTTPTrailingGarbageRejected(t *testing.T) {
+	s := New(newStubEngine(), Options{MaxBatch: 2, MaxWait: time.Millisecond})
+	defer s.Close()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	for _, body := range []string{
+		`{"input":[1,2,3,4]}{"input":[1,2,3,4]}`,
+		`{"input":[1,2,3,4]} garbage`,
+		`{"input":[1,2,3,4]} 17`,
+	} {
+		resp, err := http.Post(ts.URL+"/v1/infer", "application/json", bytes.NewReader([]byte(body)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("trailing garbage %q: status %d, want 400", body, resp.StatusCode)
+		}
+	}
+	// Trailing whitespace is fine.
+	resp, err := http.Post(ts.URL+"/v1/infer", "application/json",
+		bytes.NewReader([]byte(`{"input":[1,2,3,4]}`+"\n  \n")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("trailing whitespace: status %d, want 200", resp.StatusCode)
+	}
+}
+
+// Every 429 must carry Retry-After so well-behaved clients know when
+// to come back.
+func TestHTTPRetryAfterOnOverload(t *testing.T) {
+	eng := newStubEngine()
+	eng.enter = make(chan struct{}, 8)
+	eng.release = make(chan struct{}, 8)
+	s := New(eng, Options{MaxBatch: 1, MaxWait: time.Millisecond, QueueSize: 1, Workers: 1})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	// Saturate: the blocked worker, the dispatcher's hand, and the queue
+	// slot only ever fill (no request carries a deadline and the engine
+	// never releases), so the first observed rejection proves — and
+	// preserves — fullness.
+	var wg sync.WaitGroup
+	saturated := false
+	for i := 0; i < 20 && !saturated; i++ {
+		errc := make(chan error, 1)
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, err := s.Infer(context.Background(), input(float64(i)), -1, -1)
+			errc <- err
+		}(i)
+		select {
+		case err := <-errc:
+			if errors.Is(err, ErrOverloaded) {
+				saturated = true
+			}
+		case <-time.After(20 * time.Millisecond):
+			// accepted and blocked: one more slot consumed
+		}
+	}
+	if !saturated {
+		t.Fatal("queue never saturated")
+	}
+
+	resp, err := http.Post(ts.URL+"/v1/infer", "application/json",
+		bytes.NewReader([]byte(`{"input":[9,0,0,0]}`)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("overloaded request: status %d, want 429", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("429 without Retry-After header")
+	}
+
+	close(eng.release)
+	wg.Wait()
+	s.Close()
 }

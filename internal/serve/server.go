@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -35,6 +36,11 @@ type Options struct {
 	// DefaultTimeout is applied to requests that carry no deadline of
 	// their own (0 = no default deadline).
 	DefaultTimeout time.Duration
+	// MaxTimeout caps the per-request deadline the HTTP layer will grant
+	// (0 = unlimited). Without a cap a client can send an arbitrarily
+	// large timeout_ms — or none at all — and defeat deadline-based
+	// admission control, so registry deployments should set this.
+	MaxTimeout time.Duration
 }
 
 func (o Options) withDefaults() Options {
@@ -65,6 +71,12 @@ type request struct {
 	label  int // -1 when the request is unlabeled
 	enq    time.Time
 	done   chan result // buffered(1): workers never block on delivery
+
+	// settled arbitrates metric accounting between the worker (complete/
+	// fail/expired-at-dispatch) and the abandoning client (expired):
+	// whoever wins the CompareAndSwap counts the request, exactly once,
+	// so accepted = completed + expired + failed holds as an identity.
+	settled atomic.Bool
 }
 
 // Server owns the request queue, the batching dispatcher, and the
@@ -107,6 +119,14 @@ func (s *Server) Options() Options { return s.opt }
 // Metrics returns the server's metrics collector.
 func (s *Server) Metrics() *Metrics { return s.met }
 
+// Warm runs one zero-sample batch directly on the engine, bypassing
+// the queue and the metrics: the first inference builds the model's
+// scatter plan and sizes a pooled scratch, costs that should land here
+// rather than on the first user request's latency.
+func (s *Server) Warm() {
+	s.eng.InferBatch([][]float64{make([]float64, s.eng.InLen())}, []int{-1})
+}
+
 // Closed reports whether Close has started.
 func (s *Server) Closed() bool {
 	s.mu.RLock()
@@ -125,8 +145,10 @@ func (s *Server) Infer(ctx context.Context, input []float64, sample, label int) 
 	// A dead request must not take a queue slot: a caller that gave up
 	// before submitting would otherwise occupy the bounded queue (and a
 	// batch seat) until a worker noticed, pushing live requests into
-	// ErrOverloaded under load. Count it as expired, not accepted.
+	// ErrOverloaded under load. Count it as accepted and immediately
+	// expired so accepted = completed + expired + failed stays exact.
 	if err := ctx.Err(); err != nil {
+		s.met.accept()
 		s.met.expire()
 		return Prediction{}, err
 	}
@@ -156,17 +178,31 @@ func (s *Server) Infer(ctx context.Context, input []float64, sample, label int) 
 	s.met.accept()
 	select {
 	case r := <-req.done:
-		// A worker may answer with the request's own context error when
-		// the deadline fell between enqueue and dispatch.
-		if errors.Is(r.err, context.DeadlineExceeded) || errors.Is(r.err, context.Canceled) {
-			s.met.expire()
-		}
+		// The worker settled the request (and its accounting) before
+		// delivering; nothing to count here.
 		return r.pred, r.err
 	case <-ctx.Done():
-		// The batch may still execute; the buffered done channel absorbs
-		// the abandoned result.
-		s.met.expire()
-		return Prediction{}, ctx.Err()
+		// Both arms can be ready at once: the worker may have delivered
+		// the result in the same instant the deadline fired. Prefer the
+		// delivered result — it is real work, already counted as
+		// completed — instead of discarding it and double-counting the
+		// request as expired.
+		select {
+		case r := <-req.done:
+			return r.pred, r.err
+		default:
+		}
+		if req.settled.CompareAndSwap(false, true) {
+			// The batch may still execute; the buffered done channel
+			// absorbs the abandoned result, and the worker's failed CAS
+			// keeps it out of the counters.
+			s.met.expire()
+			return Prediction{}, ctx.Err()
+		}
+		// The worker won the settle race between ctx firing and our CAS;
+		// its result is imminent on the buffered channel.
+		r := <-req.done
+		return r.pred, r.err
 	}
 }
 
@@ -233,6 +269,9 @@ func (s *Server) runBatch(batch []*request) {
 	live := make([]*request, 0, len(batch))
 	for _, r := range batch {
 		if err := r.ctx.Err(); err != nil {
+			if r.settled.CompareAndSwap(false, true) {
+				s.met.expire()
+			}
 			r.done <- result{err: err}
 			continue
 		}
@@ -247,17 +286,26 @@ func (s *Server) runBatch(batch []*request) {
 		inputs[i] = r.input
 		samples[i] = r.sample
 	}
+	t0 := time.Now()
 	preds, err := s.runEngine(inputs, samples)
 	if err != nil {
-		s.met.fail(len(live))
 		for _, r := range live {
+			if r.settled.CompareAndSwap(false, true) {
+				s.met.fail(1)
+			}
 			r.done <- result{err: err}
 		}
 		return
 	}
 	now := time.Now()
+	// Recorded even when every client of the batch has abandoned it: the
+	// engine paid the time either way, and the admission layer's rolling
+	// p99 must keep learning under deadline storms.
+	s.met.batchLatency(now.Sub(t0))
 	for i, r := range live {
-		s.met.complete(now.Sub(r.enq), preds[i], r.label)
+		if r.settled.CompareAndSwap(false, true) {
+			s.met.complete(now.Sub(r.enq), preds[i], r.label)
+		}
 		r.done <- result{pred: preds[i]}
 	}
 	s.met.batchDone(len(live))

@@ -4,7 +4,12 @@
 # this fast), replay a short load, assert zero errors and non-zero
 # throughput, and verify the server drains cleanly on SIGTERM. A second
 # leg repeats the exercise with -parallel 2 (data-parallel batch
-# execution) and asserts the parallel_chunks metric moved.
+# execution) and asserts the parallel_chunks metric moved. A third leg
+# hosts two models in one process (TTFS + rate-coded), routes load to
+# both, asserts their metrics are tracked separately, and proves
+# deadline-headroom admission: a burst with a hopeless deadline against
+# the slow model is shed with 429 + Retry-After while the fast model's
+# concurrent traffic finishes error-free.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -50,4 +55,54 @@ one_leg parallel -parallel 2
 CHUNKS="$(echo "$LOAD" | sed -n 's/.*parallel chunks \([0-9]*\).*/\1/p')"
 [ -n "$CHUNKS" ] && [ "$CHUNKS" -gt 0 ] || { echo "serve-smoke: FAIL (parallel: parallel_chunks stayed 0)"; exit 1; }
 
-echo "serve-smoke: ok (sequential $SEQ_THR samples/s, parallel $THR samples/s, $CHUNKS chunks)"
+# --- multi-model leg: one process, two models, admission control ---
+"$BIN/snnserve" -addr "127.0.0.1:$PORT" -cache models -batch 16 \
+    -model main=mnist/tiny -model slow=mnist/tiny:rate:100 &
+SRV=$!
+
+# Prime the slow model's batch-latency window (and prove it serves).
+PRIME="$("$BIN/snnload" -addr "http://127.0.0.1:$PORT" -model slow -dataset mnist -n 8 -c 2)"
+echo "$PRIME"
+echo "$PRIME" | grep '^RESULT ' | grep -q ' err=0 ' || { echo "serve-smoke: FAIL (multi: slow-model prime errored)"; exit 1; }
+echo "$PRIME" | grep -q '^  server: ' || { echo "serve-smoke: FAIL (multi: no per-model metrics for slow)"; exit 1; }
+
+# Concurrently: clean load on the fast model, and a burst with a
+# hopeless 5ms deadline on the slow model (rate @100 steps is far
+# slower than that per batch) that must be shed with 429 + Retry-After.
+"$BIN/snnload" -addr "http://127.0.0.1:$PORT" -model main -dataset mnist -n 120 -c 12 > "$BIN/main_load.txt" 2>&1 &
+MAIN_LOAD=$!
+SHED="$("$BIN/snnload" -addr "http://127.0.0.1:$PORT" -model slow -dataset mnist \
+    -n 40 -c 8 -timeout-ms 5 -retries 0 -tolerate-shed)"
+echo "$SHED"
+if ! wait "$MAIN_LOAD"; then
+    cat "$BIN/main_load.txt"
+    echo "serve-smoke: FAIL (multi: fast-model load errored while slow model was shedding)"
+    exit 1
+fi
+MAIN="$(cat "$BIN/main_load.txt")"
+echo "$MAIN"
+
+SHED_RESULT="$(echo "$SHED" | grep '^RESULT ')"
+SHED_CT="$(echo "$SHED_RESULT" | sed 's/.* shed=\([0-9]*\).*/\1/')"
+RA_CT="$(echo "$SHED_RESULT" | sed 's/.* retry_after=\([0-9]*\).*/\1/')"
+[ -n "$SHED_CT" ] && [ "$SHED_CT" -gt 0 ] || { echo "serve-smoke: FAIL (multi: no deadline-headroom 429s)"; exit 1; }
+[ -n "$RA_CT" ] && [ "$RA_CT" -gt 0 ] || { echo "serve-smoke: FAIL (multi: 429s without Retry-After)"; exit 1; }
+
+MAIN_RESULT="$(echo "$MAIN" | grep '^RESULT ')"
+echo "$MAIN_RESULT" | grep -q ' err=0 ' || { echo "serve-smoke: FAIL (multi: fast-model errors)"; exit 1; }
+echo "$MAIN_RESULT" | grep -q ' shed=0 ' || { echo "serve-smoke: FAIL (multi: fast-model traffic was shed)"; exit 1; }
+# Separate metrics: each model's /metrics entry reflects only its own
+# completions (slow saw just the 8 prime requests; main saw its 120).
+MAIN_DONE="$(echo "$MAIN" | sed -n 's/^  server: .*completed \([0-9]*\),.*/\1/p')"
+SLOW_DONE="$(echo "$SHED" | sed -n 's/^  server: .*completed \([0-9]*\),.*/\1/p')"
+[ "$MAIN_DONE" = "120" ] || { echo "serve-smoke: FAIL (multi: main completed=$MAIN_DONE, want 120)"; exit 1; }
+[ "$SLOW_DONE" = "8" ] || { echo "serve-smoke: FAIL (multi: slow completed=$SLOW_DONE, want 8)"; exit 1; }
+
+kill -TERM "$SRV"
+if ! wait "$SRV"; then
+    echo "serve-smoke: FAIL (multi: server exited non-zero on SIGTERM)"
+    exit 1
+fi
+SRV=""
+
+echo "serve-smoke: ok (sequential $SEQ_THR samples/s, parallel $THR samples/s, $CHUNKS chunks, multi-model shed $SHED_CT/40 with Retry-After)"
