@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test check bench bench-smoke bench-paper benchdiff faultbench serve-smoke
+.PHONY: build test check bench bench-smoke bench-paper benchdiff faultbench serve-smoke gate-smoke
 
 build:
 	$(GO) build ./...
@@ -18,6 +18,7 @@ check:
 	$(GO) vet ./...
 	$(GO) test -race -timeout 45m ./...
 	$(MAKE) serve-smoke
+	$(MAKE) gate-smoke
 	$(MAKE) bench-smoke
 	bash scripts/benchdiff.sh --if-baseline
 
@@ -26,6 +27,13 @@ check:
 # drain — the serving layer's end-to-end gate.
 serve-smoke:
 	bash scripts/serve_smoke.sh
+
+# gate-smoke is the fleet chaos gate: two snnserve replicas behind
+# cmd/snngate, a backend killed -9 mid-load with zero client-visible
+# failures, eviction + readmission through the probe ladder, and a
+# golden-checked rolling hot-swap under load.
+gate-smoke:
+	bash scripts/gate_smoke.sh
 
 # bench runs the inference hot-path benchmarks and records ns/op,
 # B/op, allocs/op as machine-readable BENCH_<date>.json.

@@ -10,15 +10,22 @@
 //
 // The final line is machine-readable:
 //
-//	RESULT ok=500 err=0 rejected=0 shed=0 expired=0 retry_after=0 wall_s=1.23 throughput=406.5 p50_ms=18.2 p99_ms=44.0 acc=0.96
+//	RESULT ok=500 err=0 failed=0 rejected=0 shed=0 expired=0 retry_after=0 wall_s=1.23 throughput=406.5 p50_ms=18.2 p99_ms=44.0 acc=0.96
 //
-// so scripts (make serve-smoke) can assert on it. Rejected requests
-// (429 backpressure or admission control) are retried up to -retries
-// times, honoring the server's Retry-After header when present (else
-// exponential backoff). A request still 429ing after its retries
-// counts as shed, and a 504 (deadline exceeded server-side) counts as
-// expired; both are errors unless -tolerate-shed is set — the flag for
-// load runs that *intend* to trip admission control.
+// so scripts (make serve-smoke, make gate-smoke) can assert on it.
+// Rejected requests (429 backpressure or admission control) are
+// retried up to -retries times, honoring the server's Retry-After
+// header when present (else exponential backoff). A request still
+// 429ing after its retries counts as shed, and a 504 (deadline
+// exceeded server-side) counts as expired; both are errors unless
+// -tolerate-shed is set — the flag for load runs that *intend* to trip
+// admission control.
+//
+// Transport failures (connection refused/reset — a backend dying
+// mid-run) are likewise retried with backoff; a request that exhausts
+// its retries counts as failed rather than aborting the run, so a
+// chaos test can kill a backend and still get a full RESULT line.
+// failed > 0 exits nonzero unless -tolerate-fail is set.
 package main
 
 import (
@@ -51,6 +58,7 @@ func main() {
 	timeoutMs := flag.Int("timeout-ms", 0, "per-request server-side deadline (0 = none)")
 	retries := flag.Int("retries", 8, "max retries on 429 rejections")
 	tolerateShed := flag.Bool("tolerate-shed", false, "count exhausted 429s and server-side deadline misses as shed/expired instead of errors")
+	tolerateFail := flag.Bool("tolerate-fail", false, "exit zero even when some requests exhausted their transport-error retries (failed > 0)")
 	faults := flag.Bool("faults", false, "request per-sample fault injection (sends the sample index)")
 	warmup := flag.Duration("warmup", 60*time.Second, "how long to wait for the server to report healthy")
 	flag.Parse()
@@ -105,6 +113,7 @@ func main() {
 
 	var (
 		okCt, errCt, rejectCt, correctCt atomic.Int64
+		failedCt                         atomic.Int64
 		shedCt, expiredCt, retryAfterCt  atomic.Int64
 		mu                               sync.Mutex
 		lats                             []time.Duration
@@ -137,6 +146,10 @@ func main() {
 					mu.Lock()
 					lats = append(lats, time.Since(t0))
 					mu.Unlock()
+				case m.exhaustedConn:
+					// The connection died and stayed dead through the
+					// retries: a counted outcome, not a run abort.
+					failedCt.Add(1)
 				case m.exhausted429 && *tolerateShed:
 					shedCt.Add(1)
 				case m.status == http.StatusGatewayTimeout && *tolerateShed:
@@ -151,7 +164,7 @@ func main() {
 	wall := time.Since(start)
 
 	ok, errs, rejected := okCt.Load(), errCt.Load(), rejectCt.Load()
-	shed, expired := shedCt.Load(), expiredCt.Load()
+	failed, shed, expired := failedCt.Load(), shedCt.Load(), expiredCt.Load()
 	acc := 0.0
 	if ok > 0 {
 		acc = float64(correctCt.Load()) / float64(ok)
@@ -174,17 +187,20 @@ func main() {
 		return float64(lats[rank-1]) / float64(time.Millisecond)
 	}
 
-	fmt.Printf("snnload: %d ok, %d errors, %d rejections retried, %d shed, %d expired over %s\n",
-		ok, errs, rejected, shed, expired, wall.Round(time.Millisecond))
+	fmt.Printf("snnload: %d ok, %d errors, %d failed, %d rejections retried, %d shed, %d expired over %s\n",
+		ok, errs, failed, rejected, shed, expired, wall.Round(time.Millisecond))
 	fmt.Printf("  throughput %.1f samples/s, latency p50 %.1fms p90 %.1fms p99 %.1fms, accuracy %.3f\n",
 		throughput, pct(0.50), pct(0.90), pct(0.99), acc)
 	if snap, err := fetchMetrics(client, *addr, *model); err == nil {
 		fmt.Printf("  server: mean batch %.2f, completed %d, rejected %d, spikes/sample %.0f, parallel chunks %d\n",
 			snap.MeanBatchSize, snap.Completed, snap.Rejected, snap.SpikesPerSample, snap.ParallelChunks)
 	}
-	fmt.Printf("RESULT ok=%d err=%d rejected=%d shed=%d expired=%d retry_after=%d wall_s=%.3f throughput=%.1f p50_ms=%.1f p99_ms=%.1f acc=%.3f\n",
-		ok, errs, rejected, shed, expired, retryAfterCt.Load(), wall.Seconds(), throughput, pct(0.50), pct(0.99), acc)
+	fmt.Printf("RESULT ok=%d err=%d failed=%d rejected=%d shed=%d expired=%d retry_after=%d wall_s=%.3f throughput=%.1f p50_ms=%.1f p99_ms=%.1f acc=%.3f\n",
+		ok, errs, failed, rejected, shed, expired, retryAfterCt.Load(), wall.Seconds(), throughput, pct(0.50), pct(0.99), acc)
 	if errs > 0 {
+		os.Exit(1)
+	}
+	if failed > 0 && !*tolerateFail {
 		os.Exit(1)
 	}
 	if ok == 0 && !(*tolerateShed && shed+expired > 0) {
@@ -192,20 +208,28 @@ func main() {
 	}
 }
 
-// waitHealthy polls /healthz until the server answers 200 or the window
-// elapses — so scripts can start snnserve and snnload back to back.
+// waitHealthy polls /readyz until the server answers 200 or the window
+// elapses — so scripts can start snnserve and snnload back to back and
+// the load run never starts against a replica still warming up. A 404
+// (server predating the liveness/readiness split) falls back to
+// /healthz.
 func waitHealthy(addr string, window time.Duration) error {
 	deadline := time.Now().Add(window)
+	path := "/readyz"
 	for {
-		resp, err := http.Get(addr + "/healthz")
+		resp, err := http.Get(addr + path)
 		if err == nil {
 			resp.Body.Close()
 			if resp.StatusCode == http.StatusOK {
 				return nil
 			}
+			if resp.StatusCode == http.StatusNotFound && path == "/readyz" {
+				path = "/healthz"
+				continue
+			}
 		}
 		if time.Now().After(deadline) {
-			return fmt.Errorf("server at %s not healthy within %s", addr, window)
+			return fmt.Errorf("server at %s not ready within %s", addr, window)
 		}
 		time.Sleep(100 * time.Millisecond)
 	}
@@ -218,12 +242,17 @@ type postMeta struct {
 	rejected       int
 	retryAfterSeen int
 	exhausted429   bool
+	exhaustedConn  bool
 	status         int
 }
 
 // postWithRetry sends one inference request, retrying 429 responses —
 // waiting out the server's Retry-After when present, else backing off
-// exponentially from 2ms.
+// exponentially from 2ms. Transport errors (connection refused or
+// reset: the server died, restarted, or was momentarily unreachable)
+// retry on the same schedule; exhausting them marks the request
+// exhaustedConn so the caller counts it as failed instead of tearing
+// the run down.
 func postWithRetry(client *http.Client, url, clientID string, body []byte, retries int) (serve.InferResponse, postMeta, error) {
 	var out serve.InferResponse
 	var meta postMeta
@@ -239,7 +268,13 @@ func postWithRetry(client *http.Client, url, clientID string, body []byte, retri
 		}
 		resp, err := client.Do(req)
 		if err != nil {
-			return out, meta, err
+			if attempt >= retries {
+				meta.exhaustedConn = true
+				return out, meta, fmt.Errorf("still unreachable after %d retries: %w", retries, err)
+			}
+			time.Sleep(backoff)
+			backoff *= 2
+			continue
 		}
 		meta.status = resp.StatusCode
 		if resp.StatusCode == http.StatusTooManyRequests {

@@ -121,11 +121,48 @@ func main() {
 		defer shared.Close()
 	}
 
+	// BuildEngine enables POST /v1/models/{name}/swap: a swap request
+	// names a source (and optionally scheme/steps) and gets an engine
+	// built with this process's fault/cache/EF configuration. Swapped-in
+	// engines join the shared data-parallel pool when -share-pool is on;
+	// with per-model pools the replacement runs sequentially (per-model
+	// pools live exactly as long as process startup engines, and a
+	// swapped engine has no pool owner to close one).
 	reg := serve.NewRegistry(serve.RegistryOptions{
 		RatePerSec:      *rate,
 		Burst:           *burst,
 		ClientHeader:    *clientHeader,
 		DisableShedding: *noShed,
+		BuildEngine: func(model string, req serve.SwapRequest) (serve.Engine, error) {
+			spec := modelSpec{name: model, source: req.Source, scheme: req.Scheme, steps: req.Steps}
+			if spec.scheme == "" {
+				spec.scheme = "ttfs"
+			}
+			switch spec.scheme {
+			case "ttfs", "rate", "phase", "burst":
+			default:
+				return nil, fmt.Errorf("unknown scheme %q", spec.scheme)
+			}
+			if spec.steps <= 0 {
+				spec.steps = *steps
+			}
+			eng, _, err := buildEngine(engineConfig{
+				spec: spec, cache: *cache, ef: *ef, useGO: *useGO,
+				fSeed: *fSeed, fDrop: *fDrop, fJitter: *fJitter, fStuck: *fStuck, fNoise: *fNoise,
+			})
+			if err != nil {
+				return nil, err
+			}
+			if shared != nil {
+				switch e := eng.(type) {
+				case *serve.TTFSEngine:
+					e.Pool = shared
+				case *serve.SchemeEngine:
+					e.Pool = shared
+				}
+			}
+			return eng, nil
+		},
 	})
 	opt := serve.Options{
 		MaxBatch:       *batch,
@@ -136,6 +173,7 @@ func main() {
 		MaxTimeout:     *maxTimeout,
 	}
 	var descs []string
+	var warmups []func()
 	for _, spec := range specs {
 		eng, desc, err := buildEngine(engineConfig{
 			spec: spec, cache: *cache, ef: *ef, useGO: *useGO,
@@ -168,19 +206,32 @@ func main() {
 			os.Exit(1)
 		}
 
-		// Warm before accepting traffic: the first inference builds the
-		// model's scatter plan and sizes a pooled scratch, which would
-		// otherwise land on the first user request's latency. With a
-		// pool, warm every worker's arena too.
-		warm := time.Now()
-		srv.Warm()
-		if te, ok := eng.(*serve.TTFSEngine); ok && pool != nil {
-			pool.Warm(te.Model, [][]float64{make([]float64, eng.InLen())}, te.Run)
-		}
-		fmt.Fprintf(os.Stderr, "snnserve: model %s (%s) warmed in %s\n",
-			spec.name, desc, time.Since(warm).Round(time.Millisecond))
+		// Defer warmup until after the listener is up: the first
+		// inference builds the model's scatter plan and sizes a pooled
+		// scratch, which would otherwise land on the first user
+		// request's latency. /readyz answers 503 until every model (and
+		// pool arena) is warm, so a gateway or orchestrator never routes
+		// to a replica still paying that cost — while /healthz is live
+		// the moment the listener binds.
+		name, e, p := spec.name, eng, pool
+		warmups = append(warmups, func() {
+			warm := time.Now()
+			srv.Warm()
+			if te, ok := e.(*serve.TTFSEngine); ok && p != nil {
+				p.Warm(te.Model, [][]float64{make([]float64, e.InLen())}, te.Run)
+			}
+			fmt.Fprintf(os.Stderr, "snnserve: model %s (%s) warmed in %s\n",
+				name, desc, time.Since(warm).Round(time.Millisecond))
+		})
 		descs = append(descs, fmt.Sprintf("%s=%s", spec.name, desc))
 	}
+	go func() {
+		for _, warm := range warmups {
+			warm()
+		}
+		reg.SetReady(true)
+		fmt.Fprintln(os.Stderr, "snnserve: ready")
+	}()
 
 	hs := &http.Server{Addr: *addr, Handler: reg.Handler()}
 

@@ -1,0 +1,123 @@
+package gateway
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// State is a backend's position in the health state machine.
+//
+//	Healthy --(FailThreshold consecutive active/passive failures)--> Evicted
+//	Evicted --(successful re-probe after exponential backoff)------> Probing
+//	Probing --(passive success or second good probe)---------------> Healthy
+//	Probing --(any failure)----------------------------------------> Evicted
+//
+// Probing is the half-open stage: the backend is admitted as a routing
+// candidate again, but only for trial traffic (one request at a time,
+// and only when no Healthy backend can take the request first).
+type State int32
+
+const (
+	StateHealthy State = iota
+	StateProbing
+	StateEvicted
+)
+
+func (s State) String() string {
+	switch s {
+	case StateHealthy:
+		return "healthy"
+	case StateProbing:
+		return "probing"
+	case StateEvicted:
+		return "evicted"
+	}
+	return "unknown"
+}
+
+// backend is one replica server behind the gateway. All mutable state
+// is atomic: request goroutines (passive observation), the probe loop
+// (active observation), and the metrics endpoint all touch it
+// concurrently.
+type backend struct {
+	url string // base URL without trailing slash
+
+	state       atomic.Int32
+	inflight    atomic.Int64
+	consecFails atomic.Int32
+	// coolUntil is a unix-nano timestamp before which routing should
+	// prefer other backends: set from a 429 Retry-After, it honors the
+	// backend's own admission control instead of hammering it.
+	coolUntil atomic.Int64
+
+	completed atomic.Uint64 // responses forwarded to clients from here
+	failed    atomic.Uint64 // attempts that errored (transport or 5xx)
+	evictions atomic.Uint64
+	probes    atomic.Uint64
+	lastProbe atomic.Int64 // unix nano of the latest probe attempt
+
+	errMu   sync.Mutex
+	lastErr string
+}
+
+func (b *backend) currentState() State { return State(b.state.Load()) }
+
+// evict moves the backend out of the routing pool; only the first
+// transition counts (concurrent observers may race to report the same
+// death).
+func (b *backend) evict() bool {
+	for {
+		cur := b.state.Load()
+		if State(cur) == StateEvicted {
+			return false
+		}
+		if b.state.CompareAndSwap(cur, int32(StateEvicted)) {
+			b.evictions.Add(1)
+			return true
+		}
+	}
+}
+
+// observeSuccess is the passive health signal from a served request: it
+// clears the failure streak and promotes a half-open backend, whose
+// trial traffic just proved it out, back to full membership.
+func (b *backend) observeSuccess() {
+	b.consecFails.Store(0)
+	b.state.CompareAndSwap(int32(StateProbing), int32(StateHealthy))
+}
+
+// observeFailure is the passive unhealth signal (connection error,
+// timeout, or 5xx on a proxied request). A half-open backend is
+// re-evicted on its first failed trial; a healthy one rides out up to
+// threshold-1 consecutive failures.
+func (b *backend) observeFailure(threshold int, err string) {
+	b.setLastErr(err)
+	if b.currentState() == StateProbing {
+		b.evict()
+		return
+	}
+	if int(b.consecFails.Add(1)) >= threshold {
+		b.evict()
+	}
+}
+
+func (b *backend) cooling(now time.Time) bool {
+	return b.coolUntil.Load() > now.UnixNano()
+}
+
+func (b *backend) setCooldown(until time.Time) {
+	b.coolUntil.Store(until.UnixNano())
+}
+
+func (b *backend) setLastErr(s string) {
+	b.errMu.Lock()
+	b.lastErr = s
+	b.errMu.Unlock()
+}
+
+func (b *backend) lastErrString() string {
+	b.errMu.Lock()
+	defer b.errMu.Unlock()
+	return b.lastErr
+}

@@ -1,0 +1,817 @@
+// Package gateway is the horizontal scale-out tier in front of replica
+// snnserve backends: an HTTP routing proxy built for backend failure.
+//
+// Robustness machinery:
+//
+//   - Per-backend health state machine (see State) driven by active
+//     /readyz probes and passive observation of proxied request
+//     outcomes, with eviction, exponential-backoff re-probing, and
+//     half-open recovery.
+//   - Least-loaded routing (live in-flight counters) with
+//     consistent-hash client affinity: requests carrying the client
+//     header are pinned to a backend by rendezvous hashing, which
+//     remaps only the dead backend's clients when membership changes.
+//   - Hedged retries for the idempotent inference path: if the primary
+//     attempt is slower than the fleet's rolling p95, a second attempt
+//     fires on a different backend and the first response wins (the
+//     loser is canceled). Failed attempts (connection errors, 503s)
+//     retry on another backend; 429s are forwarded with their
+//     Retry-After honored as a routing cooldown, never hammered.
+//   - Degraded service instead of hangs: with no routable backend the
+//     request waits at most PoolWait for one to recover, then gets 503
+//     with Retry-After.
+//   - Fleet-wide zero-downtime model hot-swap: POST
+//     /v1/models/{name}/swap rolls the registry-level swap across the
+//     backends one at a time, so some replica serves the model at
+//     every instant.
+//
+// Request accounting keeps the serve layer's exactness invariant at
+// the fleet level: accepted = completed + failed + shed.
+package gateway
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"math"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// maxBodyBytes mirrors the serve layer's request-body bound; the
+// gateway buffers bodies (requests for resend, responses so a mid-body
+// backend failure never reaches the client), so it enforces the same
+// ceiling.
+const maxBodyBytes = 8 << 20
+
+// errNoBackends is the degraded-mode outcome: no routable backend
+// appeared within PoolWait.
+var errNoBackends = errors.New("gateway: no live backends")
+
+// Options configures the gateway. The zero value of every field gets
+// a serviceable default from withDefaults; only Backends is required.
+type Options struct {
+	// Backends are the replica base URLs (e.g. http://10.0.0.1:8080).
+	Backends []string
+	// ClientHeader names the affinity/identity header forwarded to
+	// backends (default "X-Client-ID").
+	ClientHeader string
+
+	// ProbeInterval is the active health-probe period per backend
+	// (default 500ms); ProbeTimeout bounds one probe (default 2s).
+	ProbeInterval time.Duration
+	ProbeTimeout  time.Duration
+	// ProbeBackoffMax caps the exponential re-probe backoff for an
+	// evicted backend (default 16×ProbeInterval).
+	ProbeBackoffMax time.Duration
+	// FailThreshold is how many consecutive failures (active or
+	// passive) evict a healthy backend (default 3).
+	FailThreshold int
+
+	// MaxAttempts bounds distinct backends tried per request — the
+	// primary plus retries/hedges (default 3, clamped to the pool
+	// size).
+	MaxAttempts int
+	// DisableHedge turns off latency hedging (failure retries remain).
+	DisableHedge bool
+	// HedgeDelay is the hedge trigger before latency history exists
+	// (default 25ms); once the fleet p95 is known the delay tracks it,
+	// clamped to [HedgeMin, HedgeMax] (defaults 1ms, 1s).
+	HedgeDelay time.Duration
+	HedgeMin   time.Duration
+	HedgeMax   time.Duration
+
+	// PoolWait is how long a request may wait for a routable backend
+	// before being shed with 503 + Retry-After (default 1s). Degraded
+	// service is bounded: the gateway never hangs on an empty pool.
+	PoolWait time.Duration
+	// SwapTimeout bounds one backend's model swap during a rolling
+	// fleet swap (default 5m — a swap may train or load a model).
+	SwapTimeout time.Duration
+
+	// Transport overrides the proxy transport (tests).
+	Transport http.RoundTripper
+}
+
+func (o Options) withDefaults() Options {
+	if o.ClientHeader == "" {
+		o.ClientHeader = "X-Client-ID"
+	}
+	if o.ProbeInterval <= 0 {
+		o.ProbeInterval = 500 * time.Millisecond
+	}
+	if o.ProbeTimeout <= 0 {
+		o.ProbeTimeout = 2 * time.Second
+	}
+	if o.ProbeBackoffMax <= 0 {
+		o.ProbeBackoffMax = 16 * o.ProbeInterval
+	}
+	if o.FailThreshold <= 0 {
+		o.FailThreshold = 3
+	}
+	if o.MaxAttempts <= 0 {
+		o.MaxAttempts = 3
+	}
+	if n := len(o.Backends); o.MaxAttempts > n {
+		o.MaxAttempts = n
+	}
+	if o.HedgeDelay <= 0 {
+		o.HedgeDelay = 25 * time.Millisecond
+	}
+	if o.HedgeMin <= 0 {
+		o.HedgeMin = time.Millisecond
+	}
+	if o.HedgeMax <= 0 {
+		o.HedgeMax = time.Second
+	}
+	if o.PoolWait <= 0 {
+		o.PoolWait = time.Second
+	}
+	if o.SwapTimeout <= 0 {
+		o.SwapTimeout = 5 * time.Minute
+	}
+	return o
+}
+
+// Gateway routes requests across the backend fleet. Create with New,
+// serve Handler, stop with Close.
+type Gateway struct {
+	opt      Options
+	client   *http.Client
+	backends []*backend
+	met      *fleetMetrics
+	start    time.Time
+
+	closed atomic.Bool
+	stop   chan struct{}
+	wg     sync.WaitGroup
+}
+
+// New validates the backend list, starts one probe loop per backend,
+// and returns the gateway. Backends start Healthy: the first probe (or
+// the first failed request) corrects optimism within one interval.
+func New(opt Options) (*Gateway, error) {
+	opt = opt.withDefaults()
+	if len(opt.Backends) == 0 {
+		return nil, errors.New("gateway: no backends configured")
+	}
+	transport := opt.Transport
+	if transport == nil {
+		transport = &http.Transport{
+			MaxIdleConns:        256,
+			MaxIdleConnsPerHost: 64,
+			IdleConnTimeout:     90 * time.Second,
+		}
+	}
+	g := &Gateway{
+		opt:    opt,
+		client: &http.Client{Transport: transport},
+		met:    newFleetMetrics(),
+		start:  time.Now(),
+		stop:   make(chan struct{}),
+	}
+	seen := make(map[string]bool)
+	for _, raw := range opt.Backends {
+		u := strings.TrimRight(raw, "/")
+		if !strings.HasPrefix(u, "http://") && !strings.HasPrefix(u, "https://") {
+			return nil, fmt.Errorf("gateway: backend %q is not an http(s) URL", raw)
+		}
+		if seen[u] {
+			return nil, fmt.Errorf("gateway: duplicate backend %q", u)
+		}
+		seen[u] = true
+		g.backends = append(g.backends, &backend{url: u})
+	}
+	for _, b := range g.backends {
+		g.wg.Add(1)
+		go g.probeLoop(b)
+	}
+	return g, nil
+}
+
+// Close stops the probe loops and flips the gateway to 503 for new
+// requests. In-flight proxied requests are the HTTP server's to drain.
+func (g *Gateway) Close() {
+	if g.closed.CompareAndSwap(false, true) {
+		close(g.stop)
+	}
+	g.wg.Wait()
+}
+
+// Handler returns the gateway's HTTP API.
+func (g *Gateway) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/infer", g.handleInfer)
+	mux.HandleFunc("POST /v1/models/{name}/infer", g.handleInfer)
+	mux.HandleFunc("POST /v1/models/{name}/swap", g.handleSwap)
+	mux.HandleFunc("GET /v1/models", g.handleModels)
+	mux.HandleFunc("GET /healthz", g.handleHealth)
+	mux.HandleFunc("GET /readyz", g.handleReady)
+	mux.HandleFunc("GET /metrics", g.handleMetrics)
+	return mux
+}
+
+// ---- active probing ----
+
+// probeLoop drives one backend's health state machine from the active
+// side: periodic /readyz probes while the backend is a member,
+// exponential backoff re-probes while it is evicted, and the
+// evicted→probing→healthy recovery ladder (so an idle fleet readmits a
+// restarted backend without needing traffic to prove it out).
+func (g *Gateway) probeLoop(b *backend) {
+	defer g.wg.Done()
+	backoff := g.opt.ProbeInterval
+	timer := time.NewTimer(0) // probe immediately at startup
+	defer timer.Stop()
+	for {
+		select {
+		case <-g.stop:
+			return
+		case <-timer.C:
+		}
+		ok := g.probe(b)
+		next := g.opt.ProbeInterval
+		if ok {
+			switch b.currentState() {
+			case StateEvicted:
+				// Half-open: back in the pool for trial traffic; the
+				// next success (active or passive) completes recovery.
+				b.consecFails.Store(0)
+				b.state.Store(int32(StateProbing))
+				backoff = g.opt.ProbeInterval
+			case StateProbing:
+				b.observeSuccess()
+			default:
+				b.consecFails.Store(0)
+			}
+		} else {
+			switch b.currentState() {
+			case StateEvicted:
+				backoff *= 2
+				if backoff > g.opt.ProbeBackoffMax {
+					backoff = g.opt.ProbeBackoffMax
+				}
+				next = backoff
+			default:
+				b.observeFailure(g.opt.FailThreshold, "probe failed")
+			}
+		}
+		timer.Reset(next)
+	}
+}
+
+// probe asks one backend whether it can take traffic. Readiness — not
+// liveness — is the question: a warming or draining backend answers
+// 503 and stays out of the pool.
+func (g *Gateway) probe(b *backend) bool {
+	b.probes.Add(1)
+	b.lastProbe.Store(time.Now().UnixNano())
+	ctx, cancel := context.WithTimeout(context.Background(), g.opt.ProbeTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, b.url+"/readyz", nil)
+	if err != nil {
+		return false
+	}
+	resp, err := g.client.Do(req)
+	if err != nil {
+		b.setLastErr(err.Error())
+		return false
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		b.setLastErr(fmt.Sprintf("probe status %d", resp.StatusCode))
+		return false
+	}
+	return true
+}
+
+// ---- routing ----
+
+// pick chooses a routing target outside skip: healthy backends first
+// (affinity or least-loaded), then half-open ones for trial traffic
+// (at most one request in flight), then cooling backends — soft 429
+// pressure is better honored by preference than by refusal. Returns
+// nil only when nothing is routable.
+func (g *Gateway) pick(clientKey string, skip []*backend) *backend {
+	now := time.Now()
+	var healthy, probing, cooling []*backend
+	for _, b := range g.backends {
+		if contains(skip, b) {
+			continue
+		}
+		switch b.currentState() {
+		case StateHealthy:
+			if b.cooling(now) {
+				cooling = append(cooling, b)
+			} else {
+				healthy = append(healthy, b)
+			}
+		case StateProbing:
+			if b.inflight.Load() == 0 {
+				probing = append(probing, b)
+			}
+		}
+	}
+	if len(healthy) > 0 {
+		return choose(clientKey, healthy)
+	}
+	if len(probing) > 0 {
+		return probing[0]
+	}
+	if len(cooling) > 0 {
+		return choose(clientKey, cooling)
+	}
+	return nil
+}
+
+// choose applies the routing policy within one preference tier:
+// rendezvous-hash affinity when the client identifies itself,
+// least-loaded otherwise.
+func choose(clientKey string, cands []*backend) *backend {
+	if clientKey != "" {
+		// Rendezvous (highest-random-weight) hashing: each client
+		// ranks every backend; evicting one remaps only its clients,
+		// and they return home when it recovers.
+		best, bestScore := cands[0], rendezvousScore(clientKey, cands[0].url)
+		for _, b := range cands[1:] {
+			if s := rendezvousScore(clientKey, b.url); s > bestScore {
+				best, bestScore = b, s
+			}
+		}
+		return best
+	}
+	best := cands[0]
+	load := best.inflight.Load()
+	for _, b := range cands[1:] {
+		if l := b.inflight.Load(); l < load {
+			best, load = b, l
+		}
+	}
+	return best
+}
+
+func rendezvousScore(clientKey, url string) uint64 {
+	h := fnv.New64a()
+	io.WriteString(h, clientKey)
+	h.Write([]byte{0})
+	io.WriteString(h, url)
+	return h.Sum64()
+}
+
+func contains(s []*backend, b *backend) bool {
+	for _, x := range s {
+		if x == b {
+			return true
+		}
+	}
+	return false
+}
+
+// hedgeDelay is the current wait before a second attempt fires: the
+// rolling p95 of winning attempts once known (a hedge should trigger
+// only for genuine stragglers), clamped, else the configured default.
+func (g *Gateway) hedgeDelay() time.Duration {
+	p95 := g.met.latencyP95()
+	if p95 <= 0 {
+		return g.opt.HedgeDelay
+	}
+	if p95 < g.opt.HedgeMin {
+		return g.opt.HedgeMin
+	}
+	if p95 > g.opt.HedgeMax {
+		return g.opt.HedgeMax
+	}
+	return p95
+}
+
+// ---- proxying ----
+
+// attemptOutcome is one backend attempt's result: either err is set
+// (transport-level failure) or status/header/body hold a complete
+// buffered backend response.
+type attemptOutcome struct {
+	b        *backend
+	hedge    bool
+	status   int
+	header   http.Header
+	body     []byte
+	err      error
+	canceled bool // canceled by us (a sibling won); not a health signal
+	dur      time.Duration
+}
+
+// retryable reports whether another backend may legally serve this
+// request instead: the attempt never produced a client-visible
+// response (transport failure with the response unbuffered, so the
+// client saw nothing) or the backend declared itself unavailable
+// (503, e.g. draining). Everything else — including 429 and engine
+// errors — is a real answer for the client.
+func (o attemptOutcome) retryable() bool {
+	return o.err != nil || o.status == http.StatusServiceUnavailable
+}
+
+// healthFailure reports whether the outcome should count against the
+// backend's health: transport errors and 5xx server trouble, but not
+// cancellation (our doing), 429 (working admission control), or 504
+// (the client's deadline, honestly missed).
+func (o attemptOutcome) healthFailure() bool {
+	if o.canceled {
+		return false
+	}
+	if o.err != nil {
+		return true
+	}
+	switch o.status {
+	case http.StatusInternalServerError, http.StatusBadGateway, http.StatusServiceUnavailable:
+		return true
+	}
+	return false
+}
+
+func (o attemptOutcome) describe() string {
+	if o.err != nil {
+		return o.err.Error()
+	}
+	return fmt.Sprintf("status %d", o.status)
+}
+
+// attempt proxies one buffered request to one backend and reports the
+// fully buffered outcome. Buffering both directions is what makes
+// hedging and retries safe: nothing reaches the client until one
+// attempt has produced a complete response.
+func (g *Gateway) attempt(ctx context.Context, b *backend, path, clientKey, contentType string, body []byte, hedge bool, results chan<- attemptOutcome) {
+	b.inflight.Add(1)
+	defer b.inflight.Add(-1)
+	t0 := time.Now()
+	fail := func(err error) {
+		canceled := ctx.Err() != nil
+		if !canceled {
+			b.failed.Add(1)
+		}
+		results <- attemptOutcome{b: b, hedge: hedge, err: err, canceled: canceled, dur: time.Since(t0)}
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, b.url+path, bytes.NewReader(body))
+	if err != nil {
+		fail(err)
+		return
+	}
+	req.Header.Set("Content-Type", contentType)
+	if clientKey != "" {
+		req.Header.Set(g.opt.ClientHeader, clientKey)
+	}
+	resp, err := g.client.Do(req)
+	if err != nil {
+		fail(err)
+		return
+	}
+	rb, err := io.ReadAll(io.LimitReader(resp.Body, maxBodyBytes))
+	resp.Body.Close()
+	if err != nil {
+		// Mid-body failure: the buffered response is discarded whole,
+		// so a retry elsewhere is still safe — the client saw nothing.
+		fail(fmt.Errorf("reading backend response: %w", err))
+		return
+	}
+	if resp.StatusCode >= 500 {
+		b.failed.Add(1)
+	}
+	results <- attemptOutcome{
+		b: b, hedge: hedge,
+		status: resp.StatusCode, header: resp.Header, body: rb,
+		dur: time.Since(t0),
+	}
+}
+
+// hedgedDo runs the attempt engine for one idempotent request: a
+// primary attempt on the routed backend, an optional hedge on a second
+// backend once the p95 delay expires, immediate failover on retryable
+// failures, and cancellation of losers the moment a winner lands.
+func (g *Gateway) hedgedDo(ctx context.Context, path, clientKey, contentType string, body []byte) attemptOutcome {
+	results := make(chan attemptOutcome, g.opt.MaxAttempts)
+	var tried []*backend
+	var cancels []context.CancelFunc
+	defer func() {
+		for _, c := range cancels {
+			c()
+		}
+	}()
+	outstanding, launched := 0, 0
+
+	launch := func(hedge bool) bool {
+		b := g.pick(clientKey, tried)
+		if b == nil {
+			return false
+		}
+		tried = append(tried, b)
+		actx, cancel := context.WithCancel(ctx)
+		cancels = append(cancels, cancel)
+		launched++
+		outstanding++
+		go g.attempt(actx, b, path, clientKey, contentType, body, hedge, results)
+		return true
+	}
+
+	// Degraded mode: an empty pool queues the request (bounded by
+	// PoolWait) rather than failing instantly — a half-open recovery
+	// or probe readmission within the window rescues it.
+	poolDeadline := time.Now().Add(g.opt.PoolWait)
+	for !launch(false) {
+		if time.Now().After(poolDeadline) {
+			return attemptOutcome{err: errNoBackends}
+		}
+		select {
+		case <-ctx.Done():
+			return attemptOutcome{err: ctx.Err()}
+		case <-time.After(10 * time.Millisecond):
+		}
+	}
+
+	var hedgeC <-chan time.Time
+	if !g.opt.DisableHedge && len(g.backends) > 1 {
+		timer := time.NewTimer(g.hedgeDelay())
+		defer timer.Stop()
+		hedgeC = timer.C
+	}
+
+	var lastFail attemptOutcome
+	for {
+		select {
+		case out := <-results:
+			outstanding--
+			if out.canceled {
+				if outstanding == 0 {
+					return lastFail
+				}
+				continue
+			}
+			if out.healthFailure() {
+				out.b.observeFailure(g.opt.FailThreshold, out.describe())
+			} else if out.err == nil {
+				out.b.observeSuccess()
+			}
+			if !out.retryable() {
+				g.met.recordLatency(out.dur)
+				if out.hedge {
+					g.met.hedgesWon.Add(1)
+				}
+				if out.status == http.StatusTooManyRequests {
+					// Honor the backend's Retry-After as a routing
+					// cooldown; the client gets the same header to
+					// pace itself.
+					if d := retryAfterDuration(out.header); d > 0 {
+						out.b.setCooldown(time.Now().Add(d))
+					}
+				}
+				return out
+			}
+			lastFail = out
+			if launched < g.opt.MaxAttempts && launch(false) {
+				g.met.retries.Add(1)
+				continue
+			}
+			if outstanding == 0 {
+				return lastFail
+			}
+		case <-hedgeC:
+			hedgeC = nil
+			if outstanding == 1 && launched < g.opt.MaxAttempts && launch(true) {
+				g.met.hedgesFired.Add(1)
+			}
+		case <-ctx.Done():
+			return attemptOutcome{err: ctx.Err()}
+		}
+	}
+}
+
+// handleInfer is the routed inference path. The request body is
+// buffered up front (it must be resendable for hedges and retries);
+// the outcome is counted at exactly one of the three exits, keeping
+// accepted = completed + failed + shed exact.
+func (g *Gateway) handleInfer(w http.ResponseWriter, r *http.Request) {
+	if g.closed.Load() {
+		writeError(w, http.StatusServiceUnavailable, "gateway closing")
+		return
+	}
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("reading request body: %v", err))
+		return
+	}
+	g.met.accepted.Add(1)
+	out := g.hedgedDo(r.Context(), r.URL.Path, r.Header.Get(g.opt.ClientHeader), r.Header.Get("Content-Type"), body)
+	switch {
+	case errors.Is(out.err, errNoBackends):
+		g.met.shed.Add(1)
+		writeRetryAfter(w, g.opt.ProbeInterval)
+		writeError(w, http.StatusServiceUnavailable, "no live backends")
+	case out.err != nil:
+		g.met.failed.Add(1)
+		if r.Context().Err() != nil {
+			// The client is gone; there is no one to write to.
+			return
+		}
+		writeError(w, http.StatusBadGateway, fmt.Sprintf("all backends failed: %v", out.err))
+	default:
+		g.met.completed.Add(1)
+		out.b.completed.Add(1)
+		copyResponse(w, out)
+	}
+}
+
+// handleModels forwards the model listing from the first backend that
+// answers.
+func (g *Gateway) handleModels(w http.ResponseWriter, r *http.Request) {
+	var tried []*backend
+	for len(tried) < len(g.backends) {
+		b := g.pick("", tried)
+		if b == nil {
+			break
+		}
+		tried = append(tried, b)
+		req, err := http.NewRequestWithContext(r.Context(), http.MethodGet, b.url+"/v1/models", nil)
+		if err != nil {
+			continue
+		}
+		resp, err := g.client.Do(req)
+		if err != nil {
+			b.observeFailure(g.opt.FailThreshold, err.Error())
+			continue
+		}
+		rb, err := io.ReadAll(io.LimitReader(resp.Body, maxBodyBytes))
+		resp.Body.Close()
+		if err != nil {
+			continue
+		}
+		copyResponse(w, attemptOutcome{status: resp.StatusCode, header: resp.Header, body: rb})
+		return
+	}
+	writeRetryAfter(w, g.opt.ProbeInterval)
+	writeError(w, http.StatusServiceUnavailable, "no live backends")
+}
+
+// BackendSwapResult is one backend's entry in a rolling-swap report.
+type BackendSwapResult struct {
+	URL    string `json:"url"`
+	Status string `json:"status"` // swapped | failed | skipped
+	Detail string `json:"detail,omitempty"`
+}
+
+// SwapReport is the response body of a fleet-wide rolling swap.
+type SwapReport struct {
+	Model    string              `json:"model"`
+	Swapped  int                 `json:"swapped"`
+	Skipped  int                 `json:"skipped"`
+	Backends []BackendSwapResult `json:"backends"`
+}
+
+// handleSwap rolls a model hot-swap across the fleet, one backend at a
+// time — each backend keeps serving its old engine until its own
+// atomic cutover, so the model stays fully available throughout.
+// Evicted backends are skipped (they re-enter with whatever they load
+// at restart; the report says so). The roll aborts on the first
+// failure: a half-updated fleet is explicit, never silent.
+func (g *Gateway) handleSwap(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("reading request body: %v", err))
+		return
+	}
+	report := SwapReport{Model: r.PathValue("name")}
+	failed := false
+	for _, b := range g.backends {
+		if failed || b.currentState() == StateEvicted {
+			status := "skipped"
+			detail := "backend evicted"
+			if failed {
+				detail = "roll aborted by earlier failure"
+			}
+			report.Backends = append(report.Backends, BackendSwapResult{URL: b.url, Status: status, Detail: detail})
+			report.Skipped++
+			continue
+		}
+		res := g.swapOne(r.Context(), b, r.URL.Path, body)
+		report.Backends = append(report.Backends, res)
+		if res.Status == "swapped" {
+			report.Swapped++
+		} else {
+			failed = true
+		}
+	}
+	if failed {
+		writeJSON(w, http.StatusBadGateway, report)
+		return
+	}
+	g.met.swaps.Add(1)
+	writeJSON(w, http.StatusOK, report)
+}
+
+// swapOne performs one backend's swap. Never hedged and never retried:
+// a swap is not idempotent from the fleet's point of view (a duplicate
+// could double-build a model mid-roll), so its failure is reported,
+// not papered over.
+func (g *Gateway) swapOne(ctx context.Context, b *backend, path string, body []byte) BackendSwapResult {
+	ctx, cancel := context.WithTimeout(ctx, g.opt.SwapTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, b.url+path, bytes.NewReader(body))
+	if err != nil {
+		return BackendSwapResult{URL: b.url, Status: "failed", Detail: err.Error()}
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := g.client.Do(req)
+	if err != nil {
+		b.observeFailure(g.opt.FailThreshold, err.Error())
+		return BackendSwapResult{URL: b.url, Status: "failed", Detail: err.Error()}
+	}
+	rb, _ := io.ReadAll(io.LimitReader(resp.Body, maxBodyBytes))
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return BackendSwapResult{URL: b.url, Status: "failed",
+			Detail: fmt.Sprintf("status %d: %s", resp.StatusCode, strings.TrimSpace(string(rb)))}
+	}
+	return BackendSwapResult{URL: b.url, Status: "swapped", Detail: strings.TrimSpace(string(rb))}
+}
+
+func (g *Gateway) handleHealth(w http.ResponseWriter, _ *http.Request) {
+	if g.closed.Load() {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "closing"})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// handleReady: the gateway is ready when it could route a request
+// right now — at least one backend is healthy or half-open.
+func (g *Gateway) handleReady(w http.ResponseWriter, _ *http.Request) {
+	if g.closed.Load() {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "closing"})
+		return
+	}
+	live := 0
+	for _, b := range g.backends {
+		if b.currentState() != StateEvicted {
+			live++
+		}
+	}
+	if live == 0 {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "no live backends"})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"status": "ready", "live_backends": live})
+}
+
+func (g *Gateway) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, g.Snapshot())
+}
+
+// ---- response plumbing ----
+
+// copyResponse forwards a buffered backend response verbatim.
+func copyResponse(w http.ResponseWriter, out attemptOutcome) {
+	for _, k := range []string{"Content-Type", "Retry-After"} {
+		if v := out.header.Get(k); v != "" {
+			w.Header().Set(k, v)
+		}
+	}
+	w.WriteHeader(out.status)
+	w.Write(out.body)
+}
+
+// retryAfterDuration parses a delay-seconds Retry-After header (the
+// only form the serve layer emits).
+func retryAfterDuration(h http.Header) time.Duration {
+	if h == nil {
+		return 0
+	}
+	secs, err := strconv.Atoi(h.Get("Retry-After"))
+	if err != nil || secs <= 0 {
+		return 0
+	}
+	return time.Duration(secs) * time.Second
+}
+
+func writeRetryAfter(w http.ResponseWriter, d time.Duration) {
+	secs := int(math.Ceil(d.Seconds()))
+	if secs < 1 {
+		secs = 1
+	}
+	w.Header().Set("Retry-After", strconv.Itoa(secs))
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, msg string) {
+	writeJSON(w, code, map[string]string{"error": msg})
+}

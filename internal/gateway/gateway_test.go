@@ -1,0 +1,583 @@
+package gateway
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// stubBackend is a controllable fake snnserve replica: it answers
+// /readyz and the infer routes, counts hits, and can be told to fail,
+// stall, or rate-limit on demand.
+type stubBackend struct {
+	ts       *httptest.Server
+	hits     atomic.Int64 // infer requests served (any status)
+	swapHits atomic.Int64
+	down     atomic.Bool  // readyz 503 + infer 503
+	delay    atomic.Int64 // infer latency, nanoseconds
+	status   atomic.Int64 // forced infer status (0 = 200 OK)
+
+	swapMu     sync.Mutex
+	swapActive int
+	swapMaxAct int
+	swapOrder  *[]string // shared across backends to record roll order
+	orderMu    *sync.Mutex
+	swapStatus int // 0 = 200
+}
+
+func newStubBackend(t *testing.T) *stubBackend {
+	t.Helper()
+	b := &stubBackend{}
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, r *http.Request) {
+		if b.down.Load() {
+			w.WriteHeader(http.StatusServiceUnavailable)
+			return
+		}
+		w.WriteHeader(http.StatusOK)
+	})
+	infer := func(w http.ResponseWriter, r *http.Request) {
+		b.hits.Add(1)
+		if d := b.delay.Load(); d > 0 {
+			time.Sleep(time.Duration(d))
+		}
+		if b.down.Load() {
+			w.WriteHeader(http.StatusServiceUnavailable)
+			return
+		}
+		if s := b.status.Load(); s != 0 {
+			if s == http.StatusTooManyRequests {
+				w.Header().Set("Retry-After", "1")
+			}
+			w.WriteHeader(int(s))
+			return
+		}
+		io.Copy(io.Discard, r.Body)
+		w.Header().Set("Content-Type", "application/json")
+		fmt.Fprintf(w, `{"pred":7,"served_by":%q}`, b.ts.URL)
+	}
+	mux.HandleFunc("POST /v1/infer", infer)
+	mux.HandleFunc("POST /v1/models/{name}/infer", infer)
+	mux.HandleFunc("POST /v1/models/{name}/swap", func(w http.ResponseWriter, r *http.Request) {
+		b.swapHits.Add(1)
+		b.swapMu.Lock()
+		b.swapActive++
+		if b.swapActive > b.swapMaxAct {
+			b.swapMaxAct = b.swapActive
+		}
+		status := b.swapStatus
+		b.swapMu.Unlock()
+		if b.orderMu != nil {
+			b.orderMu.Lock()
+			*b.swapOrder = append(*b.swapOrder, b.ts.URL)
+			b.orderMu.Unlock()
+		}
+		time.Sleep(5 * time.Millisecond) // would overlap if the roll were parallel
+		b.swapMu.Lock()
+		b.swapActive--
+		b.swapMu.Unlock()
+		if status != 0 {
+			http.Error(w, "swap refused", status)
+			return
+		}
+		fmt.Fprintf(w, `{"model":%q,"swaps":1}`, r.PathValue("name"))
+	})
+	mux.HandleFunc("GET /v1/models", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintf(w, `{"default":"main","models":[]}`)
+	})
+	b.ts = httptest.NewServer(mux)
+	t.Cleanup(b.ts.Close)
+	return b
+}
+
+// newTestGateway builds a gateway over the given stub backends with
+// fast probes, returning it and its HTTP server.
+func newTestGateway(t *testing.T, opt Options, backends ...*stubBackend) (*Gateway, *httptest.Server) {
+	t.Helper()
+	for _, b := range backends {
+		opt.Backends = append(opt.Backends, b.ts.URL)
+	}
+	if opt.ProbeInterval == 0 {
+		opt.ProbeInterval = 20 * time.Millisecond
+	}
+	if opt.ProbeTimeout == 0 {
+		opt.ProbeTimeout = 250 * time.Millisecond
+	}
+	g, err := New(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(g.Close)
+	ts := httptest.NewServer(g.Handler())
+	t.Cleanup(ts.Close)
+	return g, ts
+}
+
+func doInfer(t *testing.T, url, clientID string) (*http.Response, []byte) {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodPost, url+"/v1/models/main/infer",
+		bytes.NewReader([]byte(`{"input":[1,2,3,4]}`)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	if clientID != "" {
+		req.Header.Set("X-Client-ID", clientID)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	buf.ReadFrom(resp.Body)
+	resp.Body.Close()
+	return resp, buf.Bytes()
+}
+
+// waitFor polls cond until it holds or the deadline passes.
+func waitFor(t *testing.T, d time.Duration, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(d)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// The health state machine in isolation: threshold-gated eviction from
+// Healthy, instant re-eviction from Probing, promotion on success.
+func TestBackendStateMachine(t *testing.T) {
+	b := &backend{url: "http://x"}
+	if b.currentState() != StateHealthy {
+		t.Fatal("backends must start healthy")
+	}
+	b.observeFailure(3, "e1")
+	b.observeFailure(3, "e2")
+	if b.currentState() != StateHealthy {
+		t.Fatal("evicted below threshold")
+	}
+	b.observeSuccess()
+	b.observeFailure(3, "e1")
+	b.observeFailure(3, "e2")
+	if b.currentState() != StateHealthy {
+		t.Fatal("success did not reset the failure streak")
+	}
+	b.observeFailure(3, "e3")
+	if b.currentState() != StateEvicted {
+		t.Fatal("not evicted at threshold")
+	}
+	if b.evictions.Load() != 1 {
+		t.Fatalf("evictions = %d, want 1", b.evictions.Load())
+	}
+	b.evict()
+	if b.evictions.Load() != 1 {
+		t.Fatal("double-counted an already-evicted backend")
+	}
+
+	// Half-open trial: one failure sends it straight back.
+	b.state.Store(int32(StateProbing))
+	b.observeFailure(3, "e4")
+	if b.currentState() != StateEvicted {
+		t.Fatal("probing backend survived a failed trial")
+	}
+	b.state.Store(int32(StateProbing))
+	b.observeSuccess()
+	if b.currentState() != StateHealthy {
+		t.Fatal("probing backend not promoted on success")
+	}
+}
+
+// Requests carrying a client ID must pin to one backend; distinct
+// clients must not all pin to the same one (rendezvous spreads them).
+func TestGatewayClientAffinity(t *testing.T) {
+	b1, b2, b3 := newStubBackend(t), newStubBackend(t), newStubBackend(t)
+	_, ts := newTestGateway(t, Options{DisableHedge: true}, b1, b2, b3)
+
+	for i := 0; i < 12; i++ {
+		resp, raw := doInfer(t, ts.URL, "alice")
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("status %d: %s", resp.StatusCode, raw)
+		}
+	}
+	nonZero := 0
+	for _, b := range []*stubBackend{b1, b2, b3} {
+		if b.hits.Load() > 0 {
+			nonZero++
+			if b.hits.Load() != 12 {
+				t.Fatalf("affinity split: backend got %d of 12", b.hits.Load())
+			}
+		}
+	}
+	if nonZero != 1 {
+		t.Fatalf("alice landed on %d backends, want 1", nonZero)
+	}
+
+	// Many distinct clients spread across more than one backend.
+	for i := 0; i < 30; i++ {
+		doInfer(t, ts.URL, fmt.Sprintf("client-%d", i))
+	}
+	spread := 0
+	for _, b := range []*stubBackend{b1, b2, b3} {
+		if b.hits.Load() > 0 {
+			spread++
+		}
+	}
+	if spread < 2 {
+		t.Fatalf("30 clients all hashed to %d backend(s)", spread)
+	}
+}
+
+// Anonymous traffic routes by load: with two backends artificially
+// busy, everything goes to the idle one.
+func TestGatewayLeastLoaded(t *testing.T) {
+	b1, b2, b3 := newStubBackend(t), newStubBackend(t), newStubBackend(t)
+	g, ts := newTestGateway(t, Options{DisableHedge: true}, b1, b2, b3)
+
+	g.backends[0].inflight.Add(5)
+	g.backends[1].inflight.Add(3)
+	defer g.backends[0].inflight.Add(-5)
+	defer g.backends[1].inflight.Add(-3)
+	for i := 0; i < 8; i++ {
+		resp, raw := doInfer(t, ts.URL, "")
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("status %d: %s", resp.StatusCode, raw)
+		}
+	}
+	if got := b3.hits.Load(); got != 8 {
+		t.Fatalf("idle backend served %d of 8", got)
+	}
+}
+
+// A dying backend is evicted (within a few probe intervals), traffic
+// flows on, and after it recovers the probe ladder readmits it.
+func TestGatewayEvictAndRecover(t *testing.T) {
+	b1, b2 := newStubBackend(t), newStubBackend(t)
+	g, ts := newTestGateway(t, Options{DisableHedge: true}, b1, b2)
+
+	b1.down.Store(true)
+	waitFor(t, 3*time.Second, "eviction", func() bool {
+		return g.backends[0].currentState() == StateEvicted
+	})
+	if g.Snapshot().EvictionsTotal < 1 {
+		t.Fatal("eviction not counted")
+	}
+
+	// Traffic flows to the survivor, zero client-visible failures.
+	for i := 0; i < 5; i++ {
+		resp, raw := doInfer(t, ts.URL, "")
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("status %d with one backend down: %s", resp.StatusCode, raw)
+		}
+	}
+
+	b1.down.Store(false)
+	waitFor(t, 5*time.Second, "readmission", func() bool {
+		return g.backends[0].currentState() == StateHealthy
+	})
+	s := g.Snapshot()
+	if s.LiveBackends != 2 {
+		t.Fatalf("live backends = %d after recovery, want 2", s.LiveBackends)
+	}
+}
+
+// A straggling primary is hedged: the fast second attempt answers well
+// before the slow backend would have, and the hedge is accounted.
+func TestGatewayHedging(t *testing.T) {
+	slow, fast := newStubBackend(t), newStubBackend(t)
+	slow.delay.Store(int64(300 * time.Millisecond))
+	// slow is first: equal in-flight makes it the least-loaded pick.
+	g, ts := newTestGateway(t, Options{HedgeDelay: 10 * time.Millisecond}, slow, fast)
+
+	t0 := time.Now()
+	resp, raw := doInfer(t, ts.URL, "")
+	took := time.Since(t0)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, raw)
+	}
+	if !bytes.Contains(raw, []byte(fast.ts.URL)) {
+		t.Fatalf("response not from the fast backend: %s", raw)
+	}
+	if took >= 300*time.Millisecond {
+		t.Fatalf("hedge did not beat the slow backend (%v)", took)
+	}
+	s := g.Snapshot()
+	if s.HedgesFired != 1 || s.HedgesWon != 1 {
+		t.Fatalf("hedges fired=%d won=%d, want 1/1", s.HedgesFired, s.HedgesWon)
+	}
+	if s.Completed != 1 || s.Failed != 0 {
+		t.Fatalf("completed=%d failed=%d, want 1/0", s.Completed, s.Failed)
+	}
+}
+
+// A backend answering 503 is retried on another backend — the client
+// sees 200 and the failure feeds the first backend's health.
+func TestGatewayRetryOn503(t *testing.T) {
+	bad, good := newStubBackend(t), newStubBackend(t)
+	bad.down.Store(true)
+	g, ts := newTestGateway(t, Options{DisableHedge: true, ProbeInterval: time.Hour}, bad, good)
+
+	resp, raw := doInfer(t, ts.URL, "")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, raw)
+	}
+	s := g.Snapshot()
+	if s.Retries < 1 {
+		t.Fatal("failover not counted as a retry")
+	}
+	if g.backends[0].consecFails.Load() < 1 && g.backends[0].currentState() == StateHealthy {
+		t.Fatal("503 not observed against the backend's health")
+	}
+}
+
+// A backend whose listener is gone (connection refused) is retried the
+// same way.
+func TestGatewayRetryOnConnRefused(t *testing.T) {
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadURL := "http://" + l.Addr().String()
+	l.Close()
+
+	good := newStubBackend(t)
+	opt := Options{DisableHedge: true, ProbeInterval: time.Hour,
+		Backends: []string{deadURL, good.ts.URL}}
+	g, err := New(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g.Close()
+	ts := httptest.NewServer(g.Handler())
+	defer ts.Close()
+
+	resp, raw := doInfer(t, ts.URL, "")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, raw)
+	}
+	if good.hits.Load() != 1 {
+		t.Fatalf("good backend hits = %d, want 1", good.hits.Load())
+	}
+}
+
+// With every backend evicted the gateway degrades, never hangs: a
+// bounded wait, then 503 with Retry-After, counted as shed.
+func TestGatewayEmptyPoolSheds(t *testing.T) {
+	b := newStubBackend(t)
+	g, ts := newTestGateway(t, Options{
+		DisableHedge: true,
+		PoolWait:     50 * time.Millisecond,
+	}, b)
+	b.down.Store(true)
+	waitFor(t, 3*time.Second, "eviction", func() bool {
+		return g.backends[0].currentState() == StateEvicted
+	})
+
+	t0 := time.Now()
+	resp, _ := doInfer(t, ts.URL, "")
+	took := time.Since(t0)
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("status %d with empty pool, want 503", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("503 without Retry-After")
+	}
+	if took > 2*time.Second {
+		t.Fatalf("degraded request took %v — the wait must be bounded", took)
+	}
+	s := g.Snapshot()
+	if s.Shed != 1 {
+		t.Fatalf("shed = %d, want 1", s.Shed)
+	}
+	if s.Accepted != s.Completed+s.Failed+s.Shed {
+		t.Fatalf("identity broken: %d != %d+%d+%d", s.Accepted, s.Completed, s.Failed, s.Shed)
+	}
+}
+
+// 429 is a final answer, forwarded with its Retry-After — and it puts
+// the backend on routing cooldown so the next anonymous request goes
+// elsewhere.
+func TestGateway429CooldownAndForwarding(t *testing.T) {
+	limited, open := newStubBackend(t), newStubBackend(t)
+	limited.status.Store(http.StatusTooManyRequests)
+	g, ts := newTestGateway(t, Options{DisableHedge: true, ProbeInterval: time.Hour}, limited, open)
+
+	resp, _ := doInfer(t, ts.URL, "")
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("status %d, want the backend's 429 forwarded", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") != "1" {
+		t.Fatalf("Retry-After %q not forwarded", resp.Header.Get("Retry-After"))
+	}
+	if g.backends[0].currentState() != StateHealthy {
+		t.Fatal("429 must not count against health")
+	}
+	if !g.backends[0].cooling(time.Now()) {
+		t.Fatal("429 did not set a routing cooldown")
+	}
+	resp, _ = doInfer(t, ts.URL, "")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("request during cooldown: status %d, want 200 via the open backend", resp.StatusCode)
+	}
+	if open.hits.Load() != 1 {
+		t.Fatalf("open backend hits = %d, want 1 (cooldown not honored)", open.hits.Load())
+	}
+}
+
+// The fleet accounting identity holds across a mixed workload of
+// successes, forwarded errors, and hard failures.
+func TestGatewayAccountingIdentity(t *testing.T) {
+	b1, b2 := newStubBackend(t), newStubBackend(t)
+	g, ts := newTestGateway(t, Options{DisableHedge: true, MaxAttempts: 2}, b1, b2)
+
+	var wg sync.WaitGroup
+	for c := 0; c < 4; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 25; i++ {
+				doInfer(t, ts.URL, fmt.Sprintf("c%d", i%3))
+			}
+		}()
+	}
+	wg.Wait()
+	b1.status.Store(http.StatusInternalServerError)
+	b2.status.Store(http.StatusInternalServerError)
+	for i := 0; i < 5; i++ {
+		doInfer(t, ts.URL, "") // forwarded 500s still count completed
+	}
+	s := g.Snapshot()
+	if s.Accepted != 105 {
+		t.Fatalf("accepted = %d, want 105", s.Accepted)
+	}
+	if s.Accepted != s.Completed+s.Failed+s.Shed {
+		t.Fatalf("identity broken: accepted %d != completed %d + failed %d + shed %d",
+			s.Accepted, s.Completed, s.Failed, s.Shed)
+	}
+}
+
+// A fleet swap rolls strictly one backend at a time, in order, and the
+// report says who swapped.
+func TestGatewayRollingSwap(t *testing.T) {
+	b1, b2, b3 := newStubBackend(t), newStubBackend(t), newStubBackend(t)
+	var order []string
+	var orderMu sync.Mutex
+	for _, b := range []*stubBackend{b1, b2, b3} {
+		b.swapOrder, b.orderMu = &order, &orderMu
+	}
+	g, ts := newTestGateway(t, Options{}, b1, b2, b3)
+
+	resp, err := http.Post(ts.URL+"/v1/models/main/swap", "application/json",
+		bytes.NewReader([]byte(`{"source":"mnist/tiny"}`)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var report SwapReport
+	if err := json.NewDecoder(resp.Body).Decode(&report); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("swap status %d: %+v", resp.StatusCode, report)
+	}
+	if report.Swapped != 3 || report.Skipped != 0 {
+		t.Fatalf("swapped=%d skipped=%d, want 3/0", report.Swapped, report.Skipped)
+	}
+	want := []string{b1.ts.URL, b2.ts.URL, b3.ts.URL}
+	orderMu.Lock()
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("roll order %v, want %v", order, want)
+		}
+	}
+	orderMu.Unlock()
+	for _, b := range []*stubBackend{b1, b2, b3} {
+		b.swapMu.Lock()
+		if b.swapMaxAct > 1 {
+			t.Fatal("swap calls overlapped — the roll must be sequential")
+		}
+		b.swapMu.Unlock()
+	}
+	if g.Snapshot().Swaps != 1 {
+		t.Fatalf("fleet swaps = %d, want 1", g.Snapshot().Swaps)
+	}
+}
+
+// A failing backend aborts the roll: later backends are skipped and
+// the report (with status 502) says exactly what happened.
+func TestGatewayRollingSwapAbortsOnFailure(t *testing.T) {
+	b1, b2, b3 := newStubBackend(t), newStubBackend(t), newStubBackend(t)
+	b2.swapMu.Lock()
+	b2.swapStatus = http.StatusConflict
+	b2.swapMu.Unlock()
+	_, ts := newTestGateway(t, Options{}, b1, b2, b3)
+
+	resp, err := http.Post(ts.URL+"/v1/models/main/swap", "application/json",
+		bytes.NewReader([]byte(`{"source":"mnist/tiny"}`)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var report SwapReport
+	json.NewDecoder(resp.Body).Decode(&report)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadGateway {
+		t.Fatalf("aborted swap status %d, want 502", resp.StatusCode)
+	}
+	if report.Swapped != 1 || report.Skipped != 1 {
+		t.Fatalf("swapped=%d skipped=%d, want 1 swapped (b1), 1 skipped (b3)", report.Swapped, report.Skipped)
+	}
+	if b3.swapHits.Load() != 0 {
+		t.Fatal("backend after the failure was still contacted")
+	}
+}
+
+// Gateway readiness mirrors the pool: ready with live backends, 503
+// when everything is evicted, 503 when closing.
+func TestGatewayReadiness(t *testing.T) {
+	b := newStubBackend(t)
+	g, ts := newTestGateway(t, Options{}, b)
+
+	resp, err := http.Get(ts.URL + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("readyz = %d with a live backend", resp.StatusCode)
+	}
+
+	b.down.Store(true)
+	waitFor(t, 3*time.Second, "eviction", func() bool {
+		return g.backends[0].currentState() == StateEvicted
+	})
+	resp, err = http.Get(ts.URL + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("readyz = %d with the pool empty, want 503", resp.StatusCode)
+	}
+}
+
+// Options validation: no backends, bad URLs, duplicates.
+func TestGatewayNewValidation(t *testing.T) {
+	if _, err := New(Options{}); err == nil {
+		t.Fatal("accepted an empty backend list")
+	}
+	if _, err := New(Options{Backends: []string{"localhost:8080"}}); err == nil {
+		t.Fatal("accepted a schemeless backend URL")
+	}
+	if _, err := New(Options{Backends: []string{"http://a", "http://a/"}}); err == nil {
+		t.Fatal("accepted duplicate backends")
+	}
+}

@@ -53,6 +53,10 @@ func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/infer", s.handleInfer)
 	mux.HandleFunc("/healthz", s.handleHealth)
+	// A bare Server is ready as soon as it exists (warmup is the
+	// owner's synchronous call); the route exists so probes written
+	// against the Registry contract work here too.
+	mux.HandleFunc("/readyz", s.handleHealth)
 	mux.HandleFunc("/metrics", s.handleMetrics)
 	return mux
 }
@@ -113,6 +117,16 @@ func (s *Server) inferTimeout(timeoutMs int) time.Duration {
 // response. Admission (rate limiting, deadline shedding) is the
 // caller's job — the Registry does it before calling in.
 func serveInfer(w http.ResponseWriter, r *http.Request, srv *Server, req InferRequest) {
+	if err := serveInferSwappable(w, r, srv, req); err != nil {
+		writeInferError(w, err)
+	}
+}
+
+// serveInferSwappable runs one decoded request through srv and writes
+// the response — except for ErrClosed, which is returned unwritten so
+// the registry's model path can chase a hot-swap cutover onto the
+// replacement server instead of failing the client.
+func serveInferSwappable(w http.ResponseWriter, r *http.Request, srv *Server, req InferRequest) error {
 	sample, label := -1, -1
 	if req.Sample != nil {
 		sample = *req.Sample
@@ -131,8 +145,11 @@ func serveInfer(w http.ResponseWriter, r *http.Request, srv *Server, req InferRe
 	start := time.Now()
 	pred, err := srv.Infer(ctx, req.Input, sample, label)
 	if err != nil {
+		if errors.Is(err, ErrClosed) {
+			return err
+		}
 		writeInferError(w, err)
-		return
+		return nil
 	}
 	writeJSON(w, http.StatusOK, InferResponse{
 		Pred:         pred.Pred,
@@ -140,6 +157,7 @@ func serveInfer(w http.ResponseWriter, r *http.Request, srv *Server, req InferRe
 		TotalSpikes:  pred.TotalSpikes,
 		WallMs:       float64(time.Since(start)) / float64(time.Millisecond),
 	})
+	return nil
 }
 
 func writeInferError(w http.ResponseWriter, err error) {

@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"errors"
 	"fmt"
 	"net"
 	"net/http"
@@ -31,6 +32,11 @@ type RegistryOptions struct {
 	// occupy a queue slot — it would expire before any batch could
 	// serve it, so enqueueing it only steals capacity from live work.
 	DisableShedding bool
+	// BuildEngine, when set, enables the POST /v1/models/{name}/swap
+	// admin endpoint: it turns a SwapRequest into a ready-to-serve
+	// Engine (loading or training happens here, outside any lock). Nil
+	// leaves the endpoint answering 501.
+	BuildEngine func(model string, req SwapRequest) (Engine, error)
 }
 
 // Registry hosts several named models in one HTTP process, each with
@@ -38,10 +44,12 @@ type RegistryOptions struct {
 // admission layer:
 //
 //	POST /v1/models/{name}/infer — infer against one model
+//	POST /v1/models/{name}/swap  — atomically replace the model's engine
 //	POST /v1/infer               — back-compat route to the default model
 //	GET  /v1/models              — list hosted models
 //	GET  /metrics                — per-model snapshots nested in one doc
-//	GET  /healthz                — 200 while serving, 503 once Close started
+//	GET  /healthz                — liveness: 200 until Close starts
+//	GET  /readyz                 — readiness: 200 only once warm (SetReady)
 //
 // Create with NewRegistry, attach models with Add, serve Handler, stop
 // with Close (drains every model).
@@ -51,6 +59,11 @@ type Registry struct {
 	start   time.Time
 
 	rateLimited atomic.Uint64
+	// ready gates /readyz only: it flips true when warmup finishes
+	// (Warm, or SetReady for callers that warm by hand), so a routing
+	// tier never sends traffic to a cold process. Inference itself is
+	// not gated — a direct client may accept cold-start latency.
+	ready atomic.Bool
 
 	mu          sync.RWMutex
 	models      map[string]*registryModel
@@ -61,8 +74,47 @@ type Registry struct {
 
 type registryModel struct {
 	name string
-	srv  *Server
+	// srv is the model's live server. Swap replaces it atomically;
+	// request handlers load it exactly once per request, so every
+	// request runs wholly against one engine — never a half-swapped
+	// view.
+	srv  atomic.Pointer[Server]
 	shed atomic.Uint64 // deadline-headroom 429s for this model
+
+	// swapMu serializes Swap calls for this model (cutovers are rare;
+	// overlapping ones would race the retired-counter fold).
+	swapMu sync.Mutex
+	swaps  atomic.Uint64
+
+	// retired accumulates the final counters of servers drained by
+	// Swap, so per-model accounting (and its identity, accepted =
+	// completed + expired + failed) survives any number of cutovers.
+	retiredMu sync.Mutex
+	retired   retiredCounters
+}
+
+// retiredCounters are the scalar Snapshot counters that must survive a
+// hot-swap; window-based statistics (latency percentiles, batch
+// histogram) intentionally restart with the new engine.
+type retiredCounters struct {
+	accepted, rejected, expired, failed, completed uint64
+	totalSpikes                                    uint64
+}
+
+func (m *registryModel) server() *Server { return m.srv.Load() }
+
+// retire folds a drained server's final counters into the model's
+// running totals. Call only after that server's Close returned: every
+// request is settled then, so the fold moves a self-consistent set.
+func (m *registryModel) retire(s Snapshot) {
+	m.retiredMu.Lock()
+	m.retired.accepted += s.Accepted
+	m.retired.rejected += s.Rejected
+	m.retired.expired += s.Expired
+	m.retired.failed += s.Failed
+	m.retired.completed += s.Completed
+	m.retired.totalSpikes += s.TotalSpikes
+	m.retiredMu.Unlock()
 }
 
 // NewRegistry creates an empty registry. Add at least one model before
@@ -102,7 +154,9 @@ func (g *Registry) Add(name string, eng Engine, opt Options) (*Server, error) {
 		return nil, fmt.Errorf("serve: model %q already registered", name)
 	}
 	srv := New(eng, opt)
-	g.models[name] = &registryModel{name: name, srv: srv}
+	m := &registryModel{name: name}
+	m.srv.Store(srv)
+	g.models[name] = m
 	g.order = append(g.order, name)
 	if g.defaultName == "" {
 		g.defaultName = name
@@ -127,7 +181,7 @@ func (g *Registry) Get(name string) *Server {
 	g.mu.RLock()
 	defer g.mu.RUnlock()
 	if m, ok := g.models[name]; ok {
-		return m.srv
+		return m.server()
 	}
 	return nil
 }
@@ -141,14 +195,25 @@ func (g *Registry) Names() []string {
 
 // Warm runs one zero-sample batch through every model's engine, off
 // the books: scatter plans get built and scratch arenas sized before
-// the first user request pays for them.
+// the first user request pays for them. When every model is warm the
+// registry reports ready on /readyz.
 func (g *Registry) Warm() {
 	for _, name := range g.Names() {
 		if srv := g.Get(name); srv != nil {
 			srv.Warm()
 		}
 	}
+	g.SetReady(true)
 }
+
+// SetReady flips the /readyz answer. Callers that warm models by hand
+// (or want to take the process out of a routing pool without closing
+// it) drive this directly; Warm sets it as its last step.
+func (g *Registry) SetReady(v bool) { g.ready.Store(v) }
+
+// Ready reports whether the registry is warmed up and accepting
+// traffic — the /readyz contract a routing tier probes.
+func (g *Registry) Ready() bool { return g.ready.Load() && !g.Closed() }
 
 // Close drains every model (each Server finishes its queued work) and
 // marks the registry closed. Safe to call more than once.
@@ -161,7 +226,7 @@ func (g *Registry) Close() {
 	}
 	g.mu.Unlock()
 	for _, m := range models {
-		m.srv.Close()
+		m.server().Close()
 	}
 }
 
@@ -176,9 +241,11 @@ func (g *Registry) Closed() bool {
 func (g *Registry) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/models/{name}/infer", g.handleModelInfer)
+	mux.HandleFunc("POST /v1/models/{name}/swap", g.handleSwap)
 	mux.HandleFunc("GET /v1/models", g.handleList)
 	mux.HandleFunc("/v1/infer", g.handleDefaultInfer)
 	mux.HandleFunc("/healthz", g.handleHealth)
+	mux.HandleFunc("/readyz", g.handleReady)
 	mux.HandleFunc("/metrics", g.handleMetrics)
 	return mux
 }
@@ -214,6 +281,7 @@ func (g *Registry) handleDefaultInfer(w http.ResponseWriter, r *http.Request) {
 // rate limit, then body decode, then deadline-headroom shedding, then
 // the model's own queue.
 func (g *Registry) serveModel(w http.ResponseWriter, r *http.Request, m *registryModel) {
+	srv := m.server()
 	if g.limiter != nil {
 		if ok, retry := g.limiter.allow(g.clientKey(r)); !ok {
 			g.rateLimited.Add(1)
@@ -222,7 +290,7 @@ func (g *Registry) serveModel(w http.ResponseWriter, r *http.Request, m *registr
 			return
 		}
 	}
-	req, ok := decodeInferRequest(w, r, m.srv)
+	req, ok := decodeInferRequest(w, r, srv)
 	if !ok {
 		return
 	}
@@ -232,8 +300,8 @@ func (g *Registry) serveModel(w http.ResponseWriter, r *http.Request, m *registr
 	// and a batch seat that live requests need. Requests without a
 	// deadline (possible only when MaxTimeout is unset) always pass.
 	if !g.opt.DisableShedding {
-		if timeout := m.srv.inferTimeout(req.TimeoutMs); timeout > 0 {
-			if p99 := m.srv.Metrics().BatchLatencyP99(); p99 > 0 && timeout < p99 {
+		if timeout := srv.inferTimeout(req.TimeoutMs); timeout > 0 {
+			if p99 := srv.Metrics().BatchLatencyP99(); p99 > 0 && timeout < p99 {
 				m.shed.Add(1)
 				writeRetryAfter(w, p99)
 				writeError(w, http.StatusTooManyRequests,
@@ -243,7 +311,23 @@ func (g *Registry) serveModel(w http.ResponseWriter, r *http.Request, m *registr
 			}
 		}
 	}
-	serveInfer(w, r, m.srv, req)
+	// A request can land on a server in the instant Swap retires it:
+	// the queue is already closed but the model is alive on its
+	// replacement. Chasing the pointer once makes the cutover invisible
+	// to clients; a second ErrClosed means the registry really is
+	// shutting down and 503 is the honest answer.
+	for {
+		err := serveInferSwappable(w, r, srv, req)
+		if !errors.Is(err, ErrClosed) {
+			return
+		}
+		if cur := m.server(); cur != srv {
+			srv = cur
+			continue
+		}
+		writeInferError(w, err)
+		return
+	}
 }
 
 // clientKey identifies the client for rate limiting: the configured
@@ -279,14 +363,14 @@ func (g *Registry) handleList(w http.ResponseWriter, _ *http.Request) {
 	g.mu.RLock()
 	list := ModelList{Default: g.defaultName}
 	for _, name := range g.order {
-		m := g.models[name]
+		srv := g.models[name].server()
 		list.Models = append(list.Models, ModelInfo{
 			Name:     name,
 			Default:  name == g.defaultName,
-			InputLen: m.srv.eng.InLen(),
-			Classes:  m.srv.eng.Classes(),
-			MaxBatch: m.srv.opt.MaxBatch,
-			Closed:   m.srv.Closed(),
+			InputLen: srv.eng.InLen(),
+			Classes:  srv.eng.Classes(),
+			MaxBatch: srv.opt.MaxBatch,
+			Closed:   srv.Closed(),
 		})
 	}
 	g.mu.RUnlock()
@@ -294,12 +378,16 @@ func (g *Registry) handleList(w http.ResponseWriter, _ *http.Request) {
 }
 
 // ModelSnapshot nests one model's serving metrics plus the admission
-// decisions made on its behalf.
+// decisions made on its behalf. Counters span every engine the model
+// has run (retired servers' totals are folded in at swap time); the
+// latency windows and batch histogram describe the current engine.
 type ModelSnapshot struct {
 	Snapshot
 	// DeadlineShed counts requests rejected before enqueue because
 	// their deadline was below the model's rolling p99 batch latency.
 	DeadlineShed uint64 `json:"deadline_shed"`
+	// Swaps counts completed hot-swaps of this model's engine.
+	Swaps uint64 `json:"swaps"`
 }
 
 // RegistrySnapshot is the GET /metrics response body: one document,
@@ -330,9 +418,23 @@ func (g *Registry) Snapshot() RegistrySnapshot {
 	g.mu.RUnlock()
 	sort.Slice(models, func(i, j int) bool { return models[i].name < models[j].name })
 	for _, m := range models {
+		s := m.server().Metrics().Snapshot()
+		m.retiredMu.Lock()
+		r := m.retired
+		m.retiredMu.Unlock()
+		s.Accepted += r.accepted
+		s.Rejected += r.rejected
+		s.Expired += r.expired
+		s.Failed += r.failed
+		s.Completed += r.completed
+		s.TotalSpikes += r.totalSpikes
+		if s.Completed > 0 {
+			s.SpikesPerSample = float64(s.TotalSpikes) / float64(s.Completed)
+		}
 		snap.Models[m.name] = ModelSnapshot{
-			Snapshot:     m.srv.Metrics().Snapshot(),
+			Snapshot:     s,
 			DeadlineShed: m.shed.Load(),
+			Swaps:        m.swaps.Load(),
 		}
 	}
 	return snap
@@ -348,4 +450,18 @@ func (g *Registry) handleHealth(w http.ResponseWriter, _ *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// handleReady is the routing-tier probe: liveness (/healthz) says the
+// process is up, readiness says it is warm enough to take traffic
+// without serving cold-start latency.
+func (g *Registry) handleReady(w http.ResponseWriter, _ *http.Request) {
+	switch {
+	case g.Closed():
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "closing"})
+	case !g.ready.Load():
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "warming"})
+	default:
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})
+	}
 }

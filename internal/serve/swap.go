@@ -1,0 +1,188 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"math/rand"
+	"net/http"
+	"time"
+)
+
+// SwapRequest is the POST /v1/models/{name}/swap body: which engine to
+// build as the model's replacement, and how carefully to vet it.
+type SwapRequest struct {
+	// Source is a .t2f model path or dataset/scale spec, interpreted by
+	// the RegistryOptions.BuildEngine hook.
+	Source string `json:"source"`
+	// Scheme selects the serving engine (ttfs|rate|phase|burst); empty
+	// leaves it to the builder's default.
+	Scheme string `json:"scheme,omitempty"`
+	// Steps is the simulation horizon for non-ttfs schemes (0 =
+	// builder default).
+	Steps int `json:"steps,omitempty"`
+	// GoldenCheck requires the candidate engine to produce results
+	// bit-identical to the serving engine on a deterministic probe set
+	// before cutover — the guard for same-model swaps (config reloads,
+	// recalibrated-but-equal models, fleet rollouts of an identical
+	// artifact). Leave false when the swap intends to change behavior.
+	GoldenCheck bool `json:"golden_check,omitempty"`
+}
+
+// SwapResponse is the swap endpoint's success body.
+type SwapResponse struct {
+	Model string `json:"model"`
+	// Swaps is the model's cutover count including this one.
+	Swaps uint64 `json:"swaps"`
+	// WarmMs is how long the candidate took to build, warm, and check
+	// before the atomic cutover.
+	WarmMs        float64 `json:"warm_ms"`
+	GoldenChecked bool    `json:"golden_checked"`
+}
+
+// Swap replaces the named model's engine with eng, with zero downtime:
+// the candidate server is started and warmed while the old one keeps
+// serving, the pointer cutover is atomic (every request sees wholly
+// the old or wholly the new engine), and the old server is drained
+// afterwards — its queued requests complete on the old engine and its
+// final counters fold into the model's running totals so the
+// accounting identity holds across the cutover.
+//
+// The replacement must preserve the model's request contract (input
+// length and class count); golden additionally requires bit-identical
+// results on a deterministic probe batch.
+func (g *Registry) Swap(name string, eng Engine, golden bool) error {
+	g.mu.RLock()
+	m := g.models[name]
+	g.mu.RUnlock()
+	if m == nil {
+		return fmt.Errorf("serve: unknown model %q", name)
+	}
+	m.swapMu.Lock()
+	defer m.swapMu.Unlock()
+
+	old := m.server()
+	if eng.InLen() != old.eng.InLen() || eng.Classes() != old.eng.Classes() {
+		return fmt.Errorf("serve: swap shape mismatch: candidate %d in/%d classes, serving %d/%d",
+			eng.InLen(), eng.Classes(), old.eng.InLen(), old.eng.Classes())
+	}
+	next := New(eng, old.Options())
+	next.Warm()
+	if golden {
+		if err := goldenCompare(old.eng, eng); err != nil {
+			next.Close()
+			return fmt.Errorf("serve: golden check failed, old engine kept: %w", err)
+		}
+	}
+
+	// Cutover under the registry lock so Swap and Close cannot cross:
+	// either Close sees the new server (and will drain it), or Swap
+	// sees the closed registry and backs out.
+	g.mu.Lock()
+	if g.closed {
+		g.mu.Unlock()
+		next.Close()
+		return ErrClosed
+	}
+	m.srv.Store(next)
+	g.mu.Unlock()
+	m.swaps.Add(1)
+
+	// Drain the retired server: requests that raced the cutover finish
+	// on the engine they were queued for, and only then — fully
+	// settled — do its counters move into the model's totals.
+	old.Close()
+	m.retire(old.Metrics().Snapshot())
+	return nil
+}
+
+// goldenProbes is how many deterministic inputs the golden check runs
+// through both engines.
+const goldenProbes = 8
+
+// goldenCompare runs a fixed pseudo-random probe batch through both
+// engines (no fault injection: sample index -1) and requires exactly
+// equal predictions, latencies, spike counts, and output potentials.
+func goldenCompare(serving, candidate Engine) error {
+	rng := rand.New(rand.NewSource(0x12f5))
+	inputs := make([][]float64, goldenProbes)
+	samples := make([]int, goldenProbes)
+	for i := range inputs {
+		in := make([]float64, serving.InLen())
+		for j := range in {
+			in[j] = rng.Float64()
+		}
+		inputs[i] = in
+		samples[i] = -1
+	}
+	want := serving.InferBatch(inputs, samples)
+	got := candidate.InferBatch(inputs, samples)
+	if len(got) != len(want) {
+		return fmt.Errorf("probe batch: %d results, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i].Pred != want[i].Pred || got[i].Latency != want[i].Latency ||
+			got[i].TotalSpikes != want[i].TotalSpikes {
+			return fmt.Errorf("probe %d: candidate (pred %d, latency %d, spikes %d) != serving (%d, %d, %d)",
+				i, got[i].Pred, got[i].Latency, got[i].TotalSpikes,
+				want[i].Pred, want[i].Latency, want[i].TotalSpikes)
+		}
+		if len(got[i].Potentials) != len(want[i].Potentials) {
+			return fmt.Errorf("probe %d: %d potentials, want %d", i, len(got[i].Potentials), len(want[i].Potentials))
+		}
+		for j := range want[i].Potentials {
+			a, b := got[i].Potentials[j], want[i].Potentials[j]
+			if a != b && !(math.IsNaN(a) && math.IsNaN(b)) {
+				return fmt.Errorf("probe %d: potential[%d] %v != %v", i, j, a, b)
+			}
+		}
+	}
+	return nil
+}
+
+func (g *Registry) handleSwap(w http.ResponseWriter, r *http.Request) {
+	if g.opt.BuildEngine == nil {
+		writeError(w, http.StatusNotImplemented, "model swapping is not enabled on this server")
+		return
+	}
+	name := r.PathValue("name")
+	if g.Get(name) == nil {
+		writeError(w, http.StatusNotFound, fmt.Sprintf("unknown model %q", name))
+		return
+	}
+	var req SwapRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("bad request body: %v", err))
+		return
+	}
+	if dec.More() {
+		writeError(w, http.StatusBadRequest, "trailing data after JSON body")
+		return
+	}
+	if req.Source == "" {
+		writeError(w, http.StatusBadRequest, "missing source")
+		return
+	}
+	t0 := time.Now()
+	eng, err := g.opt.BuildEngine(name, req)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("building engine: %v", err))
+		return
+	}
+	if err := g.Swap(name, eng, req.GoldenCheck); err != nil {
+		code := http.StatusConflict
+		if err == ErrClosed {
+			code = http.StatusServiceUnavailable
+		}
+		writeError(w, code, err.Error())
+		return
+	}
+	m := g.lookup(name)
+	writeJSON(w, http.StatusOK, SwapResponse{
+		Model:         name,
+		Swaps:         m.swaps.Load(),
+		WarmMs:        float64(time.Since(t0)) / float64(time.Millisecond),
+		GoldenChecked: req.GoldenCheck,
+	})
+}

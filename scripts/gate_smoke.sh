@@ -1,0 +1,157 @@
+#!/usr/bin/env bash
+# gate_smoke.sh — chaos smoke test of the routing gateway: build
+# snnserve + snngate + snnload, start two replica backends behind a
+# gateway, and prove the robustness story end to end:
+#
+#   leg 1 (baseline)  — load through the gateway is error-free, its
+#                       accuracy matches a direct-to-backend run, and
+#                       /metrics shows both backends healthy.
+#   leg 2 (chaos)     — kill -9 one backend mid-load: the client still
+#                       sees zero errors and zero failed requests, the
+#                       gateway evicts the corpse, and after a restart
+#                       the probe ladder readmits it.
+#   leg 3 (hot-swap)  — roll a golden-checked model swap across the
+#                       fleet while load is running: the swap succeeds,
+#                       the load stays error-free, and post-swap
+#                       accuracy is unchanged.
+#
+# Finally both backends and the gateway must drain cleanly on SIGTERM.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+GPORT="${GATE_PORT:-18200}"
+B1_PORT=$((GPORT + 1))
+B2_PORT=$((GPORT + 2))
+BIN="$(mktemp -d)"
+B1=""; B2=""; GW=""
+cleanup() {
+    for p in "$B1" "$B2" "$GW"; do
+        [ -n "$p" ] && kill "$p" 2>/dev/null || true
+    done
+    rm -rf "$BIN"
+}
+trap cleanup EXIT
+
+go build -o "$BIN/" ./cmd/snnserve ./cmd/snngate ./cmd/snnload
+
+start_backend() { # start_backend <port>; pid in $BACKEND_PID
+    "$BIN/snnserve" -addr "127.0.0.1:$1" -cache models -batch 16 \
+        -model main=mnist/tiny >>"$BIN/backend_$1.log" 2>&1 &
+    BACKEND_PID=$!
+}
+
+start_backend "$B1_PORT"; B1="$BACKEND_PID"
+start_backend "$B2_PORT"; B2="$BACKEND_PID"
+
+"$BIN/snngate" -addr "127.0.0.1:$GPORT" \
+    -backend "http://127.0.0.1:$B1_PORT" -backend "http://127.0.0.1:$B2_PORT" \
+    -probe-interval 250ms -fail-threshold 3 -hedge-delay 25ms 2>>"$BIN/gate.log" &
+GW=$!
+
+GATE="http://127.0.0.1:$GPORT"
+METRICS() { curl -sf "$GATE/metrics"; }
+healthy_count() { METRICS | grep -o '"state":"healthy"' | wc -l | tr -d ' '; }
+
+# wait_healthy <n> <what>: poll until n backends are healthy.
+wait_healthy() {
+    local want="$1" what="$2" i
+    for i in $(seq 1 240); do
+        [ "$(healthy_count || echo 0)" = "$want" ] && return 0
+        sleep 0.25
+    done
+    echo "gate-smoke: FAIL ($what: healthy backends never reached $want)"
+    METRICS || true
+    exit 1
+}
+
+# result_field <result-line> <key>
+result_field() { echo "$1" | sed "s/.* $2=\([0-9.]*\).*/\1/"; }
+
+# assert_clean <result-line> <tag>: zero errors, zero failed requests.
+assert_clean() {
+    echo "$1" | grep -q ' err=0 '    || { echo "gate-smoke: FAIL ($2: request errors)"; exit 1; }
+    echo "$1" | grep -q ' failed=0 ' || { echo "gate-smoke: FAIL ($2: failed requests)"; exit 1; }
+}
+
+# --- leg 1: baseline through the gateway, accuracy vs direct ---------
+wait_healthy 2 baseline
+
+DIRECT="$("$BIN/snnload" -addr "http://127.0.0.1:$B1_PORT" -model main -dataset mnist -n 120 -c 8)"
+DIRECT_RESULT="$(echo "$DIRECT" | grep '^RESULT ')"
+assert_clean "$DIRECT_RESULT" direct
+BASE_ACC="$(result_field "$DIRECT_RESULT" acc)"
+
+LOAD="$("$BIN/snnload" -addr "$GATE" -model main -dataset mnist -n 120 -c 8)"
+echo "$LOAD"
+RESULT="$(echo "$LOAD" | grep '^RESULT ')"
+assert_clean "$RESULT" baseline
+GATE_ACC="$(result_field "$RESULT" acc)"
+[ "$GATE_ACC" = "$BASE_ACC" ] || { echo "gate-smoke: FAIL (baseline: gateway acc $GATE_ACC != direct acc $BASE_ACC)"; exit 1; }
+
+# --- leg 2: kill a backend mid-load, zero client-visible failures ----
+"$BIN/snnload" -addr "$GATE" -model main -dataset mnist -n 600 -c 8 > "$BIN/chaos_load.txt" 2>&1 &
+CHAOS=$!
+sleep 0.6
+kill -9 "$B2" 2>/dev/null || true
+wait "$B2" 2>/dev/null || true
+B2=""
+if ! wait "$CHAOS"; then
+    cat "$BIN/chaos_load.txt"
+    echo "gate-smoke: FAIL (chaos: load saw client-visible failures after backend kill)"
+    exit 1
+fi
+CHAOS_RESULT="$(grep '^RESULT ' "$BIN/chaos_load.txt")"
+echo "$CHAOS_RESULT"
+assert_clean "$CHAOS_RESULT" chaos
+
+# The corpse must be evicted (the probe loop notices within its
+# interval even without traffic) and counted.
+EVICTED=0
+for i in $(seq 1 40); do
+    if METRICS | grep -q '"state":"evicted"'; then EVICTED=1; break; fi
+    sleep 0.25
+done
+[ "$EVICTED" = 1 ] || { echo "gate-smoke: FAIL (chaos: dead backend never evicted)"; METRICS; exit 1; }
+EV_TOTAL="$(METRICS | sed 's/.*"evictions_total":\([0-9]*\).*/\1/')"
+[ -n "$EV_TOTAL" ] && [ "$EV_TOTAL" -ge 1 ] || { echo "gate-smoke: FAIL (chaos: evictions_total=$EV_TOTAL)"; exit 1; }
+
+# Restart the backend: the probe ladder must readmit it.
+start_backend "$B2_PORT"; B2="$BACKEND_PID"
+wait_healthy 2 readmission
+
+# --- leg 3: golden-checked rolling hot-swap under load ---------------
+"$BIN/snnload" -addr "$GATE" -model main -dataset mnist -n 300 -c 8 > "$BIN/swap_load.txt" 2>&1 &
+SWAP_LOAD=$!
+sleep 0.3
+SWAP="$(curl -sf -X POST "$GATE/v1/models/main/swap" \
+    -H 'Content-Type: application/json' \
+    -d '{"source":"mnist/tiny","golden_check":true}')" \
+    || { echo "gate-smoke: FAIL (swap: request failed)"; cat "$BIN/gate.log"; exit 1; }
+echo "$SWAP"
+echo "$SWAP" | grep -q '"swapped":2' || { echo "gate-smoke: FAIL (swap: not every backend swapped: $SWAP)"; exit 1; }
+if ! wait "$SWAP_LOAD"; then
+    cat "$BIN/swap_load.txt"
+    echo "gate-smoke: FAIL (swap: load errored during the roll)"
+    exit 1
+fi
+SWAP_RESULT="$(grep '^RESULT ' "$BIN/swap_load.txt")"
+echo "$SWAP_RESULT"
+assert_clean "$SWAP_RESULT" swap-load
+
+POST="$("$BIN/snnload" -addr "$GATE" -model main -dataset mnist -n 120 -c 8)"
+POST_RESULT="$(echo "$POST" | grep '^RESULT ')"
+assert_clean "$POST_RESULT" post-swap
+POST_ACC="$(result_field "$POST_RESULT" acc)"
+[ "$POST_ACC" = "$BASE_ACC" ] || { echo "gate-smoke: FAIL (swap: post-swap acc $POST_ACC != baseline $BASE_ACC)"; exit 1; }
+
+# --- clean drain -----------------------------------------------------
+for p in "$GW" "$B1" "$B2"; do
+    kill -TERM "$p"
+    if ! wait "$p"; then
+        echo "gate-smoke: FAIL (drain: pid $p exited non-zero on SIGTERM)"
+        exit 1
+    fi
+done
+GW=""; B1=""; B2=""
+
+echo "gate-smoke: ok (baseline acc $BASE_ACC; chaos leg survived kill -9 with 0 failures, $EV_TOTAL eviction(s); hot-swap under load kept acc $POST_ACC)"
