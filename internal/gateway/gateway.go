@@ -473,12 +473,18 @@ func (g *Gateway) attempt(ctx context.Context, b *backend, path, clientKey, cont
 		fail(err)
 		return
 	}
-	rb, err := io.ReadAll(io.LimitReader(resp.Body, maxBodyBytes))
+	rb, err := io.ReadAll(io.LimitReader(resp.Body, maxBodyBytes+1))
 	resp.Body.Close()
 	if err != nil {
 		// Mid-body failure: the buffered response is discarded whole,
 		// so a retry elsewhere is still safe — the client saw nothing.
 		fail(fmt.Errorf("reading backend response: %w", err))
+		return
+	}
+	if len(rb) > maxBodyBytes {
+		// An over-limit body must not be truncated and forwarded as if
+		// complete; fail the attempt (retryable on another backend).
+		fail(fmt.Errorf("backend response exceeds %d bytes", maxBodyBytes))
 		return
 	}
 	if resp.StatusCode >= 500 {
@@ -489,6 +495,23 @@ func (g *Gateway) attempt(ctx context.Context, b *backend, path, clientKey, cont
 		status: resp.StatusCode, header: resp.Header, body: rb,
 		dur: time.Since(t0),
 	}
+}
+
+// canceledOutcome is the exit for a request whose last outstanding
+// attempt came back canceled. The select in hedgedDo can drain queued
+// canceled results ahead of the ctx.Done() case (both are ready once
+// the client disconnects, and select picks among ready cases
+// arbitrarily), so this path must never surface the zero-value
+// lastFail of a request that saw no real failure — handleInfer would
+// read it as a success and dereference its nil backend.
+func canceledOutcome(ctx context.Context, lastFail attemptOutcome) attemptOutcome {
+	if lastFail.err == nil && lastFail.b == nil {
+		if err := ctx.Err(); err != nil {
+			return attemptOutcome{err: err}
+		}
+		return attemptOutcome{err: context.Canceled}
+	}
+	return lastFail
 }
 
 // hedgedDo runs the attempt engine for one idempotent request: a
@@ -549,7 +572,7 @@ func (g *Gateway) hedgedDo(ctx context.Context, path, clientKey, contentType str
 			outstanding--
 			if out.canceled {
 				if outstanding == 0 {
-					return lastFail
+					return canceledOutcome(ctx, lastFail)
 				}
 				continue
 			}
@@ -559,7 +582,14 @@ func (g *Gateway) hedgedDo(ctx context.Context, path, clientKey, contentType str
 				out.b.observeSuccess()
 			}
 			if !out.retryable() {
-				g.met.recordLatency(out.dur)
+				if out.status >= 200 && out.status < 300 {
+					// Only successes feed the hedge-delay p95: a burst
+					// of fast 429s would otherwise drag the window
+					// toward zero and fire hedges on every request,
+					// amplifying load exactly when the fleet is
+					// admission-limited.
+					g.met.recordLatency(out.dur)
+				}
 				if out.hedge {
 					g.met.hedgesWon.Add(1)
 				}

@@ -2,6 +2,7 @@ package gateway
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -579,5 +580,131 @@ func TestGatewayNewValidation(t *testing.T) {
 	}
 	if _, err := New(Options{Backends: []string{"http://a", "http://a/"}}); err == nil {
 		t.Fatal("accepted duplicate backends")
+	}
+}
+
+// The canceled-drain exit must synthesize an error when the request
+// saw only canceled attempts (zero-value lastFail) and pass a real
+// last failure through untouched. This decision is extracted into
+// canceledOutcome precisely because the select race that reaches it
+// (queued canceled results drained ahead of ctx.Done()) needs a
+// μs-scale scheduling coincidence no external test can force.
+func TestCanceledOutcome(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if out := canceledOutcome(ctx, attemptOutcome{}); out.err == nil {
+		t.Fatal("zero-value lastFail surfaced as a success")
+	} else if out.err != context.Canceled {
+		t.Fatalf("err = %v, want context.Canceled", out.err)
+	}
+	// Defense in depth: even called with a live context (impossible
+	// today — attempts only come back canceled once ctx is done), the
+	// outcome must carry an error.
+	if out := canceledOutcome(context.Background(), attemptOutcome{}); out.err == nil {
+		t.Fatal("zero-value lastFail surfaced as a success under a live context")
+	}
+	// A real prior failure is the better answer for the client and
+	// must pass through unchanged.
+	b := &backend{url: "http://x"}
+	fail := attemptOutcome{b: b, err: fmt.Errorf("boom")}
+	if out := canceledOutcome(ctx, fail); out.b != b || out.err == nil {
+		t.Fatalf("real failure not passed through: %+v", out)
+	}
+	notRetried := attemptOutcome{b: b, status: http.StatusBadRequest}
+	if out := canceledOutcome(ctx, notRetried); out.b != b {
+		t.Fatalf("buffered response not passed through: %+v", out)
+	}
+}
+
+// End-to-end pressure on the same path: client disconnects with a
+// hedge in flight must never yield a zero-value outcome (and -race
+// covers the bookkeeping).
+func TestGatewayClientCancelNeverZeroOutcome(t *testing.T) {
+	a, b := newStubBackend(t), newStubBackend(t)
+	a.delay.Store(int64(200 * time.Millisecond))
+	b.delay.Store(int64(200 * time.Millisecond))
+	g, _ := newTestGateway(t, Options{HedgeDelay: 2 * time.Millisecond}, a, b)
+
+	body := []byte(`{"input":[1,2,3,4]}`)
+	for i := 0; i < 25; i++ {
+		ctx, cancel := context.WithCancel(context.Background())
+		go func() {
+			// Cancel once the primary and (usually) the hedge are in
+			// flight, so two canceled results race ctx.Done().
+			time.Sleep(time.Duration(4+i%8) * time.Millisecond)
+			cancel()
+		}()
+		out := g.hedgedDo(ctx, "/v1/infer", "", "application/json", body)
+		cancel()
+		if out.err == nil && out.b == nil {
+			t.Fatal("hedgedDo returned a zero-value outcome for a canceled request")
+		}
+	}
+}
+
+// A backend response larger than maxBodyBytes must not be truncated and
+// forwarded as if complete: the attempt fails and another backend
+// serves the request.
+func TestGatewayOversizeResponseFailsOver(t *testing.T) {
+	huge := make([]byte, maxBodyBytes+1)
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, r *http.Request) {})
+	over := func(w http.ResponseWriter, r *http.Request) { w.Write(huge) }
+	mux.HandleFunc("POST /v1/infer", over)
+	mux.HandleFunc("POST /v1/models/{name}/infer", over)
+	oversize := httptest.NewServer(mux)
+	t.Cleanup(oversize.Close)
+
+	good := newStubBackend(t)
+	// oversize is first: equal in-flight makes it the first pick.
+	opt := Options{DisableHedge: true, ProbeInterval: time.Hour,
+		Backends: []string{oversize.URL, good.ts.URL}}
+	g, err := New(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g.Close()
+	ts := httptest.NewServer(g.Handler())
+	defer ts.Close()
+
+	resp, raw := doInfer(t, ts.URL, "")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %.80s", resp.StatusCode, raw)
+	}
+	if !bytes.Contains(raw, []byte(good.ts.URL)) {
+		t.Fatalf("response not served by the good backend: %.80s", raw)
+	}
+	if len(raw) > maxBodyBytes {
+		t.Fatalf("client received %d bytes — the truncated body leaked", len(raw))
+	}
+}
+
+// Only 2xx outcomes feed the hedge-delay p95: a burst of fast 429s
+// must not drag the window toward zero and fire hedges on every
+// request while the fleet is admission-limited.
+func TestGatewayHedgeP95IgnoresNon2xx(t *testing.T) {
+	b := newStubBackend(t)
+	g, ts := newTestGateway(t, Options{DisableHedge: true, ProbeInterval: time.Hour}, b)
+
+	latCt := func() int {
+		g.met.mu.Lock()
+		defer g.met.mu.Unlock()
+		return g.met.latCt
+	}
+	resp, _ := doInfer(t, ts.URL, "")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d, want 200", resp.StatusCode)
+	}
+	if latCt() != 1 {
+		t.Fatalf("latency window holds %d samples after a 200, want 1", latCt())
+	}
+
+	b.status.Store(http.StatusTooManyRequests)
+	resp, _ = doInfer(t, ts.URL, "")
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("status %d, want 429 forwarded", resp.StatusCode)
+	}
+	if latCt() != 1 {
+		t.Fatalf("latency window holds %d samples after a 429, want still 1", latCt())
 	}
 }

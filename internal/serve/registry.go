@@ -89,8 +89,14 @@ type registryModel struct {
 	// retired accumulates the final counters of servers drained by
 	// Swap, so per-model accounting (and its identity, accepted =
 	// completed + expired + failed) survives any number of cutovers.
+	// draining is the server a Swap has cut away but not yet drained:
+	// Snapshot keeps counting it until retire folds its final totals,
+	// so metrics never go backwards mid-drain. Both fields share
+	// retiredMu — a server is always visible as exactly one of live,
+	// draining, or retired, never zero or two.
 	retiredMu sync.Mutex
 	retired   retiredCounters
+	draining  *Server
 }
 
 // retiredCounters are the scalar Snapshot counters that must survive a
@@ -104,8 +110,10 @@ type retiredCounters struct {
 func (m *registryModel) server() *Server { return m.srv.Load() }
 
 // retire folds a drained server's final counters into the model's
-// running totals. Call only after that server's Close returned: every
-// request is settled then, so the fold moves a self-consistent set.
+// running totals and clears the draining slot in one critical
+// section, so no Snapshot can count the server twice or miss it.
+// Call only after that server's Close returned: every request is
+// settled then, so the fold moves a self-consistent set.
 func (m *registryModel) retire(s Snapshot) {
 	m.retiredMu.Lock()
 	m.retired.accepted += s.Accepted
@@ -114,6 +122,7 @@ func (m *registryModel) retire(s Snapshot) {
 	m.retired.failed += s.Failed
 	m.retired.completed += s.Completed
 	m.retired.totalSpikes += s.TotalSpikes
+	m.draining = nil
 	m.retiredMu.Unlock()
 }
 
@@ -418,8 +427,21 @@ func (g *Registry) Snapshot() RegistrySnapshot {
 	g.mu.RUnlock()
 	sort.Slice(models, func(i, j int) bool { return models[i].name < models[j].name })
 	for _, m := range models {
-		s := m.server().Metrics().Snapshot()
+		// Live, draining, and retired are read in one critical section
+		// (mirroring Swap's cutover and retire), so a scrape landing in
+		// a drain window counts the retiring server exactly once and
+		// per-model counters never go backwards.
 		m.retiredMu.Lock()
+		s := m.server().Metrics().Snapshot()
+		if d := m.draining; d != nil {
+			ds := d.Metrics().Snapshot()
+			s.Accepted += ds.Accepted
+			s.Rejected += ds.Rejected
+			s.Expired += ds.Expired
+			s.Failed += ds.Failed
+			s.Completed += ds.Completed
+			s.TotalSpikes += ds.TotalSpikes
+		}
 		r := m.retired
 		m.retiredMu.Unlock()
 		s.Accepted += r.accepted

@@ -77,14 +77,20 @@ func (g *Registry) Swap(name string, eng Engine, golden bool) error {
 
 	// Cutover under the registry lock so Swap and Close cannot cross:
 	// either Close sees the new server (and will drain it), or Swap
-	// sees the closed registry and backs out.
+	// sees the closed registry and backs out. The pointer store and
+	// the draining handoff share one retiredMu critical section so a
+	// concurrent Snapshot sees the old server as exactly one of live
+	// or draining — per-model counters never dip during the drain.
 	g.mu.Lock()
 	if g.closed {
 		g.mu.Unlock()
 		next.Close()
 		return ErrClosed
 	}
+	m.retiredMu.Lock()
+	m.draining = old
 	m.srv.Store(next)
+	m.retiredMu.Unlock()
 	g.mu.Unlock()
 	m.swaps.Add(1)
 

@@ -371,3 +371,61 @@ func TestRegistryReadiness(t *testing.T) {
 		t.Fatal("Ready() true after Close")
 	}
 }
+
+// A /metrics scrape landing in a swap's drain window — after the
+// cutover, before the old server's counters fold into the retired
+// totals — must still count the retiring server: per-model counters
+// never go backwards and requests in flight on the old engine stay
+// visible as accepted.
+func TestRegistrySnapshotCountsDrainingServer(t *testing.T) {
+	old := newStubEngine()
+	old.enter = make(chan struct{}, 4)
+	old.release = make(chan struct{}, 4)
+	g := NewRegistry(RegistryOptions{})
+	if _, err := g.Add("m", old, Options{MaxBatch: 4, MaxWait: time.Millisecond}); err != nil {
+		t.Fatal(err)
+	}
+	defer g.Close()
+
+	// Park one request inside the old engine's InferBatch.
+	inferDone := make(chan error, 1)
+	go func() {
+		_, err := g.Get("m").Infer(context.Background(), input(1), -1, -1)
+		inferDone <- err
+	}()
+	<-old.enter
+
+	// Cut over while that request is still in flight; the swap's drain
+	// blocks on the gated batch, holding the drain window open.
+	swapDone := make(chan error, 1)
+	go func() { swapDone <- g.Swap("m", newStubEngine(), false) }()
+	deadline := time.Now().Add(3 * time.Second)
+	for g.Snapshot().Models["m"].Swaps != 1 {
+		if time.Now().After(deadline) {
+			t.Fatal("timed out waiting for the cutover")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// Mid-drain scrape: the old server is neither live nor retired yet,
+	// but its accepted request must still be counted.
+	if got := g.Snapshot().Models["m"].Accepted; got != 1 {
+		t.Fatalf("accepted = %d during the drain window, want 1", got)
+	}
+
+	old.release <- struct{}{}
+	if err := <-inferDone; err != nil {
+		t.Fatalf("infer on the draining server: %v", err)
+	}
+	if err := <-swapDone; err != nil {
+		t.Fatalf("swap: %v", err)
+	}
+	snap := g.Snapshot().Models["m"]
+	if snap.Accepted != 1 || snap.Completed != 1 {
+		t.Fatalf("after drain: accepted %d completed %d, want 1/1", snap.Accepted, snap.Completed)
+	}
+	if snap.Accepted != snap.Completed+snap.Expired+snap.Failed {
+		t.Fatalf("identity broken: accepted %d != completed %d + expired %d + failed %d",
+			snap.Accepted, snap.Completed, snap.Expired, snap.Failed)
+	}
+}
