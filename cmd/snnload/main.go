@@ -10,7 +10,7 @@
 //
 // The final line is machine-readable:
 //
-//	RESULT ok=500 err=0 failed=0 rejected=0 shed=0 expired=0 retry_after=0 wall_s=1.23 throughput=406.5 p50_ms=18.2 p99_ms=44.0 acc=0.96
+//	RESULT ok=500 err=0 failed=0 rejected=0 shed=0 expired=0 retry_after=0 wall_s=1.23 throughput=406.5 p50_ms=18.2 p99_ms=44.0 acc=0.96 early_exit=0 events_saved=0
 //
 // so scripts (make serve-smoke, make gate-smoke) can assert on it.
 // Rejected requests (429 backpressure or admission control) are
@@ -56,6 +56,7 @@ func main() {
 	seed := flag.Uint64("seed", 99, "dataset generator seed")
 	samples := flag.Int("samples", 64, "distinct samples to cycle through")
 	timeoutMs := flag.Int("timeout-ms", 0, "per-request server-side deadline (0 = none)")
+	mode := flag.String("mode", "", "per-request serving mode sent to the server: latency|throughput (empty = server default)")
 	retries := flag.Int("retries", 8, "max retries on 429 rejections")
 	tolerateShed := flag.Bool("tolerate-shed", false, "count exhausted 429s and server-side deadline misses as shed/expired instead of errors")
 	tolerateFail := flag.Bool("tolerate-fail", false, "exit zero even when some requests exhausted their transport-error retries (failed > 0)")
@@ -63,6 +64,12 @@ func main() {
 	warmup := flag.Duration("warmup", 60*time.Second, "how long to wait for the server to report healthy")
 	flag.Parse()
 
+	switch *mode {
+	case "", serve.ModeLatency, serve.ModeThroughput:
+	default:
+		fmt.Fprintf(os.Stderr, "snnload: unknown mode %q (want %s or %s)\n", *mode, serve.ModeLatency, serve.ModeThroughput)
+		os.Exit(1)
+	}
 	if err := waitHealthy(*addr, *warmup); err != nil {
 		fmt.Fprintf(os.Stderr, "snnload: %v\n", err)
 		os.Exit(1)
@@ -98,6 +105,7 @@ func main() {
 			Input:     eval.X.Data[i*sampleLen : (i+1)*sampleLen],
 			Label:     &eval.Labels[i],
 			TimeoutMs: *timeoutMs,
+			Mode:      *mode,
 		}
 		if *faults {
 			idx := i
@@ -115,6 +123,7 @@ func main() {
 		okCt, errCt, rejectCt, correctCt atomic.Int64
 		failedCt                         atomic.Int64
 		shedCt, expiredCt, retryAfterCt  atomic.Int64
+		earlyExitCt, eventsSavedCt       atomic.Int64
 		mu                               sync.Mutex
 		lats                             []time.Duration
 	)
@@ -143,6 +152,10 @@ func main() {
 					if resp.Pred == eval.Labels[si] {
 						correctCt.Add(1)
 					}
+					if resp.EarlyExit {
+						earlyExitCt.Add(1)
+					}
+					eventsSavedCt.Add(int64(resp.EventsSaved))
 					mu.Lock()
 					lats = append(lats, time.Since(t0))
 					mu.Unlock()
@@ -192,11 +205,13 @@ func main() {
 	fmt.Printf("  throughput %.1f samples/s, latency p50 %.1fms p90 %.1fms p99 %.1fms, accuracy %.3f\n",
 		throughput, pct(0.50), pct(0.90), pct(0.99), acc)
 	if snap, err := fetchMetrics(client, *addr, *model); err == nil {
-		fmt.Printf("  server: mean batch %.2f, completed %d, rejected %d, spikes/sample %.0f, parallel chunks %d\n",
-			snap.MeanBatchSize, snap.Completed, snap.Rejected, snap.SpikesPerSample, snap.ParallelChunks)
+		fmt.Printf("  server: mean batch %.2f, completed %d, rejected %d, spikes/sample %.0f, parallel chunks %d, early exit %d (events saved %d), latency path %d\n",
+			snap.MeanBatchSize, snap.Completed, snap.Rejected, snap.SpikesPerSample, snap.ParallelChunks,
+			snap.EarlyExitTotal, snap.EventsSaved, snap.LatencyPathTotal)
 	}
-	fmt.Printf("RESULT ok=%d err=%d failed=%d rejected=%d shed=%d expired=%d retry_after=%d wall_s=%.3f throughput=%.1f p50_ms=%.1f p99_ms=%.1f acc=%.3f\n",
-		ok, errs, failed, rejected, shed, expired, retryAfterCt.Load(), wall.Seconds(), throughput, pct(0.50), pct(0.99), acc)
+	fmt.Printf("RESULT ok=%d err=%d failed=%d rejected=%d shed=%d expired=%d retry_after=%d wall_s=%.3f throughput=%.1f p50_ms=%.1f p99_ms=%.1f acc=%.3f early_exit=%d events_saved=%d\n",
+		ok, errs, failed, rejected, shed, expired, retryAfterCt.Load(), wall.Seconds(), throughput, pct(0.50), pct(0.99), acc,
+		earlyExitCt.Load(), eventsSavedCt.Load())
 	if errs > 0 {
 		os.Exit(1)
 	}

@@ -22,6 +22,14 @@
 //	snnserve -dataset mnist -scale tiny -cache models -addr :8080
 //	snnserve -dataset mnist -scale tiny -scheme rate -steps 100
 //
+// -engine event serves ttfs models on the event-driven engine with
+// early exit: single-sample requests bypass the batch queue (the
+// "latency" serving mode, pick it per request with "mode":"latency" or
+// server-wide with -mode latency) and stop integrating the output
+// window as soon as the winner is provably undominated. Predictions are
+// identical to the clocked engine's; latency_steps may shrink and the
+// response carries early_exit/events_saved.
+//
 // Admission control sits in front of every model: -rate/-burst run a
 // per-client token bucket (keyed by -client-header, falling back to
 // remote address), and deadline-headroom shedding (disable with
@@ -61,7 +69,7 @@ import (
 type modelSpec struct {
 	name   string
 	source string // .t2f path or dataset/scale
-	scheme string // ttfs|rate|phase|burst
+	scheme string // ttfs|event|rate|phase|burst
 	steps  int    // simulation horizon for non-ttfs schemes
 }
 
@@ -75,8 +83,10 @@ func main() {
 	ds := flag.String("dataset", "mnist", "build the default model for this synthetic dataset when no -model is given: mnist|cifar10|cifar100")
 	scale := flag.String("scale", "tiny", "dataset scale: tiny|small|full")
 	cache := flag.String("cache", "models", "weight cache directory for dataset builds")
-	scheme := flag.String("scheme", "ttfs", "default serving engine: ttfs|rate|phase|burst")
+	scheme := flag.String("scheme", "ttfs", "default serving engine: ttfs|event|rate|phase|burst")
 	steps := flag.Int("steps", 100, "default simulation horizon for non-ttfs schemes")
+	engine := flag.String("engine", "clock", "execution engine for ttfs models: clock (batched reference) or event (event-driven with early exit — the latency-mode engine)")
+	mode := flag.String("mode", "", "default serving mode: latency (direct single-sample path)|throughput (micro-batching queue); empty routes automatically per request")
 	ef := flag.Bool("ef", true, "early firing (ttfs engine)")
 	useGO := flag.Bool("go", false, "apply gradient-based kernel optimization at startup (slower start, better accuracy; dataset builds only)")
 
@@ -104,6 +114,26 @@ func main() {
 	specs, err := parseModelSpecs(modelFlags, *ds, *scale, *scheme, *steps)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "snnserve: %v\n", err)
+		os.Exit(1)
+	}
+	switch *engine {
+	case "clock":
+	case "event":
+		// -engine event upgrades every ttfs model to the event-driven
+		// engine; explicitly event/rate/phase/burst specs are untouched.
+		for i := range specs {
+			if specs[i].scheme == "ttfs" {
+				specs[i].scheme = "event"
+			}
+		}
+	default:
+		fmt.Fprintf(os.Stderr, "snnserve: unknown engine %q (want clock or event)\n", *engine)
+		os.Exit(1)
+	}
+	switch *mode {
+	case "", serve.ModeLatency, serve.ModeThroughput:
+	default:
+		fmt.Fprintf(os.Stderr, "snnserve: unknown mode %q (want %s or %s)\n", *mode, serve.ModeLatency, serve.ModeThroughput)
 		os.Exit(1)
 	}
 
@@ -139,7 +169,7 @@ func main() {
 				spec.scheme = "ttfs"
 			}
 			switch spec.scheme {
-			case "ttfs", "rate", "phase", "burst":
+			case "ttfs", "event", "rate", "phase", "burst":
 			default:
 				return nil, fmt.Errorf("unknown scheme %q", spec.scheme)
 			}
@@ -171,6 +201,7 @@ func main() {
 		Workers:        *workers,
 		DefaultTimeout: *timeout,
 		MaxTimeout:     *maxTimeout,
+		DefaultMode:    *mode,
 	}
 	var descs []string
 	var warmups []func()
@@ -330,7 +361,7 @@ func parseModelSpec(v, defScheme string, defSteps int) (modelSpec, error) {
 		return spec, fmt.Errorf("too many fields in %q (want name=source[:scheme[:steps]])", v)
 	}
 	switch spec.scheme {
-	case "ttfs", "rate", "phase", "burst":
+	case "ttfs", "event", "rate", "phase", "burst":
 	default:
 		return spec, fmt.Errorf("unknown scheme %q in %q", spec.scheme, v)
 	}
@@ -371,7 +402,13 @@ func buildEngine(c engineConfig) (serve.Engine, string, error) {
 		if err != nil {
 			return nil, "", err
 		}
-		if c.spec.scheme != "ttfs" {
+		switch c.spec.scheme {
+		case "ttfs":
+		case "event":
+			run := core.RunConfig{EarlyFire: c.ef, EarlyExit: true}
+			return &serve.EventEngine{Model: m, Run: run, Faults: inj},
+				fmt.Sprintf("t2fsnn-event %s (T=%d, early exit)", c.spec.source, m.T), nil
+		default:
 			sch, err := schemeFor(c.spec.scheme)
 			if err != nil {
 				return nil, "", err
@@ -401,7 +438,7 @@ func buildEngine(c engineConfig) (serve.Engine, string, error) {
 		return nil, "", err
 	}
 
-	if c.spec.scheme != "ttfs" {
+	if c.spec.scheme != "ttfs" && c.spec.scheme != "event" {
 		sch, err := schemeFor(c.spec.scheme)
 		if err != nil {
 			return nil, "", err
@@ -426,6 +463,11 @@ func buildEngine(c engineConfig) (serve.Engine, string, error) {
 	}
 	if c.ef {
 		name += "+EF"
+	}
+	if c.spec.scheme == "event" {
+		run.EarlyExit = true
+		return &serve.EventEngine{Model: m, Run: run, Faults: inj},
+			fmt.Sprintf("%s-event over %s (T=%d, early exit, DNN acc %.3f)", name, c.spec.source, m.T, s.DNNAcc), nil
 	}
 	return &serve.TTFSEngine{Model: m, Run: run, Faults: inj},
 		fmt.Sprintf("%s over %s (T=%d, DNN acc %.3f)", name, c.spec.source, m.T, s.DNNAcc), nil

@@ -37,6 +37,13 @@ type RunOpts struct {
 	// sustained caller allocates nothing per Run; nil falls back to a
 	// fresh single-use scratch. See Scratch for the aliasing contract.
 	Scratch *Scratch
+	// EarlyExit lets the scheme stop integrating its output window once
+	// the predicted class is provably settled (core's undominated-winner
+	// rule). Only the TTFS adapter's event engine implements it; the
+	// rate/phase/burst baselines integrate their full horizon by
+	// construction and ignore the flag, as does any run that collects a
+	// timeline. The prediction is unchanged either way.
+	EarlyExit bool
 }
 
 // Scheme simulates one input (flattened [C,H,W], values in [0,1])

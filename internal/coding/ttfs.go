@@ -23,7 +23,9 @@ func (t TTFS) Name() string {
 	return "T2FSNN"
 }
 
-// Run implements Scheme.
+// Run implements Scheme. With opts.EarlyExit it routes the sample down
+// the event engine so the output window can stop at the undominated
+// winner; otherwise it runs the clocked reference engine.
 func (t TTFS) Run(net *snn.Net, input []float64, opts RunOpts) snn.SimResult {
 	cfg := t.Run_
 	cfg.CollectTimeline = opts.CollectTimeline
@@ -32,7 +34,12 @@ func (t TTFS) Run(net *snn.Net, input []float64, opts RunOpts) snn.SimResult {
 	if opts.Scratch != nil {
 		sc = opts.Scratch.CoreScratch(t.Model)
 	}
-	r := t.Model.InferWith(sc, input, cfg)
+	io := core.InferOpts{Scratch: sc}
+	if opts.EarlyExit {
+		cfg.EarlyExit = true
+		io.Engine = core.EngineEvent
+	}
+	r := t.Model.InferOne(input, cfg, io)
 	out := snn.SimResult{
 		Pred:           r.Pred,
 		Steps:          r.Latency,

@@ -34,8 +34,10 @@ const maxChunk = 64
 // faults must be nil (no injection) or hold one per-sample stream entry
 // (nil entries inject nothing); cfg.Faults must be nil — the batch
 // variant takes per-sample streams explicitly.
+//
+// Deprecated: use InferMany with InferOpts{Faults: faults}.
 func (m *Model) InferBatch(inputs [][]float64, cfg RunConfig, faults []*fault.Stream) []Result {
-	return m.InferBatchWith(nil, inputs, cfg, faults)
+	return m.InferMany(inputs, cfg, InferOpts{Faults: faults})
 }
 
 // InferBatchWith is InferBatch against an explicit scratch arena: the
@@ -44,13 +46,16 @@ func (m *Model) InferBatch(inputs [][]float64, cfg RunConfig, faults []*fault.St
 // nothing (see InferScratch for the aliasing contract — results are
 // valid until the next call reusing sc). A nil sc falls back to a fresh
 // single-use scratch, making it exactly InferBatch.
+//
+// Deprecated: use InferMany with InferOpts{Scratch: sc, Faults: faults}.
 func (m *Model) InferBatchWith(sc *InferScratch, inputs [][]float64, cfg RunConfig, faults []*fault.Stream) []Result {
-	if cfg.Faults != nil {
-		panic("core: InferBatch takes per-sample fault streams, not cfg.Faults")
-	}
-	if faults != nil && len(faults) != len(inputs) {
-		panic(fmt.Sprintf("core: %d fault streams for %d inputs", len(faults), len(inputs)))
-	}
+	return m.InferMany(inputs, cfg, InferOpts{Scratch: sc, Faults: faults})
+}
+
+// inferBatch is the sequential batched pipeline behind InferMany: chunk
+// the inputs at the 64-sample mask width and run each chunk batched.
+// Fault-stream and cfg.Faults validation already happened in InferMany.
+func (m *Model) inferBatch(sc *InferScratch, inputs [][]float64, cfg RunConfig, faults []*fault.Stream) []Result {
 	if sc == nil {
 		sc = NewInferScratch(m)
 	} else {

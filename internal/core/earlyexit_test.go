@@ -1,0 +1,242 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/fault"
+	"repro/internal/tensor"
+)
+
+// TestEarlyExitArgmaxMatchesFixture pins the tentpole contract over the
+// whole trained fixture set: the early-exit event engine's argmax is
+// identical to the clocked engine's on every sample, its latency never
+// exceeds the clocked latency, and — so the feature demonstrably does
+// something — at least some samples actually exit early with steps and
+// events saved.
+func TestEarlyExitArgmaxMatchesFixture(t *testing.T) {
+	loadFixture(t)
+	m := fixture.model()
+	sc := NewInferScratch(m)
+	n := fixture.x.Shape[0]
+	for _, base := range []RunConfig{{}, {EarlyFire: true}} {
+		exits, stepsSaved, eventsSaved := 0, 0, 0
+		for i := 0; i < n; i++ {
+			in := fixture.x.Data[i*256 : (i+1)*256]
+			clocked := m.InferOne(in, base, InferOpts{})
+			cfg := base
+			cfg.EarlyExit = true
+			ev := m.InferOne(in, cfg, InferOpts{Scratch: sc, Engine: EngineEvent})
+			if ev.Pred != clocked.Pred {
+				t.Fatalf("ef=%v sample %d: early exit changed prediction: %d vs clocked %d",
+					base.EarlyFire, i, ev.Pred, clocked.Pred)
+			}
+			if ev.Latency > clocked.Latency {
+				t.Fatalf("ef=%v sample %d: early-exit latency %d exceeds clocked %d",
+					base.EarlyFire, i, ev.Latency, clocked.Latency)
+			}
+			if !ev.EarlyExit && (ev.StepsSaved != 0 || ev.EventsSaved != 0) {
+				t.Fatalf("ef=%v sample %d: savings %d/%d reported without an exit",
+					base.EarlyFire, i, ev.StepsSaved, ev.EventsSaved)
+			}
+			if ev.EarlyExit {
+				exits++
+				stepsSaved += ev.StepsSaved
+				eventsSaved += ev.EventsSaved
+			}
+		}
+		if exits == 0 {
+			t.Fatalf("ef=%v: no sample exited early across %d samples", base.EarlyFire, n)
+		}
+		if stepsSaved == 0 {
+			t.Fatalf("ef=%v: %d exits saved zero steps", base.EarlyFire, exits)
+		}
+		t.Logf("ef=%v: %d/%d early exits, %d steps and %d events saved",
+			base.EarlyFire, exits, n, stepsSaved, eventsSaved)
+	}
+}
+
+// Property: the argmax contract holds across random kernels, horizons,
+// inputs, and EF start times on the handcrafted inhibitory network —
+// the same surface the engine-equivalence property covers, with early
+// exit armed.
+func TestEarlyExitProperty(t *testing.T) {
+	net := tinyNet()
+	net.Stages[0].W.Data[5] = -0.7
+	net.Stages[0].W.Data[9] = -0.4
+	// inhibition on the output stage too, so remLoss is exercised
+	net.Stages[1].W.Data[1] = -0.5
+	f := func(seed uint64) bool {
+		r := tensor.NewRNG(seed)
+		m, err := NewModel(net, 10+r.Intn(50), r.Range(1, 12), r.Range(0, 2))
+		if err != nil {
+			return true
+		}
+		in := []float64{r.Float64(), r.Float64(), r.Float64()}
+		cfg := RunConfig{}
+		if r.Intn(2) == 0 {
+			cfg = RunConfig{EarlyFire: true, EFStart: 1 + r.Intn(m.T)}
+		}
+		return m.VerifyEarlyExit(in, cfg) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestEarlyExitUnderFaults pins the fault half of the correctness bar:
+// with per-sample drop/jitter/stuck streams — and separately with
+// threshold noise, which routes the event engine onto its clocked
+// fallback — the early-exit prediction still matches the clocked
+// engine's under the same stream.
+func TestEarlyExitUnderFaults(t *testing.T) {
+	loadFixture(t)
+	m := fixture.model()
+	injectors := map[string]fault.Config{
+		"spike-faults":    {Seed: 11, Drop: 0.2, Jitter: 2, StuckSilent: 0.05},
+		"threshold-noise": {Seed: 5, ThresholdNoise: 0.1},
+		"everything":      {Seed: 17, Drop: 0.15, Jitter: 1, StuckSilent: 0.03, ThresholdNoise: 0.05},
+	}
+	for name, fc := range injectors {
+		inj, err := fault.New(fc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 40; i++ {
+			in := fixture.x.Data[i*256 : (i+1)*256]
+			cfg := RunConfig{EarlyFire: true, Faults: inj.Sample(i)}
+			if err := m.VerifyEarlyExit(in, cfg); err != nil {
+				t.Fatalf("%s sample %d: %v", name, i, err)
+			}
+		}
+	}
+}
+
+// TestEarlyExitZeroAllocs gates the serving claim: the early-exit event
+// path on a warm scratch allocates nothing per call.
+func TestEarlyExitZeroAllocs(t *testing.T) {
+	loadFixture(t)
+	m := fixture.model()
+	sc := NewInferScratch(m)
+	in := fixture.x.Data[:256]
+	for _, cfg := range []RunConfig{{EarlyExit: true}, {EarlyFire: true, EarlyExit: true}} {
+		cfg := cfg
+		opts := InferOpts{Scratch: sc, Engine: EngineEvent}
+		m.InferOne(in, cfg, opts) // warm plan + arenas + bound tables
+		if n := testing.AllocsPerRun(20, func() { m.InferOne(in, cfg, opts) }); n != 0 {
+			t.Errorf("event early exit (earlyFire=%v) allocates %.1f/op, want 0", cfg.EarlyFire, n)
+		}
+	}
+}
+
+// TestInferManyEventMatchesInferOne pins the event engine's batch loop:
+// one scratch across the whole batch, every Result still valid at the
+// end (the arena is rewound once per call, not per sample), each equal
+// to its per-sample InferOne — including per-sample fault streams.
+func TestInferManyEventMatchesInferOne(t *testing.T) {
+	loadFixture(t)
+	m := fixture.model()
+	inj, err := fault.New(fault.Config{Seed: 3, Drop: 0.1, Jitter: 1, ThresholdNoise: 0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 12
+	inputs := make([][]float64, n)
+	streams := make([]*fault.Stream, n)
+	for i := range inputs {
+		inputs[i] = fixture.x.Data[i*256 : (i+1)*256]
+		if i%2 == 0 {
+			streams[i] = inj.Sample(i)
+		}
+	}
+	cfg := RunConfig{EarlyFire: true, EarlyExit: true}
+	got := m.InferMany(inputs, cfg, InferOpts{Engine: EngineEvent, Faults: streams})
+	for i := range inputs {
+		c := cfg
+		c.Faults = streams[i]
+		want := m.InferOne(inputs[i], c, InferOpts{Engine: EngineEvent})
+		if got[i].Pred != want.Pred || got[i].Latency != want.Latency ||
+			got[i].TotalSpikes != want.TotalSpikes || got[i].EarlyExit != want.EarlyExit ||
+			got[i].StepsSaved != want.StepsSaved || got[i].EventsSaved != want.EventsSaved {
+			t.Fatalf("sample %d: batch %+v != single %+v", i, got[i], want)
+		}
+	}
+}
+
+// The options API rejects fault streams passed through the wrong field:
+// the single-sample entry takes cfg.Faults, the batch entry opts.Faults.
+func TestInferOptsFaultFieldValidation(t *testing.T) {
+	loadFixture(t)
+	m := fixture.model()
+	in := fixture.x.Data[:256]
+	mustPanic(t, "InferOne with opts.Faults", func() {
+		m.InferOne(in, RunConfig{}, InferOpts{Faults: []*fault.Stream{nil}})
+	})
+	mustPanic(t, "InferMany with cfg.Faults", func() {
+		inj, _ := fault.New(fault.Config{Seed: 1, Drop: 0.1})
+		m.InferMany([][]float64{in}, RunConfig{Faults: inj.Sample(0)}, InferOpts{})
+	})
+	mustPanic(t, "InferMany with mismatched stream count", func() {
+		m.InferMany([][]float64{in}, RunConfig{}, InferOpts{Faults: make([]*fault.Stream, 2)})
+	})
+}
+
+func mustPanic(t *testing.T, name string, f func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Errorf("%s: no panic", name)
+		}
+	}()
+	f()
+}
+
+// BenchmarkInferEventEarlyExit is the PR's headline number: batch-1
+// latency of the early-exit event path against the plain event engine
+// and the clocked engine in the default serving configuration, all on
+// warm scratches. Argmax agreement over the full fixture set is
+// asserted before timing (in both baseline and early-fire modes), so a
+// regression cannot buy speed with wrong answers. The -ef sub-benches
+// cover the early-fire pipeline, whose denser fire-phase arrival
+// interleaving is the event engine's worst case.
+func BenchmarkInferEventEarlyExit(b *testing.B) {
+	loadFixture(b)
+	m := fixture.model()
+	sc := NewInferScratch(m)
+	n := fixture.x.Shape[0]
+	saved := 0
+	for _, base := range []RunConfig{{}, {EarlyFire: true}} {
+		exit := base
+		exit.EarlyExit = true
+		for i := 0; i < n; i++ {
+			in := fixture.x.Data[i*256 : (i+1)*256]
+			clocked := m.InferOne(in, base, InferOpts{Scratch: sc})
+			ev := m.InferOne(in, exit, InferOpts{Scratch: sc, Engine: EngineEvent})
+			if ev.Pred != clocked.Pred {
+				b.Fatalf("ef=%v sample %d: argmax disagreement %d vs %d",
+					base.EarlyFire, i, ev.Pred, clocked.Pred)
+			}
+			if !base.EarlyFire {
+				saved += ev.EventsSaved
+			}
+		}
+	}
+	in := fixture.x.Data[:256]
+	run := func(name string, cfg RunConfig, opts InferOpts) {
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				m.InferOne(in, cfg, opts)
+			}
+			if cfg.EarlyExit && !cfg.EarlyFire {
+				b.ReportMetric(float64(saved)/float64(n), "events_saved/sample")
+			}
+		})
+	}
+	ev := InferOpts{Scratch: sc, Engine: EngineEvent}
+	ck := InferOpts{Scratch: sc}
+	run("event-earlyexit", RunConfig{EarlyExit: true}, ev)
+	run("event", RunConfig{}, ev)
+	run("clocked", RunConfig{}, ck)
+	run("event-earlyexit-ef", RunConfig{EarlyFire: true, EarlyExit: true}, ev)
+	run("clocked-ef", RunConfig{EarlyFire: true}, ck)
+}

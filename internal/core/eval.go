@@ -147,7 +147,7 @@ func EvaluateContext(ctx context.Context, m *Model, x *tensor.Tensor, labels []i
 		}()
 		cfg := run
 		cfg.Faults = opts.Faults.Sample(i)
-		results[i] = m.Infer(x.Data[i*sampleLen:(i+1)*sampleLen], cfg)
+		results[i] = m.InferOne(x.Data[i*sampleLen:(i+1)*sampleLen], cfg, InferOpts{})
 	}
 	pool := opts.Pool
 	if pool == nil {

@@ -1,0 +1,112 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/fault"
+)
+
+// EngineKind selects the execution engine behind InferOne/InferMany.
+type EngineKind int
+
+const (
+	// EngineClocked sweeps every neuron against the threshold at every
+	// step — the reference engine, and the fastest at batch ≥ 2 where
+	// the scatter-row amortization of the batched pipeline applies.
+	EngineClocked EngineKind = iota
+	// EngineEvent processes analytically predicted fire events instead
+	// of sweeping steps. Results are bit-identical to EngineClocked
+	// (pinned by property tests); with RunConfig.EarlyExit it
+	// additionally stops the output window early once the winner is
+	// provably undominated, which only guarantees the argmax. It is the
+	// latency-optimal single-sample path.
+	EngineEvent
+)
+
+// InferOpts carries the execution options shared by every inference
+// entry point: the scratch arena, per-sample fault streams, the worker
+// pool, and the engine choice. The zero value means "fresh scratch, no
+// faults, sequential, clocked" and reproduces Infer/InferBatch exactly.
+type InferOpts struct {
+	// Scratch is the reusable working set; results alias it (see
+	// InferScratch). Nil allocates a fresh single-use scratch.
+	Scratch *InferScratch
+	// Faults holds one per-sample fault stream per input for InferMany
+	// (nil entries inject nothing); nil injects nothing. InferOne takes
+	// its single stream in RunConfig.Faults instead and panics when
+	// this field is set, mirroring the historical InferBatch contract.
+	Faults []*fault.Stream
+	// Pool runs InferMany's batch data-parallel (one chunk per claimed
+	// worker, bit-identical at any worker count). Nil or single-worker
+	// pools run sequentially. Ignored by EngineEvent, whose per-sample
+	// loop exists for verification rather than throughput, and by
+	// InferOne.
+	Pool *Pool
+	// Engine selects the execution engine (default EngineClocked).
+	Engine EngineKind
+}
+
+// InferOne runs one input (flattened [C,H,W], values in [0,1]) through
+// the T2FSNN pipeline on the selected engine. It is the canonical
+// single-sample entry point; Infer, InferWith, InferEvent, and
+// InferEventWith are thin wrappers over it.
+//
+// The sample's fault stream travels in cfg.Faults; opts.Faults (the
+// per-sample slice of the batch path) must be nil.
+func (m *Model) InferOne(input []float64, cfg RunConfig, opts InferOpts) Result {
+	if opts.Faults != nil {
+		panic("core: InferOne takes the sample's fault stream in cfg.Faults, not opts.Faults")
+	}
+	if opts.Engine == EngineEvent {
+		return m.inferEvent(opts.Scratch, input, cfg)
+	}
+	return m.inferClocked(opts.Scratch, input, cfg)
+}
+
+// InferMany runs a batch of inputs and returns one Result per input,
+// each bit-identical to InferOne(inputs[i], cfg with Faults=faults[i])
+// on the same engine. It is the canonical batch entry point; InferBatch,
+// InferBatchWith, and InferBatchParallel are thin wrappers over it.
+//
+// Per-sample fault streams travel in opts.Faults (nil, or one entry per
+// input); cfg.Faults must be nil. With EngineClocked a multi-worker
+// opts.Pool shards the batch across workers; EngineEvent runs the
+// samples sequentially on one scratch (per-sample loop — the event
+// engine's value is single-sample latency, not batch throughput).
+// Results alias the scratch (or pool) arenas per the usual contract.
+func (m *Model) InferMany(inputs [][]float64, cfg RunConfig, opts InferOpts) []Result {
+	if cfg.Faults != nil {
+		panic("core: InferMany takes per-sample fault streams in opts.Faults, not cfg.Faults")
+	}
+	if opts.Faults != nil && len(opts.Faults) != len(inputs) {
+		panic(fmt.Sprintf("core: %d fault streams for %d inputs", len(opts.Faults), len(inputs)))
+	}
+	if opts.Engine == EngineEvent {
+		return m.inferManyEvent(opts.Scratch, inputs, cfg, opts.Faults)
+	}
+	if opts.Pool != nil {
+		return m.inferParallel(opts.Pool, inputs, cfg, opts.Faults)
+	}
+	return m.inferBatch(opts.Scratch, inputs, cfg, opts.Faults)
+}
+
+// inferManyEvent is the event engine's batch loop: one scratch, one
+// arena rewind, then per-sample event runs whose Results all stay valid
+// until the next top-level call on the scratch.
+func (m *Model) inferManyEvent(sc *InferScratch, inputs [][]float64, cfg RunConfig, faults []*fault.Stream) []Result {
+	if sc == nil {
+		sc = NewInferScratch(m)
+	} else {
+		sc.ensure(m)
+	}
+	sc.reset()
+	res := sc.takeResults(len(inputs))
+	for i, input := range inputs {
+		c := cfg
+		if faults != nil {
+			c.Faults = faults[i]
+		}
+		res[i] = m.inferEventBody(sc, input, c)
+	}
+	return res
+}

@@ -1,7 +1,6 @@
 package core
 
 import (
-	"fmt"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -261,7 +260,7 @@ func (p *Pool) Warm(m *Model, inputs [][]float64, cfg RunConfig) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	for _, sc := range p.scr {
-		m.InferBatchWith(sc, inputs, cfg, nil)
+		m.inferBatch(sc, inputs, cfg, nil)
 	}
 	p.takeResults(len(inputs))
 }
@@ -357,15 +356,17 @@ func eachSeq(n, chunk int, fn func(lo, hi, worker int)) {
 // call on the same pool (copy Spikes/Potentials to retain them). A nil
 // pool falls back to the sequential InferBatch, whose results are
 // freshly allocated.
+//
+// Deprecated: use InferMany with InferOpts{Pool: p, Faults: faults}.
 func (m *Model) InferBatchParallel(p *Pool, inputs [][]float64, cfg RunConfig, faults []*fault.Stream) []Result {
+	return m.InferMany(inputs, cfg, InferOpts{Pool: p, Faults: faults})
+}
+
+// inferParallel shards the batch across p's workers (nil p runs it
+// sequentially on a fresh scratch). Validation happened in InferMany.
+func (m *Model) inferParallel(p *Pool, inputs [][]float64, cfg RunConfig, faults []*fault.Stream) []Result {
 	if p == nil {
-		return m.InferBatch(inputs, cfg, faults)
-	}
-	if cfg.Faults != nil {
-		panic("core: InferBatchParallel takes per-sample fault streams, not cfg.Faults")
-	}
-	if faults != nil && len(faults) != len(inputs) {
-		panic(fmt.Sprintf("core: %d fault streams for %d inputs", len(faults), len(inputs)))
+		return m.inferBatch(nil, inputs, cfg, faults)
 	}
 	n := len(inputs)
 	p.mu.Lock()
@@ -379,7 +380,7 @@ func (m *Model) InferBatchParallel(p *Pool, inputs [][]float64, cfg RunConfig, f
 	if w <= 1 || p.closed || n == 0 {
 		// Sequential fallback on worker 0's scratch: same zero-alloc
 		// steady state, same aliasing contract.
-		return m.InferBatchWith(p.scr[0], inputs, cfg, faults)
+		return m.inferBatch(p.scr[0], inputs, cfg, faults)
 	}
 	res := p.takeResults(n)
 	c := &p.call

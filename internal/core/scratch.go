@@ -30,11 +30,21 @@ type InferScratch struct {
 	dec            []float64 // ε(t) decode LUT, rebuilt per stage
 	buckets        [][]int   // spike indices grouped by window offset
 
-	// event-engine working state (InferEventWith)
-	evHeap    []fireEvent // candidate min-heap backing, kept empty between calls
-	evVersion []uint32    // per-neuron candidate versions
-	evStamp   []uint32    // per-step touched dedup stamps
-	evTouched []int32     // neurons touched by this step's arrivals
+	// event-engine working state (EngineEvent), allocated lazily by
+	// ensureEvent so clocked-only scratches never pay for it
+	evMaxLen int       // event-buffer neuron capacity
+	evWindow int       // event-buffer window capacity
+	evQ      [][]int32 // candidate bucket queue, one bucket of neurons per fire step
+	evNext   []int32   // per-neuron latest scheduled candidate step (T = none)
+	evStamp  []uint64  // per-epoch touched dedup stamps (see evEpoch)
+	evEpoch  uint64    // monotonic epoch counter; a stamp from any earlier
+	// phase or call compares unequal, so stamps need no per-stage clear
+	evTouched []int32   // neurons touched by this step's arrivals
+	evThr     []float64 // θ(f) threshold LUT, rebuilt per stage
+	// evGain/evLoss back the early-exit suffix bounds over the output
+	// window: the largest total rise/fall any single potential can see
+	// from arrivals at offset ≥ off (window+1 entries)
+	evGain, evLoss []float64
 
 	// batched working state (chunk ≤ maxChunk samples)
 	bTimes     [2][][]int // ping-pong banks of per-sample offset buffers
@@ -71,9 +81,6 @@ func (sc *InferScratch) ensure(m *Model) {
 		sc.timesA = make([]int, maxLen)
 		sc.timesB = make([]int, maxLen)
 		sc.pot = make([]float64, maxLen)
-		sc.evVersion = make([]uint32, maxLen)
-		sc.evStamp = make([]uint32, maxLen)
-		sc.evTouched = make([]int32, 0, maxLen)
 		sc.chunk = 0 // batch backings are sized from maxLen; rebuild them
 	}
 	if m.T > sc.window {
@@ -85,6 +92,28 @@ func (sc *InferScratch) ensure(m *Model) {
 		oldOff := sc.perOff
 		sc.perOff = make([][]fireEntry, m.T)
 		copy(sc.perOff, oldOff)
+	}
+}
+
+// ensureEvent grows the event-engine buffers; only the event pipeline
+// calls it, so clocked inference on a fresh scratch allocates nothing
+// extra. ensure must have run first (it sets maxLen and window).
+func (sc *InferScratch) ensureEvent() {
+	if sc.maxLen > sc.evMaxLen {
+		sc.evMaxLen = sc.maxLen
+		sc.evNext = make([]int32, sc.maxLen)
+		sc.evStamp = make([]uint64, sc.maxLen)
+		sc.evEpoch = 0
+		sc.evTouched = make([]int32, 0, sc.maxLen)
+	}
+	if sc.window > sc.evWindow {
+		sc.evWindow = sc.window
+		sc.evThr = make([]float64, sc.window)
+		sc.evGain = make([]float64, sc.window+1)
+		sc.evLoss = make([]float64, sc.window+1)
+		oldQ := sc.evQ
+		sc.evQ = make([][]int32, sc.window)
+		copy(sc.evQ, oldQ) // keep grown candidate-bucket capacity
 	}
 }
 
@@ -117,6 +146,17 @@ func (sc *InferScratch) decode(k kernel.Kernel, t int) []float64 {
 		dec[i] = k.Decode(i)
 	}
 	return dec
+}
+
+// thresholds tabulates θ(f) for every step of the fire window — the
+// same values the clocked sweep computes one step at a time, so a
+// table compare and a sweep compare agree bit for bit.
+func (sc *InferScratch) thresholds(k kernel.Kernel, t int) []float64 {
+	thr := sc.evThr[:t]
+	for i := range thr {
+		thr[i] = k.Threshold(float64(i))
+	}
+	return thr
 }
 
 // bucketizeInto groups spike indices by their time offset into the

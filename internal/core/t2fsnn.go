@@ -33,6 +33,15 @@ type Model struct {
 	// snn.ScatterPlan).
 	planOnce sync.Once
 	plans    []*snn.ScatterPlan
+
+	// outGain/outLoss cache, per output-stage RowKey, the largest
+	// positive (outGain) and largest-magnitude negative (outLoss, stored
+	// positive) single-synapse weight of the row. One arrival with unit
+	// kernel scale can raise any single output potential by at most
+	// outGain[key]/div and lower it by at most outLoss[key]/div — the
+	// per-event bound behind the early-exit undominated-winner rule.
+	boundsOnce       sync.Once
+	outGain, outLoss []float64
 }
 
 // stagePlan returns the cached scatter plan of stage si.
@@ -136,6 +145,15 @@ type RunConfig struct {
 	// CollectEvents retains (neuron, global time) spike pairs per fire
 	// boundary for waveform export (internal/trace).
 	CollectEvents bool
+	// EarlyExit lets the event engine (InferOpts.Engine == EngineEvent)
+	// stop integrating the output window the moment the leading class is
+	// provably undominated — no sequence of remaining arrivals can
+	// change the argmax (see runOutputStageEvent). The prediction is
+	// guaranteed to match the full run's argmax; Result.Potentials are
+	// partial and Result.Latency reports the (earlier) decision step.
+	// Ignored by the clocked engine, and disabled when CollectTimeline
+	// is set (the timeline needs the full window).
+	EarlyExit bool
 	// Faults is this sample's fault-injection stream (internal/fault).
 	// Nil injects nothing and adds no work to the inference path.
 	Faults *fault.Stream
@@ -181,8 +199,19 @@ type Result struct {
 	// Events holds per-boundary (neuron, global time) spikes when
 	// CollectEvents is set; same indexing as Spikes.
 	Events [][]SpikeEvent
-	// Potentials are the final output-stage membrane potentials.
+	// Potentials are the final output-stage membrane potentials. Under
+	// an early exit they are partial: correct up to the decision step,
+	// with the remaining arrivals never integrated.
 	Potentials []float64
+	// EarlyExit reports that the event engine stopped before the end of
+	// the output window because the winner was provably undominated
+	// (RunConfig.EarlyExit). Pred still matches the full run's argmax.
+	EarlyExit bool
+	// StepsSaved counts output-window steps skipped by the early exit.
+	StepsSaved int
+	// EventsSaved counts output-stage arrival spikes that were never
+	// integrated because of the early exit.
+	EventsSaved int
 }
 
 // PredAt returns the model's decision if it were read out at the given
@@ -209,7 +238,7 @@ func (r *Result) PredAt(step int) int {
 // integration phase; inputs arriving after a neuron's own spike no
 // longer influence it (non-guaranteed integration, §III-C).
 func (m *Model) Infer(input []float64, cfg RunConfig) Result {
-	return m.InferWith(nil, input, cfg)
+	return m.InferOne(input, cfg, InferOpts{})
 }
 
 // InferWith is Infer against an explicit scratch arena: all working
@@ -219,16 +248,32 @@ func (m *Model) Infer(input []float64, cfg RunConfig) Result {
 // scratch, making it exactly Infer. Results are bit-identical either
 // way: reused buffers are reset to the same state fresh allocations
 // start in, and no floating-point operation changes order.
+//
+// Deprecated: use InferOne with InferOpts{Scratch: sc}.
 func (m *Model) InferWith(sc *InferScratch, input []float64, cfg RunConfig) Result {
-	if len(input) != m.Net.InLen {
-		panic(fmt.Sprintf("core: input length %d, want %d", len(input), m.Net.InLen))
-	}
+	return m.InferOne(input, cfg, InferOpts{Scratch: sc})
+}
+
+// inferClocked is the clocked engine's entry: scratch setup, then the
+// step-swept pipeline.
+func (m *Model) inferClocked(sc *InferScratch, input []float64, cfg RunConfig) Result {
 	if sc == nil {
 		sc = NewInferScratch(m)
 	} else {
 		sc.ensure(m)
 	}
 	sc.reset()
+	return m.inferClockedBody(sc, input, cfg)
+}
+
+// inferClockedBody runs the clocked pipeline on a prepared scratch
+// without rewinding its arenas, so multi-sample drivers (and the event
+// engine's threshold-noise fallback) can run several samples against
+// one scratch with every Result staying valid.
+func (m *Model) inferClockedBody(sc *InferScratch, input []float64, cfg RunConfig) Result {
+	if len(input) != m.Net.InLen {
+		panic(fmt.Sprintf("core: input length %d, want %d", len(input), m.Net.InLen))
+	}
 	adv := cfg.advance(m.T)
 	nStages := len(m.Net.Stages)
 	res := Result{

@@ -254,6 +254,15 @@ func (s *Stream) Threshold(b, t int, theta float64) float64 {
 	return scaled
 }
 
+// HasThresholdNoise reports whether the stream perturbs firing-threshold
+// comparisons (Config.ThresholdNoise > 0). Engines whose firing decision
+// is an analytic inverse of the threshold curve (the event-driven path)
+// cannot absorb per-step threshold noise and use this to fall back to a
+// clocked sweep. Nil-safe: a nil stream has no noise.
+func (s *Stream) HasThresholdNoise() bool {
+	return s != nil && s.j.cfg.ThresholdNoise > 0
+}
+
 // ApplyTTFS applies the stream's boundary faults to per-neuron TTFS
 // spike offsets in place (offset -1 = silent) and returns the number of
 // live spikes. Stuck defects override everything: stuck-silent clears

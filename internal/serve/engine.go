@@ -31,8 +31,17 @@ type Prediction struct {
 	// TotalSpikes counts every spike the inference generated.
 	TotalSpikes int
 	// Potentials are the final output potentials (the logits the
-	// decision was read from).
+	// decision was read from). Partial — valid for the argmax only —
+	// when EarlyExit is set.
 	Potentials []float64
+	// EarlyExit reports that the engine stopped integrating the output
+	// window once the winner was provably undominated (event engine with
+	// core.RunConfig.EarlyExit). The prediction is identical to the full
+	// integration's.
+	EarlyExit bool
+	// EventsSaved counts the output-window spike arrivals the early exit
+	// skipped (0 when EarlyExit is false).
+	EventsSaved int
 }
 
 // Engine turns a batch of inputs into predictions. Implementations must
@@ -49,6 +58,20 @@ type Engine interface {
 	// fault streams; a negative index disables fault injection for that
 	// sample.
 	InferBatch(inputs [][]float64, samples []int) []Prediction
+}
+
+// SingleEngine is the optional single-sample capability: an engine that
+// can answer one request without batch formation implements it and the
+// server routes latency-mode requests straight to InferOne, bypassing
+// the micro-batching queue entirely. Discovery is by type assertion in
+// New — batch-only engines need no changes, and callers that never ask
+// for latency mode never notice the capability either way.
+// Implementations must be safe for concurrent InferOne calls and for
+// InferOne running concurrently with InferBatch.
+type SingleEngine interface {
+	// InferOne infers one sample. The sample index keys deterministic
+	// fault injection exactly as in Engine.InferBatch (negative = none).
+	InferOne(input []float64, sample int) Prediction
 }
 
 // ChunkReporter is implemented by engines whose batch execution runs
@@ -106,13 +129,13 @@ func (e *TTFSEngine) InferBatch(inputs [][]float64, samples []int) []Prediction 
 	if e.Pool.Workers() > 1 {
 		e.poolMu.Lock()
 		defer e.poolMu.Unlock()
-		return corePredictions(e.Model.InferBatchParallel(e.Pool, inputs, e.Run, fs))
+		return corePredictions(e.Model.InferMany(inputs, e.Run, core.InferOpts{Pool: e.Pool, Faults: fs}))
 	}
 	sc, _ := e.scratch.Get().(*core.InferScratch)
 	if sc == nil {
 		sc = core.NewInferScratch(e.Model)
 	}
-	preds := corePredictions(e.Model.InferBatchWith(sc, inputs, e.Run, fs))
+	preds := corePredictions(e.Model.InferMany(inputs, e.Run, core.InferOpts{Scratch: sc, Faults: fs}))
 	e.scratch.Put(sc)
 	return preds
 }
@@ -130,6 +153,8 @@ func corePredictions(rs []core.Result) []Prediction {
 			Latency:     r.Latency,
 			TotalSpikes: r.TotalSpikes,
 			Potentials:  append([]float64(nil), r.Potentials...),
+			EarlyExit:   r.EarlyExit,
+			EventsSaved: r.EventsSaved,
 		}
 	}
 	return preds

@@ -29,6 +29,12 @@ type InferRequest struct {
 	// TimeoutMs overrides the server's default per-request deadline
 	// (clamped to Options.MaxTimeout when set).
 	TimeoutMs int `json:"timeout_ms,omitempty"`
+	// Mode selects the serving path for this request: "latency" runs it
+	// directly on the engine's single-sample path (falling back to the
+	// queue when the engine is batch-only), "throughput" sends it
+	// through the micro-batching queue, and "" defers to the server's
+	// DefaultMode (or automatic routing).
+	Mode string `json:"mode,omitempty"`
 }
 
 // InferResponse is the /v1/infer response body.
@@ -37,6 +43,11 @@ type InferResponse struct {
 	LatencySteps int     `json:"latency_steps"`
 	TotalSpikes  int     `json:"total_spikes"`
 	WallMs       float64 `json:"wall_ms"`
+	// EarlyExit reports that the engine stopped integrating the output
+	// window once the winner was provably settled; EventsSaved counts
+	// the spike arrivals that exit skipped.
+	EarlyExit   bool `json:"early_exit"`
+	EventsSaved int  `json:"events_saved"`
 }
 
 type errorResponse struct {
@@ -94,7 +105,46 @@ func decodeInferRequest(w http.ResponseWriter, r *http.Request, srv *Server) (In
 			fmt.Sprintf("input length %d, model expects %d", len(req.Input), srv.eng.InLen()))
 		return req, false
 	}
+	switch req.Mode {
+	case "", ModeLatency, ModeThroughput:
+	default:
+		writeError(w, http.StatusBadRequest,
+			fmt.Sprintf("mode %q, want %q or %q", req.Mode, ModeLatency, ModeThroughput))
+		return req, false
+	}
 	return req, true
+}
+
+// latencyRoute decides whether a decoded request takes the direct
+// single-sample path: the request's explicit mode wins, then the
+// server's DefaultMode, then the automatic rule — direct when batching
+// is off (MaxBatch 1, queueing buys nothing) or when the request's
+// effective deadline is tighter than the engine's rolling batch p99
+// (a queued request would likely die waiting). Engines without the
+// SingleEngine capability always route through the queue.
+func (s *Server) latencyRoute(req InferRequest) bool {
+	if s.single == nil {
+		return false
+	}
+	mode := req.Mode
+	if mode == "" {
+		mode = s.opt.DefaultMode
+	}
+	switch mode {
+	case ModeLatency:
+		return true
+	case ModeThroughput:
+		return false
+	}
+	if s.opt.MaxBatch == 1 {
+		return true
+	}
+	if t := s.inferTimeout(req.TimeoutMs); t > 0 {
+		if p99 := s.met.BatchLatencyP99(); p99 > 0 && t < p99 {
+			return true
+		}
+	}
+	return false
 }
 
 // inferTimeout resolves the effective per-request deadline: the
@@ -143,7 +193,13 @@ func serveInferSwappable(w http.ResponseWriter, r *http.Request, srv *Server, re
 	}
 
 	start := time.Now()
-	pred, err := srv.Infer(ctx, req.Input, sample, label)
+	var pred Prediction
+	var err error
+	if srv.latencyRoute(req) {
+		pred, err = srv.InferDirect(ctx, req.Input, sample, label)
+	} else {
+		pred, err = srv.Infer(ctx, req.Input, sample, label)
+	}
 	if err != nil {
 		if errors.Is(err, ErrClosed) {
 			return err
@@ -156,6 +212,8 @@ func serveInferSwappable(w http.ResponseWriter, r *http.Request, srv *Server, re
 		LatencySteps: pred.Latency,
 		TotalSpikes:  pred.TotalSpikes,
 		WallMs:       float64(time.Since(start)) / float64(time.Millisecond),
+		EarlyExit:    pred.EarlyExit,
+		EventsSaved:  pred.EventsSaved,
 	})
 	return nil
 }

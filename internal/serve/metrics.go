@@ -38,6 +38,16 @@ type Metrics struct {
 	completed uint64
 
 	totalSpikes uint64
+	// earlyExit counts completed predictions whose engine stopped the
+	// output window early (undominated winner); eventsSaved sums the
+	// spike arrivals those exits skipped. Both count across the batched
+	// and direct paths — early exit is an engine property, not a
+	// routing one.
+	earlyExit   uint64
+	eventsSaved uint64
+	// latencyPath counts requests completed on the direct single-sample
+	// path (Server.InferDirect).
+	latencyPath uint64
 	// parallelChunks mirrors the engine's cumulative ChunkReporter count
 	// (0 when the engine runs sequentially).
 	parallelChunks uint64
@@ -103,8 +113,26 @@ func (m *Metrics) fail(n int) {
 
 func (m *Metrics) complete(wall time.Duration, p Prediction, label int) {
 	m.mu.Lock()
+	m.completeLocked(wall, p, label)
+	m.mu.Unlock()
+}
+
+// completeDirect is complete for the direct single-sample path; it
+// additionally counts the routing decision.
+func (m *Metrics) completeDirect(wall time.Duration, p Prediction, label int) {
+	m.mu.Lock()
+	m.latencyPath++
+	m.completeLocked(wall, p, label)
+	m.mu.Unlock()
+}
+
+func (m *Metrics) completeLocked(wall time.Duration, p Prediction, label int) {
 	m.completed++
 	m.totalSpikes += uint64(p.TotalSpikes)
+	if p.EarlyExit {
+		m.earlyExit++
+	}
+	m.eventsSaved += uint64(p.EventsSaved)
 	m.lats[m.latN] = wall
 	m.latN = (m.latN + 1) % latWindow
 	if m.latCt < latWindow {
@@ -113,7 +141,6 @@ func (m *Metrics) complete(wall time.Duration, p Prediction, label int) {
 	if label >= 0 && m.conf != nil && label < m.conf.Classes {
 		m.conf.Add(label, p.Pred)
 	}
-	m.mu.Unlock()
 }
 
 func (m *Metrics) batchLatency(d time.Duration) {
@@ -200,6 +227,15 @@ type Snapshot struct {
 	TotalSpikes     uint64  `json:"total_spikes"`
 	SpikesPerSample float64 `json:"spikes_per_sample"`
 
+	// EarlyExitTotal counts completed predictions that stopped their
+	// output window at a provably undominated winner; EventsSaved sums
+	// the spike arrivals those exits skipped.
+	EarlyExitTotal uint64 `json:"early_exit_total"`
+	EventsSaved    uint64 `json:"events_saved"`
+	// LatencyPathTotal counts requests completed on the direct
+	// single-sample path instead of the micro-batching queue.
+	LatencyPathTotal uint64 `json:"latency_path_total"`
+
 	// ParallelChunks is the cumulative number of work chunks the engine
 	// dispatched to its core.Pool (0 when serving sequentially).
 	ParallelChunks uint64 `json:"parallel_chunks"`
@@ -215,15 +251,18 @@ func (m *Metrics) Snapshot() Snapshot {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	s := Snapshot{
-		UptimeSeconds:  time.Since(m.start).Seconds(),
-		Accepted:       m.accepted,
-		Rejected:       m.rejected,
-		Expired:        m.expired,
-		Failed:         m.failed,
-		Completed:      m.completed,
-		TotalSpikes:    m.totalSpikes,
-		ParallelChunks: m.parallelChunks,
-		BatchSizeHist:  append([]uint64(nil), m.batchSizes...),
+		UptimeSeconds:    time.Since(m.start).Seconds(),
+		Accepted:         m.accepted,
+		Rejected:         m.rejected,
+		Expired:          m.expired,
+		Failed:           m.failed,
+		Completed:        m.completed,
+		TotalSpikes:      m.totalSpikes,
+		EarlyExitTotal:   m.earlyExit,
+		EventsSaved:      m.eventsSaved,
+		LatencyPathTotal: m.latencyPath,
+		ParallelChunks:   m.parallelChunks,
+		BatchSizeHist:    append([]uint64(nil), m.batchSizes...),
 	}
 	s.BatchLatencyP99Ms = float64(m.batchP99Locked()) / float64(time.Millisecond)
 	if s.UptimeSeconds > 0 {

@@ -105,6 +105,7 @@ type registryModel struct {
 type retiredCounters struct {
 	accepted, rejected, expired, failed, completed uint64
 	totalSpikes                                    uint64
+	earlyExit, eventsSaved, latencyPath            uint64
 }
 
 func (m *registryModel) server() *Server { return m.srv.Load() }
@@ -122,6 +123,9 @@ func (m *registryModel) retire(s Snapshot) {
 	m.retired.failed += s.Failed
 	m.retired.completed += s.Completed
 	m.retired.totalSpikes += s.TotalSpikes
+	m.retired.earlyExit += s.EarlyExitTotal
+	m.retired.eventsSaved += s.EventsSaved
+	m.retired.latencyPath += s.LatencyPathTotal
 	m.draining = nil
 	m.retiredMu.Unlock()
 }
@@ -308,7 +312,10 @@ func (g *Registry) serveModel(w http.ResponseWriter, r *http.Request, m *registr
 	// dispatched immediately, so reject before it occupies a queue slot
 	// and a batch seat that live requests need. Requests without a
 	// deadline (possible only when MaxTimeout is unset) always pass.
-	if !g.opt.DisableShedding {
+	// Requests taking the direct single-sample path are exempt: they
+	// never hold a queue slot and the batch p99 says nothing about
+	// their service time.
+	if !g.opt.DisableShedding && !srv.latencyRoute(req) {
 		if timeout := srv.inferTimeout(req.TimeoutMs); timeout > 0 {
 			if p99 := srv.Metrics().BatchLatencyP99(); p99 > 0 && timeout < p99 {
 				m.shed.Add(1)
@@ -441,6 +448,9 @@ func (g *Registry) Snapshot() RegistrySnapshot {
 			s.Failed += ds.Failed
 			s.Completed += ds.Completed
 			s.TotalSpikes += ds.TotalSpikes
+			s.EarlyExitTotal += ds.EarlyExitTotal
+			s.EventsSaved += ds.EventsSaved
+			s.LatencyPathTotal += ds.LatencyPathTotal
 		}
 		r := m.retired
 		m.retiredMu.Unlock()
@@ -450,6 +460,9 @@ func (g *Registry) Snapshot() RegistrySnapshot {
 		s.Failed += r.failed
 		s.Completed += r.completed
 		s.TotalSpikes += r.totalSpikes
+		s.EarlyExitTotal += r.earlyExit
+		s.EventsSaved += r.eventsSaved
+		s.LatencyPathTotal += r.latencyPath
 		if s.Completed > 0 {
 			s.SpikesPerSample = float64(s.TotalSpikes) / float64(s.Completed)
 		}

@@ -41,7 +41,21 @@ type Options struct {
 	// large timeout_ms — or none at all — and defeat deadline-based
 	// admission control, so registry deployments should set this.
 	MaxTimeout time.Duration
+	// DefaultMode is the serving mode applied to requests that don't
+	// carry their own "mode" field: ModeLatency routes them down the
+	// direct single-sample path (when the engine implements
+	// SingleEngine), ModeThroughput through the micro-batching queue,
+	// and "" picks automatically — latency when batching is off
+	// (MaxBatch 1) or the request's deadline is tighter than the rolling
+	// batch p99, throughput otherwise.
+	DefaultMode string
 }
+
+// Serving modes for Options.DefaultMode and InferRequest.Mode.
+const (
+	ModeLatency    = "latency"
+	ModeThroughput = "throughput"
+)
 
 func (o Options) withDefaults() Options {
 	if o.MaxBatch <= 0 {
@@ -87,11 +101,17 @@ type Server struct {
 	opt Options
 	met *Metrics
 
-	mu     sync.RWMutex // guards closed + queue close
+	// single is the engine's SingleEngine capability (nil when the
+	// engine is batch-only), discovered once in New. Latency-mode
+	// requests run on it via InferDirect, bypassing the queue.
+	single SingleEngine
+
+	mu     sync.RWMutex // guards closed + queue close + directWG.Add
 	closed bool
 	queue  chan *request
 
-	wg sync.WaitGroup // dispatcher + workers
+	wg       sync.WaitGroup // dispatcher + workers
+	directWG sync.WaitGroup // in-flight InferDirect calls
 }
 
 // New starts a server: the dispatcher and worker goroutines run until
@@ -104,6 +124,7 @@ func New(eng Engine, opt Options) *Server {
 		met:   newMetrics(opt.MaxBatch, eng.Classes()),
 		queue: make(chan *request, opt.QueueSize),
 	}
+	s.single, _ = eng.(SingleEngine)
 	batches := make(chan []*request)
 	s.wg.Add(1 + opt.Workers)
 	go s.dispatch(batches)
@@ -125,7 +146,16 @@ func (s *Server) Metrics() *Metrics { return s.met }
 // rather than on the first user request's latency.
 func (s *Server) Warm() {
 	s.eng.InferBatch([][]float64{make([]float64, s.eng.InLen())}, []int{-1})
+	if s.single != nil {
+		// The direct path has its own pooled scratch (and, for the event
+		// engine, the early-exit bound tables) to build.
+		s.single.InferOne(make([]float64, s.eng.InLen()), -1)
+	}
 }
+
+// Single returns the engine's SingleEngine capability, or nil when the
+// engine is batch-only.
+func (s *Server) Single() SingleEngine { return s.single }
 
 // Closed reports whether Close has started.
 func (s *Server) Closed() bool {
@@ -206,20 +236,77 @@ func (s *Server) Infer(ctx context.Context, input []float64, sample, label int) 
 	}
 }
 
+// InferDirect runs one sample synchronously on the engine's
+// single-sample path, bypassing batch formation entirely: no queue
+// seat, no MaxWait, no company — the latency-mode request trades the
+// amortization win for the shortest possible path to the engine.
+// Engines without the SingleEngine capability fall back to the batched
+// Infer. The metric identity accepted = completed + expired + failed
+// covers direct requests too; their wall latency feeds the same
+// percentile window as queued requests (a mode comparison is exactly
+// what the split counters are for) but never the engine batch window
+// that admission sheds against.
+func (s *Server) InferDirect(ctx context.Context, input []float64, sample, label int) (Prediction, error) {
+	if s.single == nil {
+		return s.Infer(ctx, input, sample, label)
+	}
+	if len(input) != s.eng.InLen() {
+		return Prediction{}, fmt.Errorf("serve: input length %d, engine expects %d", len(input), s.eng.InLen())
+	}
+	if err := ctx.Err(); err != nil {
+		s.met.accept()
+		s.met.expire()
+		return Prediction{}, err
+	}
+	// The RLock pairs with Close's Lock, exactly like Infer's queue
+	// send: once closed is observed false the directWG.Add lands before
+	// Close's Wait can start.
+	s.mu.RLock()
+	if s.closed {
+		s.mu.RUnlock()
+		return Prediction{}, ErrClosed
+	}
+	s.directWG.Add(1)
+	s.mu.RUnlock()
+	defer s.directWG.Done()
+	s.met.accept()
+	start := time.Now()
+	pred, err := s.runSingle(input, sample)
+	if err != nil {
+		s.met.fail(1)
+		return Prediction{}, err
+	}
+	s.met.completeDirect(time.Since(start), pred, label)
+	return pred, nil
+}
+
+// runSingle isolates single-sample engine panics, mirroring runEngine.
+func (s *Server) runSingle(input []float64, sample int) (pred Prediction, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			err = fmt.Errorf("serve: engine panic: %v", p)
+		}
+	}()
+	return s.single.InferOne(input, sample), nil
+}
+
 // Close stops accepting requests, drains everything already queued
-// (in-flight batches run to completion and deliver results), and waits
-// for the dispatcher and workers to exit. Safe to call more than once.
+// (in-flight batches and direct calls run to completion and deliver
+// results), and waits for the dispatcher and workers to exit. Safe to
+// call more than once.
 func (s *Server) Close() {
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
 		s.wg.Wait()
+		s.directWG.Wait()
 		return
 	}
 	s.closed = true
 	close(s.queue)
 	s.mu.Unlock()
 	s.wg.Wait()
+	s.directWG.Wait()
 }
 
 // dispatch forms batches: the first queued request opens a batch, which

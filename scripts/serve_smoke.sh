@@ -50,10 +50,23 @@ one_leg() {
 
 one_leg sequential
 SEQ_THR="$THR"
+SEQ_ACC="$(echo "$LOAD" | grep '^RESULT ' | sed 's/.* acc=\([0-9.]*\).*/\1/')"
 
 one_leg parallel -parallel 2
 CHUNKS="$(echo "$LOAD" | sed -n 's/.*parallel chunks \([0-9]*\).*/\1/p')"
 [ -n "$CHUNKS" ] && [ "$CHUNKS" -gt 0 ] || { echo "serve-smoke: FAIL (parallel: parallel_chunks stayed 0)"; exit 1; }
+PAR_THR="$THR"
+
+# --- latency leg: event engine, batch 1, single-sample direct path.
+# Early exits must actually fire, and the early-exit argmax contract
+# means accuracy must equal the clocked sequential leg's exactly.
+one_leg latency -engine event -batch 1 -mode latency
+LAT_RESULT="$(echo "$LOAD" | grep '^RESULT ')"
+EE="$(echo "$LAT_RESULT" | sed 's/.* early_exit=\([0-9]*\).*/\1/')"
+EVS="$(echo "$LAT_RESULT" | sed 's/.* events_saved=\([0-9]*\).*/\1/')"
+[ -n "$EE" ] && [ "$EE" -gt 0 ] || { echo "serve-smoke: FAIL (latency: early_exit stayed 0)"; exit 1; }
+LAT_ACC="$(echo "$LAT_RESULT" | sed 's/.* acc=\([0-9.]*\).*/\1/')"
+[ "$LAT_ACC" = "$SEQ_ACC" ] || { echo "serve-smoke: FAIL (latency: acc $LAT_ACC != clocked $SEQ_ACC)"; exit 1; }
 
 # --- multi-model leg: one process, two models, admission control ---
 "$BIN/snnserve" -addr "127.0.0.1:$PORT" -cache models -batch 16 \
@@ -105,4 +118,4 @@ if ! wait "$SRV"; then
 fi
 SRV=""
 
-echo "serve-smoke: ok (sequential $SEQ_THR samples/s, parallel $THR samples/s, $CHUNKS chunks, multi-model shed $SHED_CT/40 with Retry-After)"
+echo "serve-smoke: ok (sequential $SEQ_THR samples/s, parallel $PAR_THR samples/s, $CHUNKS chunks, latency leg $EE/120 early exits saving $EVS events at acc=$LAT_ACC, multi-model shed $SHED_CT/40 with Retry-After)"
