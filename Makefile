@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test check bench bench-smoke bench-paper benchdiff faultbench serve-smoke gate-smoke
+.PHONY: build test check bench bench-smoke bench-paper benchdiff faultbench serve-smoke gate-smoke quant-parity
 
 build:
 	$(GO) build ./...
@@ -17,10 +17,17 @@ test:
 check:
 	$(GO) vet ./...
 	$(GO) test -race -timeout 45m ./...
+	$(MAKE) quant-parity
 	$(MAKE) serve-smoke
 	$(MAKE) gate-smoke
 	$(MAKE) bench-smoke
 	bash scripts/benchdiff.sh --if-baseline
+
+# quant-parity is the int8 engine's accuracy gate: argmax agreement
+# between the fixed-point and float64 clocked engines over the pinned
+# fixture, failing below the baseline in quant_test.go (quantParityMin).
+quant-parity:
+	$(GO) test -run 'TestQuantEngineFixtureParity' -count=1 -v ./internal/core/
 
 # serve-smoke boots cmd/snnserve on a tiny model, replays load with
 # cmd/snnload, and asserts non-zero throughput plus a clean SIGTERM

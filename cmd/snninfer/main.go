@@ -5,6 +5,7 @@
 // Usage:
 //
 //	snninfer -model cifar10.t2f -dataset cifar10 -n 50 -ef
+//	snninfer -model cifar10.t2f -dataset cifar10 -engine quant
 package main
 
 import (
@@ -23,8 +24,22 @@ func main() {
 	n := flag.Int("n", 50, "number of evaluation samples")
 	seed := flag.Uint64("seed", 99, "evaluation data seed (distinct from training)")
 	ef := flag.Bool("ef", true, "use early firing")
+	engine := flag.String("engine", "clock", "inference engine: clock (float64 reference), event (event-driven), or quant (fixed-point int8)")
 	analytic := flag.Bool("analytic", false, "use the analytic baseline engine (disables -ef)")
 	flag.Parse()
+
+	var engineKind core.EngineKind
+	switch *engine {
+	case "clock":
+		engineKind = core.EngineClocked
+	case "event":
+		engineKind = core.EngineEvent
+	case "quant":
+		engineKind = core.EngineQuant
+	default:
+		fmt.Fprintf(os.Stderr, "snninfer: unknown engine %q (want clock, event, or quant)\n", *engine)
+		os.Exit(2)
+	}
 
 	if *modelPath == "" {
 		fmt.Fprintln(os.Stderr, "snninfer: -model is required")
@@ -77,13 +92,16 @@ func main() {
 
 	flat := tensor.FromSlice(eval.X.Data, eval.N(), sampleLen)
 	res, err := core.Evaluate(model, flat, eval.Labels, core.EvalOptions{
-		Run: core.RunConfig{EarlyFire: *ef}})
+		Run: core.RunConfig{EarlyFire: *ef}, Engine: engineKind})
 	if err != nil {
 		fatal(err)
 	}
 	mode := "baseline"
 	if *ef {
 		mode = "early-firing"
+	}
+	if *engine != "clock" {
+		mode += "/" + *engine
 	}
 	fmt.Printf("%s pipeline: acc=%.1f%% latency=%d steps avg spikes=%.0f over %d samples\n",
 		mode, 100*res.Accuracy, res.Latency, res.AvgSpikes, res.N)

@@ -30,6 +30,12 @@
 // identical to the clocked engine's; latency_steps may shrink and the
 // response carries early_exit/events_saved.
 //
+// -engine quant serves ttfs models on the fixed-point int8 engine:
+// weights are quantized once into int8 SoA scatter plans and
+// integration runs on int32 accumulators, trading ≤1% fixture argmax
+// disagreement for a ~2.7× single-sample speedup over the clocked
+// sweep. /metrics reports the active kernel in the "engine" field.
+//
 // Admission control sits in front of every model: -rate/-burst run a
 // per-client token bucket (keyed by -client-header, falling back to
 // remote address), and deadline-headroom shedding (disable with
@@ -85,7 +91,7 @@ func main() {
 	cache := flag.String("cache", "models", "weight cache directory for dataset builds")
 	scheme := flag.String("scheme", "ttfs", "default serving engine: ttfs|event|rate|phase|burst")
 	steps := flag.Int("steps", 100, "default simulation horizon for non-ttfs schemes")
-	engine := flag.String("engine", "clock", "execution engine for ttfs models: clock (batched reference) or event (event-driven with early exit — the latency-mode engine)")
+	engine := flag.String("engine", "clock", "execution engine for ttfs models: clock (batched reference), event (event-driven with early exit — the latency-mode engine), or quant (fixed-point int8 — the per-core throughput engine)")
 	mode := flag.String("mode", "", "default serving mode: latency (direct single-sample path)|throughput (micro-batching queue); empty routes automatically per request")
 	ef := flag.Bool("ef", true, "early firing (ttfs engine)")
 	useGO := flag.Bool("go", false, "apply gradient-based kernel optimization at startup (slower start, better accuracy; dataset builds only)")
@@ -118,16 +124,16 @@ func main() {
 	}
 	switch *engine {
 	case "clock":
-	case "event":
-		// -engine event upgrades every ttfs model to the event-driven
-		// engine; explicitly event/rate/phase/burst specs are untouched.
+	case "event", "quant":
+		// -engine event/quant upgrades every ttfs model to that engine;
+		// explicitly event/quant/rate/phase/burst specs are untouched.
 		for i := range specs {
 			if specs[i].scheme == "ttfs" {
-				specs[i].scheme = "event"
+				specs[i].scheme = *engine
 			}
 		}
 	default:
-		fmt.Fprintf(os.Stderr, "snnserve: unknown engine %q (want clock or event)\n", *engine)
+		fmt.Fprintf(os.Stderr, "snnserve: unknown engine %q (want clock, event, or quant)\n", *engine)
 		os.Exit(1)
 	}
 	switch *mode {
@@ -169,7 +175,7 @@ func main() {
 				spec.scheme = "ttfs"
 			}
 			switch spec.scheme {
-			case "ttfs", "event", "rate", "phase", "burst":
+			case "ttfs", "event", "quant", "rate", "phase", "burst":
 			default:
 				return nil, fmt.Errorf("unknown scheme %q", spec.scheme)
 			}
@@ -361,7 +367,7 @@ func parseModelSpec(v, defScheme string, defSteps int) (modelSpec, error) {
 		return spec, fmt.Errorf("too many fields in %q (want name=source[:scheme[:steps]])", v)
 	}
 	switch spec.scheme {
-	case "ttfs", "event", "rate", "phase", "burst":
+	case "ttfs", "event", "quant", "rate", "phase", "burst":
 	default:
 		return spec, fmt.Errorf("unknown scheme %q in %q", spec.scheme, v)
 	}
@@ -408,6 +414,10 @@ func buildEngine(c engineConfig) (serve.Engine, string, error) {
 			run := core.RunConfig{EarlyFire: c.ef, EarlyExit: true}
 			return &serve.EventEngine{Model: m, Run: run, Faults: inj},
 				fmt.Sprintf("t2fsnn-event %s (T=%d, early exit)", c.spec.source, m.T), nil
+		case "quant":
+			run := core.RunConfig{EarlyFire: c.ef}
+			return &serve.QuantEngine{Model: m, Run: run, Faults: inj},
+				fmt.Sprintf("t2fsnn-quant %s (T=%d, int8)", c.spec.source, m.T), nil
 		default:
 			sch, err := schemeFor(c.spec.scheme)
 			if err != nil {
@@ -438,7 +448,7 @@ func buildEngine(c engineConfig) (serve.Engine, string, error) {
 		return nil, "", err
 	}
 
-	if c.spec.scheme != "ttfs" && c.spec.scheme != "event" {
+	if c.spec.scheme != "ttfs" && c.spec.scheme != "event" && c.spec.scheme != "quant" {
 		sch, err := schemeFor(c.spec.scheme)
 		if err != nil {
 			return nil, "", err
@@ -468,6 +478,10 @@ func buildEngine(c engineConfig) (serve.Engine, string, error) {
 		run.EarlyExit = true
 		return &serve.EventEngine{Model: m, Run: run, Faults: inj},
 			fmt.Sprintf("%s-event over %s (T=%d, early exit, DNN acc %.3f)", name, c.spec.source, m.T, s.DNNAcc), nil
+	}
+	if c.spec.scheme == "quant" {
+		return &serve.QuantEngine{Model: m, Run: run, Faults: inj},
+			fmt.Sprintf("%s-quant over %s (T=%d, int8, DNN acc %.3f)", name, c.spec.source, m.T, s.DNNAcc), nil
 	}
 	return &serve.TTFSEngine{Model: m, Run: run, Faults: inj},
 		fmt.Sprintf("%s over %s (T=%d, DNN acc %.3f)", name, c.spec.source, m.T, s.DNNAcc), nil

@@ -86,6 +86,10 @@ type EvalOptions struct {
 	// stream Faults.Sample(i). Streams are pure functions of
 	// (seed, sample), so the result is identical at any worker count.
 	Faults *fault.Injector
+	// Engine selects the inference kernel per sample (clocked, event, or
+	// fixed-point quant) — every engine produces the same Result shape,
+	// so aggregation is engine-agnostic.
+	Engine EngineKind
 }
 
 // Evaluate runs the model over a batch X of shape [N, ...] with labels,
@@ -147,7 +151,7 @@ func EvaluateContext(ctx context.Context, m *Model, x *tensor.Tensor, labels []i
 		}()
 		cfg := run
 		cfg.Faults = opts.Faults.Sample(i)
-		results[i] = m.InferOne(x.Data[i*sampleLen:(i+1)*sampleLen], cfg, InferOpts{})
+		results[i] = m.InferOne(x.Data[i*sampleLen:(i+1)*sampleLen], cfg, InferOpts{Engine: opts.Engine})
 	}
 	pool := opts.Pool
 	if pool == nil {

@@ -21,6 +21,16 @@ const (
 	// provably undominated, which only guarantees the argmax. It is the
 	// latency-optimal single-sample path.
 	EngineEvent
+	// EngineQuant runs the clocked pipeline on int8 structure-of-arrays
+	// scatter plans with int32 accumulators (internal/core/quant.go):
+	// weights are quantized to each stage's 8-bit dynamic fixed-point
+	// format, zero-quantized synapses are dropped from the plan, and
+	// potentials stay in integer units until the output stage's single
+	// rescale. Predictions agree with EngineClocked up to quantization
+	// (the agreement rate is pinned by TestQuantEngineFixtureParity);
+	// a model whose integer headroom cannot fit int32 accumulators
+	// falls back to EngineClocked. RunConfig.EarlyExit is ignored.
+	EngineQuant
 )
 
 // InferOpts carries the execution options shared by every inference
@@ -57,8 +67,11 @@ func (m *Model) InferOne(input []float64, cfg RunConfig, opts InferOpts) Result 
 	if opts.Faults != nil {
 		panic("core: InferOne takes the sample's fault stream in cfg.Faults, not opts.Faults")
 	}
-	if opts.Engine == EngineEvent {
+	switch opts.Engine {
+	case EngineEvent:
 		return m.inferEvent(opts.Scratch, input, cfg)
+	case EngineQuant:
+		return m.inferQuant(opts.Scratch, input, cfg)
 	}
 	return m.inferClocked(opts.Scratch, input, cfg)
 }
@@ -70,9 +83,10 @@ func (m *Model) InferOne(input []float64, cfg RunConfig, opts InferOpts) Result 
 //
 // Per-sample fault streams travel in opts.Faults (nil, or one entry per
 // input); cfg.Faults must be nil. With EngineClocked a multi-worker
-// opts.Pool shards the batch across workers; EngineEvent runs the
-// samples sequentially on one scratch (per-sample loop — the event
-// engine's value is single-sample latency, not batch throughput).
+// opts.Pool shards the batch across workers; EngineEvent and
+// EngineQuant run the samples sequentially on one scratch (per-sample
+// loops — their value is single-sample latency, not pooled batch
+// throughput), ignoring opts.Pool.
 // Results alias the scratch (or pool) arenas per the usual contract.
 func (m *Model) InferMany(inputs [][]float64, cfg RunConfig, opts InferOpts) []Result {
 	if cfg.Faults != nil {
@@ -83,6 +97,9 @@ func (m *Model) InferMany(inputs [][]float64, cfg RunConfig, opts InferOpts) []R
 	}
 	if opts.Engine == EngineEvent {
 		return m.inferManyEvent(opts.Scratch, inputs, cfg, opts.Faults)
+	}
+	if opts.Engine == EngineQuant {
+		return m.inferManyQuant(opts.Scratch, inputs, cfg, opts.Faults)
 	}
 	if opts.Pool != nil {
 		return m.inferParallel(opts.Pool, inputs, cfg, opts.Faults)

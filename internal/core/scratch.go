@@ -46,6 +46,14 @@ type InferScratch struct {
 	// from arrivals at offset ≥ off (window+1 entries)
 	evGain, evLoss []float64
 
+	// fixed-point engine working state (EngineQuant), allocated lazily
+	// by ensureQuant so float-only scratches never pay for it
+	qMaxLen int     // quant accumulator capacity
+	qWindow int     // quant LUT capacity
+	qacc    []int32 // int32 membrane accumulators (stage-scaled units)
+	qdec    []int32 // quantized decode LUT, rebuilt per stage
+	qthr    []int32 // quantized threshold LUT, rebuilt per stage
+
 	// batched working state (chunk ≤ maxChunk samples)
 	bTimes     [2][][]int // ping-pong banks of per-sample offset buffers
 	bTimesBack [2][]int
@@ -114,6 +122,21 @@ func (sc *InferScratch) ensureEvent() {
 		oldQ := sc.evQ
 		sc.evQ = make([][]int32, sc.window)
 		copy(sc.evQ, oldQ) // keep grown candidate-bucket capacity
+	}
+}
+
+// ensureQuant grows the fixed-point engine buffers; only the quant
+// pipeline calls it, so float-only scratches never allocate them.
+// ensure must have run first (it sets maxLen and window).
+func (sc *InferScratch) ensureQuant() {
+	if sc.maxLen > sc.qMaxLen {
+		sc.qMaxLen = sc.maxLen
+		sc.qacc = make([]int32, sc.maxLen)
+	}
+	if sc.window > sc.qWindow {
+		sc.qWindow = sc.window
+		sc.qdec = make([]int32, sc.window)
+		sc.qthr = make([]int32, sc.window)
 	}
 }
 

@@ -42,6 +42,14 @@ type Model struct {
 	// per-event bound behind the early-exit undominated-winner rule.
 	boundsOnce       sync.Once
 	outGain, outLoss []float64
+
+	// qstages cache the fixed-point engine's per-stage int8 SoA scatter
+	// plans plus the weight-grid constants (internal/core/quant.go).
+	// Like plans, they depend only on the frozen stage weights — kernel
+	// retuning (ApplyGO) shifts the decode/threshold LUTs, which the
+	// quant engine requantizes per call — so no invalidation is needed.
+	quantOnce sync.Once
+	qstages   []quantStage
 }
 
 // stagePlan returns the cached scatter plan of stage si.
@@ -438,7 +446,13 @@ func (m *Model) runOutputStage(sc *InferScratch, st *snn.Stage, si int, inK kern
 
 // record appends a timeline entry when the output argmax changed.
 func (r *Result) record(step int, pot []float64) {
-	pred := argmax(pot)
+	r.recordPred(step, argmax(pot))
+}
+
+// recordPred appends a timeline entry when the prediction changed — the
+// engine-agnostic core of record, shared with the fixed-point engine
+// whose potentials live in int32 accumulators.
+func (r *Result) recordPred(step, pred int) {
 	n := len(r.Timeline)
 	if n == 0 || r.Timeline[n-1].Pred != pred {
 		r.Timeline = append(r.Timeline, TimedPred{Step: step, Pred: pred})

@@ -1,0 +1,10 @@
+package quant
+
+import "repro/internal/tensor"
+
+// QuantizeTensor exposes quantizeTensor to the external test package,
+// so the round-trip property test can pin bit-exactness against the
+// exact tensor path QuantizeNet uses.
+func QuantizeTensor(t *tensor.Tensor, f Format) *tensor.Tensor {
+	return quantizeTensor(t, f)
+}

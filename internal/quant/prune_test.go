@@ -1,9 +1,10 @@
-package quant
+package quant_test
 
 import (
 	"testing"
 
 	"repro/internal/core"
+	"repro/internal/quant"
 	"repro/internal/tensor"
 	"repro/internal/testutil"
 )
@@ -11,11 +12,11 @@ import (
 func TestPruneNetSparsityLevels(t *testing.T) {
 	fx := testutil.TrainedLeNet16()
 	for _, target := range []float64{0, 0.3, 0.7} {
-		p, err := PruneNet(fx.Conv.Net, target)
+		p, err := quant.PruneNet(fx.Conv.Net, target)
 		if err != nil {
 			t.Fatal(err)
 		}
-		got := Sparsity(p)
+		got := quant.Sparsity(p)
 		if got < target-0.05 || got > target+0.1 {
 			t.Fatalf("target sparsity %v, achieved %v", target, got)
 		}
@@ -27,18 +28,18 @@ func TestPruneNetSparsityLevels(t *testing.T) {
 
 func TestPruneNetDoesNotTouchOriginal(t *testing.T) {
 	fx := testutil.TrainedLeNet16()
-	before := Sparsity(fx.Conv.Net)
-	if _, err := PruneNet(fx.Conv.Net, 0.5); err != nil {
+	before := quant.Sparsity(fx.Conv.Net)
+	if _, err := quant.PruneNet(fx.Conv.Net, 0.5); err != nil {
 		t.Fatal(err)
 	}
-	if Sparsity(fx.Conv.Net) != before {
+	if quant.Sparsity(fx.Conv.Net) != before {
 		t.Fatal("pruning mutated the source network")
 	}
 }
 
 func TestPruneKeepsLargestWeights(t *testing.T) {
 	fx := testutil.TrainedLeNet16()
-	p, err := PruneNet(fx.Conv.Net, 0.5)
+	p, err := quant.PruneNet(fx.Conv.Net, 0.5)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -70,7 +71,7 @@ func TestPruneKeepsLargestWeights(t *testing.T) {
 func TestPruneRejectsBadSparsity(t *testing.T) {
 	fx := testutil.TrainedLeNet16()
 	for _, s := range []float64{-0.1, 1.0, 2} {
-		if _, err := PruneNet(fx.Conv.Net, s); err == nil {
+		if _, err := quant.PruneNet(fx.Conv.Net, s); err == nil {
 			t.Fatalf("sparsity %v accepted", s)
 		}
 	}
@@ -85,7 +86,7 @@ func TestPruneAccuracyTradeOff(t *testing.T) {
 		net := fx.Conv.Net
 		if sparsity > 0 {
 			var err error
-			net, err = PruneNet(fx.Conv.Net, sparsity)
+			net, err = quant.PruneNet(fx.Conv.Net, sparsity)
 			if err != nil {
 				t.Fatal(err)
 			}

@@ -29,11 +29,23 @@ func (f Format) Max() float64 {
 	return math.Exp2(float64(f.IntBits)) - math.Exp2(-float64(f.FracBits))
 }
 
+// Step returns the grid step 2^−FracBits: values on the grid are
+// integer multiples of Step.
+func (f Format) Step() float64 { return math.Exp2(-float64(f.FracBits)) }
+
+// MaxQ returns the largest grid index: Max()/Step() = 2^(i+f) − 1. For
+// an 8-bit format this is ≤ 127, so grid indices fit an int8.
+func (f Format) MaxQ() int32 {
+	return int32(1)<<(uint(f.IntBits)+uint(f.FracBits)) - 1
+}
+
 // Quantize rounds v to the format's grid, saturating at the range
-// limits.
+// limits. Ties round via snn.FixedRound (half away from zero) — the one
+// rounding convention shared with the fixed-point kernel, so the int8
+// engine and QuantizeNet agree bit for bit on tie values.
 func (f Format) Quantize(v float64) float64 {
-	step := math.Exp2(-float64(f.FracBits))
-	q := math.Round(v/step) * step
+	step := f.Step()
+	q := snn.FixedRound(v/step) * step
 	limit := f.Max()
 	if q > limit {
 		return limit
@@ -48,15 +60,31 @@ func (f Format) Quantize(v float64) float64 {
 // integer bits to cover maxAbs, the rest of totalBits fractional. When
 // the width cannot cover the range, all non-sign bits go to the integer
 // part and outliers saturate — exactly what a hardware register does.
+//
+// Coverage is verified directly against Format.Max() rather than
+// trusting a log2 estimate: ceil(log2(maxAbs)) computed in floats picks
+// one integer bit too few when maxAbs lands on (or within rounding
+// error of) a power of two — Max() = 2^i − 2^−f is strictly below 2^i,
+// so maxAbs = 2^i needs i+1 integer bits, and the old additive epsilon
+// stopped masking that once maxAbs ≥ 2^12.
 func FormatFor(maxAbs float64, totalBits int) (Format, error) {
 	if totalBits < 2 {
 		return Format{}, fmt.Errorf("quant: need at least 2 bits (sign + 1), got %d", totalBits)
 	}
 	intBits := 0
 	if maxAbs > 0 {
-		intBits = int(math.Ceil(math.Log2(maxAbs + 1e-12)))
+		intBits = int(math.Ceil(math.Log2(maxAbs)))
 		if intBits < 0 {
 			intBits = 0
+		}
+		// The estimate can be off by one near powers of two; widen until
+		// the format actually covers maxAbs or the width runs out.
+		for totalBits-1-intBits >= 0 {
+			f := Format{IntBits: intBits, FracBits: totalBits - 1 - intBits}
+			if f.Max() >= maxAbs {
+				break
+			}
+			intBits++
 		}
 	}
 	fracBits := totalBits - 1 - intBits

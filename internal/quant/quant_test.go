@@ -1,4 +1,4 @@
-package quant
+package quant_test
 
 import (
 	"math"
@@ -6,12 +6,13 @@ import (
 	"testing/quick"
 
 	"repro/internal/core"
+	"repro/internal/quant"
 	"repro/internal/tensor"
 	"repro/internal/testutil"
 )
 
 func TestFormatBasics(t *testing.T) {
-	f := Format{IntBits: 1, FracBits: 2}
+	f := quant.Format{IntBits: 1, FracBits: 2}
 	if f.Bits() != 4 {
 		t.Fatalf("Bits = %d", f.Bits())
 	}
@@ -21,7 +22,7 @@ func TestFormatBasics(t *testing.T) {
 }
 
 func TestQuantizeGridAndSaturation(t *testing.T) {
-	f := Format{IntBits: 0, FracBits: 2} // grid 0.25, max 0.75
+	f := quant.Format{IntBits: 0, FracBits: 2} // grid 0.25, max 0.75
 	cases := map[float64]float64{
 		0.3: 0.25, 0.38: 0.5, -0.3: -0.25,
 		5: 0.75, -5: -0.75, 0: 0,
@@ -34,7 +35,7 @@ func TestQuantizeGridAndSaturation(t *testing.T) {
 }
 
 func TestFormatFor(t *testing.T) {
-	f, err := FormatFor(3.5, 8)
+	f, err := quant.FormatFor(3.5, 8)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -46,15 +47,15 @@ func TestFormatFor(t *testing.T) {
 	}
 	// a width that cannot cover the range saturates: all value bits
 	// become integer bits
-	sat, err := FormatFor(100, 2)
+	sat, err := quant.FormatFor(100, 2)
 	if err != nil || sat.IntBits != 1 || sat.FracBits != 0 {
 		t.Fatalf("saturating format = %+v (%v)", sat, err)
 	}
-	if _, err := FormatFor(1, 1); err == nil {
+	if _, err := quant.FormatFor(1, 1); err == nil {
 		t.Fatal("1-bit format accepted")
 	}
 	// zero magnitude: everything fractional
-	z, err := FormatFor(0, 8)
+	z, err := quant.FormatFor(0, 8)
 	if err != nil || z.IntBits != 0 || z.FracBits != 7 {
 		t.Fatalf("zero-range format = %+v (%v)", z, err)
 	}
@@ -64,7 +65,7 @@ func TestFormatFor(t *testing.T) {
 func TestQuantizeErrorBoundProperty(t *testing.T) {
 	f := func(seed uint64) bool {
 		r := tensor.NewRNG(seed)
-		fmtq := Format{IntBits: r.Intn(3), FracBits: 1 + r.Intn(10)}
+		fmtq := quant.Format{IntBits: r.Intn(3), FracBits: 1 + r.Intn(10)}
 		v := r.Range(-fmtq.Max(), fmtq.Max())
 		q := fmtq.Quantize(v)
 		step := math.Exp2(-float64(fmtq.FracBits))
@@ -77,7 +78,7 @@ func TestQuantizeErrorBoundProperty(t *testing.T) {
 
 func TestQuantizeNetPreservesStructure(t *testing.T) {
 	fx := testutil.TrainedLeNet16()
-	qnet, formats, err := QuantizeNet(fx.Conv.Net, 8)
+	qnet, formats, err := quant.QuantizeNet(fx.Conv.Net, 8)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -88,7 +89,7 @@ func TestQuantizeNetPreservesStructure(t *testing.T) {
 		t.Fatal(err)
 	}
 	// original must be untouched
-	if RMSError(fx.Conv.Net, qnet) == 0 {
+	if quant.RMSError(fx.Conv.Net, qnet) == 0 {
 		t.Fatal("quantization had no effect at 8 bits (suspicious)")
 	}
 	for i := range fx.Conv.Net.Stages {
@@ -102,11 +103,11 @@ func TestRMSErrorDecreasesWithBits(t *testing.T) {
 	fx := testutil.TrainedLeNet16()
 	prev := math.Inf(1)
 	for _, bits := range []int{4, 6, 8, 12} {
-		qnet, _, err := QuantizeNet(fx.Conv.Net, bits)
+		qnet, _, err := quant.QuantizeNet(fx.Conv.Net, bits)
 		if err != nil {
 			t.Fatal(err)
 		}
-		e := RMSError(fx.Conv.Net, qnet)
+		e := quant.RMSError(fx.Conv.Net, qnet)
 		if e >= prev {
 			t.Fatalf("RMS error not decreasing: %v bits -> %v (prev %v)", bits, e, prev)
 		}
@@ -123,7 +124,7 @@ func TestAccuracyVsBits(t *testing.T) {
 		qnet := fx.Conv.Net
 		if bits > 0 {
 			var err error
-			qnet, _, err = QuantizeNet(fx.Conv.Net, bits)
+			qnet, _, err = quant.QuantizeNet(fx.Conv.Net, bits)
 			if err != nil {
 				t.Fatal(err)
 			}

@@ -74,6 +74,16 @@ type SingleEngine interface {
 	InferOne(input []float64, sample int) Prediction
 }
 
+// EngineDescriber is the optional self-description capability: engines
+// that implement it get their kernel name exported as "engine" on
+// /metrics, so operators can tell from a snapshot which inference path
+// a server is running — clocked, event, quant, or a coding scheme.
+// Discovery is by type assertion in New, like SingleEngine.
+type EngineDescriber interface {
+	// EngineDesc returns a short stable identifier, e.g. "quant".
+	EngineDesc() string
+}
+
 // ChunkReporter is implemented by engines whose batch execution runs
 // data-parallel on a core.Pool; ParallelChunks returns the cumulative
 // number of work chunks dispatched, exported as parallel_chunks on
@@ -114,6 +124,9 @@ func (e *TTFSEngine) InLen() int { return e.Model.Net.InLen }
 func (e *TTFSEngine) Classes() int {
 	return e.Model.Net.Stages[len(e.Model.Net.Stages)-1].OutLen
 }
+
+// EngineDesc implements EngineDescriber.
+func (e *TTFSEngine) EngineDesc() string { return "clocked" }
 
 // InferBatch implements Engine.
 func (e *TTFSEngine) InferBatch(inputs [][]float64, samples []int) []Prediction {
@@ -190,6 +203,9 @@ func (e *SchemeEngine) InLen() int { return e.Net.InLen }
 func (e *SchemeEngine) Classes() int {
 	return e.Net.Stages[len(e.Net.Stages)-1].OutLen
 }
+
+// EngineDesc implements EngineDescriber.
+func (e *SchemeEngine) EngineDesc() string { return e.Scheme.Name() }
 
 // InferBatch implements Engine.
 func (e *SchemeEngine) InferBatch(inputs [][]float64, samples []int) []Prediction {

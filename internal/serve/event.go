@@ -42,6 +42,9 @@ func (e *EventEngine) Classes() int {
 	return e.Model.Net.Stages[len(e.Model.Net.Stages)-1].OutLen
 }
 
+// EngineDesc implements EngineDescriber.
+func (e *EventEngine) EngineDesc() string { return "event" }
+
 // InferOne implements SingleEngine. Safe for concurrent use: every call
 // checks a scratch arena out of the pool for its whole duration.
 func (e *EventEngine) InferOne(input []float64, sample int) Prediction {

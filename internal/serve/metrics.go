@@ -72,6 +72,11 @@ type Metrics struct {
 	bp99Seq     uint64        // batchLatSeq when bp99 was computed
 
 	conf *metrics.Confusion // nil when class count unknown
+
+	// engine is the serving engine's self-description (EngineDescriber),
+	// "" when the engine doesn't implement the capability. Set once at
+	// server construction (or swap), read under mu like everything else.
+	engine string
 }
 
 func newMetrics(maxBatch, classes int) *Metrics {
@@ -189,6 +194,12 @@ func (m *Metrics) setParallelChunks(v uint64) {
 	m.mu.Unlock()
 }
 
+func (m *Metrics) setEngine(desc string) {
+	m.mu.Lock()
+	m.engine = desc
+	m.mu.Unlock()
+}
+
 func (m *Metrics) batchDone(size int) {
 	m.mu.Lock()
 	if size >= 0 && size < len(m.batchSizes) {
@@ -201,6 +212,11 @@ func (m *Metrics) batchDone(size int) {
 // for JSON export on /metrics.
 type Snapshot struct {
 	UptimeSeconds float64 `json:"uptime_seconds"`
+
+	// Engine names the inference kernel serving this endpoint ("clocked",
+	// "event", "quant", or a coding scheme name); omitted when the engine
+	// doesn't describe itself.
+	Engine string `json:"engine,omitempty"`
 
 	Accepted  uint64 `json:"requests_accepted"`
 	Rejected  uint64 `json:"requests_rejected"`
@@ -252,6 +268,7 @@ func (m *Metrics) Snapshot() Snapshot {
 	defer m.mu.Unlock()
 	s := Snapshot{
 		UptimeSeconds:    time.Since(m.start).Seconds(),
+		Engine:           m.engine,
 		Accepted:         m.accepted,
 		Rejected:         m.rejected,
 		Expired:          m.expired,

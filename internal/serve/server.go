@@ -125,6 +125,9 @@ func New(eng Engine, opt Options) *Server {
 		queue: make(chan *request, opt.QueueSize),
 	}
 	s.single, _ = eng.(SingleEngine)
+	if d, ok := eng.(EngineDescriber); ok {
+		s.met.setEngine(d.EngineDesc())
+	}
 	batches := make(chan []*request)
 	s.wg.Add(1 + opt.Workers)
 	go s.dispatch(batches)

@@ -291,6 +291,15 @@ func (s *Stage) FanOut(idx int) int {
 		y, x := rem/p.InW, rem%p.InW
 		idx = (c*p.OutH()+y/p.K)*p.OutW() + x/p.K
 	}
+	return s.RowLen(idx)
+}
+
+// RowLen returns the number of synapses in the scatter row of a RowKey
+// (the post-pool input index): exactly how many entries AppendContribs
+// emits for that key, so plan builders can preallocate rows instead of
+// growing them append by append.
+func (s *Stage) RowLen(key int) int {
+	idx := key
 	switch s.Kind {
 	case ConvStage:
 		g := s.Geom

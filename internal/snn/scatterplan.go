@@ -69,12 +69,14 @@ func NewScatterPlan(st *Stage) *ScatterPlan {
 }
 
 // Row returns the cached scatter row for a RowKey, building it on first
-// use. Steady-state calls are a single atomic load.
+// use. Steady-state calls are a single atomic load. The build path
+// preallocates the exact row length (Stage.RowLen), so a row is written
+// once and never re-grown — published rows are immutable.
 func (p *ScatterPlan) Row(key int) []Contrib {
 	if r := p.rows[key].Load(); r != nil {
 		return *r
 	}
-	row := p.st.AppendContribs(key, []Contrib{})
+	row := p.st.AppendContribs(key, make([]Contrib, 0, p.st.RowLen(key)))
 	p.rows[key].Store(&row)
 	return row
 }

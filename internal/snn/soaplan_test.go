@@ -1,0 +1,235 @@
+package snn
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/tensor"
+)
+
+// pooledConvStage is convStage with an average pool in front, so RowKey
+// compression and the pool divisor are exercised.
+func pooledConvStage() Stage {
+	st := convStage(false)
+	st.PrePool = &PoolSpec{C: 2, InH: 8, InW: 8, K: 2}
+	st.InLen = 2 * 8 * 8
+	return st
+}
+
+func TestFixedRoundHalfAwayFromZero(t *testing.T) {
+	cases := map[float64]float64{
+		0.5: 1, -0.5: -1, 1.5: 2, -1.5: -2, 2.5: 3, -2.5: -3,
+		0.49: 0, -0.49: 0, 2: 2, 0: 0,
+	}
+	for in, want := range cases {
+		if got := FixedRound(in); got != want {
+			t.Fatalf("FixedRound(%v) = %v, want %v", in, got, want)
+		}
+	}
+}
+
+// RowLen must predict exactly how many entries AppendContribs emits for
+// every key — it is the preallocation contract of ScatterPlan.Row and
+// the sizing pass of NewSoAPlan.
+func TestRowLenMatchesAppendContribs(t *testing.T) {
+	for name, st := range map[string]Stage{
+		"conv":   convStage(false),
+		"pooled": pooledConvStage(),
+		"dense":  denseStage(7, 5, true),
+	} {
+		for key := 0; key < st.NumRowKeys(); key++ {
+			row := st.AppendContribs(key, nil)
+			if got := st.RowLen(key); got != len(row) {
+				t.Fatalf("%s key %d: RowLen = %d, AppendContribs emits %d", name, key, got, len(row))
+			}
+		}
+	}
+}
+
+// Regression (PR 8): ScatterPlan.Row used to build rows by appending to
+// a zero-capacity slice, re-growing during plan build and leaving the
+// cached row with slack capacity. The fixed build preallocates from
+// Stage.RowLen, so a cached row's capacity equals its length exactly.
+func TestScatterPlanRowPreallocated(t *testing.T) {
+	for name, st := range map[string]Stage{
+		"conv":  convStage(false),
+		"dense": denseStage(6, 5, true), // 5 is not an append growth size
+	} {
+		st := st
+		plan := NewScatterPlan(&st)
+		for key := 0; key < st.NumRowKeys(); key++ {
+			row := plan.Row(key)
+			if len(row) == 0 {
+				continue
+			}
+			if cap(row) != len(row) {
+				t.Fatalf("%s key %d: row len %d cap %d — built without preallocation",
+					name, key, len(row), cap(row))
+			}
+		}
+	}
+}
+
+// Published rows must never mutate: concurrent readers (the serve-layer
+// engines share one plan across goroutines) rely on a row being
+// write-once. Run under -race this also catches unsynchronized writes.
+func TestScatterPlanRowImmutableUnderRace(t *testing.T) {
+	st := convStage(false)
+	plan := NewScatterPlan(&st)
+
+	// Snapshot rows from one goroutine while others race to build them.
+	var wg sync.WaitGroup
+	snaps := make([][][]Contrib, 8)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			snap := make([][]Contrib, st.NumRowKeys())
+			for key := 0; key < st.NumRowKeys(); key++ {
+				row := plan.Row(key)
+				snap[key] = append([]Contrib(nil), row...)
+			}
+			snaps[g] = snap
+		}(g)
+	}
+	wg.Wait()
+
+	// Every goroutine must have observed identical row contents, and the
+	// now-cached rows must still match the snapshots.
+	for key := 0; key < st.NumRowKeys(); key++ {
+		want := st.AppendContribs(key, nil)
+		for g := range snaps {
+			got := snaps[g][key]
+			if len(got) != len(want) {
+				t.Fatalf("goroutine %d key %d: %d contribs, want %d", g, key, len(got), len(want))
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("goroutine %d key %d[%d]: %+v, want %+v", g, key, i, got[i], want[i])
+				}
+			}
+		}
+		cached := plan.Row(key)
+		for i := range want {
+			if cached[i] != want[i] {
+				t.Fatalf("cached row %d mutated after publication: %+v != %+v", key, cached[i], want[i])
+			}
+		}
+	}
+}
+
+// NewSoAPlan must hold exactly the nonzero-quantized synapses of every
+// row, in scatterCore visit order, with weights rounded by FixedRound
+// and saturated at ±maxQ.
+func TestSoAPlanMatchesScatterRows(t *testing.T) {
+	const step = 1.0 / 64
+	const maxQ = 127
+	for name, st := range map[string]Stage{
+		"conv":   convStage(false),
+		"pooled": pooledConvStage(),
+		"dense":  denseStage(7, 5, true),
+	} {
+		st := st
+		// Force some zero-quantized and some saturating weights.
+		st.W.Data[0] = step / 4    // rounds to 0 → dropped
+		st.W.Data[1] = -step / 4   // rounds to 0 → dropped
+		st.W.Data[2] = 10          // saturates at +maxQ
+		st.W.Data[3] = -10         // saturates at −maxQ
+		st.W.Data[4] = 1.5 * step  // tie: rounds away from zero → 2
+		st.W.Data[5] = -1.5 * step // tie: rounds away from zero → −2
+
+		p := NewSoAPlan(&st, step, maxQ)
+		if len(p.Idx) != len(p.Wq) || len(p.Idx) != p.Synapses {
+			t.Fatalf("%s: inconsistent SoA lengths: %d idx, %d wq, %d synapses", name, len(p.Idx), len(p.Wq), p.Synapses)
+		}
+		if p.Off[0] != 0 || int(p.Off[len(p.Off)-1]) != len(p.Idx) {
+			t.Fatalf("%s: Off endpoints %d..%d, want 0..%d", name, p.Off[0], p.Off[len(p.Off)-1], len(p.Idx))
+		}
+
+		total, inDeg := 0, make(map[int32]int)
+		for key := 0; key < st.NumRowKeys(); key++ {
+			full := st.AppendContribs(key, nil)
+			total += len(full)
+			ix, ws := p.Row(key)
+			pos := 0
+			for _, c := range full {
+				q := FixedRound(c.W / step)
+				if q > maxQ {
+					q = maxQ
+				} else if q < -maxQ {
+					q = -maxQ
+				}
+				if q == 0 {
+					continue
+				}
+				if pos >= len(ix) {
+					t.Fatalf("%s key %d: SoA row too short", name, key)
+				}
+				if ix[pos] != c.J || ws[pos] != int8(q) {
+					t.Fatalf("%s key %d pos %d: got (%d,%d), want (%d,%d)", name, key, pos, ix[pos], ws[pos], c.J, int(q))
+				}
+				inDeg[c.J]++
+				pos++
+			}
+			if pos != len(ix) {
+				t.Fatalf("%s key %d: SoA row has %d extra synapses", name, key, len(ix)-pos)
+			}
+		}
+		if p.Dropped+p.Synapses != total {
+			t.Fatalf("%s: dropped %d + kept %d != total %d", name, p.Dropped, p.Synapses, total)
+		}
+		if p.Dropped == 0 {
+			t.Fatalf("%s: expected some zero-quantized synapses to be dropped", name)
+		}
+		maxDeg := 0
+		for _, d := range inDeg {
+			if d > maxDeg {
+				maxDeg = d
+			}
+		}
+		if p.MaxInDegree != maxDeg {
+			t.Fatalf("%s: MaxInDegree = %d, want %d", name, p.MaxInDegree, maxDeg)
+		}
+	}
+}
+
+// A spike replayed through the SoA plan must match Scatter on the
+// dequantized-weight stage: SoA is the int8 mirror of the float path.
+func TestSoAPlanScatterMatchesQuantizedScatter(t *testing.T) {
+	st := pooledConvStage()
+	const step = 1.0 / 32
+	const maxQ = 127
+	p := NewSoAPlan(&st, step, maxQ)
+
+	// Dequantized twin: same grid, float weights.
+	qst := st
+	qst.W = st.W.Clone()
+	for i, w := range qst.W.Data {
+		q := FixedRound(w / step)
+		if q > maxQ {
+			q = maxQ
+		} else if q < -maxQ {
+			q = -maxQ
+		}
+		qst.W.Data[i] = q * step
+	}
+
+	r := tensor.NewRNG(7)
+	for trial := 0; trial < 20; trial++ {
+		idx := r.Intn(st.InLen)
+		want := make([]float64, st.OutLen)
+		qst.Scatter(idx, 1, want)
+
+		got := make([]float64, st.OutLen)
+		key, div := st.RowKey(idx)
+		ix, ws := p.Row(key)
+		for i, j := range ix {
+			got[j] += float64(ws[i]) * step / div
+		}
+		for j := range want {
+			if d := got[j] - want[j]; d > 1e-12 || d < -1e-12 {
+				t.Fatalf("trial %d neuron %d: SoA %v, quantized scatter %v", trial, j, got[j], want[j])
+			}
+		}
+	}
+}

@@ -28,7 +28,7 @@ fi
 GMP="${GOMAXPROCS:-$(nproc)}"
 
 # The hot-path benchmarks the zero-allocation work is gated on.
-PATTERN='BenchmarkInfer$|BenchmarkInferBatch$|BenchmarkInferBatchScratch$|BenchmarkInferBatchParallel$|BenchmarkInferEventEarlyExit$'
+PATTERN='BenchmarkInfer$|BenchmarkInferBatch$|BenchmarkInferBatchScratch$|BenchmarkInferBatchParallel$|BenchmarkInferEventEarlyExit$|BenchmarkInferQuant$'
 PKG=./internal/core/
 
 if [[ $SMOKE -eq 1 ]]; then
