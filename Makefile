@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test check bench bench-smoke bench-paper benchdiff faultbench serve-smoke gate-smoke quant-parity
+.PHONY: build test check bench bench-smoke bench-paper benchdiff faultbench serve-smoke gate-smoke quant-parity profile
 
 build:
 	$(GO) build ./...
@@ -64,3 +64,10 @@ bench-paper:
 
 faultbench:
 	$(GO) run ./cmd/faultbench -scale tiny
+
+# profile boots snnserve with -pprof, captures a CPU profile while
+# snnload drives traffic, and writes profile_serve.pb.gz — the evidence
+# base for serve-path perf PRs. PROFILE_ARGS passes extra snnload flags
+# (e.g. PROFILE_ARGS='-wire binary').
+profile:
+	bash scripts/profile.sh

@@ -15,7 +15,10 @@ import (
 	"io"
 	"os"
 
+	"repro/internal/core"
 	"repro/internal/experiments"
+	"repro/internal/snn"
+	"repro/internal/tensor"
 )
 
 func main() {
@@ -25,7 +28,20 @@ func main() {
 	useGO := flag.Bool("go", true, "apply gradient-based kernel optimization")
 	out := flag.String("o", "", "output model path (default <dataset>.t2f)")
 	quiet := flag.Bool("quiet", false, "suppress progress logging")
+	micro := flag.Int("micro", 0, "skip training and emit a synthetic wire-bench model: N input pixels fanned into a single dense 10-class output stage with seeded random weights. Wide input + near-zero compute makes transport cost dominate, which is what the wire-protocol smoke and profile legs measure.")
 	flag.Parse()
+
+	if *micro > 0 {
+		path := *out
+		if path == "" {
+			path = "micro.t2f"
+		}
+		if err := writeMicroModel(path, *micro); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %s: micro wire-bench model, %d inputs -> 10 classes, T=%d\n", path, *micro, microT)
+		return
+	}
 
 	scale, err := experiments.ParseScale(*scaleFlag)
 	if err != nil {
@@ -69,6 +85,50 @@ func main() {
 	}
 	fmt.Printf("wrote %s: %s, %d stages, %d neurons, T=%d, GO=%v (DNN test acc %.1f%%)\n",
 		path, model.Net.Name, len(model.Net.Stages), model.Net.NumNeurons(), model.T, *useGO, 100*s.DNNAcc)
+}
+
+// microT is the fire window of -micro models: the MNIST-scale default,
+// long enough for fine-grained TTFS encoding, short enough that a
+// request's compute stays trivially small next to its transport cost.
+const microT = 20
+
+// writeMicroModel builds and saves the -micro network: one dense stage
+// mapping inLen inputs straight onto 10 output potentials. Weights are
+// deterministic (fixed-seed Xavier), so every build of the same size
+// predicts identically — the wire smoke leg diffs predictions across
+// transport formats against exactly this property.
+func writeMicroModel(path string, inLen int) error {
+	const classes = 10
+	w := tensor.New(inLen, classes)
+	rng := tensor.NewRNG(1)
+	rng.XavierInit(w, inLen, classes)
+	net := &snn.Net{
+		Name:    fmt.Sprintf("micro-%d", inLen),
+		InShape: []int{1, 1, inLen},
+		InLen:   inLen,
+		Stages: []snn.Stage{{
+			Name:   "out",
+			Kind:   snn.DenseStage,
+			W:      w,
+			B:      tensor.New(classes),
+			InLen:  inLen,
+			OutLen: classes,
+			Output: true,
+		}},
+	}
+	m, err := core.NewModel(net, microT, float64(microT)/4, 0)
+	if err != nil {
+		return err
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := m.Save(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func fatal(err error) {

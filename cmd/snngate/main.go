@@ -46,7 +46,9 @@ func main() {
 	noHedge := flag.Bool("no-hedge", false, "disable latency hedging (failure retries remain)")
 	poolWait := flag.Duration("pool-wait", time.Second, "max time a request waits for a live backend before 503")
 	clientHeader := flag.String("client-header", "X-Client-ID", "request header carrying client identity for backend affinity")
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof debug endpoints on this address (e.g. 127.0.0.1:6061; empty = disabled)")
 	flag.Parse()
+	startPprof("snngate", *pprofAddr)
 
 	g, err := gateway.New(gateway.Options{
 		Backends:      backends,

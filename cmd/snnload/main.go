@@ -10,7 +10,7 @@
 //
 // The final line is machine-readable:
 //
-//	RESULT ok=500 err=0 failed=0 rejected=0 shed=0 expired=0 retry_after=0 wall_s=1.23 throughput=406.5 p50_ms=18.2 p99_ms=44.0 acc=0.96 early_exit=0 events_saved=0
+//	RESULT ok=500 err=0 failed=0 rejected=0 shed=0 expired=0 retry_after=0 wall_s=1.23 throughput=406.5 p50_ms=18.2 p99_ms=44.0 acc=0.96 early_exit=0 events_saved=0 conn_err=0
 //
 // so scripts (make serve-smoke, make gate-smoke) can assert on it.
 // Rejected requests (429 backpressure or admission control) are
@@ -25,7 +25,15 @@
 // mid-run) are likewise retried with backoff; a request that exhausts
 // its retries counts as failed rather than aborting the run, so a
 // chaos test can kill a backend and still get a full RESULT line.
-// failed > 0 exits nonzero unless -tolerate-fail is set.
+// failed > 0 exits nonzero unless -tolerate-fail is set. conn_err
+// counts every transport-level error observed (including ones a retry
+// later recovered), separately from HTTP-status failures.
+//
+// -wire binary switches the request/response encoding to the
+// application/x-t2f frames of internal/wire (bodies pre-encoded once
+// per sample and replayed through a per-worker bytes.Reader, -lane u8
+// for the 1-byte-per-neuron input lane); -preds writes per-sample
+// predictions for cross-format bit-identity diffs.
 package main
 
 import (
@@ -33,6 +41,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"math"
 	"net/http"
 	"os"
@@ -44,6 +53,7 @@ import (
 
 	"repro/internal/dataset"
 	"repro/internal/serve"
+	"repro/internal/wire"
 )
 
 func main() {
@@ -62,7 +72,29 @@ func main() {
 	tolerateFail := flag.Bool("tolerate-fail", false, "exit zero even when some requests exhausted their transport-error retries (failed > 0)")
 	faults := flag.Bool("faults", false, "request per-sample fault injection (sends the sample index)")
 	warmup := flag.Duration("warmup", 60*time.Second, "how long to wait for the server to report healthy")
+	wireFmt := flag.String("wire", "json", "request wire format: json|binary (binary = application/x-t2f frames)")
+	lane := flag.String("lane", "f32", "binary input lane: f32|u8 (with -wire binary)")
+	predsFile := flag.String("preds", "", "write per-sample predictions (\"index pred\" lines) to this file, for cross-format bit-identity diffs")
 	flag.Parse()
+
+	binary := false
+	switch *wireFmt {
+	case "json":
+	case "binary":
+		binary = true
+	default:
+		fmt.Fprintf(os.Stderr, "snnload: unknown wire format %q (want json or binary)\n", *wireFmt)
+		os.Exit(1)
+	}
+	wireLane := wire.LaneF32
+	switch *lane {
+	case "f32":
+	case "u8":
+		wireLane = wire.LaneU8
+	default:
+		fmt.Fprintf(os.Stderr, "snnload: unknown lane %q (want f32 or u8)\n", *lane)
+		os.Exit(1)
+	}
 
 	switch *mode {
 	case "", serve.ModeLatency, serve.ModeThroughput:
@@ -98,11 +130,30 @@ func main() {
 	}
 
 	// Pre-encode every request body once: the load loop measures the
-	// server, not the JSON encoder.
+	// server, not the encoder (either format's).
+	contentType := "application/json"
+	if binary {
+		contentType = wire.ContentType
+	}
 	bodies := make([][]byte, *samples)
 	for i := 0; i < *samples; i++ {
+		input := eval.X.Data[i*sampleLen : (i+1)*sampleLen]
+		if binary {
+			h := wire.Request{
+				Lane:      wireLane,
+				Sample:    -1,
+				Label:     eval.Labels[i],
+				TimeoutMs: *timeoutMs,
+				Mode:      wireMode(*mode),
+			}
+			if *faults {
+				h.Sample = i
+			}
+			bodies[i] = wire.AppendRequest(nil, h, input)
+			continue
+		}
 		req := serve.InferRequest{
-			Input:     eval.X.Data[i*sampleLen : (i+1)*sampleLen],
+			Input:     input,
 			Label:     &eval.Labels[i],
 			TimeoutMs: *timeoutMs,
 			Mode:      *mode,
@@ -121,13 +172,27 @@ func main() {
 
 	var (
 		okCt, errCt, rejectCt, correctCt atomic.Int64
-		failedCt                         atomic.Int64
+		failedCt, connErrCt              atomic.Int64
 		shedCt, expiredCt, retryAfterCt  atomic.Int64
 		earlyExitCt, eventsSavedCt       atomic.Int64
 		mu                               sync.Mutex
 		lats                             []time.Duration
 	)
-	client := &http.Client{}
+	// The default transport keeps only 2 idle connections per host —
+	// at -c 12 the surplus workers would re-dial every request and the
+	// run would measure connection setup, not the server.
+	client := &http.Client{Transport: &http.Transport{
+		MaxIdleConns:        2 * *c,
+		MaxIdleConnsPerHost: 2 * *c,
+		IdleConnTimeout:     90 * time.Second,
+		DisableCompression:  true,
+	}}
+	// preds[i] is the first prediction observed for sample i (they are
+	// deterministic, so concurrent stores agree); -3 = never queried.
+	preds := make([]atomic.Int32, *samples)
+	for i := range preds {
+		preds[i].Store(-3)
+	}
 	next := make(chan int, *n)
 	for i := 0; i < *n; i++ {
 		next <- i
@@ -140,12 +205,16 @@ func main() {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			// One poster per worker: the body reader and response scratch
+			// are reused across every request and retry this worker sends.
+			p := &poster{client: client, url: inferURL, clientID: *clientID, contentType: contentType, binary: binary}
 			for i := range next {
 				si := i % *samples
 				t0 := time.Now()
-				resp, m, err := postWithRetry(client, inferURL, *clientID, bodies[si], *retries)
+				resp, m, err := p.post(bodies[si], *retries)
 				rejectCt.Add(int64(m.rejected))
 				retryAfterCt.Add(int64(m.retryAfterSeen))
+				connErrCt.Add(int64(m.connErrs))
 				switch {
 				case err == nil:
 					okCt.Add(1)
@@ -156,6 +225,7 @@ func main() {
 						earlyExitCt.Add(1)
 					}
 					eventsSavedCt.Add(int64(resp.EventsSaved))
+					preds[si].Store(int32(resp.Pred))
 					mu.Lock()
 					lats = append(lats, time.Since(t0))
 					mu.Unlock()
@@ -175,6 +245,13 @@ func main() {
 	}
 	wg.Wait()
 	wall := time.Since(start)
+
+	if *predsFile != "" {
+		if err := writePreds(*predsFile, preds); err != nil {
+			fmt.Fprintf(os.Stderr, "snnload: %v\n", err)
+			os.Exit(1)
+		}
+	}
 
 	ok, errs, rejected := okCt.Load(), errCt.Load(), rejectCt.Load()
 	failed, shed, expired := failedCt.Load(), shedCt.Load(), expiredCt.Load()
@@ -209,9 +286,13 @@ func main() {
 			snap.MeanBatchSize, snap.Completed, snap.Rejected, snap.SpikesPerSample, snap.ParallelChunks,
 			snap.EarlyExitTotal, snap.EventsSaved, snap.LatencyPathTotal)
 	}
-	fmt.Printf("RESULT ok=%d err=%d failed=%d rejected=%d shed=%d expired=%d retry_after=%d wall_s=%.3f throughput=%.1f p50_ms=%.1f p99_ms=%.1f acc=%.3f early_exit=%d events_saved=%d\n",
+	// New fields append at the end: gate_smoke.sh and serve_smoke.sh grep
+	// existing key=value pairs out of this line. err= counts HTTP-status
+	// failures; conn_err= counts transport-level errors (refused/reset)
+	// across all attempts, including ones a retry later recovered.
+	fmt.Printf("RESULT ok=%d err=%d failed=%d rejected=%d shed=%d expired=%d retry_after=%d wall_s=%.3f throughput=%.1f p50_ms=%.1f p99_ms=%.1f acc=%.3f early_exit=%d events_saved=%d conn_err=%d\n",
 		ok, errs, failed, rejected, shed, expired, retryAfterCt.Load(), wall.Seconds(), throughput, pct(0.50), pct(0.99), acc,
-		earlyExitCt.Load(), eventsSavedCt.Load())
+		earlyExitCt.Load(), eventsSavedCt.Load(), connErrCt.Load())
 	if errs > 0 {
 		os.Exit(1)
 	}
@@ -250,39 +331,79 @@ func waitHealthy(addr string, window time.Duration) error {
 	}
 }
 
+// wireMode maps a serving-mode string onto its binary frame byte.
+func wireMode(mode string) uint8 {
+	switch mode {
+	case serve.ModeLatency:
+		return wire.ModeLatency
+	case serve.ModeThroughput:
+		return wire.ModeThroughput
+	}
+	return wire.ModeDefault
+}
+
+// writePreds dumps per-sample predictions as "index pred" lines, so two
+// runs in different wire formats can be diffed for bit-identity.
+func writePreds(path string, preds []atomic.Int32) error {
+	var b bytes.Buffer
+	for i := range preds {
+		fmt.Fprintf(&b, "%d %d\n", i, preds[i].Load())
+	}
+	return os.WriteFile(path, b.Bytes(), 0o644)
+}
+
 // postMeta describes how one logical request went beyond its decoded
 // response: how many 429s it absorbed, whether any carried Retry-After,
-// whether retries ran out, and the final HTTP status.
+// whether retries ran out, how many transport-level errors it saw, and
+// the final HTTP status.
 type postMeta struct {
 	rejected       int
 	retryAfterSeen int
+	connErrs       int
 	exhausted429   bool
 	exhaustedConn  bool
 	status         int
 }
 
-// postWithRetry sends one inference request, retrying 429 responses —
-// waiting out the server's Retry-After when present, else backing off
+// poster sends one worker's inference requests. The body reader and the
+// binary response scratch live for the worker's whole run: every
+// attempt Resets the same bytes.Reader over the pre-encoded body
+// instead of allocating a fresh one.
+type poster struct {
+	client      *http.Client
+	url         string
+	clientID    string
+	contentType string
+	binary      bool
+
+	rd   bytes.Reader
+	rbuf [wire.RespLen]byte
+}
+
+// post sends one inference request, retrying 429 responses — waiting
+// out the server's Retry-After when present, else backing off
 // exponentially from 2ms. Transport errors (connection refused or
 // reset: the server died, restarted, or was momentarily unreachable)
 // retry on the same schedule; exhausting them marks the request
 // exhaustedConn so the caller counts it as failed instead of tearing
 // the run down.
-func postWithRetry(client *http.Client, url, clientID string, body []byte, retries int) (serve.InferResponse, postMeta, error) {
+func (p *poster) post(body []byte, retries int) (serve.InferResponse, postMeta, error) {
 	var out serve.InferResponse
 	var meta postMeta
 	backoff := 2 * time.Millisecond
 	for attempt := 0; ; attempt++ {
-		req, err := http.NewRequest(http.MethodPost, url, bytes.NewReader(body))
+		p.rd.Reset(body)
+		req, err := http.NewRequest(http.MethodPost, p.url, &p.rd)
 		if err != nil {
 			return out, meta, err
 		}
-		req.Header.Set("Content-Type", "application/json")
-		if clientID != "" {
-			req.Header.Set("X-Client-ID", clientID)
+		req.Header.Set("Content-Type", p.contentType)
+		if p.clientID != "" {
+			req.Header.Set("X-Client-ID", p.clientID)
 		}
-		resp, err := client.Do(req)
+		resp, err := p.client.Do(req)
 		if err != nil {
+			meta.connErrs++
 			if attempt >= retries {
 				meta.exhaustedConn = true
 				return out, meta, fmt.Errorf("still unreachable after %d retries: %w", retries, err)
@@ -315,6 +436,26 @@ func postWithRetry(client *http.Client, url, clientID string, body []byte, retri
 			_ = json.NewDecoder(resp.Body).Decode(&e)
 			resp.Body.Close()
 			return out, meta, fmt.Errorf("status %d: %s", resp.StatusCode, e.Error)
+		}
+		if p.binary {
+			_, err := io.ReadFull(resp.Body, p.rbuf[:])
+			resp.Body.Close()
+			if err != nil {
+				return out, meta, fmt.Errorf("reading binary response: %w", err)
+			}
+			wr, err := wire.DecodeResponse(p.rbuf[:])
+			if err != nil {
+				return out, meta, err
+			}
+			out = serve.InferResponse{
+				Pred:         wr.Pred,
+				LatencySteps: wr.LatencySteps,
+				TotalSpikes:  int(wr.TotalSpikes),
+				WallMs:       float64(wr.WallUs) / 1000,
+				EarlyExit:    wr.EarlyExit,
+				EventsSaved:  int(wr.EventsSaved),
+			}
+			return out, meta, nil
 		}
 		err = json.NewDecoder(resp.Body).Decode(&out)
 		resp.Body.Close()

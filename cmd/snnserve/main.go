@@ -115,7 +115,9 @@ func main() {
 	fJitter := flag.Int("fault-jitter", 0, "max TTFS spike jitter in steps")
 	fStuck := flag.Float64("fault-stuck", 0, "stuck-silent neuron fraction")
 	fNoise := flag.Float64("fault-noise", 0, "threshold noise amplitude")
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof debug endpoints on this address (e.g. 127.0.0.1:6060; empty = disabled)")
 	flag.Parse()
+	startPprof("snnserve", *pprofAddr)
 
 	specs, err := parseModelSpecs(modelFlags, *ds, *scale, *scheme, *steps)
 	if err != nil {

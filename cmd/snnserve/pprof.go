@@ -1,0 +1,24 @@
+package main
+
+import (
+	"fmt"
+	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof on the DefaultServeMux
+	"os"
+)
+
+// startPprof serves the net/http/pprof endpoints on their own listener
+// when addr is non-empty. A separate listener keeps the profiling
+// surface off the serving port (and off by default): the serving mux
+// never routes /debug, so enabling pprof cannot change API behavior.
+func startPprof(prog, addr string) {
+	if addr == "" {
+		return
+	}
+	go func() {
+		fmt.Fprintf(os.Stderr, "%s: pprof on http://%s/debug/pprof/\n", prog, addr)
+		if err := http.ListenAndServe(addr, nil); err != nil {
+			fmt.Fprintf(os.Stderr, "%s: pprof: %v\n", prog, err)
+		}
+	}()
+}

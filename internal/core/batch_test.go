@@ -155,25 +155,38 @@ func TestInferBatchEmptyAndValidation(t *testing.T) {
 	m.InferBatch(make([][]float64, 2), RunConfig{}, make([]*fault.Stream, 3))
 }
 
+// BenchmarkInferBatch measures the serial batch path in its serving
+// configuration: scratch and the model's scatter plan warmed before the
+// timer, so allocs/op pins 0 and benchdiff can gate regressions on this
+// path the same way it gates the parallel and event benchmarks.
 func BenchmarkInferBatch(b *testing.B) {
 	loadFixture(b)
 	m := fixture.model()
+	cfg := RunConfig{EarlyFire: true}
 	for _, size := range []int{1, 8, 32} {
 		inputs := make([][]float64, size)
 		for i := range inputs {
 			inputs[i] = fixture.x.Data[i*256 : (i+1)*256]
 		}
 		b.Run(fmt.Sprintf("batch%d", size), func(b *testing.B) {
+			sc := NewInferScratch(m)
+			m.InferMany(inputs, cfg, InferOpts{Scratch: sc})
+			b.ReportAllocs()
+			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				m.InferBatch(inputs, RunConfig{EarlyFire: true}, nil)
+				m.InferMany(inputs, cfg, InferOpts{Scratch: sc})
 			}
 			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*size), "ns/sample")
 		})
 	}
 	b.Run("referenceInfer", func(b *testing.B) {
 		in := fixture.x.Data[:256]
+		sc := NewInferScratch(m)
+		m.InferOne(in, cfg, InferOpts{Scratch: sc})
+		b.ReportAllocs()
+		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
-			m.Infer(in, RunConfig{EarlyFire: true})
+			m.InferOne(in, cfg, InferOpts{Scratch: sc})
 		}
 	})
 }

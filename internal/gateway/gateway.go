@@ -44,6 +44,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/wire"
 )
 
 // maxBodyBytes mirrors the serve layer's request-body bound; the
@@ -169,6 +171,10 @@ func New(opt Options) (*Gateway, error) {
 			MaxIdleConns:        256,
 			MaxIdleConnsPerHost: 64,
 			IdleConnTimeout:     90 * time.Second,
+			// Inference payloads are tiny (binary frames especially);
+			// accept-encoding negotiation would only add per-request
+			// header work and an allocation on every proxied response.
+			DisableCompression: true,
 		}
 	}
 	g := &Gateway{
@@ -404,9 +410,19 @@ type attemptOutcome struct {
 	status   int
 	header   http.Header
 	body     []byte
+	buf      *[]byte // pooled backing store of body; release via releaseOutcome
 	err      error
 	canceled bool // canceled by us (a sibling won); not a health signal
 	dur      time.Duration
+}
+
+// releaseOutcome returns an outcome's pooled response buffer (if any)
+// and clears the body alias so a released buffer can't be read.
+func releaseOutcome(o *attemptOutcome) {
+	if o.buf != nil {
+		wire.PutBuf(o.buf)
+		o.buf, o.body = nil, nil
+	}
 }
 
 // retryable reports whether another backend may legally serve this
@@ -473,15 +489,22 @@ func (g *Gateway) attempt(ctx context.Context, b *backend, path, clientKey, cont
 		fail(err)
 		return
 	}
-	rb, err := io.ReadAll(io.LimitReader(resp.Body, maxBodyBytes+1))
+	// The response buffers through a pooled slice: the winner's bytes
+	// forward to the client verbatim (no decode/re-encode — binary
+	// frames and JSON alike), losers recycle without ever allocating.
+	bp := wire.GetBuf()
+	rb, err := readInto(*bp, io.LimitReader(resp.Body, maxBodyBytes+1))
+	*bp = rb
 	resp.Body.Close()
 	if err != nil {
+		wire.PutBuf(bp)
 		// Mid-body failure: the buffered response is discarded whole,
 		// so a retry elsewhere is still safe — the client saw nothing.
 		fail(fmt.Errorf("reading backend response: %w", err))
 		return
 	}
 	if len(rb) > maxBodyBytes {
+		wire.PutBuf(bp)
 		// An over-limit body must not be truncated and forwarded as if
 		// complete; fail the attempt (retryable on another backend).
 		fail(fmt.Errorf("backend response exceeds %d bytes", maxBodyBytes))
@@ -492,8 +515,30 @@ func (g *Gateway) attempt(ctx context.Context, b *backend, path, clientKey, cont
 	}
 	results <- attemptOutcome{
 		b: b, hedge: hedge,
-		status: resp.StatusCode, header: resp.Header, body: rb,
+		status: resp.StatusCode, header: resp.Header, body: rb, buf: bp,
 		dur: time.Since(t0),
+	}
+}
+
+// readInto drains r into buf (grown only when capacity is short) so a
+// pooled slice makes the steady state allocation-free.
+func readInto(buf []byte, r io.Reader) ([]byte, error) {
+	if cap(buf) == 0 {
+		buf = make([]byte, 0, 4096)
+	}
+	buf = buf[:0]
+	for {
+		if len(buf) == cap(buf) {
+			buf = append(buf, 0)[:len(buf)]
+		}
+		n, err := r.Read(buf[len(buf):cap(buf)])
+		buf = buf[:len(buf)+n]
+		if err == io.EOF {
+			return buf, nil
+		}
+		if err != nil {
+			return buf, err
+		}
 	}
 }
 
@@ -518,16 +563,46 @@ func canceledOutcome(ctx context.Context, lastFail attemptOutcome) attemptOutcom
 // primary attempt on the routed backend, an optional hedge on a second
 // backend once the p95 delay expires, immediate failover on retryable
 // failures, and cancellation of losers the moment a winner lands.
-func (g *Gateway) hedgedDo(ctx context.Context, path, clientKey, contentType string, body []byte) attemptOutcome {
+//
+// release, when non-nil, is called once every launched attempt has
+// delivered its outcome — the earliest moment the shared body buffer
+// can be recycled (all attempts read it through their own bytes.Reader,
+// and a straggler may still be mid-send when the winner returns). It
+// may fire after hedgedDo returns, from the straggler-drain goroutine.
+func (g *Gateway) hedgedDo(ctx context.Context, path, clientKey, contentType string, body []byte, release func()) attemptOutcome {
 	results := make(chan attemptOutcome, g.opt.MaxAttempts)
 	var tried []*backend
 	var cancels []context.CancelFunc
+	outstanding, launched := 0, 0
 	defer func() {
+		// Registered before the drain defer below so it runs after it
+		// (LIFO): stragglers get canceled right after the drain goroutine
+		// is in place to collect them.
 		for _, c := range cancels {
 			c()
 		}
 	}()
-	outstanding, launched := 0, 0
+	defer func() {
+		if outstanding == 0 {
+			if release != nil {
+				release()
+			}
+			return
+		}
+		// Every attempt sends exactly one outcome, so draining exactly
+		// `outstanding` more frees the stragglers' pooled response
+		// buffers and then the shared request body.
+		n := outstanding
+		go func() {
+			for i := 0; i < n; i++ {
+				out := <-results
+				releaseOutcome(&out)
+			}
+			if release != nil {
+				release()
+			}
+		}()
+	}()
 
 	launch := func(hedge bool) bool {
 		b := g.pick(clientKey, tried)
@@ -601,8 +676,10 @@ func (g *Gateway) hedgedDo(ctx context.Context, path, clientKey, contentType str
 						out.b.setCooldown(time.Now().Add(d))
 					}
 				}
+				releaseOutcome(&lastFail)
 				return out
 			}
+			releaseOutcome(&lastFail)
 			lastFail = out
 			if launched < g.opt.MaxAttempts && launch(false) {
 				g.met.retries.Add(1)
@@ -617,27 +694,41 @@ func (g *Gateway) hedgedDo(ctx context.Context, path, clientKey, contentType str
 				g.met.hedgesFired.Add(1)
 			}
 		case <-ctx.Done():
+			releaseOutcome(&lastFail)
 			return attemptOutcome{err: ctx.Err()}
 		}
 	}
 }
 
 // handleInfer is the routed inference path. The request body is
-// buffered up front (it must be resendable for hedges and retries);
-// the outcome is counted at exactly one of the three exits, keeping
+// buffered once into a pooled slice (it must be resendable for hedges
+// and retries — every attempt replays the same bytes, binary frames
+// and JSON alike, with no decode/re-encode in between); the outcome is
+// counted at exactly one of the three exits, keeping
 // accepted = completed + failed + shed exact.
 func (g *Gateway) handleInfer(w http.ResponseWriter, r *http.Request) {
 	if g.closed.Load() {
 		writeError(w, http.StatusServiceUnavailable, "gateway closing")
 		return
 	}
-	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	bp := wire.GetBuf()
+	body, err := readInto(*bp, http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	*bp = body
 	if err != nil {
+		wire.PutBuf(bp)
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			writeError(w, http.StatusRequestEntityTooLarge,
+				fmt.Sprintf("request body exceeds %d bytes", maxBodyBytes))
+			return
+		}
 		writeError(w, http.StatusBadRequest, fmt.Sprintf("reading request body: %v", err))
 		return
 	}
 	g.met.accepted.Add(1)
-	out := g.hedgedDo(r.Context(), r.URL.Path, r.Header.Get(g.opt.ClientHeader), r.Header.Get("Content-Type"), body)
+	out := g.hedgedDo(r.Context(), r.URL.Path, r.Header.Get(g.opt.ClientHeader), r.Header.Get("Content-Type"), body,
+		func() { wire.PutBuf(bp) })
+	defer releaseOutcome(&out)
 	switch {
 	case errors.Is(out.err, errNoBackends):
 		g.met.shed.Add(1)

@@ -634,7 +634,7 @@ func TestGatewayClientCancelNeverZeroOutcome(t *testing.T) {
 			time.Sleep(time.Duration(4+i%8) * time.Millisecond)
 			cancel()
 		}()
-		out := g.hedgedDo(ctx, "/v1/infer", "", "application/json", body)
+		out := g.hedgedDo(ctx, "/v1/infer", "", "application/json", body, nil)
 		cancel()
 		if out.err == nil && out.b == nil {
 			t.Fatal("hedgedDo returned a zero-value outcome for a canceled request")

@@ -1,0 +1,116 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"testing"
+
+	"repro/internal/wire"
+)
+
+// benchEngine is a minimal Engine+SingleEngine that does a fixed, tiny
+// amount of work and records nothing: BenchmarkServeE2E measures the
+// serving layer (routing, decode, pooling, encode), so the engine must
+// not contribute allocations or lock traffic of its own.
+type benchEngine struct {
+	inLen, classes int
+}
+
+func (e *benchEngine) InLen() int   { return e.inLen }
+func (e *benchEngine) Classes() int { return e.classes }
+
+func (e *benchEngine) InferOne(input []float64, sample int) Prediction {
+	best, bestV := 0, input[0]
+	for c := 1; c < e.classes; c++ {
+		if input[c] > bestV {
+			best, bestV = c, input[c]
+		}
+	}
+	return Prediction{Pred: best, Latency: 3, TotalSpikes: 42}
+}
+
+func (e *benchEngine) InferBatch(inputs [][]float64, samples []int) []Prediction {
+	preds := make([]Prediction, len(inputs))
+	for i, in := range inputs {
+		preds[i] = e.InferOne(in, samples[i])
+	}
+	return preds
+}
+
+// replayBody is a resettable request body: one bytes.Reader reused for
+// every iteration, so the benchmark's loop allocates nothing of its own
+// and allocs/op is the handler's true per-request cost.
+type replayBody struct{ *bytes.Reader }
+
+func (replayBody) Close() error { return nil }
+
+// benchResponseWriter is a reusable ResponseWriter: the header map and
+// the body buffer persist across iterations like a kept-alive
+// connection's write buffers would.
+type benchResponseWriter struct {
+	hdr  http.Header
+	buf  []byte
+	code int
+}
+
+func (w *benchResponseWriter) Header() http.Header { return w.hdr }
+func (w *benchResponseWriter) WriteHeader(c int)   { w.code = c }
+func (w *benchResponseWriter) Write(p []byte) (int, error) {
+	w.buf = append(w.buf, p...)
+	return len(p), nil
+}
+
+// BenchmarkServeE2E drives the full HTTP handler in-process (mux
+// routing, content negotiation, body decode, direct inference, response
+// encode) without real sockets, comparing the JSON and binary wire
+// formats. The request/response plumbing is reused across iterations so
+// allocs/op isolates the per-request cost of the handler itself.
+func BenchmarkServeE2E(b *testing.B) {
+	const inLen = 256
+	eng := &benchEngine{inLen: inLen, classes: 10}
+	srv := New(eng, Options{MaxBatch: 1}) // batching off: requests route direct
+	defer srv.Close()
+	h := srv.Handler()
+
+	input := make([]float64, inLen)
+	for i := range input {
+		input[i] = float64(i%17) / 17
+	}
+	jsonBody, err := json.Marshal(InferRequest{Input: input})
+	if err != nil {
+		b.Fatal(err)
+	}
+	binBody := wire.AppendRequest(nil, wire.Request{Lane: wire.LaneF32, Sample: -1, Label: -1}, input)
+
+	run := func(b *testing.B, body []byte, contentType string) {
+		rd := bytes.NewReader(body)
+		req, err := http.NewRequest(http.MethodPost, "/v1/infer", nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		req.Header.Set("Content-Type", contentType)
+		req.Body = replayBody{rd}
+		w := &benchResponseWriter{hdr: make(http.Header)}
+		// One warm pass primes every pool before the timer.
+		h.ServeHTTP(w, req)
+		if w.code != http.StatusOK {
+			b.Fatalf("status %d: %s", w.code, w.buf)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			rd.Reset(body)
+			w.buf = w.buf[:0]
+			w.code = 0
+			h.ServeHTTP(w, req)
+			if w.code != http.StatusOK {
+				b.Fatalf("status %d: %s", w.code, w.buf)
+			}
+		}
+	}
+
+	b.Run(fmt.Sprintf("json/in%d", inLen), func(b *testing.B) { run(b, jsonBody, "application/json") })
+	b.Run(fmt.Sprintf("binary/in%d", inLen), func(b *testing.B) { run(b, binBody, wire.ContentType) })
+}

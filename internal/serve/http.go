@@ -5,10 +5,14 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"math"
 	"net/http"
 	"strconv"
+	"sync"
 	"time"
+
+	"repro/internal/wire"
 )
 
 // maxBodyBytes bounds /v1/infer request bodies. The bound is defensive
@@ -17,7 +21,9 @@ import (
 // and anything approaching 8 MiB is a hostile or broken client.
 const maxBodyBytes = 8 << 20
 
-// InferRequest is the /v1/infer request body.
+// InferRequest is the /v1/infer JSON request body. Clients that care
+// about decode cost send the binary frame format instead (Content-Type
+// application/x-t2f, internal/wire); the fields correspond one-to-one.
 type InferRequest struct {
 	// Input is the flattened sample (length must match the model).
 	Input []float64 `json:"input"`
@@ -37,7 +43,8 @@ type InferRequest struct {
 	Mode string `json:"mode,omitempty"`
 }
 
-// InferResponse is the /v1/infer response body.
+// InferResponse is the /v1/infer JSON response body (the binary path
+// answers with a wire.Response frame carrying the same fields).
 type InferResponse struct {
 	Pred         int     `json:"pred"`
 	LatencySteps int     `json:"latency_steps"`
@@ -54,10 +61,57 @@ type errorResponse struct {
 	Error string `json:"error"`
 }
 
+// inferReq is one decoded inference request in wire-format-agnostic
+// form. Instances are pooled: the body buffer, the input slice, and the
+// JSON decode target all keep their capacity across requests, so the
+// steady-state decode path allocates nothing on either wire format.
+type inferReq struct {
+	input     []float64
+	sample    int // -1 = no fault stream
+	label     int // -1 = unlabeled
+	timeoutMs int
+	mode      string
+	wire      bool // binary response negotiated (application/x-t2f)
+
+	body []byte // pooled request-body read buffer
+
+	// js is the JSON decode target. Sample/Label point at sampleV/labelV
+	// so present fields decode into pooled memory instead of allocating;
+	// absent fields leave the pointees at the -1 sentinel, which the
+	// deref below reads back as "none" — the same meaning a nil pointer
+	// had. Input shares its backing array with input.
+	js               InferRequest
+	sampleV, labelV  int
+}
+
+var inferReqPool = sync.Pool{New: func() any { return new(inferReq) }}
+
+func putInferReq(ir *inferReq) { inferReqPool.Put(ir) }
+
+// inputPool holds the owned input buffers handed to the batching queue:
+// the enqueue transfers ownership to the worker, which recycles the
+// buffer once its batch has run (see runBatch), so an abandoned request
+// can never observe its input being reused under it.
+var inputPool = sync.Pool{New: func() any { return new([]float64) }}
+
+func getInput(n int) []float64 {
+	p := inputPool.Get().(*[]float64)
+	if cap(*p) < n {
+		return make([]float64, n)
+	}
+	return (*p)[:n]
+}
+
+func putInput(in []float64) {
+	inputPool.Put(&in)
+}
+
 // Handler returns the single-model HTTP API (Registry.Handler is the
 // multi-model superset):
 //
-//	POST /v1/infer  — one sample in, one prediction out
+//	POST /v1/infer  — one sample in, one prediction out (JSON, or the
+//	                  binary frame format when the request carries
+//	                  Content-Type application/x-t2f)
 //	GET  /healthz   — 200 while serving, 503 once Close started
 //	GET  /metrics   — JSON metrics snapshot
 func (s *Server) Handler() http.Handler {
@@ -73,46 +127,130 @@ func (s *Server) Handler() http.Handler {
 }
 
 func (s *Server) handleInfer(w http.ResponseWriter, r *http.Request) {
-	req, ok := decodeInferRequest(w, r, s)
+	ir, ok := decodeInferRequest(w, r, s)
 	if !ok {
 		return
 	}
-	serveInfer(w, r, s, req)
+	serveInfer(w, r, s, ir)
+	putInferReq(ir)
+}
+
+// readBody drains one request body into buf (grown only when capacity
+// is short), bounded by maxBodyBytes.
+func readBody(w http.ResponseWriter, r *http.Request, buf []byte) ([]byte, error) {
+	rd := http.MaxBytesReader(w, r.Body, maxBodyBytes)
+	if cap(buf) == 0 {
+		buf = make([]byte, 0, 4096)
+	}
+	buf = buf[:0]
+	for {
+		if len(buf) == cap(buf) {
+			buf = append(buf, 0)[:len(buf)]
+		}
+		n, err := rd.Read(buf[len(buf):cap(buf)])
+		buf = buf[:len(buf)+n]
+		if err == io.EOF {
+			return buf, nil
+		}
+		if err != nil {
+			return buf, err
+		}
+	}
 }
 
 // decodeInferRequest parses and validates one /v1/infer body against
-// srv's engine, writing the error response itself when it fails.
-func decodeInferRequest(w http.ResponseWriter, r *http.Request, srv *Server) (InferRequest, bool) {
-	var req InferRequest
+// srv's engine, writing the error response itself when it fails. The
+// wire format is negotiated on the request's Content-Type: the binary
+// frame format (application/x-t2f) decodes straight into pooled
+// buffers; everything else is treated as the JSON form. The returned
+// request is pooled — the caller must hand it back with putInferReq
+// once the response is written.
+func decodeInferRequest(w http.ResponseWriter, r *http.Request, srv *Server) (*inferReq, bool) {
 	if r.Method != http.MethodPost {
 		writeError(w, http.StatusMethodNotAllowed, "POST only")
-		return req, false
+		return nil, false
 	}
-	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
-	if err := dec.Decode(&req); err != nil {
+	ir := inferReqPool.Get().(*inferReq)
+	body, err := readBody(w, r, ir.body)
+	ir.body = body // keep the grown buffer even when the read failed
+	if err != nil {
+		putInferReq(ir)
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			writeError(w, http.StatusRequestEntityTooLarge,
+				fmt.Sprintf("request body exceeds %d bytes", maxBodyBytes))
+			return nil, false
+		}
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("reading request body: %v", err))
+		return nil, false
+	}
+	if wire.Negotiates(r.Header.Get("Content-Type")) {
+		h, in, err := wire.DecodeRequest(body, ir.input[:0], srv.eng.InLen())
+		ir.input = in
+		if err != nil {
+			putInferReq(ir)
+			writeError(w, http.StatusBadRequest, err.Error())
+			return nil, false
+		}
+		ir.wire = true
+		ir.sample, ir.label = h.Sample, h.Label
+		ir.timeoutMs = h.TimeoutMs
+		ir.mode = wireModeString(h.Mode)
+		return ir, true
+	}
+
+	// JSON path: unmarshal into the pooled decode target. Input keeps
+	// its backing array, and the pointer fields decode into pooled ints
+	// preloaded with the "absent" sentinel.
+	ir.wire = false
+	ir.sampleV, ir.labelV = -1, -1
+	ir.js = InferRequest{Input: ir.input[:0], Sample: &ir.sampleV, Label: &ir.labelV}
+	if err := json.Unmarshal(body, &ir.js); err != nil {
+		ir.input = ir.js.Input
+		putInferReq(ir)
+		// json.Unmarshal also rejects trailing data after the top-level
+		// value — a concatenated or mis-framed body we likely mis-read.
 		writeError(w, http.StatusBadRequest, fmt.Sprintf("bad request body: %v", err))
-		return req, false
+		return nil, false
 	}
-	// A body is exactly one JSON value: trailing garbage means a
-	// confused client (concatenated bodies, framing bug) whose request
-	// we likely mis-read, so reject rather than silently ignore it.
-	if dec.More() {
-		writeError(w, http.StatusBadRequest, "trailing data after JSON body")
-		return req, false
-	}
-	if len(req.Input) != srv.eng.InLen() {
+	ir.input = ir.js.Input
+	if len(ir.input) != srv.eng.InLen() {
+		putInferReq(ir)
 		writeError(w, http.StatusBadRequest,
-			fmt.Sprintf("input length %d, model expects %d", len(req.Input), srv.eng.InLen()))
-		return req, false
+			fmt.Sprintf("input length %d, model expects %d", len(ir.input), srv.eng.InLen()))
+		return nil, false
 	}
-	switch req.Mode {
+	switch ir.js.Mode {
 	case "", ModeLatency, ModeThroughput:
 	default:
+		mode := ir.js.Mode
+		putInferReq(ir)
 		writeError(w, http.StatusBadRequest,
-			fmt.Sprintf("mode %q, want %q or %q", req.Mode, ModeLatency, ModeThroughput))
-		return req, false
+			fmt.Sprintf("mode %q, want %q or %q", mode, ModeLatency, ModeThroughput))
+		return nil, false
 	}
-	return req, true
+	ir.sample, ir.label = -1, -1
+	if ir.js.Sample != nil {
+		ir.sample = *ir.js.Sample
+	}
+	if ir.js.Label != nil {
+		ir.label = *ir.js.Label
+	}
+	ir.timeoutMs = ir.js.TimeoutMs
+	ir.mode = ir.js.Mode
+	return ir, true
+}
+
+// wireModeString maps the binary frame's mode byte onto the serving
+// mode strings (wire.DecodeRequest already rejected anything else).
+func wireModeString(m uint8) string {
+	switch m {
+	case wire.ModeLatency:
+		return ModeLatency
+	case wire.ModeThroughput:
+		return ModeThroughput
+	}
+	return ""
 }
 
 // latencyRoute decides whether a decoded request takes the direct
@@ -122,11 +260,10 @@ func decodeInferRequest(w http.ResponseWriter, r *http.Request, srv *Server) (In
 // effective deadline is tighter than the engine's rolling batch p99
 // (a queued request would likely die waiting). Engines without the
 // SingleEngine capability always route through the queue.
-func (s *Server) latencyRoute(req InferRequest) bool {
+func (s *Server) latencyRoute(mode string, timeoutMs int) bool {
 	if s.single == nil {
 		return false
 	}
-	mode := req.Mode
 	if mode == "" {
 		mode = s.opt.DefaultMode
 	}
@@ -139,7 +276,7 @@ func (s *Server) latencyRoute(req InferRequest) bool {
 	if s.opt.MaxBatch == 1 {
 		return true
 	}
-	if t := s.inferTimeout(req.TimeoutMs); t > 0 {
+	if t := s.inferTimeout(timeoutMs); t > 0 {
 		if p99 := s.met.BatchLatencyP99(); p99 > 0 && t < p99 {
 			return true
 		}
@@ -166,8 +303,8 @@ func (s *Server) inferTimeout(timeoutMs int) time.Duration {
 // serveInfer runs one decoded request through srv and writes the
 // response. Admission (rate limiting, deadline shedding) is the
 // caller's job — the Registry does it before calling in.
-func serveInfer(w http.ResponseWriter, r *http.Request, srv *Server, req InferRequest) {
-	if err := serveInferSwappable(w, r, srv, req); err != nil {
+func serveInfer(w http.ResponseWriter, r *http.Request, srv *Server, ir *inferReq) {
+	if err := serveInferSwappable(w, r, srv, ir); err != nil {
 		writeInferError(w, err)
 	}
 }
@@ -176,17 +313,9 @@ func serveInfer(w http.ResponseWriter, r *http.Request, srv *Server, req InferRe
 // the response — except for ErrClosed, which is returned unwritten so
 // the registry's model path can chase a hot-swap cutover onto the
 // replacement server instead of failing the client.
-func serveInferSwappable(w http.ResponseWriter, r *http.Request, srv *Server, req InferRequest) error {
-	sample, label := -1, -1
-	if req.Sample != nil {
-		sample = *req.Sample
-	}
-	if req.Label != nil {
-		label = *req.Label
-	}
-
+func serveInferSwappable(w http.ResponseWriter, r *http.Request, srv *Server, ir *inferReq) error {
 	ctx := r.Context()
-	if timeout := srv.inferTimeout(req.TimeoutMs); timeout > 0 {
+	if timeout := srv.inferTimeout(ir.timeoutMs); timeout > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, timeout)
 		defer cancel()
@@ -195,10 +324,12 @@ func serveInferSwappable(w http.ResponseWriter, r *http.Request, srv *Server, re
 	start := time.Now()
 	var pred Prediction
 	var err error
-	if srv.latencyRoute(req) {
-		pred, err = srv.InferDirect(ctx, req.Input, sample, label)
+	if srv.latencyRoute(ir.mode, ir.timeoutMs) {
+		// The direct path is synchronous: the engine is done with
+		// ir.input when it returns, so the pooled buffer recycles freely.
+		pred, err = srv.InferDirect(ctx, ir.input, ir.sample, ir.label)
 	} else {
-		pred, err = srv.Infer(ctx, req.Input, sample, label)
+		pred, err = srv.inferQueued(ctx, ir.input, ir.sample, ir.label)
 	}
 	if err != nil {
 		if errors.Is(err, ErrClosed) {
@@ -207,7 +338,7 @@ func serveInferSwappable(w http.ResponseWriter, r *http.Request, srv *Server, re
 		writeInferError(w, err)
 		return nil
 	}
-	writeJSON(w, http.StatusOK, InferResponse{
+	writeInferResponse(w, ir.wire, InferResponse{
 		Pred:         pred.Pred,
 		LatencySteps: pred.Latency,
 		TotalSpikes:  pred.TotalSpikes,
@@ -216,6 +347,61 @@ func serveInferSwappable(w http.ResponseWriter, r *http.Request, srv *Server, re
 		EventsSaved:  pred.EventsSaved,
 	})
 	return nil
+}
+
+// writeInferResponse writes one successful prediction in the negotiated
+// wire format, staging the body in a pooled buffer either way.
+func writeInferResponse(w http.ResponseWriter, binary bool, resp InferResponse) {
+	bp := wire.GetBuf()
+	buf := *bp
+	if binary {
+		buf = wire.AppendResponse(buf, wire.Response{
+			Pred:         resp.Pred,
+			LatencySteps: resp.LatencySteps,
+			TotalSpikes:  satU32(resp.TotalSpikes),
+			EventsSaved:  satU32(resp.EventsSaved),
+			WallUs:       satU32(int(resp.WallMs * 1000)),
+			EarlyExit:    resp.EarlyExit,
+		})
+		w.Header().Set("Content-Type", wire.ContentType)
+	} else {
+		buf = appendInferResponseJSON(buf, resp)
+		w.Header().Set("Content-Type", "application/json")
+	}
+	w.WriteHeader(http.StatusOK)
+	w.Write(buf)
+	*bp = buf
+	wire.PutBuf(bp)
+}
+
+// satU32 clamps a non-negative int onto uint32 for the wire counters.
+func satU32(v int) uint32 {
+	if v < 0 {
+		return 0
+	}
+	if v > math.MaxUint32 {
+		return math.MaxUint32
+	}
+	return uint32(v)
+}
+
+// appendInferResponseJSON hand-encodes InferResponse (fields mirror the
+// struct tags) so the success path skips encoding/json's allocations.
+func appendInferResponseJSON(b []byte, r InferResponse) []byte {
+	b = append(b, `{"pred":`...)
+	b = strconv.AppendInt(b, int64(r.Pred), 10)
+	b = append(b, `,"latency_steps":`...)
+	b = strconv.AppendInt(b, int64(r.LatencySteps), 10)
+	b = append(b, `,"total_spikes":`...)
+	b = strconv.AppendInt(b, int64(r.TotalSpikes), 10)
+	b = append(b, `,"wall_ms":`...)
+	b = strconv.AppendFloat(b, r.WallMs, 'g', -1, 64)
+	b = append(b, `,"early_exit":`...)
+	b = strconv.AppendBool(b, r.EarlyExit)
+	b = append(b, `,"events_saved":`...)
+	b = strconv.AppendInt(b, int64(r.EventsSaved), 10)
+	b = append(b, "}\n"...)
+	return b
 }
 
 func writeInferError(w http.ResponseWriter, err error) {

@@ -82,7 +82,7 @@ func TestLatencyRouting(t *testing.T) {
 		{"auto: batching on, no deadline", mk(single, Options{MaxBatch: 8}), InferRequest{}, false},
 	}
 	for _, tc := range cases {
-		if got := tc.srv.latencyRoute(tc.req); got != tc.want {
+		if got := tc.srv.latencyRoute(tc.req.Mode, tc.req.TimeoutMs); got != tc.want {
 			t.Errorf("%s: latencyRoute = %v, want %v", tc.name, got, tc.want)
 		}
 	}
@@ -93,10 +93,10 @@ func TestLatencyRouting(t *testing.T) {
 	for i := 0; i < 2*batchP99Every; i++ {
 		s.met.batchLatency(50 * time.Millisecond)
 	}
-	if !s.latencyRoute(InferRequest{TimeoutMs: 10}) {
+	if !s.latencyRoute("", 10) {
 		t.Error("deadline 10ms under batch p99 50ms: want direct route")
 	}
-	if s.latencyRoute(InferRequest{TimeoutMs: 500}) {
+	if s.latencyRoute("", 500) {
 		t.Error("deadline 500ms over batch p99 50ms: want queue route")
 	}
 }

@@ -73,6 +73,13 @@ type Metrics struct {
 
 	conf *metrics.Confusion // nil when class count unknown
 
+	// pctScratch and bp99Scratch are the reusable sort buffers for
+	// percentile computation (guarded by mu like everything else):
+	// scrapes under load must not churn 8 KiB+ allocations against the
+	// request path.
+	pctScratch  []time.Duration
+	bp99Scratch []time.Duration
+
 	// engine is the serving engine's self-description (EngineDescriber),
 	// "" when the engine doesn't implement the capability. Set once at
 	// server construction (or swap), read under mu like everything else.
@@ -176,7 +183,10 @@ func (m *Metrics) batchP99Locked() time.Duration {
 	if m.bp99Seq != 0 && m.batchLatSeq-m.bp99Seq < batchP99Every {
 		return m.bp99
 	}
-	window := make([]time.Duration, m.batchLatCt)
+	if cap(m.bp99Scratch) < m.batchLatCt {
+		m.bp99Scratch = make([]time.Duration, batchLatWindow)
+	}
+	window := m.bp99Scratch[:m.batchLatCt]
 	copy(window, m.batchLats[:m.batchLatCt])
 	sort.Slice(window, func(i, j int) bool { return window[i] < window[j] })
 	rank := int(math.Ceil(0.99 * float64(len(window))))
@@ -297,7 +307,10 @@ func (m *Metrics) Snapshot() Snapshot {
 		s.MeanBatchSize = float64(samples) / float64(batches)
 	}
 	if m.latCt > 0 {
-		window := make([]time.Duration, m.latCt)
+		if cap(m.pctScratch) < m.latCt {
+			m.pctScratch = make([]time.Duration, latWindow)
+		}
+		window := m.pctScratch[:m.latCt]
 		copy(window, m.lats[:m.latCt])
 		sort.Slice(window, func(i, j int) bool { return window[i] < window[j] })
 		// Nearest-rank percentile: rank ⌈p·n⌉ (1-based). The previous

@@ -70,6 +70,13 @@ type Registry struct {
 	order       []string // Add order; order[0] is the default fallback
 	defaultName string
 	closed      bool
+
+	// snapMu guards snapModels, the reusable sorted-model scratch for
+	// Snapshot: scrapes under load shouldn't churn allocations against
+	// the request path. (The Models map itself escapes to the caller and
+	// cannot be reused — it is size-hinted instead.)
+	snapMu     sync.Mutex
+	snapModels []*registryModel
 }
 
 type registryModel struct {
@@ -307,6 +314,7 @@ func (g *Registry) serveModel(w http.ResponseWriter, r *http.Request, m *registr
 	if !ok {
 		return
 	}
+	defer putInferReq(req)
 	// Deadline-headroom shedding: a deadline tighter than the model's
 	// rolling p99 batch latency cannot be met even if the request were
 	// dispatched immediately, so reject before it occupies a queue slot
@@ -315,8 +323,8 @@ func (g *Registry) serveModel(w http.ResponseWriter, r *http.Request, m *registr
 	// Requests taking the direct single-sample path are exempt: they
 	// never hold a queue slot and the batch p99 says nothing about
 	// their service time.
-	if !g.opt.DisableShedding && !srv.latencyRoute(req) {
-		if timeout := srv.inferTimeout(req.TimeoutMs); timeout > 0 {
+	if !g.opt.DisableShedding && !srv.latencyRoute(req.mode, req.timeoutMs) {
+		if timeout := srv.inferTimeout(req.timeoutMs); timeout > 0 {
 			if p99 := srv.Metrics().BatchLatencyP99(); p99 > 0 && timeout < p99 {
 				m.shed.Add(1)
 				writeRetryAfter(w, p99)
@@ -420,19 +428,22 @@ type RegistrySnapshot struct {
 // Snapshot captures the registry-level counters and every model's
 // metrics.
 func (g *Registry) Snapshot() RegistrySnapshot {
+	g.snapMu.Lock()
+	defer g.snapMu.Unlock()
+	g.mu.RLock()
 	snap := RegistrySnapshot{
 		UptimeSeconds: time.Since(g.start).Seconds(),
 		RateLimited:   g.rateLimited.Load(),
-		Models:        make(map[string]ModelSnapshot),
+		Models:        make(map[string]ModelSnapshot, len(g.models)),
+		DefaultModel:  g.defaultName,
 	}
-	g.mu.RLock()
-	snap.DefaultModel = g.defaultName
-	models := make([]*registryModel, 0, len(g.models))
+	models := g.snapModels[:0]
 	for _, m := range g.models {
 		models = append(models, m)
 	}
 	g.mu.RUnlock()
 	sort.Slice(models, func(i, j int) bool { return models[i].name < models[j].name })
+	g.snapModels = models
 	for _, m := range models {
 		// Live, draining, and retired are read in one critical section
 		// (mirroring Swap's cutover and retire), so a scrape landing in

@@ -86,6 +86,12 @@ type request struct {
 	enq    time.Time
 	done   chan result // buffered(1): workers never block on delivery
 
+	// owned marks input as a pool-owned buffer whose ownership moved to
+	// the server at enqueue: the worker recycles it once its batch has
+	// run. The HTTP layer sets this so its pooled decode buffers can't
+	// be reused while a worker still reads an abandoned request's input.
+	owned bool
+
 	// settled arbitrates metric accounting between the worker (complete/
 	// fail/expired-at-dispatch) and the abandoning client (expired):
 	// whoever wins the CompareAndSwap counts the request, exactly once,
@@ -172,7 +178,28 @@ func (s *Server) Closed() bool {
 // fault injection (negative = none); label enables live accuracy
 // tracking in /metrics (negative = unlabeled).
 func (s *Server) Infer(ctx context.Context, input []float64, sample, label int) (Prediction, error) {
+	return s.infer(ctx, input, sample, label, false)
+}
+
+// inferQueued is the HTTP layer's queue submission: it copies input into
+// a pool-owned buffer whose ownership transfers to the worker at
+// enqueue. The caller's (pooled) input slice is therefore free for reuse
+// the moment this returns — even when the request was abandoned and its
+// batch hasn't run yet.
+func (s *Server) inferQueued(ctx context.Context, input []float64, sample, label int) (Prediction, error) {
 	if len(input) != s.eng.InLen() {
+		return Prediction{}, fmt.Errorf("serve: input length %d, engine expects %d", len(input), s.eng.InLen())
+	}
+	owned := getInput(len(input))
+	copy(owned, input)
+	return s.infer(ctx, owned, sample, label, true)
+}
+
+func (s *Server) infer(ctx context.Context, input []float64, sample, label int, owned bool) (Prediction, error) {
+	if len(input) != s.eng.InLen() {
+		if owned {
+			putInput(input)
+		}
 		return Prediction{}, fmt.Errorf("serve: input length %d, engine expects %d", len(input), s.eng.InLen())
 	}
 	// A dead request must not take a queue slot: a caller that gave up
@@ -181,6 +208,9 @@ func (s *Server) Infer(ctx context.Context, input []float64, sample, label int) 
 	// ErrOverloaded under load. Count it as accepted and immediately
 	// expired so accepted = completed + expired + failed stays exact.
 	if err := ctx.Err(); err != nil {
+		if owned {
+			putInput(input)
+		}
 		s.met.accept()
 		s.met.expire()
 		return Prediction{}, err
@@ -192,19 +222,28 @@ func (s *Server) Infer(ctx context.Context, input []float64, sample, label int) 
 		label:  label,
 		enq:    time.Now(),
 		done:   make(chan result, 1),
+		owned:  owned,
 	}
 	// The RLock pairs with Close's Lock: no submission can race the
 	// queue close, so sends never hit a closed channel.
 	s.mu.RLock()
 	if s.closed {
 		s.mu.RUnlock()
+		if owned {
+			putInput(input)
+		}
 		return Prediction{}, ErrClosed
 	}
 	select {
 	case s.queue <- req:
+		// Ownership of an owned input now rests with the worker that
+		// will run (or skip) this request's batch.
 		s.mu.RUnlock()
 	default:
 		s.mu.RUnlock()
+		if owned {
+			putInput(input)
+		}
 		s.met.reject()
 		return Prediction{}, ErrOverloaded
 	}
@@ -362,6 +401,10 @@ func (s *Server) runBatch(batch []*request) {
 			if r.settled.CompareAndSwap(false, true) {
 				s.met.expire()
 			}
+			if r.owned {
+				putInput(r.input)
+				r.input = nil
+			}
 			r.done <- result{err: err}
 			continue
 		}
@@ -378,6 +421,14 @@ func (s *Server) runBatch(batch []*request) {
 	}
 	t0 := time.Now()
 	preds, err := s.runEngine(inputs, samples)
+	// The engine is done reading inputs (runEngine recovers panics), so
+	// owned buffers recycle here regardless of the outcome.
+	for _, r := range live {
+		if r.owned {
+			putInput(r.input)
+			r.input = nil
+		}
+	}
 	if err != nil {
 		for _, r := range live {
 			if r.settled.CompareAndSwap(false, true) {

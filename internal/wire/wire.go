@@ -1,0 +1,271 @@
+// Package wire is the binary inference protocol for the serving fast
+// path: a versioned, length-prefixed frame format replacing JSON on
+// POST /v1/infer when the client sends Content-Type application/x-t2f.
+//
+// TTFS payloads are tiny and regular — one activation per input neuron
+// in, one spike time plus a handful of counters out — so the frames are
+// flat little-endian structs with no per-field framing. Two input lanes
+// are defined: float32 (4 bytes/neuron, exact enough that predictions
+// match the float64 JSON path bit-for-bit on every fixture) and uint8
+// (1 byte/neuron, the LC-TTFS-style aggressively discretized lane for
+// inputs already normalized to [0,1]).
+//
+// Request frame (little-endian, 24-byte header + payload):
+//
+//	offset size  field
+//	0      2     magic "T2"
+//	2      1     version (1)
+//	3      1     lane: 0 = float32, 1 = uint8
+//	4      4     sample int32   (-1 = no fault stream)
+//	8      4     label  int32   (-1 = unlabeled)
+//	12     4     timeout_ms uint32 (0 = server default)
+//	16     1     mode: 0 = server default, 1 = latency, 2 = throughput
+//	17     3     reserved (must be zero)
+//	20     4     n = input neuron count uint32 (the length prefix)
+//	24     4n|n  input payload (float32 LE lanes, or uint8 lanes)
+//
+// Response frame (little-endian, fixed 24 bytes):
+//
+//	offset size  field
+//	0      2     magic "T2"
+//	2      1     version (1)
+//	3      1     flags: bit0 = early exit
+//	4      4     pred int32
+//	8      4     latency_steps int32 (the output spike time)
+//	12     4     total_spikes uint32
+//	16     4     events_saved uint32
+//	20     4     wall_us uint32 (saturating)
+//
+// Encode and decode work against caller-supplied buffers so the serving
+// hot path never allocates; GetBuf/PutBuf pool byte slices for callers
+// without their own reuse story.
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+	"sync"
+)
+
+// ContentType is the negotiated media type: a request carrying it gets
+// a binary response frame; anything else stays on the JSON path.
+const ContentType = "application/x-t2f"
+
+// Negotiates reports whether a Content-Type header value selects the
+// binary protocol. Parameters after the media type ("; charset=…") are
+// tolerated and ignored.
+func Negotiates(contentType string) bool {
+	if len(contentType) < len(ContentType) || contentType[:len(ContentType)] != ContentType {
+		return false
+	}
+	rest := contentType[len(ContentType):]
+	return rest == "" || rest[0] == ';' || rest[0] == ' '
+}
+
+// Version is the protocol version this package speaks.
+const Version = 1
+
+// Lane identifies the input payload encoding.
+type Lane uint8
+
+const (
+	// LaneF32 carries inputs as little-endian float32 — 4 bytes per
+	// neuron, exact to ~1e-7 relative.
+	LaneF32 Lane = 0
+	// LaneU8 carries inputs as uint8 in [0,255] mapped linearly onto
+	// [0,1] — 1 byte per neuron, for pre-normalized activations.
+	LaneU8 Lane = 1
+)
+
+// Request serving modes (the wire form of serve's mode strings).
+const (
+	ModeDefault    = 0
+	ModeLatency    = 1
+	ModeThroughput = 2
+)
+
+// ReqHeaderLen and RespLen are the fixed frame sizes.
+const (
+	ReqHeaderLen = 24
+	RespLen      = 24
+)
+
+var (
+	magic0, magic1 = byte('T'), byte('2')
+
+	// ErrMagic, ErrVersion, ErrTruncated, ErrLane, ErrMode classify
+	// malformed frames; the HTTP layer maps them all to 400.
+	ErrMagic     = errors.New("wire: bad magic")
+	ErrVersion   = errors.New("wire: unsupported version")
+	ErrTruncated = errors.New("wire: truncated frame")
+	ErrLane      = errors.New("wire: unknown input lane")
+	ErrMode      = errors.New("wire: unknown mode")
+)
+
+// Request is a decoded request header. The input payload is returned
+// separately by DecodeRequest so it can land in a reused slice.
+type Request struct {
+	Lane      Lane
+	Sample    int // -1 = no fault stream
+	Label     int // -1 = unlabeled
+	TimeoutMs int
+	Mode      uint8 // ModeDefault | ModeLatency | ModeThroughput
+}
+
+// Response is one inference outcome in wire form.
+type Response struct {
+	Pred         int
+	LatencySteps int
+	TotalSpikes  uint32
+	EventsSaved  uint32
+	WallUs       uint32
+	EarlyExit    bool
+}
+
+// AppendRequest encodes h and input onto buf and returns the extended
+// slice. The inverse of DecodeRequest; clients pre-encode once and
+// replay the bytes.
+func AppendRequest(buf []byte, h Request, input []float64) []byte {
+	var hdr [ReqHeaderLen]byte
+	hdr[0], hdr[1], hdr[2] = magic0, magic1, Version
+	hdr[3] = byte(h.Lane)
+	binary.LittleEndian.PutUint32(hdr[4:], uint32(int32(h.Sample)))
+	binary.LittleEndian.PutUint32(hdr[8:], uint32(int32(h.Label)))
+	binary.LittleEndian.PutUint32(hdr[12:], uint32(h.TimeoutMs))
+	hdr[16] = h.Mode
+	binary.LittleEndian.PutUint32(hdr[20:], uint32(len(input)))
+	buf = append(buf, hdr[:]...)
+	switch h.Lane {
+	case LaneU8:
+		for _, v := range input {
+			buf = append(buf, quantU8(v))
+		}
+	default:
+		var w [4]byte
+		for _, v := range input {
+			binary.LittleEndian.PutUint32(w[:], math.Float32bits(float32(v)))
+			buf = append(buf, w[:]...)
+		}
+	}
+	return buf
+}
+
+// quantU8 maps [0,1] onto the uint8 grid, clamping out-of-range values.
+func quantU8(v float64) byte {
+	q := math.Round(v * 255)
+	if q < 0 {
+		return 0
+	}
+	if q > 255 {
+		return 255
+	}
+	return byte(q)
+}
+
+// DecodeRequest parses one request frame. The input payload is decoded
+// into dst (grown only when capacity is short) so a pooled slice makes
+// the steady state allocation-free. wantLen, when positive, is the
+// model's expected input length: a frame announcing a different count
+// fails fast with a descriptive error before the payload is touched.
+func DecodeRequest(frame []byte, dst []float64, wantLen int) (Request, []float64, error) {
+	var h Request
+	if len(frame) < ReqHeaderLen {
+		return h, dst, fmt.Errorf("%w: %d header bytes, want %d", ErrTruncated, len(frame), ReqHeaderLen)
+	}
+	if frame[0] != magic0 || frame[1] != magic1 {
+		return h, dst, fmt.Errorf("%w: 0x%02x%02x", ErrMagic, frame[0], frame[1])
+	}
+	if frame[2] != Version {
+		return h, dst, fmt.Errorf("%w: %d (this server speaks %d)", ErrVersion, frame[2], Version)
+	}
+	h.Lane = Lane(frame[3])
+	if h.Lane != LaneF32 && h.Lane != LaneU8 {
+		return h, dst, fmt.Errorf("%w: %d", ErrLane, frame[3])
+	}
+	h.Sample = int(int32(binary.LittleEndian.Uint32(frame[4:])))
+	h.Label = int(int32(binary.LittleEndian.Uint32(frame[8:])))
+	h.TimeoutMs = int(binary.LittleEndian.Uint32(frame[12:]))
+	h.Mode = frame[16]
+	if h.Mode > ModeThroughput {
+		return h, dst, fmt.Errorf("%w: %d", ErrMode, frame[16])
+	}
+	n := int(binary.LittleEndian.Uint32(frame[20:]))
+	if wantLen > 0 && n != wantLen {
+		return h, dst, fmt.Errorf("wire: input length %d, model expects %d", n, wantLen)
+	}
+	payload := frame[ReqHeaderLen:]
+	elem := 4
+	if h.Lane == LaneU8 {
+		elem = 1
+	}
+	if len(payload) != n*elem {
+		return h, dst, fmt.Errorf("%w: %d payload bytes for %d lanes of %d", ErrTruncated, len(payload), n, elem)
+	}
+	if cap(dst) < n {
+		dst = make([]float64, n)
+	}
+	dst = dst[:n]
+	if h.Lane == LaneU8 {
+		for i := 0; i < n; i++ {
+			dst[i] = float64(payload[i]) / 255
+		}
+	} else {
+		for i := 0; i < n; i++ {
+			dst[i] = float64(math.Float32frombits(binary.LittleEndian.Uint32(payload[i*4:])))
+		}
+	}
+	return h, dst, nil
+}
+
+// AppendResponse encodes r onto buf and returns the extended slice.
+func AppendResponse(buf []byte, r Response) []byte {
+	var f [RespLen]byte
+	f[0], f[1], f[2] = magic0, magic1, Version
+	if r.EarlyExit {
+		f[3] = 1
+	}
+	binary.LittleEndian.PutUint32(f[4:], uint32(int32(r.Pred)))
+	binary.LittleEndian.PutUint32(f[8:], uint32(int32(r.LatencySteps)))
+	binary.LittleEndian.PutUint32(f[12:], r.TotalSpikes)
+	binary.LittleEndian.PutUint32(f[16:], r.EventsSaved)
+	binary.LittleEndian.PutUint32(f[20:], r.WallUs)
+	return append(buf, f[:]...)
+}
+
+// DecodeResponse parses one response frame.
+func DecodeResponse(frame []byte) (Response, error) {
+	var r Response
+	if len(frame) < RespLen {
+		return r, fmt.Errorf("%w: %d response bytes, want %d", ErrTruncated, len(frame), RespLen)
+	}
+	if frame[0] != magic0 || frame[1] != magic1 {
+		return r, fmt.Errorf("%w: 0x%02x%02x", ErrMagic, frame[0], frame[1])
+	}
+	if frame[2] != Version {
+		return r, fmt.Errorf("%w: %d", ErrVersion, frame[2])
+	}
+	r.EarlyExit = frame[3]&1 != 0
+	r.Pred = int(int32(binary.LittleEndian.Uint32(frame[4:])))
+	r.LatencySteps = int(int32(binary.LittleEndian.Uint32(frame[8:])))
+	r.TotalSpikes = binary.LittleEndian.Uint32(frame[12:])
+	r.EventsSaved = binary.LittleEndian.Uint32(frame[16:])
+	r.WallUs = binary.LittleEndian.Uint32(frame[20:])
+	return r, nil
+}
+
+// bufPool pools encode/decode byte slices for callers without their own
+// per-connection reuse (the serve handlers, the gateway).
+var bufPool = sync.Pool{New: func() any { b := make([]byte, 0, 4096); return &b }}
+
+// GetBuf checks a zero-length byte slice (capacity ≥ 4 KiB) out of the
+// package pool. Return it with PutBuf when the frame is written.
+func GetBuf() *[]byte {
+	b := bufPool.Get().(*[]byte)
+	*b = (*b)[:0]
+	return b
+}
+
+// PutBuf returns a GetBuf slice to the pool.
+func PutBuf(b *[]byte) { bufPool.Put(b) }

@@ -1,0 +1,126 @@
+package wire
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+func TestRequestRoundTripF32(t *testing.T) {
+	input := []float64{0, 0.25, 0.5, 1, 0.123456}
+	h := Request{Lane: LaneF32, Sample: 7, Label: 3, TimeoutMs: 250, Mode: ModeLatency}
+	frame := AppendRequest(nil, h, input)
+	if len(frame) != ReqHeaderLen+4*len(input) {
+		t.Fatalf("frame length %d, want %d", len(frame), ReqHeaderLen+4*len(input))
+	}
+	got, dec, err := DecodeRequest(frame, nil, len(input))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != h {
+		t.Fatalf("header %+v, want %+v", got, h)
+	}
+	for i, v := range input {
+		if want := float64(float32(v)); dec[i] != want {
+			t.Fatalf("input[%d] = %v, want float32 round-trip %v", i, dec[i], want)
+		}
+	}
+}
+
+func TestRequestRoundTripU8(t *testing.T) {
+	input := []float64{0, 0.5, 1, 0.998, -0.2, 1.7}
+	h := Request{Lane: LaneU8, Sample: -1, Label: -1}
+	frame := AppendRequest(nil, h, input)
+	if len(frame) != ReqHeaderLen+len(input) {
+		t.Fatalf("frame length %d, want %d", len(frame), ReqHeaderLen+len(input))
+	}
+	got, dec, err := DecodeRequest(frame, nil, len(input))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Sample != -1 || got.Label != -1 {
+		t.Fatalf("negative sample/label did not survive: %+v", got)
+	}
+	for i, v := range input {
+		c := math.Min(math.Max(v, 0), 1)
+		if want := math.Round(c*255) / 255; math.Abs(dec[i]-want) > 1e-12 {
+			t.Fatalf("input[%d] = %v, want %v", i, dec[i], want)
+		}
+	}
+}
+
+func TestDecodeRequestReusesDst(t *testing.T) {
+	input := make([]float64, 64)
+	frame := AppendRequest(nil, Request{Lane: LaneF32}, input)
+	dst := make([]float64, 0, 64)
+	_, out, err := DecodeRequest(frame, dst, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if &out[0] != &dst[:1][0] {
+		t.Fatal("decode did not reuse the caller's buffer")
+	}
+}
+
+func TestDecodeRequestErrors(t *testing.T) {
+	good := AppendRequest(nil, Request{Lane: LaneF32}, make([]float64, 8))
+	cases := []struct {
+		name  string
+		frame []byte
+		want  error
+	}{
+		{"empty", nil, ErrTruncated},
+		{"short header", good[:10], ErrTruncated},
+		{"truncated payload", good[:len(good)-3], ErrTruncated},
+		{"bad magic", append([]byte{'X', 'Y'}, good[2:]...), ErrMagic},
+		{"bad version", func() []byte { f := append([]byte(nil), good...); f[2] = 9; return f }(), ErrVersion},
+		{"bad lane", func() []byte { f := append([]byte(nil), good...); f[3] = 7; return f }(), ErrLane},
+		{"bad mode", func() []byte { f := append([]byte(nil), good...); f[16] = 3; return f }(), ErrMode},
+	}
+	for _, tc := range cases {
+		if _, _, err := DecodeRequest(tc.frame, nil, 8); !errors.Is(err, tc.want) {
+			t.Errorf("%s: err = %v, want %v", tc.name, err, tc.want)
+		}
+	}
+	if _, _, err := DecodeRequest(good, nil, 16); err == nil {
+		t.Error("length mismatch vs model accepted")
+	}
+}
+
+func TestResponseRoundTrip(t *testing.T) {
+	r := Response{Pred: 9, LatencySteps: 17, TotalSpikes: 1234, EventsSaved: 56, WallUs: 789, EarlyExit: true}
+	frame := AppendResponse(nil, r)
+	if len(frame) != RespLen {
+		t.Fatalf("response length %d, want %d", len(frame), RespLen)
+	}
+	got, err := DecodeResponse(frame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != r {
+		t.Fatalf("response %+v, want %+v", got, r)
+	}
+	if _, err := DecodeResponse(frame[:RespLen-1]); !errors.Is(err, ErrTruncated) {
+		t.Fatalf("truncated response: err = %v, want ErrTruncated", err)
+	}
+	frame[0] = 'Z'
+	if _, err := DecodeResponse(frame); !errors.Is(err, ErrMagic) {
+		t.Fatalf("bad magic response: err = %v, want ErrMagic", err)
+	}
+}
+
+func TestAppendEncodeZeroAlloc(t *testing.T) {
+	input := make([]float64, 256)
+	buf := make([]byte, 0, ReqHeaderLen+4*len(input))
+	dst := make([]float64, 0, 256)
+	rbuf := make([]byte, 0, RespLen)
+	allocs := testing.AllocsPerRun(100, func() {
+		buf = AppendRequest(buf[:0], Request{Lane: LaneF32, Sample: -1, Label: -1}, input)
+		_, dst, _ = DecodeRequest(buf, dst, 256)
+		rbuf = AppendResponse(rbuf[:0], Response{Pred: 1})
+		_, _ = DecodeResponse(rbuf)
+	})
+	if allocs != 0 {
+		t.Fatalf("encode/decode allocated %.0f times per run, want 0", allocs)
+	}
+}

@@ -28,8 +28,11 @@ fi
 GMP="${GOMAXPROCS:-$(nproc)}"
 
 # The hot-path benchmarks the zero-allocation work is gated on.
-PATTERN='BenchmarkInfer$|BenchmarkInferBatch$|BenchmarkInferBatchScratch$|BenchmarkInferBatchParallel$|BenchmarkInferEventEarlyExit$|BenchmarkInferQuant$'
-PKG=./internal/core/
+# BenchmarkServeE2E (internal/serve) covers the HTTP request path:
+# mux + negotiation + decode + direct inference + encode, JSON vs
+# binary wire formats.
+PATTERN='BenchmarkInfer$|BenchmarkInferBatch$|BenchmarkInferBatchScratch$|BenchmarkInferBatchParallel$|BenchmarkInferEventEarlyExit$|BenchmarkInferQuant$|BenchmarkServeE2E$'
+PKG="./internal/core/ ./internal/serve/"
 
 if [[ $SMOKE -eq 1 ]]; then
   BENCHTIME=1x
@@ -39,10 +42,13 @@ if [[ $SMOKE -eq 1 ]]; then
 else
   BENCHTIME=${BENCHTIME:-2s}
   BENCHCOUNT=${BENCHCOUNT:-3}
-  OUT="BENCH_$(date +%F).json"
+  # BENCH_OUT overrides the date-derived name so a same-day rerun can't
+  # silently clobber the committed baseline benchdiff compares against.
+  OUT="${BENCH_OUT:-BENCH_$(date +%F).json}"
 fi
 
-RAW=$("$GO" test -run '^$' -bench "$PATTERN" -benchmem -benchtime "$BENCHTIME" -count "$BENCHCOUNT" "$PKG")
+# shellcheck disable=SC2086  # PKG is a deliberate package list
+RAW=$("$GO" test -run '^$' -bench "$PATTERN" -benchmem -benchtime "$BENCHTIME" -count "$BENCHCOUNT" $PKG)
 echo "$RAW"
 
 echo "$RAW" | awk -v smoke="$SMOKE" -v goversion="$("$GO" env GOVERSION)" -v gmp="$GMP" '

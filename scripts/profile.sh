@@ -1,0 +1,56 @@
+#!/usr/bin/env bash
+# profile.sh — capture a CPU profile of the serving hot path: boot
+# cmd/snnserve with -pprof, drive sustained load with cmd/snnload, pull
+# /debug/pprof/profile while the load runs, and write the result to
+# profile_serve.pb.gz (inspect with `go tool pprof profile_serve.pb.gz`).
+#
+# Knobs (env):
+#   PROFILE_SECONDS  CPU sampling window (default 5)
+#   PROFILE_ARGS     extra snnload flags, e.g. '-wire binary'
+#   PROFILE_SERVER   extra snnserve flags, e.g. '-engine quant'
+#   PROFILE_PORT     serving port   (default 18097)
+#   PPROF_PORT       pprof listener (default 16060)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+PORT="${PROFILE_PORT:-18097}"
+PPORT="${PPROF_PORT:-16060}"
+SECS="${PROFILE_SECONDS:-5}"
+OUT=profile_serve.pb.gz
+
+BIN="$(mktemp -d)"
+SRV=""
+LOADPID=""
+cleanup() {
+    [ -n "$LOADPID" ] && kill "$LOADPID" 2>/dev/null || true
+    [ -n "$SRV" ] && kill "$SRV" 2>/dev/null || true
+    rm -rf "$BIN"
+}
+trap cleanup EXIT
+
+go build -o "$BIN/" ./cmd/snnserve ./cmd/snnload
+
+# shellcheck disable=SC2086  # PROFILE_SERVER is a deliberate flag list
+"$BIN/snnserve" -addr "127.0.0.1:$PORT" -pprof "127.0.0.1:$PPORT" \
+    -dataset mnist -scale tiny -cache models -batch 16 ${PROFILE_SERVER:-} &
+SRV=$!
+
+# A huge -n keeps load flowing for the whole sampling window; the
+# generator is killed once the profile is captured.
+# shellcheck disable=SC2086  # PROFILE_ARGS is a deliberate flag list
+"$BIN/snnload" -addr "http://127.0.0.1:$PORT" -dataset mnist \
+    -n 2000000 -c 12 ${PROFILE_ARGS:-} > /dev/null 2>&1 &
+LOADPID=$!
+
+sleep 1 # let the load ramp before sampling
+curl -fsS -o "$OUT" "http://127.0.0.1:$PPORT/debug/pprof/profile?seconds=$SECS"
+
+kill "$LOADPID" 2>/dev/null || true
+wait "$LOADPID" 2>/dev/null || true
+LOADPID=""
+kill -TERM "$SRV" 2>/dev/null || true
+wait "$SRV" 2>/dev/null || true
+SRV=""
+
+echo "wrote $OUT (${SECS}s CPU sample under load${PROFILE_ARGS:+, snnload $PROFILE_ARGS})"
+go tool pprof -top -nodecount 12 "$OUT" | sed -n '1,20p'

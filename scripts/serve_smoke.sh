@@ -22,7 +22,7 @@ cleanup() {
 }
 trap cleanup EXIT
 
-go build -o "$BIN/" ./cmd/snnserve ./cmd/snnload
+go build -o "$BIN/" ./cmd/snnserve ./cmd/snnload ./cmd/snnc
 
 # one_leg <tag> <extra snnserve flags...>: boot, load, assert, drain.
 # Sets LOAD to snnload's full output.
@@ -118,4 +118,38 @@ if ! wait "$SRV"; then
 fi
 SRV=""
 
-echo "serve-smoke: ok (sequential $SEQ_THR samples/s, parallel $PAR_THR samples/s, $CHUNKS chunks, latency leg $EE/120 early exits saving $EVS events at acc=$LAT_ACC, multi-model shed $SHED_CT/40 with Retry-After)"
+# --- wire leg: binary protocol vs JSON on a transport-bound model ---
+# A -micro model (3072 inputs, one dense stage) makes request decode the
+# dominant per-request cost, so this leg measures the wire path itself:
+# the binary format must deliver >= 2x JSON's throughput, and the two
+# formats must produce bit-identical predictions sample by sample.
+"$BIN/snnc" -micro 3072 -o "$BIN/micro.t2f"
+"$BIN/snnserve" -addr "127.0.0.1:$PORT" -model micro="$BIN/micro.t2f" -batch 16 &
+SRV=$!
+
+WIRE_JSON="$("$BIN/snnload" -addr "http://127.0.0.1:$PORT" -dataset cifar10 -n 400 -c 12 -preds "$BIN/wire_json.preds")"
+echo "$WIRE_JSON"
+WIRE_JSON_RESULT="$(echo "$WIRE_JSON" | grep '^RESULT ')"
+echo "$WIRE_JSON_RESULT" | grep -q ' err=0 ' || { echo "serve-smoke: FAIL (wire: JSON leg errors)"; exit 1; }
+
+WIRE_BIN="$("$BIN/snnload" -addr "http://127.0.0.1:$PORT" -dataset cifar10 -n 400 -c 12 -wire binary -preds "$BIN/wire_bin.preds")"
+echo "$WIRE_BIN"
+WIRE_BIN_RESULT="$(echo "$WIRE_BIN" | grep '^RESULT ')"
+echo "$WIRE_BIN_RESULT" | grep -q ' err=0 ' || { echo "serve-smoke: FAIL (wire: binary leg errors)"; exit 1; }
+
+diff "$BIN/wire_json.preds" "$BIN/wire_bin.preds" > /dev/null \
+    || { echo "serve-smoke: FAIL (wire: predictions differ between JSON and binary)"; exit 1; }
+
+JSON_THR="$(echo "$WIRE_JSON_RESULT" | sed 's/.*throughput=\([0-9.]*\).*/\1/')"
+BIN_THR="$(echo "$WIRE_BIN_RESULT" | sed 's/.*throughput=\([0-9.]*\).*/\1/')"
+awk -v j="$JSON_THR" -v b="$BIN_THR" 'BEGIN { exit !(b >= 2 * j) }' \
+    || { echo "serve-smoke: FAIL (wire: binary $BIN_THR req/s < 2x JSON $JSON_THR req/s)"; exit 1; }
+
+kill -TERM "$SRV"
+if ! wait "$SRV"; then
+    echo "serve-smoke: FAIL (wire: server exited non-zero on SIGTERM)"
+    exit 1
+fi
+SRV=""
+
+echo "serve-smoke: ok (sequential $SEQ_THR samples/s, parallel $PAR_THR samples/s, $CHUNKS chunks, latency leg $EE/120 early exits saving $EVS events at acc=$LAT_ACC, multi-model shed $SHED_CT/40 with Retry-After, wire binary $BIN_THR vs JSON $JSON_THR req/s)"
