@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test check bench bench-smoke bench-paper benchdiff faultbench serve-smoke gate-smoke quant-parity profile
+.PHONY: build test check bench bench-smoke bench-paper benchdiff faultbench serve-smoke gate-smoke stream-smoke quant-parity profile
 
 build:
 	$(GO) build ./...
@@ -20,6 +20,7 @@ check:
 	$(MAKE) quant-parity
 	$(MAKE) serve-smoke
 	$(MAKE) gate-smoke
+	$(MAKE) stream-smoke
 	$(MAKE) bench-smoke
 	bash scripts/benchdiff.sh --if-baseline
 
@@ -41,6 +42,14 @@ serve-smoke:
 # golden-checked rolling hot-swap under load.
 gate-smoke:
 	bash scripts/gate_smoke.sh
+
+# stream-smoke is the /v1/stream gate: N frames in = N events out with
+# streamed predictions bit-identical to one-shot /v1/infer across the
+# NDJSON and binary lanes, plus a chaos leg where sessions ride through
+# a mid-run backend kill behind snngate with zero client-visible
+# failures (resuming from in-band retry events).
+stream-smoke:
+	bash scripts/stream_smoke.sh
 
 # bench runs the inference hot-path benchmarks and records ns/op,
 # B/op, allocs/op as machine-readable BENCH_<date>.json.

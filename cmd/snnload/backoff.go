@@ -1,0 +1,21 @@
+package main
+
+import (
+	"strconv"
+	"strings"
+	"time"
+)
+
+// retryDelay decides how long to wait before retrying a 429. The
+// server's Retry-After header wins whenever it parses as a non-negative
+// integer second count — including 0, which means "retry immediately"
+// (the shed window has already passed). A missing, malformed, or
+// negative value falls back to the caller's exponential backoff and is
+// not counted as honored.
+func retryDelay(retryAfter string, backoff time.Duration) (wait time.Duration, honored bool) {
+	ra, err := strconv.Atoi(strings.TrimSpace(retryAfter))
+	if err != nil || ra < 0 {
+		return backoff, false
+	}
+	return time.Duration(ra) * time.Second, true
+}

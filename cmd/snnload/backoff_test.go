@@ -1,0 +1,71 @@
+package main
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/serve"
+)
+
+// A 429 carrying "Retry-After: 0" means "retry immediately" — the shed
+// window has already passed. The old guard (ra > 0) dropped it and slept
+// the exponential backoff instead, and never counted the header as seen.
+func TestPostHonorsRetryAfterZero(t *testing.T) {
+	var calls atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) == 1 {
+			w.Header().Set("Retry-After", "0")
+			w.WriteHeader(http.StatusTooManyRequests)
+			return
+		}
+		json.NewEncoder(w).Encode(serve.InferResponse{Pred: 7})
+	}))
+	defer srv.Close()
+
+	p := &poster{client: srv.Client(), url: srv.URL, contentType: "application/json"}
+	out, meta, err := p.post([]byte(`{"input":[0]}`), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Pred != 7 {
+		t.Fatalf("pred = %d, want 7", out.Pred)
+	}
+	if meta.rejected != 1 {
+		t.Fatalf("rejected = %d, want 1", meta.rejected)
+	}
+	if meta.retryAfterSeen != 1 {
+		t.Fatalf("retryAfterSeen = %d, want 1 (Retry-After: 0 dropped)", meta.retryAfterSeen)
+	}
+}
+
+// The backoff ladder: Retry-After wins whenever it parses as a
+// non-negative integer (including 0); malformed or missing values fall
+// back to the caller's exponential backoff and are not counted as
+// honored.
+func TestRetryDelayLadder(t *testing.T) {
+	cases := []struct {
+		header  string
+		backoff time.Duration
+		want    time.Duration
+		honored bool
+	}{
+		{"0", 4 * time.Millisecond, 0, true},
+		{"1", 4 * time.Millisecond, time.Second, true},
+		{" 2 ", 8 * time.Millisecond, 2 * time.Second, true},
+		{"", 4 * time.Millisecond, 4 * time.Millisecond, false},
+		{"soon", 4 * time.Millisecond, 4 * time.Millisecond, false},
+		{"-1", 16 * time.Millisecond, 16 * time.Millisecond, false},
+		{"1.5", 32 * time.Millisecond, 32 * time.Millisecond, false},
+	}
+	for _, c := range cases {
+		got, honored := retryDelay(c.header, c.backoff)
+		if got != c.want || honored != c.honored {
+			t.Errorf("retryDelay(%q, %v) = (%v, %v), want (%v, %v)",
+				c.header, c.backoff, got, honored, c.want, c.honored)
+		}
+	}
+}

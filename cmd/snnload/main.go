@@ -34,6 +34,17 @@
 // per sample and replayed through a per-worker bytes.Reader, -lane u8
 // for the 1-byte-per-neuron input lane); -preds writes per-sample
 // predictions for cross-format bit-identity diffs.
+//
+// -stream switches to streaming sessions over POST /v1/stream: the -n
+// frames split into -c contiguous ranges, each driven through one
+// long-lived session in lockstep, with per-frame inter-event latency
+// feeding the same p50/p99 report. Sessions resume from the first
+// unacked frame after retry/drain events and disconnects; RESULT gains
+// frames=, sessions=, and stream_retries= (appended at the end, so
+// existing greps keep working). -walk generates the frames with a
+// seeded random walk over the dataset samples — the same seed produces
+// the same frame sequence in one-shot and stream mode, making the two
+// preds files diffable for bit-identity.
 package main
 
 import (
@@ -46,13 +57,13 @@ import (
 	"net/http"
 	"os"
 	"sort"
-	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"repro/internal/dataset"
 	"repro/internal/serve"
+	"repro/internal/stream"
 	"repro/internal/wire"
 )
 
@@ -75,6 +86,11 @@ func main() {
 	wireFmt := flag.String("wire", "json", "request wire format: json|binary (binary = application/x-t2f frames)")
 	lane := flag.String("lane", "f32", "binary input lane: f32|u8 (with -wire binary)")
 	predsFile := flag.String("preds", "", "write per-sample predictions (\"index pred\" lines) to this file, for cross-format bit-identity diffs")
+	streamMode := flag.Bool("stream", false, "streaming mode: open -c frame sessions over POST /v1/stream instead of one-shot requests")
+	walk := flag.Bool("walk", false, "generate the -n frames with the seeded Markov random-walk generator (perturbed dataset samples with regime jumps) instead of cycling samples verbatim")
+	walkStep := flag.Float64("walk-step", 0.02, "per-frame max pixel perturbation of the random walk (with -walk)")
+	walkJump := flag.Float64("walk-jump", 0.05, "per-frame probability the walk jumps to a fresh base sample (with -walk)")
+	timeline := flag.Bool("timeline", false, "ask the server for the per-frame argmax timeline (with -stream)")
 	flag.Parse()
 
 	binary := false
@@ -129,20 +145,58 @@ func main() {
 		sampleLen *= d
 	}
 
+	// Frame schedule: with -walk every request index gets its own input
+	// — a seeded random walk over the dataset samples (small per-frame
+	// perturbations, occasional regime jumps to a fresh base), labeled
+	// by the walk's current base — so streamed and one-shot runs with
+	// the same seed see bit-identical frame sequences. Without -walk,
+	// request i replays sample i % samples, as ever.
+	var walkInputs [][]float64
+	var walkLabels []int
+	if *walk {
+		bases := make([][]float64, *samples)
+		for i := range bases {
+			bases[i] = eval.X.Data[i*sampleLen : (i+1)*sampleLen]
+		}
+		wk := stream.NewWalk(bases, *seed, *walkStep, *walkJump)
+		walkInputs = make([][]float64, *n)
+		walkLabels = make([]int, *n)
+		for i := range walkInputs {
+			in, base := wk.Next()
+			walkInputs[i] = in
+			walkLabels[i] = eval.Labels[base]
+		}
+	}
+	nBodies := *samples
+	if *walk {
+		nBodies = *n
+	}
+
 	// Pre-encode every request body once: the load loop measures the
 	// server, not the encoder (either format's).
 	contentType := "application/json"
 	if binary {
 		contentType = wire.ContentType
 	}
-	bodies := make([][]byte, *samples)
-	for i := 0; i < *samples; i++ {
-		input := eval.X.Data[i*sampleLen : (i+1)*sampleLen]
+	lbls := make([]int, nBodies)
+	bodies := make([][]byte, nBodies)
+	for i := 0; i < nBodies; i++ {
+		var input []float64
+		if *walk {
+			input = walkInputs[i]
+			lbls[i] = walkLabels[i]
+		} else {
+			input = eval.X.Data[i*sampleLen : (i+1)*sampleLen]
+			lbls[i] = eval.Labels[i]
+		}
+		if *streamMode {
+			continue // sessions encode frames themselves
+		}
 		if binary {
 			h := wire.Request{
 				Lane:      wireLane,
 				Sample:    -1,
-				Label:     eval.Labels[i],
+				Label:     lbls[i],
 				TimeoutMs: *timeoutMs,
 				Mode:      wireMode(*mode),
 			}
@@ -154,7 +208,7 @@ func main() {
 		}
 		req := serve.InferRequest{
 			Input:     input,
-			Label:     &eval.Labels[i],
+			Label:     &lbls[i],
 			TimeoutMs: *timeoutMs,
 			Mode:      *mode,
 		}
@@ -187,63 +241,99 @@ func main() {
 		IdleConnTimeout:     90 * time.Second,
 		DisableCompression:  true,
 	}}
-	// preds[i] is the first prediction observed for sample i (they are
+	// preds[i] is the first prediction observed for body slot i (a
+	// sample index, or a frame index with -walk; predictions are
 	// deterministic, so concurrent stores agree); -3 = never queried.
-	preds := make([]atomic.Int32, *samples)
+	preds := make([]atomic.Int32, nBodies)
 	for i := range preds {
 		preds[i].Store(-3)
 	}
-	next := make(chan int, *n)
-	for i := 0; i < *n; i++ {
-		next <- i
-	}
-	close(next)
 
+	var streamRetryCt atomic.Int64
+	sessions := 0
 	start := time.Now()
-	var wg sync.WaitGroup
-	for w := 0; w < *c; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			// One poster per worker: the body reader and response scratch
-			// are reused across every request and retry this worker sends.
-			p := &poster{client: client, url: inferURL, clientID: *clientID, contentType: contentType, binary: binary}
-			for i := range next {
-				si := i % *samples
-				t0 := time.Now()
-				resp, m, err := p.post(bodies[si], *retries)
-				rejectCt.Add(int64(m.rejected))
-				retryAfterCt.Add(int64(m.retryAfterSeen))
-				connErrCt.Add(int64(m.connErrs))
-				switch {
-				case err == nil:
-					okCt.Add(1)
-					if resp.Pred == eval.Labels[si] {
-						correctCt.Add(1)
-					}
-					if resp.EarlyExit {
-						earlyExitCt.Add(1)
-					}
-					eventsSavedCt.Add(int64(resp.EventsSaved))
-					preds[si].Store(int32(resp.Pred))
-					mu.Lock()
-					lats = append(lats, time.Since(t0))
-					mu.Unlock()
-				case m.exhaustedConn:
-					// The connection died and stayed dead through the
-					// retries: a counted outcome, not a run abort.
-					failedCt.Add(1)
-				case m.exhausted429 && *tolerateShed:
-					shedCt.Add(1)
-				case m.status == http.StatusGatewayTimeout && *tolerateShed:
-					expiredCt.Add(1)
-				default:
-					errCt.Add(1)
-				}
+	if *streamMode {
+		streamURL := *addr + "/v1/stream"
+		if *model != "" {
+			streamURL = *addr + "/v1/models/" + *model + "/stream"
+		}
+		if *timeline {
+			streamURL += "?timeline=1"
+		}
+		// The frame schedule: index i maps to body slot i % nBodies
+		// (identity with -walk), which is also its preds slot — so a
+		// streamed -walk run and a one-shot -walk run with the same
+		// seed produce diffable preds files.
+		inputs := make([][]float64, *n)
+		labels := make([]int, *n)
+		predIdx := make([]int, *n)
+		for i := range inputs {
+			si := i % nBodies
+			predIdx[i] = si
+			labels[i] = lbls[si]
+			if *walk {
+				inputs[i] = walkInputs[si]
+			} else {
+				inputs[i] = eval.X.Data[si*sampleLen : (si+1)*sampleLen]
 			}
-		}()
+		}
+		ct := &streamCounters{
+			ok: &okCt, errs: &errCt, failed: &failedCt, correct: &correctCt,
+			connErr: &connErrCt, streamRetries: &streamRetryCt,
+			mu: &mu, lats: &lats, preds: preds, predIdx: predIdx,
+		}
+		sessions = runStream(client, streamURL, *clientID, binary, wireLane, *retries, *c, inputs, labels, ct)
+	} else {
+		next := make(chan int, *n)
+		for i := 0; i < *n; i++ {
+			next <- i
+		}
+		close(next)
+		var wg sync.WaitGroup
+		for w := 0; w < *c; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				// One poster per worker: the body reader and response scratch
+				// are reused across every request and retry this worker sends.
+				p := &poster{client: client, url: inferURL, clientID: *clientID, contentType: contentType, binary: binary}
+				for i := range next {
+					si := i % nBodies
+					t0 := time.Now()
+					resp, m, err := p.post(bodies[si], *retries)
+					rejectCt.Add(int64(m.rejected))
+					retryAfterCt.Add(int64(m.retryAfterSeen))
+					connErrCt.Add(int64(m.connErrs))
+					switch {
+					case err == nil:
+						okCt.Add(1)
+						if resp.Pred == lbls[si] {
+							correctCt.Add(1)
+						}
+						if resp.EarlyExit {
+							earlyExitCt.Add(1)
+						}
+						eventsSavedCt.Add(int64(resp.EventsSaved))
+						preds[si].Store(int32(resp.Pred))
+						mu.Lock()
+						lats = append(lats, time.Since(t0))
+						mu.Unlock()
+					case m.exhaustedConn:
+						// The connection died and stayed dead through the
+						// retries: a counted outcome, not a run abort.
+						failedCt.Add(1)
+					case m.exhausted429 && *tolerateShed:
+						shedCt.Add(1)
+					case m.status == http.StatusGatewayTimeout && *tolerateShed:
+						expiredCt.Add(1)
+					default:
+						errCt.Add(1)
+					}
+				}
+			}()
+		}
+		wg.Wait()
 	}
-	wg.Wait()
 	wall := time.Since(start)
 
 	if *predsFile != "" {
@@ -290,9 +380,13 @@ func main() {
 	// existing key=value pairs out of this line. err= counts HTTP-status
 	// failures; conn_err= counts transport-level errors (refused/reset)
 	// across all attempts, including ones a retry later recovered.
-	fmt.Printf("RESULT ok=%d err=%d failed=%d rejected=%d shed=%d expired=%d retry_after=%d wall_s=%.3f throughput=%.1f p50_ms=%.1f p99_ms=%.1f acc=%.3f early_exit=%d events_saved=%d conn_err=%d\n",
+	frames := int64(0)
+	if *streamMode {
+		frames = int64(*n)
+	}
+	fmt.Printf("RESULT ok=%d err=%d failed=%d rejected=%d shed=%d expired=%d retry_after=%d wall_s=%.3f throughput=%.1f p50_ms=%.1f p99_ms=%.1f acc=%.3f early_exit=%d events_saved=%d conn_err=%d frames=%d sessions=%d stream_retries=%d\n",
 		ok, errs, failed, rejected, shed, expired, retryAfterCt.Load(), wall.Seconds(), throughput, pct(0.50), pct(0.99), acc,
-		earlyExitCt.Load(), eventsSavedCt.Load(), connErrCt.Load())
+		earlyExitCt.Load(), eventsSavedCt.Load(), connErrCt.Load(), frames, sessions, streamRetryCt.Load())
 	if errs > 0 {
 		os.Exit(1)
 	}
@@ -414,10 +508,9 @@ func (p *poster) post(body []byte, retries int) (serve.InferResponse, postMeta, 
 		}
 		meta.status = resp.StatusCode
 		if resp.StatusCode == http.StatusTooManyRequests {
-			wait := backoff
-			if ra, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil && ra > 0 {
+			wait, honored := retryDelay(resp.Header.Get("Retry-After"), backoff)
+			if honored {
 				meta.retryAfterSeen++
-				wait = time.Duration(ra) * time.Second
 			}
 			resp.Body.Close()
 			meta.rejected++

@@ -1,0 +1,235 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/stream"
+	"repro/internal/wire"
+)
+
+// streamCounters aggregates session outcomes into the run's shared
+// accounting (the same counters the one-shot pool fills, so RESULT is
+// computed identically in both modes).
+type streamCounters struct {
+	ok, errs, failed *atomic.Int64
+	correct          *atomic.Int64
+	connErr          *atomic.Int64
+	// streamRetries counts session interruptions the client resumed
+	// from: terminal retry/drain events plus raw disconnects.
+	streamRetries *atomic.Int64
+
+	mu   *sync.Mutex
+	lats *[]time.Duration
+
+	// preds[predIdx[i]] receives frame i's prediction.
+	preds   []atomic.Int32
+	predIdx []int
+}
+
+// streamSession is one worker's streaming client: it owns a contiguous
+// range of the frame schedule and drives it through as many
+// connections as the fleet requires, resuming from the first unacked
+// frame after every retry event, drain event, or disconnect. Frames
+// are sent in lockstep — one in flight at a time — so each event's
+// latency is the full frame round trip.
+type streamSession struct {
+	client   *http.Client
+	url      string
+	clientID string
+	binary   bool
+	lane     wire.Lane
+	retries  int
+
+	buf  []byte // binary frame scratch, reused per send
+	jenc *json.Encoder
+	jw   *io.PipeWriter
+}
+
+// run drives frames[lo:hi] to completion. Progress is monotone: a
+// frame is resent only if its event never arrived, and a connection
+// that makes no progress at all counts against the stall budget (the
+// -retries flag); exhausting it marks the remaining range failed so a
+// dead fleet produces a RESULT line instead of a hang.
+func (s *streamSession) run(inputs [][]float64, labels []int, lo, hi int, ct *streamCounters) {
+	pos := lo
+	stall := 0
+	backoff := 2 * time.Millisecond
+	for pos < hi {
+		before := pos
+		wait, err := s.connect(inputs, labels, &pos, hi, ct)
+		if pos >= hi && err == nil {
+			return
+		}
+		if pos > before {
+			stall, backoff = 0, 2*time.Millisecond
+		} else {
+			stall++
+			if stall > s.retries {
+				ct.failed.Add(int64(hi - pos))
+				return
+			}
+		}
+		if wait <= 0 {
+			wait = backoff
+			backoff *= 2
+		}
+		time.Sleep(wait)
+	}
+}
+
+// connect runs one connection's worth of the session: open the stream,
+// send frames from *pos in lockstep, advance *pos per event. Returns
+// the server-suggested reconnect delay (from a retry event) and the
+// error that ended the connection (nil when the range completed).
+func (s *streamSession) connect(inputs [][]float64, labels []int, pos *int, hi int, ct *streamCounters) (time.Duration, error) {
+	pr, pw := io.Pipe()
+	req, err := http.NewRequest(http.MethodPost, s.url, pr)
+	if err != nil {
+		pw.Close()
+		return 0, err
+	}
+	if s.binary {
+		req.Header.Set("Content-Type", wire.ContentType)
+		req.Header.Set("Accept", wire.ContentType)
+	} else {
+		req.Header.Set("Content-Type", "application/json")
+		req.Header.Set("Accept", stream.FormatNDJSON.ContentType())
+	}
+	if s.clientID != "" {
+		req.Header.Set("X-Client-ID", s.clientID)
+	}
+	// Do returns once response headers arrive — the server commits to
+	// the stream immediately — while the transport keeps reading the
+	// request body (our pipe) in the background.
+	resp, err := s.client.Do(req)
+	if err != nil {
+		pw.Close()
+		ct.connErr.Add(1)
+		return 0, err
+	}
+	defer resp.Body.Close()
+	defer pw.Close()
+	if resp.StatusCode != http.StatusOK {
+		// Admission rejection (429/503/404): no frame was consumed.
+		io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+		var wait time.Duration
+		if d, honored := retryDelay(resp.Header.Get("Retry-After"), 0); honored {
+			wait = d
+		}
+		ct.connErr.Add(1)
+		return wait, fmt.Errorf("stream rejected: status %d", resp.StatusCode)
+	}
+	events, err := stream.NewEventDecoder(resp.Body, resp.Header.Get("Content-Type"))
+	if err != nil {
+		return 0, err
+	}
+	s.jw = pw
+	s.jenc = json.NewEncoder(pw)
+	var ev stream.Event
+	for *pos < hi {
+		i := *pos
+		if err := s.sendFrame(inputs[i], labels[i]); err != nil {
+			ct.connErr.Add(1)
+			ct.streamRetries.Add(1)
+			return 0, err
+		}
+		t0 := time.Now()
+		if err := events.Next(&ev); err != nil {
+			// Disconnect with a frame in flight: the frame is unacked
+			// and will be resent (deterministic inference makes the
+			// possible duplicate harmless).
+			ct.connErr.Add(1)
+			ct.streamRetries.Add(1)
+			return 0, err
+		}
+		switch ev.Kind {
+		case stream.KindFrame:
+			ct.ok.Add(1)
+			if ev.Pred == labels[i] {
+				ct.correct.Add(1)
+			}
+			ct.preds[ct.predIdx[i]].Store(int32(ev.Pred))
+			ct.mu.Lock()
+			*ct.lats = append(*ct.lats, time.Since(t0))
+			ct.mu.Unlock()
+			*pos = i + 1
+		case stream.KindError:
+			// The server answered the frame with an in-band error: the
+			// frame is consumed (acked), just not usefully.
+			ct.errs.Add(1)
+			*pos = i + 1
+		case stream.KindRetry:
+			ct.streamRetries.Add(1)
+			return time.Duration(ev.RetryAfterMs) * time.Millisecond,
+				fmt.Errorf("stream retry: %s", ev.Msg)
+		case stream.KindDrain:
+			ct.streamRetries.Add(1)
+			return 0, fmt.Errorf("stream drain: %s", ev.Msg)
+		default:
+			ct.connErr.Add(1)
+			return 0, fmt.Errorf("unknown event kind %q", ev.Kind)
+		}
+	}
+	// Range complete: close the request side and let the server end the
+	// session on EOF.
+	pw.Close()
+	return 0, nil
+}
+
+// sendFrame writes one frame in the session's wire format.
+func (s *streamSession) sendFrame(input []float64, label int) error {
+	if s.binary {
+		s.buf = wire.AppendRequest(s.buf[:0], wire.Request{
+			Lane:   s.lane,
+			Sample: -1,
+			Label:  label,
+		}, input)
+		_, err := s.jw.Write(s.buf)
+		return err
+	}
+	l := label
+	return s.jenc.Encode(frameBody{Input: input, Label: &l})
+}
+
+// frameBody is the JSON frame the serve layer's stream decoder reads.
+type frameBody struct {
+	Input []float64 `json:"input"`
+	Label *int      `json:"label,omitempty"`
+}
+
+// runStream partitions the frame schedule into sessions contiguous
+// ranges and runs them concurrently. Returns the number of sessions
+// launched (the rest of the accounting lands in ct).
+func runStream(client *http.Client, url, clientID string, binary bool, lane wire.Lane, retries, sessions int, inputs [][]float64, labels []int, ct *streamCounters) int {
+	n := len(inputs)
+	if sessions > n {
+		sessions = n
+	}
+	if sessions < 1 {
+		sessions = 1
+	}
+	var wg sync.WaitGroup
+	per := (n + sessions - 1) / sessions
+	launched := 0
+	for lo := 0; lo < n; lo += per {
+		hi := lo + per
+		if hi > n {
+			hi = n
+		}
+		launched++
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			s := &streamSession{client: client, url: url, clientID: clientID, binary: binary, lane: lane, retries: retries}
+			s.run(inputs, labels, lo, hi, ct)
+		}(lo, hi)
+	}
+	wg.Wait()
+	return launched
+}

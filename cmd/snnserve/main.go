@@ -282,6 +282,10 @@ func main() {
 		fmt.Fprintln(os.Stderr, "snnserve: draining...")
 		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
 		defer cancel()
+		reg.BeginDrain()        // unblock open streaming sessions first:
+		//                         Shutdown waits for active handlers, and a
+		//                         stream handler only returns once its
+		//                         server signals drain
 		err := hs.Shutdown(ctx) // stop accepting, finish in-flight HTTP
 		reg.Close()             // drain every model's batch queue
 		done <- err

@@ -20,6 +20,10 @@
 //   - Degraded service instead of hangs: with no routable backend the
 //     request waits at most PoolWait for one to recover, then gets 503
 //     with Retry-After.
+//   - Streaming sessions (POST /v1/stream) pin to one healthy backend
+//     for their lifetime; a mid-session backend failure surfaces as a
+//     terminal in-band retry event the client resumes from, never a
+//     dropped connection with frames in limbo (see handleStream).
 //   - Fleet-wide zero-downtime model hot-swap: POST
 //     /v1/models/{name}/swap rolls the registry-level swap across the
 //     backends one at a time, so some replica serves the model at
@@ -203,12 +207,21 @@ func New(opt Options) (*Gateway, error) {
 	return g, nil
 }
 
-// Close stops the probe loops and flips the gateway to 503 for new
-// requests. In-flight proxied requests are the HTTP server's to drain.
-func (g *Gateway) Close() {
+// BeginDrain flips the gateway to 503 for new requests and cancels
+// open streaming relays (their clients get terminal retry events, not
+// dropped connections) without waiting for anything. Call it before a
+// graceful http.Server.Shutdown: Shutdown waits for active handlers,
+// and a streaming relay only returns once its session ends.
+func (g *Gateway) BeginDrain() {
 	if g.closed.CompareAndSwap(false, true) {
 		close(g.stop)
 	}
+}
+
+// Close stops the probe loops and flips the gateway to 503 for new
+// requests. In-flight proxied requests are the HTTP server's to drain.
+func (g *Gateway) Close() {
+	g.BeginDrain()
 	g.wg.Wait()
 }
 
@@ -217,6 +230,8 @@ func (g *Gateway) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/infer", g.handleInfer)
 	mux.HandleFunc("POST /v1/models/{name}/infer", g.handleInfer)
+	mux.HandleFunc("POST /v1/stream", g.handleStream)
+	mux.HandleFunc("POST /v1/models/{name}/stream", g.handleStream)
 	mux.HandleFunc("POST /v1/models/{name}/swap", g.handleSwap)
 	mux.HandleFunc("GET /v1/models", g.handleModels)
 	mux.HandleFunc("GET /healthz", g.handleHealth)

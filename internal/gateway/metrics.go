@@ -35,6 +35,13 @@ type fleetMetrics struct {
 	retries     atomic.Uint64
 	swaps       atomic.Uint64 // fleet-wide rolling swaps proxied
 
+	// Streaming sessions are accounted separately from the one-shot
+	// identity above: a session is a long-lived connection, not a
+	// request, and its failure mode is a terminal retry event the
+	// client resumes from — never a silent drop.
+	streamSessions atomic.Uint64 // sessions admitted and pinned to a backend
+	streamRetries  atomic.Uint64 // terminal retry events sent to clients
+
 	mu    sync.Mutex
 	lats  []time.Duration // ring of winning-attempt latencies
 	latN  int
@@ -112,6 +119,12 @@ type Snapshot struct {
 	HedgesWon   uint64 `json:"hedges_won"`
 	Retries     uint64 `json:"retries"`
 	Swaps       uint64 `json:"swaps"`
+
+	// StreamSessions counts streaming sessions pinned to a backend;
+	// StreamRetries counts the terminal retry events that handed a
+	// broken session back to its client for resumption.
+	StreamSessions uint64 `json:"stream_sessions"`
+	StreamRetries  uint64 `json:"stream_retries"`
 	// HedgeDelayMs is the delay a hedge would use right now.
 	HedgeDelayMs float64 `json:"hedge_delay_ms"`
 
@@ -135,8 +148,10 @@ func (g *Gateway) Snapshot() Snapshot {
 		Shed:          g.met.shed.Load(),
 		HedgesFired:   g.met.hedgesFired.Load(),
 		HedgesWon:     g.met.hedgesWon.Load(),
-		Retries:       g.met.retries.Load(),
-		Swaps:         g.met.swaps.Load(),
+		Retries:        g.met.retries.Load(),
+		Swaps:          g.met.swaps.Load(),
+		StreamSessions: g.met.streamSessions.Load(),
+		StreamRetries:  g.met.streamRetries.Load(),
 		HedgeDelayMs:  float64(g.hedgeDelay()) / float64(time.Millisecond),
 	}
 	for _, b := range g.backends {

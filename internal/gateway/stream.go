@@ -1,0 +1,190 @@
+package gateway
+
+import (
+	"context"
+	"io"
+	"net/http"
+	"time"
+
+	"repro/internal/stream"
+)
+
+// handleStream proxies one streaming session to exactly one backend.
+//
+// Sessions cannot be hedged or failed over the way one-shot inference
+// can: by the time a backend failure is visible, part of the request
+// body has been consumed and part of the event stream may have been
+// delivered, so replaying the session on another backend would serve
+// frames twice (or guess at where to resume). The gateway therefore
+// pins the session to a single healthy backend and, on any mid-session
+// failure — transport error, backend crash, eviction — hands control
+// back to the client with a terminal retry event carrying a reconnect
+// delay. The client resumes from its first unacked frame on a fresh
+// session; the next admission routes around the dead backend.
+//
+// Placement still spreads sessions: the pinned backend holds an
+// in-flight slot for the whole session, so least-loaded routing steers
+// new sessions toward the quietest replica, and client affinity keeps
+// a reconnecting client near its history when it identifies itself.
+func (g *Gateway) handleStream(w http.ResponseWriter, r *http.Request) {
+	// Full duplex from the first byte: every response on this route —
+	// admission errors included — may be written while the client's
+	// chunked request body is still open, and a lockstep client sends
+	// nothing until it reads our response. Without this, writeHeader
+	// blocks draining the body and the session deadlocks.
+	rc := http.NewResponseController(w)
+	_ = rc.EnableFullDuplex()
+	if g.closed.Load() {
+		writeError(w, http.StatusServiceUnavailable, "gateway closing")
+		return
+	}
+	format := stream.Negotiate(r.Header.Get("Content-Type"), r.Header.Get("Accept"))
+	clientKey := r.Header.Get(g.opt.ClientHeader)
+	b := g.pick(clientKey, nil)
+	if b == nil {
+		writeRetryAfter(w, g.opt.ProbeInterval)
+		writeError(w, http.StatusServiceUnavailable, "no live backends")
+		return
+	}
+	g.met.streamSessions.Add(1)
+	b.inflight.Add(1)
+	defer b.inflight.Add(-1)
+
+	// The relay must not outlive a gateway drain: BeginDrain closes
+	// g.stop, which cancels the outbound request, errors the relay's
+	// read, and turns into the client's terminal retry event — so a
+	// graceful Shutdown never hangs on open sessions.
+	ctx, cancel := context.WithCancel(r.Context())
+	defer cancel()
+	go func() {
+		select {
+		case <-g.stop:
+			cancel()
+		case <-ctx.Done():
+		}
+	}()
+
+	// The inbound body is wrapped in NopCloser because the transport
+	// closes the outbound request body when a round trip fails — and for
+	// a server request body, Close drains up to 256KiB looking for the
+	// terminal chunk so the connection can be reused. A lockstep client
+	// sends nothing until it sees an event, and the retry event can only
+	// be written after Do returns, so letting the transport drain here
+	// deadlocks the session. The server closes the real body itself once
+	// this handler returns, by which point the client has seen the retry
+	// event and finished its side of the stream.
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, b.url+r.URL.Path, io.NopCloser(r.Body))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	req.Header.Set("Content-Type", r.Header.Get("Content-Type"))
+	if a := r.Header.Get("Accept"); a != "" {
+		req.Header.Set("Accept", a)
+	}
+	if clientKey != "" {
+		req.Header.Set(g.opt.ClientHeader, clientKey)
+	}
+	if q := r.URL.RawQuery; q != "" {
+		req.URL.RawQuery = q
+	}
+
+	resp, err := g.client.Do(req)
+	if err != nil {
+		// The connect (or an early write) failed. The request body may
+		// already be partially consumed, so this is not retryable here —
+		// but nothing has reached the client either, so the retry event
+		// is the whole response. (A drain-cancel lands here too; that is
+		// not a backend health signal.)
+		if !g.closed.Load() {
+			b.observeFailure(g.opt.FailThreshold, err.Error())
+		}
+		if r.Context().Err() != nil {
+			return // client gone
+		}
+		g.sendRetry(w, format, false, err.Error())
+		return
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		// Admission rejections (429, 404, 503) arrive before any frame
+		// was served; forward them verbatim — small, complete bodies.
+		if resp.StatusCode == http.StatusServiceUnavailable {
+			b.observeFailure(g.opt.FailThreshold, "stream refused with 503")
+		}
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, maxBodyBytes))
+		copyResponse(w, attemptOutcome{status: resp.StatusCode, header: resp.Header, body: body})
+		return
+	}
+
+	// Committed: relay the event stream, flushing per read so each
+	// frame's event reaches the client as the backend produces it.
+	if ct := resp.Header.Get("Content-Type"); ct != "" {
+		w.Header().Set("Content-Type", ct)
+	}
+	w.Header().Set("Cache-Control", "no-store")
+	w.WriteHeader(http.StatusOK)
+	if rc.Flush() != nil {
+		return
+	}
+	buf := make([]byte, 32<<10)
+	for {
+		n, rerr := resp.Body.Read(buf)
+		if n > 0 {
+			if _, werr := w.Write(buf[:n]); werr != nil {
+				return // client gone mid-relay
+			}
+			if rc.Flush() != nil {
+				return
+			}
+		}
+		if rerr == io.EOF {
+			// Backend closed the stream cleanly (client EOF or terminal
+			// drain event — either way the session is complete).
+			b.observeSuccess()
+			b.completed.Add(1)
+			return
+		}
+		if rerr != nil {
+			// Mid-session backend failure: the event boundary where the
+			// stream broke is unknowable, so append a terminal retry
+			// event and let the client resume from its own ack state.
+			// A gateway drain lands here too (the outbound context is
+			// canceled) — that is not the backend's fault.
+			if !g.closed.Load() {
+				b.observeFailure(g.opt.FailThreshold, rerr.Error())
+			}
+			if r.Context().Err() != nil {
+				return
+			}
+			g.sendRetry(w, format, true, rerr.Error())
+			return
+		}
+	}
+}
+
+// sendRetry emits the terminal retry event for a broken session. When
+// headers haven't been sent yet it also commits the 200 + streaming
+// Content-Type first (the retry event is in-band protocol, not an HTTP
+// error). Binary clients get a wire retry frame; everyone else gets
+// the JSON/SSE event.
+func (g *Gateway) sendRetry(w http.ResponseWriter, format stream.Format, headersSent bool, detail string) {
+	g.met.streamRetries.Add(1)
+	if !headersSent {
+		// Full duplex must be enabled before committing headers: without
+		// it, writeHeader drains the unread request body first (to keep
+		// the connection reusable), and a lockstep client sends nothing
+		// until it sees this very event — a deadlock.
+		_ = http.NewResponseController(w).EnableFullDuplex()
+		w.Header().Set("Content-Type", format.ContentType())
+		w.Header().Set("Cache-Control", "no-store")
+		w.WriteHeader(http.StatusOK)
+	}
+	enc := stream.NewEncoder(w, format)
+	_ = enc.Encode(&stream.Event{
+		Kind:         stream.KindRetry,
+		Msg:          "backend lost mid-session: " + detail + "; resume from last acked frame",
+		RetryAfterMs: int(g.opt.ProbeInterval / time.Millisecond),
+	})
+	_ = http.NewResponseController(w).Flush()
+}

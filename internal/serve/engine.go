@@ -74,6 +74,33 @@ type SingleEngine interface {
 	InferOne(input []float64, sample int) Prediction
 }
 
+// FrameResult is the streaming outcome for one frame: the one-shot
+// Prediction plus the temporal observability a stream event carries —
+// per-stage spike counts always, the output argmax timeline on request.
+type FrameResult struct {
+	Prediction
+	// StageSpikes counts spikes per stage: index 0 is the input
+	// encoding, index i ≥ 1 is stage i-1's fire phase.
+	StageSpikes []int
+	// Timeline is the output argmax trajectory (nil unless asked for).
+	Timeline []core.TimedPred
+}
+
+// FrameEngine is the optional streaming capability: an engine that can
+// answer one frame with per-stage spike counts (and, on request, the
+// argmax timeline) implements it and /v1/stream sessions run their
+// frames on it directly — same discovery-by-type-assertion contract as
+// SingleEngine. The prediction must be identical to InferOne's /
+// InferBatch's for the same input (collecting a timeline must not
+// change the decision). Implementations must be safe for concurrent
+// use.
+type FrameEngine interface {
+	// InferFrame infers one frame. sample keys deterministic fault
+	// injection (negative = none); timeline asks for the argmax
+	// trajectory. Returned slices must not alias engine scratch.
+	InferFrame(input []float64, sample int, timeline bool) FrameResult
+}
+
 // EngineDescriber is the optional self-description capability: engines
 // that implement it get their kernel name exported as "engine" on
 // /metrics, so operators can tell from a snapshot which inference path
@@ -155,6 +182,43 @@ func (e *TTFSEngine) InferBatch(inputs [][]float64, samples []int) []Prediction 
 
 // ParallelChunks implements ChunkReporter (0 without a pool).
 func (e *TTFSEngine) ParallelChunks() uint64 { return e.Pool.Chunks() }
+
+// InferFrame implements FrameEngine on the clocked engine: a stream
+// frame runs single-sample on a pooled scratch (TTFSEngine deliberately
+// stays batch-only for one-shot traffic; a session's frames arrive one
+// at a time, so there is no batch to form).
+func (e *TTFSEngine) InferFrame(input []float64, sample int, timeline bool) FrameResult {
+	sc, _ := e.scratch.Get().(*core.InferScratch)
+	if sc == nil {
+		sc = core.NewInferScratch(e.Model)
+	}
+	cfg := e.Run
+	cfg.CollectTimeline = timeline
+	if e.Faults != nil && sample >= 0 {
+		cfg.Faults = e.Faults.Sample(sample)
+	}
+	r := e.Model.InferOne(input, cfg, core.InferOpts{Scratch: sc})
+	fr := coreFrameResult(r)
+	e.scratch.Put(sc)
+	return fr
+}
+
+// coreFrameResult converts one core result into a frame result, copying
+// every slice out of the scratch arenas it may alias.
+func coreFrameResult(r core.Result) FrameResult {
+	return FrameResult{
+		Prediction: Prediction{
+			Pred:        r.Pred,
+			Latency:     r.Latency,
+			TotalSpikes: r.TotalSpikes,
+			Potentials:  append([]float64(nil), r.Potentials...),
+			EarlyExit:   r.EarlyExit,
+			EventsSaved: r.EventsSaved,
+		},
+		StageSpikes: append([]int(nil), r.Spikes...),
+		Timeline:    append([]core.TimedPred(nil), r.Timeline...),
+	}
+}
 
 // corePredictions converts batch results into predictions, copying
 // Potentials out of the scratch/pool arenas they alias.
@@ -259,3 +323,33 @@ func (e *SchemeEngine) InferBatch(inputs [][]float64, samples []int) []Predictio
 
 // ParallelChunks implements ChunkReporter (0 without a pool).
 func (e *SchemeEngine) ParallelChunks() uint64 { return e.Pool.Chunks() }
+
+// InferFrame implements FrameEngine by running the scheme once with
+// per-stage counting (schemes always report SpikesPerStage) and the
+// timeline collected on request.
+func (e *SchemeEngine) InferFrame(input []float64, sample int, timeline bool) FrameResult {
+	sc, _ := e.scratch.Get().(*coding.Scratch)
+	if sc == nil {
+		sc = coding.NewScratch()
+	}
+	opts := coding.RunOpts{Steps: e.Steps, Scratch: sc, CollectTimeline: timeline}
+	if e.Faults != nil && sample >= 0 {
+		opts.Faults = e.Faults.Sample(sample)
+	}
+	r := e.Scheme.Run(e.Net, input, opts)
+	fr := FrameResult{
+		Prediction: Prediction{
+			Pred:        r.Pred,
+			Latency:     r.Steps,
+			TotalSpikes: r.TotalSpikes,
+			// copied: r.Potentials aliases the pooled scratch
+			Potentials: append([]float64(nil), r.Potentials...),
+		},
+		StageSpikes: append([]int(nil), r.SpikesPerStage...),
+	}
+	for _, tp := range r.Timeline {
+		fr.Timeline = append(fr.Timeline, core.TimedPred{Step: tp.Step, Pred: tp.Pred})
+	}
+	e.scratch.Put(sc)
+	return fr
+}

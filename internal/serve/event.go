@@ -70,6 +70,26 @@ func (e *EventEngine) InferOne(input []float64, sample int) Prediction {
 	return p
 }
 
+// InferFrame implements FrameEngine. Collecting a timeline disables the
+// early exit inside core (the trajectory needs the full output window)
+// but the prediction is identical either way — core's early-exit
+// contract — so streamed decisions match one-shot ones bit for bit.
+func (e *EventEngine) InferFrame(input []float64, sample int, timeline bool) FrameResult {
+	sc, _ := e.scratch.Get().(*core.InferScratch)
+	if sc == nil {
+		sc = core.NewInferScratch(e.Model)
+	}
+	cfg := e.Run
+	cfg.CollectTimeline = timeline
+	if e.Faults != nil && sample >= 0 {
+		cfg.Faults = e.Faults.Sample(sample)
+	}
+	r := e.Model.InferOne(input, cfg, core.InferOpts{Scratch: sc, Engine: core.EngineEvent})
+	fr := coreFrameResult(r)
+	e.scratch.Put(sc)
+	return fr
+}
+
 // InferBatch implements Engine by running the batch sample-by-sample on
 // one pooled scratch (results are independent of grouping by the
 // single-sample contract).

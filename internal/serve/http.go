@@ -117,6 +117,7 @@ func putInput(in []float64) {
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/infer", s.handleInfer)
+	mux.HandleFunc("/v1/stream", s.handleStream)
 	mux.HandleFunc("/healthz", s.handleHealth)
 	// A bare Server is ready as soon as it exists (warmup is the
 	// owner's synchronous call); the route exists so probes written

@@ -48,6 +48,16 @@ type Metrics struct {
 	// latencyPath counts requests completed on the direct single-sample
 	// path (Server.InferDirect).
 	latencyPath uint64
+	// streamSessions counts /v1/stream sessions opened on this server;
+	// streamActive is the gauge of sessions currently attached (a
+	// session that chases a hot-swap detaches here and attaches to the
+	// replacement, so the gauge follows the serving engine);
+	// streamFrames counts frames completed on the stream path (those
+	// frames also count in completed — the identity accepted =
+	// completed + expired + failed covers them).
+	streamSessions uint64
+	streamActive   int64
+	streamFrames   uint64
 	// parallelChunks mirrors the engine's cumulative ChunkReporter count
 	// (0 when the engine runs sequentially).
 	parallelChunks uint64
@@ -153,6 +163,48 @@ func (m *Metrics) completeLocked(wall time.Duration, p Prediction, label int) {
 	if label >= 0 && m.conf != nil && label < m.conf.Classes {
 		m.conf.Add(label, p.Pred)
 	}
+}
+
+// streamSession records a new session opening (total + gauge).
+func (m *Metrics) streamSession() {
+	m.mu.Lock()
+	m.streamSessions++
+	m.streamActive++
+	m.mu.Unlock()
+}
+
+// streamAttach moves an existing session's gauge onto this server (a
+// hot-swap chase); the session total stays with the server that opened
+// it.
+func (m *Metrics) streamAttach() {
+	m.mu.Lock()
+	m.streamActive++
+	m.mu.Unlock()
+}
+
+// streamDetach drops the active-session gauge.
+func (m *Metrics) streamDetach() {
+	m.mu.Lock()
+	m.streamActive--
+	m.mu.Unlock()
+}
+
+// streamFrame counts one stream frame completed outside the
+// frame-capable path (fallback through InferDirect/Infer, which did its
+// own complete accounting).
+func (m *Metrics) streamFrame() {
+	m.mu.Lock()
+	m.streamFrames++
+	m.mu.Unlock()
+}
+
+// completeStream is complete for the stream frame path: the frame
+// counts in the ordinary completion identity and in the stream ledger.
+func (m *Metrics) completeStream(wall time.Duration, p Prediction, label int) {
+	m.mu.Lock()
+	m.streamFrames++
+	m.completeLocked(wall, p, label)
+	m.mu.Unlock()
 }
 
 func (m *Metrics) batchLatency(d time.Duration) {
@@ -262,6 +314,13 @@ type Snapshot struct {
 	// single-sample path instead of the micro-batching queue.
 	LatencyPathTotal uint64 `json:"latency_path_total"`
 
+	// StreamSessions counts /v1/stream sessions opened; StreamActive is
+	// the current attached-session gauge; StreamFrames counts stream
+	// frames completed (also included in requests_completed).
+	StreamSessions uint64 `json:"stream_sessions"`
+	StreamActive   int64  `json:"stream_sessions_active"`
+	StreamFrames   uint64 `json:"stream_frames_total"`
+
 	// ParallelChunks is the cumulative number of work chunks the engine
 	// dispatched to its core.Pool (0 when serving sequentially).
 	ParallelChunks uint64 `json:"parallel_chunks"`
@@ -288,6 +347,9 @@ func (m *Metrics) Snapshot() Snapshot {
 		EarlyExitTotal:   m.earlyExit,
 		EventsSaved:      m.eventsSaved,
 		LatencyPathTotal: m.latencyPath,
+		StreamSessions:   m.streamSessions,
+		StreamActive:     m.streamActive,
+		StreamFrames:     m.streamFrames,
 		ParallelChunks:   m.parallelChunks,
 		BatchSizeHist:    append([]uint64(nil), m.batchSizes...),
 	}

@@ -72,6 +72,23 @@ func (e *QuantEngine) InferOne(input []float64, sample int) Prediction {
 	return p
 }
 
+// InferFrame implements FrameEngine on the fixed-point engine.
+func (e *QuantEngine) InferFrame(input []float64, sample int, timeline bool) FrameResult {
+	sc, _ := e.scratch.Get().(*core.InferScratch)
+	if sc == nil {
+		sc = core.NewInferScratch(e.Model)
+	}
+	cfg := e.Run
+	cfg.CollectTimeline = timeline
+	if e.Faults != nil && sample >= 0 {
+		cfg.Faults = e.Faults.Sample(sample)
+	}
+	r := e.Model.InferOne(input, cfg, core.InferOpts{Scratch: sc, Engine: core.EngineQuant})
+	fr := coreFrameResult(r)
+	e.scratch.Put(sc)
+	return fr
+}
+
 // InferBatch implements Engine by running the batch sample-by-sample on
 // one pooled scratch (results are independent of grouping by the
 // single-sample contract).

@@ -43,9 +43,11 @@ type RegistryOptions struct {
 // its own Server (own queue, workers, metrics, drain), behind a shared
 // admission layer:
 //
-//	POST /v1/models/{name}/infer — infer against one model
-//	POST /v1/models/{name}/swap  — atomically replace the model's engine
-//	POST /v1/infer               — back-compat route to the default model
+//	POST /v1/models/{name}/infer  — infer against one model
+//	POST /v1/models/{name}/stream — frame-session streaming inference
+//	POST /v1/models/{name}/swap   — atomically replace the model's engine
+//	POST /v1/infer                — back-compat route to the default model
+//	POST /v1/stream               — streaming against the default model
 //	GET  /v1/models              — list hosted models
 //	GET  /metrics                — per-model snapshots nested in one doc
 //	GET  /healthz                — liveness: 200 until Close starts
@@ -113,6 +115,7 @@ type retiredCounters struct {
 	accepted, rejected, expired, failed, completed uint64
 	totalSpikes                                    uint64
 	earlyExit, eventsSaved, latencyPath            uint64
+	streamSessions, streamFrames                   uint64
 }
 
 func (m *registryModel) server() *Server { return m.srv.Load() }
@@ -133,6 +136,8 @@ func (m *registryModel) retire(s Snapshot) {
 	m.retired.earlyExit += s.EarlyExitTotal
 	m.retired.eventsSaved += s.EventsSaved
 	m.retired.latencyPath += s.LatencyPathTotal
+	m.retired.streamSessions += s.StreamSessions
+	m.retired.streamFrames += s.StreamFrames
 	m.draining = nil
 	m.retiredMu.Unlock()
 }
@@ -261,9 +266,11 @@ func (g *Registry) Closed() bool {
 func (g *Registry) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/models/{name}/infer", g.handleModelInfer)
+	mux.HandleFunc("POST /v1/models/{name}/stream", g.handleModelStream)
 	mux.HandleFunc("POST /v1/models/{name}/swap", g.handleSwap)
 	mux.HandleFunc("GET /v1/models", g.handleList)
 	mux.HandleFunc("/v1/infer", g.handleDefaultInfer)
+	mux.HandleFunc("POST /v1/stream", g.handleDefaultStream)
 	mux.HandleFunc("/healthz", g.handleHealth)
 	mux.HandleFunc("/readyz", g.handleReady)
 	mux.HandleFunc("/metrics", g.handleMetrics)
@@ -351,6 +358,97 @@ func (g *Registry) serveModel(w http.ResponseWriter, r *http.Request, m *registr
 		}
 		writeInferError(w, err)
 		return
+	}
+}
+
+func (g *Registry) handleModelStream(w http.ResponseWriter, r *http.Request) {
+	// Full duplex before any write — see serveModelStream.
+	_ = http.NewResponseController(w).EnableFullDuplex()
+	name := r.PathValue("name")
+	m := g.lookup(name)
+	if m == nil {
+		writeError(w, http.StatusNotFound, fmt.Sprintf("unknown model %q", name))
+		return
+	}
+	g.serveModelStream(w, r, m)
+}
+
+func (g *Registry) handleDefaultStream(w http.ResponseWriter, r *http.Request) {
+	// Full duplex before any write — see serveModelStream.
+	_ = http.NewResponseController(w).EnableFullDuplex()
+	g.mu.RLock()
+	m := g.models[g.defaultName]
+	g.mu.RUnlock()
+	if m == nil {
+		writeError(w, http.StatusNotFound, "no models registered")
+		return
+	}
+	g.serveModelStream(w, r, m)
+}
+
+// serveModelStream admits one streaming session against a model. A
+// session costs one rate-limit token regardless of how many frames it
+// carries — the limiter protects against connection storms; per-frame
+// pressure is bounded by the session's own lockstep (one frame in
+// flight at a time). Deadline shedding does not apply: sessions have
+// no deadline, and each frame runs the direct single-sample path.
+//
+// Stream handlers enable full duplex before writing anything, even
+// admission errors: the client's chunked request body is still open at
+// that point, and without full duplex writeHeader blocks draining it —
+// a deadlock against a lockstep client that sends nothing until it
+// reads the response.
+//
+// The reacquire closure makes hot-swaps invisible mid-session: when
+// the serving server drains, the session chases the model's pointer to
+// the replacement and only reports a terminal drain once the registry
+// itself is closing (or the swap hasn't produced a new server).
+func (g *Registry) serveModelStream(w http.ResponseWriter, r *http.Request, m *registryModel) {
+	if g.limiter != nil {
+		if ok, retry := g.limiter.allow(g.clientKey(r)); !ok {
+			g.rateLimited.Add(1)
+			writeRetryAfter(w, retry)
+			writeError(w, http.StatusTooManyRequests, "client rate limit exceeded")
+			return
+		}
+	}
+	srv := m.server()
+	if srv.Closed() {
+		// Chase one swap-cutover before concluding the model is gone,
+		// mirroring serveModel.
+		if cur := m.server(); cur != srv && !cur.Closed() {
+			srv = cur
+		} else {
+			writeError(w, http.StatusServiceUnavailable, ErrClosed.Error())
+			return
+		}
+	}
+	serveStream(w, r, srv, func(cur *Server) *Server {
+		if g.Closed() {
+			return nil
+		}
+		if ns := m.server(); ns != cur {
+			return ns
+		}
+		return nil
+	})
+}
+
+// BeginDrain signals every model's live server to stop admitting new
+// work and lets open streaming sessions wind down with a terminal
+// drain event, without blocking. Call it before shutting the HTTP
+// listener down gracefully: http.Server.Shutdown waits for active
+// handlers, and a streaming session only returns once its server
+// drains.
+func (g *Registry) BeginDrain() {
+	g.mu.RLock()
+	models := make([]*registryModel, 0, len(g.models))
+	for _, m := range g.models {
+		models = append(models, m)
+	}
+	g.mu.RUnlock()
+	for _, m := range models {
+		m.server().BeginDrain()
 	}
 }
 
@@ -462,6 +560,9 @@ func (g *Registry) Snapshot() RegistrySnapshot {
 			s.EarlyExitTotal += ds.EarlyExitTotal
 			s.EventsSaved += ds.EventsSaved
 			s.LatencyPathTotal += ds.LatencyPathTotal
+			s.StreamSessions += ds.StreamSessions
+			s.StreamActive += ds.StreamActive
+			s.StreamFrames += ds.StreamFrames
 		}
 		r := m.retired
 		m.retiredMu.Unlock()
@@ -474,6 +575,8 @@ func (g *Registry) Snapshot() RegistrySnapshot {
 		s.EarlyExitTotal += r.earlyExit
 		s.EventsSaved += r.eventsSaved
 		s.LatencyPathTotal += r.latencyPath
+		s.StreamSessions += r.streamSessions
+		s.StreamFrames += r.streamFrames
 		if s.Completed > 0 {
 			s.SpikesPerSample = float64(s.TotalSpikes) / float64(s.Completed)
 		}

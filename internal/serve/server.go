@@ -111,10 +111,19 @@ type Server struct {
 	// engine is batch-only), discovered once in New. Latency-mode
 	// requests run on it via InferDirect, bypassing the queue.
 	single SingleEngine
+	// frame is the engine's FrameEngine capability (nil when absent);
+	// stream sessions run their frames on it.
+	frame FrameEngine
 
 	mu     sync.RWMutex // guards closed + queue close + directWG.Add
 	closed bool
 	queue  chan *request
+
+	// drain closes when BeginDrain (or Close) starts: long-lived stream
+	// sessions select on it to learn the server is going away while
+	// their connection is otherwise idle.
+	drain     chan struct{}
+	drainOnce sync.Once
 
 	wg       sync.WaitGroup // dispatcher + workers
 	directWG sync.WaitGroup // in-flight InferDirect calls
@@ -129,8 +138,10 @@ func New(eng Engine, opt Options) *Server {
 		opt:   opt,
 		met:   newMetrics(opt.MaxBatch, eng.Classes()),
 		queue: make(chan *request, opt.QueueSize),
+		drain: make(chan struct{}),
 	}
 	s.single, _ = eng.(SingleEngine)
+	s.frame, _ = eng.(FrameEngine)
 	if d, ok := eng.(EngineDescriber); ok {
 		s.met.setEngine(d.EngineDesc())
 	}
@@ -322,6 +333,61 @@ func (s *Server) InferDirect(ctx context.Context, input []float64, sample, label
 	return pred, nil
 }
 
+// InferFrame runs one stream frame synchronously on the engine's
+// FrameEngine capability — the same queue-free path as InferDirect,
+// plus the per-stage spike counts and optional timeline a stream event
+// carries. Engines without the capability fall back to InferDirect (or
+// the batched queue), losing the extra observability but never the
+// prediction. Frames land in the same accounting identity as one-shot
+// requests (accepted = completed + expired + failed) and additionally
+// tick the stream_frames_total ledger.
+func (s *Server) InferFrame(ctx context.Context, input []float64, sample, label int, timeline bool) (FrameResult, error) {
+	if s.frame == nil {
+		pred, err := s.InferDirect(ctx, input, sample, label)
+		if err != nil {
+			return FrameResult{}, err
+		}
+		s.met.streamFrame()
+		return FrameResult{Prediction: pred}, nil
+	}
+	if len(input) != s.eng.InLen() {
+		return FrameResult{}, fmt.Errorf("serve: input length %d, engine expects %d", len(input), s.eng.InLen())
+	}
+	if err := ctx.Err(); err != nil {
+		s.met.accept()
+		s.met.expire()
+		return FrameResult{}, err
+	}
+	// The RLock pairs with Close's Lock, exactly like InferDirect.
+	s.mu.RLock()
+	if s.closed {
+		s.mu.RUnlock()
+		return FrameResult{}, ErrClosed
+	}
+	s.directWG.Add(1)
+	s.mu.RUnlock()
+	defer s.directWG.Done()
+	s.met.accept()
+	start := time.Now()
+	fr, err := s.runFrame(input, sample, timeline)
+	if err != nil {
+		s.met.fail(1)
+		return FrameResult{}, err
+	}
+	s.met.completeStream(time.Since(start), fr.Prediction, label)
+	return fr, nil
+}
+
+// runFrame isolates frame-path engine panics, mirroring runSingle.
+func (s *Server) runFrame(input []float64, sample int, timeline bool) (fr FrameResult, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			err = fmt.Errorf("serve: engine panic: %v", p)
+		}
+	}()
+	return s.frame.InferFrame(input, sample, timeline), nil
+}
+
 // runSingle isolates single-sample engine panics, mirroring runEngine.
 func (s *Server) runSingle(input []float64, sample int) (pred Prediction, err error) {
 	defer func() {
@@ -332,11 +398,25 @@ func (s *Server) runSingle(input []float64, sample int) (pred Prediction, err er
 	return s.single.InferOne(input, sample), nil
 }
 
+// BeginDrain announces a graceful shutdown to long-lived observers
+// without refusing work yet: the Draining channel closes, stream
+// sessions emit their terminal drain event and return, and one-shot
+// requests keep being served until Close. Safe to call more than once,
+// from any goroutine; Close implies it.
+func (s *Server) BeginDrain() {
+	s.drainOnce.Do(func() { close(s.drain) })
+}
+
+// Draining returns a channel closed once BeginDrain (or Close) has
+// started.
+func (s *Server) Draining() <-chan struct{} { return s.drain }
+
 // Close stops accepting requests, drains everything already queued
 // (in-flight batches and direct calls run to completion and deliver
 // results), and waits for the dispatcher and workers to exit. Safe to
 // call more than once.
 func (s *Server) Close() {
+	s.BeginDrain()
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()

@@ -1,0 +1,194 @@
+package serve
+
+import (
+	"errors"
+	"io"
+	"net/http"
+	"time"
+
+	"repro/internal/stream"
+)
+
+// serveStream runs one /v1/stream session: frames in on the request
+// body, one event per frame out on the response, flushed as produced.
+//
+// The session commits to a 200 + streaming Content-Type immediately
+// (per-frame problems are in-band error events, not HTTP statuses), so
+// admission decisions (rate limit, unknown model) must happen before
+// this is called.
+//
+// reacquire implements hot-swap chasing for registry deployments: when
+// the serving server drains mid-session it is asked for a replacement —
+// a non-nil, different server transparently continues the session; nil
+// means the process really is going away and the client gets the
+// terminal drain event. A nil reacquire (single-server deployments)
+// always drains.
+func serveStream(w http.ResponseWriter, r *http.Request, srv *Server, reacquire func(*Server) *Server) {
+	format := stream.Negotiate(r.Header.Get("Content-Type"), r.Header.Get("Accept"))
+	timeline := wantTimeline(r)
+
+	rc := http.NewResponseController(w)
+	// Full-duplex lets us write events while the request body is still
+	// open (HTTP/1.x needs the opt-in; elsewhere it's a no-op or
+	// unsupported-and-already-duplex).
+	_ = rc.EnableFullDuplex()
+
+	w.Header().Set("Content-Type", format.ContentType())
+	w.Header().Set("Cache-Control", "no-store")
+	w.WriteHeader(http.StatusOK)
+	if rc.Flush() != nil {
+		return
+	}
+
+	met := srv.Metrics()
+	met.streamSession()
+	defer func() { met.streamDetach() }()
+
+	// The reader goroutine decodes frames off the body so the main loop
+	// can select between "next frame" and "server draining". Two frame
+	// buffers alternate: the channel is unbuffered, so the reader can't
+	// start overwriting a buffer until the main loop has taken the
+	// *next* one — by which point the previous frame's inference is done
+	// and its input is dead.
+	type frameMsg struct {
+		f   stream.Frame
+		err error
+	}
+	frames := make(chan frameMsg)
+	done := make(chan struct{})
+	defer close(done)
+	inLen := srv.eng.InLen()
+	go func() {
+		dec := stream.NewDecoder(r.Body, r.Header.Get("Content-Type"))
+		var bufs [2]stream.Frame
+		for i := 0; ; i ^= 1 {
+			err := dec.Next(&bufs[i], inLen)
+			select {
+			case frames <- frameMsg{f: bufs[i], err: err}:
+			case <-done:
+				return
+			}
+			if err != nil {
+				return
+			}
+		}
+	}()
+
+	enc := stream.NewEncoder(w, format)
+	var ev stream.Event
+	var acked uint32
+	drain := srv.Draining()
+	emit := func() bool {
+		if enc.Encode(&ev) != nil {
+			return false
+		}
+		return rc.Flush() == nil
+	}
+	// drainOrChase handles the serving server going away: chase the
+	// swap replacement when there is one, else emit the terminal drain
+	// event. Returns the replacement, or nil when the session is over.
+	drainOrChase := func() *Server {
+		if reacquire != nil {
+			if ns := reacquire(srv); ns != nil && ns != srv {
+				met.streamDetach()
+				met = ns.Metrics()
+				met.streamAttach()
+				return ns
+			}
+		}
+		ev = stream.Event{Kind: stream.KindDrain, Seq: acked, Msg: "server draining; session complete as acked"}
+		emit()
+		return nil
+	}
+	for {
+		select {
+		case <-drain:
+			if srv = drainOrChase(); srv == nil {
+				return
+			}
+			drain = srv.Draining()
+		case msg := <-frames:
+			if msg.err == io.EOF {
+				// Client finished the session cleanly; every frame has
+				// its event already.
+				return
+			}
+			if msg.err != nil {
+				// A malformed frame poisons the body's framing — there
+				// is no resynchronization point — so the error event is
+				// terminal for the session.
+				ev = stream.Event{Kind: stream.KindError, Seq: acked, Msg: msg.err.Error()}
+				emit()
+				return
+			}
+			seq := acked + 1
+		inferFrame:
+			start := time.Now()
+			fr, err := srv.InferFrame(r.Context(), msg.f.Input, msg.f.Sample, msg.f.Label, timeline)
+			if err != nil {
+				if errors.Is(err, ErrClosed) {
+					// The frame was not served; a replacement can still
+					// take it without the client noticing.
+					if srv = drainOrChase(); srv == nil {
+						return
+					}
+					drain = srv.Draining()
+					goto inferFrame
+				}
+				if r.Context().Err() != nil {
+					return // client gone; nobody to tell
+				}
+				// Per-frame failure (engine panic, bad input length):
+				// answer the frame with an error event and keep going.
+				ev = stream.Event{Kind: stream.KindError, Seq: seq, Msg: err.Error()}
+				acked = seq
+				if !emit() {
+					return
+				}
+				continue
+			}
+			ev = stream.Event{
+				Kind:         stream.KindFrame,
+				Seq:          seq,
+				Pred:         fr.Pred,
+				LatencySteps: fr.Latency,
+				TotalSpikes:  fr.TotalSpikes,
+				WallMs:       float64(time.Since(start)) / float64(time.Millisecond),
+				EarlyExit:    fr.EarlyExit,
+				EventsSaved:  fr.EventsSaved,
+				StageSpikes:  fr.StageSpikes,
+			}
+			for _, tp := range fr.Timeline {
+				ev.Timeline = append(ev.Timeline, stream.TimedPred{Step: tp.Step, Pred: tp.Pred})
+			}
+			acked = seq
+			if !emit() {
+				return
+			}
+		}
+	}
+}
+
+// wantTimeline reads the session-level ?timeline=1 switch.
+func wantTimeline(r *http.Request) bool {
+	v := r.URL.Query().Get("timeline")
+	return v == "1" || v == "true"
+}
+
+// handleStream is the single-model /v1/stream endpoint.
+func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
+	// Full duplex before any write: error responses here are sent while
+	// the client's chunked body is still open, and writeHeader would
+	// otherwise block draining it from a client that is itself waiting
+	// for our response.
+	_ = http.NewResponseController(w).EnableFullDuplex()
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "POST required")
+		return
+	}
+	if s.Closed() {
+		writeError(w, http.StatusServiceUnavailable, ErrClosed.Error())
+		return
+	}
+	serveStream(w, r, s, nil)
+}

@@ -1,0 +1,389 @@
+// Package stream is the frame/event layer of /v1/stream: a session
+// ingests a sequence of input frames on one long-lived request body and
+// emits exactly one event per frame, flushed as it is produced.
+//
+// Three wire encodings are negotiated from the request headers:
+//
+//   - binary (Content-Type application/x-t2f): frames are consecutive
+//     wire request frames; events are wire stream event frames
+//     (length-prefixed, internal/wire stream framing).
+//   - SSE (Accept: text/event-stream): events are Server-Sent Events
+//     ("event: <kind>" + "data: <json>"), for curl and browsers.
+//   - NDJSON (default): frames in are a sequence of JSON objects
+//     (whitespace/newline separated, the /v1/infer request shape);
+//     events out are one JSON object per line.
+//
+// The event kinds mirror the binary framing: "frame" is one inference
+// outcome; "drain" is terminal (server going away gracefully, session
+// complete as acked); "retry" is terminal (backend lost mid-session —
+// reconnect and resend unacked frames); "error" reports one failed
+// frame without ending the session.
+package stream
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/wire"
+)
+
+// Event kind strings (the JSON forms of the wire event kinds).
+const (
+	KindFrame = "frame"
+	KindDrain = "drain"
+	KindRetry = "retry"
+	KindError = "error"
+)
+
+// maxFrameBytes bounds one JSON frame on a session body — same
+// defensive scale as the one-shot request cap.
+const maxFrameBytes = 8 << 20
+
+// ErrFrameTooLarge reports a single JSON frame exceeding maxFrameBytes.
+var ErrFrameTooLarge = errors.New("stream: frame exceeds size limit")
+
+// Frame is one decoded input frame.
+type Frame struct {
+	Input  []float64
+	Sample int // -1 = no fault stream
+	Label  int // -1 = unlabeled
+}
+
+// TimedPred is one point of the argmax trajectory: at simulation step
+// Step the running prediction became Pred.
+type TimedPred struct {
+	Step int `json:"step"`
+	Pred int `json:"pred"`
+}
+
+// Event is one per-frame emission in encoding-agnostic form.
+type Event struct {
+	Kind string `json:"kind"`
+	// Seq is the 1-based frame number within the session. For terminal
+	// kinds it is the last acked frame.
+	Seq          uint32  `json:"seq"`
+	Pred         int     `json:"pred"`
+	LatencySteps int     `json:"latency_steps"`
+	TotalSpikes  int     `json:"total_spikes"`
+	WallMs       float64 `json:"wall_ms"`
+	EarlyExit    bool    `json:"early_exit"`
+	EventsSaved  int     `json:"events_saved"`
+	// StageSpikes is the per-stage spike count vector: index 0 the
+	// input encoding, index i ≥ 1 stage i-1's fire phase.
+	StageSpikes []int `json:"stage_spikes,omitempty"`
+	// Timeline is the argmax trajectory (only when the session asked
+	// for it with ?timeline=1).
+	Timeline []TimedPred `json:"timeline,omitempty"`
+	// Msg carries detail for drain/retry/error kinds.
+	Msg string `json:"msg,omitempty"`
+	// RetryAfterMs suggests a reconnect delay on retry events.
+	RetryAfterMs int `json:"retry_after_ms,omitempty"`
+}
+
+// Format is a negotiated session encoding.
+type Format int
+
+const (
+	FormatNDJSON Format = iota
+	FormatSSE
+	FormatBinary
+)
+
+// ContentType returns the response media type for a format.
+func (f Format) ContentType() string {
+	switch f {
+	case FormatBinary:
+		return wire.ContentType
+	case FormatSSE:
+		return "text/event-stream"
+	default:
+		return "application/x-ndjson"
+	}
+}
+
+// Negotiate picks the session encoding from the request headers: a
+// binary Content-Type selects binary both ways; otherwise an SSE Accept
+// selects SSE out (JSON frames in); otherwise NDJSON.
+func Negotiate(contentType, accept string) Format {
+	if wire.Negotiates(contentType) {
+		return FormatBinary
+	}
+	if strings.Contains(accept, "text/event-stream") {
+		return FormatSSE
+	}
+	return FormatNDJSON
+}
+
+// Decoder reads input frames off a session body. Next returns io.EOF
+// when the client finished the session cleanly; any other error means
+// the frame (or connection) was malformed and the session should end.
+type Decoder interface {
+	// Next decodes one frame into f, reusing f.Input's capacity.
+	// wantLen, when positive, is the model's input length.
+	Next(f *Frame, wantLen int) error
+}
+
+// NewDecoder returns the frame decoder for a session's Content-Type.
+func NewDecoder(r io.Reader, contentType string) Decoder {
+	if wire.Negotiates(contentType) {
+		return &binaryDecoder{rr: wire.NewReqReader(r)}
+	}
+	mr := &meteredReader{r: r}
+	return &jsonDecoder{mr: mr, dec: json.NewDecoder(mr)}
+}
+
+type binaryDecoder struct {
+	rr *wire.ReqReader
+}
+
+func (d *binaryDecoder) Next(f *Frame, wantLen int) error {
+	h, in, err := d.rr.Next(f.Input, wantLen)
+	f.Input = in
+	if err != nil {
+		return err
+	}
+	f.Sample, f.Label = h.Sample, h.Label
+	return nil
+}
+
+// meteredReader enforces a per-frame read budget: each frame decode
+// resets the allowance, so a single runaway frame fails instead of
+// buffering without bound. (Bytes the JSON decoder read ahead count
+// against the frame that triggered the read; the bound per frame stays
+// maxFrameBytes either way.)
+type meteredReader struct {
+	r         io.Reader
+	allowance int64
+}
+
+func (m *meteredReader) Read(p []byte) (int, error) {
+	if m.allowance <= 0 {
+		return 0, ErrFrameTooLarge
+	}
+	if int64(len(p)) > m.allowance {
+		p = p[:m.allowance]
+	}
+	n, err := m.r.Read(p)
+	m.allowance -= int64(n)
+	return n, err
+}
+
+// frameJSON is the JSON frame shape — the /v1/infer request body minus
+// the per-request knobs that make no sense per-frame (timeout, mode are
+// session-level).
+type frameJSON struct {
+	Input  []float64 `json:"input"`
+	Sample *int      `json:"sample"`
+	Label  *int      `json:"label"`
+}
+
+type jsonDecoder struct {
+	mr  *meteredReader
+	dec *json.Decoder
+	js  frameJSON
+	sv  int
+	lv  int
+}
+
+func (d *jsonDecoder) Next(f *Frame, wantLen int) error {
+	d.mr.allowance = maxFrameBytes
+	if !d.dec.More() {
+		// More() returning false either hit EOF (clean end) or
+		// buffered garbage; a Decode distinguishes.
+		var probe json.RawMessage
+		if err := d.dec.Decode(&probe); err == io.EOF {
+			return io.EOF
+		} else if err != nil {
+			return fmt.Errorf("stream: bad frame: %w", err)
+		}
+		return errors.New("stream: unexpected non-object frame")
+	}
+	d.sv, d.lv = -1, -1
+	d.js.Input = f.Input[:0]
+	d.js.Sample, d.js.Label = &d.sv, &d.lv
+	if err := d.dec.Decode(&d.js); err != nil {
+		if errors.Is(err, ErrFrameTooLarge) {
+			return ErrFrameTooLarge
+		}
+		return fmt.Errorf("stream: bad frame: %w", err)
+	}
+	if wantLen > 0 && len(d.js.Input) != wantLen {
+		return fmt.Errorf("stream: input length %d, model expects %d", len(d.js.Input), wantLen)
+	}
+	f.Input = d.js.Input
+	f.Sample, f.Label = d.sv, d.lv
+	return nil
+}
+
+// Encoder writes session events. The caller flushes the HTTP response
+// after each Encode; encoders only buffer within one event.
+type Encoder interface {
+	Encode(ev *Event) error
+}
+
+// NewEncoder returns the event encoder for a negotiated format.
+func NewEncoder(w io.Writer, f Format) Encoder {
+	switch f {
+	case FormatBinary:
+		return &binaryEncoder{w: w}
+	case FormatSSE:
+		return &sseEncoder{w: w}
+	default:
+		return &ndjsonEncoder{enc: json.NewEncoder(w)}
+	}
+}
+
+type ndjsonEncoder struct {
+	enc *json.Encoder
+}
+
+func (e *ndjsonEncoder) Encode(ev *Event) error { return e.enc.Encode(ev) }
+
+type sseEncoder struct {
+	w   io.Writer
+	buf []byte
+}
+
+func (e *sseEncoder) Encode(ev *Event) error {
+	data, err := json.Marshal(ev)
+	if err != nil {
+		return err
+	}
+	e.buf = e.buf[:0]
+	e.buf = append(e.buf, "event: "...)
+	e.buf = append(e.buf, ev.Kind...)
+	e.buf = append(e.buf, "\ndata: "...)
+	e.buf = append(e.buf, data...)
+	e.buf = append(e.buf, '\n', '\n')
+	_, err = e.w.Write(e.buf)
+	return err
+}
+
+type binaryEncoder struct {
+	w      io.Writer
+	buf    []byte
+	stages []uint32
+	tl     []wire.TimedStep
+}
+
+func (e *binaryEncoder) Encode(ev *Event) error {
+	we := wire.StreamEvent{
+		Seq: ev.Seq,
+		Resp: wire.Response{
+			Pred:         ev.Pred,
+			LatencySteps: ev.LatencySteps,
+			TotalSpikes:  satU32(ev.TotalSpikes),
+			EventsSaved:  satU32(ev.EventsSaved),
+			EarlyExit:    ev.EarlyExit,
+		},
+		Msg: ev.Msg,
+	}
+	switch ev.Kind {
+	case KindDrain:
+		we.Kind = wire.EventDrain
+	case KindRetry:
+		we.Kind = wire.EventRetry
+		we.Resp.WallUs = satU32(ev.RetryAfterMs)
+	case KindError:
+		we.Kind = wire.EventError
+	default:
+		we.Kind = wire.EventFrame
+		we.Resp.WallUs = satU32(int(ev.WallMs * 1000))
+	}
+	e.stages = e.stages[:0]
+	for _, s := range ev.StageSpikes {
+		e.stages = append(e.stages, satU32(s))
+	}
+	we.StageSpikes = e.stages
+	e.tl = e.tl[:0]
+	for _, tp := range ev.Timeline {
+		e.tl = append(e.tl, wire.TimedStep{Step: int32(tp.Step), Pred: int32(tp.Pred)})
+	}
+	we.Timeline = e.tl
+	e.buf = wire.AppendStreamEvent(e.buf[:0], we)
+	_, err := e.w.Write(e.buf)
+	return err
+}
+
+func satU32(v int) uint32 {
+	if v < 0 {
+		return 0
+	}
+	if v > int(^uint32(0)) {
+		return ^uint32(0)
+	}
+	return uint32(v)
+}
+
+// EventDecoder reads session events back (the client side). NDJSON and
+// binary are supported; SSE is emit-only (meant for curl/browsers).
+type EventDecoder interface {
+	Next(ev *Event) error
+}
+
+// NewEventDecoder returns the event decoder for a response
+// Content-Type.
+func NewEventDecoder(r io.Reader, contentType string) (EventDecoder, error) {
+	if wire.Negotiates(contentType) {
+		return &binaryEventDecoder{er: wire.NewEventReader(r)}, nil
+	}
+	if strings.Contains(contentType, "text/event-stream") {
+		return nil, errors.New("stream: SSE decoding not supported; use NDJSON or binary")
+	}
+	return &jsonEventDecoder{dec: json.NewDecoder(r)}, nil
+}
+
+type jsonEventDecoder struct {
+	dec *json.Decoder
+}
+
+func (d *jsonEventDecoder) Next(ev *Event) error {
+	*ev = Event{Timeline: ev.Timeline[:0], StageSpikes: ev.StageSpikes[:0]}
+	return d.dec.Decode(ev)
+}
+
+type binaryEventDecoder struct {
+	er *wire.EventReader
+}
+
+func (d *binaryEventDecoder) Next(ev *Event) error {
+	we, err := d.er.Next()
+	if err != nil {
+		return err
+	}
+	switch we.Kind {
+	case wire.EventDrain:
+		ev.Kind = KindDrain
+	case wire.EventRetry:
+		ev.Kind = KindRetry
+	case wire.EventError:
+		ev.Kind = KindError
+	default:
+		ev.Kind = KindFrame
+	}
+	ev.Seq = we.Seq
+	ev.Pred = we.Resp.Pred
+	ev.LatencySteps = we.Resp.LatencySteps
+	ev.TotalSpikes = int(we.Resp.TotalSpikes)
+	ev.EventsSaved = int(we.Resp.EventsSaved)
+	ev.EarlyExit = we.Resp.EarlyExit
+	ev.WallMs, ev.RetryAfterMs = 0, 0
+	if we.Kind == wire.EventRetry {
+		ev.RetryAfterMs = int(we.Resp.WallUs)
+	} else {
+		ev.WallMs = float64(we.Resp.WallUs) / 1000
+	}
+	ev.StageSpikes = ev.StageSpikes[:0]
+	for _, s := range we.StageSpikes {
+		ev.StageSpikes = append(ev.StageSpikes, int(s))
+	}
+	ev.Timeline = ev.Timeline[:0]
+	for _, tp := range we.Timeline {
+		ev.Timeline = append(ev.Timeline, TimedPred{Step: int(tp.Step), Pred: int(tp.Pred)})
+	}
+	ev.Msg = we.Msg
+	return nil
+}

@@ -1,0 +1,227 @@
+package stream
+
+import (
+	"bytes"
+	"io"
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/wire"
+)
+
+func TestNegotiate(t *testing.T) {
+	cases := []struct {
+		ct, accept string
+		want       Format
+	}{
+		{"application/x-t2f", "", FormatBinary},
+		{"application/x-t2f; charset=x", "text/event-stream", FormatBinary},
+		{"application/json", "text/event-stream", FormatSSE},
+		{"", "text/event-stream, application/json", FormatSSE},
+		{"application/json", "", FormatNDJSON},
+		{"", "", FormatNDJSON},
+	}
+	for _, c := range cases {
+		if got := Negotiate(c.ct, c.accept); got != c.want {
+			t.Errorf("Negotiate(%q, %q) = %v, want %v", c.ct, c.accept, got, c.want)
+		}
+	}
+}
+
+func TestJSONDecoderFrames(t *testing.T) {
+	body := `{"input":[0.1,0.2],"label":3}
+{"input":[0.3,0.4],"sample":7}
+{"input":[0.5,0.6]}`
+	d := NewDecoder(strings.NewReader(body), "application/json")
+	var f Frame
+	if err := d.Next(&f, 2); err != nil {
+		t.Fatal(err)
+	}
+	if f.Label != 3 || f.Sample != -1 || f.Input[1] != 0.2 {
+		t.Fatalf("frame 1: %+v", f)
+	}
+	if err := d.Next(&f, 2); err != nil {
+		t.Fatal(err)
+	}
+	if f.Sample != 7 || f.Label != -1 {
+		t.Fatalf("frame 2: %+v", f)
+	}
+	if err := d.Next(&f, 2); err != nil {
+		t.Fatal(err)
+	}
+	if f.Sample != -1 || f.Label != -1 || f.Input[0] != 0.5 {
+		t.Fatalf("frame 3: %+v", f)
+	}
+	if err := d.Next(&f, 2); err != io.EOF {
+		t.Fatalf("end: %v, want io.EOF", err)
+	}
+}
+
+func TestJSONDecoderRejectsWrongLength(t *testing.T) {
+	d := NewDecoder(strings.NewReader(`{"input":[0.1]}`), "")
+	var f Frame
+	if err := d.Next(&f, 3); err == nil {
+		t.Fatal("want length error")
+	}
+}
+
+func TestJSONDecoderRejectsGarbage(t *testing.T) {
+	d := NewDecoder(strings.NewReader(`{"input":[0.1]}garbage{`), "")
+	var f Frame
+	if err := d.Next(&f, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Next(&f, 1); err == nil || err == io.EOF {
+		t.Fatalf("garbage after frame: %v, want decode error", err)
+	}
+}
+
+func TestBinaryDecoderFrames(t *testing.T) {
+	var b []byte
+	b = wire.AppendRequest(b, wire.Request{Sample: 2, Label: 5}, []float64{0.25, 0.75})
+	b = wire.AppendRequest(b, wire.Request{Sample: -1, Label: -1}, []float64{0.5, 0.5})
+	d := NewDecoder(bytes.NewReader(b), wire.ContentType)
+	var f Frame
+	if err := d.Next(&f, 2); err != nil {
+		t.Fatal(err)
+	}
+	if f.Sample != 2 || f.Label != 5 || math.Abs(f.Input[1]-0.75) > 1e-6 {
+		t.Fatalf("frame 1: %+v", f)
+	}
+	if err := d.Next(&f, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Next(&f, 2); err != io.EOF {
+		t.Fatalf("end: %v, want io.EOF", err)
+	}
+}
+
+func TestEncoderRoundTripNDJSONAndBinary(t *testing.T) {
+	src := Event{
+		Kind: KindFrame, Seq: 9, Pred: 4, LatencySteps: 17,
+		TotalSpikes: 200, WallMs: 1.5, EarlyExit: true, EventsSaved: 31,
+		StageSpikes: []int{80, 70, 50},
+		Timeline:    []TimedPred{{Step: 2, Pred: 0}, {Step: 11, Pred: 4}},
+	}
+	for _, f := range []Format{FormatNDJSON, FormatBinary} {
+		var buf bytes.Buffer
+		if err := NewEncoder(&buf, f).Encode(&src); err != nil {
+			t.Fatal(err)
+		}
+		dec, err := NewEventDecoder(&buf, f.ContentType())
+		if err != nil {
+			t.Fatal(err)
+		}
+		var got Event
+		if err := dec.Next(&got); err != nil {
+			t.Fatalf("format %v: %v", f, err)
+		}
+		if got.Kind != KindFrame || got.Seq != 9 || got.Pred != 4 ||
+			got.LatencySteps != 17 || got.TotalSpikes != 200 ||
+			!got.EarlyExit || got.EventsSaved != 31 {
+			t.Fatalf("format %v: %+v", f, got)
+		}
+		if len(got.StageSpikes) != 3 || got.StageSpikes[2] != 50 {
+			t.Fatalf("format %v stages: %v", f, got.StageSpikes)
+		}
+		if len(got.Timeline) != 2 || got.Timeline[1] != (TimedPred{11, 4}) {
+			t.Fatalf("format %v timeline: %v", f, got.Timeline)
+		}
+	}
+}
+
+func TestSSEEncoderShape(t *testing.T) {
+	var buf bytes.Buffer
+	enc := NewEncoder(&buf, FormatSSE)
+	if err := enc.Encode(&Event{Kind: KindFrame, Seq: 1, Pred: 3}); err != nil {
+		t.Fatal(err)
+	}
+	if err := enc.Encode(&Event{Kind: KindDrain, Seq: 1}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"event: frame\ndata: {", `"pred":3`, "event: drain\ndata: {", "}\n\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("SSE output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRetryEventRoundTripBinary(t *testing.T) {
+	var buf bytes.Buffer
+	src := Event{Kind: KindRetry, Seq: 12, Msg: "backend evicted", RetryAfterMs: 500}
+	if err := NewEncoder(&buf, FormatBinary).Encode(&src); err != nil {
+		t.Fatal(err)
+	}
+	dec, err := NewEventDecoder(&buf, wire.ContentType)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got Event
+	if err := dec.Next(&got); err != nil {
+		t.Fatal(err)
+	}
+	if got.Kind != KindRetry || got.Seq != 12 || got.Msg != "backend evicted" || got.RetryAfterMs != 500 {
+		t.Fatalf("retry round trip: %+v", got)
+	}
+}
+
+func TestWalkDeterministicAndCorrelated(t *testing.T) {
+	bases := [][]float64{
+		{0.0, 0.5, 1.0, 0.25},
+		{1.0, 0.0, 0.5, 0.75},
+	}
+	a := NewWalk(bases, 7, 0.02, 0.1)
+	b := NewWalk(bases, 7, 0.02, 0.1)
+	c := NewWalk(bases, 8, 0.02, 0.1)
+	var prev []float64
+	differs := false
+	for i := 0; i < 200; i++ {
+		fa, la := a.Next()
+		fb, lb := b.Next()
+		fc, _ := c.Next()
+		if la != lb {
+			t.Fatalf("frame %d: base %d vs %d under same seed", i, la, lb)
+		}
+		for j := range fa {
+			if fa[j] != fb[j] {
+				t.Fatalf("frame %d: same seed diverged at pixel %d", i, j)
+			}
+			if fa[j] < 0 || fa[j] > 1 {
+				t.Fatalf("frame %d pixel %d out of range: %v", i, j, fa[j])
+			}
+			if fa[j] != fc[j] {
+				differs = true
+			}
+		}
+	}
+	if !differs {
+		t.Fatal("different seeds produced identical walks")
+	}
+	if fa, _ := a.Next(); fa == nil {
+		t.Fatal("walk went nil")
+	}
+	// correlation: with jumps disabled, successive frames move each
+	// pixel by at most step.
+	w := NewWalk(bases, 3, 0.02, 0)
+	prev, _ = w.Next()
+	for i := 0; i < 100; i++ {
+		cur, _ := w.Next()
+		for j := range cur {
+			if d := math.Abs(cur[j] - prev[j]); d > 0.02+1e-12 {
+				t.Fatalf("frame %d pixel %d drifted %v > step", i, j, d)
+			}
+		}
+		prev = cur
+	}
+}
+
+func TestWalkEmptyBases(t *testing.T) {
+	w := NewWalk(nil, 1, 0.1, 0.1)
+	if f, idx := w.Next(); f != nil || idx != -1 {
+		t.Fatalf("empty walk: %v, %d", f, idx)
+	}
+}

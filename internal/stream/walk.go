@@ -1,0 +1,75 @@
+package stream
+
+// Walk is a seeded, deterministic correlated-frame generator: a random
+// walk over input space that perturbs a base sample pixel-by-pixel each
+// step, with occasional Markov-style regime jumps to a fresh base
+// sample. It emulates the frame-to-frame correlation of continuous
+// input (video, sensors) rather than IID dataset replay, so stream
+// sessions are stressed with realistic temporal structure.
+//
+// The sequence is a pure function of (bases, seed, step, jump): frame i
+// is identical across runs and across one-shot vs streaming replay,
+// which is what lets the smoke test diff predictions bit-for-bit.
+type Walk struct {
+	bases [][]float64
+	cur   []float64
+	base  int
+	rng   uint64
+	step  float64
+	jump  float64
+	begun bool
+}
+
+// NewWalk builds a walk over bases (each a flattened input sample, all
+// the same length). step is the per-pixel maximum perturbation per
+// frame (uniform in [-step, step], clamped to [0,1]); jump is the
+// per-frame probability of switching to a new base sample.
+func NewWalk(bases [][]float64, seed uint64, step, jump float64) *Walk {
+	w := &Walk{bases: bases, rng: seed, step: step, jump: jump}
+	if len(bases) > 0 {
+		w.cur = make([]float64, len(bases[0]))
+	}
+	return w
+}
+
+// splitmix64 — deterministic, allocation-free, and independent of
+// math/rand's generator choices across Go versions.
+func (w *Walk) next64() uint64 {
+	w.rng += 0x9e3779b97f4a7c15
+	z := w.rng
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// rand01 returns a uniform float64 in [0,1).
+func (w *Walk) rand01() float64 {
+	return float64(w.next64()>>11) / (1 << 53)
+}
+
+// Next advances the walk one frame and returns a fresh copy of it plus
+// the index of the base sample the current regime started from (so
+// callers can attach that sample's label).
+func (w *Walk) Next() ([]float64, int) {
+	if len(w.bases) == 0 {
+		return nil, -1
+	}
+	if !w.begun || w.rand01() < w.jump {
+		w.base = int(w.next64() % uint64(len(w.bases)))
+		copy(w.cur, w.bases[w.base])
+		w.begun = true
+	} else {
+		for j := range w.cur {
+			v := w.cur[j] + (2*w.rand01()-1)*w.step
+			if v < 0 {
+				v = 0
+			} else if v > 1 {
+				v = 1
+			}
+			w.cur[j] = v
+		}
+	}
+	out := make([]float64, len(w.cur))
+	copy(out, w.cur)
+	return out, w.base
+}

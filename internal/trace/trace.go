@@ -29,8 +29,13 @@ type Trace struct {
 	GroupSizes map[string]int
 }
 
-// Add appends an event, growing the horizon as needed.
+// Add appends an event, growing the horizon as needed. Negative times
+// are clamped to step 0: VCD has no notion of time before zero, and a
+// "#-1" timestamp makes viewers reject the whole dump.
 func (t *Trace) Add(group string, neuron, time int) {
+	if time < 0 {
+		time = 0
+	}
 	t.Events = append(t.Events, Event{Group: group, Neuron: neuron, Time: time})
 	if time >= t.Horizon {
 		t.Horizon = time + 1
@@ -167,8 +172,9 @@ func (t *Trace) WriteVCD(w io.Writer, timescale string, maxWires int) error {
 	}
 	var wires []wire
 	index := map[string]map[int]string{}
+	scopeNames := scopeNames(t.Groups())
 	for _, g := range t.Groups() {
-		if _, err := fmt.Fprintf(w, "$scope module %s $end\n", sanitize(g)); err != nil {
+		if _, err := fmt.Fprintf(w, "$scope module %s $end\n", scopeNames[g]); err != nil {
 			return err
 		}
 		index[g] = map[int]string{}
@@ -243,13 +249,43 @@ func (t *Trace) WriteVCD(w io.Writer, timescale string, maxWires int) error {
 	return err
 }
 
-// sanitize makes a group name a legal VCD module identifier.
+// sanitize makes a group name a legal VCD module identifier: illegal
+// runes become '_', a leading digit gets a '_' prefix (VCD identifiers
+// may not start with a digit), and an empty name becomes "_".
 func sanitize(s string) string {
-	return strings.Map(func(r rune) rune {
+	out := strings.Map(func(r rune) rune {
 		switch {
 		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '_':
 			return r
 		}
 		return '_'
 	}, s)
+	if out == "" || (out[0] >= '0' && out[0] <= '9') {
+		out = "_" + out
+	}
+	return out
+}
+
+// scopeNames assigns each group a unique sanitized module name.
+// Sanitizing is lossy ("conv.1" and "conv_1" both map to "conv_1"), so
+// collisions get a deterministic "_2", "_3", ... suffix in the given
+// group order.
+func scopeNames(groups []string) map[string]string {
+	names := make(map[string]string, len(groups))
+	taken := make(map[string]bool, len(groups))
+	for _, g := range groups {
+		name := sanitize(g)
+		if taken[name] {
+			for i := 2; ; i++ {
+				cand := fmt.Sprintf("%s_%d", name, i)
+				if !taken[cand] {
+					name = cand
+					break
+				}
+			}
+		}
+		taken[name] = true
+		names[g] = name
+	}
+	return names
 }

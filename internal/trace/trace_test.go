@@ -190,6 +190,71 @@ func TestFromResultEndToEnd(t *testing.T) {
 	}
 }
 
+// Distinct group names must never share one VCD module identifier:
+// "conv.1" and "conv_1" both sanitize to "conv_1", which silently merges
+// two scopes in the dump. The writer must disambiguate on collision.
+func TestWriteVCDScopeCollision(t *testing.T) {
+	tr := Trace{GroupSizes: map[string]int{"conv.1": 1, "conv_1": 1}}
+	tr.Add("conv.1", 0, 1)
+	tr.Add("conv_1", 0, 2)
+	var buf bytes.Buffer
+	if err := tr.WriteVCD(&buf, "", 4); err != nil {
+		t.Fatal(err)
+	}
+	scopes := map[string]bool{}
+	for _, line := range strings.Split(buf.String(), "\n") {
+		if strings.HasPrefix(line, "$scope module ") {
+			name := strings.Fields(line)[2]
+			if scopes[name] {
+				t.Fatalf("duplicate $scope name %q:\n%s", name, buf.String())
+			}
+			scopes[name] = true
+		}
+	}
+	if len(scopes) != 2 {
+		t.Fatalf("want 2 distinct scopes, got %d", len(scopes))
+	}
+}
+
+// VCD identifiers must not start with a digit; a group like "3x3" needs
+// a prefix, not a verbatim copy.
+func TestWriteVCDLeadingDigit(t *testing.T) {
+	var tr Trace
+	tr.Add("3x3", 0, 1)
+	var buf bytes.Buffer
+	if err := tr.WriteVCD(&buf, "", 4); err != nil {
+		t.Fatal(err)
+	}
+	for _, line := range strings.Split(buf.String(), "\n") {
+		if strings.HasPrefix(line, "$scope module ") {
+			name := strings.Fields(line)[2]
+			if name[0] >= '0' && name[0] <= '9' {
+				t.Fatalf("scope %q starts with a digit", name)
+			}
+		}
+	}
+}
+
+// A negative event time must not surface as a "#-1" timestamp (VCD
+// viewers reject negative times); Add clamps it to step 0.
+func TestAddNegativeTimeClamped(t *testing.T) {
+	var tr Trace
+	tr.Add("g", 0, -1)
+	if tr.Horizon < 1 {
+		t.Fatalf("horizon = %d, want clamped event to grow it", tr.Horizon)
+	}
+	var buf bytes.Buffer
+	if err := tr.WriteVCD(&buf, "", 4); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), "#-") {
+		t.Fatalf("negative timestamp leaked into VCD:\n%s", buf.String())
+	}
+	if !strings.Contains(buf.String(), "\n1") {
+		t.Fatal("clamped spike should still appear")
+	}
+}
+
 // Back-to-back spikes on one wire put a fall (closing the first pulse)
 // and a rise (opening the second) at the same timestamp; the fall must
 // be emitted first or a viewer, keeping the last value per timestamp,

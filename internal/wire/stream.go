@@ -1,0 +1,303 @@
+// Stream framing: the binary lane of /v1/stream.
+//
+// Ingest reuses the one-shot request frame verbatim — a session is just
+// consecutive request frames on a long-lived body, each self-describing
+// via its n length prefix, read off the wire by ReqReader. Emission is a
+// richer per-frame event (per-stage spike counts and an optional coding
+// timeline don't fit the fixed 24-byte response), length-prefixed so a
+// client can scan a socket without sniffing:
+//
+//	Stream event frame (little-endian, 32-byte header + payload):
+//
+//	offset size  field
+//	0      2     magic "T2"
+//	2      1     version (1)
+//	3      1     kind: 0 frame | 1 drain | 2 retry | 3 error
+//	4      4     seq uint32 (1-based frame number within the session)
+//	8      4     pred int32
+//	12     4     latency_steps int32 (the output spike time)
+//	16     4     total_spikes uint32
+//	20     4     events_saved uint32
+//	24     4     wall_us uint32 (kind retry: suggested retry-after in ms)
+//	28     1     flags: bit0 = early exit
+//	29     1     nstages uint8
+//	30     2     aux uint16: kind frame = timeline entry count;
+//	             other kinds = message byte length
+//	32     ...   payload: 4·nstages stage spike counts (uint32), then
+//	             8·ntimeline (step int32, pred int32) pairs, or the
+//	             UTF-8 message for non-frame kinds
+//
+// kind=frame carries one inference outcome. kind=drain is terminal: the
+// server is going away gracefully and the session is complete as acked.
+// kind=retry is terminal: the backend died mid-session; reconnect and
+// resend unacked frames. kind=error reports a per-frame failure (the
+// session continues; seq identifies the failed frame).
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Stream event kinds.
+const (
+	EventFrame uint8 = 0
+	EventDrain uint8 = 1
+	EventRetry uint8 = 2
+	EventError uint8 = 3
+)
+
+// StreamEventHeaderLen is the fixed stream event header size.
+const StreamEventHeaderLen = 32
+
+// TimedStep is one point of an argmax trajectory: at simulation step
+// Step the running prediction became Pred.
+type TimedStep struct {
+	Step int32
+	Pred int32
+}
+
+// StreamEvent is one per-frame emission on a stream session.
+type StreamEvent struct {
+	Kind uint8
+	Seq  uint32
+	Resp Response // one-shot outcome fields (kind frame)
+
+	// StageSpikes is the per-stage spike count vector: index 0 is the
+	// input encoding, index i ≥ 1 is stage i-1's fire phase.
+	StageSpikes []uint32
+	// Timeline is the argmax trajectory (only when the client asked).
+	Timeline []TimedStep
+	// Msg carries detail for drain/retry/error kinds.
+	Msg string
+}
+
+// AppendStreamEvent encodes ev onto buf and returns the extended slice.
+// Oversized vectors are clamped to what the header can carry (255
+// stages, 65535 timeline entries or message bytes) — far beyond any
+// real model or error string.
+func AppendStreamEvent(buf []byte, ev StreamEvent) []byte {
+	stages := ev.StageSpikes
+	if len(stages) > 255 {
+		stages = stages[:255]
+	}
+	timeline := ev.Timeline
+	if len(timeline) > 65535 {
+		timeline = timeline[:65535]
+	}
+	msg := ev.Msg
+	if len(msg) > 65535 {
+		msg = msg[:65535]
+	}
+	var hdr [StreamEventHeaderLen]byte
+	hdr[0], hdr[1], hdr[2] = magic0, magic1, Version
+	hdr[3] = ev.Kind
+	binary.LittleEndian.PutUint32(hdr[4:], ev.Seq)
+	binary.LittleEndian.PutUint32(hdr[8:], uint32(int32(ev.Resp.Pred)))
+	binary.LittleEndian.PutUint32(hdr[12:], uint32(int32(ev.Resp.LatencySteps)))
+	binary.LittleEndian.PutUint32(hdr[16:], ev.Resp.TotalSpikes)
+	binary.LittleEndian.PutUint32(hdr[20:], ev.Resp.EventsSaved)
+	binary.LittleEndian.PutUint32(hdr[24:], ev.Resp.WallUs)
+	if ev.Resp.EarlyExit {
+		hdr[28] = 1
+	}
+	hdr[29] = byte(len(stages))
+	if ev.Kind == EventFrame {
+		binary.LittleEndian.PutUint16(hdr[30:], uint16(len(timeline)))
+	} else {
+		binary.LittleEndian.PutUint16(hdr[30:], uint16(len(msg)))
+	}
+	buf = append(buf, hdr[:]...)
+	var w [8]byte
+	for _, s := range stages {
+		binary.LittleEndian.PutUint32(w[:4], s)
+		buf = append(buf, w[:4]...)
+	}
+	if ev.Kind == EventFrame {
+		for _, tp := range timeline {
+			binary.LittleEndian.PutUint32(w[:4], uint32(tp.Step))
+			binary.LittleEndian.PutUint32(w[4:], uint32(tp.Pred))
+			buf = append(buf, w[:]...)
+		}
+	} else {
+		buf = append(buf, msg...)
+	}
+	return buf
+}
+
+// DecodeStreamEvent parses one stream event frame. Payload slices are
+// decoded into ev's existing StageSpikes/Timeline capacity when
+// possible, so a reused event makes the steady state allocation-free.
+func DecodeStreamEvent(frame []byte, ev *StreamEvent) error {
+	if len(frame) < StreamEventHeaderLen {
+		return fmt.Errorf("%w: %d event bytes, want header %d", ErrTruncated, len(frame), StreamEventHeaderLen)
+	}
+	if frame[0] != magic0 || frame[1] != magic1 {
+		return fmt.Errorf("%w: 0x%02x%02x", ErrMagic, frame[0], frame[1])
+	}
+	if frame[2] != Version {
+		return fmt.Errorf("%w: %d", ErrVersion, frame[2])
+	}
+	ev.Kind = frame[3]
+	if ev.Kind > EventError {
+		return fmt.Errorf("wire: unknown stream event kind %d", ev.Kind)
+	}
+	ev.Seq = binary.LittleEndian.Uint32(frame[4:])
+	ev.Resp.Pred = int(int32(binary.LittleEndian.Uint32(frame[8:])))
+	ev.Resp.LatencySteps = int(int32(binary.LittleEndian.Uint32(frame[12:])))
+	ev.Resp.TotalSpikes = binary.LittleEndian.Uint32(frame[16:])
+	ev.Resp.EventsSaved = binary.LittleEndian.Uint32(frame[20:])
+	ev.Resp.WallUs = binary.LittleEndian.Uint32(frame[24:])
+	ev.Resp.EarlyExit = frame[28]&1 != 0
+	nstages := int(frame[29])
+	aux := int(binary.LittleEndian.Uint16(frame[30:]))
+	ntimeline, nmsg := 0, 0
+	if ev.Kind == EventFrame {
+		ntimeline = aux
+	} else {
+		nmsg = aux
+	}
+	want := StreamEventHeaderLen + 4*nstages + 8*ntimeline + nmsg
+	if len(frame) != want {
+		return fmt.Errorf("%w: %d event bytes, want %d", ErrTruncated, len(frame), want)
+	}
+	p := frame[StreamEventHeaderLen:]
+	if cap(ev.StageSpikes) < nstages {
+		ev.StageSpikes = make([]uint32, nstages)
+	}
+	ev.StageSpikes = ev.StageSpikes[:nstages]
+	for i := 0; i < nstages; i++ {
+		ev.StageSpikes[i] = binary.LittleEndian.Uint32(p[i*4:])
+	}
+	p = p[4*nstages:]
+	if cap(ev.Timeline) < ntimeline {
+		ev.Timeline = make([]TimedStep, ntimeline)
+	}
+	ev.Timeline = ev.Timeline[:ntimeline]
+	for i := 0; i < ntimeline; i++ {
+		ev.Timeline[i].Step = int32(binary.LittleEndian.Uint32(p[i*8:]))
+		ev.Timeline[i].Pred = int32(binary.LittleEndian.Uint32(p[i*8+4:]))
+	}
+	ev.Msg = string(p[8*ntimeline:])
+	return nil
+}
+
+// streamEventSize returns the total frame length announced by a stream
+// event header.
+func streamEventSize(hdr []byte) (int, error) {
+	kind := hdr[3]
+	if kind > EventError {
+		return 0, fmt.Errorf("wire: unknown stream event kind %d", kind)
+	}
+	nstages := int(hdr[29])
+	aux := int(binary.LittleEndian.Uint16(hdr[30:]))
+	n := StreamEventHeaderLen + 4*nstages
+	if kind == EventFrame {
+		n += 8 * aux
+	} else {
+		n += aux
+	}
+	return n, nil
+}
+
+// ReqReader reads consecutive request frames off a stream. It owns a
+// payload scratch buffer reused across frames.
+type ReqReader struct {
+	r   io.Reader
+	buf []byte
+}
+
+// NewReqReader wraps r for frame-at-a-time reading.
+func NewReqReader(r io.Reader) *ReqReader {
+	return &ReqReader{r: r, buf: make([]byte, 0, 4096)}
+}
+
+// Next reads one request frame. io.EOF at a frame boundary means the
+// client finished the session cleanly; a partial frame surfaces as
+// ErrTruncated. Semantics otherwise match DecodeRequest.
+func (rr *ReqReader) Next(dst []float64, wantLen int) (Request, []float64, error) {
+	var hdr [ReqHeaderLen]byte
+	if _, err := io.ReadFull(rr.r, hdr[:]); err != nil {
+		if err == io.EOF {
+			return Request{}, dst, io.EOF
+		}
+		return Request{}, dst, fmt.Errorf("%w: mid-header: %v", ErrTruncated, err)
+	}
+	n := int(binary.LittleEndian.Uint32(hdr[20:]))
+	// Validate the header alone first (magic, version, lane, mode,
+	// length-vs-model) so a bad frame fails before any payload read; a
+	// truncation complaint is expected here since the payload isn't
+	// attached yet.
+	if _, _, err := DecodeRequest(hdr[:], nil, wantLen); err != nil && !errors.Is(err, ErrTruncated) {
+		return Request{}, dst, err
+	}
+	elem := 4
+	if Lane(hdr[3]) == LaneU8 {
+		elem = 1
+	}
+	need := n * elem
+	if cap(rr.buf) < ReqHeaderLen+need {
+		rr.buf = make([]byte, 0, ReqHeaderLen+need)
+	}
+	rr.buf = rr.buf[:ReqHeaderLen+need]
+	copy(rr.buf, hdr[:])
+	if _, err := io.ReadFull(rr.r, rr.buf[ReqHeaderLen:]); err != nil {
+		return Request{}, dst, fmt.Errorf("%w: mid-payload: %v", ErrTruncated, err)
+	}
+	return DecodeRequest(rr.buf, dst, wantLen)
+}
+
+// EventReader reads consecutive stream event frames (the client side of
+// a binary session). The returned event's slices are reused across
+// calls.
+type EventReader struct {
+	r   io.Reader
+	buf []byte
+	ev  StreamEvent
+}
+
+// NewEventReader wraps r for event-at-a-time reading.
+func NewEventReader(r io.Reader) *EventReader {
+	return &EventReader{r: r, buf: make([]byte, 0, 1024)}
+}
+
+// Next reads one stream event. io.EOF at a frame boundary means the
+// server closed the session; a partial frame surfaces as ErrTruncated.
+// The returned pointer is valid until the next call.
+func (er *EventReader) Next() (*StreamEvent, error) {
+	if cap(er.buf) < StreamEventHeaderLen {
+		er.buf = make([]byte, 0, 1024)
+	}
+	hdr := er.buf[:StreamEventHeaderLen]
+	if _, err := io.ReadFull(er.r, hdr); err != nil {
+		if err == io.EOF {
+			return nil, io.EOF
+		}
+		return nil, fmt.Errorf("%w: mid-event-header: %v", ErrTruncated, err)
+	}
+	if hdr[0] != magic0 || hdr[1] != magic1 {
+		return nil, fmt.Errorf("%w: 0x%02x%02x", ErrMagic, hdr[0], hdr[1])
+	}
+	if hdr[2] != Version {
+		return nil, fmt.Errorf("%w: %d", ErrVersion, hdr[2])
+	}
+	size, err := streamEventSize(hdr)
+	if err != nil {
+		return nil, err
+	}
+	if cap(er.buf) < size {
+		buf := make([]byte, size)
+		copy(buf, hdr)
+		er.buf = buf
+	}
+	er.buf = er.buf[:size]
+	if _, err := io.ReadFull(er.r, er.buf[StreamEventHeaderLen:]); err != nil {
+		return nil, fmt.Errorf("%w: mid-event-payload: %v", ErrTruncated, err)
+	}
+	if err := DecodeStreamEvent(er.buf, &er.ev); err != nil {
+		return nil, err
+	}
+	return &er.ev, nil
+}

@@ -1,0 +1,155 @@
+package wire
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"math"
+	"testing"
+)
+
+func TestStreamEventRoundTrip(t *testing.T) {
+	ev := StreamEvent{
+		Kind: EventFrame,
+		Seq:  42,
+		Resp: Response{
+			Pred: 7, LatencySteps: 19, TotalSpikes: 321,
+			EventsSaved: 55, WallUs: 1234, EarlyExit: true,
+		},
+		StageSpikes: []uint32{100, 40, 30, 10},
+		Timeline:    []TimedStep{{Step: 3, Pred: 1}, {Step: 9, Pred: 7}},
+	}
+	frame := AppendStreamEvent(nil, ev)
+	var got StreamEvent
+	if err := DecodeStreamEvent(frame, &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.Kind != ev.Kind || got.Seq != ev.Seq || got.Resp != ev.Resp {
+		t.Fatalf("header mismatch: %+v vs %+v", got, ev)
+	}
+	if len(got.StageSpikes) != 4 || got.StageSpikes[0] != 100 || got.StageSpikes[3] != 10 {
+		t.Fatalf("stage spikes %v", got.StageSpikes)
+	}
+	if len(got.Timeline) != 2 || got.Timeline[1] != (TimedStep{9, 7}) {
+		t.Fatalf("timeline %v", got.Timeline)
+	}
+}
+
+func TestStreamEventMessageKinds(t *testing.T) {
+	for _, kind := range []uint8{EventDrain, EventRetry, EventError} {
+		ev := StreamEvent{Kind: kind, Seq: 3, Msg: "backend away"}
+		frame := AppendStreamEvent(nil, ev)
+		var got StreamEvent
+		if err := DecodeStreamEvent(frame, &got); err != nil {
+			t.Fatalf("kind %d: %v", kind, err)
+		}
+		if got.Kind != kind || got.Msg != "backend away" || len(got.Timeline) != 0 {
+			t.Fatalf("kind %d round trip: %+v", kind, got)
+		}
+	}
+}
+
+func TestStreamEventTruncated(t *testing.T) {
+	frame := AppendStreamEvent(nil, StreamEvent{
+		Kind: EventFrame, Seq: 1, StageSpikes: []uint32{1, 2},
+	})
+	var ev StreamEvent
+	for cut := 1; cut < len(frame); cut++ {
+		if err := DecodeStreamEvent(frame[:cut], &ev); !errors.Is(err, ErrTruncated) {
+			t.Fatalf("cut %d: err = %v, want ErrTruncated", cut, err)
+		}
+	}
+}
+
+func TestReqReaderConsecutiveFrames(t *testing.T) {
+	in1 := []float64{0.1, 0.5, 0.9}
+	in2 := []float64{0.9, 0.5, 0.1}
+	var buf bytes.Buffer
+	b := AppendRequest(nil, Request{Sample: -1, Label: 4}, in1)
+	b = AppendRequest(b, Request{Lane: LaneU8, Sample: 2, Label: -1}, in2)
+	buf.Write(b)
+
+	rr := NewReqReader(&buf)
+	h, got, err := rr.Next(nil, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Label != 4 || h.Sample != -1 {
+		t.Fatalf("frame 1 header %+v", h)
+	}
+	for i, v := range in1 {
+		if math.Abs(got[i]-v) > 1e-6 {
+			t.Fatalf("frame 1 input[%d] = %v, want %v", i, got[i], v)
+		}
+	}
+	h, got, err = rr.Next(got, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Lane != LaneU8 || h.Sample != 2 {
+		t.Fatalf("frame 2 header %+v", h)
+	}
+	if math.Abs(got[0]-0.9) > 1e-2 {
+		t.Fatalf("frame 2 input %v", got)
+	}
+	if _, _, err = rr.Next(got, 3); err != io.EOF {
+		t.Fatalf("end of stream: %v, want io.EOF", err)
+	}
+}
+
+func TestReqReaderTruncatedMidFrame(t *testing.T) {
+	full := AppendRequest(nil, Request{}, []float64{0.1, 0.2, 0.3})
+	// cut mid-header and mid-payload
+	for _, cut := range []int{ReqHeaderLen - 4, ReqHeaderLen + 5} {
+		rr := NewReqReader(bytes.NewReader(full[:cut]))
+		if _, _, err := rr.Next(nil, 3); !errors.Is(err, ErrTruncated) {
+			t.Fatalf("cut %d: err = %v, want ErrTruncated", cut, err)
+		}
+	}
+}
+
+func TestReqReaderRejectsBadHeaderBeforePayload(t *testing.T) {
+	frame := AppendRequest(nil, Request{}, []float64{0.5})
+	frame[0] = 'X'
+	rr := NewReqReader(bytes.NewReader(frame))
+	if _, _, err := rr.Next(nil, 1); !errors.Is(err, ErrMagic) {
+		t.Fatalf("err = %v, want ErrMagic", err)
+	}
+	// wrong model length announced in an otherwise valid header
+	frame2 := AppendRequest(nil, Request{}, []float64{0.5, 0.5})
+	rr = NewReqReader(bytes.NewReader(frame2))
+	if _, _, err := rr.Next(nil, 3); err == nil || errors.Is(err, ErrTruncated) {
+		t.Fatalf("err = %v, want length mismatch", err)
+	}
+}
+
+func TestEventReaderStream(t *testing.T) {
+	var b []byte
+	for i := 1; i <= 3; i++ {
+		b = AppendStreamEvent(b, StreamEvent{
+			Kind: EventFrame, Seq: uint32(i),
+			Resp:        Response{Pred: i, LatencySteps: 10 * i},
+			StageSpikes: []uint32{uint32(i), uint32(2 * i)},
+			Timeline:    []TimedStep{{Step: int32(i), Pred: int32(i)}},
+		})
+	}
+	b = AppendStreamEvent(b, StreamEvent{Kind: EventDrain, Seq: 3, Msg: "bye"})
+
+	er := NewEventReader(bytes.NewReader(b))
+	for i := 1; i <= 3; i++ {
+		ev, err := er.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ev.Seq != uint32(i) || ev.Resp.Pred != i || len(ev.StageSpikes) != 2 {
+			t.Fatalf("event %d: %+v", i, ev)
+		}
+	}
+	ev, err := er.Next()
+	if err != nil || ev.Kind != EventDrain || ev.Msg != "bye" {
+		t.Fatalf("terminal: %+v, %v", ev, err)
+	}
+	if _, err := er.Next(); err != io.EOF {
+		t.Fatalf("after terminal: %v, want io.EOF", err)
+	}
+}
